@@ -1,0 +1,394 @@
+(* The PROSPECTOR command-line tool: a programmer's search engine for API
+   jungloids (the paper packaged the same engine inside Eclipse content
+   assist). Subcommands:
+
+     query TIN TOUT      synthesize jungloids for a (tin, tout) query
+     assist TOUT         content-assist: suggest code for an expected type
+     mine                show mining statistics and generalized examples
+     stats               graph statistics (signature vs jungloid graph)
+     dot                 export a neighborhood of the graph as Graphviz
+     table1              reproduce the paper's Table 1
+     study               reproduce the paper's Figure 8 user study
+
+   By default everything runs against the bundled Eclipse 2.1 / J2SE model
+   and corpus; --api / --corpus load your own .japi and mini-Java files. *)
+
+open Cmdliner
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---------- shared options ---------- *)
+
+let api_files =
+  Arg.(
+    value & opt_all file []
+    & info [ "api" ] ~docv:"FILE"
+        ~doc:"Load API signatures from this .japi file (repeatable). When \
+              absent, the bundled Eclipse/J2SE model is used.")
+
+let corpus_files =
+  Arg.(
+    value & opt_all file []
+    & info [ "corpus" ] ~docv:"FILE"
+        ~doc:"Load mining corpus from this mini-Java file (repeatable). \
+              When absent (and no --api), the bundled corpus is used.")
+
+let no_mining =
+  Arg.(
+    value & flag
+    & info [ "no-mining" ] ~doc:"Use the signature graph only (Section 3).")
+
+let protected_flag =
+  Arg.(
+    value & flag
+    & info [ "protected" ]
+        ~doc:"Admit protected members (the paper's proposed extension).")
+
+let max_results =
+  Arg.(value & opt int 10 & info [ "max-results"; "n" ] ~docv:"N" ~doc:"Result list length.")
+
+let slack =
+  Arg.(
+    value & opt int 1
+    & info [ "slack" ] ~docv:"K"
+        ~doc:"Enumerate paths of cost up to shortest+K (the paper uses 1).")
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "verbose" ] ~doc:"Log loading, mining, and query internals to stderr.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type env = {
+  hierarchy : Javamodel.Hierarchy.t;
+  graph : Prospector.Graph.t;
+}
+
+let load_env ~api ~corpus ~mining ~protected_ =
+  let config =
+    { Prospector.Sig_graph.default_config with include_protected = protected_ }
+  in
+  let hierarchy =
+    match api with
+    | [] -> Apidata.Api.hierarchy ()
+    | files -> Japi.Loader.load_files (List.map (fun f -> (f, read_file f)) files)
+  in
+  let graph = Prospector.Sig_graph.build ~config hierarchy in
+  let corpus_sources =
+    match (api, corpus) with
+    | [], [] -> Apidata.Api.corpus_sources
+    | _, files -> List.map (fun f -> (f, read_file f)) files
+  in
+  if mining && corpus_sources <> [] then begin
+    let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
+    ignore
+      (Mining.Enrich.enrich ~include_protected:protected_ graph prog)
+  end;
+  { hierarchy; graph }
+
+let settings ~max_results ~slack =
+  { Prospector.Query.default_settings with max_results; slack }
+
+let handle_errors f =
+  try f () with
+  | Japi.Error.E e ->
+      Printf.eprintf "error: %s\n" (Japi.Error.to_string e);
+      exit 1
+  | Javamodel.Hierarchy.Unknown_type q ->
+      Printf.eprintf "error: unknown type %s\n" (Javamodel.Qname.to_string q);
+      exit 1
+
+(* ---------- query ---------- *)
+
+let print_result i (r : Prospector.Query.result) =
+  Printf.printf "#%d  %s\n" (i + 1)
+    (Prospector.Jungloid.to_string r.Prospector.Query.jungloid);
+  let code = String.trim r.Prospector.Query.code in
+  String.split_on_char '\n' code
+  |> List.iter (fun line -> Printf.printf "      %s\n" line)
+
+let query_cmd =
+  let tin = Arg.(required & pos 0 (some string) None & info [] ~docv:"TIN") in
+  let tout = Arg.(required & pos 1 (some string) None & info [] ~docv:"TOUT") in
+  let cluster_flag =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:"Group similar jungloids (same type path) and show one \
+                representative per group.")
+  in
+  let run api corpus no_mining protected_ max_results slack cluster verbose tin tout =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let env =
+          load_env ~api ~corpus ~mining:(not no_mining) ~protected_
+        in
+        let q = Prospector.Query.query tin tout in
+        let results =
+          Prospector.Query.run
+            ~settings:(settings ~max_results ~slack)
+            ~graph:env.graph ~hierarchy:env.hierarchy q
+        in
+        if results = [] then print_endline "no jungloids found"
+        else if cluster then
+          List.iteri
+            (fun i (c : Prospector.Query.cluster) ->
+              Printf.printf "#%d  [%d similar]  via %s\n" (i + 1)
+                c.Prospector.Query.members c.Prospector.Query.type_path;
+              print_result i c.Prospector.Query.representative)
+            (Prospector.Query.cluster results)
+        else List.iteri print_result results)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Synthesize jungloids for a (tin, tout) query.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag
+      $ max_results $ slack $ cluster_flag $ verbose_flag $ tin $ tout)
+
+(* ---------- assist ---------- *)
+
+let assist_cmd =
+  let tout = Arg.(required & pos 0 (some string) None & info [] ~docv:"TOUT") in
+  let vars =
+    Arg.(
+      value & opt_all string []
+      & info [ "var"; "v" ] ~docv:"NAME:TYPE"
+          ~doc:"A visible variable, e.g. $(b,ep:org.eclipse.ui.IEditorPart) \
+                (repeatable).")
+  in
+  let run api corpus no_mining protected_ max_results slack vars tout =
+    handle_errors (fun () ->
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let parsed_vars =
+          List.map
+            (fun s ->
+              match String.index_opt s ':' with
+              | Some i ->
+                  ( String.sub s 0 i,
+                    Javamodel.Jtype.ref_of_string
+                      (String.sub s (i + 1) (String.length s - i - 1)) )
+              | None -> failwith (Printf.sprintf "bad --var %S, expected NAME:TYPE" s))
+            vars
+        in
+        let ctx =
+          {
+            Prospector.Assist.vars = parsed_vars;
+            expected = Javamodel.Jtype.ref_of_string tout;
+          }
+        in
+        let suggestions =
+          Prospector.Assist.suggest
+            ~settings:(settings ~max_results ~slack)
+            ~graph:env.graph ~hierarchy:env.hierarchy ctx
+        in
+        if suggestions = [] then print_endline "no suggestions"
+        else
+          List.iteri
+            (fun i (s : Prospector.Assist.suggestion) ->
+              Printf.printf "#%d  %s%s\n" (i + 1) s.Prospector.Assist.title
+                (match s.Prospector.Assist.uses_var with
+                | Some v -> Printf.sprintf "   (uses %s)" v
+                | None -> ""))
+            suggestions)
+  in
+  Cmd.v
+    (Cmd.info "assist" ~doc:"Content assist: suggestions for an expected type.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag
+      $ max_results $ slack $ vars $ tout)
+
+(* ---------- mine ---------- *)
+
+let mine_cmd =
+  let run api corpus protected_ =
+    handle_errors (fun () ->
+        let hierarchy =
+          match api with
+          | [] -> Apidata.Api.hierarchy ()
+          | files -> Japi.Loader.load_files (List.map (fun f -> (f, read_file f)) files)
+        in
+        let corpus_sources =
+          match (api, corpus) with
+          | [], [] -> Apidata.Api.corpus_sources
+          | _, files -> List.map (fun f -> (f, read_file f)) files
+        in
+        let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
+        let df = Mining.Dataflow.build prog in
+        let examples = Mining.Extract.extract df in
+        let generalized = Mining.Generalize.run examples in
+        Printf.printf "corpus methods:          %d\n"
+          (List.length prog.Minijava.Tast.methods);
+        Printf.printf "casts in corpus:         %d\n"
+          (List.length (Mining.Dataflow.casts df));
+        Printf.printf "examples extracted:      %d\n" (List.length examples);
+        Printf.printf "after generalization:    %d\n\n" (List.length generalized);
+        List.iter
+          (fun (ex : Mining.Extract.example) ->
+            Printf.printf "  %s\n"
+              (Prospector.Jungloid.to_string
+                 (Prospector.Jungloid.make ~input:ex.Mining.Extract.input
+                    ex.Mining.Extract.elems)))
+          generalized;
+        ignore protected_)
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Extract and generalize example jungloids from a corpus.")
+    Term.(const run $ api_files $ corpus_files $ protected_flag)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let run api corpus protected_ =
+    handle_errors (fun () ->
+        let sig_env = load_env ~api ~corpus ~mining:false ~protected_ in
+        let full_env = load_env ~api ~corpus ~mining:true ~protected_ in
+        Printf.printf "hierarchy: %d declarations\n\n"
+          (Javamodel.Hierarchy.size sig_env.hierarchy);
+        Printf.printf "signature graph:\n%s\n\n"
+          (Prospector.Stats.to_string (Prospector.Stats.of_graph sig_env.graph));
+        Printf.printf "jungloid graph (with mined examples):\n%s\n"
+          (Prospector.Stats.to_string (Prospector.Stats.of_graph full_env.graph)))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Graph statistics, before and after mining.")
+    Term.(const run $ api_files $ corpus_files $ protected_flag)
+
+(* ---------- dot ---------- *)
+
+let dot_cmd =
+  let centers =
+    Arg.(
+      value & opt_all string []
+      & info [ "center"; "c" ] ~docv:"TYPE" ~doc:"Center type(s) of the neighborhood.")
+  in
+  let radius = Arg.(value & opt int 1 & info [ "radius"; "r" ] ~docv:"R" ~doc:"Hops.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run api corpus no_mining protected_ centers radius output =
+    handle_errors (fun () ->
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let dot =
+          match centers with
+          | [] -> Prospector.Dot.full env.graph
+          | cs ->
+              Prospector.Dot.subgraph env.graph
+                ~centers:(List.map Javamodel.Jtype.ref_of_string cs)
+                ~radius
+        in
+        match output with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc dot;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> print_string dot)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export (part of) the jungloid graph as Graphviz.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag $ centers
+      $ radius $ output)
+
+(* ---------- infer ---------- *)
+
+let infer_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Mini-Java source files containing ? holes.")
+  in
+  let run api corpus no_mining protected_ max_results slack files =
+    handle_errors (fun () ->
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let sources = List.map (fun f -> (f, read_file f)) files in
+        let holes = Prospector_ide.Infer.contexts ~api:env.hierarchy sources in
+        if holes = [] then print_endline "no ? holes found"
+        else
+          List.iter
+            (fun (h : Prospector_ide.Infer.hole) ->
+              Printf.printf "hole in %s.%s, expecting %s (in scope: %s)\n"
+                (Javamodel.Qname.to_string h.Prospector_ide.Infer.owner)
+                h.Prospector_ide.Infer.meth
+                (Javamodel.Jtype.simple_string h.Prospector_ide.Infer.expected)
+                (String.concat ", " (List.map fst h.Prospector_ide.Infer.vars));
+              let suggestions =
+                Prospector_ide.Infer.suggest_at
+                  ~settings:(settings ~max_results ~slack)
+                  ~graph:env.graph ~hierarchy:env.hierarchy h
+              in
+              if suggestions = [] then print_endline "  no suggestions"
+              else
+                List.iteri
+                  (fun i (s : Prospector.Assist.suggestion) ->
+                    Printf.printf "  %d. %s\n" (i + 1) s.Prospector.Assist.title)
+                  suggestions;
+              print_newline ())
+            holes)
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Infer queries from ? holes in mini-Java source and suggest code.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag
+      $ max_results $ slack $ files)
+
+(* ---------- table1 ---------- *)
+
+let table1_cmd =
+  let run () =
+    let graph = Apidata.Api.default_graph () in
+    let hierarchy = Apidata.Api.hierarchy () in
+    let ms = Apidata.Problems.run_all ~graph ~hierarchy () in
+    Printf.printf "%-48s %-6s %-6s %-8s\n" "Programming problem" "paper" "ours" "time(s)";
+    List.iter
+      (fun (m : Apidata.Problems.measured) ->
+        Printf.printf "%-48s %-6s %-6s %.3f\n"
+          m.Apidata.Problems.problem.Apidata.Problems.description
+          (match m.Apidata.Problems.problem.Apidata.Problems.paper with
+          | Apidata.Problems.Rank r -> string_of_int r
+          | Apidata.Problems.Not_found -> "No")
+          (match m.Apidata.Problems.rank with
+          | Some r -> string_of_int r
+          | None -> "No")
+          m.Apidata.Problems.time_s)
+      ms;
+    let found = List.length (List.filter Apidata.Problems.found ms) in
+    Printf.printf "\nfound %d of %d (paper: 18 of 20)\n" found (List.length ms)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1.") Term.(const run $ const ())
+
+(* ---------- study ---------- *)
+
+let study_cmd =
+  let seed = Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED") in
+  let users = Arg.(value & opt int 13 & info [ "users" ] ~docv:"N") in
+  let run seed users =
+    let graph = Apidata.Api.default_graph () in
+    let hierarchy = Apidata.Api.hierarchy () in
+    let s = Simstudy.Study_sim.simulate ~seed ~users ~graph ~hierarchy Apidata.Study.all in
+    print_string (Simstudy.Study_sim.render_figure8 s)
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc:"Reproduce the Figure 8 user study (simulated).")
+    Term.(const run $ seed $ users)
+
+let () =
+  ignore contains;
+  let doc = "jungloid mining: helping to navigate the API jungle" in
+  let info = Cmd.info "prospector" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; assist_cmd; infer_cmd; mine_cmd; stats_cmd; dot_cmd; table1_cmd; study_cmd ]))

@@ -1,0 +1,1 @@
+examples/api_explorer.ml: Apidata Array Javamodel Lazy List Printf Prospector String Sys

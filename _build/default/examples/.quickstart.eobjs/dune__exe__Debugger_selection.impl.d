@@ -1,0 +1,1 @@
+examples/debugger_selection.ml: Apidata List Mining Printf Prospector

@@ -1,0 +1,1 @@
+examples/editor_document.ml: Apidata Javamodel List Printf Prospector String

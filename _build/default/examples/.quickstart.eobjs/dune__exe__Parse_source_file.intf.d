@@ -1,0 +1,1 @@
+examples/parse_source_file.mli:

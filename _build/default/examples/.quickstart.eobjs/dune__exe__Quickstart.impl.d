@@ -1,0 +1,1 @@
+examples/quickstart.ml: Japi Javamodel List Printf Prospector

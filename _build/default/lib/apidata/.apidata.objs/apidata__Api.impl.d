@@ -1,0 +1,1 @@
+lib/apidata/api.ml: Corpus Eclipse_core Eclipse_extra Eclipse_gef Eclipse_ui J2se J2se_extra J2se_swing J2se_xml_sql Japi Javamodel Minijava Mining Prospector

@@ -1,0 +1,1 @@
+lib/apidata/api.mli: Javamodel Minijava Mining Prospector

@@ -1,0 +1,1 @@
+lib/apidata/corpus.ml:

@@ -1,0 +1,1 @@
+lib/apidata/eclipse_extra.ml:

@@ -1,0 +1,1 @@
+lib/apidata/extended.ml: List Option Prospector String Unix

@@ -1,0 +1,1 @@
+lib/apidata/extended.mli: Javamodel Prospector

@@ -1,0 +1,1 @@
+lib/apidata/j2se_extra.ml:

@@ -1,0 +1,1 @@
+lib/apidata/problems.ml: List Option Prospector String Unix

@@ -1,0 +1,1 @@
+lib/apidata/problems.mli: Javamodel Prospector

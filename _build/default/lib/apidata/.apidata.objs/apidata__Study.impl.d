@@ -1,0 +1,1 @@
+lib/apidata/study.ml: Javamodel List Option Prospector String

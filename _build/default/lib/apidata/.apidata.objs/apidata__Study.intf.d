@@ -1,0 +1,1 @@
+lib/apidata/study.mli: Javamodel Prospector

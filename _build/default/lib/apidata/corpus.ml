@@ -1,0 +1,371 @@
+(* Transcriptions of real Eclipse client idioms into the mini-Java corpus
+   language. Each method exists to donate one or more example jungloids;
+   together they cover every downcast the Table 1 queries need, plus
+   distractor casts that exercise the generalization algorithm's
+   keep-enough-suffix rule. *)
+
+(* Figure 4 of the paper, verbatim (modulo mini-Java syntax). *)
+let debugger_selection =
+  {|
+package corpus.debug;
+
+class ObjectContextFinder {
+  protected Object getObjectContext() {
+    IWorkbenchPage page = JDIDebugUIPlugin.getActivePage();
+    IWorkbenchPart activePart = page.getActivePart();
+    IDebugView view = (IDebugView) activePart.getAdapter(IDebugView.class);
+    ISelection s = view.getViewer().getSelection();
+    IStructuredSelection sel = (IStructuredSelection) s;
+    Object selection = sel.getFirstElement();
+    JavaInspectExpression var = (JavaInspectExpression) selection;
+    return var;
+  }
+}
+|}
+
+(* Selection idioms: IWorkbenchPage / ISelectionService / viewer selections
+   are IStructuredSelection at run time in list-like parts. *)
+let selection_idioms =
+  {|
+package corpus.selection;
+
+class PageSelectionReader {
+  Object readSelected(IWorkbenchPage page) {
+    IStructuredSelection sel = (IStructuredSelection) page.getSelection();
+    return sel.getFirstElement();
+  }
+}
+
+class ServiceSelectionReader {
+  Object readSelected(IWorkbenchWindow window) {
+    ISelectionService service = window.getSelectionService();
+    IStructuredSelection sel = (IStructuredSelection) service.getSelection();
+    return sel.getFirstElement();
+  }
+}
+
+class EventSelectionReader {
+  Object readSelected(SelectionChangedEvent event) {
+    IStructuredSelection sel = (IStructuredSelection) event.getSelection();
+    return sel.getFirstElement();
+  }
+}
+
+class SelectedResourceFinder {
+  IResource findResource(SelectionChangedEvent event) {
+    IStructuredSelection sel = (IStructuredSelection) event.getSelection();
+    IResource res = (IResource) sel.getFirstElement();
+    return res;
+  }
+}
+|}
+
+(* Editor idioms: the active editor of a Java/text page is an ITextEditor;
+   its input is file-backed. *)
+let editor_idioms =
+  {|
+package corpus.editor;
+
+class ActiveTextEditorFinder {
+  ITextEditor find(IWorkbenchPage page) {
+    IEditorPart part = page.getActiveEditor();
+    ITextEditor editor = (ITextEditor) part;
+    return editor;
+  }
+}
+
+class EditorFileFinder {
+  IFile fileOf(IEditorPart editor) {
+    IEditorInput input = editor.getEditorInput();
+    IFileEditorInput fileInput = (IFileEditorInput) input;
+    return fileInput.getFile();
+  }
+}
+
+class ActiveViewFinder {
+  IViewPart find(IWorkbenchPage page) {
+    IWorkbenchPart part = page.getActivePart();
+    IViewPart view = (IViewPart) part;
+    return view;
+  }
+}
+|}
+
+(* Resource idioms: findMember returns IResource; callers cast to the
+   concrete handle they expect. The two different casts sharing the
+   findMember suffix exercise the generalization constraint. *)
+let resource_idioms =
+  {|
+package corpus.resources;
+
+class WorkspaceFileFinder {
+  IFile find(IWorkspace workspace, String name) {
+    IWorkspaceRoot root = workspace.getRoot();
+    IResource member = root.findMember(name);
+    IFile file = (IFile) member;
+    return file;
+  }
+}
+
+class WorkspaceFolderFinder {
+  IFolder find(IWorkspace workspace, String name) {
+    IWorkspaceRoot root = workspace.getRoot();
+    IResource member = root.findMember(name);
+    IFolder folder = (IFolder) member;
+    return folder;
+  }
+}
+
+class MarkerFileReader {
+  IFile fileOf(IMarker marker) {
+    IResource res = marker.getResource();
+    IFile file = (IFile) res;
+    return file;
+  }
+}
+|}
+
+(* GEF idioms: the control of a graphical viewer is a FigureCanvas; layers
+   come back from the protected getLayer. *)
+let gef_idioms =
+  {|
+package corpus.gef;
+
+class CanvasFinder {
+  FigureCanvas canvasOf(ScrollingGraphicalViewer viewer) {
+    Control control = viewer.getControl();
+    FigureCanvas canvas = (FigureCanvas) control;
+    return canvas;
+  }
+}
+
+class RoutingEditPart extends AbstractGraphicalEditPart {
+  protected void refreshRouting() {
+    ConnectionLayer layer = (ConnectionLayer) getLayer(LayerConstants.CONNECTION_LAYER);
+    layer.setConnectionRouter(new ManhattanConnectionRouter());
+  }
+}
+|}
+
+(* Model-object idioms: structured selections and viewer inputs hold
+   model objects; GEF edit parts hold model objects too. These donate the
+   examples the Section 4.3 Object-parameter mining consumes. *)
+let model_idioms =
+  {|
+package corpus.model;
+
+class CompilationUnitOpener {
+  ICompilationUnit openSelected(IWorkbenchPage page) {
+    IStructuredSelection sel = (IStructuredSelection) page.getSelection();
+    Object first = sel.getFirstElement();
+    ICompilationUnit unit = (ICompilationUnit) first;
+    return unit;
+  }
+}
+
+class ViewerInputReader {
+  IJavaElement elementOf(Viewer viewer) {
+    Object input = viewer.getInput();
+    IJavaElement element = (IJavaElement) input;
+    return element;
+  }
+}
+
+class DocumentFetcher {
+  IDocument fetch(ITextEditor editor) {
+    IDocumentProvider provider = editor.getDocumentProvider();
+    IDocument document = provider.getDocument(editor.getEditorInput());
+    return document;
+  }
+}
+|}
+
+(* Cross-method flows: a helper produces the selection which another class
+   casts — exercising interprocedural extraction through client inlining. *)
+let helper_flows =
+  {|
+package corpus.helpers;
+
+class SelectionHelper {
+  static ISelection currentSelection(IWorkbench workbench) {
+    IWorkbenchWindow window = workbench.getActiveWorkbenchWindow();
+    IWorkbenchPage page = window.getActivePage();
+    return page.getSelection();
+  }
+}
+
+class WorkbenchSelectionReader {
+  Object read(IWorkbench workbench) {
+    ISelection s = SelectionHelper.currentSelection(workbench);
+    IStructuredSelection sel = (IStructuredSelection) s;
+    return sel.getFirstElement();
+  }
+}
+|}
+
+(* Legacy-collections idioms (Section 4.1: "Many existing APIs require
+   downcasts because they use legacy collections instead of Java 5
+   Generics"): Enumeration/List elements cast to their runtime types. *)
+let legacy_collections =
+  {|
+package corpus.legacy;
+
+class ZipLister {
+  void list(ZipFile zip) {
+    Enumeration entries = zip.entries();
+    if (entries.hasMoreElements()) {
+      ZipEntry entry = (ZipEntry) entries.nextElement();
+      entry.getName();
+    }
+  }
+}
+
+class PropertyReader {
+  String firstName(Properties props) {
+    Enumeration names = props.propertyNames();
+    String name = (String) names.nextElement();
+    return name;
+  }
+}
+
+class SelectionListReader {
+  IResource firstResource(IStructuredSelection selection) {
+    List elements = selection.toList();
+    IResource first = (IResource) elements.get(0);
+    return first;
+  }
+}
+
+class VectorReader {
+  IFile firstFile(Vector files) {
+    IFile file = (IFile) files.elementAt(0);
+    return file;
+  }
+}
+|}
+
+(* Stateful idioms: values cached in instance fields and read elsewhere
+   (flow-insensitive field def-use), and enumerations drained in while
+   loops. *)
+let stateful_idioms =
+  {|
+package corpus.stateful;
+
+class SelectionCache {
+  ISelection cached;
+
+  void record(IWorkbenchPage page) {
+    cached = page.getSelection();
+  }
+
+  Object read() {
+    IStructuredSelection sel = (IStructuredSelection) cached;
+    return sel.getFirstElement();
+  }
+}
+
+class EnumerationDrainer {
+  void drain(ZipFile zip) {
+    Enumeration en = zip.entries();
+    while (en.hasMoreElements()) {
+      ZipEntry entry = (ZipEntry) en.nextElement();
+      entry.getSize();
+    }
+  }
+}
+|}
+
+(* Resource-change idioms: deltas carry IResource handles whose concrete
+   kind the listener knows. *)
+let delta_idioms =
+  {|
+package corpus.delta;
+
+class ChangedFileCollector implements IResourceChangeListener {
+  public void resourceChanged(IResourceChangeEvent event) {
+    IResourceDelta delta = event.getDelta();
+    IFile file = (IFile) delta.getResource();
+    file.getName();
+  }
+}
+
+class ProjectChangeWatcher {
+  IProject projectOf(IResourceDelta delta) {
+    IResource res = delta.getResource();
+    IProject project = (IProject) res;
+    return project;
+  }
+}
+|}
+
+(* DOM idioms: Node-returning traversals whose results are Elements at run
+   time — the XML flavor of the selection downcasts. *)
+let dom_idioms =
+  {|
+package corpus.xml;
+
+class ElementWalker {
+  Element firstChildElement(org.w3c.dom.Document doc) {
+    Element root = doc.getDocumentElement();
+    Node child = root.getFirstChild();
+    Element elem = (Element) child;
+    return elem;
+  }
+}
+
+class TagFinder {
+  Element firstByTag(Element root, String tag) {
+    NodeList nodes = root.getElementsByTagName(tag);
+    Element first = (Element) nodes.item(0);
+    return first;
+  }
+}
+|}
+
+(* Swing idioms: the model interfaces return Object; clients cast to the
+   concrete node/model classes they populated. *)
+let swing_idioms =
+  {|
+package corpus.swing;
+
+class TreeSelectionReader {
+  Object selectedUserObject(JTree tree) {
+    TreePath path = tree.getSelectionPath();
+    Object last = path.getLastPathComponent();
+    DefaultMutableTreeNode node = (DefaultMutableTreeNode) last;
+    return node.getUserObject();
+  }
+}
+
+class TableModelEditor {
+  DefaultTableModel editableModel(JTable table) {
+    TableModel model = table.getModel();
+    DefaultTableModel editable = (DefaultTableModel) model;
+    return editable;
+  }
+}
+
+class ListItemReader {
+  String itemAt(JList list, int i) {
+    ListModel model = list.getModel();
+    String item = (String) model.getElementAt(i);
+    return item;
+  }
+}
+|}
+
+let sources =
+  [
+    ("corpus/debugger_selection.java", debugger_selection);
+    ("corpus/selection_idioms.java", selection_idioms);
+    ("corpus/editor_idioms.java", editor_idioms);
+    ("corpus/resource_idioms.java", resource_idioms);
+    ("corpus/gef_idioms.java", gef_idioms);
+    ("corpus/model_idioms.java", model_idioms);
+    ("corpus/helper_flows.java", helper_flows);
+    ("corpus/legacy_collections.java", legacy_collections);
+    ("corpus/stateful_idioms.java", stateful_idioms);
+    ("corpus/delta_idioms.java", delta_idioms);
+    ("corpus/dom_idioms.java", dom_idioms);
+    ("corpus/swing_idioms.java", swing_idioms);
+  ]

@@ -1,0 +1,8 @@
+(** The mining corpus: hand-written mini-Java client code transcribing the
+    downcast idioms the paper mines from production Eclipse code — the
+    Figure 4 debugger-selection chain plus the selection, editor, resource,
+    and GEF idioms behind the Table 1 rows whose solutions contain
+    downcasts. *)
+
+val sources : (string * string) list
+(** [(filename, mini-Java source)] pairs for {!Minijava.Resolve.parse_program}. *)

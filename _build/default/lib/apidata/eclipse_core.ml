@@ -1,0 +1,217 @@
+let runtime =
+  {|
+package org.eclipse.core.runtime;
+
+interface IAdaptable {
+  Object getAdapter(Class adapter);
+}
+
+interface IPath {
+  String toOSString();
+  String lastSegment();
+  String getFileExtension();
+  java.io.File toFile();
+  org.eclipse.core.runtime.IPath append(String segment);
+  org.eclipse.core.runtime.IPath removeLastSegments(int count);
+  int segmentCount();
+}
+
+class Path implements IPath {
+  Path(String fullPath);
+}
+
+interface IProgressMonitor {
+  void beginTask(String name, int totalWork);
+  void done();
+  boolean isCanceled();
+}
+
+class NullProgressMonitor implements IProgressMonitor {
+  NullProgressMonitor();
+}
+
+class CoreException extends java.lang.Exception {
+  org.eclipse.core.runtime.IStatus getStatus();
+}
+
+interface IStatus {
+  String getMessage();
+  int getSeverity();
+  boolean isOK();
+}
+
+class Status implements IStatus {
+  Status(int severity, String pluginId, int code, String message, java.lang.Throwable exception);
+}
+
+class Platform {
+  static String getOS();
+}
+|}
+
+(* The resources API. IWorkspaceRoot and IContainer carry their realistic
+   breadth of file accessors: this is what produces the "large number of
+   similar parallel jungloids" that crowd the (IWorkspace, IFile) query out
+   of the top results, as the paper reports. *)
+let resources =
+  {|
+package org.eclipse.core.resources;
+
+interface IResource extends org.eclipse.core.runtime.IAdaptable {
+  String getName();
+  String getFileExtension();
+  org.eclipse.core.runtime.IPath getFullPath();
+  org.eclipse.core.runtime.IPath getLocation();
+  org.eclipse.core.resources.IProject getProject();
+  org.eclipse.core.resources.IContainer getParent();
+  org.eclipse.core.resources.IWorkspace getWorkspace();
+  boolean exists();
+  int getType();
+}
+
+interface IContainer extends IResource {
+  org.eclipse.core.resources.IFile getFile(org.eclipse.core.runtime.IPath path);
+  org.eclipse.core.resources.IFolder getFolder(org.eclipse.core.runtime.IPath path);
+  org.eclipse.core.resources.IResource findMember(String name);
+  org.eclipse.core.resources.IResource[] members();
+}
+
+interface IFile extends IResource {
+  java.io.InputStream getContents();
+  String getCharset();
+  void setContents(java.io.InputStream source, boolean force, boolean keepHistory, org.eclipse.core.runtime.IProgressMonitor monitor);
+  void create(java.io.InputStream source, boolean force, org.eclipse.core.runtime.IProgressMonitor monitor);
+}
+
+interface IFolder extends IContainer {
+  org.eclipse.core.resources.IFile getFile(String name);
+}
+
+interface IProject extends IContainer {
+  org.eclipse.core.resources.IFile getFile(String name);
+  org.eclipse.core.resources.IFolder getFolder(String name);
+  boolean isOpen();
+  void open(org.eclipse.core.runtime.IProgressMonitor monitor);
+}
+
+interface IWorkspaceRoot extends IContainer {
+  org.eclipse.core.resources.IFile getFileForLocation(org.eclipse.core.runtime.IPath location);
+  org.eclipse.core.resources.IContainer getContainerForLocation(org.eclipse.core.runtime.IPath location);
+  org.eclipse.core.resources.IProject getProject(String name);
+  org.eclipse.core.resources.IProject[] getProjects();
+}
+
+interface IWorkspace extends org.eclipse.core.runtime.IAdaptable {
+  org.eclipse.core.resources.IWorkspaceRoot getRoot();
+  void save(boolean full, org.eclipse.core.runtime.IProgressMonitor monitor);
+  org.eclipse.core.resources.IResourceRuleFactory getRuleFactory();
+}
+
+interface IResourceRuleFactory {
+}
+
+interface IMarker {
+  org.eclipse.core.resources.IResource getResource();
+  Object getAttribute(String attributeName);
+}
+
+class ResourcesPlugin {
+  static org.eclipse.core.resources.IWorkspace getWorkspace();
+}
+
+interface IResourceChangeEvent {
+  org.eclipse.core.resources.IResourceDelta getDelta();
+  org.eclipse.core.resources.IResource getResource();
+  int getType();
+}
+
+interface IResourceDelta {
+  org.eclipse.core.resources.IResource getResource();
+  org.eclipse.core.resources.IResourceDelta[] getAffectedChildren();
+  org.eclipse.core.resources.IResourceDelta findMember(org.eclipse.core.runtime.IPath path);
+  int getKind();
+}
+
+interface IResourceChangeListener {
+  void resourceChanged(org.eclipse.core.resources.IResourceChangeEvent event);
+}
+|}
+
+let jdt =
+  {|
+package org.eclipse.jdt.core;
+
+interface IJavaElement extends org.eclipse.core.runtime.IAdaptable {
+  String getElementName();
+  org.eclipse.core.resources.IResource getResource();
+  org.eclipse.jdt.core.IJavaProject getJavaProject();
+  org.eclipse.core.runtime.IPath getPath();
+  boolean exists();
+}
+
+interface IJavaProject extends IJavaElement {
+  org.eclipse.core.resources.IProject getProject();
+  org.eclipse.jdt.core.IPackageFragmentRoot[] getPackageFragmentRoots();
+}
+
+interface IPackageFragmentRoot extends IJavaElement {
+}
+
+interface ICompilationUnit extends IJavaElement {
+  String getSource();
+  org.eclipse.jdt.core.IType[] getTypes();
+  org.eclipse.jdt.core.ICompilationUnit getWorkingCopy();
+}
+
+interface IClassFile extends IJavaElement {
+  String getSource();
+}
+
+interface IType extends IJavaElement {
+  String getFullyQualifiedName();
+  org.eclipse.jdt.core.IMethod[] getMethods();
+}
+
+interface IMethod extends IJavaElement {
+  String getSignature();
+}
+
+class JavaCore {
+  static org.eclipse.jdt.core.ICompilationUnit createCompilationUnitFrom(org.eclipse.core.resources.IFile file);
+  static org.eclipse.jdt.core.IClassFile createClassFileFrom(org.eclipse.core.resources.IFile file);
+  static org.eclipse.jdt.core.IJavaProject create(org.eclipse.core.resources.IProject project);
+}
+|}
+
+let jdt_dom =
+  {|
+package org.eclipse.jdt.core.dom;
+
+abstract class ASTNode {
+  org.eclipse.jdt.core.dom.ASTNode getParent();
+  int getStartPosition();
+  int getLength();
+}
+
+class CompilationUnit extends ASTNode {
+  org.eclipse.jdt.core.dom.Message[] getMessages();
+}
+
+class Message {
+  String getMessage();
+  int getSourcePosition();
+}
+
+class AST {
+  static org.eclipse.jdt.core.dom.CompilationUnit parseCompilationUnit(org.eclipse.jdt.core.ICompilationUnit unit, boolean resolveBindings);
+  static org.eclipse.jdt.core.dom.CompilationUnit parseCompilationUnit(char[] source);
+}
+|}
+
+let sources =
+  [
+    ("org.eclipse.core.runtime", runtime);
+    ("org.eclipse.core.resources", resources);
+    ("org.eclipse.jdt.core", jdt);
+    ("org.eclipse.jdt.core.dom", jdt_dom);
+  ]

@@ -1,0 +1,7 @@
+(** Curated [.japi] model of the Eclipse 2.1 platform core: runtime paths
+    and adaptables, the resources (workspace) API, and the JDT Java model
+    with its AST — the neighborhoods behind the paper's Section 1 parsing
+    example and the [(IWorkspace, IFile)] / [(IFile, String)] rows of
+    Table 1. *)
+
+val sources : (string * string) list

@@ -1,0 +1,185 @@
+(* Additional Eclipse 2.1 breadth: common SWT widgets and the JFace
+   window/dialog/wizard stack. Not on any Table 1 query path; they give the
+   model production-like width (and the Shell neighborhood realistic
+   fan-out). *)
+
+let swt_more_widgets =
+  {|
+package org.eclipse.swt.widgets;
+
+class Button extends Control {
+  Button(org.eclipse.swt.widgets.Composite parent, int style);
+  String getText();
+  void setText(String text);
+  boolean getSelection();
+}
+
+class Label extends Control {
+  Label(org.eclipse.swt.widgets.Composite parent, int style);
+  void setText(String text);
+}
+
+class Text extends Scrollable {
+  Text(org.eclipse.swt.widgets.Composite parent, int style);
+  String getText();
+  void setText(String text);
+}
+
+class Combo extends Composite {
+  Combo(org.eclipse.swt.widgets.Composite parent, int style);
+  String getText();
+  void add(String string);
+  int getSelectionIndex();
+}
+
+class Menu extends Widget {
+  Menu(org.eclipse.swt.widgets.Control parent);
+  Menu(org.eclipse.swt.widgets.Shell parent, int style);
+  org.eclipse.swt.widgets.MenuItem getItem(int index);
+  org.eclipse.swt.widgets.MenuItem[] getItems();
+}
+
+class MenuItem extends Item {
+  MenuItem(org.eclipse.swt.widgets.Menu parent, int style);
+  org.eclipse.swt.widgets.Menu getMenu();
+}
+
+class ToolBar extends Composite {
+  ToolBar(org.eclipse.swt.widgets.Composite parent, int style);
+  org.eclipse.swt.widgets.ToolItem[] getItems();
+}
+
+class ToolItem extends Item {
+  ToolItem(org.eclipse.swt.widgets.ToolBar parent, int style);
+}
+
+class Tree extends Composite {
+  Tree(org.eclipse.swt.widgets.Composite parent, int style);
+  org.eclipse.swt.widgets.TreeItem[] getItems();
+  int getItemCount();
+}
+
+class TreeItem extends Item {
+  TreeItem(org.eclipse.swt.widgets.Tree parent, int style);
+  org.eclipse.swt.widgets.TreeItem[] getItems();
+}
+
+class Group extends Composite {
+  Group(org.eclipse.swt.widgets.Composite parent, int style);
+  void setText(String text);
+}
+
+class TabFolder extends Composite {
+  TabFolder(org.eclipse.swt.widgets.Composite parent, int style);
+  org.eclipse.swt.widgets.TabItem[] getItems();
+}
+
+class TabItem extends Item {
+  TabItem(org.eclipse.swt.widgets.TabFolder parent, int style);
+  org.eclipse.swt.widgets.Control getControl();
+  void setControl(org.eclipse.swt.widgets.Control control);
+}
+|}
+
+let jface_window =
+  {|
+package org.eclipse.jface.window;
+
+abstract class Window {
+  int open();
+  boolean close();
+  org.eclipse.swt.widgets.Shell getShell();
+}
+
+class ApplicationWindow extends Window {
+  ApplicationWindow(org.eclipse.swt.widgets.Shell parentShell);
+}
+|}
+
+let jface_dialogs =
+  {|
+package org.eclipse.jface.dialogs;
+
+abstract class Dialog extends org.eclipse.jface.window.Window {
+  protected org.eclipse.swt.widgets.Control createDialogArea(org.eclipse.swt.widgets.Composite parent);
+}
+
+class MessageDialog extends Dialog {
+  MessageDialog(org.eclipse.swt.widgets.Shell parentShell, String dialogTitle, org.eclipse.swt.graphics.Image dialogTitleImage, String dialogMessage, int dialogImageType, String[] dialogButtonLabels, int defaultIndex);
+  static boolean openConfirm(org.eclipse.swt.widgets.Shell parent, String title, String message);
+  static void openInformation(org.eclipse.swt.widgets.Shell parent, String title, String message);
+  static boolean openQuestion(org.eclipse.swt.widgets.Shell parent, String title, String message);
+}
+
+class InputDialog extends Dialog {
+  InputDialog(org.eclipse.swt.widgets.Shell parentShell, String dialogTitle, String dialogMessage, String initialValue, org.eclipse.jface.dialogs.IInputValidator validator);
+  String getValue();
+}
+
+interface IInputValidator {
+  String isValid(String newText);
+}
+
+class TitleAreaDialog extends Dialog {
+  TitleAreaDialog(org.eclipse.swt.widgets.Shell parentShell);
+  void setTitle(String newTitle);
+}
+
+class ProgressMonitorDialog extends Dialog {
+  ProgressMonitorDialog(org.eclipse.swt.widgets.Shell parent);
+  org.eclipse.core.runtime.IProgressMonitor getProgressMonitor();
+}
+|}
+
+let jface_wizard =
+  {|
+package org.eclipse.jface.wizard;
+
+interface IWizard {
+  void addPages();
+  boolean performFinish();
+  org.eclipse.jface.wizard.IWizardPage[] getPages();
+}
+
+abstract class Wizard implements IWizard {
+  void addPage(org.eclipse.jface.wizard.IWizardPage page);
+  org.eclipse.swt.widgets.Shell getShell();
+}
+
+interface IWizardPage {
+  String getName();
+  org.eclipse.swt.widgets.Control getControl();
+  org.eclipse.jface.wizard.IWizard getWizard();
+}
+
+abstract class WizardPage implements IWizardPage {
+  void setTitle(String title);
+  void setDescription(String description);
+}
+
+class WizardDialog extends org.eclipse.jface.dialogs.Dialog {
+  WizardDialog(org.eclipse.swt.widgets.Shell parentShell, org.eclipse.jface.wizard.IWizard newWizard);
+}
+|}
+
+let core_jobs =
+  {|
+package org.eclipse.core.runtime.jobs;
+
+abstract class Job {
+  Job(String name);
+  void schedule();
+  boolean cancel();
+  int getState();
+  String getName();
+}
+|}
+
+let sources =
+  [
+    ("org.eclipse.swt.widgets-extra", swt_more_widgets);
+    ("org.eclipse.jface.window", jface_window);
+    ("org.eclipse.jface.dialogs", jface_dialogs);
+    ("org.eclipse.jface.wizard", jface_wizard);
+    ("org.eclipse.core.runtime.jobs", core_jobs);
+  ]

@@ -1,0 +1,5 @@
+(** Additional Eclipse 2.1 breadth (more SWT widgets, JFace
+    windows/dialogs/wizards, jobs) — off the Table 1 query paths, for
+    production-like graph size. *)
+
+val sources : (string * string) list

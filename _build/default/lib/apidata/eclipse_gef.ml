@@ -1,0 +1,214 @@
+let draw2d =
+  {|
+package org.eclipse.draw2d;
+
+interface IFigure {
+  java.util.List getChildren();
+  org.eclipse.draw2d.IFigure getParent();
+  void add(org.eclipse.draw2d.IFigure figure);
+  void repaint();
+}
+
+class Figure implements IFigure {
+  Figure();
+}
+
+class Layer extends Figure {
+  Layer();
+}
+
+class ConnectionLayer extends Layer {
+  ConnectionLayer();
+  void setConnectionRouter(org.eclipse.draw2d.ConnectionRouter router);
+}
+
+class FreeformLayer extends Layer {
+  FreeformLayer();
+}
+
+interface ConnectionRouter {
+}
+
+class ManhattanConnectionRouter implements ConnectionRouter {
+  ManhattanConnectionRouter();
+}
+
+class FigureCanvas extends org.eclipse.swt.widgets.Canvas {
+  FigureCanvas(org.eclipse.swt.widgets.Composite parent);
+  org.eclipse.draw2d.Viewport getViewport();
+  org.eclipse.draw2d.IFigure getContents();
+  void setContents(org.eclipse.draw2d.IFigure figure);
+}
+
+class Viewport extends Figure {
+  Viewport();
+}
+|}
+
+(* getLayer is protected in the real API: the paper's implementation
+   "supports only public methods", which is exactly why the
+   (AbstractGraphicalEditPart, ConnectionLayer) query fails. *)
+let gef =
+  {|
+package org.eclipse.gef;
+
+interface EditPartViewer {
+  org.eclipse.swt.widgets.Control getControl();
+  java.util.Map getEditPartRegistry();
+  org.eclipse.gef.EditPart getContents();
+  void setContents(Object contents);
+}
+
+interface GraphicalViewer extends EditPartViewer {
+}
+
+interface EditPart {
+  java.util.List getChildren();
+  org.eclipse.gef.EditPart getParent();
+  Object getModel();
+  org.eclipse.gef.EditPartViewer getViewer();
+}
+
+class LayerConstants {
+  static String CONNECTION_LAYER;
+  static String PRIMARY_LAYER;
+}
+|}
+
+let gef_ui =
+  {|
+package org.eclipse.gef.ui.parts;
+
+class ScrollingGraphicalViewer implements org.eclipse.gef.GraphicalViewer {
+  ScrollingGraphicalViewer();
+}
+|}
+
+let gef_editparts =
+  {|
+package org.eclipse.gef.editparts;
+
+abstract class AbstractEditPart implements org.eclipse.gef.EditPart {
+}
+
+abstract class AbstractGraphicalEditPart extends AbstractEditPart {
+  org.eclipse.draw2d.IFigure getFigure();
+  protected org.eclipse.draw2d.IFigure getLayer(Object key);
+}
+|}
+
+let debug_core =
+  {|
+package org.eclipse.debug.core;
+
+class DebugPlugin {
+  static org.eclipse.debug.core.DebugPlugin getDefault();
+  org.eclipse.debug.core.ILaunchManager getLaunchManager();
+}
+
+interface ILaunchManager {
+  org.eclipse.debug.core.ILaunch[] getLaunches();
+  org.eclipse.debug.core.ILaunchConfiguration[] getLaunchConfigurations();
+  org.eclipse.debug.core.ILaunchConfigurationType getLaunchConfigurationType(String id);
+}
+
+interface ILaunchConfigurationType {
+  org.eclipse.debug.core.ILaunchConfigurationWorkingCopy newInstance(org.eclipse.core.resources.IContainer container, String name);
+  String getName();
+}
+
+interface ILaunchConfiguration {
+  String getName();
+  org.eclipse.debug.core.ILaunchConfigurationWorkingCopy getWorkingCopy();
+  org.eclipse.debug.core.ILaunch launch(String mode, org.eclipse.core.runtime.IProgressMonitor monitor);
+  String getAttribute(String attributeName, String defaultValue);
+}
+
+interface ILaunchConfigurationWorkingCopy extends ILaunchConfiguration {
+  org.eclipse.debug.core.ILaunchConfiguration doSave();
+  void setAttribute(String attributeName, String value);
+}
+
+interface ILaunch {
+  org.eclipse.debug.core.IProcess[] getProcesses();
+  org.eclipse.debug.core.ILaunchConfiguration getLaunchConfiguration();
+  boolean isTerminated();
+}
+
+interface IProcess {
+  String getLabel();
+  org.eclipse.debug.core.ILaunch getLaunch();
+  int getExitValue();
+}
+|}
+
+let console =
+  {|
+package org.eclipse.ui.console;
+
+class ConsolePlugin {
+  static org.eclipse.ui.console.ConsolePlugin getDefault();
+  org.eclipse.ui.console.IConsoleManager getConsoleManager();
+}
+
+interface IConsoleManager {
+  org.eclipse.ui.console.IConsole[] getConsoles();
+  void addConsoles(org.eclipse.ui.console.IConsole[] consoles);
+  void showConsoleView(org.eclipse.ui.console.IConsole console);
+}
+
+interface IConsole {
+  String getName();
+}
+
+class MessageConsole implements IConsole {
+  MessageConsole(String name, org.eclipse.jface.resource.ImageDescriptor imageDescriptor);
+  org.eclipse.ui.console.MessageConsoleStream newMessageStream();
+}
+
+class MessageConsoleStream {
+  void println(String message);
+  void print(String message);
+}
+|}
+
+let debug_ui =
+  {|
+package org.eclipse.debug.ui;
+
+interface IDebugView extends org.eclipse.core.runtime.IAdaptable {
+  org.eclipse.jface.viewers.Viewer getViewer();
+}
+|}
+
+let jdi_debug =
+  {|
+package org.eclipse.jdt.internal.debug.ui;
+
+class JDIDebugUIPlugin {
+  static org.eclipse.ui.IWorkbenchPage getActivePage();
+  static org.eclipse.swt.widgets.Shell getActiveWorkbenchShell();
+}
+|}
+
+let jdt_debug_display =
+  {|
+package org.eclipse.jdt.internal.debug.ui.display;
+
+class JavaInspectExpression {
+  String getExpressionText();
+}
+|}
+
+let sources =
+  [
+    ("org.eclipse.draw2d", draw2d);
+    ("org.eclipse.gef", gef);
+    ("org.eclipse.gef.ui.parts", gef_ui);
+    ("org.eclipse.gef.editparts", gef_editparts);
+    ("org.eclipse.debug.core", debug_core);
+    ("org.eclipse.ui.console", console);
+    ("org.eclipse.debug.ui", debug_ui);
+    ("org.eclipse.jdt.internal.debug.ui", jdi_debug);
+    ("org.eclipse.jdt.internal.debug.ui.display", jdt_debug_display);
+  ]

@@ -1,0 +1,6 @@
+(** Curated [.japi] model of GEF/Draw2D and the debug UI: the neighborhoods
+    behind the [(ScrollingGraphicalViewer, FigureCanvas)] and
+    [(AbstractGraphicalEditPart, ConnectionLayer)] rows of Table 1 and the
+    Figure 2/4 debugger-selection mining example. *)
+
+val sources : (string * string) list

@@ -1,0 +1,459 @@
+let swt_widgets =
+  {|
+package org.eclipse.swt.widgets;
+
+abstract class Widget {
+  org.eclipse.swt.widgets.Display getDisplay();
+  void dispose();
+  boolean isDisposed();
+  Object getData();
+  void setData(Object data);
+}
+
+abstract class Item extends Widget {
+  String getText();
+  void setText(String text);
+}
+
+abstract class Control extends Widget {
+  org.eclipse.swt.widgets.Shell getShell();
+  org.eclipse.swt.widgets.Composite getParent();
+  void setVisible(boolean visible);
+  boolean setFocus();
+  void redraw();
+}
+
+abstract class Scrollable extends Control {
+}
+
+class Composite extends Scrollable {
+  Composite(org.eclipse.swt.widgets.Composite parent, int style);
+  org.eclipse.swt.widgets.Control[] getChildren();
+  void layout();
+}
+
+class Canvas extends Composite {
+  Canvas(org.eclipse.swt.widgets.Composite parent, int style);
+}
+
+class Decorations extends Canvas {
+  String getText();
+}
+
+class Shell extends Decorations {
+  Shell(org.eclipse.swt.widgets.Display display);
+  Shell(org.eclipse.swt.widgets.Shell parent);
+  void open();
+  void close();
+  void pack();
+}
+
+class Display {
+  Display();
+  static org.eclipse.swt.widgets.Display getDefault();
+  static org.eclipse.swt.widgets.Display getCurrent();
+  org.eclipse.swt.widgets.Shell getActiveShell();
+  org.eclipse.swt.widgets.Shell[] getShells();
+  void dispose();
+}
+
+class Table extends Composite {
+  Table(org.eclipse.swt.widgets.Composite parent, int style);
+  org.eclipse.swt.widgets.TableColumn getColumn(int index);
+  org.eclipse.swt.widgets.TableColumn[] getColumns();
+  org.eclipse.swt.widgets.TableItem getItem(int index);
+  org.eclipse.swt.widgets.TableItem[] getItems();
+  int getItemCount();
+}
+
+class TableColumn extends Item {
+  TableColumn(org.eclipse.swt.widgets.Table parent, int style);
+  int getWidth();
+  void setWidth(int width);
+}
+
+class TableItem extends Item {
+  TableItem(org.eclipse.swt.widgets.Table parent, int style);
+}
+
+class MessageBox {
+  MessageBox(org.eclipse.swt.widgets.Shell parent, int style);
+  int open();
+  void setMessage(String message);
+  void setText(String text);
+}
+|}
+
+let swt_events =
+  {|
+package org.eclipse.swt.events;
+
+class TypedEvent extends java.util.EventObject {
+  org.eclipse.swt.widgets.Widget widget;
+  org.eclipse.swt.widgets.Display display;
+  int time;
+}
+
+class KeyEvent extends TypedEvent {
+  char character;
+  int keyCode;
+  int stateMask;
+}
+
+class MouseEvent extends TypedEvent {
+  int button;
+  int x;
+  int y;
+}
+|}
+
+let swt_graphics =
+  {|
+package org.eclipse.swt.graphics;
+
+class Image {
+  Image(org.eclipse.swt.widgets.Display display, String filename);
+  Image(org.eclipse.swt.widgets.Display display, java.io.InputStream stream);
+  org.eclipse.swt.graphics.Rectangle getBounds();
+  void dispose();
+}
+
+class Rectangle {
+  Rectangle(int x, int y, int width, int height);
+  int width;
+  int height;
+}
+|}
+
+let jface_viewers =
+  {|
+package org.eclipse.jface.viewers;
+
+abstract class Viewer {
+  org.eclipse.swt.widgets.Control getControl();
+  Object getInput();
+  void setInput(Object input);
+  org.eclipse.jface.viewers.ISelection getSelection();
+  void refresh();
+}
+
+abstract class ContentViewer extends Viewer {
+}
+
+abstract class StructuredViewer extends ContentViewer {
+  void addSelectionChangedListener(org.eclipse.jface.viewers.ISelectionChangedListener listener);
+}
+
+class TableViewer extends StructuredViewer {
+  TableViewer(org.eclipse.swt.widgets.Composite parent);
+  TableViewer(org.eclipse.swt.widgets.Table table);
+  org.eclipse.swt.widgets.Table getTable();
+}
+
+class TreeViewer extends StructuredViewer {
+  TreeViewer(org.eclipse.swt.widgets.Composite parent);
+}
+
+interface ISelection {
+  boolean isEmpty();
+}
+
+interface IStructuredSelection extends ISelection {
+  Object getFirstElement();
+  int size();
+  java.util.List toList();
+  java.util.Iterator iterator();
+}
+
+class StructuredSelection implements IStructuredSelection {
+  StructuredSelection(Object element);
+  StructuredSelection(java.util.List elements);
+}
+
+interface ISelectionProvider {
+  org.eclipse.jface.viewers.ISelection getSelection();
+  void addSelectionChangedListener(org.eclipse.jface.viewers.ISelectionChangedListener listener);
+}
+
+interface ISelectionChangedListener {
+  void selectionChanged(org.eclipse.jface.viewers.SelectionChangedEvent event);
+}
+
+class SelectionChangedEvent extends java.util.EventObject {
+  SelectionChangedEvent(org.eclipse.jface.viewers.ISelectionProvider source, org.eclipse.jface.viewers.ISelection selection);
+  org.eclipse.jface.viewers.ISelection getSelection();
+  org.eclipse.jface.viewers.ISelectionProvider getSelectionProvider();
+}
+|}
+
+let jface_resource =
+  {|
+package org.eclipse.jface.resource;
+
+class ImageRegistry {
+  ImageRegistry();
+  org.eclipse.swt.graphics.Image get(String key);
+  org.eclipse.jface.resource.ImageDescriptor getDescriptor(String key);
+  void put(String key, org.eclipse.jface.resource.ImageDescriptor descriptor);
+}
+
+abstract class ImageDescriptor {
+  static org.eclipse.jface.resource.ImageDescriptor createFromImage(org.eclipse.swt.graphics.Image img);
+  static org.eclipse.jface.resource.ImageDescriptor createFromURL(java.net.URL url);
+  static org.eclipse.jface.resource.ImageDescriptor createFromFile(Class location, String filename);
+  org.eclipse.swt.graphics.Image createImage();
+}
+
+class JFaceResources {
+  static org.eclipse.jface.resource.ImageRegistry getImageRegistry();
+  static String getString(String key);
+}
+|}
+
+(* Liberty: the real IActionBars.getMenuManager() returns the IMenuManager
+   interface; we return the concrete MenuManager so that Table 1's
+   (IViewPart, MenuManager) query matches the paper's row as written. *)
+let jface_action =
+  {|
+package org.eclipse.jface.action;
+
+class MenuManager {
+  MenuManager();
+  MenuManager(String text);
+  void add(org.eclipse.jface.action.IAction action);
+  void update(boolean force);
+}
+
+class ToolBarManager {
+  ToolBarManager();
+  void add(org.eclipse.jface.action.IAction action);
+}
+
+class StatusLineManager {
+  StatusLineManager();
+  void setMessage(String message);
+}
+
+interface IAction {
+  void run();
+  String getText();
+  void setText(String text);
+}
+|}
+
+let workbench =
+  {|
+package org.eclipse.ui;
+
+interface IWorkbench {
+  org.eclipse.ui.IWorkbenchWindow getActiveWorkbenchWindow();
+  org.eclipse.ui.IWorkbenchWindow[] getWorkbenchWindows();
+  org.eclipse.swt.widgets.Display getDisplay();
+  org.eclipse.ui.ISharedImages getSharedImages();
+  boolean close();
+}
+
+class PlatformUI {
+  static org.eclipse.ui.IWorkbench getWorkbench();
+}
+
+interface IWorkbenchWindow {
+  org.eclipse.ui.IWorkbenchPage getActivePage();
+  org.eclipse.ui.IWorkbenchPage[] getPages();
+  org.eclipse.swt.widgets.Shell getShell();
+  org.eclipse.ui.IWorkbench getWorkbench();
+  org.eclipse.ui.ISelectionService getSelectionService();
+  org.eclipse.ui.IPartService getPartService();
+}
+
+interface IWorkbenchPage {
+  org.eclipse.ui.IEditorPart getActiveEditor();
+  org.eclipse.ui.IWorkbenchPart getActivePart();
+  org.eclipse.jface.viewers.ISelection getSelection();
+  org.eclipse.jface.viewers.ISelection getSelection(String partId);
+  org.eclipse.ui.IViewPart findView(String viewId);
+  org.eclipse.ui.IViewPart showView(String viewId);
+  org.eclipse.ui.IEditorReference[] getEditorReferences();
+  org.eclipse.ui.IViewReference[] getViewReferences();
+  org.eclipse.ui.IWorkbenchWindow getWorkbenchWindow();
+  boolean closeEditor(org.eclipse.ui.IEditorPart editor, boolean save);
+}
+
+interface IWorkbenchSite extends org.eclipse.core.runtime.IAdaptable {
+  org.eclipse.ui.IWorkbenchPage getPage();
+  org.eclipse.swt.widgets.Shell getShell();
+  org.eclipse.ui.IWorkbenchWindow getWorkbenchWindow();
+  org.eclipse.jface.viewers.ISelectionProvider getSelectionProvider();
+}
+
+interface IWorkbenchPartSite extends IWorkbenchSite {
+  String getId();
+  String getPluginId();
+}
+
+interface IWorkbenchPart extends org.eclipse.core.runtime.IAdaptable {
+  org.eclipse.ui.IWorkbenchPartSite getSite();
+  String getTitle();
+  void setFocus();
+}
+
+interface IEditorPart extends IWorkbenchPart {
+  org.eclipse.ui.IEditorInput getEditorInput();
+  org.eclipse.ui.IEditorSite getEditorSite();
+  boolean isDirty();
+  void doSave(org.eclipse.core.runtime.IProgressMonitor monitor);
+}
+
+interface IEditorSite extends IWorkbenchPartSite {
+  org.eclipse.ui.IActionBars getActionBars();
+}
+
+interface IViewPart extends IWorkbenchPart {
+  org.eclipse.ui.IViewSite getViewSite();
+}
+
+interface IViewSite extends IWorkbenchPartSite {
+  org.eclipse.ui.IActionBars getActionBars();
+}
+
+interface IActionBars {
+  org.eclipse.jface.action.MenuManager getMenuManager();
+  org.eclipse.jface.action.ToolBarManager getToolBarManager();
+  org.eclipse.jface.action.StatusLineManager getStatusLineManager();
+}
+
+interface IEditorInput extends org.eclipse.core.runtime.IAdaptable {
+  String getName();
+  boolean exists();
+  String getToolTipText();
+}
+
+interface IFileEditorInput extends IEditorInput {
+  org.eclipse.core.resources.IFile getFile();
+}
+
+class FileEditorInput implements IFileEditorInput {
+  FileEditorInput(org.eclipse.core.resources.IFile file);
+}
+
+interface ISelectionService {
+  org.eclipse.jface.viewers.ISelection getSelection();
+  org.eclipse.jface.viewers.ISelection getSelection(String partId);
+}
+
+interface IPartService {
+  org.eclipse.ui.IWorkbenchPart getActivePart();
+}
+
+interface IEditorReference {
+  org.eclipse.ui.IEditorPart getEditor(boolean restore);
+  String getTitle();
+}
+
+interface IViewReference {
+  org.eclipse.ui.IViewPart getView(boolean restore);
+}
+
+interface ISharedImages {
+  org.eclipse.swt.graphics.Image getImage(String symbolicName);
+  org.eclipse.jface.resource.ImageDescriptor getImageDescriptor(String symbolicName);
+}
+|}
+
+let workbench_part =
+  {|
+package org.eclipse.ui.part;
+
+abstract class WorkbenchPart implements org.eclipse.ui.IWorkbenchPart {
+}
+
+abstract class EditorPart extends WorkbenchPart implements org.eclipse.ui.IEditorPart {
+}
+
+abstract class ViewPart extends WorkbenchPart implements org.eclipse.ui.IViewPart {
+}
+|}
+
+(* XMLEditor is the Section 3.2 anecdote: a too-specific editor subclass
+   whose jungloids should rank below ones returning IEditorPart itself. *)
+let editors =
+  {|
+package org.eclipse.ui.editors.xml;
+
+class XMLEditor extends org.eclipse.ui.part.EditorPart {
+  XMLEditor(org.eclipse.swt.widgets.Composite parent);
+}
+|}
+
+let texteditor =
+  {|
+package org.eclipse.ui.texteditor;
+
+interface ITextEditor extends org.eclipse.ui.IEditorPart {
+  org.eclipse.ui.texteditor.IDocumentProvider getDocumentProvider();
+  void close(boolean save);
+}
+
+interface IDocumentProvider {
+  org.eclipse.jface.text.IDocument getDocument(Object element);
+  void connect(Object element);
+}
+
+class DocumentProviderRegistry {
+  static org.eclipse.ui.texteditor.DocumentProviderRegistry getDefault();
+  org.eclipse.ui.texteditor.IDocumentProvider getDocumentProvider(org.eclipse.ui.IEditorInput input);
+  org.eclipse.ui.texteditor.IDocumentProvider getDocumentProvider(String extension);
+}
+|}
+
+let jface_text =
+  {|
+package org.eclipse.jface.text;
+
+interface IDocument {
+  String get();
+  int getLength();
+  void set(String text);
+}
+
+class Document implements IDocument {
+  Document(String initialContent);
+}
+|}
+
+let ui_plugin =
+  {|
+package org.eclipse.ui.plugin;
+
+abstract class AbstractUIPlugin {
+  org.eclipse.jface.resource.ImageRegistry getImageRegistry();
+  org.eclipse.jface.preference.IPreferenceStore getPreferenceStore();
+}
+|}
+
+let jface_preference =
+  {|
+package org.eclipse.jface.preference;
+
+interface IPreferenceStore {
+  String getString(String name);
+  boolean getBoolean(String name);
+}
+|}
+
+let sources =
+  [
+    ("org.eclipse.swt.widgets", swt_widgets);
+    ("org.eclipse.swt.events", swt_events);
+    ("org.eclipse.swt.graphics", swt_graphics);
+    ("org.eclipse.jface.viewers", jface_viewers);
+    ("org.eclipse.jface.resource", jface_resource);
+    ("org.eclipse.jface.action", jface_action);
+    ("org.eclipse.ui", workbench);
+    ("org.eclipse.ui.part", workbench_part);
+    ("org.eclipse.ui.editors.xml", editors);
+    ("org.eclipse.ui.texteditor", texteditor);
+    ("org.eclipse.jface.text", jface_text);
+    ("org.eclipse.ui.plugin", ui_plugin);
+    ("org.eclipse.jface.preference", jface_preference);
+  ]

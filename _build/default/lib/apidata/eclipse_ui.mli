@@ -1,0 +1,6 @@
+(** Curated [.japi] model of the Eclipse 2.1 UI stack: SWT widgets and
+    events, JFace viewers / resources / actions, the workbench
+    ([org.eclipse.ui]), and the text-editor framework — the neighborhoods
+    behind most Table 1 rows and the FAQ 270 worked example. *)
+
+val sources : (string * string) list

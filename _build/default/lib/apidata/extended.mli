@@ -1,0 +1,29 @@
+(** An extended evaluation set beyond the paper's Table 1: eighteen more
+    programming problems in the same style (javaalmanac / Eclipse FAQ
+    flavor) over the broadened API model. The paper has no reference ranks
+    for these; each row instead carries the bound its desired solution must
+    rank within, asserted by tests and reported by the bench harness. *)
+
+type t = {
+  id : int;
+  description : string;
+  tin : string;
+  tout : string;
+  max_rank : int;  (** the desired solution must appear at or above this *)
+  settings : Prospector.Query.settings;  (** some rows need extra slack *)
+  is_desired : Prospector.Query.result -> bool;
+}
+
+val all : t list
+
+type measured = {
+  problem : t;
+  rank : int option;
+  time_s : float;
+}
+
+val run_all :
+  graph:Prospector.Graph.t -> hierarchy:Javamodel.Hierarchy.t -> unit -> measured list
+
+val ok : measured -> bool
+(** Desired solution found within the row's [max_rank]. *)

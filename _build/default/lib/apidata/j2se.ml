@@ -1,0 +1,474 @@
+(* The J2SE 1.4 subset. Modeling notes:
+   - java.nio.channels.FileChannel.MapMode is a real Java inner class; the
+     dotted name parses as a class MapMode in "package"
+     java.nio.channels.FileChannel, which is exactly how the loader treats
+     inner classes.
+   - Object declares toString(), so every reference type reaches String in
+     one step — this is what pushes the desired (IFile, String) answer down
+     the ranking, as in the paper's Table 1 (rank 4). *)
+
+let java_lang =
+  {|
+package java.lang;
+
+class Object {
+  String toString();
+  boolean equals(Object other);
+  int hashCode();
+  Class getClass();
+}
+
+class Class {
+  String getName();
+  Class getSuperclass();
+  ClassLoader getClassLoader();
+}
+
+class ClassLoader {
+  Class loadClass(String name);
+  java.io.InputStream getResourceAsStream(String name);
+  java.net.URL getResource(String name);
+}
+
+class String {
+  String(char[] value);
+  int length();
+  char charAt(int index);
+  String substring(int begin, int end);
+  String trim();
+  String toLowerCase();
+  String toUpperCase();
+  char[] toCharArray();
+  byte[] getBytes();
+  static String valueOf(Object obj);
+  boolean startsWith(String prefix);
+  boolean endsWith(String suffix);
+  int indexOf(String needle);
+}
+
+class StringBuffer {
+  StringBuffer();
+  StringBuffer(String str);
+  StringBuffer append(String str);
+  int length();
+}
+
+class System {
+  static java.io.PrintStream out;
+  static java.io.PrintStream err;
+  static String getProperty(String key);
+  static long currentTimeMillis();
+}
+
+class Thread {
+  Thread();
+  Thread(Runnable target);
+  void start();
+  static Thread currentThread();
+  ClassLoader getContextClassLoader();
+}
+
+interface Runnable {
+  void run();
+}
+
+interface Comparable {
+  int compareTo(Object other);
+}
+
+class Throwable {
+  String getMessage();
+  Throwable getCause();
+  void printStackTrace();
+}
+
+class Exception extends Throwable {
+  Exception();
+  Exception(String message);
+}
+
+class RuntimeException extends Exception {
+  RuntimeException(String message);
+}
+
+class Integer {
+  Integer(int value);
+  static Integer valueOf(String s);
+  static int parseInt(String s);
+  int intValue();
+}
+
+class Boolean {
+  Boolean(boolean value);
+  static Boolean valueOf(String s);
+  boolean booleanValue();
+}
+|}
+
+let java_io =
+  {|
+package java.io;
+
+abstract class InputStream {
+  int read();
+  int available();
+  void close();
+}
+
+abstract class OutputStream {
+  void write(int b);
+  void flush();
+  void close();
+}
+
+abstract class Reader {
+  int read();
+  void close();
+  boolean ready();
+}
+
+abstract class Writer {
+  void write(String str);
+  void flush();
+  void close();
+}
+
+class InputStreamReader extends Reader {
+  InputStreamReader(java.io.InputStream in);
+  InputStreamReader(java.io.InputStream in, String charsetName);
+  String getEncoding();
+}
+
+class FileReader extends InputStreamReader {
+  FileReader(String fileName);
+  FileReader(java.io.File file);
+}
+
+class StringReader extends Reader {
+  StringReader(String s);
+}
+
+class BufferedReader extends Reader {
+  BufferedReader(java.io.Reader in);
+  BufferedReader(java.io.Reader in, int size);
+  String readLine();
+}
+
+class LineNumberReader extends BufferedReader {
+  LineNumberReader(java.io.Reader in);
+  int getLineNumber();
+}
+
+class FileInputStream extends InputStream {
+  FileInputStream(String name);
+  FileInputStream(java.io.File file);
+  java.nio.channels.FileChannel getChannel();
+}
+
+class FileOutputStream extends OutputStream {
+  FileOutputStream(String name);
+  FileOutputStream(java.io.File file);
+  java.nio.channels.FileChannel getChannel();
+}
+
+class BufferedInputStream extends InputStream {
+  BufferedInputStream(java.io.InputStream in);
+}
+
+class ByteArrayInputStream extends InputStream {
+  ByteArrayInputStream(byte[] buf);
+}
+
+class File {
+  File(String pathname);
+  File(java.io.File parent, String child);
+  String getName();
+  String getPath();
+  String getAbsolutePath();
+  java.io.File getParentFile();
+  java.net.URL toURL();
+  boolean exists();
+  boolean isDirectory();
+  java.io.File[] listFiles();
+}
+
+class RandomAccessFile {
+  RandomAccessFile(String name, String mode);
+  RandomAccessFile(java.io.File file, String mode);
+  java.nio.channels.FileChannel getChannel();
+  String readLine();
+  void close();
+}
+
+class PrintStream extends OutputStream {
+  PrintStream(java.io.OutputStream out);
+  void println(String s);
+}
+
+class PrintWriter extends Writer {
+  PrintWriter(java.io.Writer out);
+  PrintWriter(java.io.OutputStream out);
+  void println(String s);
+}
+
+class IOException extends java.lang.Exception {
+  IOException(String message);
+}
+|}
+
+let java_nio =
+  {|
+package java.nio;
+
+abstract class Buffer {
+  int capacity();
+  int position();
+  int limit();
+}
+
+abstract class ByteBuffer extends Buffer {
+  static java.nio.ByteBuffer allocate(int capacity);
+  static java.nio.ByteBuffer wrap(byte[] array);
+  byte[] array();
+  java.nio.CharBuffer asCharBuffer();
+}
+
+abstract class MappedByteBuffer extends ByteBuffer {
+  java.nio.MappedByteBuffer load();
+  boolean isLoaded();
+}
+
+abstract class CharBuffer extends Buffer {
+}
+|}
+
+let java_nio_channels =
+  {|
+package java.nio.channels;
+
+interface Channel {
+  boolean isOpen();
+  void close();
+}
+
+abstract class FileChannel implements Channel {
+  java.nio.MappedByteBuffer map(java.nio.channels.FileChannel.MapMode mode, long position, long size);
+  long size();
+}
+|}
+
+(* FileChannel.MapMode, modeled as the inner class it is. *)
+let java_nio_channels_filechannel =
+  {|
+package java.nio.channels.FileChannel;
+
+class MapMode {
+  static java.nio.channels.FileChannel.MapMode READ_ONLY;
+  static java.nio.channels.FileChannel.MapMode READ_WRITE;
+}
+|}
+
+let java_util =
+  {|
+package java.util;
+
+interface Iterator {
+  boolean hasNext();
+  Object next();
+  void remove();
+}
+
+interface Enumeration {
+  boolean hasMoreElements();
+  Object nextElement();
+}
+
+interface Collection {
+  int size();
+  boolean isEmpty();
+  java.util.Iterator iterator();
+  Object[] toArray();
+  boolean add(Object o);
+  boolean contains(Object o);
+}
+
+interface Set extends Collection {
+}
+
+interface List extends Collection {
+  Object get(int index);
+  java.util.ListIterator listIterator();
+  int indexOf(Object o);
+}
+
+interface ListIterator extends Iterator {
+  boolean hasPrevious();
+  Object previous();
+}
+
+interface Map {
+  Object get(Object key);
+  Object put(Object key, Object value);
+  java.util.Set keySet();
+  java.util.Collection values();
+  java.util.Set entrySet();
+  int size();
+  boolean containsKey(Object key);
+}
+
+class ArrayList implements List {
+  ArrayList();
+  ArrayList(java.util.Collection c);
+}
+
+class LinkedList implements List {
+  LinkedList();
+  LinkedList(java.util.Collection c);
+}
+
+class HashSet implements Set {
+  HashSet();
+  HashSet(java.util.Collection c);
+}
+
+class HashMap implements Map {
+  HashMap();
+  HashMap(java.util.Map m);
+}
+
+class Hashtable implements Map {
+  Hashtable();
+  java.util.Enumeration elements();
+  java.util.Enumeration keys();
+}
+
+class Vector implements List {
+  Vector();
+  java.util.Enumeration elements();
+  Object elementAt(int index);
+}
+
+class Collections {
+  static java.util.ArrayList list(java.util.Enumeration e);
+  static java.util.Enumeration enumeration(java.util.Collection c);
+  static java.util.List unmodifiableList(java.util.List list);
+  static java.util.Set unmodifiableSet(java.util.Set set);
+}
+
+class Arrays {
+  static java.util.List asList(Object[] a);
+}
+
+class Properties extends Hashtable {
+  Properties();
+  String getProperty(String key);
+  java.util.Enumeration propertyNames();
+}
+
+class StringTokenizer implements Enumeration {
+  StringTokenizer(String str);
+  StringTokenizer(String str, String delim);
+  boolean hasMoreTokens();
+  String nextToken();
+}
+
+class EventObject {
+  EventObject(Object source);
+  Object getSource();
+}
+|}
+
+let java_net =
+  {|
+package java.net;
+
+class URL {
+  URL(String spec);
+  URL(java.net.URL context, String spec);
+  java.io.InputStream openStream();
+  java.net.URLConnection openConnection();
+  Object getContent();
+  String getHost();
+  String getFile();
+  String toExternalForm();
+}
+
+class URLConnection {
+  java.io.InputStream getInputStream();
+  Object getContent();
+  int getContentLength();
+  String getContentType();
+}
+
+class URI {
+  URI(String str);
+  java.net.URL toURL();
+  String getPath();
+}
+|}
+
+let java_applet =
+  {|
+package java.applet;
+
+class Applet {
+  static java.applet.AudioClip newAudioClip(java.net.URL url);
+}
+
+interface AudioClip {
+  void play();
+  void loop();
+  void stop();
+}
+|}
+
+(* Third-party classes present in the paper's anecdotes: the HTMLParser
+   distractor of Section 3.2 and the commons-collections Enumeration
+   wrapper that makes Problem 1 solvable by reuse.
+   Liberty: the real HTMLParser.getReader() returns Reader; we declare
+   BufferedReader so the jungloid is a (FileInputStream, BufferedReader)
+   solution exactly as the paper lists it. *)
+let third_party =
+  {|
+package org.apache.lucene.demo.html;
+
+class HTMLParser {
+  HTMLParser(java.io.InputStream in);
+  java.io.BufferedReader getReader();
+  String getTitle();
+}
+|}
+
+let commons_collections =
+  {|
+package org.apache.commons.collections.iterators;
+
+class EnumerationIterator implements java.util.Iterator {
+  EnumerationIterator(java.util.Enumeration e);
+}
+|}
+
+let commons_collections_utils =
+  {|
+package org.apache.commons.collections;
+
+class IteratorUtils {
+  static java.util.Iterator asIterator(java.util.Enumeration e);
+  static java.util.Enumeration asEnumeration(java.util.Iterator i);
+}
+|}
+
+let sources =
+  [
+    ("java.lang", java_lang);
+    ("java.io", java_io);
+    ("java.nio", java_nio);
+    ("java.nio.channels", java_nio_channels);
+    ("java.nio.channels.FileChannel", java_nio_channels_filechannel);
+    ("java.util", java_util);
+    ("java.net", java_net);
+    ("java.applet", java_applet);
+    ("lucene", third_party);
+    ("commons-iterators", commons_collections);
+    ("commons-utils", commons_collections_utils);
+  ]

@@ -1,0 +1,7 @@
+(** Curated [.japi] model of the J2SE neighborhoods exercised by the paper's
+    evaluation: [java.lang], [java.io], [java.util], [java.nio], [java.net],
+    and [java.applet]. Signatures follow J2SE 1.4 (the paper predates
+    generics); a handful of simplifications are noted inline. *)
+
+val sources : (string * string) list
+(** [(pseudo-file name, japi text)] pairs for {!Japi.Loader.load_files}. *)

@@ -1,0 +1,174 @@
+(* Additional J2SE 1.4 breadth: realistic neighborhoods that are not on any
+   Table 1 query path, included so the graph has production-like size and
+   fan-out (distractors for the search, grist for the scaling benches). *)
+
+let java_text =
+  {|
+package java.text;
+
+abstract class Format {
+  String format(Object obj);
+  Object parseObject(String source);
+}
+
+abstract class DateFormat extends Format {
+  static java.text.DateFormat getDateInstance();
+  static java.text.DateFormat getTimeInstance();
+  java.util.Date parse(String source);
+  String format(java.util.Date date);
+}
+
+class SimpleDateFormat extends DateFormat {
+  SimpleDateFormat(String pattern);
+  void applyPattern(String pattern);
+}
+
+abstract class NumberFormat extends Format {
+  static java.text.NumberFormat getInstance();
+  static java.text.NumberFormat getCurrencyInstance();
+}
+
+class DecimalFormat extends NumberFormat {
+  DecimalFormat(String pattern);
+}
+
+class MessageFormat extends Format {
+  MessageFormat(String pattern);
+  static String format(String pattern, Object[] arguments);
+}
+
+class Collator {
+  static java.text.Collator getInstance();
+  int compare(String source, String target);
+}
+|}
+
+let java_util_zip =
+  {|
+package java.util.zip;
+
+class ZipFile {
+  ZipFile(String name);
+  ZipFile(java.io.File file);
+  java.util.Enumeration entries();
+  java.util.zip.ZipEntry getEntry(String name);
+  java.io.InputStream getInputStream(java.util.zip.ZipEntry entry);
+  void close();
+}
+
+class ZipEntry {
+  ZipEntry(String name);
+  String getName();
+  long getSize();
+  boolean isDirectory();
+}
+
+class ZipInputStream extends java.io.InputStream {
+  ZipInputStream(java.io.InputStream in);
+  java.util.zip.ZipEntry getNextEntry();
+}
+
+class GZIPInputStream extends java.io.InputStream {
+  GZIPInputStream(java.io.InputStream in);
+}
+
+class Deflater {
+  Deflater();
+  Deflater(int level);
+}
+|}
+
+let java_util_extra =
+  {|
+package java.util;
+
+class Date {
+  Date();
+  Date(long time);
+  long getTime();
+}
+
+class Calendar {
+  static java.util.Calendar getInstance();
+  java.util.Date getTime();
+  void setTime(java.util.Date date);
+}
+
+class GregorianCalendar extends Calendar {
+  GregorianCalendar();
+}
+
+class Random {
+  Random();
+  Random(long seed);
+  int nextInt(int bound);
+}
+
+class TreeMap implements Map {
+  TreeMap();
+  Object firstKey();
+}
+
+class TreeSet implements Set {
+  TreeSet();
+  Object first();
+}
+
+class Stack extends Vector {
+  Stack();
+  Object push(Object item);
+  Object pop();
+  Object peek();
+}
+
+class BitSet {
+  BitSet(int nbits);
+  void set(int bitIndex);
+  boolean get(int bitIndex);
+}
+
+class Observable {
+  void addObserver(java.util.Observer o);
+  void notifyObservers(Object arg);
+}
+
+interface Observer {
+  void update(java.util.Observable o, Object arg);
+}
+|}
+
+let java_lang_reflect =
+  {|
+package java.lang.reflect;
+
+class Method {
+  String getName();
+  Class getReturnType();
+  Class[] getParameterTypes();
+  Object invoke(Object obj, Object[] args);
+}
+
+class Field {
+  String getName();
+  Class getType();
+  Object get(Object obj);
+}
+
+class Constructor {
+  Class[] getParameterTypes();
+  Object newInstance(Object[] initargs);
+}
+
+class Modifier {
+  static boolean isPublic(int mod);
+  static boolean isStatic(int mod);
+}
+|}
+
+let sources =
+  [
+    ("java.text", java_text);
+    ("java.util.zip", java_util_zip);
+    ("java.util-extra", java_util_extra);
+    ("java.lang.reflect", java_lang_reflect);
+  ]

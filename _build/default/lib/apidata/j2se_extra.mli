@@ -1,0 +1,5 @@
+(** Additional J2SE 1.4 breadth ([java.text], [java.util.zip], more
+    [java.util], [java.lang.reflect]) — off the Table 1 query paths, for
+    production-like graph size. *)
+
+val sources : (string * string) list

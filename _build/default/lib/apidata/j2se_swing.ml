@@ -1,0 +1,279 @@
+(* AWT and Swing (J2SE 1.4): a standalone GUI family whose model interfaces
+   (TreeModel, TableModel, ListModel) traffic in Object — the downcast-heavy
+   style the paper's mining targets. Every cross-package reference is fully
+   qualified; the simple names Window and Dialog also exist in JFace, where
+   same-package resolution keeps them unambiguous. *)
+
+let java_awt =
+  {|
+package java.awt;
+
+abstract class Component {
+  void setVisible(boolean b);
+  java.awt.Container getParent();
+  int getWidth();
+  int getHeight();
+  void repaint();
+}
+
+class Container extends Component {
+  java.awt.Component add(java.awt.Component comp);
+  java.awt.Component[] getComponents();
+  void removeAll();
+}
+
+class Window extends Container {
+  Window(java.awt.Frame owner);
+  void pack();
+  void dispose();
+  void toFront();
+}
+
+class Frame extends Window {
+  Frame();
+  Frame(String title);
+  String getTitle();
+  void setTitle(String title);
+}
+
+class Dialog extends Window {
+  Dialog(java.awt.Frame owner, String title);
+  boolean isModal();
+}
+
+class Panel extends Container {
+  Panel();
+}
+
+class Toolkit {
+  static java.awt.Toolkit getDefaultToolkit();
+  java.awt.Image getImage(String filename);
+  java.awt.Dimension getScreenSize();
+}
+
+abstract class Image {
+  int getWidth(java.awt.image.ImageObserver observer);
+}
+
+class Dimension {
+  Dimension(int width, int height);
+  int width;
+  int height;
+}
+|}
+
+let java_awt_image =
+  {|
+package java.awt.image;
+
+interface ImageObserver {
+}
+|}
+
+let java_awt_event =
+  {|
+package java.awt.event;
+
+interface ActionListener {
+  void actionPerformed(java.awt.event.ActionEvent e);
+}
+
+class ActionEvent extends java.util.EventObject {
+  ActionEvent(Object source, int id, String command);
+  String getActionCommand();
+}
+|}
+
+let javax_swing =
+  {|
+package javax.swing;
+
+abstract class JComponent extends java.awt.Container {
+  void setToolTipText(String text);
+  void setBorder(javax.swing.border.Border border);
+}
+
+class JFrame extends java.awt.Frame {
+  JFrame();
+  JFrame(String title);
+  java.awt.Container getContentPane();
+  javax.swing.JMenuBar getJMenuBar();
+  void setJMenuBar(javax.swing.JMenuBar menubar);
+}
+
+class JPanel extends JComponent {
+  JPanel();
+}
+
+abstract class AbstractButton extends JComponent {
+  String getText();
+  void setText(String text);
+  void addActionListener(java.awt.event.ActionListener l);
+}
+
+class JButton extends AbstractButton {
+  JButton(String text);
+  JButton(javax.swing.Icon icon);
+}
+
+class JLabel extends JComponent {
+  JLabel(String text);
+  void setIcon(javax.swing.Icon icon);
+}
+
+class JTextField extends JComponent {
+  JTextField();
+  JTextField(String text);
+  String getText();
+  void setText(String t);
+}
+
+class JTextArea extends JComponent {
+  JTextArea();
+  String getText();
+  void append(String str);
+}
+
+class JScrollPane extends JComponent {
+  JScrollPane(java.awt.Component view);
+}
+
+class JList extends JComponent {
+  JList(javax.swing.ListModel dataModel);
+  javax.swing.ListModel getModel();
+  Object getSelectedValue();
+  int getSelectedIndex();
+}
+
+interface ListModel {
+  int getSize();
+  Object getElementAt(int index);
+}
+
+class DefaultListModel implements ListModel {
+  DefaultListModel();
+  void addElement(Object obj);
+}
+
+class JTable extends JComponent {
+  JTable(javax.swing.table.TableModel dm);
+  javax.swing.table.TableModel getModel();
+  Object getValueAt(int row, int column);
+  int getRowCount();
+}
+
+class JTree extends JComponent {
+  JTree(javax.swing.tree.TreeModel newModel);
+  javax.swing.tree.TreeModel getModel();
+  javax.swing.tree.TreePath getSelectionPath();
+}
+
+class JMenuBar extends JComponent {
+  JMenuBar();
+  javax.swing.JMenu add(javax.swing.JMenu c);
+}
+
+class JMenu extends AbstractButton {
+  JMenu(String s);
+  javax.swing.JMenuItem add(javax.swing.JMenuItem menuItem);
+}
+
+class JMenuItem extends AbstractButton {
+  JMenuItem(String text);
+}
+
+interface Icon {
+  int getIconWidth();
+  int getIconHeight();
+}
+
+class ImageIcon implements Icon {
+  ImageIcon(String filename);
+  ImageIcon(java.net.URL location);
+  java.awt.Image getImage();
+}
+
+class SwingUtilities {
+  static java.awt.Container getAncestorOfClass(Class c, java.awt.Component comp);
+  static void invokeLater(Runnable doRun);
+}
+
+class JOptionPane {
+  static void showMessageDialog(java.awt.Component parentComponent, Object message);
+  static String showInputDialog(java.awt.Component parentComponent, Object message);
+}
+|}
+
+let javax_swing_border =
+  {|
+package javax.swing.border;
+
+interface Border {
+}
+|}
+
+let javax_swing_table =
+  {|
+package javax.swing.table;
+
+interface TableModel {
+  int getRowCount();
+  int getColumnCount();
+  Object getValueAt(int rowIndex, int columnIndex);
+  String getColumnName(int columnIndex);
+}
+
+class AbstractTableModel implements TableModel {
+}
+
+class DefaultTableModel extends AbstractTableModel {
+  DefaultTableModel();
+  DefaultTableModel(int rowCount, int columnCount);
+  void addRow(Object[] rowData);
+  void setValueAt(Object aValue, int row, int column);
+}
+|}
+
+let javax_swing_tree =
+  {|
+package javax.swing.tree;
+
+interface TreeModel {
+  Object getRoot();
+  Object getChild(Object parent, int index);
+  int getChildCount(Object parent);
+}
+
+class DefaultTreeModel implements TreeModel {
+  DefaultTreeModel(javax.swing.tree.TreeNode root);
+}
+
+interface TreeNode {
+  javax.swing.tree.TreeNode getParent();
+  int getChildCount();
+}
+
+class DefaultMutableTreeNode implements TreeNode {
+  DefaultMutableTreeNode(Object userObject);
+  Object getUserObject();
+  javax.swing.tree.DefaultMutableTreeNode getNextNode();
+  void add(javax.swing.tree.DefaultMutableTreeNode newChild);
+}
+
+class TreePath {
+  TreePath(Object[] path);
+  Object getLastPathComponent();
+  int getPathCount();
+}
+|}
+
+let sources =
+  [
+    ("java.awt", java_awt);
+    ("java.awt.image", java_awt_image);
+    ("java.awt.event", java_awt_event);
+    ("javax.swing", javax_swing);
+    ("javax.swing.border", javax_swing_border);
+    ("javax.swing.table", javax_swing_table);
+    ("javax.swing.tree", javax_swing_tree);
+  ]

@@ -1,0 +1,5 @@
+(** AWT/Swing neighborhoods (J2SE 1.4): a second GUI family whose
+    Object-trafficking model interfaces (TreeModel/TableModel/ListModel)
+    are classic jungloid-mining territory. *)
+
+val sources : (string * string) list

@@ -1,0 +1,144 @@
+(* JDBC and XML/DOM: two more J2SE 1.4 domains with classic jungloid shape —
+   DriverManager.getConnection is a hidden static link, and the DOM's
+   Node-based API is downcast-heavy (getFirstChild/item return Node, clients
+   cast to Element), feeding the miner exactly as Eclipse's selections do. *)
+
+let java_sql =
+  {|
+package java.sql;
+
+class DriverManager {
+  static java.sql.Connection getConnection(String url);
+  static java.sql.Connection getConnection(String url, String user, String password);
+}
+
+interface Connection {
+  java.sql.Statement createStatement();
+  java.sql.PreparedStatement prepareStatement(String sql);
+  java.sql.DatabaseMetaData getMetaData();
+  void close();
+  void commit();
+}
+
+interface Statement {
+  java.sql.ResultSet executeQuery(String sql);
+  int executeUpdate(String sql);
+  void close();
+}
+
+interface PreparedStatement extends Statement {
+  java.sql.ResultSet executeQuery();
+  void setString(int parameterIndex, String x);
+}
+
+interface ResultSet {
+  boolean next();
+  String getString(int columnIndex);
+  String getString(String columnName);
+  int getInt(int columnIndex);
+  Object getObject(int columnIndex);
+  java.sql.ResultSetMetaData getMetaData();
+  void close();
+}
+
+interface ResultSetMetaData {
+  int getColumnCount();
+  String getColumnName(int column);
+}
+
+interface DatabaseMetaData {
+  String getDatabaseProductName();
+  java.sql.ResultSet getTables(String catalog, String schemaPattern, String tableNamePattern, String[] types);
+}
+
+class SQLException extends java.lang.Exception {
+  SQLException(String reason);
+  int getErrorCode();
+}
+|}
+
+let javax_xml_parsers =
+  {|
+package javax.xml.parsers;
+
+abstract class DocumentBuilderFactory {
+  static javax.xml.parsers.DocumentBuilderFactory newInstance();
+  javax.xml.parsers.DocumentBuilder newDocumentBuilder();
+  void setValidating(boolean validating);
+}
+
+abstract class DocumentBuilder {
+  org.w3c.dom.Document parse(String uri);
+  org.w3c.dom.Document parse(java.io.File f);
+  org.w3c.dom.Document parse(java.io.InputStream is);
+  org.w3c.dom.Document newDocument();
+}
+
+abstract class SAXParserFactory {
+  static javax.xml.parsers.SAXParserFactory newInstance();
+  javax.xml.parsers.SAXParser newSAXParser();
+}
+
+abstract class SAXParser {
+  void parse(java.io.InputStream is, org.xml.sax.helpers.DefaultHandler dh);
+}
+|}
+
+let org_w3c_dom =
+  {|
+package org.w3c.dom;
+
+interface Node {
+  String getNodeName();
+  String getNodeValue();
+  org.w3c.dom.Node getFirstChild();
+  org.w3c.dom.Node getNextSibling();
+  org.w3c.dom.Node getParentNode();
+  org.w3c.dom.NodeList getChildNodes();
+  org.w3c.dom.Document getOwnerDocument();
+  short getNodeType();
+}
+
+interface Element extends Node {
+  String getTagName();
+  String getAttribute(String name);
+  org.w3c.dom.NodeList getElementsByTagName(String name);
+}
+
+interface Document extends Node {
+  org.w3c.dom.Element getDocumentElement();
+  org.w3c.dom.NodeList getElementsByTagName(String tagname);
+  org.w3c.dom.Element createElement(String tagName);
+  org.w3c.dom.Text createTextNode(String data);
+}
+
+interface Text extends Node {
+  String getData();
+}
+
+interface Attr extends Node {
+  String getValue();
+}
+
+interface NodeList {
+  org.w3c.dom.Node item(int index);
+  int getLength();
+}
+|}
+
+let org_xml_sax =
+  {|
+package org.xml.sax.helpers;
+
+class DefaultHandler {
+  DefaultHandler();
+}
+|}
+
+let sources =
+  [
+    ("java.sql", java_sql);
+    ("javax.xml.parsers", javax_xml_parsers);
+    ("org.w3c.dom", org_w3c_dom);
+    ("org.xml.sax.helpers", org_xml_sax);
+  ]

@@ -1,0 +1,5 @@
+(** JDBC and XML/DOM neighborhoods (J2SE 1.4): [java.sql],
+    [javax.xml.parsers], [org.w3c.dom] — classic jungloid territory (hidden
+    static links, downcast-heavy Node APIs). *)
+
+val sources : (string * string) list

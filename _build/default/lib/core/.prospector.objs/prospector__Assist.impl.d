@@ -1,0 +1,1 @@
+lib/core/assist.ml: Buffer Elem Javamodel Jungloid List Query Rank String

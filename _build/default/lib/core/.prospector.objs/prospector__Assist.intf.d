@@ -1,0 +1,1 @@
+lib/core/assist.mli: Graph Javamodel Query

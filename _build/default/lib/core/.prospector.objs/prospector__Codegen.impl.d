@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Buffer Char Elem Hashtbl Javamodel Jungloid List Printf String

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Elem Graph Hashtbl Javamodel List Printf Search String

@@ -1,0 +1,1 @@
+lib/core/elem.ml: Javamodel List Printf Stdlib String

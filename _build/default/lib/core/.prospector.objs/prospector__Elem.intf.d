@@ -1,0 +1,1 @@
+lib/core/elem.mli: Javamodel

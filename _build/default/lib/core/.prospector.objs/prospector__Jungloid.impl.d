@@ -1,0 +1,1 @@
+lib/core/jungloid.ml: Elem Graph Javamodel List Printf Search Stdlib String

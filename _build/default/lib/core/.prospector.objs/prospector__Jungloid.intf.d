@@ -1,0 +1,1 @@
+lib/core/jungloid.mli: Elem Graph Javamodel Search

@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Codegen Elem Graph Hashtbl Javamodel Jungloid List Logs Option Rank Search String

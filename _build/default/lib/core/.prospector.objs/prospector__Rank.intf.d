@@ -1,0 +1,1 @@
+lib/core/rank.mli: Javamodel Jungloid

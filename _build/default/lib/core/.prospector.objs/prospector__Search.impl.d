@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Elem Graph List

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Bytes Elem Fun Graph Javamodel List Marshal Printf String

@@ -1,0 +1,1 @@
+lib/core/sig_graph.ml: Elem Graph Javamodel List

@@ -1,0 +1,1 @@
+lib/core/sig_graph.mli: Elem Graph Javamodel

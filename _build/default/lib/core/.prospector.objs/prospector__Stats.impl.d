@@ -1,0 +1,1 @@
+lib/core/stats.ml: Elem Format Graph List Sys

@@ -1,0 +1,129 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+
+type generated = {
+  code : string;
+  result_var : string;
+  free_var_names : (string * Jtype.t) list;
+}
+
+let var_name_of_type ty =
+  let simple = Jtype.simple_string ty in
+  let simple =
+    match String.index_opt simple '[' with
+    | Some i -> String.sub simple 0 i ^ "s"
+    | None -> simple
+  in
+  let simple =
+    if
+      String.length simple >= 2
+      && simple.[0] = 'I'
+      && simple.[1] = Char.uppercase_ascii simple.[1]
+      && simple.[1] <> Char.lowercase_ascii simple.[1]
+    then String.sub simple 1 (String.length simple - 1)
+    else simple
+  in
+  if simple = "" then "v"
+  else String.make 1 (Char.lowercase_ascii simple.[0])
+       ^ String.sub simple 1 (String.length simple - 1)
+
+type namer = {
+  used : (string, int) Hashtbl.t;
+}
+
+let fresh namer base =
+  match Hashtbl.find_opt namer.used base with
+  | None ->
+      Hashtbl.replace namer.used base 1;
+      base
+  | Some n ->
+      Hashtbl.replace namer.used base (n + 1);
+      Printf.sprintf "%s%d" base (n + 1)
+
+let prim_default = function
+  | Jtype.Boolean -> "false"
+  | Jtype.Char -> "'\\0'"
+  | Jtype.Float | Jtype.Double -> "0.0"
+  | Jtype.Byte | Jtype.Short | Jtype.Int | Jtype.Long -> "0"
+
+let generate ?input (j : Jungloid.t) =
+  let namer = { used = Hashtbl.create 16 } in
+  let buf = Buffer.create 256 in
+  let frees = ref [] in
+  let input_var =
+    match (input, j.Jungloid.input) with
+    | _, Jtype.Void -> ""
+    | Some (name, _), _ ->
+        Hashtbl.replace namer.used name 1;
+        name
+    | None, ty ->
+        let name = fresh namer (var_name_of_type ty) in
+        name
+  in
+  (* A free slot becomes either a default literal (primitives) or a declared
+     variable the user must fill (references). *)
+  let free_slot (pname, ty) =
+    match ty with
+    | Jtype.Prim p -> prim_default p
+    | _ ->
+        let base =
+          if String.length pname > 0 && not (String.length pname > 3 && String.sub pname 0 3 = "arg")
+          then pname
+          else var_name_of_type ty
+        in
+        let v = fresh namer base in
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s; // free variable\n" (Jtype.simple_string ty) v);
+        frees := (v, ty) :: !frees;
+        v
+  in
+  let render_args params ~input_slot ~expr =
+    let arg i (pname, ty) =
+      match input_slot with
+      | Elem.Param j when i = j -> expr
+      | _ -> free_slot (pname, ty)
+    in
+    "(" ^ String.concat ", " (List.mapi arg params) ^ ")"
+  in
+  let emit_stmt ty rhs =
+    let v = fresh namer (var_name_of_type ty) in
+    Buffer.add_string buf (Printf.sprintf "%s %s = %s;\n" (Jtype.simple_string ty) v rhs);
+    v
+  in
+  let final_var =
+    List.fold_left
+      (fun cur e ->
+        match e with
+        | Elem.Widen _ -> cur
+        | Elem.Downcast { to_; _ } ->
+            emit_stmt to_ (Printf.sprintf "(%s) %s" (Jtype.simple_string to_) cur)
+        | Elem.Field_access { owner; field } ->
+            let rhs =
+              if field.Member.fstatic then
+                Printf.sprintf "%s.%s" (Qname.simple owner) field.Member.fname
+              else Printf.sprintf "%s.%s" cur field.Member.fname
+            in
+            emit_stmt field.Member.ftype rhs
+        | Elem.Static_call { owner; meth; input = slot } ->
+            emit_stmt meth.Member.ret
+              (Printf.sprintf "%s.%s%s" (Qname.simple owner) meth.Member.mname
+                 (render_args meth.Member.params ~input_slot:slot ~expr:cur))
+        | Elem.Ctor_call { owner; ctor; input = slot } ->
+            emit_stmt (Jtype.ref_ owner)
+              (Printf.sprintf "new %s%s" (Qname.simple owner)
+                 (render_args ctor.Member.cparams ~input_slot:slot ~expr:cur))
+        | Elem.Instance_call { owner; meth; input = slot } ->
+            let recv =
+              match slot with
+              | Elem.Receiver -> cur
+              | _ -> free_slot ("receiver", Jtype.ref_ owner)
+            in
+            emit_stmt meth.Member.ret
+              (Printf.sprintf "%s.%s%s" recv meth.Member.mname
+                 (render_args meth.Member.params ~input_slot:slot ~expr:cur)))
+      input_var j.Jungloid.elems
+  in
+  { code = Buffer.contents buf; result_var = final_var; free_var_names = List.rev !frees }
+
+let to_java ?input j = (generate ?input j).code

@@ -1,0 +1,33 @@
+(** Java code generation from jungloids (Sections 2.2 and 5).
+
+    Each non-widening elementary jungloid becomes one statement; widening
+    has no syntax and only changes the static type the next statement sees.
+    Reference-typed free variables are declared with a
+    [// free variable] comment, exactly as the paper's FAQ 270 example
+    declares [DocumentProviderRegistry dpreg] — the user is expected to run
+    a follow-up query to produce each one. Primitive-typed free variables
+    are filled with a default literal ([false], [0]), matching the paper's
+    [AST.parseCompilationUnit(cu, false)] rendering. *)
+
+module Jtype = Javamodel.Jtype
+
+type generated = {
+  code : string;  (** the statements, newline-separated *)
+  result_var : string;  (** name of the variable holding the output *)
+  free_var_names : (string * Jtype.t) list;
+      (** declared free variables the user still has to produce *)
+}
+
+val generate : ?input:string * Jtype.t -> Jungloid.t -> generated
+(** [generate ~input:("ep", t) j] names the jungloid input [ep]; when
+    [input] is omitted a variable named after the input type is assumed to
+    exist in scope (for [Void]-input jungloids no input is referenced at
+    all). Variable names are derived from type names and uniquified. *)
+
+val to_java : ?input:string * Jtype.t -> Jungloid.t -> string
+(** Just the code of {!generate}. *)
+
+val var_name_of_type : Jtype.t -> string
+(** Naming convention used for generated locals: simple name, leading
+    interface-[I] stripped, first letter lowercased — [IEditorInput] becomes
+    [editorInput]. Exposed for tests. *)

@@ -1,0 +1,103 @@
+module Jtype = Javamodel.Jtype
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_label g id =
+  if Graph.is_typestate g id then
+    Printf.sprintf "%s-%d" (Jtype.simple_string (Graph.node_type g id)) id
+  else Jtype.simple_string (Graph.node_type g id)
+
+let node_attrs g id =
+  if Graph.is_typestate g id then ", style=dashed" else ""
+
+let edge_attrs (e : Graph.edge) ~bold =
+  let style =
+    match e.Graph.elem with
+    | Elem.Widen _ -> ", style=dotted"
+    | Elem.Downcast _ -> ", penwidth=2"
+    | _ -> ""
+  in
+  if bold then style ^ ", color=red, penwidth=2" else style
+
+let render g ~nodes ~edges ~bold_edges =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph jungloid {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" id
+           (escape (node_label g id))
+           (node_attrs g id)))
+    nodes;
+  List.iter
+    (fun (e : Graph.edge) ->
+      let bold = List.memq e bold_edges in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\", fontsize=9%s];\n" e.Graph.src
+           e.Graph.dst
+           (escape (Elem.describe e.Graph.elem))
+           (edge_attrs e ~bold)))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let subgraph g ~centers ~radius =
+  let seen = Hashtbl.create 64 in
+  let frontier = ref [] in
+  List.iter
+    (fun ty ->
+      match Graph.find_type_node g ty with
+      | Some id ->
+          if not (Hashtbl.mem seen id) then begin
+            Hashtbl.replace seen id ();
+            frontier := id :: !frontier
+          end
+      | None -> ())
+    centers;
+  for _ = 1 to radius do
+    let next = ref [] in
+    List.iter
+      (fun id ->
+        let visit v =
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.replace seen v ();
+            next := v :: !next
+          end
+        in
+        List.iter (fun (e : Graph.edge) -> visit e.Graph.dst) (Graph.succs g id);
+        List.iter (fun (e : Graph.edge) -> visit e.Graph.src) (Graph.preds g id))
+      !frontier;
+    frontier := !next
+  done;
+  let nodes = Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare in
+  let edges =
+    List.concat_map
+      (fun id ->
+        List.filter (fun (e : Graph.edge) -> Hashtbl.mem seen e.Graph.dst) (Graph.succs g id))
+      nodes
+  in
+  render g ~nodes ~edges ~bold_edges:[]
+
+let of_paths g paths =
+  let node_set = Hashtbl.create 64 in
+  let edges = ref [] in
+  List.iter
+    (fun (p : Search.path) ->
+      Hashtbl.replace node_set p.Search.source ();
+      List.iter
+        (fun (e : Graph.edge) ->
+          Hashtbl.replace node_set e.Graph.src ();
+          Hashtbl.replace node_set e.Graph.dst ();
+          if not (List.memq e !edges) then edges := e :: !edges)
+        p.Search.edges)
+    paths;
+  let bold = match paths with [] -> [] | p :: _ -> p.Search.edges in
+  let nodes = Hashtbl.fold (fun id () acc -> id :: acc) node_set [] |> List.sort compare in
+  render g ~nodes ~edges:(List.rev !edges) ~bold_edges:bold
+
+let full g =
+  let nodes = Graph.nodes g in
+  let edges = ref [] in
+  Graph.iter_edges g (fun e -> edges := e :: !edges);
+  render g ~nodes ~edges:(List.rev !edges) ~bold_edges:[]

@@ -1,0 +1,18 @@
+(** Graphviz (DOT) export, used to regenerate the paper's graph figures
+    (Figures 1, 3, and 6).
+
+    Real type nodes are labeled with their simple names; typestate nodes
+    with [Type-k] (the paper's [Object-1]) and a dashed border. Widening
+    edges are drawn dotted (they have no syntax), downcast edges bold. *)
+
+module Jtype = Javamodel.Jtype
+
+val subgraph : Graph.t -> centers:Jtype.t list -> radius:int -> string
+(** The neighborhood within [radius] edges (in either direction) of any
+    center type. *)
+
+val of_paths : Graph.t -> Search.path list -> string
+(** Exactly the nodes and edges of the given paths (Figure 1 bold-face
+    style: the first path is emphasized). *)
+
+val full : Graph.t -> string

@@ -1,0 +1,112 @@
+module Jtype = Javamodel.Jtype
+
+type node = int
+
+type edge = {
+  elem : Elem.t;
+  src : node;
+  dst : node;
+}
+
+type info = {
+  ty : Jtype.t;
+  origin : string option;  (* Some = typestate node *)
+}
+
+type t = {
+  ids : (string, node) Hashtbl.t;  (* real type key -> id *)
+  mutable info : info array;
+  mutable fwd : edge list array;
+  mutable bwd : edge list array;
+  mutable n : int;
+  mutable edges : int;
+  edge_seen : (node * Elem.t * node, unit) Hashtbl.t;
+}
+
+let initial_capacity = 256
+
+let create () =
+  {
+    ids = Hashtbl.create initial_capacity;
+    info = Array.make initial_capacity { ty = Jtype.Void; origin = None };
+    fwd = Array.make initial_capacity [];
+    bwd = Array.make initial_capacity [];
+    n = 0;
+    edges = 0;
+    edge_seen = Hashtbl.create initial_capacity;
+  }
+
+let grow t =
+  let cap = Array.length t.info in
+  if t.n >= cap then begin
+    let cap' = cap * 2 in
+    let info' = Array.make cap' { ty = Jtype.Void; origin = None } in
+    Array.blit t.info 0 info' 0 t.n;
+    t.info <- info';
+    let fwd' = Array.make cap' [] in
+    Array.blit t.fwd 0 fwd' 0 t.n;
+    t.fwd <- fwd';
+    let bwd' = Array.make cap' [] in
+    Array.blit t.bwd 0 bwd' 0 t.n;
+    t.bwd <- bwd'
+  end
+
+let fresh_node t info =
+  grow t;
+  let id = t.n in
+  t.info.(id) <- info;
+  t.n <- t.n + 1;
+  id
+
+let type_key ty = Jtype.to_string ty
+
+let ensure_type_node t ty =
+  let key = type_key ty in
+  match Hashtbl.find_opt t.ids key with
+  | Some id -> id
+  | None ->
+      let id = fresh_node t { ty; origin = None } in
+      Hashtbl.replace t.ids key id;
+      id
+
+let find_type_node t ty = Hashtbl.find_opt t.ids (type_key ty)
+
+let void_node t = ensure_type_node t Jtype.Void
+
+let add_typestate t ~underlying ~origin =
+  fresh_node t { ty = underlying; origin = Some origin }
+
+let add_edge t ~src elem ~dst =
+  let key = (src, elem, dst) in
+  if not (Hashtbl.mem t.edge_seen key) then begin
+    Hashtbl.replace t.edge_seen key ();
+    let e = { elem; src; dst } in
+    t.fwd.(src) <- e :: t.fwd.(src);
+    t.bwd.(dst) <- e :: t.bwd.(dst);
+    t.edges <- t.edges + 1
+  end
+
+let node_type t id = t.info.(id).ty
+
+let is_typestate t id = t.info.(id).origin <> None
+
+let typestate_origin t id = t.info.(id).origin
+
+let succs t id = t.fwd.(id)
+
+let preds t id = t.bwd.(id)
+
+let node_count t = t.n
+
+let edge_count t = t.edges
+
+let nodes t = List.init t.n (fun i -> i)
+
+let iter_edges t f =
+  for i = 0 to t.n - 1 do
+    List.iter f t.fwd.(i)
+  done
+
+let real_nodes t =
+  Hashtbl.fold (fun _ id acc -> (t.info.(id).ty, id) :: acc) t.ids []
+  |> List.sort (fun (a, _) (b, _) -> Jtype.compare a b)

@@ -1,0 +1,63 @@
+(** The jungloid graph representation shared by signature-only and mined
+    graphs (Sections 3.1 and 4.2).
+
+    Nodes are either {e real} — one per reference type (plus the [void]
+    pseudo-node) — or {e typestate} nodes: fresh nodes created when a mined
+    example jungloid is spliced in, so that its downcast edge is reachable
+    only through the example's own prefix (Figure 6's [Object-1] node).
+
+    Nodes are interned to dense integer ids; adjacency is stored both
+    forward and backward so the search can run bidirectional pruning. *)
+
+module Jtype = Javamodel.Jtype
+
+type t
+
+type node = int
+(** Dense node id, stable for the lifetime of the graph. *)
+
+type edge = {
+  elem : Elem.t;
+  src : node;
+  dst : node;
+}
+
+val create : unit -> t
+
+val ensure_type_node : t -> Jtype.t -> node
+(** Intern a real type node (or the [void] node for {!Jtype.Void}). *)
+
+val find_type_node : t -> Jtype.t -> node option
+(** Lookup without creating. *)
+
+val void_node : t -> node
+
+val add_typestate : t -> underlying:Jtype.t -> origin:string -> node
+(** A fresh typestate node. [origin] identifies the mined example that
+    created it (used by DOT output and debugging). *)
+
+val add_edge : t -> src:node -> Elem.t -> dst:node -> unit
+(** Duplicate edges (same source, elem, and destination) are dropped. *)
+
+val node_type : t -> node -> Jtype.t
+(** The type carried by the node — for typestate nodes, the underlying
+    (declared) type of the intermediate value. *)
+
+val is_typestate : t -> node -> bool
+
+val typestate_origin : t -> node -> string option
+
+val succs : t -> node -> edge list
+
+val preds : t -> node -> edge list
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val nodes : t -> node list
+
+val iter_edges : t -> (edge -> unit) -> unit
+
+val real_nodes : t -> (Jtype.t * node) list
+(** All interned real type nodes with their types. *)

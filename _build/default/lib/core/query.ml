@@ -1,0 +1,238 @@
+let log_src = Logs.Src.create "prospector.query" ~doc:"jungloid queries"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Jtype = Javamodel.Jtype
+module Hierarchy = Javamodel.Hierarchy
+
+type t = {
+  tin : Jtype.t;
+  tout : Jtype.t;
+}
+
+let parse_type s =
+  let s = String.trim s in
+  let rec strip s dims =
+    if String.length s > 2 && String.sub s (String.length s - 2) 2 = "[]" then
+      strip (String.sub s 0 (String.length s - 2)) (dims + 1)
+    else (s, dims)
+  in
+  let base, dims = strip s 0 in
+  let base_t =
+    if base = "void" then Jtype.Void
+    else
+      match Jtype.prim_of_string base with
+      | Some p -> Jtype.Prim p
+      | None -> Jtype.ref_of_string base
+  in
+  let rec wrap ty n = if n = 0 then ty else wrap (Jtype.Array ty) (n - 1) in
+  wrap base_t dims
+
+let query tin tout = { tin = parse_type tin; tout = parse_type tout }
+
+type settings = {
+  slack : int;
+  limit : int;
+  max_results : int;
+  weights : Rank.weights;
+  estimate_freevars : bool;
+}
+
+let default_settings =
+  {
+    slack = 1;
+    limit = 4096;
+    max_results = 10;
+    weights = Rank.default_weights;
+    estimate_freevars = false;
+  }
+
+(* The future-work free-variable estimator: a free variable of type T will
+   cost about as much as the cheapest way to conjure a T from nothing (the
+   void query the user would run next). Unreachable types keep the constant
+   estimate. *)
+let freevar_estimator ~settings graph =
+  if not settings.estimate_freevars then None
+  else begin
+    let dist = Search.distances_from graph ~sources:[ Graph.void_node graph ] in
+    Some
+      (fun ty ->
+        match Graph.find_type_node graph ty with
+        | Some n when n < Array.length dist && dist.(n) < max_int -> max 1 dist.(n)
+        | _ -> settings.weights.Rank.freevar_cost)
+  end
+
+type result = {
+  jungloid : Jungloid.t;
+  key : Rank.key;
+  code : string;
+}
+
+type multi_result = {
+  source_var : string option;
+  result : result;
+}
+
+(* Deduplicate jungloids that arise from different graph paths (typestate
+   splicing can yield the same elementary-jungloid sequence twice). *)
+let dedup js =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun j ->
+      if Hashtbl.mem seen j then false
+      else begin
+        Hashtbl.replace seen j ();
+        true
+      end)
+    js
+
+(* Distinct jungloids can render identically (e.g. two declarations of
+   getFile(String) with a free receiver); showing both tells the user
+   nothing. Keep the best-ranked representative — a minimal version of the
+   result clustering the paper leaves to future work. *)
+let dedup_rendered ranked =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun j ->
+      let text = Jungloid.to_expression j in
+      if Hashtbl.mem seen text then false
+      else begin
+        Hashtbl.replace seen text ();
+        true
+      end)
+    ranked
+
+let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name
+    paths_to_jungloid paths =
+  let jungloids = dedup (List.map paths_to_jungloid paths) in
+  let ranked =
+    dedup_rendered
+      (Rank.sort ~weights:settings.weights ?freevar_cost_of hierarchy jungloids)
+  in
+  List.filteri (fun i _ -> i < settings.max_results) ranked
+  |> List.map (fun j ->
+         let input =
+           match (input_name j, Jungloid.input_type j) with
+           | Some name, ty -> Some (name, ty)
+           | None, _ -> None
+         in
+         {
+           jungloid = j;
+           key = Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j;
+           code = Codegen.to_java ?input j;
+         })
+
+let run ?(settings = default_settings) ~graph ~hierarchy q =
+  match (Graph.find_type_node graph q.tin, Graph.find_type_node graph q.tout) with
+  | Some src, Some dst ->
+      let paths =
+        Search.enumerate graph ~sources:[ src ] ~target:dst ~slack:settings.slack
+          ~limit:settings.limit ()
+      in
+      Log.debug (fun m ->
+          m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
+            (Jtype.to_string q.tout) (List.length paths));
+      rank_and_render ~settings ~hierarchy
+        ~freevar_cost_of:(freevar_estimator ~settings graph)
+        ~input_name:(fun _ -> None)
+        (Jungloid.of_path graph) paths
+  | _ ->
+      Log.debug (fun m ->
+          m "query (%s, %s): type not in graph" (Jtype.to_string q.tin)
+            (Jtype.to_string q.tout));
+      []
+
+type cluster = {
+  representative : result;
+  members : int;
+  type_path : string;
+}
+
+let type_path_of (j : Jungloid.t) =
+  let step ty = Jtype.simple_string ty in
+  let types =
+    step (Jungloid.input_type j)
+    :: List.filter_map
+         (fun e -> if Elem.is_widen e then None else Some (step (Elem.output_type e)))
+         j.Jungloid.elems
+  in
+  String.concat " > " types
+
+let cluster results =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = type_path_of r.jungloid in
+      match Hashtbl.find_opt seen key with
+      | Some c -> Hashtbl.replace seen key { c with members = c.members + 1 }
+      | None ->
+          Hashtbl.replace seen key { representative = r; members = 1; type_path = key };
+          order := key :: !order)
+    results;
+  List.rev_map (fun key -> Hashtbl.find seen key) !order
+
+let run_multi ?(settings = default_settings) ~graph ~hierarchy ~vars ~tout () =
+  match Graph.find_type_node graph tout with
+  | None -> []
+  | Some dst ->
+      let var_nodes =
+        List.filter_map
+          (fun (name, ty) ->
+            Option.map (fun n -> (n, name)) (Graph.find_type_node graph ty))
+          vars
+      in
+      let void = Graph.void_node graph in
+      let sources = void :: List.map fst var_nodes in
+      let paths =
+        Search.enumerate_per_source graph ~sources ~target:dst ~slack:settings.slack
+          ~limit:settings.limit ()
+      in
+      (* Attribute each path to the variables of its source node; a path from
+         the void node belongs to no variable. Distinct (jungloid, source)
+         pairs each become one suggestion. *)
+      let jungloid_sources = Hashtbl.create 64 in
+      List.iter
+        (fun (p : Search.path) ->
+          let j = Jungloid.of_path graph p in
+          let srcs =
+            if p.Search.source = void then [ None ]
+            else
+              List.filter_map
+                (fun (n, name) -> if n = p.Search.source then Some (Some name) else None)
+                var_nodes
+          in
+          List.iter (fun s -> Hashtbl.replace jungloid_sources (j, s) ()) srcs)
+        paths;
+      let pairs =
+        Hashtbl.fold (fun (j, s) () acc -> (j, s) :: acc) jungloid_sources []
+      in
+      let freevar_cost_of = freevar_estimator ~settings graph in
+      let ranked =
+        List.map
+          (fun (j, s) ->
+            (Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j, j, s))
+          pairs
+        |> List.sort (fun (ka, _, sa) (kb, _, sb) ->
+               match Rank.compare_key ka kb with
+               | 0 -> compare sa sb
+               | c -> c)
+      in
+      let seen = Hashtbl.create 64 in
+      let ranked =
+        List.filter
+          (fun (_, j, s) ->
+            let key = (s, Jungloid.to_expression j) in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.replace seen key ();
+              true
+            end)
+          ranked
+      in
+      List.filteri (fun i _ -> i < settings.max_results) ranked
+      |> List.map (fun (key, j, s) ->
+             let input =
+               match s with Some name -> Some (name, Jungloid.input_type j) | None -> None
+             in
+             { source_var = s; result = { jungloid = j; key; code = Codegen.to_java ?input j } })

@@ -1,0 +1,76 @@
+(** The query engine: from a [(tin, tout)] pair to a ranked list of code
+    snippets (Sections 2 and 3).
+
+    [run] performs the paper's pipeline: locate the [tin] and [tout] nodes,
+    enumerate all acyclic paths of cost at most [m + slack], convert them to
+    jungloids, deduplicate, rank, generate code. [run_multi] is the
+    multi-source variant used by content assist: one search serves every
+    visible variable (and the [void] pseudo-source) at once. *)
+
+module Jtype = Javamodel.Jtype
+module Hierarchy = Javamodel.Hierarchy
+
+type t = {
+  tin : Jtype.t;  (** may be [Void] for the zero-input query *)
+  tout : Jtype.t;
+}
+
+val query : string -> string -> t
+(** [query "org.x.IFile" "org.y.ASTNode"] — convenience constructor from
+    dotted type names; ["void"] gives the zero-input query, a ["[]"] suffix
+    an array type. *)
+
+type settings = {
+  slack : int;  (** extra path cost beyond the shortest; the paper uses 1 *)
+  limit : int;  (** cap on enumerated paths *)
+  max_results : int;  (** truncate the ranked list *)
+  weights : Rank.weights;
+  estimate_freevars : bool;
+      (** replace the constant free-variable charge with each type's actual
+          shortest production cost from the void node — the estimation the
+          paper leaves as future work (default [false]) *)
+}
+
+val default_settings : settings
+(** [slack = 1], [limit = 4096], [max_results = 10], default weights. *)
+
+type result = {
+  jungloid : Jungloid.t;
+  key : Rank.key;
+  code : string;  (** generated Java, input named after [tin] *)
+}
+
+val run :
+  ?settings:settings -> graph:Graph.t -> hierarchy:Hierarchy.t -> t -> result list
+(** Ranked solution jungloids; [[]] when [tin] or [tout] has no node or no
+    path exists. *)
+
+type multi_result = {
+  source_var : string option;  (** [None] for the [void] source *)
+  result : result;
+}
+
+type cluster = {
+  representative : result;  (** the best-ranked member *)
+  members : int;
+  type_path : string;  (** e.g. ["IWorkspace > IWorkspaceRoot > IFile"] *)
+}
+
+val cluster : result list -> cluster list
+(** Group results by the sequence of types their chains pass through
+    (ignoring which member produced each step) and keep one representative
+    per group — the "clusters of similar jungloids" presentation the paper
+    proposes as future work for crowded queries like (IWorkspace, IFile).
+    Order follows the best member of each cluster. *)
+
+val run_multi :
+  ?settings:settings ->
+  graph:Graph.t ->
+  hierarchy:Hierarchy.t ->
+  vars:(string * Jtype.t) list ->
+  tout:Jtype.t ->
+  unit ->
+  multi_result list
+(** One multi-source search from all [vars] plus [void]; each result's code
+    references the variable it starts from. The ranked order interleaves all
+    sources. *)

@@ -1,0 +1,149 @@
+type path = {
+  source : Graph.node;
+  edges : Graph.edge list;
+}
+
+let path_cost p = List.fold_left (fun acc e -> acc + Elem.cost e.Graph.elem) 0 p.edges
+
+(* A small functional deque for the 0-1 BFS. *)
+module Deque = struct
+  type 'a t = {
+    mutable front : 'a list;
+    mutable back : 'a list;
+  }
+
+  let create () = { front = []; back = [] }
+
+  let push_front d x = d.front <- x :: d.front
+
+  let push_back d x = d.back <- x :: d.back
+
+  let pop_front d =
+    match d.front with
+    | x :: rest ->
+        d.front <- rest;
+        Some x
+    | [] -> (
+        match List.rev d.back with
+        | [] -> None
+        | x :: rest ->
+            d.front <- rest;
+            d.back <- [];
+            Some x)
+end
+
+(* 0-1 BFS: [next u] yields [(cost, v)] pairs with cost 0 or 1. A node can
+   be improved (and re-queued) at most twice, so the deque stays small. *)
+let zero_one_bfs n ~starts ~next =
+  let dist = Array.make n max_int in
+  let dq = Deque.create () in
+  List.iter
+    (fun s ->
+      if s >= 0 && s < n && dist.(s) > 0 then begin
+        dist.(s) <- 0;
+        Deque.push_front dq (0, s)
+      end)
+    starts;
+  let rec loop () =
+    match Deque.pop_front dq with
+    | None -> ()
+    | Some (du, u) ->
+        if du = dist.(u) then
+          List.iter
+            (fun (cost, v) ->
+              let d = dist.(u) + cost in
+              if d < dist.(v) then begin
+                dist.(v) <- d;
+                if cost = 0 then Deque.push_front dq (d, v)
+                else Deque.push_back dq (d, v)
+              end)
+            (next u);
+        loop ()
+  in
+  loop ();
+  dist
+
+let distances_to g ~target =
+  let n = Graph.node_count g in
+  zero_one_bfs n ~starts:[ target ] ~next:(fun u ->
+      List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.src)) (Graph.preds g u))
+
+let distances_from g ~sources =
+  let n = Graph.node_count g in
+  zero_one_bfs n ~starts:sources ~next:(fun u ->
+      List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.dst)) (Graph.succs g u))
+
+let shortest_cost g ~sources ~target =
+  if sources = [] then None
+  else
+    let dist = distances_from g ~sources in
+    if target < Array.length dist && dist.(target) < max_int then Some dist.(target)
+    else None
+
+(* The DFS core: enumerate acyclic paths from [source] to [target] of cost
+   at most [budget], pruning with the precomputed backward distances. *)
+let dfs_from g ~target ~dist_to ~on_path ~budget ~limit ~count ~results source =
+  let rec dfs u cost rev_edges =
+    if !count < limit then begin
+      if u = target && rev_edges <> [] && cost > 0 then begin
+        incr count;
+        results := { source; edges = List.rev rev_edges } :: !results
+      end;
+      (* Even at the target, a 0-cost widening cycle cannot extend the
+         path (acyclicity), so exploring further from the target is
+         pointless: every continuation must eventually revisit it. *)
+      if u <> target || rev_edges = [] then
+        List.iter
+          (fun (e : Graph.edge) ->
+            let v = e.Graph.dst in
+            let c' = cost + Elem.cost e.Graph.elem in
+            if (not on_path.(v)) && dist_to.(v) < max_int && c' + dist_to.(v) <= budget
+            then begin
+              on_path.(v) <- true;
+              dfs v c' (e :: rev_edges);
+              on_path.(v) <- false
+            end)
+          (Graph.succs g u)
+    end
+  in
+  if dist_to.(source) < max_int then begin
+    on_path.(source) <- true;
+    dfs source 0 [];
+    on_path.(source) <- false
+  end
+
+let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) () =
+  match shortest_cost g ~sources ~target with
+  | None -> []
+  | Some m ->
+      let budget = m + slack in
+      let dist_to = distances_to g ~target in
+      let n = Graph.node_count g in
+      let on_path = Array.make n false in
+      let results = ref [] in
+      let count = ref 0 in
+      List.iter
+        (dfs_from g ~target ~dist_to ~on_path ~budget ~limit ~count ~results)
+        (List.sort_uniq compare sources);
+      List.rev !results
+
+let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) () =
+  (* One query per source, as content assist conceptually runs them; the
+     backward BFS is shared, so the cost is close to a single query. Each
+     source gets its own budget: its shortest cost to the target plus
+     [slack]. *)
+  if target >= Graph.node_count g then []
+  else
+    let dist_to = distances_to g ~target in
+    let n = Graph.node_count g in
+    let on_path = Array.make n false in
+    let results = ref [] in
+    let count = ref 0 in
+    List.iter
+      (fun source ->
+        if source < n && dist_to.(source) < max_int then
+          dfs_from g ~target ~dist_to ~on_path
+            ~budget:(dist_to.(source) + slack)
+            ~limit ~count ~results source)
+      (List.sort_uniq compare sources);
+    List.rev !results

@@ -1,0 +1,57 @@
+(** Path search over the jungloid graph (Section 3.1, Section 5).
+
+    Edge costs follow the ranking length: widening edges cost 0 (they have
+    no syntax), every other elementary jungloid costs 1. The engine first
+    computes the shortest cost [m] with a 0-1 BFS, then enumerates {e all}
+    acyclic paths of cost at most [m + slack] ([slack = 1] reproduces the
+    paper's configuration) with an admissible prune on the remaining
+    distance to the target. A multi-source search — the content-assist mode
+    that runs one query per visible variable "all at once" — costs about the
+    same as a single query. *)
+
+type path = {
+  source : Graph.node;
+  edges : Graph.edge list;  (** in order from source to target *)
+}
+
+val distances_to : Graph.t -> target:Graph.node -> int array
+(** Cost of the cheapest path from each node to [target]; [max_int] when
+    unreachable. *)
+
+val distances_from : Graph.t -> sources:Graph.node list -> int array
+(** Cost of the cheapest path from the nearest source to each node. *)
+
+val shortest_cost : Graph.t -> sources:Graph.node list -> target:Graph.node -> int option
+(** [None] when the target is unreachable from every source. *)
+
+val enumerate :
+  Graph.t ->
+  sources:Graph.node list ->
+  target:Graph.node ->
+  ?slack:int ->
+  ?limit:int ->
+  unit ->
+  path list
+(** All acyclic paths from any source to [target] of cost at most
+    [shortest + slack] (default [slack = 1]), up to [limit] paths (default
+    4096). Returns [[]] when unreachable. Paths of cost 0 (pure widening,
+    or an empty path when a source equals the target) are excluded: they
+    contain no code. *)
+
+val enumerate_per_source :
+  Graph.t ->
+  sources:Graph.node list ->
+  target:Graph.node ->
+  ?slack:int ->
+  ?limit:int ->
+  unit ->
+  path list
+(** Content-assist semantics: conceptually one query {e per} source, so each
+    source's paths are bounded by that source's own shortest cost plus
+    [slack] (a cheap [void] construction must not suppress a longer
+    solution from a visible variable). The backward BFS is shared, keeping
+    the cost close to a single query — the paper's "multiple starting
+    points" implementation note. *)
+
+val path_cost : path -> int
+(** Sum of the edge costs (widening free). *)

@@ -1,0 +1,75 @@
+module Jtype = Javamodel.Jtype
+
+exception Format_error of string
+
+let magic = "PROSPECTOR-GRAPH"
+
+let version = 1
+
+(* A pure-data dump; node ids are positions, so rebuilding in order
+   reproduces them exactly (interning is sequential). *)
+type dump = {
+  d_version : int;
+  d_nodes : (Jtype.t * string option) array;
+  d_edges : (int * Elem.t * int) list;
+}
+
+let dump_of_graph g =
+  let n = Graph.node_count g in
+  let d_nodes =
+    Array.init n (fun i -> (Graph.node_type g i, Graph.typestate_origin g i))
+  in
+  let d_edges = ref [] in
+  Graph.iter_edges g (fun e ->
+      d_edges := (e.Graph.src, e.Graph.elem, e.Graph.dst) :: !d_edges);
+  { d_version = version; d_nodes; d_edges = List.rev !d_edges }
+
+let graph_of_dump d =
+  if d.d_version <> version then
+    raise
+      (Format_error
+         (Printf.sprintf "graph format version %d, expected %d" d.d_version version));
+  let g = Graph.create () in
+  Array.iteri
+    (fun i (ty, origin) ->
+      let id =
+        match origin with
+        | None -> Graph.ensure_type_node g ty
+        | Some origin -> Graph.add_typestate g ~underlying:ty ~origin
+      in
+      if id <> i then raise (Format_error "node ids not reproducible"))
+    d.d_nodes;
+  List.iter (fun (src, elem, dst) -> Graph.add_edge g ~src elem ~dst) d.d_edges;
+  g
+
+let to_bytes g =
+  let payload = Marshal.to_bytes (dump_of_graph g) [] in
+  Bytes.cat (Bytes.of_string magic) payload
+
+let of_bytes b =
+  let mlen = String.length magic in
+  if Bytes.length b < mlen || Bytes.sub_string b 0 mlen <> magic then
+    raise (Format_error "not a prospector graph file");
+  let d : dump =
+    try Marshal.from_bytes b mlen
+    with Failure msg -> raise (Format_error ("corrupt graph file: " ^ msg))
+  in
+  graph_of_dump d
+
+let save g path =
+  let b = to_bytes g in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc b);
+  Bytes.length b
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      of_bytes b)

@@ -1,0 +1,22 @@
+(** On-disk graph representation (Section 5: the paper's graph "occupies
+    8 MB of space on disk and 24 MB when loaded into memory. Loading the
+    graph takes 1.5 seconds").
+
+    The format is OCaml's Marshal with a magic header and format version —
+    compact and fast, at the usual Marshal caveat: files are only readable
+    by a compatible build, so they are a cache, not an interchange format
+    (the interchange format is [.japi] text, which {!Japi.Printer}
+    round-trips). *)
+
+exception Format_error of string
+
+val save : Graph.t -> string -> int
+(** [save g path] writes the graph and returns the byte size written. *)
+
+val load : string -> Graph.t
+(** @raise Format_error on a missing/garbled header or version mismatch.
+    @raise Sys_error on I/O failure. *)
+
+val to_bytes : Graph.t -> bytes
+
+val of_bytes : bytes -> Graph.t

@@ -1,0 +1,22 @@
+(** Graph statistics for the Section 5 performance measurements: node and
+    edge counts by kind, and an estimate of in-memory size (the paper
+    reports 24 MB for J2SE + Eclipse; our curated subset is smaller, the
+    bench reports the analogous figure). *)
+
+type t = {
+  nodes : int;
+  real_nodes : int;
+  typestate_nodes : int;
+  edges : int;
+  widen_edges : int;
+  downcast_edges : int;
+  call_edges : int;
+  field_edges : int;
+  approx_bytes : int;
+}
+
+val of_graph : Graph.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

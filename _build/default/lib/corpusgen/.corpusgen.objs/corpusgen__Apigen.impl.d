@@ -1,0 +1,1 @@
+lib/corpusgen/apigen.ml: Javamodel List Printf Rng

@@ -1,0 +1,1 @@
+lib/corpusgen/apigen.mli: Javamodel

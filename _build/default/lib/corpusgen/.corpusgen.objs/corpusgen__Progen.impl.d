@@ -1,0 +1,1 @@
+lib/corpusgen/progen.ml: Buffer Javamodel List Printf Rng String

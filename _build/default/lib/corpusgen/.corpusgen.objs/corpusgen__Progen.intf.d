@@ -1,0 +1,1 @@
+lib/corpusgen/progen.mli: Javamodel

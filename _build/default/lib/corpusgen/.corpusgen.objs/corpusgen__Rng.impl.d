@@ -1,0 +1,1 @@
+lib/corpusgen/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/corpusgen/truthgen.ml: Array Buffer Japi Javamodel List Minijava Mining Printf Prospector Rng String

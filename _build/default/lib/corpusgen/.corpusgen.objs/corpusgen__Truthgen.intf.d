@@ -1,0 +1,1 @@
+lib/corpusgen/truthgen.mli: Javamodel

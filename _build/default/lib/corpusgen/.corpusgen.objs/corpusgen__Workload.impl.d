@@ -1,0 +1,1 @@
+lib/corpusgen/workload.ml: Apigen Array Buffer Japi Javamodel List Prospector Rng

@@ -1,0 +1,1 @@
+lib/corpusgen/workload.mli: Javamodel Prospector

@@ -1,0 +1,56 @@
+module Builder = Javamodel.Builder
+
+type params = {
+  classes : int;
+  packages : int;
+  methods_per_class : int;
+  subclass_fraction : float;
+  void_fraction : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    classes = 200;
+    packages = 8;
+    methods_per_class = 5;
+    subclass_fraction = 0.3;
+    void_fraction = 0.1;
+    seed = 42;
+  }
+
+let pkg_of p i = Printf.sprintf "synth.p%d" (i * p.packages / max 1 p.classes)
+
+let class_name p i = Printf.sprintf "%s.C%d" (pkg_of p i) i
+
+let class_qname p i = Javamodel.Qname.of_string (class_name p i)
+
+let generate p =
+  let rng = Rng.create ~seed:p.seed in
+  let b = Builder.create () in
+  for i = 0 to p.classes - 1 do
+    let extends =
+      if i > 0 && Rng.bool rng p.subclass_fraction then
+        Some (class_name p (Rng.int rng i))
+      else None
+    in
+    Builder.cls b ?extends (class_name p i);
+    let n_methods =
+      max 1 (p.methods_per_class / 2 + Rng.int rng (max 1 p.methods_per_class))
+    in
+    for m = 0 to n_methods - 1 do
+      let ret = class_name p (Rng.int rng p.classes) in
+      if Rng.bool rng p.void_fraction then
+        Builder.meth b ~static:true (Printf.sprintf "make%d" m) ~params:[] ~ret
+      else begin
+        let n_params = Rng.int rng 2 in
+        let params =
+          List.init n_params (fun _ ->
+              if Rng.bool rng 0.3 then "int" else class_name p (Rng.int rng p.classes))
+        in
+        Builder.meth b (Printf.sprintf "m%d" m) ~params ~ret
+      end
+    done;
+    if Rng.bool rng 0.5 then Builder.ctor b ~params:[] ()
+  done;
+  Builder.hierarchy b

@@ -1,0 +1,24 @@
+(** Synthetic API generator for scaling benchmarks.
+
+    Produces a layered, package-partitioned class hierarchy whose signature
+    graph has tunable size and connectivity: each class may extend an
+    earlier class, and methods reference types drawn from the whole set, so
+    path enumeration has realistic fan-out. Deterministic in the seed. *)
+
+type params = {
+  classes : int;
+  packages : int;
+  methods_per_class : int;  (** mean; actual counts vary ±50% *)
+  subclass_fraction : float;  (** probability a class extends an earlier one *)
+  void_fraction : float;  (** probability a method is static with no params *)
+  seed : int;
+}
+
+val default_params : params
+(** 200 classes, 8 packages, 5 methods per class, seed 42. *)
+
+val generate : params -> Javamodel.Hierarchy.t
+(** The synthetic hierarchy; class [i] is [synth.pN.Ci]. *)
+
+val class_qname : params -> int -> Javamodel.Qname.t
+(** The name of the [i]-th generated class. *)

@@ -1,0 +1,115 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Decl = Javamodel.Decl
+module Hierarchy = Javamodel.Hierarchy
+
+type params = {
+  client_classes : int;
+  methods_per_class : int;
+  max_chain : int;
+  cast_probability : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    client_classes = 6;
+    methods_per_class = 3;
+    max_chain = 4;
+    cast_probability = 0.4;
+    seed = 23;
+  }
+
+(* Methods of [q]'s own declaration that a generated chain can call:
+   instance, reference-returning. *)
+let chainable h q =
+  match Hierarchy.find_opt h q with
+  | None -> []
+  | Some d ->
+      List.filter
+        (fun (m : Member.meth) ->
+          (not m.Member.mstatic) && Jtype.is_reference m.Member.ret)
+        d.Decl.methods
+
+let ref_classes h =
+  List.filter_map
+    (fun (d : Decl.t) ->
+      if d.Decl.synthetic || Qname.equal d.Decl.dname Qname.object_qname then None
+      else if chainable h d.Decl.dname <> [] then Some d.Decl.dname
+      else None)
+    (Hierarchy.decls h)
+
+(* A literal argument for a parameter we do not want to chain through. *)
+let arg_for (_, ty) =
+  match ty with
+  | Jtype.Prim Jtype.Boolean -> "false"
+  | Jtype.Prim _ -> "0"
+  | Jtype.Ref q when Qname.equal q Qname.string_qname -> "\"x\""
+  | _ -> "null"
+
+let base_qname ty =
+  match ty with Jtype.Ref q -> Some q | _ -> None
+
+let generate h p =
+  let rng = Rng.create ~seed:p.seed in
+  let starts = ref_classes h in
+  if starts = [] then []
+  else begin
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "package progen;\n\n";
+    for c = 0 to p.client_classes - 1 do
+      Buffer.add_string buf (Printf.sprintf "class Client%d {\n" c);
+      for m = 0 to p.methods_per_class - 1 do
+        let start = Rng.pick rng starts in
+        Buffer.add_string buf
+          (Printf.sprintf "  void run%d(%s p0) {\n" m (Qname.to_string start));
+        let var = ref "p0" in
+        let cur = ref start in
+        let vcount = ref 0 in
+        let chain_len = 1 + Rng.int rng p.max_chain in
+        (let continue_ = ref true in
+         let step = ref 0 in
+         while !continue_ && !step < chain_len do
+           incr step;
+           match chainable h !cur with
+           | [] -> continue_ := false
+           | ms ->
+               let meth = Rng.pick rng ms in
+               incr vcount;
+               let v = Printf.sprintf "v%d" !vcount in
+               let args =
+                 String.concat ", " (List.map arg_for meth.Member.params)
+               in
+               Buffer.add_string buf
+                 (Printf.sprintf "    %s %s = %s.%s(%s);\n"
+                    (Jtype.to_string meth.Member.ret)
+                    v !var meth.Member.mname args);
+               var := v;
+               (match base_qname meth.Member.ret with
+               | Some q ->
+                   cur := q;
+                   (* sometimes cast the value to a strict subtype *)
+                   if Rng.bool rng p.cast_probability then begin
+                     let subs = Qname.Set.elements (Hierarchy.subtypes h q) in
+                     match subs with
+                     | [] -> ()
+                     | _ ->
+                         let sub = Rng.pick rng subs in
+                         incr vcount;
+                         let cv = Printf.sprintf "v%d" !vcount in
+                         Buffer.add_string buf
+                           (Printf.sprintf "    %s %s = (%s) %s;\n"
+                              (Qname.to_string sub) cv (Qname.to_string sub) !var);
+                         var := cv;
+                         cur := sub
+                   end
+               | None -> continue_ := false)
+         done);
+        Buffer.add_string buf "  }\n";
+        ()
+      done;
+      Buffer.add_string buf "}\n\n"
+    done;
+    [ (Printf.sprintf "progen-%d.java" p.seed, Buffer.contents buf) ]
+  end

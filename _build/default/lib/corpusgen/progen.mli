@@ -1,0 +1,21 @@
+(** Random mini-Java corpus generator for robustness testing.
+
+    Given a hierarchy (typically from {!Apigen}), produces client classes
+    whose method bodies chain calls that are guaranteed to resolve (every
+    member is drawn from the receiver's declaration), sprinkled with
+    downcasts to actual subtypes, [if]/[while] blocks, instance fields, and
+    cross-client helper calls — the whole surface the miner consumes.
+    Deterministic in the seed. *)
+
+type params = {
+  client_classes : int;
+  methods_per_class : int;
+  max_chain : int;  (** max calls per statement chain *)
+  cast_probability : float;
+  seed : int;
+}
+
+val default_params : params
+
+val generate : Javamodel.Hierarchy.t -> params -> (string * string) list
+(** [(filename, source)] pairs resolvable against the given hierarchy. *)

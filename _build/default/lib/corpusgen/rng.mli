@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (splitmix64): every synthetic
+    workload is reproducible from its seed, independently of OCaml's global
+    [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [\[0, bound)], [bound > 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, max)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,62 @@
+(** Ground-truth workloads for the Section 4.4 accuracy experiments.
+
+    The generated API has [producers] opaque lookup methods, each declared
+    to return [Object] but {e actually} (ground truth) returning one
+    specific model class. A corpus with coverage fraction [f] contains one
+    viable cast example for [f·producers] of them, each reached through one
+    of several interchangeable access routes. Because the declared types
+    hide the truth, only mining can synthesize the viable downcasts — and
+    we can score its output exactly:
+
+    - {b completeness}: the fraction of covered-or-not producers whose
+      viable jungloid [(Registry, Model_i)] the enriched graph synthesizes;
+    - {b precision}: the fraction of synthesized downcast jungloids that
+      are viable under the ground truth (cast target matches the producer's
+      actual class). *)
+
+type params = {
+  producers : int;
+  coverage : float;  (** fraction of producers with a corpus example *)
+  routes : int;  (** distinct access routes to the registry (≥1) *)
+  reuse_variable : bool;
+      (** one method reusing a single [Object o] across reassignments —
+          viable code that the paper's flow-insensitive slicer conflates
+          (default [false]) *)
+  seed : int;
+}
+
+val default_params : params
+(** 20 producers, coverage 1.0, 3 routes, no variable reuse, seed 7. *)
+
+type t = {
+  hierarchy : Javamodel.Hierarchy.t;
+  corpus : (string * string) list;  (** mini-Java sources *)
+  covered : bool array;  (** which producers have a corpus example *)
+  params : params;
+}
+
+val generate : params -> t
+
+val generate_with : covered:bool array -> params -> t
+(** Explicit coverage pattern (element [i] says whether producer [i] has a
+    corpus example) — used by tests and the precision ablation. *)
+
+val registry : string
+(** Dotted name of the registry class — the [tin] of every query. *)
+
+val model : int -> string
+(** Dotted name of producer [i]'s actual model class — the [tout]. *)
+
+type score = {
+  completeness : float;
+  precision : float;
+  synthesized : int;  (** downcast jungloids returned across all queries *)
+  viable : int;  (** of which viable under ground truth *)
+}
+
+val score :
+  ?generalize:bool -> ?min_keep:int -> ?flow_sensitive:bool -> ?tin:string -> t -> score
+(** Build the signature graph, mine the workload's corpus with the given
+    settings, run the [producers] queries, and score the results.
+    [tin] defaults to {!registry}; the flow-sensitivity ablation queries
+    from ["void"] because conflated examples retain their full chains. *)

@@ -1,0 +1,46 @@
+module Jtype = Javamodel.Jtype
+module Graph = Prospector.Graph
+module Search = Prospector.Search
+
+let scaling_api ~classes =
+  Apigen.generate { Apigen.default_params with classes; seed = 42 }
+
+let branchy_corpus ~branches =
+  let hierarchy =
+    Japi.Loader.load_string ~file:"branchy"
+      {|
+      package b;
+      class Box { Object get(); static Box make(); }
+      class Special { }
+      |}
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "package corpusb;\nclass C {\n  void f() {\n";
+  Buffer.add_string buf "    Object o = null;\n";
+  for _ = 1 to branches do
+    Buffer.add_string buf "    o = Box.make().get();\n"
+  done;
+  Buffer.add_string buf "    Special sp = (Special) o;\n  }\n}\n";
+  (hierarchy, [ ("branchy-corpus", Buffer.contents buf) ])
+
+let random_queries hierarchy graph ~count ~seed =
+  let rng = Rng.create ~seed in
+  let real =
+    List.filter_map
+      (fun (ty, node) ->
+        match ty with Jtype.Ref _ -> Some (ty, node) | _ -> None)
+      (Graph.real_nodes graph)
+  in
+  let arr = Array.of_list real in
+  let n = Array.length arr in
+  ignore hierarchy;
+  let rec sample acc tries =
+    if List.length acc >= count || tries > count * 200 then List.rev acc
+    else
+      let ti, si = arr.(Rng.int rng n) in
+      let to_, di = arr.(Rng.int rng n) in
+      if si <> di && Search.shortest_cost graph ~sources:[ si ] ~target:di <> None
+      then sample ({ Prospector.Query.tin = ti; tout = to_ } :: acc) (tries + 1)
+      else sample acc (tries + 1)
+  in
+  sample [] 0

@@ -1,0 +1,16 @@
+(** Named workloads shared by the bench harness and tests. *)
+
+val scaling_api : classes:int -> Javamodel.Hierarchy.t
+(** A synthetic API of the given size (fixed seed). *)
+
+val branchy_corpus :
+  branches:int -> Javamodel.Hierarchy.t * (string * string) list
+(** A corpus whose single cast has [branches] alternative producers — the
+    Section 4.2 extraction-blowup scenario that motivates the per-cast
+    cap. *)
+
+val random_queries :
+  Javamodel.Hierarchy.t -> Prospector.Graph.t -> count:int -> seed:int ->
+  Prospector.Query.t list
+(** Solvable queries sampled from a graph: pairs [(tin, tout)] with at least
+    one path, for latency distribution measurements. *)

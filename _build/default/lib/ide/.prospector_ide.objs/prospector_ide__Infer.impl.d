@@ -1,0 +1,1 @@
+lib/ide/infer.ml: Javamodel List Minijava Prospector

@@ -1,0 +1,1 @@
+lib/ide/infer.mli: Javamodel Minijava Prospector

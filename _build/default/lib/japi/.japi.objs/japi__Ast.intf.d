@@ -1,0 +1,1 @@
+lib/japi/ast.mli: Javamodel

@@ -1,0 +1,1 @@
+lib/japi/error.ml: Printexc Printf

@@ -1,0 +1,1 @@
+lib/japi/lexer.ml: Array Error List Printf String Token

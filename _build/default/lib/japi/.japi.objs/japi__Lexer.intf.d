@@ -1,0 +1,1 @@
+lib/japi/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/japi/loader.ml: Ast Error Hashtbl Javamodel List Logs Option Parser Printf String

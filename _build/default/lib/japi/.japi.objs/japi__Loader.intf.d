@@ -1,0 +1,1 @@
+lib/japi/loader.mli: Ast Javamodel

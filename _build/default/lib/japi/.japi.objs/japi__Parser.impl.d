@@ -1,0 +1,1 @@
+lib/japi/parser.ml: Array Ast Buffer Error Javamodel Lexer List Printf String Token

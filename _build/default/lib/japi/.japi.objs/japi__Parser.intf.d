@@ -1,0 +1,1 @@
+lib/japi/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/japi/printer.ml: Buffer Hashtbl Javamodel List Option Printf String

@@ -1,0 +1,1 @@
+lib/japi/printer.mli: Buffer Javamodel

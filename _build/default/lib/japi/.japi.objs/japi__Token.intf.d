@@ -1,0 +1,1 @@
+lib/japi/token.mli:

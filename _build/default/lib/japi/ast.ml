@@ -1,0 +1,46 @@
+type rtype = {
+  base : string;
+  dims : int;
+}
+
+type rparam = {
+  ptype : rtype;
+  pname : string option;
+}
+
+type rmember =
+  | Rfield of {
+      vis : Javamodel.Member.visibility;
+      static : bool;
+      typ : rtype;
+      name : string;
+    }
+  | Rmeth of {
+      vis : Javamodel.Member.visibility;
+      static : bool;
+      deprecated : bool;
+      ret : rtype;
+      name : string;
+      params : rparam list;
+    }
+  | Rctor of {
+      vis : Javamodel.Member.visibility;
+      params : rparam list;
+    }
+
+type rdecl = {
+  kind : Javamodel.Decl.kind;
+  abstract : bool;
+  name : string;
+  extends : string list;
+  implements : string list;
+  members : rmember list;
+  decl_line : int;
+}
+
+type rfile = {
+  src_file : string;
+  package : string list;
+  imports : string list;
+  decls : rdecl list;
+}

@@ -1,0 +1,51 @@
+(** Raw (unresolved) syntax trees for [.japi] files.
+
+    Type names are kept as dotted strings; {!Loader} resolves them against
+    the set of declarations loaded across all files. *)
+
+type rtype = {
+  base : string;  (** dotted name, primitive keyword, or ["void"] *)
+  dims : int;  (** array dimensions *)
+}
+
+type rparam = {
+  ptype : rtype;
+  pname : string option;  (** parameter names are optional in signatures *)
+}
+
+type rmember =
+  | Rfield of {
+      vis : Javamodel.Member.visibility;
+      static : bool;
+      typ : rtype;
+      name : string;
+    }
+  | Rmeth of {
+      vis : Javamodel.Member.visibility;
+      static : bool;
+      deprecated : bool;
+      ret : rtype;
+      name : string;
+      params : rparam list;
+    }
+  | Rctor of {
+      vis : Javamodel.Member.visibility;
+      params : rparam list;
+    }
+
+type rdecl = {
+  kind : Javamodel.Decl.kind;
+  abstract : bool;
+  name : string;  (** simple name; the file's package qualifies it *)
+  extends : string list;  (** dotted names *)
+  implements : string list;
+  members : rmember list;
+  decl_line : int;
+}
+
+type rfile = {
+  src_file : string;
+  package : string list;
+  imports : string list;  (** dotted names of imported types *)
+  decls : rdecl list;
+}

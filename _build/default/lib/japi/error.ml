@@ -1,0 +1,17 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+exception E of t
+
+let fail ~file ~line ~col msg = raise (E { file; line; col; msg })
+
+let to_string t = Printf.sprintf "%s:%d:%d: %s" t.file t.line t.col t.msg
+
+let () =
+  Printexc.register_printer (function
+    | E t -> Some (to_string t)
+    | _ -> None)

@@ -1,0 +1,16 @@
+(** Located errors for the [.japi] front end. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+exception E of t
+
+val fail : file:string -> line:int -> col:int -> string -> 'a
+(** Raise {!E}. *)
+
+val to_string : t -> string
+(** ["file:line:col: msg"]. *)

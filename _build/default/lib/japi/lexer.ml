@@ -1,0 +1,81 @@
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize ~file src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let i = ref 0 in
+  let emit kind ~line ~col = tokens := { Token.kind; line; col } :: !tokens in
+  let advance () =
+    (if src.[!i] = '\n' then (
+       incr line;
+       col := 1)
+     else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let tok_line = !line and tok_col = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then
+        Error.fail ~file ~line:tok_line ~col:tok_col "unterminated block comment"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      let kind =
+        match Token.keyword_of_ident word with
+        | Some kw -> kw
+        | None -> Token.Ident word
+      in
+      emit kind ~line:tok_line ~col:tok_col
+    end
+    else begin
+      let kind =
+        match c with
+        | '{' -> Some Token.Lbrace
+        | '}' -> Some Token.Rbrace
+        | '(' -> Some Token.Lparen
+        | ')' -> Some Token.Rparen
+        | ';' -> Some Token.Semi
+        | ',' -> Some Token.Comma
+        | '.' -> Some Token.Dot
+        | '[' -> Some Token.Lbracket
+        | ']' -> Some Token.Rbracket
+        | '@' -> Some Token.At
+        | _ -> None
+      in
+      match kind with
+      | Some k ->
+          advance ();
+          emit k ~line:tok_line ~col:tok_col
+      | None ->
+          Error.fail ~file ~line:tok_line ~col:tok_col
+            (Printf.sprintf "unexpected character '%c'" c)
+    end
+  done;
+  tokens := { Token.kind = Token.Eof; line = !line; col = !col } :: !tokens;
+  Array.of_list (List.rev !tokens)

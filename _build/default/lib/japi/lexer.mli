@@ -1,0 +1,8 @@
+(** Hand-written lexer for the [.japi] language.
+
+    Handles [//] line comments, [/* ... */] block comments (non-nesting, like
+    Java), and tracks line/column positions for error reporting. *)
+
+val tokenize : file:string -> string -> Token.t array
+(** The result always ends with a single {!Token.Eof} token.
+    @raise Error.E on an unexpected character or unterminated comment. *)

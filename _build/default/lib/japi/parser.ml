@@ -1,0 +1,247 @@
+type state = {
+  file : string;
+  toks : Token.t array;
+  mutable pos : int;
+}
+
+let peek st = st.toks.(st.pos)
+
+let next st =
+  let t = st.toks.(st.pos) in
+  if t.Token.kind <> Token.Eof then st.pos <- st.pos + 1;
+  t
+
+let fail_at st (t : Token.t) msg = Error.fail ~file:st.file ~line:t.line ~col:t.col msg
+
+let expect st kind =
+  let t = next st in
+  if t.Token.kind <> kind then
+    fail_at st t
+      (Printf.sprintf "expected %s but found %s" (Token.describe kind)
+         (Token.describe t.Token.kind))
+
+let expect_ident st what =
+  let t = next st in
+  match t.Token.kind with
+  | Token.Ident s -> s
+  | k -> fail_at st t (Printf.sprintf "expected %s but found %s" what (Token.describe k))
+
+(* Dotted name: IDENT (. IDENT)* *)
+let parse_dotted st =
+  let first = expect_ident st "a name" in
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf first;
+  let rec loop () =
+    match (peek st).Token.kind with
+    | Token.Dot ->
+        ignore (next st);
+        Buffer.add_char buf '.';
+        Buffer.add_string buf (expect_ident st "a name after '.'");
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_type st =
+  let base = parse_dotted st in
+  let rec dims n =
+    match (peek st).Token.kind with
+    | Token.Lbracket ->
+        ignore (next st);
+        expect st Token.Rbracket;
+        dims (n + 1)
+    | _ -> n
+  in
+  { Ast.base; dims = dims 0 }
+
+type modifiers = {
+  mutable vis : Javamodel.Member.visibility;
+  mutable static : bool;
+  mutable abstract : bool;
+  mutable deprecated : bool;
+}
+
+let parse_annotations_and_modifiers st =
+  let m =
+    { vis = Javamodel.Member.Public; static = false; abstract = false; deprecated = false }
+  in
+  let rec loop () =
+    match (peek st).Token.kind with
+    | Token.At ->
+        ignore (next st);
+        let name = expect_ident st "an annotation name" in
+        if String.equal name "Deprecated" then m.deprecated <- true;
+        loop ()
+    | Token.Kw_public ->
+        ignore (next st);
+        m.vis <- Javamodel.Member.Public;
+        loop ()
+    | Token.Kw_protected ->
+        ignore (next st);
+        m.vis <- Javamodel.Member.Protected;
+        loop ()
+    | Token.Kw_private ->
+        ignore (next st);
+        m.vis <- Javamodel.Member.Private;
+        loop ()
+    | Token.Kw_static ->
+        ignore (next st);
+        m.static <- true;
+        loop ()
+    | Token.Kw_abstract ->
+        ignore (next st);
+        m.abstract <- true;
+        loop ()
+    | Token.Kw_final ->
+        ignore (next st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  m
+
+let parse_params st =
+  expect st Token.Lparen;
+  let params = ref [] in
+  (match (peek st).Token.kind with
+  | Token.Rparen -> ()
+  | _ ->
+      let rec loop () =
+        let ptype = parse_type st in
+        let pname =
+          match (peek st).Token.kind with
+          | Token.Ident _ -> Some (expect_ident st "a parameter name")
+          | _ -> None
+        in
+        params := { Ast.ptype; pname } :: !params;
+        match (peek st).Token.kind with
+        | Token.Comma ->
+            ignore (next st);
+            loop ()
+        | _ -> ()
+      in
+      loop ());
+  expect st Token.Rparen;
+  List.rev !params
+
+let parse_member st ~decl_name =
+  let m = parse_annotations_and_modifiers st in
+  let first = parse_type st in
+  match (peek st).Token.kind with
+  | Token.Lparen when first.Ast.dims = 0 && String.equal first.Ast.base decl_name ->
+      (* Constructor: the declaration's own simple name followed by '('. *)
+      let params = parse_params st in
+      expect st Token.Semi;
+      Ast.Rctor { vis = m.vis; params }
+  | _ -> (
+      let name = expect_ident st "a member name" in
+      match (peek st).Token.kind with
+      | Token.Lparen ->
+          let params = parse_params st in
+          expect st Token.Semi;
+          Ast.Rmeth
+            {
+              vis = m.vis;
+              static = m.static;
+              deprecated = m.deprecated;
+              ret = first;
+              name;
+              params;
+            }
+      | _ ->
+          expect st Token.Semi;
+          Ast.Rfield { vis = m.vis; static = m.static; typ = first; name })
+
+let parse_name_list st =
+  let rec loop acc =
+    let n = parse_dotted st in
+    match (peek st).Token.kind with
+    | Token.Comma ->
+        ignore (next st);
+        loop (n :: acc)
+    | _ -> List.rev (n :: acc)
+  in
+  loop []
+
+let parse_decl st =
+  let decl_line = (peek st).Token.line in
+  let m = parse_annotations_and_modifiers st in
+  let kind =
+    match (next st).Token.kind with
+    | Token.Kw_class -> Javamodel.Decl.Class
+    | Token.Kw_interface -> Javamodel.Decl.Interface
+    | k ->
+        fail_at st
+          st.toks.(st.pos - 1)
+          (Printf.sprintf "expected 'class' or 'interface' but found %s"
+             (Token.describe k))
+  in
+  let name = expect_ident st "a class or interface name" in
+  let extends =
+    match (peek st).Token.kind with
+    | Token.Kw_extends ->
+        ignore (next st);
+        parse_name_list st
+    | _ -> []
+  in
+  let implements =
+    match (peek st).Token.kind with
+    | Token.Kw_implements ->
+        ignore (next st);
+        parse_name_list st
+    | _ -> []
+  in
+  expect st Token.Lbrace;
+  let members = ref [] in
+  let rec loop () =
+    match (peek st).Token.kind with
+    | Token.Rbrace -> ignore (next st)
+    | Token.Eof -> fail_at st (peek st) "unexpected end of input inside a declaration"
+    | _ ->
+        members := parse_member st ~decl_name:name :: !members;
+        loop ()
+  in
+  loop ();
+  {
+    Ast.kind;
+    abstract = m.abstract || kind = Javamodel.Decl.Interface;
+    name;
+    extends;
+    implements;
+    members = List.rev !members;
+    decl_line;
+  }
+
+let parse ~file src =
+  let st = { file; toks = Lexer.tokenize ~file src; pos = 0 } in
+  let package =
+    match (peek st).Token.kind with
+    | Token.Kw_package ->
+        ignore (next st);
+        let name = parse_dotted st in
+        expect st Token.Semi;
+        String.split_on_char '.' name
+    | _ -> []
+  in
+  let imports = ref [] in
+  let rec import_loop () =
+    match (peek st).Token.kind with
+    | Token.Kw_import ->
+        ignore (next st);
+        imports := parse_dotted st :: !imports;
+        expect st Token.Semi;
+        import_loop ()
+    | _ -> ()
+  in
+  import_loop ();
+  let decls = ref [] in
+  let rec decl_loop () =
+    match (peek st).Token.kind with
+    | Token.Eof -> ()
+    | _ ->
+        decls := parse_decl st :: !decls;
+        decl_loop ()
+  in
+  decl_loop ();
+  { Ast.src_file = file; package; imports = List.rev !imports; decls = List.rev !decls }

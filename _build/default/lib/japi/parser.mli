@@ -1,0 +1,17 @@
+(** Recursive-descent parser for [.japi] files.
+
+    Grammar (informally):
+    {v
+    file      ::= [package NAME ;] (import NAME ;)* decl*
+    decl      ::= modifiers (class | interface) IDENT
+                  [extends names] [implements names] { member* }
+    member    ::= annotation* modifiers
+                  ( type IDENT ( params ) ;          -- method
+                  | IDENT ( params ) ;               -- constructor (IDENT = decl name)
+                  | type IDENT ; )                   -- field
+    type      ::= NAME ("[" "]")*
+    annotation::= @ IDENT                            -- only @Deprecated is meaningful
+    v} *)
+
+val parse : file:string -> string -> Ast.rfile
+(** @raise Error.E on syntax errors. *)

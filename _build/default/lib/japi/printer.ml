@@ -1,0 +1,98 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Decl = Javamodel.Decl
+module Hierarchy = Javamodel.Hierarchy
+
+let vis_prefix = function
+  | Member.Public -> ""
+  | Member.Protected -> "protected "
+  | Member.Private -> "private "
+  | Member.Package -> ""
+
+let add_params buf params =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i (name, ty) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Jtype.to_string ty);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf name)
+    params;
+  Buffer.add_char buf ')'
+
+let print_decl buf (d : Decl.t) =
+  let kind_kw = match d.kind with Decl.Class -> "class" | Decl.Interface -> "interface" in
+  if d.abstract && d.kind = Decl.Class then Buffer.add_string buf "abstract ";
+  Buffer.add_string buf kind_kw;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Qname.simple d.dname);
+  if d.extends <> [] then begin
+    Buffer.add_string buf " extends ";
+    Buffer.add_string buf (String.concat ", " (List.map Qname.to_string d.extends))
+  end;
+  if d.implements <> [] then begin
+    Buffer.add_string buf " implements ";
+    Buffer.add_string buf (String.concat ", " (List.map Qname.to_string d.implements))
+  end;
+  Buffer.add_string buf " {\n";
+  List.iter
+    (fun (f : Member.field) ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (vis_prefix f.fvis);
+      if f.fstatic then Buffer.add_string buf "static ";
+      Buffer.add_string buf (Jtype.to_string f.ftype);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf f.fname;
+      Buffer.add_string buf ";\n")
+    d.fields;
+  List.iter
+    (fun (c : Member.ctor) ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (vis_prefix c.cvis);
+      Buffer.add_string buf (Qname.simple d.dname);
+      add_params buf c.cparams;
+      Buffer.add_string buf ";\n")
+    d.ctors;
+  List.iter
+    (fun (m : Member.meth) ->
+      Buffer.add_string buf "  ";
+      if m.mdeprecated then Buffer.add_string buf "@Deprecated ";
+      Buffer.add_string buf (vis_prefix m.mvis);
+      if m.mstatic then Buffer.add_string buf "static ";
+      Buffer.add_string buf (Jtype.to_string m.ret);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf m.mname;
+      add_params buf m.params;
+      Buffer.add_string buf ";\n")
+    d.methods;
+  Buffer.add_string buf "}\n"
+
+let group_by_package h =
+  let by_pkg = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Decl.t) ->
+      if not d.synthetic then begin
+        let pkg = Qname.package_string d.dname in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt by_pkg pkg) in
+        Hashtbl.replace by_pkg pkg (d :: existing)
+      end)
+    (Hierarchy.decls h);
+  Hashtbl.fold (fun pkg ds acc -> (pkg, List.rev ds) :: acc) by_pkg []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let print_package pkg ds =
+  let buf = Buffer.create 4096 in
+  if pkg <> "" then Buffer.add_string buf (Printf.sprintf "package %s;\n\n" pkg);
+  List.iteri
+    (fun j d ->
+      if j > 0 then Buffer.add_char buf '\n';
+      print_decl buf d)
+    ds;
+  Buffer.contents buf
+
+let print_files h =
+  List.map (fun (pkg, ds) -> (pkg, print_package pkg ds)) (group_by_package h)
+
+let print_hierarchy h =
+  String.concat "\n" (List.map snd (print_files h))

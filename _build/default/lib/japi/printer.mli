@@ -1,0 +1,17 @@
+(** Pretty-printer from the resolved model back to [.japi] text.
+
+    [print_hierarchy] groups declarations by package and emits fully
+    qualified type references, so its output re-loads to an equal hierarchy
+    (round-trip tested). Synthetic (opaque) declarations are skipped — the
+    loader re-invents them. *)
+
+val print_decl : Buffer.t -> Javamodel.Decl.t -> unit
+
+val print_files : Javamodel.Hierarchy.t -> (string * string) list
+(** One pseudo-file per package, suitable for {!Loader.load_files}; the name
+    of each pseudo-file is the package's dotted name. *)
+
+val print_hierarchy : Javamodel.Hierarchy.t -> string
+(** All packages concatenated, for human display only (a multi-package
+    output is not a single parsable [.japi] file — use {!print_files} for
+    round-tripping). *)

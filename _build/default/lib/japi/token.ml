@@ -1,0 +1,72 @@
+type kind =
+  | Ident of string
+  | Kw_package
+  | Kw_import
+  | Kw_class
+  | Kw_interface
+  | Kw_extends
+  | Kw_implements
+  | Kw_static
+  | Kw_public
+  | Kw_protected
+  | Kw_private
+  | Kw_abstract
+  | Kw_final
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Dot
+  | Lbracket
+  | Rbracket
+  | At
+  | Eof
+
+type t = {
+  kind : kind;
+  line : int;
+  col : int;
+}
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Kw_package -> "'package'"
+  | Kw_import -> "'import'"
+  | Kw_class -> "'class'"
+  | Kw_interface -> "'interface'"
+  | Kw_extends -> "'extends'"
+  | Kw_implements -> "'implements'"
+  | Kw_static -> "'static'"
+  | Kw_public -> "'public'"
+  | Kw_protected -> "'protected'"
+  | Kw_private -> "'private'"
+  | Kw_abstract -> "'abstract'"
+  | Kw_final -> "'final'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | At -> "'@'"
+  | Eof -> "end of input"
+
+let keyword_of_ident = function
+  | "package" -> Some Kw_package
+  | "import" -> Some Kw_import
+  | "class" -> Some Kw_class
+  | "interface" -> Some Kw_interface
+  | "extends" -> Some Kw_extends
+  | "implements" -> Some Kw_implements
+  | "static" -> Some Kw_static
+  | "public" -> Some Kw_public
+  | "protected" -> Some Kw_protected
+  | "private" -> Some Kw_private
+  | "abstract" -> Some Kw_abstract
+  | "final" -> Some Kw_final
+  | _ -> None

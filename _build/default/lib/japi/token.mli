@@ -1,0 +1,39 @@
+(** Tokens of the [.japi] API-signature surface language. *)
+
+type kind =
+  | Ident of string
+  | Kw_package
+  | Kw_import
+  | Kw_class
+  | Kw_interface
+  | Kw_extends
+  | Kw_implements
+  | Kw_static
+  | Kw_public
+  | Kw_protected
+  | Kw_private
+  | Kw_abstract
+  | Kw_final
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Dot
+  | Lbracket
+  | Rbracket
+  | At
+  | Eof
+
+type t = {
+  kind : kind;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+val describe : kind -> string
+(** Rendering for error messages, e.g. ["identifier 'foo'"] or ["'{'"]. *)
+
+val keyword_of_ident : string -> kind option
+(** Recognize the language's keywords; everything else is an identifier. *)

@@ -1,0 +1,1 @@
+lib/javamodel/builder.pp.ml: Decl Hashtbl Hierarchy Jtype List Member Printf Qname String

@@ -1,0 +1,1 @@
+lib/javamodel/builder.pp.mli: Hierarchy Jtype Member

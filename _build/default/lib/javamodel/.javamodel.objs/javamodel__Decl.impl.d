@@ -1,0 +1,1 @@
+lib/javamodel/decl.pp.ml: List Member Ppx_deriving_runtime Qname

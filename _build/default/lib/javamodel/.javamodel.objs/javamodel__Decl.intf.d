@@ -1,0 +1,1 @@
+lib/javamodel/decl.pp.mli: Member Ppx_deriving_runtime Qname

@@ -1,0 +1,1 @@
+lib/javamodel/hierarchy.pp.ml: Decl Hashtbl Jtype List Member Option Qname String

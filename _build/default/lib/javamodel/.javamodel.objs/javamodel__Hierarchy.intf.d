@@ -1,0 +1,1 @@
+lib/javamodel/hierarchy.pp.mli: Decl Jtype Member Qname

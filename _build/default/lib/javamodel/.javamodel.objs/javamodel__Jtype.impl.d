@@ -1,0 +1,1 @@
+lib/javamodel/jtype.pp.ml: Format Map Ppx_deriving_runtime Qname Set

@@ -1,0 +1,1 @@
+lib/javamodel/jtype.pp.mli: Map Ppx_deriving_runtime Qname Set

@@ -1,0 +1,1 @@
+lib/javamodel/member.pp.ml: Jtype List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/javamodel/member.pp.mli: Jtype Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/javamodel/qname.pp.ml: Format List Map Set String

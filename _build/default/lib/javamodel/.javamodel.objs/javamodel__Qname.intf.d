@@ -1,0 +1,1 @@
+lib/javamodel/qname.pp.mli: Format Map Set

@@ -1,0 +1,116 @@
+type pending = {
+  mutable p_kind : Decl.kind;
+  mutable p_extends : Qname.t list;
+  mutable p_implements : Qname.t list;
+  mutable p_abstract : bool;
+  mutable p_fields : Member.field list;  (* reversed *)
+  mutable p_methods : Member.meth list;  (* reversed *)
+  mutable p_ctors : Member.ctor list;  (* reversed *)
+}
+
+type t = {
+  default_pkg : string list;
+  mutable order : Qname.t list;  (* reversed declaration order *)
+  started : (string, pending) Hashtbl.t;
+  mutable current : (Qname.t * pending) option;
+}
+
+let create ?(default_pkg = "") () =
+  let pkg = if default_pkg = "" then [] else String.split_on_char '.' default_pkg in
+  { default_pkg = pkg; order = []; started = Hashtbl.create 64; current = None }
+
+let resolve_qname t s =
+  if String.contains s '.' then Qname.of_string s
+  else
+    let in_default = Qname.make ~pkg:t.default_pkg s in
+    if Hashtbl.mem t.started (Qname.to_string in_default) then in_default
+    else if Qname.simple Qname.object_qname = s then Qname.object_qname
+    else if Qname.simple Qname.string_qname = s then Qname.string_qname
+    else in_default
+
+let typ t s =
+  let rec strip_arrays s dims =
+    if String.length s > 2 && String.sub s (String.length s - 2) 2 = "[]" then
+      strip_arrays (String.sub s 0 (String.length s - 2)) (dims + 1)
+    else (s, dims)
+  in
+  let base, dims = strip_arrays (String.trim s) 0 in
+  let base_t =
+    if base = "void" then Jtype.Void
+    else
+      match Jtype.prim_of_string base with
+      | Some p -> Jtype.Prim p
+      | None -> Jtype.Ref (resolve_qname t base)
+  in
+  let rec wrap ty n = if n = 0 then ty else wrap (Jtype.Array ty) (n - 1) in
+  wrap base_t dims
+
+let start t name ~kind =
+  let q =
+    if String.contains name '.' then Qname.of_string name
+    else Qname.make ~pkg:t.default_pkg name
+  in
+  let p =
+    {
+      p_kind = kind;
+      p_extends = [];
+      p_implements = [];
+      p_abstract = false;
+      p_fields = [];
+      p_methods = [];
+      p_ctors = [];
+    }
+  in
+  Hashtbl.replace t.started (Qname.to_string q) p;
+  t.order <- q :: t.order;
+  t.current <- Some (q, p);
+  (q, p)
+
+let cls t ?extends ?(implements = []) ?(abstract = false) name =
+  let _, p = start t name ~kind:Decl.Class in
+  p.p_abstract <- abstract;
+  (match extends with
+  | Some e -> p.p_extends <- [ resolve_qname t e ]
+  | None -> ());
+  p.p_implements <- List.map (resolve_qname t) implements
+
+let iface t ?(extends = []) name =
+  let _, p = start t name ~kind:Decl.Interface in
+  p.p_extends <- List.map (resolve_qname t) extends
+
+let with_current t f =
+  match t.current with
+  | None -> invalid_arg "Builder: no declaration started"
+  | Some (_, p) -> f p
+
+let field t ?vis ?static name ~typ:ty =
+  with_current t (fun p ->
+      p.p_fields <- Member.field ?vis ?static name (typ t ty) :: p.p_fields)
+
+let meth t ?vis ?static ?deprecated name ~params ~ret =
+  with_current t (fun p ->
+      let params =
+        List.mapi (fun i s -> (Printf.sprintf "arg%d" i, typ t s)) params
+      in
+      p.p_methods <-
+        Member.meth ?vis ?static ?deprecated name ~params ~ret:(typ t ret)
+        :: p.p_methods)
+
+let ctor t ?vis ~params () =
+  with_current t (fun p ->
+      let params =
+        List.mapi (fun i s -> (Printf.sprintf "arg%d" i, typ t s)) params
+      in
+      p.p_ctors <- Member.ctor ?vis params :: p.p_ctors)
+
+let hierarchy t =
+  let decls =
+    List.rev_map
+      (fun q ->
+        let p = Hashtbl.find t.started (Qname.to_string q) in
+        Decl.make ~kind:p.p_kind ~extends:p.p_extends ~implements:p.p_implements
+          ~fields:(List.rev p.p_fields) ~methods:(List.rev p.p_methods)
+          ~ctors:(List.rev p.p_ctors) ~abstract:p.p_abstract q)
+      t.order
+  in
+  Hierarchy.of_decls decls

@@ -1,0 +1,49 @@
+(** Concise programmatic construction of API models, used heavily by tests
+    and the synthetic workload generator.
+
+    Types in builder calls are given as strings: ["java.io.File"] for a
+    reference type, ["int"] for a primitive, ["void"], and a ["[]"] suffix
+    for arrays (["java.lang.String[]"]). Unqualified names are looked up in
+    the builder's default package first, then treated as global. *)
+
+type t
+
+val create : ?default_pkg:string -> unit -> t
+(** [create ~default_pkg:"com.example" ()] — unqualified type strings in
+    subsequent calls resolve into [default_pkg] if a declaration with that
+    simple name was already started there. *)
+
+val typ : t -> string -> Jtype.t
+(** Parse a builder type string (see above). *)
+
+val cls :
+  t ->
+  ?extends:string ->
+  ?implements:string list ->
+  ?abstract:bool ->
+  string ->
+  unit
+(** Start a class declaration. *)
+
+val iface : t -> ?extends:string list -> string -> unit
+(** Start an interface declaration. *)
+
+val field : t -> ?vis:Member.visibility -> ?static:bool -> string -> typ:string -> unit
+(** Add a field to the most recently started declaration. *)
+
+val meth :
+  t ->
+  ?vis:Member.visibility ->
+  ?static:bool ->
+  ?deprecated:bool ->
+  string ->
+  params:string list ->
+  ret:string ->
+  unit
+(** Add a method; [params] are type strings (parameter names are generated). *)
+
+val ctor : t -> ?vis:Member.visibility -> params:string list -> unit -> unit
+(** Add a constructor to the most recently started declaration. *)
+
+val hierarchy : t -> Hierarchy.t
+(** Finish: build the closed hierarchy from everything declared so far. *)

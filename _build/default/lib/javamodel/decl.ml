@@ -1,0 +1,24 @@
+type kind = Class | Interface [@@deriving eq, ord, show]
+
+type t = {
+  dname : Qname.t;
+  kind : kind;
+  extends : Qname.t list;
+  implements : Qname.t list;
+  fields : Member.field list;
+  methods : Member.meth list;
+  ctors : Member.ctor list;
+  abstract : bool;
+  synthetic : bool;
+}
+[@@deriving eq, show]
+
+let make ?(kind = Class) ?(extends = []) ?(implements = []) ?(fields = [])
+    ?(methods = []) ?(ctors = []) ?(abstract = false) ?(synthetic = false) dname =
+  { dname; kind; extends; implements; fields; methods; ctors; abstract; synthetic }
+
+let opaque dname = make ~synthetic:true dname
+
+let is_interface t = t.kind = Interface
+
+let instantiable t = t.kind = Class && not t.abstract

@@ -1,0 +1,47 @@
+(** Class and interface declarations.
+
+    A declaration carries everything the signature graph needs: kind,
+    supertypes, and member signatures. Implicit facts (classes without an
+    [extends] clause extend [java.lang.Object]) are normalized by
+    {!Hierarchy}, not here. *)
+
+type kind = Class | Interface [@@deriving eq, ord, show]
+
+type t = {
+  dname : Qname.t;
+  kind : kind;
+  extends : Qname.t list;
+      (** superclass for a class (at most one), superinterfaces for an
+          interface (any number) *)
+  implements : Qname.t list;  (** interfaces implemented by a class *)
+  fields : Member.field list;
+  methods : Member.meth list;
+  ctors : Member.ctor list;
+  abstract : bool;
+  synthetic : bool;
+      (** [true] for declarations invented by the loader for referenced but
+          undeclared types; they behave as opaque classes extending Object *)
+}
+[@@deriving eq, show]
+
+val make :
+  ?kind:kind ->
+  ?extends:Qname.t list ->
+  ?implements:Qname.t list ->
+  ?fields:Member.field list ->
+  ?methods:Member.meth list ->
+  ?ctors:Member.ctor list ->
+  ?abstract:bool ->
+  ?synthetic:bool ->
+  Qname.t ->
+  t
+(** [make qname] defaults to a concrete, non-synthetic class with no members. *)
+
+val opaque : Qname.t -> t
+(** A synthetic placeholder class for a referenced but undeclared type. *)
+
+val is_interface : t -> bool
+
+val instantiable : t -> bool
+(** Concrete class (not abstract, not an interface): a constructor call can
+    produce a value of this exact type. *)

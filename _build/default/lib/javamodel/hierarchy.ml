@@ -1,0 +1,250 @@
+exception Unknown_type of Qname.t
+
+exception Duplicate_decl of Qname.t
+
+type t = {
+  table : (string, Decl.t) Hashtbl.t;
+  mutable reverse : Qname.Set.t Qname.Map.t option;
+      (* lazy strict-direct-subtype index, invalidated on add *)
+  mutable depth_cache : (string, int) Hashtbl.t;
+}
+
+let key q = Qname.to_string q
+
+let create () =
+  let t =
+    {
+      table = Hashtbl.create 1024;
+      reverse = None;
+      depth_cache = Hashtbl.create 1024;
+    }
+  in
+  Hashtbl.replace t.table (key Qname.object_qname) (Decl.make Qname.object_qname);
+  t
+
+let copy t =
+  {
+    table = Hashtbl.copy t.table;
+    reverse = None;
+    depth_cache = Hashtbl.create 1024;
+  }
+
+let find_opt t q = Hashtbl.find_opt t.table (key q)
+
+let find t q = match find_opt t q with Some d -> d | None -> raise (Unknown_type q)
+
+let mem t q = Hashtbl.mem t.table (key q)
+
+let size t = Hashtbl.length t.table
+
+let add t (d : Decl.t) =
+  if mem t d.dname then raise (Duplicate_decl d.dname);
+  Hashtbl.replace t.table (key d.dname) d;
+  t.reverse <- None;
+  Hashtbl.reset t.depth_cache
+
+let iter t f = Hashtbl.iter (fun _ d -> f d) t.table
+
+let fold t ~init ~f = Hashtbl.fold (fun _ d acc -> f acc d) t.table init
+
+let decls t =
+  fold t ~init:[] ~f:(fun acc d -> d :: acc)
+  |> List.sort (fun (a : Decl.t) (b : Decl.t) -> Qname.compare a.dname b.dname)
+
+(* Base reference names mentioned by a type, unwrapping arrays. *)
+let rec base_qnames ty acc =
+  match ty with
+  | Jtype.Ref q -> Qname.Set.add q acc
+  | Jtype.Array el -> base_qnames el acc
+  | Jtype.Prim _ | Jtype.Void -> acc
+
+let referenced_qnames (d : Decl.t) =
+  let acc = Qname.Set.empty in
+  let acc = List.fold_left (fun acc q -> Qname.Set.add q acc) acc d.extends in
+  let acc = List.fold_left (fun acc q -> Qname.Set.add q acc) acc d.implements in
+  let acc =
+    List.fold_left (fun acc (f : Member.field) -> base_qnames f.ftype acc) acc d.fields
+  in
+  let acc =
+    List.fold_left
+      (fun acc (m : Member.meth) ->
+        let acc = base_qnames m.ret acc in
+        List.fold_left (fun acc (_, ty) -> base_qnames ty acc) acc m.params)
+      acc d.methods
+  in
+  List.fold_left
+    (fun acc (c : Member.ctor) ->
+      List.fold_left (fun acc (_, ty) -> base_qnames ty acc) acc c.cparams)
+    acc d.ctors
+
+let ensure_closed t =
+  (* Fixpoint is unnecessary: opaque decls reference only Object. *)
+  let missing =
+    fold t ~init:Qname.Set.empty ~f:(fun acc d ->
+        Qname.Set.union acc
+          (Qname.Set.filter (fun q -> not (mem t q)) (referenced_qnames d)))
+  in
+  Qname.Set.iter (fun q -> add t (Decl.opaque q)) missing
+
+let of_decls ds =
+  let t = create () in
+  List.iter
+    (fun (d : Decl.t) ->
+      if Qname.equal d.dname Qname.object_qname then
+        (* Allow the data set to re-declare Object with real members. *)
+        Hashtbl.replace t.table (key d.dname) d
+      else add t d)
+    ds;
+  ensure_closed t;
+  t
+
+let direct_supers t q =
+  if Qname.equal q Qname.object_qname then []
+  else
+    match find_opt t q with
+    | None -> [ Qname.object_qname ]
+    | Some d -> (
+        match d.kind with
+        | Decl.Interface ->
+            (* Interface values widen to Object even without declared supers. *)
+            if d.extends = [] then [ Qname.object_qname ] else d.extends
+        | Decl.Class ->
+            let super =
+              match d.extends with [] -> [ Qname.object_qname ] | es -> es
+            in
+            super @ d.implements)
+
+let supers t q =
+  let rec go seen q =
+    List.fold_left
+      (fun seen s ->
+        if Qname.Set.mem s seen then seen else go (Qname.Set.add s seen) s)
+      seen (direct_supers t q)
+  in
+  go Qname.Set.empty q
+
+let is_subclass t sub sup =
+  Qname.equal sub sup
+  || Qname.equal sup Qname.object_qname
+  || Qname.Set.mem sup (supers t sub)
+
+let rec is_subtype t sub sup =
+  match (sub, sup) with
+  | Jtype.Ref a, Jtype.Ref b -> is_subclass t a b
+  | Jtype.Array _, Jtype.Ref b -> Qname.equal b Qname.object_qname
+  | Jtype.Array a, Jtype.Array b ->
+      Jtype.equal a b
+      || (Jtype.is_reference a && Jtype.is_reference b && is_subtype t a b)
+  | Jtype.Prim a, Jtype.Prim b -> a = b
+  | Jtype.Void, Jtype.Void -> true
+  | (Jtype.Ref _ | Jtype.Prim _ | Jtype.Void), _ | Jtype.Array _, _ -> false
+
+let reverse_index t =
+  match t.reverse with
+  | Some r -> r
+  | None ->
+      let r =
+        fold t ~init:Qname.Map.empty ~f:(fun acc (d : Decl.t) ->
+            List.fold_left
+              (fun acc sup ->
+                let cur =
+                  Option.value ~default:Qname.Set.empty (Qname.Map.find_opt sup acc)
+                in
+                Qname.Map.add sup (Qname.Set.add d.dname cur) acc)
+              acc
+              (direct_supers t d.dname))
+      in
+      t.reverse <- Some r;
+      r
+
+let subtypes t q =
+  let r = reverse_index t in
+  let direct sup = Option.value ~default:Qname.Set.empty (Qname.Map.find_opt sup r) in
+  let rec go seen q =
+    Qname.Set.fold
+      (fun s seen ->
+        if Qname.Set.mem s seen then seen else go (Qname.Set.add s seen) s)
+      (direct q) seen
+  in
+  go Qname.Set.empty q
+
+let depth t q =
+  (* [visiting] breaks inheritance cycles in malformed inputs; the japi
+     loader rejects them earlier, but depth must still terminate. *)
+  let rec go visiting q =
+    match Hashtbl.find_opt t.depth_cache (key q) with
+    | Some d -> d
+    | None ->
+        if Qname.Set.mem q visiting then 0
+        else
+          let visiting = Qname.Set.add q visiting in
+          let d =
+            match direct_supers t q with
+            | [] -> 0
+            | supers -> 1 + List.fold_left (fun m s -> max m (go visiting s)) 0 supers
+          in
+          Hashtbl.replace t.depth_cache (key q) d;
+          d
+  in
+  go Qname.Set.empty q
+
+let matching_meth (d : Decl.t) name ~arity =
+  List.find_opt
+    (fun (m : Member.meth) ->
+      String.equal m.mname name && List.length m.params = arity)
+    d.methods
+
+let lookup_method t q name ~arity =
+  let rec go visited q =
+    if Qname.Set.mem q visited then (visited, None)
+    else
+      let visited = Qname.Set.add q visited in
+      match find_opt t q with
+      | None -> (visited, None)
+      | Some d -> (
+          match matching_meth d name ~arity with
+          | Some m -> (visited, Some (q, m))
+          | None ->
+              List.fold_left
+                (fun (visited, found) sup ->
+                  match found with
+                  | Some _ -> (visited, found)
+                  | None -> go visited sup)
+                (visited, None) (direct_supers t q))
+  in
+  snd (go Qname.Set.empty q)
+
+let lookup_field t q name =
+  let rec go visited q =
+    if Qname.Set.mem q visited then (visited, None)
+    else
+      let visited = Qname.Set.add q visited in
+      match find_opt t q with
+      | None -> (visited, None)
+      | Some d -> (
+          match
+            List.find_opt (fun (f : Member.field) -> String.equal f.fname name) d.fields
+          with
+          | Some f -> (visited, Some (q, f))
+          | None ->
+              List.fold_left
+                (fun (visited, found) sup ->
+                  match found with
+                  | Some _ -> (visited, found)
+                  | None -> go visited sup)
+                (visited, None) (direct_supers t q))
+  in
+  snd (go Qname.Set.empty q)
+
+let dispatch_targets t recv name ~arity =
+  let candidates = Qname.Set.add recv (subtypes t recv) in
+  Qname.Set.fold
+    (fun q acc ->
+      match find_opt t q with
+      | None -> acc
+      | Some d -> (
+          match matching_meth d name ~arity with
+          | Some m -> (q, m) :: acc
+          | None -> acc))
+    candidates []
+  |> List.sort (fun (a, _) (b, _) -> Qname.compare a b)

@@ -1,0 +1,94 @@
+(** The class hierarchy: a closed table of declarations with subtyping.
+
+    The hierarchy is the substrate under both the signature graph (widening
+    edges, member enumeration) and the mining call-graph approximation
+    (dispatch targets by subtype). It normalizes implicit Java facts:
+
+    - every class other than [java.lang.Object] has a superclass
+      ([java.lang.Object] if the declaration named none);
+    - interface values widen to [java.lang.Object];
+    - array types are covariant and widen to [java.lang.Object];
+    - referenced but undeclared types can be closed over as opaque
+      synthetic classes with {!ensure_closed}. *)
+
+type t
+
+exception Unknown_type of Qname.t
+
+exception Duplicate_decl of Qname.t
+
+val create : unit -> t
+(** An empty hierarchy containing only [java.lang.Object]. *)
+
+val copy : t -> t
+(** An independent copy; additions to the copy do not affect the original.
+    Used to extend an API hierarchy with corpus client classes. *)
+
+val of_decls : Decl.t list -> t
+(** [of_decls ds] builds a hierarchy and {!ensure_closed}s it.
+    @raise Duplicate_decl if two declarations share a name. *)
+
+val add : t -> Decl.t -> unit
+(** @raise Duplicate_decl on re-declaration. *)
+
+val ensure_closed : t -> unit
+(** Add an opaque synthetic class for every type referenced by a signature or
+    an [extends]/[implements] clause but not declared. Idempotent. *)
+
+val find : t -> Qname.t -> Decl.t
+(** @raise Unknown_type *)
+
+val find_opt : t -> Qname.t -> Decl.t option
+
+val mem : t -> Qname.t -> bool
+
+val size : t -> int
+(** Number of declarations (including synthetic ones). *)
+
+val iter : t -> (Decl.t -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> Decl.t -> 'a) -> 'a
+
+val decls : t -> Decl.t list
+(** All declarations, sorted by name for deterministic iteration. *)
+
+val direct_supers : t -> Qname.t -> Qname.t list
+(** Immediate widening targets of a declared type: superclass and implemented
+    interfaces for a class, superinterfaces plus [Object] for an interface.
+    [Object] itself has none. Unknown types are treated as opaque classes
+    extending [Object]. *)
+
+val supers : t -> Qname.t -> Qname.Set.t
+(** Strict transitive supertypes. *)
+
+val is_subclass : t -> Qname.t -> Qname.t -> bool
+(** [is_subclass h sub sup] — reflexive transitive on declared names. *)
+
+val is_subtype : t -> Jtype.t -> Jtype.t -> bool
+(** Full widening-reference-conversion check on types: reflexive, transitive,
+    arrays covariant, every reference type a subtype of [Object]. Primitive
+    and [void] types are subtypes only of themselves. *)
+
+val subtypes : t -> Qname.t -> Qname.Set.t
+(** Strict transitive subtypes (inverse of {!supers}); reverse index is built
+    lazily and invalidated by {!add}. *)
+
+val depth : t -> Qname.t -> int
+(** Length of the longest chain of {!direct_supers} steps from the type up to
+    [Object]; [Object] has depth 0. Used by the output-generality ranking
+    tiebreak (larger depth = more specific type). *)
+
+val lookup_method : t -> Qname.t -> string -> arity:int -> (Qname.t * Member.meth) option
+(** Member lookup along the supertype chain, for the mini-Java resolver:
+    returns the declaring type and signature of the first matching method. *)
+
+val lookup_field : t -> Qname.t -> string -> (Qname.t * Member.field) option
+
+val dispatch_targets : t -> Qname.t -> string -> arity:int -> (Qname.t * Member.meth) list
+(** Conservative call-graph approximation by type hierarchy (Section 4.2):
+    all declarations at or below [recv] that declare a method with this name
+    and arity. *)
+
+val referenced_qnames : Decl.t -> Qname.Set.t
+(** Every type name mentioned by a declaration (supertypes and member
+    signatures), with array/element types unwrapped to their base names. *)

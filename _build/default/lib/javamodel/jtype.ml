@@ -1,0 +1,67 @@
+type prim = Boolean | Byte | Char | Short | Int | Long | Float | Double
+[@@deriving eq, ord, show]
+
+type t =
+  | Ref of Qname.t
+  | Array of t
+  | Prim of prim
+  | Void
+[@@deriving eq, ord, show]
+
+let ref_ q = Ref q
+
+let ref_of_string s = Ref (Qname.of_string s)
+
+let array t = Array t
+
+let object_t = Ref Qname.object_qname
+
+let string_t = Ref Qname.string_qname
+
+let is_reference = function Ref _ | Array _ -> true | Prim _ | Void -> false
+
+let prim_of_string = function
+  | "boolean" -> Some Boolean
+  | "byte" -> Some Byte
+  | "char" -> Some Char
+  | "short" -> Some Short
+  | "int" -> Some Int
+  | "long" -> Some Long
+  | "float" -> Some Float
+  | "double" -> Some Double
+  | _ -> None
+
+let prim_to_string = function
+  | Boolean -> "boolean"
+  | Byte -> "byte"
+  | Char -> "char"
+  | Short -> "short"
+  | Int -> "int"
+  | Long -> "long"
+  | Float -> "float"
+  | Double -> "double"
+
+let rec to_string = function
+  | Ref q -> Qname.to_string q
+  | Array t -> to_string t ^ "[]"
+  | Prim p -> prim_to_string p
+  | Void -> "void"
+
+let rec simple_string = function
+  | Ref q -> Qname.simple q
+  | Array t -> simple_string t ^ "[]"
+  | Prim p -> prim_to_string p
+  | Void -> "void"
+
+let element = function Array t -> Some t | Ref _ | Prim _ | Void -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,51 @@
+(** Java types as they appear in signatures.
+
+    Reference types — classes, interfaces, and arrays — are the only types
+    that can carry jungloid values (Definition 1 of the paper restricts
+    queries to reference types). Primitive types and [void] still appear in
+    signatures: primitive-typed parameters become free variables, and [void]
+    is the pseudo input type of zero-argument constructions. *)
+
+type prim = Boolean | Byte | Char | Short | Int | Long | Float | Double
+[@@deriving eq, ord, show]
+
+type t =
+  | Ref of Qname.t  (** class or interface type *)
+  | Array of t  (** array type; element may itself be any type *)
+  | Prim of prim  (** primitive type — never a jungloid node *)
+  | Void  (** method return [void], also the zero-input pseudo type *)
+[@@deriving eq, ord, show]
+
+val ref_ : Qname.t -> t
+
+val ref_of_string : string -> t
+(** [ref_of_string "java.io.File"] is [Ref (Qname.of_string ...)]. *)
+
+val array : t -> t
+
+val object_t : t
+(** [java.lang.Object]. *)
+
+val string_t : t
+(** [java.lang.String]. *)
+
+val is_reference : t -> bool
+(** [true] exactly for [Ref _] and [Array _]. *)
+
+val prim_of_string : string -> prim option
+(** Recognizes the eight Java primitive keywords. *)
+
+val prim_to_string : prim -> string
+
+val to_string : t -> string
+(** Java-like rendering, e.g. ["java.lang.String[]"]. *)
+
+val simple_string : t -> string
+(** Rendering with unqualified class names, e.g. ["String[]"]. *)
+
+val element : t -> t option
+(** Element type of an array, [None] otherwise. *)
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

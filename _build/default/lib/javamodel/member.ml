@@ -1,0 +1,41 @@
+type visibility = Public | Protected | Private | Package [@@deriving eq, ord, show]
+
+type field = {
+  fname : string;
+  ftype : Jtype.t;
+  fvis : visibility;
+  fstatic : bool;
+}
+[@@deriving eq, ord, show]
+
+type meth = {
+  mname : string;
+  params : (string * Jtype.t) list;
+  ret : Jtype.t;
+  mvis : visibility;
+  mstatic : bool;
+  mdeprecated : bool;
+}
+[@@deriving eq, ord, show]
+
+type ctor = {
+  cparams : (string * Jtype.t) list;
+  cvis : visibility;
+}
+[@@deriving eq, ord, show]
+
+let field ?(vis = Public) ?(static = false) fname ftype =
+  { fname; ftype; fvis = vis; fstatic = static }
+
+let meth ?(vis = Public) ?(static = false) ?(deprecated = false) mname ~params ~ret =
+  { mname; params; ret; mvis = vis; mstatic = static; mdeprecated = deprecated }
+
+let ctor ?(vis = Public) cparams = { cparams; cvis = vis }
+
+let meth_signature_string m =
+  let params = List.map (fun (_, t) -> Jtype.simple_string t) m.params in
+  Printf.sprintf "%s%s %s(%s)"
+    (if m.mstatic then "static " else "")
+    (Jtype.simple_string m.ret)
+    m.mname
+    (String.concat ", " params)

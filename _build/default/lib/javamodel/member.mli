@@ -1,0 +1,51 @@
+(** Class members: fields, methods, and constructors, with modifiers.
+
+    Only the parts of a signature that jungloid synthesis consumes are kept:
+    names, parameter and return types, and the modifiers that decide
+    visibility ([public] vs [protected]/[private]) and dispatch ([static]). *)
+
+type visibility = Public | Protected | Private | Package [@@deriving eq, ord, show]
+
+type field = {
+  fname : string;
+  ftype : Jtype.t;
+  fvis : visibility;
+  fstatic : bool;
+}
+[@@deriving eq, ord, show]
+
+type meth = {
+  mname : string;
+  params : (string * Jtype.t) list;  (** parameter name and type, in order *)
+  ret : Jtype.t;
+  mvis : visibility;
+  mstatic : bool;
+  mdeprecated : bool;
+}
+[@@deriving eq, ord, show]
+
+type ctor = {
+  cparams : (string * Jtype.t) list;
+  cvis : visibility;
+}
+[@@deriving eq, ord, show]
+
+val field : ?vis:visibility -> ?static:bool -> string -> Jtype.t -> field
+(** [field name typ] defaults to a public instance field. *)
+
+val meth :
+  ?vis:visibility ->
+  ?static:bool ->
+  ?deprecated:bool ->
+  string ->
+  params:(string * Jtype.t) list ->
+  ret:Jtype.t ->
+  meth
+(** [meth name ~params ~ret] defaults to a public instance method. *)
+
+val ctor : ?vis:visibility -> (string * Jtype.t) list -> ctor
+(** [ctor params] defaults to a public constructor. *)
+
+val meth_signature_string : meth -> string
+(** Human-readable signature, e.g. ["static Foo bar(Baz, int)"] — used by
+    error messages and the DOT exporter. *)

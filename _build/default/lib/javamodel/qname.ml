@@ -1,0 +1,43 @@
+type t = {
+  pkg : string list;
+  name : string;
+}
+
+let equal a b = String.equal a.name b.name && List.equal String.equal a.pkg b.pkg
+
+let compare a b =
+  match compare a.name b.name with 0 -> compare a.pkg b.pkg | c -> c
+
+let make ~pkg name = { pkg; name }
+
+let of_string s =
+  match List.rev (String.split_on_char '.' s) with
+  | [] | [ "" ] -> invalid_arg "Qname.of_string: empty name"
+  | name :: rev_pkg -> { pkg = List.rev rev_pkg; name }
+
+let to_string t = String.concat "." (t.pkg @ [ t.name ])
+
+let simple t = t.name
+
+let package t = t.pkg
+
+let package_string t = String.concat "." t.pkg
+
+let same_package a b = List.equal String.equal a.pkg b.pkg
+
+let object_qname = { pkg = [ "java"; "lang" ]; name = "Object" }
+
+let string_qname = { pkg = [ "java"; "lang" ]; name = "String" }
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let show = to_string
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

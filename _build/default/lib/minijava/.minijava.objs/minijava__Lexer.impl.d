@@ -1,0 +1,1 @@
+lib/minijava/lexer.ml: Array Buffer Japi List Printf String

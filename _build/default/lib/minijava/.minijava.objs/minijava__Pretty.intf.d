@@ -1,0 +1,1 @@
+lib/minijava/pretty.mli: Ast Buffer

@@ -1,0 +1,1 @@
+lib/minijava/resolve.ml: Ast Hashtbl Japi Javamodel List Option Parser Printf String Tast

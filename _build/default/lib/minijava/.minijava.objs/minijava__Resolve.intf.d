@@ -1,0 +1,1 @@
+lib/minijava/resolve.mli: Ast Javamodel Tast

@@ -1,0 +1,67 @@
+type pos = {
+  line : int;
+  col : int;
+}
+
+type rtype = {
+  base : string;
+  dims : int;
+}
+
+type expr = {
+  desc : desc;
+  pos : pos;
+}
+
+and desc =
+  | Name of string list
+  | Null
+  | Lit_string of string
+  | Lit_int of int
+  | Lit_bool of bool
+  | Class_lit of string
+  | Call of expr * string * expr list
+  | Field of expr * string
+  | Name_call of string list * string * expr list
+  | New of string * expr list
+  | Cast of rtype * expr
+  | Hole
+
+type stmt =
+  | Local of { typ : rtype; name : string; init : expr option; pos : pos }
+  | Assign of { target : string; value : expr; pos : pos }
+  | Expr of expr
+  | Return of expr option
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+  | While of { cond : expr; body : stmt list }
+
+type meth_def = {
+  m_name : string;
+  m_static : bool;
+  m_ret : rtype;
+  m_params : (rtype * string) list;
+  m_body : stmt list;
+  m_pos : pos;
+}
+
+type field_def = {
+  f_type : rtype;
+  f_name : string;
+  f_pos : pos;
+}
+
+type class_def = {
+  c_name : string;
+  c_extends : string option;
+  c_implements : string list;
+  c_fields : field_def list;
+  c_methods : meth_def list;
+  c_pos : pos;
+}
+
+type file = {
+  src_file : string;
+  package : string list;
+  imports : string list;
+  classes : class_def list;
+}

@@ -1,0 +1,77 @@
+(** Raw syntax trees for the mini-Java corpus language.
+
+    This is the client-code language that jungloid mining consumes: class
+    definitions with method bodies made of local declarations, assignments,
+    calls, casts, conditionals, and returns — the constructs the backward
+    slicer of Section 4.2 follows. Name chains such as [a.b.c(x)] stay
+    unresolved here ([Name] heads); {!Resolve} decides which prefix is a
+    variable, a class, or a package. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+type rtype = {
+  base : string;  (** dotted name, primitive keyword, or ["void"] *)
+  dims : int;
+}
+
+type expr = {
+  desc : desc;
+  pos : pos;
+}
+
+and desc =
+  | Name of string list  (** unresolved dotted chain: variable, field, or class *)
+  | Null
+  | Lit_string of string
+  | Lit_int of int
+  | Lit_bool of bool
+  | Class_lit of string  (** [Foo.class] *)
+  | Call of expr * string * expr list  (** [e.m(args)] *)
+  | Field of expr * string  (** [e.f] on a non-name expression *)
+  | Name_call of string list * string * expr list
+      (** [a.b.m(args)] with an unresolved head chain *)
+  | New of string * expr list
+  | Cast of rtype * expr
+  | Hole  (** the [?] placeholder: "I need a value here" (content assist) *)
+
+type stmt =
+  | Local of { typ : rtype; name : string; init : expr option; pos : pos }
+  | Assign of { target : string; value : expr; pos : pos }
+  | Expr of expr
+  | Return of expr option
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+  | While of { cond : expr; body : stmt list }
+
+type meth_def = {
+  m_name : string;
+  m_static : bool;
+  m_ret : rtype;
+  m_params : (rtype * string) list;
+  m_body : stmt list;
+  m_pos : pos;
+}
+
+type field_def = {
+  f_type : rtype;
+  f_name : string;
+  f_pos : pos;
+}
+
+type class_def = {
+  c_name : string;
+  c_extends : string option;
+  c_implements : string list;
+  c_fields : field_def list;
+  c_methods : meth_def list;
+  c_pos : pos;
+}
+
+type file = {
+  src_file : string;
+  package : string list;
+  imports : string list;
+  classes : class_def list;
+}

@@ -1,0 +1,21 @@
+(** Lexer for the mini-Java corpus language. Reuses {!Japi.Error} for
+    located failures. *)
+
+type kind =
+  | Ident of string
+  | String_lit of string
+  | Int_lit of int
+  | Kw of string
+      (** one of: package import class extends implements static public
+          protected private new return null true false void if else *)
+  | Punct of char  (** one of [{}()\[\];,.=?] *)
+  | Eof
+
+type token = {
+  kind : kind;
+  line : int;
+  col : int;
+}
+
+val tokenize : file:string -> string -> token array
+(** @raise Japi.Error.E on bad input. *)

@@ -1,0 +1,475 @@
+type state = {
+  file : string;
+  toks : Lexer.token array;
+  mutable pos : int;
+}
+
+let peek st = st.toks.(st.pos)
+
+let peek_at st k =
+  let i = st.pos + k in
+  if i < Array.length st.toks then st.toks.(i) else st.toks.(Array.length st.toks - 1)
+
+let next st =
+  let t = st.toks.(st.pos) in
+  if t.Lexer.kind <> Lexer.Eof then st.pos <- st.pos + 1;
+  t
+
+let fail st (t : Lexer.token) msg =
+  Japi.Error.fail ~file:st.file ~line:t.Lexer.line ~col:t.Lexer.col msg
+
+let describe = function
+  | Lexer.Ident s -> Printf.sprintf "identifier '%s'" s
+  | Lexer.String_lit _ -> "string literal"
+  | Lexer.Int_lit _ -> "integer literal"
+  | Lexer.Kw k -> Printf.sprintf "'%s'" k
+  | Lexer.Punct c -> Printf.sprintf "'%c'" c
+  | Lexer.Eof -> "end of input"
+
+let expect_punct st c =
+  let t = next st in
+  match t.Lexer.kind with
+  | Lexer.Punct c' when c = c' -> ()
+  | k -> fail st t (Printf.sprintf "expected '%c' but found %s" c (describe k))
+
+let expect_kw st kw =
+  let t = next st in
+  match t.Lexer.kind with
+  | Lexer.Kw k when k = kw -> ()
+  | k -> fail st t (Printf.sprintf "expected '%s' but found %s" kw (describe k))
+
+let expect_ident st what =
+  let t = next st in
+  match t.Lexer.kind with
+  | Lexer.Ident s -> s
+  | k -> fail st t (Printf.sprintf "expected %s but found %s" what (describe k))
+
+let pos_of (t : Lexer.token) = { Ast.line = t.Lexer.line; col = t.Lexer.col }
+
+let is_punct st k c =
+  match (peek_at st k).Lexer.kind with Lexer.Punct c' -> c = c' | _ -> false
+
+let is_ident st k =
+  match (peek_at st k).Lexer.kind with Lexer.Ident _ -> true | _ -> false
+
+(* Dotted name: IDENT (. IDENT)*; returns segments. *)
+let parse_dotted st =
+  let first = expect_ident st "a name" in
+  let rec loop acc =
+    if is_punct st 0 '.' && is_ident st 1 then begin
+      ignore (next st);
+      let s = expect_ident st "a name" in
+      loop (s :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+let type_keywords =
+  [ "boolean"; "byte"; "char"; "short"; "int"; "long"; "float"; "double" ]
+
+(* A type: dotted name or primitive keyword or void, plus array dims. *)
+let parse_rtype st =
+  let t = peek st in
+  let base =
+    match t.Lexer.kind with
+    | Lexer.Kw "void" ->
+        ignore (next st);
+        "void"
+    | Lexer.Ident s when List.mem s type_keywords ->
+        ignore (next st);
+        s
+    | Lexer.Ident _ -> String.concat "." (parse_dotted st)
+    | k -> fail st t (Printf.sprintf "expected a type but found %s" (describe k))
+  in
+  let rec dims n =
+    if is_punct st 0 '[' && is_punct st 1 ']' then begin
+      ignore (next st);
+      ignore (next st);
+      dims (n + 1)
+    end
+    else n
+  in
+  { Ast.base; dims = dims 0 }
+
+(* Detect a cast at '(': Ident (. Ident)* ([])* ')' followed by an
+   expression-starting token. *)
+let looks_like_cast st =
+  if not (is_punct st 0 '(') then false
+  else begin
+    let k = ref 1 in
+    let ok = ref (is_ident st !k) in
+    if !ok then begin
+      incr k;
+      let continue_ = ref true in
+      while !continue_ do
+        if is_punct st !k '.' && is_ident st (!k + 1) then k := !k + 2
+        else if is_punct st !k '[' && is_punct st (!k + 1) ']' then k := !k + 2
+        else continue_ := false
+      done;
+      if is_punct st !k ')' then begin
+        let after = (peek_at st (!k + 1)).Lexer.kind in
+        ok :=
+          (match after with
+          | Lexer.Ident _ | Lexer.String_lit _ | Lexer.Int_lit _ -> true
+          | Lexer.Kw ("new" | "null" | "true" | "false") -> true
+          | Lexer.Punct '(' -> true
+          | _ -> false)
+      end
+      else ok := false
+    end;
+    !ok
+  end
+
+let rec parse_expr st = parse_postfix st
+
+and parse_args st =
+  expect_punct st '(';
+  let args = ref [] in
+  if not (is_punct st 0 ')') then begin
+    let rec loop () =
+      args := parse_expr st :: !args;
+      if is_punct st 0 ',' then begin
+        ignore (next st);
+        loop ()
+      end
+    in
+    loop ()
+  end;
+  expect_punct st ')';
+  List.rev !args
+
+and parse_primary st =
+  let t = peek st in
+  let pos = pos_of t in
+  match t.Lexer.kind with
+  | Lexer.Kw "new" ->
+      ignore (next st);
+      let name = String.concat "." (parse_dotted st) in
+      let args = parse_args st in
+      { Ast.desc = Ast.New (name, args); pos }
+  | Lexer.Kw "null" ->
+      ignore (next st);
+      { Ast.desc = Ast.Null; pos }
+  | Lexer.Punct '?' ->
+      ignore (next st);
+      { Ast.desc = Ast.Hole; pos }
+  | Lexer.Kw "true" ->
+      ignore (next st);
+      { Ast.desc = Ast.Lit_bool true; pos }
+  | Lexer.Kw "false" ->
+      ignore (next st);
+      { Ast.desc = Ast.Lit_bool false; pos }
+  | Lexer.String_lit s ->
+      ignore (next st);
+      { Ast.desc = Ast.Lit_string s; pos }
+  | Lexer.Int_lit n ->
+      ignore (next st);
+      { Ast.desc = Ast.Lit_int n; pos }
+  | Lexer.Punct '(' when looks_like_cast st ->
+      ignore (next st);
+      let ty = parse_rtype st in
+      expect_punct st ')';
+      let e = parse_postfix st in
+      { Ast.desc = Ast.Cast (ty, e); pos }
+  | Lexer.Punct '(' ->
+      ignore (next st);
+      let e = parse_expr st in
+      expect_punct st ')';
+      e
+  | Lexer.Ident _ ->
+      (* A dotted chain; calls and [.class] are resolved in the postfix
+         loop, so collect only the pure-name prefix here: stop before a
+         segment that is followed by '('. *)
+      let first = expect_ident st "a name" in
+      let rec collect acc =
+        if
+          is_punct st 0 '.' && is_ident st 1
+          && not (is_punct st 2 '(')
+        then begin
+          ignore (next st);
+          let s = expect_ident st "a name" in
+          collect (s :: acc)
+        end
+        else List.rev acc
+      in
+      let segs = collect [ first ] in
+      (* Unqualified call [m(args)]: a call on the enclosing class (implicit
+         this / own static method); the resolver gets an empty head chain. *)
+      if segs = [ first ] && is_punct st 0 '(' then begin
+        let args = parse_args st in
+        { Ast.desc = Ast.Name_call ([], first, args); pos }
+      end
+      else (* [Foo.class] *)
+      if
+        is_punct st 0 '.'
+        && (match (peek_at st 1).Lexer.kind with Lexer.Kw "class" -> true | _ -> false)
+      then begin
+        ignore (next st);
+        ignore (next st);
+        { Ast.desc = Ast.Class_lit (String.concat "." segs); pos }
+      end
+      else if is_punct st 0 '.' && is_ident st 1 && is_punct st 2 '(' then begin
+        ignore (next st);
+        let m = expect_ident st "a method name" in
+        let args = parse_args st in
+        { Ast.desc = Ast.Name_call (segs, m, args); pos }
+      end
+      else { Ast.desc = Ast.Name segs; pos }
+  | k -> fail st t (Printf.sprintf "expected an expression but found %s" (describe k))
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if is_punct st 0 '.' && is_ident st 1 then begin
+      ignore (next st);
+      let name = expect_ident st "a member name" in
+      if is_punct st 0 '(' then
+        let args = parse_args st in
+        e := { Ast.desc = Ast.Call (!e, name, args); pos = (!e).Ast.pos }
+      else e := { Ast.desc = Ast.Field (!e, name); pos = (!e).Ast.pos }
+    end
+    else continue_ := false
+  done;
+  !e
+
+(* Statement lookahead: TYPE IDENT ('='|';') introduces a local. *)
+let looks_like_local st =
+  let k = ref 0 in
+  let type_start =
+    match (peek_at st 0).Lexer.kind with
+    | Lexer.Ident _ -> true
+    | Lexer.Kw "void" -> false
+    | _ -> false
+  in
+  if not type_start then false
+  else begin
+    incr k;
+    let continue_ = ref true in
+    while !continue_ do
+      if is_punct st !k '.' && is_ident st (!k + 1) then k := !k + 2
+      else if is_punct st !k '[' && is_punct st (!k + 1) ']' then k := !k + 2
+      else continue_ := false
+    done;
+    is_ident st !k && (is_punct st (!k + 1) '=' || is_punct st (!k + 1) ';')
+  end
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.Lexer.kind with
+  | Lexer.Kw "return" ->
+      ignore (next st);
+      if is_punct st 0 ';' then begin
+        ignore (next st);
+        Ast.Return None
+      end
+      else begin
+        let e = parse_expr st in
+        expect_punct st ';';
+        Ast.Return (Some e)
+      end
+  | Lexer.Kw "if" ->
+      ignore (next st);
+      expect_punct st '(';
+      let cond = parse_expr st in
+      expect_punct st ')';
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        match (peek st).Lexer.kind with
+        | Lexer.Kw "else" ->
+            ignore (next st);
+            parse_block_or_stmt st
+        | _ -> []
+      in
+      Ast.If { cond; then_; else_ }
+  | Lexer.Kw "while" ->
+      ignore (next st);
+      expect_punct st '(';
+      let cond = parse_expr st in
+      expect_punct st ')';
+      let body = parse_block_or_stmt st in
+      Ast.While { cond; body }
+  | _ when looks_like_local st ->
+      let pos = pos_of t in
+      let typ = parse_rtype st in
+      let name = expect_ident st "a variable name" in
+      let init =
+        if is_punct st 0 '=' then begin
+          ignore (next st);
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect_punct st ';';
+      Ast.Local { typ; name; init; pos }
+  | Lexer.Ident _ when is_punct st 1 '=' ->
+      let pos = pos_of t in
+      let target = expect_ident st "a variable name" in
+      expect_punct st '=';
+      let value = parse_expr st in
+      expect_punct st ';';
+      Ast.Assign { target; value; pos }
+  | _ ->
+      let e = parse_expr st in
+      expect_punct st ';';
+      Ast.Expr e
+
+and parse_block_or_stmt st =
+  if is_punct st 0 '{' then begin
+    ignore (next st);
+    let stmts = ref [] in
+    while not (is_punct st 0 '}') do
+      stmts := parse_stmt st :: !stmts
+    done;
+    ignore (next st);
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+let skip_modifiers st =
+  let static = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).Lexer.kind with
+    | Lexer.Kw ("public" | "protected" | "private" | "final") -> ignore (next st)
+    | Lexer.Kw "static" ->
+        ignore (next st);
+        static := true
+    | _ -> continue_ := false
+  done;
+  !static
+
+(* A class member is a field ([Type name;]) or a method ([Type name(...)]);
+   decided by the token after the member name. *)
+type member_parsed =
+  | Pfield of Ast.field_def
+  | Pmeth of Ast.meth_def
+
+let parse_meth st =
+  let m_pos = pos_of (peek st) in
+  let m_static = skip_modifiers st in
+  let m_ret = parse_rtype st in
+  let m_name = expect_ident st "a method name" in
+  expect_punct st '(';
+  let params = ref [] in
+  if not (is_punct st 0 ')') then begin
+    let rec loop () =
+      let ty = parse_rtype st in
+      let name = expect_ident st "a parameter name" in
+      params := (ty, name) :: !params;
+      if is_punct st 0 ',' then begin
+        ignore (next st);
+        loop ()
+      end
+    in
+    loop ()
+  end;
+  expect_punct st ')';
+  expect_punct st '{';
+  let body = ref [] in
+  while not (is_punct st 0 '}') do
+    body := parse_stmt st :: !body
+  done;
+  ignore (next st);
+  {
+    Ast.m_name;
+    m_static;
+    m_ret;
+    m_params = List.rev !params;
+    m_body = List.rev !body;
+    m_pos;
+  }
+
+let parse_member st =
+  (* lookahead across modifiers and the type to find the deciding token *)
+  let save = st.pos in
+  let f_pos = pos_of (peek st) in
+  ignore (skip_modifiers st);
+  let f_type = parse_rtype st in
+  let f_name = expect_ident st "a member name" in
+  match (peek st).Lexer.kind with
+  | Lexer.Punct ';' ->
+      ignore (next st);
+      Pfield { Ast.f_type; f_name; f_pos }
+  | _ ->
+      st.pos <- save;
+      Pmeth (parse_meth st)
+
+let parse_class st =
+  let c_pos = pos_of (peek st) in
+  ignore (skip_modifiers st);
+  expect_kw st "class";
+  let c_name = expect_ident st "a class name" in
+  let c_extends =
+    match (peek st).Lexer.kind with
+    | Lexer.Kw "extends" ->
+        ignore (next st);
+        Some (String.concat "." (parse_dotted st))
+    | _ -> None
+  in
+  let c_implements =
+    match (peek st).Lexer.kind with
+    | Lexer.Kw "implements" ->
+        ignore (next st);
+        let rec loop acc =
+          let n = String.concat "." (parse_dotted st) in
+          if is_punct st 0 ',' then begin
+            ignore (next st);
+            loop (n :: acc)
+          end
+          else List.rev (n :: acc)
+        in
+        loop []
+    | _ -> []
+  in
+  expect_punct st '{';
+  let methods = ref [] in
+  let fields = ref [] in
+  while not (is_punct st 0 '}') do
+    match parse_member st with
+    | Pfield f -> fields := f :: !fields
+    | Pmeth m -> methods := m :: !methods
+  done;
+  ignore (next st);
+  {
+    Ast.c_name;
+    c_extends;
+    c_implements;
+    c_fields = List.rev !fields;
+    c_methods = List.rev !methods;
+    c_pos;
+  }
+
+let parse ~file src =
+  let st = { file; toks = Lexer.tokenize ~file src; pos = 0 } in
+  let package =
+    match (peek st).Lexer.kind with
+    | Lexer.Kw "package" ->
+        ignore (next st);
+        let name = String.concat "." (parse_dotted st) in
+        expect_punct st ';';
+        String.split_on_char '.' name
+    | _ -> []
+  in
+  let imports = ref [] in
+  let rec import_loop () =
+    match (peek st).Lexer.kind with
+    | Lexer.Kw "import" ->
+        ignore (next st);
+        imports := String.concat "." (parse_dotted st) :: !imports;
+        expect_punct st ';';
+        import_loop ()
+    | _ -> ()
+  in
+  import_loop ();
+  let classes = ref [] in
+  while (peek st).Lexer.kind <> Lexer.Eof do
+    classes := parse_class st :: !classes
+  done;
+  {
+    Ast.src_file = file;
+    package;
+    imports = List.rev !imports;
+    classes = List.rev !classes;
+  }

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the mini-Java corpus language.
+
+    Statements: local declarations with initializers, assignments to local
+    variables, expression statements, [return], and [if]/[else] (whose
+    condition is parsed but ignored by the flow-insensitive miner).
+    Expressions: dotted name chains, instance and static calls, [new],
+    casts, [Foo.class], and literals. The variable/class ambiguity of
+    [a.b.c(x)] is left to {!Resolve}. *)
+
+val parse : file:string -> string -> Ast.file
+(** @raise Japi.Error.E on syntax errors. *)

@@ -1,0 +1,158 @@
+let rtype_string (rt : Ast.rtype) =
+  rt.Ast.base ^ String.concat "" (List.init rt.Ast.dims (fun _ -> "[]"))
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec print_expr buf (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Name segs -> Buffer.add_string buf (String.concat "." segs)
+  | Ast.Null -> Buffer.add_string buf "null"
+  | Ast.Lit_string s -> Buffer.add_string buf ("\"" ^ escape_string s ^ "\"")
+  | Ast.Lit_int n -> Buffer.add_string buf (string_of_int n)
+  | Ast.Lit_bool b -> Buffer.add_string buf (string_of_bool b)
+  | Ast.Class_lit name -> Buffer.add_string buf (name ^ ".class")
+  | Ast.Hole -> Buffer.add_char buf '?'
+  | Ast.Field (inner, name) ->
+      print_expr buf inner;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf name
+  | Ast.Call (inner, name, args) ->
+      print_expr buf inner;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf name;
+      print_args buf args
+  | Ast.Name_call ([], name, args) ->
+      Buffer.add_string buf name;
+      print_args buf args
+  | Ast.Name_call (segs, name, args) ->
+      Buffer.add_string buf (String.concat "." segs);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf name;
+      print_args buf args
+  | Ast.New (name, args) ->
+      Buffer.add_string buf ("new " ^ name);
+      print_args buf args
+  | Ast.Cast (rt, inner) ->
+      Buffer.add_string buf ("(" ^ rtype_string rt ^ ") ");
+      print_expr buf inner
+
+and print_args buf args =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      print_expr buf a)
+    args;
+  Buffer.add_char buf ')'
+
+let pad buf indent = Buffer.add_string buf (String.make indent ' ')
+
+let rec print_stmt buf ~indent (s : Ast.stmt) =
+  match s with
+  | Ast.Local { typ; name; init; pos = _ } ->
+      pad buf indent;
+      Buffer.add_string buf (rtype_string typ ^ " " ^ name);
+      (match init with
+      | Some e ->
+          Buffer.add_string buf " = ";
+          print_expr buf e
+      | None -> ());
+      Buffer.add_string buf ";\n"
+  | Ast.Assign { target; value; pos = _ } ->
+      pad buf indent;
+      Buffer.add_string buf (target ^ " = ");
+      print_expr buf value;
+      Buffer.add_string buf ";\n"
+  | Ast.Expr e ->
+      pad buf indent;
+      print_expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.Return None ->
+      pad buf indent;
+      Buffer.add_string buf "return;\n"
+  | Ast.Return (Some e) ->
+      pad buf indent;
+      Buffer.add_string buf "return ";
+      print_expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.If { cond; then_; else_ } ->
+      pad buf indent;
+      Buffer.add_string buf "if (";
+      print_expr buf cond;
+      Buffer.add_string buf ") {\n";
+      List.iter (print_stmt buf ~indent:(indent + 2)) then_;
+      pad buf indent;
+      Buffer.add_string buf "}";
+      if else_ <> [] then begin
+        Buffer.add_string buf " else {\n";
+        List.iter (print_stmt buf ~indent:(indent + 2)) else_;
+        pad buf indent;
+        Buffer.add_string buf "}"
+      end;
+      Buffer.add_char buf '\n'
+  | Ast.While { cond; body } ->
+      pad buf indent;
+      Buffer.add_string buf "while (";
+      print_expr buf cond;
+      Buffer.add_string buf ") {\n";
+      List.iter (print_stmt buf ~indent:(indent + 2)) body;
+      pad buf indent;
+      Buffer.add_string buf "}\n"
+
+let print_meth buf (m : Ast.meth_def) =
+  pad buf 2;
+  if m.Ast.m_static then Buffer.add_string buf "static ";
+  Buffer.add_string buf (rtype_string m.Ast.m_ret ^ " " ^ m.Ast.m_name ^ "(");
+  List.iteri
+    (fun i (ty, name) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (rtype_string ty ^ " " ^ name))
+    m.Ast.m_params;
+  Buffer.add_string buf ") {\n";
+  List.iter (print_stmt buf ~indent:4) m.Ast.m_body;
+  pad buf 2;
+  Buffer.add_string buf "}\n"
+
+let print_class buf (c : Ast.class_def) =
+  Buffer.add_string buf ("class " ^ c.Ast.c_name);
+  (match c.Ast.c_extends with
+  | Some e -> Buffer.add_string buf (" extends " ^ e)
+  | None -> ());
+  if c.Ast.c_implements <> [] then
+    Buffer.add_string buf (" implements " ^ String.concat ", " c.Ast.c_implements);
+  Buffer.add_string buf " {\n";
+  List.iter
+    (fun (f : Ast.field_def) ->
+      pad buf 2;
+      Buffer.add_string buf (rtype_string f.Ast.f_type ^ " " ^ f.Ast.f_name ^ ";\n"))
+    c.Ast.c_fields;
+  List.iteri
+    (fun i m ->
+      if i > 0 || c.Ast.c_fields <> [] then Buffer.add_char buf '\n';
+      print_meth buf m)
+    c.Ast.c_methods;
+  Buffer.add_string buf "}\n"
+
+let print_file (f : Ast.file) =
+  let buf = Buffer.create 1024 in
+  if f.Ast.package <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "package %s;\n\n" (String.concat "." f.Ast.package));
+  List.iter (fun imp -> Buffer.add_string buf (Printf.sprintf "import %s;\n" imp)) f.Ast.imports;
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf '\n';
+      print_class buf c)
+    f.Ast.classes;
+  Buffer.contents buf

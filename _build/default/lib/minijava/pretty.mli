@@ -1,0 +1,11 @@
+(** Pretty-printer from mini-Java syntax trees back to source text.
+
+    [print_file] emits a parseable program: parsing its output yields a
+    structurally equal tree (round-trip tested). Used by tooling that wants
+    to display corpus methods. *)
+
+val print_expr : Buffer.t -> Ast.expr -> unit
+
+val print_stmt : Buffer.t -> indent:int -> Ast.stmt -> unit
+
+val print_file : Ast.file -> string

@@ -1,0 +1,370 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Decl = Javamodel.Decl
+module Hierarchy = Javamodel.Hierarchy
+
+type ctx = {
+  h : Hierarchy.t;
+  by_simple : (string, Qname.t list) Hashtbl.t;
+  file : string;
+  package : string list;
+  imports : string list;
+  own : Qname.t;  (* enclosing class *)
+  static_ctx : bool;
+}
+
+let fail ctx (pos : Ast.pos) msg =
+  Japi.Error.fail ~file:ctx.file ~line:pos.Ast.line ~col:pos.Ast.col msg
+
+let simple_of_dotted s =
+  match List.rev (String.split_on_char '.' s) with
+  | last :: _ -> last
+  | [] -> s
+
+(* Resolve a class name written in source to a declared qname, or None. *)
+let resolve_class_opt ctx name =
+  if String.contains name '.' then
+    let q = Qname.of_string name in
+    if Hierarchy.mem ctx.h q then Some q else None
+  else
+    let in_pkg = Qname.make ~pkg:ctx.package name in
+    if Hierarchy.mem ctx.h in_pkg then Some in_pkg
+    else
+      match
+        List.find_opt (fun imp -> String.equal (simple_of_dotted imp) name) ctx.imports
+      with
+      | Some imp ->
+          let q = Qname.of_string imp in
+          if Hierarchy.mem ctx.h q then Some q else None
+      | None -> (
+          match Option.value ~default:[] (Hashtbl.find_opt ctx.by_simple name) with
+          | [ q ] -> Some q
+          | [] ->
+              if String.equal name "Object" then Some Qname.object_qname
+              else if String.equal name "String" then Some Qname.string_qname
+              else None
+          | _ :: _ :: _ -> None (* ambiguous: caller reports *))
+
+let resolve_class ctx pos name =
+  match resolve_class_opt ctx name with
+  | Some q -> q
+  | None -> fail ctx pos (Printf.sprintf "unknown class '%s'" name)
+
+let resolve_rtype ctx pos (rt : Ast.rtype) =
+  let base =
+    if String.equal rt.Ast.base "void" then Jtype.Void
+    else
+      match Jtype.prim_of_string rt.Ast.base with
+      | Some p -> Jtype.Prim p
+      | None -> Jtype.Ref (resolve_class ctx pos rt.Ast.base)
+  in
+  let rec wrap ty n = if n = 0 then ty else wrap (Jtype.Array ty) (n - 1) in
+  wrap base rt.Ast.dims
+
+let class_class = Jtype.ref_of_string "java.lang.Class"
+
+let base_qname ctx pos ty =
+  match ty with
+  | Jtype.Ref q -> q
+  | Jtype.Array _ -> Qname.object_qname
+  | Jtype.Prim _ | Jtype.Void ->
+      fail ctx pos (Printf.sprintf "%s has no members" (Jtype.to_string ty))
+
+let field_access ctx pos (recv : Tast.texpr) name =
+  match (recv.Tast.ty, name) with
+  | Jtype.Array _, "length" -> { Tast.tdesc = recv.Tast.tdesc; ty = Jtype.Prim Jtype.Int }
+  | _ -> (
+      let q = base_qname ctx pos recv.Tast.ty in
+      match Hierarchy.lookup_field ctx.h q name with
+      | Some (owner, f) -> { Tast.tdesc = Tast.Tfield (recv, owner, f); ty = f.Member.ftype }
+      | None ->
+          fail ctx pos
+            (Printf.sprintf "no field '%s' in %s" name (Qname.to_string q)))
+
+let own_field ctx name =
+  if ctx.static_ctx then None
+  else
+    match Hierarchy.lookup_field ctx.h ctx.own name with
+    | Some (owner, f) when not f.Member.fstatic -> Some (owner, f)
+    | _ -> None
+
+(* A resolved name chain is either a value or a bare class reference. *)
+type head =
+  | Value of Tast.texpr
+  | Class_ref of Qname.t
+
+let resolve_chain ctx env pos segs =
+  match segs with
+  | [] -> invalid_arg "resolve_chain: empty"
+  | head :: rest -> (
+      match List.assoc_opt head env with
+      | Some ty ->
+          let base = { Tast.tdesc = Tast.Tvar head; ty } in
+          Value (List.fold_left (fun acc seg -> field_access ctx pos acc seg) base rest)
+      | None when own_field ctx head <> None ->
+          (* an instance field of the enclosing class (locals shadow it) *)
+          let owner, f = Option.get (own_field ctx head) in
+          let this = { Tast.tdesc = Tast.Tvar "this"; ty = Jtype.ref_ ctx.own } in
+          let base = { Tast.tdesc = Tast.Tfield (this, owner, f); ty = f.Member.ftype } in
+          Value (List.fold_left (fun acc seg -> field_access ctx pos acc seg) base rest)
+      | None ->
+          (* Longest class prefix: try [head], then dotted prefixes. *)
+          let rec try_prefix taken remaining =
+            let name = String.concat "." (List.rev taken) in
+            match resolve_class_opt ctx name with
+            | Some q -> Some (q, remaining)
+            | None -> (
+                match remaining with
+                | [] -> None
+                | s :: rest -> try_prefix (s :: taken) rest)
+          in
+          (match try_prefix [ head ] rest with
+          | None ->
+              fail ctx pos
+                (Printf.sprintf "unknown name '%s'" (String.concat "." segs))
+          | Some (q, []) -> Class_ref q
+          | Some (q, fname :: more) -> (
+              (* first member must be a static field of the class *)
+              match Hierarchy.lookup_field ctx.h q fname with
+              | Some (owner, f) when f.Member.fstatic ->
+                  let base =
+                    { Tast.tdesc = Tast.Tstatic_field (owner, f); ty = f.Member.ftype }
+                  in
+                  Value
+                    (List.fold_left (fun acc seg -> field_access ctx pos acc seg) base more)
+              | Some _ ->
+                  fail ctx pos
+                    (Printf.sprintf "field '%s' of %s is not static" fname
+                       (Qname.to_string q))
+              | None ->
+                  fail ctx pos
+                    (Printf.sprintf "no static field '%s' in %s" fname (Qname.to_string q)))))
+
+let lookup_method_exn ctx pos q name ~arity =
+  match Hierarchy.lookup_method ctx.h q name ~arity with
+  | Some (owner, m) -> (owner, m)
+  | None ->
+      fail ctx pos
+        (Printf.sprintf "no method '%s/%d' in %s" name arity (Qname.to_string q))
+
+let rec resolve_expr ctx env (e : Ast.expr) : Tast.texpr =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Hole -> { Tast.tdesc = Tast.Thole; ty = Jtype.object_t }
+  | Ast.Null -> { Tast.tdesc = Tast.Tnull; ty = Jtype.object_t }
+  | Ast.Lit_string s -> { Tast.tdesc = Tast.Tstring s; ty = Jtype.string_t }
+  | Ast.Lit_int n -> { Tast.tdesc = Tast.Tint n; ty = Jtype.Prim Jtype.Int }
+  | Ast.Lit_bool b -> { Tast.tdesc = Tast.Tbool b; ty = Jtype.Prim Jtype.Boolean }
+  | Ast.Class_lit name ->
+      { Tast.tdesc = Tast.Tclass_lit (resolve_class ctx pos name); ty = class_class }
+  | Ast.Name segs -> (
+      match resolve_chain ctx env pos segs with
+      | Value v -> v
+      | Class_ref q ->
+          fail ctx pos
+            (Printf.sprintf "'%s' is a class, not a value" (Qname.to_string q)))
+  | Ast.Field (inner, name) ->
+      let recv = resolve_expr ctx env inner in
+      field_access ctx pos recv name
+  | Ast.Call (inner, name, args) ->
+      let recv = resolve_expr ctx env inner in
+      let targs = List.map (resolve_expr ctx env) args in
+      let q = base_qname ctx pos recv.Tast.ty in
+      let owner, m = lookup_method_exn ctx pos q name ~arity:(List.length args) in
+      { Tast.tdesc = Tast.Tcall (recv, owner, m, targs); ty = m.Member.ret }
+  | Ast.Name_call ([], name, args) ->
+      (* unqualified call: own class *)
+      let targs = List.map (resolve_expr ctx env) args in
+      let owner, m = lookup_method_exn ctx pos ctx.own name ~arity:(List.length args) in
+      if m.Member.mstatic then
+        { Tast.tdesc = Tast.Tstatic_call (owner, m, targs); ty = m.Member.ret }
+      else if ctx.static_ctx then
+        fail ctx pos
+          (Printf.sprintf "cannot call instance method '%s' from a static method" name)
+      else
+        let this = { Tast.tdesc = Tast.Tvar "this"; ty = Jtype.ref_ ctx.own } in
+        { Tast.tdesc = Tast.Tcall (this, owner, m, targs); ty = m.Member.ret }
+  | Ast.Name_call (segs, name, args) -> (
+      let targs = List.map (resolve_expr ctx env) args in
+      match resolve_chain ctx env pos segs with
+      | Value recv ->
+          let q = base_qname ctx pos recv.Tast.ty in
+          let owner, m = lookup_method_exn ctx pos q name ~arity:(List.length args) in
+          { Tast.tdesc = Tast.Tcall (recv, owner, m, targs); ty = m.Member.ret }
+      | Class_ref q ->
+          let owner, m = lookup_method_exn ctx pos q name ~arity:(List.length args) in
+          if not m.Member.mstatic then
+            fail ctx pos
+              (Printf.sprintf "method '%s' of %s is not static" name (Qname.to_string q));
+          { Tast.tdesc = Tast.Tstatic_call (owner, m, targs); ty = m.Member.ret })
+  | Ast.New (name, args) ->
+      let q = resolve_class ctx pos name in
+      let targs = List.map (resolve_expr ctx env) args in
+      (match Hierarchy.find_opt ctx.h q with
+      | Some d when (not d.Decl.synthetic) && d.Decl.ctors <> [] ->
+          let arity = List.length args in
+          if
+            not
+              (List.exists
+                 (fun (c : Member.ctor) -> List.length c.Member.cparams = arity)
+                 d.Decl.ctors)
+          then
+            fail ctx pos
+              (Printf.sprintf "no constructor of %s with %d arguments"
+                 (Qname.to_string q) arity)
+      | _ -> ());
+      { Tast.tdesc = Tast.Tnew (q, targs); ty = Jtype.ref_ q }
+  | Ast.Cast (rt, inner) ->
+      let ty = resolve_rtype ctx pos rt in
+      let v = resolve_expr ctx env inner in
+      { Tast.tdesc = Tast.Tcast (ty, v); ty }
+
+let rec resolve_stmt ctx env (s : Ast.stmt) : (string * Jtype.t) list * Tast.tstmt =
+  match s with
+  | Ast.Local { typ; name; init; pos } ->
+      let ty = resolve_rtype ctx pos typ in
+      let tinit = Option.map (resolve_expr ctx env) init in
+      (* a hole initializer takes the declared type of the local *)
+      let tinit =
+        match tinit with
+        | Some { Tast.tdesc = Tast.Thole; _ } -> Some { Tast.tdesc = Tast.Thole; ty }
+        | other -> other
+      in
+      ((name, ty) :: env, Tast.Tlocal (name, ty, tinit))
+  | Ast.Assign { target; value; pos } ->
+      if List.mem_assoc target env then
+        (env, Tast.Tassign (target, resolve_expr ctx env value))
+      else (
+        match own_field ctx target with
+        | Some (owner, f) ->
+            (env, Tast.Tfield_assign (owner, f, resolve_expr ctx env value))
+        | None -> fail ctx pos (Printf.sprintf "unknown variable '%s'" target))
+  | Ast.Expr e -> (env, Tast.Texpr (resolve_expr ctx env e))
+  | Ast.Return None -> (env, Tast.Treturn None)
+  | Ast.Return (Some e) -> (env, Tast.Treturn (Some (resolve_expr ctx env e)))
+  | Ast.If { cond; then_; else_ } ->
+      let tcond = resolve_expr ctx env cond in
+      (env, Tast.Tif (tcond, resolve_body ctx env then_, resolve_body ctx env else_))
+  | Ast.While { cond; body } ->
+      let tcond = resolve_expr ctx env cond in
+      (env, Tast.Twhile (tcond, resolve_body ctx env body))
+
+and resolve_body ctx env stmts =
+  let _, rev =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env', ts = resolve_stmt ctx env s in
+        (env', ts :: acc))
+      (env, []) stmts
+  in
+  List.rev rev
+
+(* ---------- program assembly ---------- *)
+
+let client_decl_skeletons files =
+  List.concat_map
+    (fun (f : Ast.file) ->
+      List.map (fun (c : Ast.class_def) -> Qname.make ~pkg:f.Ast.package c.Ast.c_name) f.Ast.classes)
+    files
+
+let build_simple_index h extra =
+  let idx = Hashtbl.create 256 in
+  let add q =
+    let s = Qname.simple q in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt idx s) in
+    if not (List.exists (Qname.equal q) existing) then Hashtbl.replace idx s (q :: existing)
+  in
+  Hierarchy.iter h (fun d -> if not d.Decl.synthetic then add d.Decl.dname);
+  List.iter add extra;
+  idx
+
+let program ~api files =
+  let h = Hierarchy.copy api in
+  let skeletons = client_decl_skeletons files in
+  let by_simple = build_simple_index h skeletons in
+  (* Phase 1: declare the client classes so their signatures resolve. *)
+  let mk_ctx (f : Ast.file) own static_ctx =
+    {
+      h;
+      by_simple;
+      file = f.Ast.src_file;
+      package = f.Ast.package;
+      imports = f.Ast.imports;
+      own;
+      static_ctx;
+    }
+  in
+  List.iter
+    (fun (f : Ast.file) ->
+      List.iter
+        (fun (c : Ast.class_def) ->
+          let own = Qname.make ~pkg:f.Ast.package c.Ast.c_name in
+          let ctx = mk_ctx f own false in
+          let pos = c.Ast.c_pos in
+          let methods =
+            List.map
+              (fun (m : Ast.meth_def) ->
+                Member.meth ~static:m.Ast.m_static m.Ast.m_name
+                  ~params:
+                    (List.map
+                       (fun (ty, name) -> (name, resolve_rtype ctx m.Ast.m_pos ty))
+                       m.Ast.m_params)
+                  ~ret:(resolve_rtype ctx m.Ast.m_pos m.Ast.m_ret))
+              c.Ast.c_methods
+          in
+          let fields =
+            List.map
+              (fun (f : Ast.field_def) ->
+                Member.field ~vis:Member.Private f.Ast.f_name
+                  (resolve_rtype ctx f.Ast.f_pos f.Ast.f_type))
+              c.Ast.c_fields
+          in
+          let extends =
+            match c.Ast.c_extends with
+            | Some e -> [ resolve_class ctx pos e ]
+            | None -> []
+          in
+          let implements = List.map (resolve_class ctx pos) c.Ast.c_implements in
+          Hierarchy.add h
+            (Decl.make ~extends ~implements ~methods ~fields
+               ~ctors:[ Member.ctor [] ]
+               own))
+        f.Ast.classes)
+    files;
+  Hierarchy.ensure_closed h;
+  (* Phase 2: resolve method bodies. *)
+  let methods =
+    List.concat_map
+      (fun (f : Ast.file) ->
+        List.concat_map
+          (fun (c : Ast.class_def) ->
+            let own = Qname.make ~pkg:f.Ast.package c.Ast.c_name in
+            List.map
+              (fun (m : Ast.meth_def) ->
+                let ctx = mk_ctx f own m.Ast.m_static in
+                let params =
+                  List.map
+                    (fun (ty, name) -> (name, resolve_rtype ctx m.Ast.m_pos ty))
+                    m.Ast.m_params
+                in
+                let env =
+                  if m.Ast.m_static then params
+                  else ("this", Jtype.ref_ own) :: params
+                in
+                {
+                  Tast.owner = own;
+                  name = m.Ast.m_name;
+                  static = m.Ast.m_static;
+                  params;
+                  ret = resolve_rtype ctx m.Ast.m_pos m.Ast.m_ret;
+                  body = resolve_body ctx env m.Ast.m_body;
+                })
+              c.Ast.c_methods)
+          f.Ast.classes)
+      files
+  in
+  { Tast.hierarchy = h; methods }
+
+let parse_program ~api sources =
+  program ~api (List.map (fun (file, src) -> Parser.parse ~file src) sources)

@@ -1,0 +1,14 @@
+(** Name resolution and light type checking for corpus files.
+
+    The corpus's own classes are added to (a copy of) the API hierarchy, so
+    client methods can call each other — Section 4.2 inlines such calls
+    during extraction. Resolution is deliberately permissive about argument
+    types (the corpus is assumed to compile under a real Java compiler); it
+    is strict about names: unknown variables, classes, fields, and methods
+    are located errors, which catches typos in hand-written corpus data. *)
+
+val program : api:Javamodel.Hierarchy.t -> Ast.file list -> Tast.program
+(** @raise Japi.Error.E on resolution failures. *)
+
+val parse_program : api:Javamodel.Hierarchy.t -> (string * string) list -> Tast.program
+(** Parse then resolve [(filename, source)] corpus files. *)

@@ -1,0 +1,80 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+
+type texpr = {
+  tdesc : tdesc;
+  ty : Jtype.t;
+}
+
+and tdesc =
+  | Tvar of string
+  | Tnull
+  | Tstring of string
+  | Tint of int
+  | Tbool of bool
+  | Tclass_lit of Qname.t
+  | Tfield of texpr * Qname.t * Member.field
+  | Tstatic_field of Qname.t * Member.field
+  | Tcall of texpr * Qname.t * Member.meth * texpr list
+  | Tstatic_call of Qname.t * Member.meth * texpr list
+  | Tnew of Qname.t * texpr list
+  | Tcast of Jtype.t * texpr
+  | Thole
+
+type tstmt =
+  | Tlocal of string * Jtype.t * texpr option
+  | Tassign of string * texpr
+  | Tfield_assign of Qname.t * Member.field * texpr
+  | Texpr of texpr
+  | Treturn of texpr option
+  | Tif of texpr * tstmt list * tstmt list
+  | Twhile of texpr * tstmt list
+
+type tmeth = {
+  owner : Qname.t;
+  name : string;
+  static : bool;
+  params : (string * Jtype.t) list;
+  ret : Jtype.t;
+  body : tstmt list;
+}
+
+type program = {
+  hierarchy : Javamodel.Hierarchy.t;
+  methods : tmeth list;
+}
+
+let method_key m =
+  Printf.sprintf "%s.%s/%d" (Qname.to_string m.owner) m.name (List.length m.params)
+
+let rec iter_expr e f =
+  f e;
+  match e.tdesc with
+  | Tvar _ | Tnull | Tstring _ | Tint _ | Tbool _ | Tclass_lit _ | Thole -> ()
+  | Tfield (r, _, _) -> iter_expr r f
+  | Tstatic_field _ -> ()
+  | Tcall (r, _, _, args) ->
+      iter_expr r f;
+      List.iter (fun a -> iter_expr a f) args
+  | Tstatic_call (_, _, args) | Tnew (_, args) -> List.iter (fun a -> iter_expr a f) args
+  | Tcast (_, inner) -> iter_expr inner f
+
+let rec iter_stmt s f =
+  match s with
+  | Tlocal (_, _, Some e) -> iter_expr e f
+  | Tlocal (_, _, None) -> ()
+  | Tassign (_, e) -> iter_expr e f
+  | Tfield_assign (_, _, e) -> iter_expr e f
+  | Texpr e -> iter_expr e f
+  | Treturn (Some e) -> iter_expr e f
+  | Treturn None -> ()
+  | Tif (c, a, b) ->
+      iter_expr c f;
+      List.iter (fun s -> iter_stmt s f) a;
+      List.iter (fun s -> iter_stmt s f) b
+  | Twhile (c, body) ->
+      iter_expr c f;
+      List.iter (fun s -> iter_stmt s f) body
+
+let iter_exprs body f = List.iter (fun s -> iter_stmt s f) body

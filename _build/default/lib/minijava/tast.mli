@@ -1,0 +1,61 @@
+(** Typed mini-Java trees: every expression carries its static type and
+    every member reference its declaring class — exactly the information the
+    backward slicer needs to turn corpus statements into elementary
+    jungloids. *)
+
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+
+type texpr = {
+  tdesc : tdesc;
+  ty : Jtype.t;
+}
+
+and tdesc =
+  | Tvar of string
+  | Tnull
+  | Tstring of string
+  | Tint of int
+  | Tbool of bool
+  | Tclass_lit of Qname.t  (** has type [java.lang.Class] *)
+  | Tfield of texpr * Qname.t * Member.field  (** receiver, declaring class *)
+  | Tstatic_field of Qname.t * Member.field
+  | Tcall of texpr * Qname.t * Member.meth * texpr list
+      (** receiver, class declaring the resolved signature *)
+  | Tstatic_call of Qname.t * Member.meth * texpr list
+  | Tnew of Qname.t * texpr list
+  | Tcast of Jtype.t * texpr
+  | Thole  (** typed by its context, e.g. the declared type of the local *)
+
+type tstmt =
+  | Tlocal of string * Jtype.t * texpr option
+  | Tassign of string * texpr
+  | Tfield_assign of Qname.t * Member.field * texpr
+      (** assignment to an instance field of the enclosing class *)
+  | Texpr of texpr
+  | Treturn of texpr option
+  | Tif of texpr * tstmt list * tstmt list
+  | Twhile of texpr * tstmt list
+
+type tmeth = {
+  owner : Qname.t;
+  name : string;
+  static : bool;
+  params : (string * Jtype.t) list;
+  ret : Jtype.t;
+  body : tstmt list;
+}
+
+type program = {
+  hierarchy : Javamodel.Hierarchy.t;
+      (** the API hierarchy extended with the corpus's own classes *)
+  methods : tmeth list;  (** every method of every corpus class *)
+}
+
+val method_key : tmeth -> string
+(** ["pkg.Class.name/arity"] — unique within a program; used by the
+    inliner's call-graph approximation. *)
+
+val iter_exprs : tstmt list -> (texpr -> unit) -> unit
+(** Visit every expression (including subexpressions) in a body. *)

@@ -1,0 +1,1 @@
+lib/mining/dataflow.ml: Hashtbl Javamodel List Map Minijava Option Printf String

@@ -1,0 +1,1 @@
+lib/mining/dataflow.mli: Javamodel Minijava

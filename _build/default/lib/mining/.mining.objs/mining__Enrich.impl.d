@@ -1,0 +1,1 @@
+lib/mining/enrich.ml: Dataflow Extract Generalize Javamodel List Logs Prospector

@@ -1,0 +1,1 @@
+lib/mining/enrich.mli: Extract Minijava Prospector

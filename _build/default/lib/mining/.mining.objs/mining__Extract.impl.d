@@ -1,0 +1,1 @@
+lib/mining/extract.ml: Dataflow Javamodel List Minijava Option Printf Prospector

@@ -1,0 +1,1 @@
+lib/mining/extract.mli: Dataflow Javamodel Prospector

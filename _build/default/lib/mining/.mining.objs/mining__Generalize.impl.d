@@ -1,0 +1,1 @@
+lib/mining/generalize.ml: Extract Hashtbl Javamodel List Prospector

@@ -1,0 +1,1 @@
+lib/mining/objparam.ml: Dataflow Enrich Extract Generalize Javamodel List

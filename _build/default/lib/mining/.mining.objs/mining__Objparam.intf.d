@@ -1,0 +1,1 @@
+lib/mining/objparam.mli: Javamodel Minijava Prospector

@@ -1,0 +1,63 @@
+(** Flow-insensitive def-use and call-graph indexes over a corpus
+    (Section 4.2: "a backward, interprocedural, flow-insensitive slice
+    using a conservative approximation of the call graph based on the type
+    hierarchy").
+
+    Flow-insensitivity means a variable's producers are {e all} expressions
+    ever assigned to it anywhere in its method, regardless of statement
+    order; context-insensitivity means a parameter's producers are the
+    matching arguments at {e every} call site in the corpus. *)
+
+module Qname = Javamodel.Qname
+module Tast = Minijava.Tast
+
+type t
+
+val build : ?flow_sensitive:bool -> Tast.program -> t
+(** With [flow_sensitive] (default [false], the paper's configuration), a
+    prepass records per-use reaching definitions so the slicer follows only
+    assignments that can actually reach each variable use — an ablation for
+    the imprecision the paper attributes to flow-insensitivity. *)
+
+val program : t -> Tast.program
+
+val is_flow_sensitive : t -> bool
+
+val reaching_defs : t -> Tast.texpr -> Tast.texpr list option
+(** Flow-sensitive mode only: the definitions reaching this exact [Tvar]
+    use node ([None] when flow-insensitive or the node is unknown). *)
+
+val var_producers : t -> method_key:string -> var:string -> Tast.texpr list
+(** Local-variable producers: initializers and assignments within the
+    method. Parameters are not included here — see {!param_producers}. *)
+
+val param_producers : t -> method_key:string -> var:string -> (string * Tast.texpr) list
+(** For a parameter (or ["this"]): the argument (or receiver) expressions at
+    every corpus call site that may dispatch to the method, paired with the
+    calling method's key. *)
+
+val is_param : t -> method_key:string -> var:string -> bool
+
+val corpus_callees : t -> recv_type:Javamodel.Jtype.t -> name:string -> arity:int -> Tast.tmeth list
+(** Corpus methods a call through a receiver of this static type may
+    dispatch to (type-hierarchy approximation: the receiver's class and all
+    its subtypes). *)
+
+val corpus_static_callee : t -> owner:Qname.t -> name:string -> arity:int -> Tast.tmeth option
+(** A static call dispatches to exactly the named class's method, when that
+    class is a corpus class. *)
+
+val find_method : t -> key:string -> Tast.tmeth option
+
+val field_producers : t -> owner:Qname.t -> field:string -> Tast.texpr list
+(** Corpus-wide assignments to an instance field of a corpus class —
+    flow-insensitive like everything else: any method of any instance may
+    have stored the value. *)
+
+val is_corpus_class : t -> Qname.t -> bool
+(** Whether the class is defined by the corpus (as opposed to the API). *)
+
+val casts : t -> (Tast.tmeth * Tast.texpr) list
+(** Every reference-to-reference cast expression in the corpus, with its
+    enclosing method, in deterministic order. The [texpr] is the [Tcast]
+    node itself. *)

@@ -1,0 +1,89 @@
+module Elem = Prospector.Elem
+module Jtype = Javamodel.Jtype
+
+type node = {
+  mutable casts : string list;  (* distinct final-cast keys seen here *)
+  mutable children : (Elem.t * node) list;
+}
+
+let fresh () = { casts = []; children = [] }
+
+(* The paper distinguishes examples by the type they cast to; for the §4.3
+   variant the distinguished position is the whole final call. *)
+let final_key = function
+  | Elem.Downcast { to_; _ } -> "cast:" ^ Jtype.to_string to_
+  | e -> "call:" ^ Elem.describe e ^ ":" ^ Jtype.to_string (Elem.input_type e)
+
+let note_cast node cast =
+  let k = final_key cast in
+  if not (List.mem k node.casts) then node.casts <- k :: node.casts
+
+let child node elem =
+  match List.find_opt (fun (e, _) -> Elem.equal e elem) node.children with
+  | Some (_, n) -> n
+  | None ->
+      let n = fresh () in
+      node.children <- (elem, n) :: node.children;
+      n
+
+let split_example (ex : Extract.example) =
+  match List.rev ex.Extract.elems with
+  | final :: rev_body -> (rev_body, final)
+  | [] -> invalid_arg "Generalize: empty example"
+
+let build_trie examples =
+  let root = fresh () in
+  List.iter
+    (fun ex ->
+      let rev_body, final = split_example ex in
+      let node = ref root in
+      note_cast !node final;
+      List.iter
+        (fun elem ->
+          node := child !node elem;
+          note_cast !node final)
+        rev_body)
+    examples;
+  root
+
+(* Depth (number of reversed-body elements) to retain for one example. *)
+let retained_depth ~min_keep root ex =
+  let rev_body, final = split_example ex in
+  ignore final;
+  let body_len = List.length rev_body in
+  let rec walk node depth = function
+    | _ when List.length node.casts <= 1 -> depth
+    | [] -> depth
+    | elem :: rest -> walk (child node elem) (depth + 1) rest
+  in
+  let needed = walk root 0 rev_body in
+  min body_len (max needed (min min_keep body_len))
+
+let cut ex depth =
+  let rev_body, final = split_example ex in
+  let kept_rev = List.filteri (fun i _ -> i < depth) rev_body in
+  let elems = List.rev (final :: kept_rev) in
+  let input =
+    match elems with
+    | first :: _ -> Elem.input_type first
+    | [] -> assert false
+  in
+  { ex with Extract.input; elems }
+
+let suffix_lengths ?(min_keep = 1) examples =
+  let root = build_trie examples in
+  List.map (retained_depth ~min_keep root) examples
+
+let run ?(min_keep = 1) examples =
+  let root = build_trie examples in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun ex ->
+      let g = cut ex (retained_depth ~min_keep root ex) in
+      let key = (g.Extract.input, g.Extract.elems) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        Some g
+      end)
+    examples

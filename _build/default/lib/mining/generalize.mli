@@ -1,0 +1,28 @@
+(** Example-jungloid generalization (Section 4.2, Figure 7).
+
+    An example often carries an unneeded prefix: only the suffix that
+    establishes the state for the final downcast matters, and a shorter
+    suffix composes with more producing jungloids. The constraint is not to
+    overgeneralize: if two examples [β·a·α·(T)] and [γ·b·α·(U)] share the
+    suffix [α] but end in different casts ([a ≠ b], [T ≠ U]), both must
+    retain [a·α] / [b·α] — the element where they diverge stays.
+
+    The algorithm stores the {e reversed} example bodies in a trie whose
+    nodes record the set of final casts passing through them, then cuts each
+    example at the first node whose cast set is a singleton — equivalent to
+    the paper's "removing subtries all of whose examples end in the same
+    casts", in O(nk).
+
+    [min_keep] (default 1) keeps at least that many pre-cast elements when
+    the example has them: the pure algorithm ([min_keep = 0]) may
+    generalize an unconflicted example to the bare downcast, which
+    reintroduces a Figure 3 edge; the paper's precision conditions (4.4)
+    assume the corpus is rich enough for this not to matter, and the
+    ablation bench measures both settings. *)
+
+val run : ?min_keep:int -> Extract.example list -> Extract.example list
+(** Generalized (suffix) examples, deduplicated; order follows the input. *)
+
+val suffix_lengths : ?min_keep:int -> Extract.example list -> int list
+(** For tests: the retained length (in elementary jungloids, widening
+    included, final cast excluded) for each input example, in order. *)

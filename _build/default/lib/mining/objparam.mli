@@ -1,0 +1,35 @@
+(** The Section 4.3 extension: mining for methods whose parameters are
+    declared [Object] or [String].
+
+    Such declarations say "anything goes", but in practice only objects of
+    particular model classes (or strings of a particular shape) are
+    acceptable — most jungloids calling them are inviable. The paper
+    proposes (but does not evaluate) running the mining machinery with these
+    parameter positions playing the role of downcasts. This module
+    implements that proposal: combined with
+    {!Prospector.Sig_graph.config.restrict_obj_string_params}, which removes
+    the indiscriminate signature edges into those positions, only mined
+    usages remain synthesizable. The [objparam] ablation bench measures the
+    effect. *)
+
+val is_obj_or_string : Javamodel.Jtype.t -> bool
+(** [true] exactly for [java.lang.Object] and [java.lang.String]. *)
+
+type stats = {
+  sites : int;  (** call-argument sites mined *)
+  examples_extracted : int;
+  examples_after_generalization : int;
+  edges_added : int;
+}
+
+val enrich :
+  ?max_per_cast:int ->
+  ?max_len:int ->
+  ?generalize:bool ->
+  ?min_keep:int ->
+  ?is_target:(Javamodel.Jtype.t -> bool) ->
+  Prospector.Graph.t ->
+  Minijava.Tast.program ->
+  stats
+(** Like {!Enrich.enrich} but for targeted parameter positions
+    ([is_target] defaults to {!is_obj_or_string}). *)

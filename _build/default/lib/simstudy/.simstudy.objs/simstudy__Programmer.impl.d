@@ -1,0 +1,1 @@
+lib/simstudy/programmer.ml: Apidata Corpusgen Javamodel List Option Prospector

@@ -1,0 +1,1 @@
+lib/simstudy/programmer.mli: Apidata Corpusgen Javamodel Prospector

@@ -1,0 +1,1 @@
+lib/simstudy/study_sim.ml: Apidata Buffer Corpusgen List Printf Programmer String

@@ -1,0 +1,1 @@
+lib/simstudy/study_sim.mli: Apidata Javamodel Programmer Prospector

@@ -1,0 +1,1 @@
+test/test_core_graph.ml: Alcotest Japi Javamodel List Option Printf Prospector

@@ -1,0 +1,1 @@
+test/test_core_more.ml: Alcotest Apidata Japi Javamodel List Mining Option Prospector String

@@ -1,0 +1,1 @@
+test/test_core_query.ml: Alcotest Buffer Japi Javamodel List Printf Prospector String

@@ -1,0 +1,1 @@
+test/test_core_search.ml: Alcotest Array Buffer Japi Javamodel List Option Printf Prospector

@@ -1,0 +1,1 @@
+test/test_corpusgen.ml: Alcotest Array Corpusgen Javamodel List Minijava Mining Printf Prospector

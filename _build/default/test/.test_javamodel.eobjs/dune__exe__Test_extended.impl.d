@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Apidata Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Apidata Bytes Filename Fun Japi Javamodel List Option Printf Prospector String Sys Unix

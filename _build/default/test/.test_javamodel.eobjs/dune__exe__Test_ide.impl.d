@@ -1,0 +1,1 @@
+test/test_ide.ml: Alcotest Apidata Javamodel List Prospector Prospector_ide String

@@ -1,0 +1,1 @@
+test/test_japi.ml: Alcotest Array Japi Javamodel List Printf String

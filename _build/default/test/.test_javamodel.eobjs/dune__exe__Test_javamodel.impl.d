@@ -1,0 +1,1 @@
+test/test_javamodel.ml: Alcotest Array Javamodel List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minijava.ml: Alcotest Apidata Array Japi Javamodel List Minijava String

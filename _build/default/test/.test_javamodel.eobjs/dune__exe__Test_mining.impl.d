@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Buffer Japi Javamodel List Minijava Mining Printf Prospector String

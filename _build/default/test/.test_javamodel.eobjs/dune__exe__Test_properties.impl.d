@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Corpusgen Japi Javamodel List Minijava Mining Prospector QCheck2 QCheck_alcotest String

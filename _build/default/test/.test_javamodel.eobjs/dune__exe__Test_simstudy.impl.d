@@ -1,0 +1,1 @@
+test/test_simstudy.ml: Alcotest Apidata Lazy List Printf Simstudy String

@@ -1,0 +1,1 @@
+test/test_table1.ml: Alcotest Apidata Javamodel Lazy List Minijava Mining Printf Prospector String

@@ -1,0 +1,13 @@
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 1
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 2
+  $ ../../bin/prospector_cli.exe assist org.eclipse.ui.IEditorInput -v ep:org.eclipse.ui.IEditorPart -n 3
+  $ cat > hole.java <<'JAVA'
+  > package client;
+  > class Demo {
+  >   void run(SelectionChangedEvent event) {
+  >     ISelection sel = ?;
+  >   }
+  > }
+  > JAVA
+  $ ../../bin/prospector_cli.exe infer hole.java -n 2
+  $ ../../bin/prospector_cli.exe query no.Such also.Missing

@@ -1,0 +1,40 @@
+The Section 1 parsing example at rank 1:
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 1
+  #1  λx. AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(x), false) : IFile -> ASTNode
+        ICompilationUnit compilationUnit = JavaCore.createCompilationUnitFrom(file);
+        CompilationUnit compilationUnit2 = AST.parseCompilationUnit(compilationUnit, false);
+
+The FAQ 270 void query:
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 2
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+
+Content assist with a visible variable:
+
+  $ ../../bin/prospector_cli.exe assist org.eclipse.ui.IEditorInput -v ep:org.eclipse.ui.IEditorPart -n 3
+  #1  ep.getEditorInput()   (uses ep)
+  #2  ((IFileEditorInput) ep.getEditorInput())   (uses ep)
+  #3  JDIDebugUIPlugin.getActivePage().getActiveEditor().getEditorInput()
+
+Query inference from a source hole:
+
+  $ cat > hole.java <<'JAVA'
+  > package client;
+  > class Demo {
+  >   void run(SelectionChangedEvent event) {
+  >     ISelection sel = ?;
+  >   }
+  > }
+  > JAVA
+  $ ../../bin/prospector_cli.exe infer hole.java -n 2
+  hole in client.Demo.run, expecting ISelection (in scope: this, event)
+    1. event.getSelection()
+    2. new StructuredSelection(event)
+  
+
+Unknown types fail cleanly:
+
+  $ ../../bin/prospector_cli.exe query no.Such also.Missing
+  no jungloids found

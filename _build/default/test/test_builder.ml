@@ -1,0 +1,97 @@
+(* Direct tests for Javamodel.Builder and Hierarchy.copy — the programmatic
+   construction path used by tests and the synthetic generators. *)
+
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Decl = Javamodel.Decl
+module Hierarchy = Javamodel.Hierarchy
+module Builder = Javamodel.Builder
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let q = Qname.of_string
+
+let test_builder_types () =
+  let b = Builder.create ~default_pkg:"p" () in
+  Builder.cls b "Local";
+  check_string "default pkg" "p.Local" (Jtype.to_string (Builder.typ b "Local"));
+  check_string "qualified" "a.b.C" (Jtype.to_string (Builder.typ b "a.b.C"));
+  check_string "prim" "int" (Jtype.to_string (Builder.typ b "int"));
+  check_string "void" "void" (Jtype.to_string (Builder.typ b "void"));
+  check_string "array" "p.Local[][]" (Jtype.to_string (Builder.typ b "Local[][]"));
+  check_string "object fallback" "java.lang.Object"
+    (Jtype.to_string (Builder.typ b "Object"));
+  check_string "string fallback" "java.lang.String"
+    (Jtype.to_string (Builder.typ b "String"))
+
+let test_builder_members_in_order () =
+  let b = Builder.create ~default_pkg:"p" () in
+  Builder.cls b "C";
+  Builder.meth b "first" ~params:[] ~ret:"C";
+  Builder.meth b "second" ~params:[ "int"; "C" ] ~ret:"void";
+  Builder.field b "f" ~typ:"String";
+  Builder.ctor b ~params:[ "C" ] ();
+  let h = Builder.hierarchy b in
+  let d = Hierarchy.find h (q "p.C") in
+  check_int "two methods" 2 (List.length d.Decl.methods);
+  check_string "order preserved" "first" (List.hd d.Decl.methods).Member.mname;
+  check_int "one field" 1 (List.length d.Decl.fields);
+  check_int "one ctor" 1 (List.length d.Decl.ctors);
+  check_int "ctor arity" 1 (List.length (List.hd d.Decl.ctors).Member.cparams)
+
+let test_builder_inheritance () =
+  let b = Builder.create ~default_pkg:"p" () in
+  Builder.iface b "I";
+  Builder.cls b "Base" ~implements:[ "I" ];
+  Builder.cls b "Derived" ~extends:"Base" ~abstract:true;
+  let h = Builder.hierarchy b in
+  check_bool "derived <= I" true (Hierarchy.is_subclass h (q "p.Derived") (q "p.I"));
+  check_bool "abstract recorded" true (Hierarchy.find h (q "p.Derived")).Decl.abstract;
+  check_bool "interface kind" true (Decl.is_interface (Hierarchy.find h (q "p.I")))
+
+let test_builder_no_current_fails () =
+  let b = Builder.create () in
+  match Builder.meth b "m" ~params:[] ~ret:"void" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument before any declaration"
+
+let test_hierarchy_copy_independent () =
+  let b = Builder.create ~default_pkg:"p" () in
+  Builder.cls b "A";
+  let h = Builder.hierarchy b in
+  let h' = Hierarchy.copy h in
+  Hierarchy.add h' (Decl.make (q "p.B"));
+  check_bool "copy has B" true (Hierarchy.mem h' (q "p.B"));
+  check_bool "original does not" false (Hierarchy.mem h (q "p.B"));
+  (* reverse index rebuilt per copy *)
+  check_bool "subtypes works on copy" true
+    (Qname.Set.mem (q "p.B") (Hierarchy.subtypes h' Qname.object_qname))
+
+let test_copy_preserves_lookup () =
+  let h = Apidata.Api.hierarchy () in
+  let h' = Hierarchy.copy h in
+  check_int "same size" (Hierarchy.size h) (Hierarchy.size h');
+  match Hierarchy.lookup_method h' (q "org.eclipse.ui.IWorkbenchPage") "getActiveEditor" ~arity:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "lookup on copy"
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "builder"
+    [
+      ( "builder",
+        [
+          tc "type strings" test_builder_types;
+          tc "members in order" test_builder_members_in_order;
+          tc "inheritance" test_builder_inheritance;
+          tc "no current fails" test_builder_no_current_fails;
+        ] );
+      ( "copy",
+        [
+          tc "independent" test_hierarchy_copy_independent;
+          tc "preserves lookup" test_copy_preserves_lookup;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+(* The extended evaluation set: 18 more Table 1-style problems over the
+   broadened API model. Each must surface its desired solution within the
+   row's rank bound — a regression corpus for the whole engine. *)
+
+module Extended = Apidata.Extended
+
+let measured =
+  lazy
+    (Extended.run_all
+       ~graph:(Apidata.Api.default_graph ())
+       ~hierarchy:(Apidata.Api.hierarchy ())
+       ())
+
+let test_all_found () =
+  List.iter
+    (fun (m : Extended.measured) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "problem %d (%s): rank %s within %d"
+           m.Extended.problem.Extended.id m.Extended.problem.Extended.description
+           (match m.Extended.rank with Some r -> string_of_int r | None -> "No")
+           m.Extended.problem.Extended.max_rank)
+        true (Extended.ok m))
+    (Lazy.force measured)
+
+let test_majority_rank_one () =
+  let ms = Lazy.force measured in
+  let rank1 = List.filter (fun m -> m.Extended.rank = Some 1) ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d at rank 1" (List.length rank1) (List.length ms))
+    true
+    (List.length rank1 * 2 >= List.length ms)
+
+let test_interactive () =
+  List.iter
+    (fun (m : Extended.measured) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "problem %d under 1.1s" m.Extended.problem.Extended.id)
+        true (m.Extended.time_s < 1.1))
+    (Lazy.force measured)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "extended"
+    [
+      ( "problems",
+        [
+          tc "all found within bounds" test_all_found;
+          tc "majority at rank 1" test_majority_rank_one;
+          tc "interactive latency" test_interactive;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the .japi lexer, parser, loader, and printer. *)
+
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Decl = Javamodel.Decl
+module Hierarchy = Javamodel.Hierarchy
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let q = Qname.of_string
+
+let load = Japi.Loader.load_string
+
+let expect_error src =
+  match Japi.Loader.load_string src with
+  | exception Japi.Error.E e -> e
+  | _ -> Alcotest.fail "expected a Japi.Error.E"
+
+(* ---------- lexer ---------- *)
+
+let kinds src =
+  Array.to_list (Japi.Lexer.tokenize ~file:"t" src)
+  |> List.map (fun t -> t.Japi.Token.kind)
+
+let test_lexer_basic () =
+  check_int "token count" 5 (List.length (kinds "class Foo { }"));
+  (* class, Ident, '{', '}', Eof *)
+  check_bool "class kw" true (List.mem Japi.Token.Kw_class (kinds "class Foo { }"))
+
+let test_lexer_comments () =
+  let ks = kinds "class /* hi \n multi */ Foo { // trailing\n }" in
+  check_bool "comments skipped" true
+    (ks = [ Japi.Token.Kw_class; Japi.Token.Ident "Foo"; Japi.Token.Lbrace;
+            Japi.Token.Rbrace; Japi.Token.Eof ])
+
+let test_lexer_positions () =
+  let toks = Japi.Lexer.tokenize ~file:"t" "class\n  Foo" in
+  check_int "line of Foo" 2 toks.(1).Japi.Token.line;
+  check_int "col of Foo" 3 toks.(1).Japi.Token.col
+
+let test_lexer_bad_char () =
+  match Japi.Lexer.tokenize ~file:"t" "class # Foo" with
+  | exception Japi.Error.E e ->
+      check_int "line" 1 e.Japi.Error.line;
+      check_int "col" 7 e.Japi.Error.col
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_lexer_unterminated_comment () =
+  match Japi.Lexer.tokenize ~file:"t" "/* oops" with
+  | exception Japi.Error.E e ->
+      check_bool "mentions comment" true
+        (String.length e.Japi.Error.msg > 0)
+  | _ -> Alcotest.fail "expected lexer error"
+
+(* ---------- parser + loader ---------- *)
+
+let test_parse_simple_class () =
+  let h =
+    load
+      {|
+      package demo;
+      public class Point {
+        Point(int x, int y);
+        int getX();
+        demo.Point translate(demo.Point delta);
+        static Point origin();
+      }
+      |}
+  in
+  let d = Hierarchy.find h (q "demo.Point") in
+  check_int "ctors" 1 (List.length d.Decl.ctors);
+  check_int "methods" 3 (List.length d.Decl.methods);
+  let origin = List.find (fun (m : Member.meth) -> m.mname = "origin") d.Decl.methods in
+  check_bool "origin static" true origin.Member.mstatic;
+  let translate =
+    List.find (fun (m : Member.meth) -> m.mname = "translate") d.Decl.methods
+  in
+  check_bool "param type resolved" true
+    (match translate.Member.params with
+    | [ (_, Jtype.Ref p) ] -> Qname.equal p (q "demo.Point")
+    | _ -> false)
+
+let test_parse_interface_and_extends () =
+  let h =
+    load
+      {|
+      package x;
+      interface A { }
+      interface B extends A { }
+      class C implements B { }
+      class D extends C implements A { }
+      |}
+  in
+  check_bool "B <= A" true (Hierarchy.is_subclass h (q "x.B") (q "x.A"));
+  check_bool "D <= A" true (Hierarchy.is_subclass h (q "x.D") (q "x.A"));
+  check_bool "D <= C" true (Hierarchy.is_subclass h (q "x.D") (q "x.C"));
+  let b = Hierarchy.find h (q "x.B") in
+  check_bool "interface abstract" true b.Decl.abstract
+
+let test_parse_fields_arrays () =
+  let h =
+    load
+      {|
+      package x;
+      class Buf {
+        byte[] data;
+        static Buf[] pool;
+        String[][] names;
+      }
+      |}
+  in
+  let d = Hierarchy.find h (q "x.Buf") in
+  let field n = List.find (fun (f : Member.field) -> f.fname = n) d.Decl.fields in
+  check_string "byte[]" "byte[]" (Jtype.to_string (field "data").Member.ftype);
+  check_bool "static pool" true (field "pool").Member.fstatic;
+  check_string "string[][]" "java.lang.String[][]"
+    (Jtype.to_string (field "names").Member.ftype)
+
+let test_visibility_and_deprecated () =
+  let h =
+    load
+      {|
+      package x;
+      class V {
+        private int secret();
+        protected V clone2();
+        @Deprecated Object legacy();
+      }
+      |}
+  in
+  let d = Hierarchy.find h (q "x.V") in
+  let m n = List.find (fun (m : Member.meth) -> m.mname = n) d.Decl.methods in
+  check_bool "private" true ((m "secret").Member.mvis = Member.Private);
+  check_bool "protected" true ((m "clone2").Member.mvis = Member.Protected);
+  check_bool "deprecated" true (m "legacy").Member.mdeprecated
+
+let test_object_string_fallback () =
+  let h = load "package x; class F { String name(); Object raw(); }" in
+  let d = Hierarchy.find h (q "x.F") in
+  let m n = List.find (fun (m : Member.meth) -> m.mname = n) d.Decl.methods in
+  check_string "String resolves to java.lang" "java.lang.String"
+    (Jtype.to_string (m "name").Member.ret);
+  check_string "Object resolves to java.lang" "java.lang.Object"
+    (Jtype.to_string (m "raw").Member.ret)
+
+let test_cross_file_resolution () =
+  let h =
+    Japi.Loader.load_files
+      [
+        ("a", "package aa; class Alpha { bb.Beta toBeta(); }");
+        ("b", "package bb; class Beta { Alpha back(); }");
+      ]
+  in
+  let beta = Hierarchy.find h (q "bb.Beta") in
+  let back = List.hd beta.Decl.methods in
+  (* "Alpha" is simple but globally unique -> resolves to aa.Alpha *)
+  check_string "unique simple name" "aa.Alpha" (Jtype.to_string back.Member.ret)
+
+let test_import_resolution () =
+  let h =
+    Japi.Loader.load_files
+      [
+        ("a", "package p1; class Thing { }");
+        ("b", "package p2; class Thing { }");
+        ("c", "package q; import p2.Thing; class User { Thing get(); }");
+      ]
+  in
+  let u = Hierarchy.find h (q "q.User") in
+  check_string "import wins" "p2.Thing"
+    (Jtype.to_string (List.hd u.Decl.methods).Member.ret)
+
+let test_ambiguous_simple_name () =
+  let e =
+    match
+      Japi.Loader.load_files
+        [
+          ("a", "package p1; class Thing { }");
+          ("b", "package p2; class Thing { }");
+          ("c", "package q; class User { Thing get(); }");
+        ]
+    with
+    | exception Japi.Error.E e -> e
+    | _ -> Alcotest.fail "expected ambiguity error"
+  in
+  check_bool "mentions ambiguity" true
+    (String.length e.Japi.Error.msg > 0
+    && String.sub e.Japi.Error.msg 0 9 = "ambiguous")
+
+let test_unknown_name_becomes_opaque () =
+  let h = load "package x; class F { ext.Widget gadget(); }" in
+  check_bool "opaque decl added" true (Hierarchy.mem h (q "ext.Widget"));
+  check_bool "synthetic" true (Hierarchy.find h (q "ext.Widget")).Decl.synthetic
+
+let test_duplicate_across_files () =
+  let e =
+    match
+      Japi.Loader.load_files
+        [ ("a", "package p; class X { }"); ("b", "package p; class X { }") ]
+    with
+    | exception Japi.Error.E e -> e
+    | _ -> Alcotest.fail "expected duplicate error"
+  in
+  check_string "file" "b" e.Japi.Error.file
+
+let test_class_extends_interface_rejected () =
+  let e = expect_error "package x; interface I { } class C extends I { }" in
+  check_bool "msg mentions not a class" true
+    (String.length e.Japi.Error.msg > 0)
+
+let test_interface_extends_class_rejected () =
+  let e = expect_error "package x; class C { } interface I extends C { }" in
+  check_bool "got error" true (e.Japi.Error.line > 0)
+
+let test_implements_class_rejected () =
+  let e = expect_error "package x; class A { } class B implements A { }" in
+  check_bool "got error" true (e.Japi.Error.line > 0)
+
+let test_inheritance_cycle_rejected () =
+  let e = expect_error "package x; interface A extends B { } interface B extends A { }" in
+  check_bool "cycle reported" true
+    (String.length e.Japi.Error.msg >= 5)
+
+let test_interface_ctor_rejected () =
+  let e = expect_error "package x; interface I { I(); }" in
+  check_bool "reports constructor" true (String.length e.Japi.Error.msg > 0)
+
+let test_syntax_error_located () =
+  let e = expect_error "package x;\nclass C {\n  int ();\n}" in
+  check_int "line" 3 e.Japi.Error.line
+
+let test_constructor_vs_method () =
+  let h =
+    load
+      {|
+      package x;
+      class Conn {
+        Conn(String url);
+        Conn dup();
+      }
+      |}
+  in
+  let d = Hierarchy.find h (q "x.Conn") in
+  check_int "one ctor" 1 (List.length d.Decl.ctors);
+  check_int "one method" 1 (List.length d.Decl.methods)
+
+(* ---------- printer round trip ---------- *)
+
+let strip_synthetic h =
+  List.filter (fun (d : Decl.t) -> not d.Decl.synthetic) (Hierarchy.decls h)
+
+let test_roundtrip () =
+  let src =
+    {|
+    package rt;
+    interface Readable { String read(); }
+    abstract class Stream implements Readable {
+      protected int bufsize;
+      Stream(int size);
+      @Deprecated static Stream open(String name);
+      byte[] bytes(int max, boolean strict);
+    }
+    class FileStream extends Stream {
+      FileStream(String path);
+    }
+    |}
+  in
+  let h1 = load src in
+  let h2 = Japi.Loader.load_files (Japi.Printer.print_files h1) in
+  let d1 = strip_synthetic h1 and d2 = strip_synthetic h2 in
+  check_int "same decl count" (List.length d1) (List.length d2);
+  List.iter2
+    (fun (a : Decl.t) (b : Decl.t) ->
+      check_bool (Printf.sprintf "decl %s equal" (Qname.to_string a.Decl.dname)) true
+        (Decl.equal a b))
+    d1 d2
+
+let test_roundtrip_multi_package () =
+  let h1 =
+    Japi.Loader.load_files
+      [
+        ("a", "package aa; class Alpha { bb.Beta toBeta(); }");
+        ("b", "package bb; class Beta { aa.Alpha back(); }");
+      ]
+  in
+  let h2 = Japi.Loader.load_files (Japi.Printer.print_files h1) in
+  check_int "decl count" (List.length (strip_synthetic h1))
+    (List.length (strip_synthetic h2))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "japi"
+    [
+      ( "lexer",
+        [
+          tc "basic" test_lexer_basic;
+          tc "comments" test_lexer_comments;
+          tc "positions" test_lexer_positions;
+          tc "bad char" test_lexer_bad_char;
+          tc "unterminated comment" test_lexer_unterminated_comment;
+        ] );
+      ( "parser",
+        [
+          tc "simple class" test_parse_simple_class;
+          tc "interfaces and extends" test_parse_interface_and_extends;
+          tc "fields and arrays" test_parse_fields_arrays;
+          tc "visibility and deprecated" test_visibility_and_deprecated;
+          tc "constructor vs method" test_constructor_vs_method;
+          tc "syntax error located" test_syntax_error_located;
+        ] );
+      ( "loader",
+        [
+          tc "Object/String fallback" test_object_string_fallback;
+          tc "cross-file resolution" test_cross_file_resolution;
+          tc "import resolution" test_import_resolution;
+          tc "ambiguous simple name" test_ambiguous_simple_name;
+          tc "unknown becomes opaque" test_unknown_name_becomes_opaque;
+          tc "duplicate across files" test_duplicate_across_files;
+          tc "class extends interface" test_class_extends_interface_rejected;
+          tc "interface extends class" test_interface_extends_class_rejected;
+          tc "implements class" test_implements_class_rejected;
+          tc "inheritance cycle" test_inheritance_cycle_rejected;
+          tc "interface constructor" test_interface_ctor_rejected;
+        ] );
+      ( "printer",
+        [
+          tc "roundtrip" test_roundtrip;
+          tc "roundtrip multi package" test_roundtrip_multi_package;
+        ] );
+    ]

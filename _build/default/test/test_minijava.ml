@@ -1,0 +1,482 @@
+(* Tests for the mini-Java corpus language: lexer, parser, resolver. The
+   fixture reproduces the paper's Figure 4 client method. *)
+
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Hierarchy = Javamodel.Hierarchy
+module Ast = Minijava.Ast
+module Tast = Minijava.Tast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* API model for the Figure 2/4 debugger-selection example. *)
+let debug_api () =
+  Japi.Loader.load_string
+    {|
+    package org.eclipse.debug.ui;
+    interface IDebugView { Viewer getViewer(); Object getAdapter(Class c); }
+    class Viewer { ISelection getSelection(); Object getInput(); }
+    interface ISelection { boolean isEmpty(); }
+    interface IStructuredSelection extends ISelection { Object getFirstElement(); }
+    class JavaInspectExpression { }
+    interface IWorkbenchPage { IWorkbenchPart getActivePart(); ISelection getSelection(); }
+    interface IWorkbenchPart { Object getAdapter(Class c); }
+    class JDIDebugUIPlugin { static IWorkbenchPage getActivePage(); }
+    interface IJavaObject { }
+    |}
+
+let figure4_source =
+  {|
+  package corpus;
+  class GetContext {
+    protected IJavaObject getObjectContext() {
+      IWorkbenchPage page = JDIDebugUIPlugin.getActivePage();
+      IWorkbenchPart activePart = page.getActivePart();
+      IDebugView view = (IDebugView) activePart.getAdapter(IDebugView.class);
+      ISelection s = view.getViewer().getSelection();
+      IStructuredSelection sel = (IStructuredSelection) s;
+      Object selection = sel.getFirstElement();
+      JavaInspectExpression var = (JavaInspectExpression) selection;
+      return null;
+    }
+  }
+  |}
+
+let resolve_figure4 () =
+  Minijava.Resolve.parse_program ~api:(debug_api ()) [ ("fig4.java", figure4_source) ]
+
+(* ---------- lexer ---------- *)
+
+let test_lexer_literals () =
+  let toks = Minijava.Lexer.tokenize ~file:"t" {|x = "hi\n"; y = 42; b = true;|} in
+  let kinds = Array.to_list toks |> List.map (fun t -> t.Minijava.Lexer.kind) in
+  check_bool "string" true (List.mem (Minijava.Lexer.String_lit "hi\n") kinds);
+  check_bool "int" true (List.mem (Minijava.Lexer.Int_lit 42) kinds);
+  check_bool "kw true" true (List.mem (Minijava.Lexer.Kw "true") kinds)
+
+let test_lexer_unterminated_string () =
+  match Minijava.Lexer.tokenize ~file:"t" {|x = "oops|} with
+  | exception Japi.Error.E _ -> ()
+  | _ -> Alcotest.fail "expected error"
+
+(* ---------- parser ---------- *)
+
+let parse_one src =
+  let f = Minijava.Parser.parse ~file:"t" src in
+  match f.Ast.classes with
+  | [ c ] -> c
+  | _ -> Alcotest.fail "expected one class"
+
+let first_body src =
+  match (parse_one src).Ast.c_methods with
+  | m :: _ -> m.Ast.m_body
+  | [] -> Alcotest.fail "expected a method"
+
+let test_parse_figure4_shape () =
+  let f = Minijava.Parser.parse ~file:"fig4" figure4_source in
+  check_int "one class" 1 (List.length f.Ast.classes);
+  let c = List.hd f.Ast.classes in
+  check_string "name" "GetContext" c.Ast.c_name;
+  let m = List.hd c.Ast.c_methods in
+  check_int "eight stmts" 8 (List.length m.Ast.m_body)
+
+let test_parse_cast_vs_paren () =
+  let body =
+    first_body
+      {|
+      class C {
+        void f(Object o, IDebugView x) {
+          IDebugView v = (IDebugView) o;
+          IDebugView w = (x);
+        }
+      }
+      |}
+  in
+  (match body with
+  | [ Ast.Local { init = Some { desc = Ast.Cast _; _ }; _ };
+      Ast.Local { init = Some { desc = Ast.Name [ "x" ]; _ }; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "cast/paren disambiguation failed")
+
+let test_parse_chained_calls () =
+  let body =
+    first_body "class C { void f(V view) { Object s = view.getViewer().getSelection(); } }"
+  in
+  match body with
+  | [ Ast.Local { init = Some { desc = Ast.Call ({ desc = Ast.Name_call ([ "view" ], "getViewer", []); _ }, "getSelection", []); _ }; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "chained call shape"
+
+let test_parse_static_chain () =
+  let body = first_body "class C { void f() { Object p = a.b.Plugin.getDefault(); } }" in
+  match body with
+  | [ Ast.Local { init = Some { desc = Ast.Name_call ([ "a"; "b"; "Plugin" ], "getDefault", []); _ }; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "static chain shape"
+
+let test_parse_class_literal () =
+  let body = first_body "class C { void f(P part) { Object a = part.getAdapter(IDebugView.class); } }" in
+  match body with
+  | [ Ast.Local { init = Some { desc = Ast.Name_call (_, "getAdapter", [ { desc = Ast.Class_lit "IDebugView"; _ } ]); _ }; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "class literal shape"
+
+let test_parse_if_else () =
+  let body =
+    first_body
+      {|
+      class C {
+        void f(V v) {
+          if (v.ok()) { v.use(); } else v.drop();
+        }
+      }
+      |}
+  in
+  match body with
+  | [ Ast.If { then_ = [ _ ]; else_ = [ _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "if/else shape"
+
+let test_parse_new_and_assign () =
+  let body =
+    first_body
+      "class C { void f() { B b = new B(1, \"x\"); b = new B(2, \"y\"); } }"
+  in
+  match body with
+  | [ Ast.Local { init = Some { desc = Ast.New ("B", [ _; _ ]); _ }; _ };
+      Ast.Assign { value = { desc = Ast.New ("B", _); _ }; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "new/assign shape"
+
+let test_parse_unqualified_call () =
+  let body = first_body "class C { void f() { helper(); } }" in
+  match body with
+  | [ Ast.Expr { desc = Ast.Name_call ([], "helper", []); _ } ] -> ()
+  | _ -> Alcotest.fail "unqualified call shape"
+
+let test_parse_error_located () =
+  match Minijava.Parser.parse ~file:"t" "class C { void f() { x = ; } }" with
+  | exception Japi.Error.E e -> check_int "line" 1 e.Japi.Error.line
+  | _ -> Alcotest.fail "expected syntax error"
+
+(* ---------- resolver ---------- *)
+
+let test_resolve_figure4 () =
+  let p = resolve_figure4 () in
+  check_int "one method" 1 (List.length p.Tast.methods);
+  let m = List.hd p.Tast.methods in
+  check_string "owner" "corpus.GetContext" (Qname.to_string m.Tast.owner);
+  (* Count the casts and check their types. *)
+  let casts = ref [] in
+  Tast.iter_exprs m.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tcast (ty, _) -> casts := Jtype.simple_string ty :: !casts
+      | _ -> ());
+  check_int "three casts" 3 (List.length !casts);
+  check_bool "JavaInspectExpression cast" true
+    (List.mem "JavaInspectExpression" !casts)
+
+let test_resolve_types_flow () =
+  let p = resolve_figure4 () in
+  let m = List.hd p.Tast.methods in
+  (* view.getViewer().getSelection() must type as ISelection *)
+  let found = ref false in
+  Tast.iter_exprs m.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tcall (_, owner, meth, _)
+        when meth.Javamodel.Member.mname = "getSelection" ->
+          check_string "declared in Viewer" "org.eclipse.debug.ui.Viewer"
+            (Qname.to_string owner);
+          check_string "returns ISelection" "org.eclipse.debug.ui.ISelection"
+            (Jtype.to_string e.Tast.ty);
+          found := true
+      | _ -> ());
+  check_bool "call found" true !found
+
+let test_resolve_static_call () =
+  let p = resolve_figure4 () in
+  let m = List.hd p.Tast.methods in
+  let found = ref false in
+  Tast.iter_exprs m.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tstatic_call (owner, meth, []) when meth.Javamodel.Member.mname = "getActivePage" ->
+          check_string "owner" "org.eclipse.debug.ui.JDIDebugUIPlugin"
+            (Qname.to_string owner);
+          found := true
+      | _ -> ());
+  check_bool "static call resolved" true !found
+
+let test_resolve_client_cross_call () =
+  let api = debug_api () in
+  let p =
+    Minijava.Resolve.parse_program ~api
+      [
+        ( "a.java",
+          {|
+          package corpus;
+          class Helper {
+            static IWorkbenchPage page() { return JDIDebugUIPlugin.getActivePage(); }
+          }
+          class User {
+            IWorkbenchPart part() { return Helper.page().getActivePart(); }
+          }
+          |} );
+      ]
+  in
+  check_int "two classes, two methods" 2 (List.length p.Tast.methods);
+  (* the client class Helper resolves as a static-call target *)
+  let user = List.find (fun (m : Tast.tmeth) -> m.Tast.name = "part") p.Tast.methods in
+  let found = ref false in
+  Tast.iter_exprs user.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tstatic_call (owner, _, _) when Qname.simple owner = "Helper" -> found := true
+      | _ -> ());
+  check_bool "cross-client call" true !found
+
+let test_resolve_implicit_this () =
+  let api = debug_api () in
+  let p =
+    Minijava.Resolve.parse_program ~api
+      [
+        ( "a.java",
+          {|
+          package corpus;
+          class C {
+            IWorkbenchPage page() { return JDIDebugUIPlugin.getActivePage(); }
+            IWorkbenchPart part() { return page().getActivePart(); }
+          }
+          |} );
+      ]
+  in
+  let part = List.find (fun (m : Tast.tmeth) -> m.Tast.name = "part") p.Tast.methods in
+  let found = ref false in
+  Tast.iter_exprs part.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tcall ({ tdesc = Tast.Tvar "this"; _ }, _, meth, _)
+        when meth.Javamodel.Member.mname = "page" ->
+          found := true
+      | _ -> ());
+  check_bool "implicit this call" true !found
+
+let test_resolve_unknown_variable () =
+  let api = debug_api () in
+  match
+    Minijava.Resolve.parse_program ~api
+      [ ("a.java", "package corpus; class C { void f() { nosuch.foo(); } }") ]
+  with
+  | exception Japi.Error.E e ->
+      check_bool "mentions name" true
+        (String.length e.Japi.Error.msg > 0)
+  | _ -> Alcotest.fail "expected resolution error"
+
+let test_resolve_unknown_method () =
+  let api = debug_api () in
+  match
+    Minijava.Resolve.parse_program ~api
+      [
+        ( "a.java",
+          "package corpus; class C { void f(Viewer v) { v.noSuchMethod(); } }" );
+      ]
+  with
+  | exception Japi.Error.E e -> check_bool "error" true (e.Japi.Error.line >= 1)
+  | _ -> Alcotest.fail "expected resolution error"
+
+let test_resolve_inherited_method () =
+  let api =
+    Japi.Loader.load_string
+      {|
+      package p;
+      class Base { p.Base self(); }
+      class Derived extends Base { }
+      |}
+  in
+  let p =
+    Minijava.Resolve.parse_program ~api
+      [
+        ( "a.java",
+          "package corpus; class C { void f(Derived d) { Base b = d.self(); } }" );
+      ]
+  in
+  let m = List.hd p.Tast.methods in
+  let found = ref false in
+  Tast.iter_exprs m.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tcall (_, owner, _, _) -> (
+          check_string "declared in Base" "p.Base" (Qname.to_string owner);
+          found := true)
+      | _ -> ());
+  check_bool "inherited resolved" true !found
+
+let test_resolve_array_length () =
+  let api = Japi.Loader.load_string "package p; class A { p.A[] kids(); }" in
+  let p =
+    Minijava.Resolve.parse_program ~api
+      [ ("a.java", "package corpus; class C { int f(A a) { return a.kids().length; } }") ]
+  in
+  check_int "resolved" 1 (List.length p.Tast.methods)
+
+let test_parse_while () =
+  let body =
+    first_body
+      "class C { void f(E en) { while (en.hasMore()) { en.next(); } } }"
+  in
+  match body with
+  | [ Ast.While { body = [ Ast.Expr _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "while shape"
+
+let test_parse_class_field () =
+  let c =
+    parse_one "class C { ISelection cached; void f() { cached = null; } }"
+  in
+  check_int "one field" 1 (List.length c.Ast.c_fields);
+  check_string "field name" "cached" (List.hd c.Ast.c_fields).Ast.f_name;
+  check_int "one method" 1 (List.length c.Ast.c_methods)
+
+let test_resolve_field_read_and_assign () =
+  let api = debug_api () in
+  let p =
+    Minijava.Resolve.parse_program ~api
+      [
+        ( "a.java",
+          {|
+          package corpus;
+          class Cache {
+            ISelection held;
+            void put(IWorkbenchPage page) { held = page.getSelection(); }
+            Object get() {
+              IStructuredSelection sel = (IStructuredSelection) held;
+              return sel.getFirstElement();
+            }
+          }
+          |} );
+      ]
+  in
+  let put = List.find (fun (m : Tast.tmeth) -> m.Tast.name = "put") p.Tast.methods in
+  (match put.Tast.body with
+  | [ Tast.Tfield_assign (owner, f, _) ] ->
+      check_string "owner" "corpus.Cache" (Qname.to_string owner);
+      check_string "field" "held" f.Javamodel.Member.fname
+  | _ -> Alcotest.fail "expected a field assignment");
+  let get = List.find (fun (m : Tast.tmeth) -> m.Tast.name = "get") p.Tast.methods in
+  let reads_field = ref false in
+  Tast.iter_exprs get.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tfield ({ Tast.tdesc = Tast.Tvar "this"; _ }, _, f)
+        when f.Javamodel.Member.fname = "held" ->
+          reads_field := true
+      | _ -> ());
+  check_bool "field read via this" true !reads_field
+
+let test_local_shadows_field () =
+  let api = debug_api () in
+  let p =
+    Minijava.Resolve.parse_program ~api
+      [
+        ( "a.java",
+          {|
+          package corpus;
+          class Shadow {
+            ISelection held;
+            void f(ISelection held) { held.isEmpty(); }
+          }
+          |} );
+      ]
+  in
+  let m = List.hd p.Tast.methods in
+  let param_read = ref false in
+  Tast.iter_exprs m.Tast.body (fun e ->
+      match e.Tast.tdesc with
+      | Tast.Tvar "held" -> param_read := true
+      | Tast.Tfield _ -> Alcotest.fail "field must be shadowed by the parameter"
+      | _ -> ());
+  check_bool "parameter wins" true !param_read
+
+(* ---------- pretty-printer round trips ---------- *)
+
+let test_pretty_roundtrip_figure4 () =
+  let f1 = Minijava.Parser.parse ~file:"fig4" figure4_source in
+  let printed = Minijava.Pretty.print_file f1 in
+  let f2 = Minijava.Parser.parse ~file:"fig4'" printed in
+  (* compare second-generation prints: positions differ, text must agree *)
+  check_string "fixpoint" printed (Minijava.Pretty.print_file f2)
+
+let test_pretty_roundtrip_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let f1 = Minijava.Parser.parse ~file:name src in
+      let printed = Minijava.Pretty.print_file f1 in
+      let f2 = Minijava.Parser.parse ~file:(name ^ "'") printed in
+      check_string name printed (Minijava.Pretty.print_file f2))
+    Apidata.Api.corpus_sources
+
+let test_pretty_hole_and_literals () =
+  let src =
+    {|
+    package p;
+    class C {
+      void f(A a) {
+        String s = "he\"y";
+        int n = 42;
+        boolean b = true;
+        Object o = null;
+        A x = ?;
+        if (b) { a.use(); } else { a.drop(); }
+        return;
+      }
+    }
+    |}
+  in
+  let f1 = Minijava.Parser.parse ~file:"t" src in
+  let printed = Minijava.Pretty.print_file f1 in
+  let f2 = Minijava.Parser.parse ~file:"t'" printed in
+  check_string "fixpoint" printed (Minijava.Pretty.print_file f2);
+  check_bool "hole survives" true
+    (let n = String.length printed in
+     let rec go i = i + 3 <= n && (String.sub printed i 3 = "= ?" || go (i + 1)) in
+     go 0)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "minijava"
+    [
+      ( "lexer",
+        [
+          tc "literals" test_lexer_literals;
+          tc "unterminated string" test_lexer_unterminated_string;
+        ] );
+      ( "parser",
+        [
+          tc "figure 4 shape" test_parse_figure4_shape;
+          tc "cast vs paren" test_parse_cast_vs_paren;
+          tc "chained calls" test_parse_chained_calls;
+          tc "static chain" test_parse_static_chain;
+          tc "class literal" test_parse_class_literal;
+          tc "if/else" test_parse_if_else;
+          tc "new and assign" test_parse_new_and_assign;
+          tc "unqualified call" test_parse_unqualified_call;
+          tc "while" test_parse_while;
+          tc "class field" test_parse_class_field;
+          tc "error located" test_parse_error_located;
+        ] );
+      ( "pretty",
+        [
+          tc "roundtrip figure 4" test_pretty_roundtrip_figure4;
+          tc "roundtrip bundled corpus" test_pretty_roundtrip_corpus;
+          tc "hole and literals" test_pretty_hole_and_literals;
+        ] );
+      ( "resolve",
+        [
+          tc "figure 4" test_resolve_figure4;
+          tc "types flow" test_resolve_types_flow;
+          tc "static call" test_resolve_static_call;
+          tc "client cross call" test_resolve_client_cross_call;
+          tc "implicit this" test_resolve_implicit_this;
+          tc "unknown variable" test_resolve_unknown_variable;
+          tc "unknown method" test_resolve_unknown_method;
+          tc "inherited method" test_resolve_inherited_method;
+          tc "array length" test_resolve_array_length;
+          tc "field read and assign" test_resolve_field_read_and_assign;
+          tc "local shadows field" test_local_shadows_field;
+        ] );
+    ]

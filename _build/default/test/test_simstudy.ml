@@ -1,0 +1,124 @@
+(* Tests for the Figure 8 user-study simulation: determinism and the
+   paper's qualitative claims (speedup ≈ 2, most users faster with the
+   tool, reuse dominates in the tool arm, problem 2 hardest). *)
+
+module Study_sim = Simstudy.Study_sim
+module Programmer = Simstudy.Programmer
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let summary =
+  lazy
+    (Study_sim.simulate
+       ~graph:(Apidata.Api.default_graph ())
+       ~hierarchy:(Apidata.Api.hierarchy ())
+       Apidata.Study.all)
+
+let test_run_count () =
+  let s = Lazy.force summary in
+  check_int "13 users x 4 problems" 52 (List.length s.Study_sim.runs);
+  check_int "half with tool" 26 s.Study_sim.tool_total;
+  check_int "half without" 26 s.Study_sim.baseline_total
+
+let test_speedup_near_two () =
+  let s = Lazy.force summary in
+  check_bool
+    (Printf.sprintf "avg speedup %.2f in [1.5, 3.0]" s.Study_sim.avg_speedup)
+    true
+    (s.Study_sim.avg_speedup >= 1.5 && s.Study_sim.avg_speedup <= 3.0)
+
+let test_most_users_faster () =
+  let s = Lazy.force summary in
+  (* paper: 10 of 13 faster, none more than marginally slower *)
+  check_bool "at least 9 faster" true (s.Study_sim.users_faster >= 9);
+  check_bool "at most 1 slower" true (s.Study_sim.users_slower <= 1)
+
+let test_tool_reuse_dominates () =
+  let s = Lazy.force summary in
+  check_int "tool arm always reuses" s.Study_sim.tool_total s.Study_sim.tool_reuse;
+  check_bool "baseline reuses at most as much" true
+    (s.Study_sim.baseline_reuse <= s.Study_sim.baseline_total)
+
+let test_problem2_hardest () =
+  let s = Lazy.force summary in
+  let mean_of id =
+    (List.find (fun pp -> pp.Study_sim.problem = id) s.Study_sim.per_problem)
+      .Study_sim.baseline_mean
+  in
+  List.iter
+    (fun other ->
+      check_bool
+        (Printf.sprintf "problem 2 baseline slower than %d" other)
+        true
+        (mean_of 2 > mean_of other))
+    [ 1; 3; 4 ]
+
+let test_per_problem_tool_never_slower_much () =
+  let s = Lazy.force summary in
+  List.iter
+    (fun pp ->
+      check_bool
+        (Printf.sprintf "problem %d speedup %.2f >= 0.75 (parity or better)" pp.Study_sim.problem
+           pp.Study_sim.speedup)
+        true (pp.Study_sim.speedup >= 0.75))
+    s.Study_sim.per_problem
+
+let test_deterministic () =
+  let g = Apidata.Api.default_graph () and h = Apidata.Api.hierarchy () in
+  let a = Study_sim.simulate ~seed:99 ~graph:g ~hierarchy:h Apidata.Study.all in
+  let b = Study_sim.simulate ~seed:99 ~graph:g ~hierarchy:h Apidata.Study.all in
+  check_bool "same runs" true (a.Study_sim.runs = b.Study_sim.runs)
+
+let test_seed_changes_times () =
+  let g = Apidata.Api.default_graph () and h = Apidata.Api.hierarchy () in
+  let a = Study_sim.simulate ~seed:1 ~graph:g ~hierarchy:h Apidata.Study.all in
+  let b = Study_sim.simulate ~seed:2 ~graph:g ~hierarchy:h Apidata.Study.all in
+  check_bool "different runs" true (a.Study_sim.runs <> b.Study_sim.runs)
+
+let test_render_mentions_all_problems () =
+  let s = Lazy.force summary in
+  let text = Study_sim.render_figure8 s in
+  List.iter
+    (fun i ->
+      let needle = Printf.sprintf "Problem %d" i in
+      let found =
+        let n = String.length needle and m = String.length text in
+        let rec go j = j + n <= m && (String.sub text j n = needle || go (j + 1)) in
+        go 0
+      in
+      check_bool needle true found)
+    [ 1; 2; 3; 4 ]
+
+let test_speedup_robust_across_seeds () =
+  let g = Apidata.Api.default_graph () and h = Apidata.Api.hierarchy () in
+  List.iter
+    (fun seed ->
+      let s = Study_sim.simulate ~seed ~graph:g ~hierarchy:h Apidata.Study.all in
+      check_bool
+        (Printf.sprintf "seed %d speedup %.2f > 1.3" seed s.Study_sim.avg_speedup)
+        true
+        (s.Study_sim.avg_speedup > 1.3))
+    [ 1; 7; 42; 1234; 99 ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "simstudy"
+    [
+      ( "figure8",
+        [
+          tc "run count" test_run_count;
+          tc "speedup near two" test_speedup_near_two;
+          tc "most users faster" test_most_users_faster;
+          tc "tool reuse dominates" test_tool_reuse_dominates;
+          tc "problem 2 hardest" test_problem2_hardest;
+          tc "tool never much slower" test_per_problem_tool_never_slower_much;
+          tc "render output" test_render_mentions_all_problems;
+        ] );
+      ( "determinism",
+        [
+          tc "same seed same runs" test_deterministic;
+          tc "different seed different runs" test_seed_changes_times;
+          tc "speedup robust across seeds" test_speedup_robust_across_seeds;
+        ] );
+    ]
