@@ -1,0 +1,32 @@
+# Entry points for CI and day-to-day work. `make check` is the gate a PR
+# must pass: full build, the whole test suite (alcotest + qcheck + cram,
+# including the cache/reach equivalence suites), and — when ocamlformat is
+# installed — a formatting check. The format step is skipped, loudly, when
+# the tool is absent so the gate still runs on minimal toolchains.
+
+.PHONY: all build test check fmt bench-cache clean
+
+all: build
+
+build:
+	dune build @all
+
+test: build
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed — skipping format check"; \
+	fi
+
+check: build test fmt
+
+# Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
+# search, O(1) miss rejection).
+bench-cache: build
+	dune exec bench/main.exe -- cache
+
+clean:
+	dune clean

@@ -422,6 +422,164 @@ let section_objparam () =
     (List.length r3) stats.Mining.Objparam.sites stats.Mining.Objparam.edges_added
 
 (* ------------------------------------------------------------------ *)
+(* Query acceleration: reachability pruning and the LRU query cache    *)
+(* ------------------------------------------------------------------ *)
+
+let section_cache () =
+  rule "Query acceleration — reachability pruning and the LRU query cache";
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let qs =
+    List.map (fun (p : Problems.t) -> Query.query p.Problems.tin p.Problems.tout)
+      Problems.all
+  in
+  let nq = List.length qs in
+  (* Reachability pruning, measured without any caching. *)
+  let base_t, baseline =
+    time_of (fun () -> List.map (fun q -> Query.run ~graph ~hierarchy q) qs)
+  in
+  let build_t, reach = time_of (fun () -> Prospector.Reach.build graph) in
+  let pruned_t, pruned =
+    time_of (fun () -> List.map (fun q -> Query.run ~reach ~graph ~hierarchy q) qs)
+  in
+  let n_nodes = Prospector.Reach.node_count reach in
+  let cone_fractions =
+    List.filter_map
+      (fun (q : Query.t) ->
+        Option.map
+          (fun dst ->
+            float_of_int (Prospector.Reach.cone_size reach ~target:dst)
+            /. float_of_int n_nodes)
+          (Prospector.Graph.find_type_node graph q.Query.tout))
+      qs
+  in
+  let avg_cone =
+    List.fold_left ( +. ) 0.0 cone_fractions
+    /. float_of_int (max 1 (List.length cone_fractions))
+  in
+  Printf.printf "reach index: %d nodes, %d SCCs, built in %.4f s\n" n_nodes
+    (Prospector.Reach.scc_count reach) build_t;
+  Printf.printf "average viable cone: %.1f%% of the graph\n" (100.0 *. avg_cone);
+  Printf.printf "Table 1 workload (%d queries), uncached:\n" nq;
+  Printf.printf "  unpruned: %.4f s    pruned: %.4f s    speedup %.2fx\n" base_t pruned_t
+    (base_t /. pruned_t);
+  Printf.printf "  pruned results identical to unpruned: %b\n" (baseline = pruned);
+  (* The same pruning measurement on a large layered synthetic graph, where
+     the viable cone is a small fraction of the graph and the prune has room
+     to work (the curated graph is small and dense, so its cones are wide
+     and the engine falls back to the unfiltered search there). *)
+  let synth_h = Corpusgen.Workload.layered_api ~classes:2000 in
+  let synth_g = Sig_graph.build synth_h in
+  let synth_qs = Corpusgen.Workload.random_queries synth_h synth_g ~count:40 ~seed:23 in
+  let sbase_t, sbase =
+    time_of (fun () ->
+        List.map (fun q -> Query.run ~graph:synth_g ~hierarchy:synth_h q) synth_qs)
+  in
+  let sbuild_t, synth_reach = time_of (fun () -> Prospector.Reach.build synth_g) in
+  let spruned_t, spruned =
+    time_of (fun () ->
+        List.map
+          (fun q -> Query.run ~reach:synth_reach ~graph:synth_g ~hierarchy:synth_h q)
+          synth_qs)
+  in
+  let sn = Prospector.Reach.node_count synth_reach in
+  let scones =
+    List.filter_map
+      (fun (q : Query.t) ->
+        Option.map
+          (fun dst ->
+            float_of_int (Prospector.Reach.cone_size synth_reach ~target:dst)
+            /. float_of_int sn)
+          (Prospector.Graph.find_type_node synth_g q.Query.tout))
+      synth_qs
+  in
+  let savg_cone =
+    List.fold_left ( +. ) 0.0 scones /. float_of_int (max 1 (List.length scones))
+  in
+  Printf.printf
+    "synthetic graph (%d nodes, %d queries): average viable cone %.1f%%\n" sn
+    (List.length synth_qs) (100.0 *. savg_cone);
+  Printf.printf
+    "  unpruned: %.4f s    pruned: %.4f s    speedup %.2fx (index built in %.4f s)\n"
+    sbase_t spruned_t (sbase_t /. spruned_t) sbuild_t;
+  Printf.printf "  pruned results identical to unpruned: %b\n" (sbase = spruned);
+  (* Unsolvable queries — the common case when exploring an unfamiliar API.
+     Unpruned each costs a full search that finds nothing; the index rejects
+     them with one bitset probe. *)
+  let miss_qs = Corpusgen.Workload.random_misses synth_g ~count:40 ~seed:29 in
+  let mbase_t, mbase =
+    time_of (fun () ->
+        List.map (fun q -> Query.run ~graph:synth_g ~hierarchy:synth_h q) miss_qs)
+  in
+  let mpruned_t, mpruned =
+    time_of (fun () ->
+        List.map
+          (fun q -> Query.run ~reach:synth_reach ~graph:synth_g ~hierarchy:synth_h q)
+          miss_qs)
+  in
+  Printf.printf "unsolvable queries (%d), O(1) rejection:\n" (List.length miss_qs);
+  Printf.printf "  unpruned: %.4f s    pruned: %.4f s    speedup %.0fx\n" mbase_t
+    mpruned_t (mbase_t /. mpruned_t);
+  Printf.printf "  pruned results identical to unpruned (all empty): %b\n"
+    (mbase = mpruned && List.for_all (fun r -> r = []) mpruned);
+  (* The LRU cache: one cold pass, then many warm passes. *)
+  let engine = Query.engine ~graph ~hierarchy () in
+  let cold_t, cold = time_of (fun () -> Query.run_batch engine qs) in
+  let warm_passes = 100 in
+  let warm_total, warm =
+    time_of (fun () ->
+        let last = ref [] in
+        for _ = 1 to warm_passes do
+          last := Query.run_batch engine qs
+        done;
+        !last)
+  in
+  let warm_t = warm_total /. float_of_int warm_passes in
+  let speedup = cold_t /. warm_t in
+  Printf.printf "cache: cold pass %.4f s; warm pass %.6f s (avg of %d); speedup %.0fx\n"
+    cold_t warm_t warm_passes speedup;
+  Printf.printf "  warm results identical to uncached baseline: %b\n"
+    (List.map snd warm = baseline && List.map snd cold = baseline);
+  Printf.printf "  %s\n"
+    (Prospector.Stats.cache_to_string (Query.engine_stats engine));
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"queries\": %d,\n\
+      \  \"unpruned_s\": %.6f,\n\
+      \  \"pruned_s\": %.6f,\n\
+      \  \"prune_speedup\": %.3f,\n\
+      \  \"reach_build_s\": %.6f,\n\
+      \  \"reach_nodes\": %d,\n\
+      \  \"reach_sccs\": %d,\n\
+      \  \"avg_cone_fraction\": %.4f,\n\
+      \  \"cold_s\": %.6f,\n\
+      \  \"warm_s\": %.6f,\n\
+      \  \"warm_passes\": %d,\n\
+      \  \"cache_speedup\": %.1f,\n\
+      \  \"synthetic\": {\n\
+      \    \"nodes\": %d,\n\
+      \    \"queries\": %d,\n\
+      \    \"unpruned_s\": %.6f,\n\
+      \    \"pruned_s\": %.6f,\n\
+      \    \"prune_speedup\": %.3f,\n\
+      \    \"reach_build_s\": %.6f,\n\
+      \    \"avg_cone_fraction\": %.4f,\n\
+      \    \"miss_queries\": %d,\n\
+      \    \"miss_unpruned_s\": %.6f,\n\
+      \    \"miss_pruned_s\": %.6f,\n\
+      \    \"miss_speedup\": %.1f\n\
+      \  }\n\
+       }\n"
+      nq base_t pruned_t (base_t /. pruned_t) build_t n_nodes
+      (Prospector.Reach.scc_count reach)
+      avg_cone cold_t warm_t warm_passes speedup sn (List.length synth_qs) sbase_t
+      spruned_t (sbase_t /. spruned_t) sbuild_t savg_cone (List.length miss_qs)
+      mbase_t mpruned_t (mbase_t /. mpruned_t)
+  in
+  write_file "BENCH_cache.json" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,6 +658,7 @@ let sections =
     ("search_bound", section_search_bound);
     ("cap_sweep", section_cap_sweep);
     ("objparam", section_objparam);
+    ("cache", section_cache);
     ("micro", section_micro);
   ]
 

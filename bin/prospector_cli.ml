@@ -209,6 +209,112 @@ let assist_cmd =
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
       $ max_results $ slack $ vars $ tout)
 
+(* ---------- batch ---------- *)
+
+(* Server-style operation: answer a whole file of queries through one
+   Query.engine, so the reachability index is built once and repeated
+   queries are LRU cache hits. The paper's engine answered one interactive
+   query at a time; this is the entry point for heavy query traffic. *)
+
+let parse_query_file path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | Some i ->
+               let tin = String.sub line 0 i in
+               let tout =
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               Some (Prospector.Query.query tin tout)
+           | None ->
+               Printf.eprintf "error: bad query line %S, expected \"TIN TOUT\"\n" line;
+               exit 1)
+
+let batch_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"QUERIES"
+          ~doc:"Query file: one $(b,TIN TOUT) pair per line; blank lines and \
+                $(b,#) comments are skipped.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Run the whole batch N times (passes after the first exercise \
+                the warm cache).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Bypass the query engine: run every query cold, without the \
+                cache or the reachability index.")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"K" ~doc:"LRU capacity of the query cache.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:"Print hit/miss/eviction counters after the batch.")
+  in
+  let run api corpus no_mining protected_ max_results slack verbose file repeat
+      no_cache cache_capacity stats_flag =
+    setup_logs verbose;
+    if cache_capacity < 1 then begin
+      Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
+        cache_capacity;
+      exit 1
+    end;
+    handle_errors (fun () ->
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let qs = parse_query_file file in
+        let settings = settings ~max_results ~slack in
+        let engine =
+          Prospector.Query.engine ~cache_capacity ~graph:env.graph
+            ~hierarchy:env.hierarchy ()
+        in
+        let run_pass () =
+          if no_cache then
+            List.map
+              (fun q ->
+                (q, Prospector.Query.run ~settings ~graph:env.graph ~hierarchy:env.hierarchy q))
+              qs
+          else Prospector.Query.run_batch ~settings engine qs
+        in
+        let results = run_pass () in
+        for _ = 2 to repeat do
+          ignore (run_pass ())
+        done;
+        List.iter
+          (fun ((q : Prospector.Query.t), rs) ->
+            Printf.printf "(%s, %s): %d result(s)\n"
+              (Javamodel.Jtype.to_string q.Prospector.Query.tin)
+              (Javamodel.Jtype.to_string q.Prospector.Query.tout)
+              (List.length rs);
+            List.iteri print_result rs)
+          results;
+        if stats_flag then
+          print_endline
+            (Prospector.Stats.cache_to_string (Prospector.Query.engine_stats engine)))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Answer a file of queries through the cached, reachability-pruned \
+             query engine.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag $ max_results
+      $ slack $ verbose_flag $ file $ repeat $ no_cache $ cache_capacity $ stats_flag)
+
 (* ---------- mine ---------- *)
 
 let mine_cmd =
@@ -316,26 +422,23 @@ let infer_cmd =
         let holes = Prospector_ide.Infer.contexts ~api:env.hierarchy sources in
         if holes = [] then print_endline "no ? holes found"
         else
-          List.iter
-            (fun (h : Prospector_ide.Infer.hole) ->
-              Printf.printf "hole in %s.%s, expecting %s (in scope: %s)\n"
-                (Javamodel.Qname.to_string h.Prospector_ide.Infer.owner)
-                h.Prospector_ide.Infer.meth
-                (Javamodel.Jtype.simple_string h.Prospector_ide.Infer.expected)
-                (String.concat ", " (List.map fst h.Prospector_ide.Infer.vars));
-              let suggestions =
-                Prospector_ide.Infer.suggest_at
-                  ~settings:(settings ~max_results ~slack)
-                  ~graph:env.graph ~hierarchy:env.hierarchy h
-              in
-              if suggestions = [] then print_endline "  no suggestions"
-              else
-                List.iteri
-                  (fun i (s : Prospector.Assist.suggestion) ->
-                    Printf.printf "  %d. %s\n" (i + 1) s.Prospector.Assist.title)
-                  suggestions;
-              print_newline ())
-            holes)
+          (* One engine for the whole buffer, as the IDE session would hold. *)
+          Prospector_ide.Infer.suggest_all
+            ~settings:(settings ~max_results ~slack)
+            ~graph:env.graph ~hierarchy:env.hierarchy holes
+          |> List.iter (fun ((h : Prospector_ide.Infer.hole), suggestions) ->
+                 Printf.printf "hole in %s.%s, expecting %s (in scope: %s)\n"
+                   (Javamodel.Qname.to_string h.Prospector_ide.Infer.owner)
+                   h.Prospector_ide.Infer.meth
+                   (Javamodel.Jtype.simple_string h.Prospector_ide.Infer.expected)
+                   (String.concat ", " (List.map fst h.Prospector_ide.Infer.vars));
+                 if suggestions = [] then print_endline "  no suggestions"
+                 else
+                   List.iteri
+                     (fun i (s : Prospector.Assist.suggestion) ->
+                       Printf.printf "  %d. %s\n" (i + 1) s.Prospector.Assist.title)
+                     suggestions;
+                 print_newline ()))
   in
   Cmd.v
     (Cmd.info "infer"
@@ -391,4 +494,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; assist_cmd; infer_cmd; mine_cmd; stats_cmd; dot_cmd; table1_cmd; study_cmd ]))
+          [
+            query_cmd;
+            assist_cmd;
+            batch_cmd;
+            infer_cmd;
+            mine_cmd;
+            stats_cmd;
+            dot_cmd;
+            table1_cmd;
+            study_cmd;
+          ]))

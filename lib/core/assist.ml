@@ -58,13 +58,20 @@ let direct_suggestions ~hierarchy ctx =
       else None)
     ctx.vars
 
-let suggest ?settings ~graph ~hierarchy ctx =
-  direct_suggestions ~hierarchy ctx
-  @ (Query.run_multi ?settings ~graph ~hierarchy ~vars:ctx.vars ~tout:ctx.expected ()
-    |> List.map (fun (mr : Query.multi_result) ->
-           {
-             title = title_of mr;
-             code = mr.Query.result.Query.code;
-             uses_var = mr.Query.source_var;
-             result = mr.Query.result;
-           }))
+let of_multi mr =
+  {
+    title = title_of mr;
+    code = mr.Query.result.Query.code;
+    uses_var = mr.Query.source_var;
+    result = mr.Query.result;
+  }
+
+let suggest ?settings ?engine ~graph ~hierarchy ctx =
+  let multi =
+    (* The engine's cache keys on (vars, tout, settings, generation), so
+       re-opening assist at the same program point is a hit. *)
+    match engine with
+    | Some e -> Query.run_multi_cached ?settings e ~vars:ctx.vars ~tout:ctx.expected ()
+    | None -> Query.run_multi ?settings ~graph ~hierarchy ~vars:ctx.vars ~tout:ctx.expected ()
+  in
+  direct_suggestions ~hierarchy ctx @ List.map of_multi multi

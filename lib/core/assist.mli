@@ -24,8 +24,17 @@ type suggestion = {
 }
 
 val suggest :
-  ?settings:Query.settings -> graph:Graph.t -> hierarchy:Hierarchy.t -> context -> suggestion list
+  ?settings:Query.settings ->
+  ?engine:Query.engine ->
+  graph:Graph.t ->
+  hierarchy:Hierarchy.t ->
+  context ->
+  suggestion list
 (** Ranked suggestions for the context, from one multi-source search (the
     implementation "runs all queries at once by using multiple starting
     points", Section 5). Variables whose type already widens to the expected
-    type are suggested first, verbatim — no jungloid needed. *)
+    type are suggested first, verbatim — no jungloid needed.
+
+    When [?engine] is supplied, the multi-source search goes through its
+    cache and reach index ({!Query.run_multi_cached}); the engine must have
+    been built over the same [graph]/[hierarchy] pair. *)

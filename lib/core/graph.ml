@@ -20,6 +20,7 @@ type t = {
   mutable bwd : edge list array;
   mutable n : int;
   mutable edges : int;
+  mutable generation : int;
   edge_seen : (node * Elem.t * node, unit) Hashtbl.t;
 }
 
@@ -33,6 +34,7 @@ let create () =
     bwd = Array.make initial_capacity [];
     n = 0;
     edges = 0;
+    generation = 0;
     edge_seen = Hashtbl.create initial_capacity;
   }
 
@@ -56,6 +58,7 @@ let fresh_node t info =
   let id = t.n in
   t.info.(id) <- info;
   t.n <- t.n + 1;
+  t.generation <- t.generation + 1;
   id
 
 let type_key ty = Jtype.to_string ty
@@ -83,7 +86,8 @@ let add_edge t ~src elem ~dst =
     let e = { elem; src; dst } in
     t.fwd.(src) <- e :: t.fwd.(src);
     t.bwd.(dst) <- e :: t.bwd.(dst);
-    t.edges <- t.edges + 1
+    t.edges <- t.edges + 1;
+    t.generation <- t.generation + 1
   end
 
 let node_type t id = t.info.(id).ty
@@ -99,6 +103,8 @@ let preds t id = t.bwd.(id)
 let node_count t = t.n
 
 let edge_count t = t.edges
+
+let generation t = t.generation
 
 let nodes t = List.init t.n (fun i -> i)
 

@@ -55,6 +55,14 @@ val node_count : t -> int
 
 val edge_count : t -> int
 
+val generation : t -> int
+(** Mutation counter: bumped by every node creation and every (non-duplicate)
+    edge insertion, never by lookups. Derived structures — the {!Reach}
+    reachability index, the {!Qcache}-backed query cache — record the
+    generation they were built against and treat any change as
+    invalidation, which is how {!Mining.Enrich} splicing mined downcast
+    edges into a graph transparently flushes stale query results. *)
+
 val nodes : t -> node list
 
 val iter_edges : t -> (edge -> unit) -> unit

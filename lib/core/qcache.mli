@@ -1,0 +1,56 @@
+(** An exact LRU cache with hit/miss/eviction accounting — the memoization
+    layer under the {!Query} engine.
+
+    Keys are strings (callers render structured keys — type pair, settings,
+    graph generation — to a canonical string); values are arbitrary. All
+    operations are O(1). The counters are cumulative for the lifetime of the
+    cache: {!clear} empties the table (counted as an invalidation) but
+    preserves the hit/miss history, so a long-running engine's statistics
+    survive graph enrichment. *)
+
+type 'a t
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;  (** entries dropped because the cache was full *)
+  s_invalidations : int;  (** times {!clear} was called *)
+  s_entries : int;  (** current size *)
+  s_capacity : int;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 256 entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit or a miss and refreshes the entry's recency on hit. *)
+
+val mem : 'a t -> string -> bool
+(** Pure lookup: no counter or recency effect. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or overwrite) as most-recently-used; evicts the
+    least-recently-used entry when the cache is at capacity. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find] then, on miss, compute, [add], and return. *)
+
+val clear : 'a t -> unit
+(** Drop every entry and count one invalidation. *)
+
+val keys_mru_first : 'a t -> string list
+(** The recency order, most recent first (for tests and debugging). *)
+
+val stats : 'a t -> stats
+
+val merge_stats : stats -> stats -> stats
+(** Pointwise sum — an engine with several internal caches reports one
+    combined figure. *)
+
+val hit_rate : stats -> float
+(** Hits over total lookups; [0.] before any lookup. *)

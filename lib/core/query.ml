@@ -122,20 +122,55 @@ let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name
            code = Codegen.to_java ?input j;
          })
 
-let run ?(settings = default_settings) ~graph ~hierarchy q =
+(* A reach index only prunes when it describes the current graph; a stale one
+   (engine callers never produce this, manual callers might) is ignored
+   rather than risked. *)
+let current_reach ~graph reach =
+  match reach with
+  | Some r when Reach.generation r = Graph.generation graph -> Some r
+  | _ -> None
+
+(* Filtering every BFS relaxation costs more than it saves once the viable
+   cone covers most of the graph (on the dense curated graph cones run
+   ~95%), so the prune only engages below this fraction; above it the index
+   still provides the O(1) unsolvable-query rejection. Either way the result
+   set is identical. *)
+let prune_threshold = 0.75
+
+let viable_of ~reach ~target =
+  match reach with
+  | None -> None
+  | Some r ->
+      let cone = Reach.cone_size r ~target in
+      if float_of_int cone <= prune_threshold *. float_of_int (Reach.node_count r)
+      then Some (Reach.viable r ~target)
+      else None
+
+let run ?(settings = default_settings) ?reach ~graph ~hierarchy q =
   match (Graph.find_type_node graph q.tin, Graph.find_type_node graph q.tout) with
   | Some src, Some dst ->
-      let paths =
-        Search.enumerate graph ~sources:[ src ] ~target:dst ~slack:settings.slack
-          ~limit:settings.limit ()
-      in
-      Log.debug (fun m ->
-          m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
-            (Jtype.to_string q.tout) (List.length paths));
-      rank_and_render ~settings ~hierarchy
-        ~freevar_cost_of:(freevar_estimator ~settings graph)
-        ~input_name:(fun _ -> None)
-        (Jungloid.of_path graph) paths
+      let reach = current_reach ~graph reach in
+      let viable = viable_of ~reach ~target:dst in
+      if match reach with Some r -> not (Reach.mem r ~src ~target:dst) | None -> false
+      then begin
+        Log.debug (fun m ->
+            m "query (%s, %s): pruned — tin can never reach tout"
+              (Jtype.to_string q.tin) (Jtype.to_string q.tout));
+        []
+      end
+      else begin
+        let paths =
+          Search.enumerate graph ~sources:[ src ] ~target:dst ~slack:settings.slack
+            ~limit:settings.limit ?viable ()
+        in
+        Log.debug (fun m ->
+            m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
+              (Jtype.to_string q.tout) (List.length paths));
+        rank_and_render ~settings ~hierarchy
+          ~freevar_cost_of:(freevar_estimator ~settings graph)
+          ~input_name:(fun _ -> None)
+          (Jungloid.of_path graph) paths
+      end
   | _ ->
       Log.debug (fun m ->
           m "query (%s, %s): type not in graph" (Jtype.to_string q.tin)
@@ -172,7 +207,7 @@ let cluster results =
     results;
   List.rev_map (fun key -> Hashtbl.find seen key) !order
 
-let run_multi ?(settings = default_settings) ~graph ~hierarchy ~vars ~tout () =
+let run_multi ?(settings = default_settings) ?reach ~graph ~hierarchy ~vars ~tout () =
   match Graph.find_type_node graph tout with
   | None -> []
   | Some dst ->
@@ -184,9 +219,10 @@ let run_multi ?(settings = default_settings) ~graph ~hierarchy ~vars ~tout () =
       in
       let void = Graph.void_node graph in
       let sources = void :: List.map fst var_nodes in
+      let viable = viable_of ~reach:(current_reach ~graph reach) ~target:dst in
       let paths =
         Search.enumerate_per_source graph ~sources ~target:dst ~slack:settings.slack
-          ~limit:settings.limit ()
+          ~limit:settings.limit ?viable ()
       in
       (* Attribute each path to the variables of its source node; a path from
          the void node belongs to no variable. Distinct (jungloid, source)
@@ -236,3 +272,92 @@ let run_multi ?(settings = default_settings) ~graph ~hierarchy ~vars ~tout () =
                match s with Some name -> Some (name, Jungloid.input_type j) | None -> None
              in
              { source_var = s; result = { jungloid = j; key; code = Codegen.to_java ?input j } })
+
+(* ------------------------------------------------------------------ *)
+(* The query engine: LRU-memoized, reachability-pruned entry points    *)
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  e_graph : Graph.t;
+  e_hierarchy : Hierarchy.t;
+  e_single : result list Qcache.t;
+  e_multi : multi_result list Qcache.t;
+  e_prune : bool;
+  mutable e_reach : Reach.t option;  (* built lazily, valid for [e_gen] *)
+  mutable e_gen : int;  (* graph generation the caches describe *)
+}
+
+let engine ?(cache_capacity = 256) ?(prune = true) ~graph ~hierarchy () =
+  {
+    e_graph = graph;
+    e_hierarchy = hierarchy;
+    e_single = Qcache.create ~capacity:cache_capacity ();
+    e_multi = Qcache.create ~capacity:cache_capacity ();
+    e_prune = prune;
+    e_reach = None;
+    e_gen = Graph.generation graph;
+  }
+
+let engine_graph e = e.e_graph
+
+let engine_hierarchy e = e.e_hierarchy
+
+let invalidate e =
+  Log.debug (fun m ->
+      m "engine: invalidated at graph generation %d" (Graph.generation e.e_graph));
+  Qcache.clear e.e_single;
+  Qcache.clear e.e_multi;
+  e.e_reach <- None;
+  e.e_gen <- Graph.generation e.e_graph
+
+(* Every cached entry point revalidates first, so mutating the graph (e.g.
+   Mining.Enrich splicing in mined examples) transparently flushes both
+   caches and the reach index the next time the engine is used. *)
+let validate e = if Graph.generation e.e_graph <> e.e_gen then invalidate e
+
+let engine_reach e =
+  validate e;
+  if not e.e_prune then None
+  else
+    match e.e_reach with
+    | Some r -> Some r
+    | None ->
+        let r = Reach.build e.e_graph in
+        Log.debug (fun m ->
+            m "engine: reach index built — %d nodes, %d SCCs" (Reach.node_count r)
+              (Reach.scc_count r));
+        e.e_reach <- Some r;
+        Some r
+
+let engine_stats e = Qcache.merge_stats (Qcache.stats e.e_single) (Qcache.stats e.e_multi)
+
+let settings_key s =
+  Printf.sprintf "%d,%d,%d,%d,%b,%b,%b" s.slack s.limit s.max_results
+    s.weights.Rank.freevar_cost s.weights.Rank.package_tiebreak
+    s.weights.Rank.generality_tiebreak s.estimate_freevars
+
+(* Keys carry the graph generation even though validation already cleared
+   stale entries — a second, independent guard against serving results for a
+   graph that no longer exists. *)
+let single_key ~gen ~settings q =
+  Printf.sprintf "%s>%s|%s|g%d" (Jtype.to_string q.tin) (Jtype.to_string q.tout)
+    (settings_key settings) gen
+
+let multi_key ~gen ~settings ~vars ~tout =
+  let vs = List.map (fun (name, ty) -> name ^ ":" ^ Jtype.to_string ty) vars in
+  Printf.sprintf "multi|%s>%s|%s|g%d" (String.concat "," vs) (Jtype.to_string tout)
+    (settings_key settings) gen
+
+let run_cached ?(settings = default_settings) e q =
+  validate e;
+  Qcache.find_or_add e.e_single (single_key ~gen:e.e_gen ~settings q) (fun () ->
+      run ~settings ?reach:(engine_reach e) ~graph:e.e_graph ~hierarchy:e.e_hierarchy q)
+
+let run_batch ?(settings = default_settings) e qs =
+  List.map (fun q -> (q, run_cached ~settings e q)) qs
+
+let run_multi_cached ?(settings = default_settings) e ~vars ~tout () =
+  validate e;
+  Qcache.find_or_add e.e_multi (multi_key ~gen:e.e_gen ~settings ~vars ~tout) (fun () ->
+      run_multi ~settings ?reach:(engine_reach e) ~graph:e.e_graph
+        ~hierarchy:e.e_hierarchy ~vars ~tout ())

@@ -41,9 +41,19 @@ type result = {
 }
 
 val run :
-  ?settings:settings -> graph:Graph.t -> hierarchy:Hierarchy.t -> t -> result list
+  ?settings:settings ->
+  ?reach:Reach.t ->
+  graph:Graph.t ->
+  hierarchy:Hierarchy.t ->
+  t ->
+  result list
 (** Ranked solution jungloids; [[]] when [tin] or [tout] has no node or no
-    path exists. *)
+    path exists. When [?reach] is a {!Reach} index for the graph's current
+    {!Graph.generation}, unsolvable queries are rejected in O(1) and — when
+    [tout]'s reachability cone is a small enough fraction of the graph for
+    filtering to pay — the search frontier is pruned to the cone; the result
+    list is provably identical with and without the index. A stale index is
+    ignored, never misapplied. *)
 
 type multi_result = {
   source_var : string option;  (** [None] for the [void] source *)
@@ -65,6 +75,7 @@ val cluster : result list -> cluster list
 
 val run_multi :
   ?settings:settings ->
+  ?reach:Reach.t ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   vars:(string * Jtype.t) list ->
@@ -73,4 +84,61 @@ val run_multi :
   multi_result list
 (** One multi-source search from all [vars] plus [void]; each result's code
     references the variable it starts from. The ranked order interleaves all
-    sources. *)
+    sources. [?reach] prunes exactly as in {!run}. *)
+
+(** {2 The query engine}
+
+    A long-lived handle bundling a graph, its hierarchy, an LRU result cache
+    per query shape (single-source and multi-source), and a lazily built
+    {!Reach} index. Cache keys are [(tin, tout, settings, graph
+    generation)]; whenever {!Graph.generation} moves — e.g. {!Mining.Enrich}
+    splicing mined downcast edges into the graph — the next cached call
+    flushes both caches and drops the index, so cached results are always
+    exactly what the uncached pipeline would return ([test_cache.ml] checks
+    the equivalence over the full Table 1 workload). *)
+
+type engine
+
+val engine :
+  ?cache_capacity:int ->
+  ?prune:bool ->
+  graph:Graph.t ->
+  hierarchy:Hierarchy.t ->
+  unit ->
+  engine
+(** [cache_capacity] (default 256) sizes each of the two internal LRU
+    caches; [prune:false] disables the reach index (the bench uses this to
+    measure the pruning speedup in isolation). *)
+
+val engine_graph : engine -> Graph.t
+
+val engine_hierarchy : engine -> Javamodel.Hierarchy.t
+
+val run_cached : ?settings:settings -> engine -> t -> result list
+(** {!run} through the cache: a hit costs one hash lookup; a miss runs the
+    reachability-pruned pipeline and stores the result. *)
+
+val run_batch : ?settings:settings -> engine -> t list -> (t * result list) list
+(** Answer many queries through one engine — the reach index is built once
+    and every repeated [(tin, tout)] pair after the first is a cache hit.
+    Results are in input order, duplicates included. *)
+
+val run_multi_cached :
+  ?settings:settings ->
+  engine ->
+  vars:(string * Jtype.t) list ->
+  tout:Jtype.t ->
+  unit ->
+  multi_result list
+(** {!run_multi} through the cache, keyed additionally on the visible
+    variables — the content-assist hot path: re-opening assist at the same
+    program point is a hit. *)
+
+val invalidate : engine -> unit
+(** Explicitly flush both caches and the reach index (also happens
+    automatically when the graph generation changes). Counted in
+    {!engine_stats}. *)
+
+val engine_stats : engine -> Qcache.stats
+(** Combined hit/miss/eviction/invalidation counters of both internal
+    caches; render with {!Stats.pp_cache}. *)

@@ -1,0 +1,187 @@
+(* Reachability index: for every node, the bitset of nodes it can reach.
+   Built once per graph generation, it answers "can u ever reach tout?" in
+   O(1), which lets the search restrict its frontier to the query's viable
+   cone instead of the whole graph, and lets the query layer reject
+   unsolvable (tin, tout) pairs without any BFS at all.
+
+   Construction runs an iterative Tarjan SCC pass (the jungloid graph is
+   cyclic: widening edges alone create cycles through shared supertypes),
+   then a single bitset DP over the condensation. Tarjan emits components
+   sinks-first, so every successor component of [c] has a smaller id and its
+   closure is already final when [c] is processed. Bitsets are stored per
+   component, not per node, which collapses the quadratic worst case on the
+   highly cyclic real graphs. *)
+
+module Bits = struct
+  let word = Sys.int_size (* 63 on 64-bit platforms *)
+
+  type t = int array
+
+  let create n = Array.make ((n + word - 1) / word) 0
+
+  let set (b : t) i = b.(i / word) <- b.(i / word) lor (1 lsl (i mod word))
+
+  let mem (b : t) i = b.(i / word) land (1 lsl (i mod word)) <> 0
+
+  let union_into ~(dst : t) (src : t) =
+    for k = 0 to Array.length dst - 1 do
+      dst.(k) <- dst.(k) lor src.(k)
+    done
+
+  let count (b : t) =
+    let rec popcount x acc = if x = 0 then acc else popcount (x lsr 1) (acc + (x land 1)) in
+    Array.fold_left (fun acc w -> popcount w acc) 0 b
+end
+
+type t = {
+  n : int;  (* node count at build time *)
+  built_at : int;  (* graph generation at build time *)
+  comp : int array;  (* node -> component id, ids in reverse topological order *)
+  creach : Bits.t array;  (* component -> bitset of reachable nodes *)
+}
+
+(* Iterative Tarjan: the explicit stack holds (node, unexplored successors);
+   when a node's successor list is exhausted its lowlink flows to the parent
+   beneath it, and a root pops its whole component. *)
+let compute_sccs n succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let scc_stack = ref [] in
+  let ncomp = ref 0 in
+  let counter = ref 0 in
+  let visit v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    scc_stack := v :: !scc_stack;
+    on_stack.(v) <- true
+  in
+  let call = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      visit root;
+      Stack.push (root, succs root) call;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.pop call in
+        match rest with
+        | w :: rest' ->
+            Stack.push (v, rest') call;
+            if index.(w) < 0 then begin
+              visit w;
+              Stack.push (w, succs w) call
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+            if lowlink.(v) = index.(v) then begin
+              let rec pop () =
+                match !scc_stack with
+                | w :: tail ->
+                    scc_stack := tail;
+                    on_stack.(w) <- false;
+                    comp.(w) <- !ncomp;
+                    if w <> v then pop ()
+                | [] -> assert false
+              in
+              pop ();
+              incr ncomp
+            end;
+            (match Stack.top_opt call with
+            | Some (u, _) -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+            | None -> ())
+      done
+    end
+  done;
+  (comp, !ncomp)
+
+let build g =
+  let n = Graph.node_count g in
+  let succs u = List.map (fun e -> e.Graph.dst) (Graph.succs g u) in
+  let comp, ncomp = compute_sccs n succs in
+  let creach = Array.init ncomp (fun _ -> Bits.create n) in
+  (* Component ids come out sinks-first, so a plain id-order sweep sees every
+     successor component's closure already complete. [stamp] dedupes the
+     successor components of the component under construction. *)
+  let stamp = Array.make ncomp (-1) in
+  let members = Array.make ncomp [] in
+  for u = n - 1 downto 0 do
+    members.(comp.(u)) <- u :: members.(comp.(u))
+  done;
+  for c = 0 to ncomp - 1 do
+    let bits = creach.(c) in
+    List.iter
+      (fun u ->
+        Bits.set bits u;
+        List.iter
+          (fun v ->
+            let cv = comp.(v) in
+            if cv <> c && stamp.(cv) <> c then begin
+              stamp.(cv) <- c;
+              Bits.union_into ~dst:bits creach.(cv)
+            end)
+          (succs u))
+      members.(c)
+  done;
+  { n; built_at = Graph.generation g; comp; creach }
+
+let generation t = t.built_at
+
+let node_count t = t.n
+
+let scc_count t = Array.length t.creach
+
+(* Nodes the index has never seen (created after the build) are conservatively
+   reported reachable: [mem] is a pruning oracle, and "don't prune" is the
+   only safe answer for an unknown node. Engines avoid the situation entirely
+   by rebuilding on generation change. *)
+let mem t ~src ~target =
+  if src < 0 || src >= t.n || target < 0 || target >= t.n then true
+  else Bits.mem t.creach.(t.comp.(src)) target
+
+let viable t ~target =
+  if target < 0 || target >= t.n then fun _ -> true
+  else
+    let n = t.n and comp = t.comp and creach = t.creach in
+    fun u -> u < 0 || u >= n || Bits.mem creach.(comp.(u)) target
+
+let cone_size t ~target =
+  if target < 0 || target >= t.n then t.n
+  else begin
+    let c = ref 0 in
+    for u = 0 to t.n - 1 do
+      if Bits.mem t.creach.(t.comp.(u)) target then incr c
+    done;
+    !c
+  end
+
+let reachable_count t ~src =
+  if src < 0 || src >= t.n then t.n else Bits.count t.creach.(t.comp.(src))
+
+(* ---------- persistence (see Serialize for the framed file format) ---------- *)
+
+type dump = {
+  d_version : int;
+  d_n : int;
+  d_built_at : int;
+  d_comp : int array;
+  d_creach : int array array;
+}
+
+let dump_version = 1
+
+let dump t =
+  {
+    d_version = dump_version;
+    d_n = t.n;
+    d_built_at = t.built_at;
+    d_comp = t.comp;
+    d_creach = t.creach;
+  }
+
+let undump d =
+  if d.d_version <> dump_version then
+    invalid_arg
+      (Printf.sprintf "Reach.undump: index format version %d, expected %d" d.d_version
+         dump_version);
+  { n = d.d_n; built_at = d.d_built_at; comp = d.d_comp; creach = d.d_creach }

@@ -1,0 +1,56 @@
+(** Precomputed reachability over the jungloid graph — the index behind
+    reachability-pruned search.
+
+    A query [(tin, tout)] only ever walks nodes that can still reach [tout];
+    everything else is dead frontier. This module computes, once per graph
+    {!Graph.generation}, the full reachability closure (an SCC condensation
+    followed by one bitset DP), after which [can u reach tout?] is a single
+    bit test. {!Search} consumes it through the [?viable] hook; {!Query}'s
+    engine builds and rebuilds it transparently; {!Serialize} persists it
+    next to the graph so a server restart skips the closure computation.
+
+    Pruning with the {e exact} cone is result-preserving by construction:
+    every path that ends at [tout] lies entirely inside the cone, so the
+    pruned search enumerates exactly the same path set in exactly the same
+    order ([test_reach.ml] checks this property on randomized graphs). *)
+
+type t
+
+val build : Graph.t -> t
+(** O(nodes + edges + SCCs · nodes/word). The index describes the graph as
+    of {!Graph.generation} at the time of the call; it never observes later
+    mutations (callers rebuild, keyed on the generation). *)
+
+val generation : t -> int
+(** The graph generation the index was built against. *)
+
+val node_count : t -> int
+
+val scc_count : t -> int
+
+val mem : t -> src:Graph.node -> target:Graph.node -> bool
+(** [mem t ~src ~target] — can [src] reach [target]? Nodes outside the
+    indexed range (created after the build) are conservatively reported
+    reachable, so a stale index can only under-prune, never drop results. *)
+
+val viable : t -> target:Graph.node -> Graph.node -> bool
+(** [viable t ~target] specialized as a predicate for {!Search}'s [?viable]
+    argument; same conservative out-of-range behavior as {!mem}. *)
+
+val cone_size : t -> target:Graph.node -> int
+(** Number of nodes that can reach [target] — the pruned search's whole
+    world. The bench reports this against {!node_count} as the pruning
+    ratio. *)
+
+val reachable_count : t -> src:Graph.node -> int
+(** Number of nodes reachable from [src]. *)
+
+(** {2 Persistence} — used by {!Serialize.save_reach} /
+    {!Serialize.load_reach}; the dump is a plain marshalable value. *)
+
+type dump
+
+val dump : t -> dump
+
+val undump : dump -> t
+(** @raise Invalid_argument on a format version mismatch. *)

@@ -63,20 +63,35 @@ let zero_one_bfs n ~starts ~next =
   loop ();
   dist
 
-let distances_to g ~target =
+(* [viable] is a pruning oracle ("can this node still reach the target?"):
+   non-viable nodes are simply never relaxed. With the exact reachability
+   cone this is result-preserving — any path that reaches the target lies
+   entirely inside the cone — while shrinking the BFS frontier from the
+   whole graph to the cone. *)
+let keep viable step =
+  match viable with
+  | None -> step
+  | Some ok -> List.filter (fun (_, v) -> ok v) step
+
+let distances_to ?viable g ~target =
   let n = Graph.node_count g in
   zero_one_bfs n ~starts:[ target ] ~next:(fun u ->
-      List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.src)) (Graph.preds g u))
+      keep viable
+        (List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.src)) (Graph.preds g u)))
 
-let distances_from g ~sources =
+let distances_from ?viable g ~sources =
   let n = Graph.node_count g in
   zero_one_bfs n ~starts:sources ~next:(fun u ->
-      List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.dst)) (Graph.succs g u))
+      keep viable
+        (List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.dst)) (Graph.succs g u)))
 
-let shortest_cost g ~sources ~target =
+let shortest_cost ?viable g ~sources ~target =
+  let sources =
+    match viable with None -> sources | Some ok -> List.filter ok sources
+  in
   if sources = [] then None
   else
-    let dist = distances_from g ~sources in
+    let dist = distances_from ?viable g ~sources in
     if target < Array.length dist && dist.(target) < max_int then Some dist.(target)
     else None
 
@@ -112,12 +127,12 @@ let dfs_from g ~target ~dist_to ~on_path ~budget ~limit ~count ~results source =
     on_path.(source) <- false
   end
 
-let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) () =
-  match shortest_cost g ~sources ~target with
+let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
+  match shortest_cost ?viable g ~sources ~target with
   | None -> []
   | Some m ->
       let budget = m + slack in
-      let dist_to = distances_to g ~target in
+      let dist_to = distances_to ?viable g ~target in
       let n = Graph.node_count g in
       let on_path = Array.make n false in
       let results = ref [] in
@@ -127,14 +142,14 @@ let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) () =
         (List.sort_uniq compare sources);
       List.rev !results
 
-let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) () =
+let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
   (* One query per source, as content assist conceptually runs them; the
      backward BFS is shared, so the cost is close to a single query. Each
      source gets its own budget: its shortest cost to the target plus
      [slack]. *)
   if target >= Graph.node_count g then []
   else
-    let dist_to = distances_to g ~target in
+    let dist_to = distances_to ?viable g ~target in
     let n = Graph.node_count g in
     let on_path = Array.make n false in
     let results = ref [] in

@@ -14,14 +14,27 @@ type path = {
   edges : Graph.edge list;  (** in order from source to target *)
 }
 
-val distances_to : Graph.t -> target:Graph.node -> int array
+val distances_to : ?viable:(Graph.node -> bool) -> Graph.t -> target:Graph.node -> int array
 (** Cost of the cheapest path from each node to [target]; [max_int] when
-    unreachable. *)
+    unreachable.
 
-val distances_from : Graph.t -> sources:Graph.node list -> int array
+    The [?viable] argument of every function here is a pruning oracle,
+    normally {!Reach.viable} for the query's target: nodes it rejects are
+    never entered, shrinking the BFS frontier to the target's reachability
+    cone. With the exact cone the prune is result-preserving — every path
+    that reaches the target lies inside the cone — so all distances and
+    enumerations relevant to the target are unchanged. *)
+
+val distances_from :
+  ?viable:(Graph.node -> bool) -> Graph.t -> sources:Graph.node list -> int array
 (** Cost of the cheapest path from the nearest source to each node. *)
 
-val shortest_cost : Graph.t -> sources:Graph.node list -> target:Graph.node -> int option
+val shortest_cost :
+  ?viable:(Graph.node -> bool) ->
+  Graph.t ->
+  sources:Graph.node list ->
+  target:Graph.node ->
+  int option
 (** [None] when the target is unreachable from every source. *)
 
 val enumerate :
@@ -30,6 +43,7 @@ val enumerate :
   target:Graph.node ->
   ?slack:int ->
   ?limit:int ->
+  ?viable:(Graph.node -> bool) ->
   unit ->
   path list
 (** All acyclic paths from any source to [target] of cost at most
@@ -44,6 +58,7 @@ val enumerate_per_source :
   target:Graph.node ->
   ?slack:int ->
   ?limit:int ->
+  ?viable:(Graph.node -> bool) ->
   unit ->
   path list
 (** Content-assist semantics: conceptually one query {e per} source, so each

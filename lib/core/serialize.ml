@@ -56,15 +56,14 @@ let of_bytes b =
   in
   graph_of_dump d
 
-let save g path =
-  let b = to_bytes g in
+let write_bytes_to path b =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_bytes oc b);
   Bytes.length b
 
-let load path =
+let read_bytes_from path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -72,4 +71,30 @@ let load path =
       let len = in_channel_length ic in
       let b = Bytes.create len in
       really_input ic b 0 len;
-      of_bytes b)
+      b)
+
+let save g path = write_bytes_to path (to_bytes g)
+
+let load path = of_bytes (read_bytes_from path)
+
+(* ---------- the reachability index ---------- *)
+
+let reach_magic = "PROSPECTOR-REACH"
+
+let reach_to_bytes r =
+  let payload = Marshal.to_bytes (Reach.dump r) [] in
+  Bytes.cat (Bytes.of_string reach_magic) payload
+
+let reach_of_bytes b =
+  let mlen = String.length reach_magic in
+  if Bytes.length b < mlen || Bytes.sub_string b 0 mlen <> reach_magic then
+    raise (Format_error "not a prospector reachability index file");
+  let d : Reach.dump =
+    try Marshal.from_bytes b mlen
+    with Failure msg -> raise (Format_error ("corrupt reachability index: " ^ msg))
+  in
+  try Reach.undump d with Invalid_argument msg -> raise (Format_error msg)
+
+let save_reach r path = write_bytes_to path (reach_to_bytes r)
+
+let load_reach path = reach_of_bytes (read_bytes_from path)

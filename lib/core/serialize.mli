@@ -20,3 +20,22 @@ val load : string -> Graph.t
 val to_bytes : Graph.t -> bytes
 
 val of_bytes : bytes -> Graph.t
+
+(** {2 Reachability index}
+
+    The {!Reach} index is a pure function of the graph, so it is persisted
+    beside the graph as a second cache file: a server restart loads both and
+    skips the closure computation. {!Reach.generation} survives the round
+    trip, so the usual generation check still guards against pairing a stale
+    index with a newer graph. *)
+
+val save_reach : Reach.t -> string -> int
+(** [save_reach r path] writes the index and returns the byte size. *)
+
+val load_reach : string -> Reach.t
+(** @raise Format_error on a missing/garbled header or version mismatch.
+    @raise Sys_error on I/O failure. *)
+
+val reach_to_bytes : Reach.t -> bytes
+
+val reach_of_bytes : bytes -> Reach.t

@@ -36,6 +36,16 @@ let of_graph g =
     approx_bytes = ((nodes * 9) + (edges * 14)) * (Sys.word_size / 8);
   }
 
+let pp_cache fmt (s : Qcache.stats) =
+  Format.fprintf fmt
+    "cache: %d/%d entries, %d hits, %d misses (%.0f%% hit rate), %d evictions, %d \
+     invalidations"
+    s.Qcache.s_entries s.Qcache.s_capacity s.Qcache.s_hits s.Qcache.s_misses
+    (100.0 *. Qcache.hit_rate s)
+    s.Qcache.s_evictions s.Qcache.s_invalidations
+
+let cache_to_string s = Format.asprintf "%a" pp_cache s
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>nodes: %d (%d real, %d typestate)@,\

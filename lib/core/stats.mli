@@ -20,3 +20,9 @@ val of_graph : Graph.t -> t
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val pp_cache : Format.formatter -> Qcache.stats -> unit
+(** One-line rendering of the query-cache counters ({!Query.engine_stats}):
+    occupancy, hits, misses, hit rate, evictions, invalidations. *)
+
+val cache_to_string : Qcache.stats -> string

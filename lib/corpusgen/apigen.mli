@@ -11,11 +11,21 @@ type params = {
   methods_per_class : int;  (** mean; actual counts vary ±50% *)
   subclass_fraction : float;  (** probability a class extends an earlier one *)
   void_fraction : float;  (** probability a method is static with no params *)
+  locality : float;
+      (** [0.] (default) draws referenced types uniformly from the whole set
+          — an expander whose reachability cones cover ~the entire graph.
+          Positive locality arranges the packages as a binary tree rooted at
+          a hub package: references stay inside the class's own package with
+          this probability and otherwise fan out into a child package, never
+          back up. Hub types reach the whole tree but each target's cone is
+          only the root-to-target silo path — the facade-over-subsystems
+          shape (narrow cones) that the {!Prospector.Reach} pruning bench
+          exercises. *)
   seed : int;
 }
 
 val default_params : params
-(** 200 classes, 8 packages, 5 methods per class, seed 42. *)
+(** 200 classes, 8 packages, 5 methods per class, locality 0, seed 42. *)
 
 val generate : params -> Javamodel.Hierarchy.t
 (** The synthetic hierarchy; class [i] is [synth.pN.Ci]. *)

@@ -5,6 +5,16 @@ module Search = Prospector.Search
 let scaling_api ~classes =
   Apigen.generate { Apigen.default_params with classes; seed = 42 }
 
+let layered_api ~classes =
+  Apigen.generate
+    {
+      Apigen.default_params with
+      classes;
+      packages = 32;
+      locality = 0.9;
+      seed = 42;
+    }
+
 let branchy_corpus ~branches =
   let hierarchy =
     Japi.Loader.load_string ~file:"branchy"
@@ -23,7 +33,7 @@ let branchy_corpus ~branches =
   Buffer.add_string buf "    Special sp = (Special) o;\n  }\n}\n";
   (hierarchy, [ ("branchy-corpus", Buffer.contents buf) ])
 
-let random_queries hierarchy graph ~count ~seed =
+let sample_pairs ~keep graph ~count ~seed =
   let rng = Rng.create ~seed in
   let real =
     List.filter_map
@@ -33,14 +43,24 @@ let random_queries hierarchy graph ~count ~seed =
   in
   let arr = Array.of_list real in
   let n = Array.length arr in
-  ignore hierarchy;
-  let rec sample acc tries =
-    if List.length acc >= count || tries > count * 200 then List.rev acc
+  let rec sample acc got tries =
+    if got >= count || tries > count * 200 then List.rev acc
     else
       let ti, si = arr.(Rng.int rng n) in
       let to_, di = arr.(Rng.int rng n) in
-      if si <> di && Search.shortest_cost graph ~sources:[ si ] ~target:di <> None
-      then sample ({ Prospector.Query.tin = ti; tout = to_ } :: acc) (tries + 1)
-      else sample acc (tries + 1)
+      if si <> di && keep si di then
+        sample ({ Prospector.Query.tin = ti; tout = to_ } :: acc) (got + 1)
+          (tries + 1)
+      else sample acc got (tries + 1)
   in
-  sample [] 0
+  sample [] 0 0
+
+let solvable graph si di =
+  Search.shortest_cost graph ~sources:[ si ] ~target:di <> None
+
+let random_queries hierarchy graph ~count ~seed =
+  ignore hierarchy;
+  sample_pairs ~keep:(solvable graph) graph ~count ~seed
+
+let random_misses graph ~count ~seed =
+  sample_pairs ~keep:(fun si di -> not (solvable graph si di)) graph ~count ~seed

@@ -44,8 +44,33 @@ val to_context : hole -> Prospector.Assist.context
 
 val suggest_at :
   ?settings:Prospector.Query.settings ->
+  ?engine:Prospector.Query.engine ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   hole ->
   Prospector.Assist.suggestion list
-(** Content-assist suggestions for one hole. *)
+(** Content-assist suggestions for one hole. Pass [?engine] (see {!session})
+    to serve the hole from the interactive query cache — the IDE keeps one
+    engine per open workspace, so re-triggering assist at an unchanged
+    program point costs a hash lookup, and graph enrichment (new mined
+    examples arriving) transparently invalidates it. *)
+
+val session :
+  ?cache_capacity:int ->
+  graph:Prospector.Graph.t ->
+  hierarchy:Javamodel.Hierarchy.t ->
+  unit ->
+  Prospector.Query.engine
+(** The interactive session handle: a {!Prospector.Query.engine} over the
+    workspace graph, shared by every completion request. *)
+
+val suggest_all :
+  ?settings:Prospector.Query.settings ->
+  ?engine:Prospector.Query.engine ->
+  graph:Prospector.Graph.t ->
+  hierarchy:Javamodel.Hierarchy.t ->
+  hole list ->
+  (hole * Prospector.Assist.suggestion list) list
+(** Suggestions for every hole of a buffer through one shared engine (a
+    fresh one when [?engine] is absent): the batch counterpart of
+    {!suggest_at}, in source order. *)

@@ -1,0 +1,40 @@
+Batch mode answers a whole query file through one engine; repeats and
+duplicate lines are cache hits, and --cache-stats shows the accounting
+(the duplicated pair is 1 miss + 1 hit on the first pass, then every
+query hits on the two repeat passes: 3 misses, 9 hits).
+
+  $ cat > queries.txt <<'EOF'
+  > # Table 1 favorites
+  > java.io.InputStream java.io.BufferedReader
+  > void org.eclipse.ui.texteditor.DocumentProviderRegistry
+  > java.io.InputStream java.io.BufferedReader
+  > no.Such also.Missing
+  > EOF
+  $ ../../bin/prospector_cli.exe batch queries.txt --repeat 3 --cache-stats -n 1
+  (java.io.InputStream, java.io.BufferedReader): 1 result(s)
+  #1  λx. new BufferedReader(new InputStreamReader(x)) : InputStream -> BufferedReader
+        InputStreamReader inputStreamReader = new InputStreamReader(inputStream);
+        BufferedReader bufferedReader = new BufferedReader(inputStreamReader);
+  (void, org.eclipse.ui.texteditor.DocumentProviderRegistry): 1 result(s)
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+  (java.io.InputStream, java.io.BufferedReader): 1 result(s)
+  #1  λx. new BufferedReader(new InputStreamReader(x)) : InputStream -> BufferedReader
+        InputStreamReader inputStreamReader = new InputStreamReader(inputStream);
+        BufferedReader bufferedReader = new BufferedReader(inputStreamReader);
+  (no.Such, also.Missing): 0 result(s)
+  cache: 3/512 entries, 9 hits, 3 misses (75% hit rate), 0 evictions, 0 invalidations
+
+The same file with the cache disabled gives identical answers — only the
+accounting line disappears:
+
+  $ ../../bin/prospector_cli.exe batch queries.txt --no-cache -n 1 > plain.out
+  $ ../../bin/prospector_cli.exe batch queries.txt -n 1 > cached.out
+  $ diff plain.out cached.out
+
+A malformed line is a clean error:
+
+  $ printf 'only-one-token\n' > bad.txt
+  $ ../../bin/prospector_cli.exe batch bad.txt
+  error: bad query line "only-one-token", expected "TIN TOUT"
+  [1]
