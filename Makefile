@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt bench-cache clean
+.PHONY: all build test check fmt lint bench-cache bench-analysis clean
 
 all: build
 
@@ -21,12 +21,26 @@ fmt:
 	  echo "ocamlformat not installed — skipping format check"; \
 	fi
 
-check: build test fmt
+# The analyzer over everything we ship: API-model and graph lint plus the
+# bundled mining corpus, then the example corpus under examples/corpus/.
+# --strict promotes warnings, so the gate only passes a spotless model.
+lint: build
+	dune exec bin/prospector_cli.exe -- lint --strict
+	dune exec bin/prospector_cli.exe -- lint --strict \
+	  --corpus examples/corpus/editor_input.java \
+	  --corpus examples/corpus/workspace_ast.java
+
+check: build test lint fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
 bench-cache: build
 	dune exec bench/main.exe -- cache
+
+# Regenerates BENCH_analysis.json (verified vs unverified query latency,
+# per-pass lint timings).
+bench-analysis: build
+	dune exec bench/main.exe -- analysis
 
 clean:
 	dune clean

@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam micro                         *)
+             search_bound cap_sweep objparam cache analysis micro          *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -580,6 +580,104 @@ let section_cache () =
   write_file "BENCH_cache.json" json
 
 (* ------------------------------------------------------------------ *)
+(* Analyzer: verifier overhead and lint pass timings                   *)
+(* ------------------------------------------------------------------ *)
+
+(* What does ?verify cost per query, and what do the standalone passes cost
+   over everything we ship? The verifier re-typechecks every ranked chain,
+   so its price scales with results per query, not with search effort — on
+   the Table 1 workload it should be noise next to the search itself. *)
+
+let section_analysis () =
+  rule "Analyzer — verifier overhead and lint pass timings";
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let qs =
+    List.map (fun (p : Problems.t) -> Query.query p.Problems.tin p.Problems.tout)
+      Problems.all
+  in
+  let nq = List.length qs in
+  let passes = 10 in
+  let run_passes f =
+    time_of (fun () ->
+        let last = ref [] in
+        for _ = 1 to passes do
+          last := List.map f qs
+        done;
+        !last)
+  in
+  let plain_t, plain = run_passes (fun q -> Query.run ~graph ~hierarchy q) in
+  let v = Query.verifier (Analysis.Verify.sound hierarchy) in
+  let verified_t, verified =
+    run_passes (fun q -> Query.run ~verify:v ~graph ~hierarchy q)
+  in
+  let per_q t = t *. 1000.0 /. float_of_int (passes * nq) in
+  Printf.printf "Table 1 workload (%d queries, %d passes):\n" nq passes;
+  Printf.printf "  unverified: %.3f ms/query    verified: %.3f ms/query    overhead %.1f%%\n"
+    (per_q plain_t) (per_q verified_t)
+    (100.0 *. ((verified_t /. plain_t) -. 1.0));
+  Printf.printf "  chains checked: %d, filtered as unsound: %d\n" v.Query.vchecked
+    v.Query.vfiltered;
+  Printf.printf "  verified results identical to unverified: %b\n" (plain = verified);
+  (* Standalone pass timings over the shipped model, corpus, and solutions. *)
+  let chains =
+    List.concat plain |> List.map (fun (r : Query.result) -> r.Query.jungloid)
+  in
+  let nchains = List.length chains in
+  let verify_t, _ =
+    time_of (fun () ->
+        List.iter (fun j -> ignore (Analysis.Verify.check hierarchy j)) chains)
+  in
+  let gencheck_t, _ =
+    time_of (fun () ->
+        List.iter (fun j -> ignore (Analysis.Gencheck.check hierarchy j)) chains)
+  in
+  let apilint_t, api_ds = time_of (fun () -> Analysis.Apilint.lint ~graph hierarchy) in
+  let prog =
+    Minijava.Resolve.parse_program ~api:hierarchy Apidata.Api.corpus_sources
+  in
+  let corpuslint_t, corpus_ds =
+    time_of (fun () -> Analysis.Corpuslint.lint_program prog)
+  in
+  Printf.printf "standalone passes:\n";
+  Printf.printf "  verify:     %d chains in %.4f s (%.1f us/chain)\n" nchains verify_t
+    (1e6 *. verify_t /. float_of_int (max 1 nchains));
+  Printf.printf "  gencheck:   %d chains in %.4f s (%.1f us/chain)\n" nchains
+    gencheck_t
+    (1e6 *. gencheck_t /. float_of_int (max 1 nchains));
+  Printf.printf "  apilint:    model+graph in %.4f s (%d findings)\n" apilint_t
+    (List.length api_ds);
+  Printf.printf "  corpuslint: %d methods in %.4f s (%d findings)\n"
+    (List.length prog.Minijava.Tast.methods)
+    corpuslint_t (List.length corpus_ds);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"queries\": %d,\n\
+      \  \"passes\": %d,\n\
+      \  \"unverified_ms_per_query\": %.4f,\n\
+      \  \"verified_ms_per_query\": %.4f,\n\
+      \  \"verify_overhead_fraction\": %.4f,\n\
+      \  \"chains_checked\": %d,\n\
+      \  \"chains_filtered\": %d,\n\
+      \  \"solutions\": %d,\n\
+      \  \"verify_us_per_chain\": %.2f,\n\
+      \  \"gencheck_us_per_chain\": %.2f,\n\
+      \  \"apilint_s\": %.6f,\n\
+      \  \"apilint_findings\": %d,\n\
+      \  \"corpuslint_s\": %.6f,\n\
+      \  \"corpuslint_findings\": %d\n\
+       }\n"
+      nq passes (per_q plain_t) (per_q verified_t)
+      ((verified_t /. plain_t) -. 1.0)
+      v.Query.vchecked v.Query.vfiltered nchains
+      (1e6 *. verify_t /. float_of_int (max 1 nchains))
+      (1e6 *. gencheck_t /. float_of_int (max 1 nchains))
+      apilint_t (List.length api_ds) corpuslint_t (List.length corpus_ds)
+  in
+  write_file "BENCH_analysis.json" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -659,6 +757,7 @@ let sections =
     ("cap_sweep", section_cap_sweep);
     ("objparam", section_objparam);
     ("cache", section_cache);
+    ("analysis", section_analysis);
     ("micro", section_micro);
   ]
 

@@ -447,6 +447,135 @@ let infer_cmd =
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
       $ max_results $ slack $ files)
 
+(* ---------- lint ---------- *)
+
+(* The analyzer as a standalone tool: run any subset of the three passes
+   (API-model lint, corpus lint, query verification) over the same inputs
+   the search uses, reporting shared diagnostics. Exit codes: 0 clean,
+   1 error-severity findings (or warnings under --strict), 2 inputs failed
+   to load. *)
+
+let parse_query_spec s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  match parts with
+  | [ tin; tout ] -> (tin, tout)
+  | _ ->
+      Printf.eprintf "error: bad --query %S, expected \"TIN,TOUT\"\n" s;
+      exit 2
+
+let lint_cmd =
+  let pass_conv =
+    Arg.enum [ ("api", `Api); ("corpus", `Corpus); ("query", `Query) ]
+  in
+  let passes =
+    Arg.(
+      value & opt_all pass_conv []
+      & info [ "pass" ] ~docv:"PASS"
+          ~doc:"Run only this pass: $(b,api) (model and graph lint), \
+                $(b,corpus) (mini-Java linter) or $(b,query) (solution \
+                verifier); repeatable. Default: api and corpus, plus query \
+                when $(b,--query) is given.")
+  in
+  let queries =
+    Arg.(
+      value & opt_all string []
+      & info [ "query"; "q" ] ~docv:"TIN,TOUT"
+          ~doc:"Verify this query's solutions (repeatable): every ranked \
+                jungloid is re-typechecked against the hierarchy and its \
+                generated code is re-parsed and linted.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.")
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warnings, not just errors.")
+  in
+  let run api corpus no_mining protected_ max_results slack verbose passes
+      queries json strict =
+    setup_logs verbose;
+    let passes =
+      match passes with
+      | [] -> [ `Api; `Corpus ] @ (if queries = [] then [] else [ `Query ])
+      | ps -> ps
+    in
+    let loaded =
+      try
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let corpus_sources =
+          match (api, corpus) with
+          | [], [] -> Apidata.Api.corpus_sources
+          | _, files -> List.map (fun f -> (f, read_file f)) files
+        in
+        let prog =
+          if List.mem `Corpus passes && corpus_sources <> [] then
+            Some (Minijava.Resolve.parse_program ~api:env.hierarchy corpus_sources)
+          else None
+        in
+        Ok (env, prog)
+      with
+      | Japi.Error.E e -> Error (Japi.Error.to_string e)
+      | Javamodel.Hierarchy.Unknown_type q ->
+          Error (Printf.sprintf "unknown type %s" (Javamodel.Qname.to_string q))
+      | Sys_error msg -> Error msg
+    in
+    match loaded with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok (env, prog) ->
+        let run_pass = function
+          | `Api -> Analysis.Apilint.lint ~graph:env.graph env.hierarchy
+          | `Corpus -> (
+              match prog with
+              | None -> []
+              | Some prog -> Analysis.Corpuslint.lint_program prog)
+          | `Query ->
+              List.concat_map
+                (fun spec ->
+                  let tin, tout = parse_query_spec spec in
+                  let q = Prospector.Query.query tin tout in
+                  Prospector.Query.run
+                    ~settings:(settings ~max_results ~slack)
+                    ~graph:env.graph ~hierarchy:env.hierarchy q
+                  |> List.concat_map (fun (r : Prospector.Query.result) ->
+                         let j = r.Prospector.Query.jungloid in
+                         Analysis.Verify.check env.hierarchy j
+                         @ Analysis.Gencheck.check env.hierarchy j))
+                queries
+        in
+        let ds =
+          List.sort_uniq Analysis.Diagnostic.compare
+            (List.concat_map run_pass passes)
+        in
+        if json then print_endline (Analysis.Diagnostic.list_to_json ds)
+        else begin
+          List.iter
+            (fun d -> print_endline (Analysis.Diagnostic.to_string d))
+            ds;
+          print_endline (Analysis.Diagnostic.summary ds)
+        end;
+        let errors = Analysis.Diagnostic.count Analysis.Diagnostic.Error ds in
+        let warnings =
+          Analysis.Diagnostic.count Analysis.Diagnostic.Warning ds
+        in
+        if errors > 0 || (strict && warnings > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the analyzer: API-model lint, corpus lint, and solution \
+             verification, with a shared diagnostic report.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag
+      $ max_results $ slack $ verbose_flag $ passes $ queries $ json_flag
+      $ strict_flag)
+
 (* ---------- table1 ---------- *)
 
 let table1_cmd =
@@ -500,6 +629,7 @@ let () =
             batch_cmd;
             infer_cmd;
             mine_cmd;
+            lint_cmd;
             stats_cmd;
             dot_cmd;
             table1_cmd;

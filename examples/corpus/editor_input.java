@@ -1,0 +1,12 @@
+// The Table 1 row 4 idiom as a client method: from an open editor to the
+// file it edits. `make lint` runs the corpus linter over this file against
+// the bundled Eclipse/J2SE model; it must stay clean.
+package examples.editor;
+
+class EditorFileReader {
+  IFile fileOfEditor(IEditorPart editor) {
+    IFileEditorInput input = (IFileEditorInput) editor.getEditorInput();
+    IFile file = input.getFile();
+    return file;
+  }
+}

@@ -1,0 +1,11 @@
+// The Section 1 parsing chain written out by hand: IFile -> ICompilationUnit
+// -> CompilationUnit. Linted by `make lint` against the bundled model.
+package examples.ast;
+
+class CompilationUnitParser {
+  CompilationUnit parse(IFile file) {
+    ICompilationUnit unit = JavaCore.createCompilationUnitFrom(file);
+    CompilationUnit ast = AST.parseCompilationUnit(unit, false);
+    return ast;
+  }
+}

@@ -1,0 +1,23 @@
+(** API-model and signature-graph lint: structural checks on the loaded
+    hierarchy and on the jungloid graph built from it, catching a broken or
+    hand-edited model before the search runs over it.
+
+    Hierarchy codes: [A001] reference to an undeclared (opaque) type
+    (info — a trimmed model legitimately mentions types it does not carry);
+    [A002] duplicate member declaration; [A003] interface declaring
+    constructors or instance fields; [A004] supertype-clause kind mismatch
+    (class extending an interface, implementing a class, ...); [A005]
+    [void] used as a parameter or field type.
+
+    Graph codes: [A010] widening edge whose endpoints are not in the
+    subtype relation; [A011] self-loop conversion edge; [A012] duplicate
+    edge; [A013] orphan type node with no incident edge (info); [A014] edge
+    whose endpoint node types disagree with its elementary jungloid. *)
+
+val lint_hierarchy : Javamodel.Hierarchy.t -> Diagnostic.t list
+
+val lint_graph : Javamodel.Hierarchy.t -> Prospector.Graph.t -> Diagnostic.t list
+
+val lint :
+  ?graph:Prospector.Graph.t -> Javamodel.Hierarchy.t -> Diagnostic.t list
+(** {!lint_hierarchy} plus, when a graph is given, {!lint_graph}. *)

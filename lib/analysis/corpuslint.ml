@@ -1,0 +1,163 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Decl = Javamodel.Decl
+module Hierarchy = Javamodel.Hierarchy
+module Tast = Minijava.Tast
+
+(* One linear pass over a body yields, per variable, an ordered event list.
+   [guarded] marks events under an [if] or [while] (may not execute);
+   [looped] marks events under a [while] (may re-execute) — both make the
+   order-sensitive rules stand down rather than guess. *)
+type ev = {
+  kind : [ `Def | `Use ];
+  eloc : Tast.loc;
+  guarded : bool;
+  looped : bool;
+}
+
+type walk = {
+  events : (string, ev list) Hashtbl.t;  (* reversed *)
+  mutable decls : (string * Tast.loc) list;  (* reversed, in decl order *)
+}
+
+let push w v ev =
+  Hashtbl.replace w.events v (ev :: Option.value ~default:[] (Hashtbl.find_opt w.events v))
+
+let expr_uses w ~guarded ~looped e =
+  Tast.iter_exprs [ Tast.Texpr e ] (fun sub ->
+      match sub.Tast.tdesc with
+      | Tast.Tvar v -> push w v { kind = `Use; eloc = sub.Tast.loc; guarded; looped }
+      | _ -> ())
+
+let rec walk_stmt w ~guarded ~looped mloc (s : Tast.tstmt) =
+  match s with
+  | Tast.Tlocal (name, _, init) ->
+      let dloc = match init with Some e -> e.Tast.loc | None -> mloc in
+      w.decls <- (name, dloc) :: w.decls;
+      Option.iter
+        (fun e ->
+          expr_uses w ~guarded ~looped e;
+          push w name { kind = `Def; eloc = e.Tast.loc; guarded; looped })
+        init
+  | Tast.Tassign (name, e) ->
+      expr_uses w ~guarded ~looped e;
+      push w name { kind = `Def; eloc = e.Tast.loc; guarded; looped }
+  | Tast.Tfield_assign (_, _, e) | Tast.Texpr e | Tast.Treturn (Some e) ->
+      expr_uses w ~guarded ~looped e
+  | Tast.Treturn None -> ()
+  | Tast.Tif (c, a, b) ->
+      expr_uses w ~guarded ~looped c;
+      List.iter (walk_stmt w ~guarded:true ~looped mloc) a;
+      List.iter (walk_stmt w ~guarded:true ~looped mloc) b
+  | Tast.Twhile (c, body) ->
+      expr_uses w ~guarded ~looped:true c;
+      List.iter (walk_stmt w ~guarded:true ~looped:true mloc) body
+
+let walk (m : Tast.tmeth) =
+  let w = { events = Hashtbl.create 16; decls = [] } in
+  List.iter (walk_stmt w ~guarded:false ~looped:false m.Tast.mloc) m.Tast.body;
+  Hashtbl.iter (fun v evs -> Hashtbl.replace w.events v (List.rev evs)) w.events;
+  w.decls <- List.rev w.decls;
+  w
+
+let is_interface_ref h ty =
+  match ty with
+  | Jtype.Ref q -> (
+      match Hierarchy.find_opt h q with
+      | Some d -> Decl.is_interface d
+      | None -> false)
+  | _ -> false
+
+let known_ref h ty =
+  match ty with
+  | Jtype.Ref q -> (
+      match Hierarchy.find_opt h q with
+      | Some d -> not d.Decl.synthetic
+      | None -> false)
+  | Jtype.Array _ -> true
+  | _ -> false
+
+let lint_method df (m : Tast.tmeth) =
+  let diags = ref [] in
+  let report sev code loc msg = diags := Diagnostic.at sev ~code ~loc msg :: !diags in
+  let key = Tast.method_key m in
+  let w = walk m in
+  let events v = Option.value ~default:[] (Hashtbl.find_opt w.events v) in
+  (* C001 / C002: definite-assignment approximations. *)
+  Hashtbl.iter
+    (fun v evs ->
+      if not (Dataflow.is_param df ~method_key:key ~var:v) then begin
+        let defs = List.filter (fun e -> e.kind = `Def) evs in
+        let uses = List.filter (fun e -> e.kind = `Use) evs in
+        match (defs, uses) with
+        | [], first_use :: _ ->
+            report Diagnostic.Error "C001" first_use.eloc
+              (Printf.sprintf "'%s' is used but never assigned in %s" v key)
+        | _ :: _, _ -> (
+            match evs with
+            | { kind = `Use; looped = false; eloc; _ } :: _ ->
+                report Diagnostic.Warning "C002" eloc
+                  (Printf.sprintf "'%s' is used before its first assignment" v)
+            | _ -> ())
+        | _ -> ()
+      end)
+    w.events;
+  (* C003: unconditional stores that are overwritten or never read. *)
+  Hashtbl.iter
+    (fun v evs ->
+      if not (Dataflow.is_param df ~method_key:key ~var:v) then
+        let has_use = List.exists (fun e -> e.kind = `Use) evs in
+        let rec scan = function
+          | [] -> ()
+          | ({ kind = `Def; guarded = false; looped = false; eloc } as _d) :: rest ->
+              let dead =
+                match rest with
+                | { kind = `Def; guarded = false; looped = false; _ } :: _ -> true
+                | _ -> has_use && not (List.exists (fun e -> e.kind = `Use) rest)
+              in
+              if dead then
+                report Diagnostic.Warning "C003" eloc
+                  (Printf.sprintf "value assigned to '%s' is never read" v);
+              scan rest
+          | _ :: rest -> scan rest
+        in
+        scan evs)
+    w.events;
+  (* C004: declared locals that are never read. *)
+  List.iter
+    (fun (v, dloc) ->
+      if not (List.exists (fun e -> e.kind = `Use) (events v)) then
+        report Diagnostic.Warning "C004" dloc
+          (Printf.sprintf "local '%s' is never used" v))
+    w.decls;
+  (* C005 / C006: the cast inventory shared with the miner. *)
+  let h = (Dataflow.program df).Tast.hierarchy in
+  List.iter
+    (fun ((owner : Tast.tmeth), (cast : Tast.texpr)) ->
+      if String.equal (Tast.method_key owner) key then
+        match cast.Tast.tdesc with
+        | Tast.Tcast (to_, inner) ->
+            let from_ = inner.Tast.ty in
+            if Jtype.equal from_ to_ then
+              report Diagnostic.Info "C006" cast.Tast.loc
+                (Printf.sprintf "cast to the expression's own type %s"
+                   (Jtype.simple_string to_))
+            else if
+              known_ref h from_ && known_ref h to_
+              && (not (Hierarchy.is_subtype h from_ to_))
+              && (not (Hierarchy.is_subtype h to_ from_))
+              && (not (is_interface_ref h from_))
+              && not (is_interface_ref h to_)
+            then
+              report Diagnostic.Error "C005" cast.Tast.loc
+                (Printf.sprintf "cast to %s, unrelated to the static type %s"
+                   (Jtype.to_string to_) (Jtype.to_string from_))
+        | _ -> ())
+    (Dataflow.casts df);
+  List.sort Diagnostic.compare !diags
+
+let method_has_errors df m = Diagnostic.errors (lint_method df m) <> []
+
+let lint_program (prog : Tast.program) =
+  let df = Dataflow.build prog in
+  List.concat_map (lint_method df) prog.Tast.methods

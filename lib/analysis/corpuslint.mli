@@ -1,0 +1,25 @@
+(** MiniJava corpus linter: per-method, order-approximate checks over the
+    typed tree, sharing {!Dataflow}'s cast inventory and parameter index.
+
+    The mining pipeline only trusts examples sliced from {e working} client
+    code; this pass is the mechanized version of that assumption.
+    Error-severity findings gate extraction ([Mining.Extract] skips cast
+    sites in flagged methods), so the error rules are deliberately
+    conservative: they fire only on code that cannot behave as written.
+
+    Codes: [C001] variable used but never assigned anywhere in the method
+    (error); [C002] first use textually precedes the first assignment
+    (warning; suppressed inside loops); [C003] dead store — an
+    unconditional assignment whose value is overwritten or never read
+    (warning; suppressed inside loops and branches); [C004] unused local
+    (warning); [C005] cast to a type unrelated to the expression's static
+    type (error); [C006] cast to the expression's own static type (info). *)
+
+val lint_method : Dataflow.t -> Minijava.Tast.tmeth -> Diagnostic.t list
+
+val method_has_errors : Dataflow.t -> Minijava.Tast.tmeth -> bool
+(** Whether {!lint_method} reports at least one error — the extraction
+    gate's predicate. *)
+
+val lint_program : Minijava.Tast.program -> Diagnostic.t list
+(** Build the dataflow index and lint every method, in method order. *)

@@ -1,0 +1,90 @@
+module Tast = Minijava.Tast
+
+type severity = Error | Warning | Info
+
+type where =
+  | Source of Tast.loc
+  | Subject of string
+
+type t = {
+  severity : severity;
+  code : string;
+  where : where;
+  message : string;
+}
+
+let at severity ~code ~loc message = { severity; code; where = Source loc; message }
+
+let about severity ~code ~subject message =
+  { severity; code; where = Subject subject; message }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let where_key = function
+  | Source l -> (0, l.Tast.file, l.Tast.line, l.Tast.col, "")
+  | Subject s -> (1, "", 0, 0, s)
+
+let compare a b =
+  let c = Stdlib.compare (where_key a.where) (where_key b.where) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c else String.compare a.message b.message
+
+let to_string d =
+  let prefix =
+    match d.where with
+    | Source l -> Tast.loc_string l
+    | Subject s -> s
+  in
+  Printf.sprintf "%s: %s[%s]: %s" prefix (severity_string d.severity) d.code d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let where =
+    match d.where with
+    | Source l ->
+        Printf.sprintf {|"file": "%s", "line": %d, "col": %d|} (json_escape l.Tast.file)
+          l.Tast.line l.Tast.col
+    | Subject s -> Printf.sprintf {|"subject": "%s"|} (json_escape s)
+  in
+  Printf.sprintf {|{"severity": "%s", "code": "%s", %s, "message": "%s"}|}
+    (severity_string d.severity) (json_escape d.code) where (json_escape d.message)
+
+let list_to_json ds =
+  let ds = List.sort compare ds in
+  Printf.sprintf {|{"diagnostics": [%s], "errors": %d, "warnings": %d, "infos": %d}|}
+    (String.concat ", " (List.map to_json ds))
+    (count Error ds) (count Warning ds) (count Info ds)
+
+let summary ds =
+  let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+  Printf.sprintf "%s, %s, %s"
+    (plural (count Error ds) "error")
+    (plural (count Warning ds) "warning")
+    (plural (count Info ds) "info")

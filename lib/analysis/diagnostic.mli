@@ -1,0 +1,47 @@
+(** The shared diagnostic currency of the analyzer: every pass — jungloid
+    verifier, API-model lint, corpus lint, codegen re-check — reports
+    findings as values of {!t}, so the CLI, the mining gate, and the tests
+    all consume one shape. *)
+
+type severity = Error | Warning | Info
+
+type where =
+  | Source of Minijava.Tast.loc  (** a position in a corpus source file *)
+  | Subject of string
+      (** a non-source subject: an API-model element, a method key, or a
+          step of a jungloid chain *)
+
+type t = {
+  severity : severity;
+  code : string;  (** stable machine code, e.g. ["J003"], ["C001"] *)
+  where : where;
+  message : string;
+}
+
+val at : severity -> code:string -> loc:Minijava.Tast.loc -> string -> t
+(** A diagnostic anchored at a source position. *)
+
+val about : severity -> code:string -> subject:string -> string -> t
+(** A diagnostic about a model element or chain step. *)
+
+val severity_string : severity -> string
+val is_error : t -> bool
+val errors : t list -> t list
+val count : severity -> t list -> int
+
+val compare : t -> t -> int
+(** Order by location (file, line, col / subject), then severity, then
+    code — the order reports are printed in. *)
+
+val to_string : t -> string
+(** ["file:line:col: error[C001]: message"] or
+    ["subject: warning[A002]: message"]. *)
+
+val to_json : t -> string
+(** One JSON object; all fields, position split out for machine use. *)
+
+val list_to_json : t list -> string
+(** [{"diagnostics": [...], "errors": n, "warnings": n, "infos": n}] *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning, 0 infos"] *)

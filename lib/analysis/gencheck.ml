@@ -1,0 +1,70 @@
+module Jtype = Javamodel.Jtype
+module Hierarchy = Javamodel.Hierarchy
+module Jungloid = Prospector.Jungloid
+module Codegen = Prospector.Codegen
+
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let generated_file = "<generated>"
+
+let wrap _h (j : Jungloid.t) =
+  let input_ty = Jungloid.input_type j in
+  let input =
+    match input_ty with
+    | Jtype.Void -> None
+    | ty -> Some (Codegen.var_name_of_type ty, ty)
+  in
+  let g = Codegen.generate ?input ~qualified:true j in
+  if String.equal g.Codegen.result_var "" then None
+  else
+    (* Free reference variables are declared-but-unassigned in the emitted
+       snippet ("X x; // free variable") — as parameters of the wrapper
+       they are properly bound, so the linter checks the real shape. *)
+    let body_lines =
+      String.split_on_char '\n' g.Codegen.code
+      |> List.filter (fun l -> l <> "" && not (contains_sub l "// free variable"))
+    in
+    let params = (match input with Some p -> [ p ] | None -> []) @ g.Codegen.free_var_names in
+    let params_str =
+      String.concat ", "
+        (List.map (fun (n, ty) -> Jtype.to_string ty ^ " " ^ n) params)
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "package gencheck;\nclass Wrapper {\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %s run(%s) {\n"
+         (Jtype.to_string (Jungloid.output_type j))
+         params_str);
+    List.iter (fun l -> Buffer.add_string buf ("    " ^ l ^ "\n")) body_lines;
+    Buffer.add_string buf (Printf.sprintf "    return %s;\n  }\n}\n" g.Codegen.result_var);
+    Some (Buffer.contents buf)
+
+let subject_of j = Prospector.Jungloid.to_string j
+
+let check h (j : Jungloid.t) =
+  match wrap h j with
+  | None ->
+      [
+        Diagnostic.about Diagnostic.Error ~code:"G002" ~subject:(subject_of j)
+          "jungloid renders to no statements";
+      ]
+  | Some src -> (
+      match Minijava.Resolve.parse_program ~api:h [ (generated_file, src) ] with
+      | exception Japi.Error.E err ->
+          [
+            Diagnostic.about Diagnostic.Error ~code:"G001" ~subject:(subject_of j)
+              (Printf.sprintf "generated code does not re-parse: %s"
+                 (Japi.Error.to_string err));
+          ]
+      | exception Hierarchy.Unknown_type q ->
+          [
+            Diagnostic.about Diagnostic.Error ~code:"G001" ~subject:(subject_of j)
+              (Printf.sprintf "generated code references unknown type %s"
+                 (Javamodel.Qname.to_string q));
+          ]
+      | prog -> Corpuslint.lint_program prog)
+
+let clean h j = Diagnostic.errors (check h j) = []

@@ -1,0 +1,19 @@
+(** Round-trip check for generated code: the statements [Codegen] emits for
+    a jungloid are wrapped in a synthetic mini-Java method (the jungloid
+    input and every reference-typed free variable become parameters),
+    re-parsed, re-resolved against the same hierarchy, and run through
+    {!Corpuslint} — so a rendering bug that would hand the user
+    non-compiling code surfaces as a diagnostic instead.
+
+    Codes: [G001] the wrapped code fails to parse or resolve (error);
+    [G002] the jungloid renders to no statements at all (error); plus any
+    [C00x] corpus-lint finding on the wrapper method. *)
+
+val wrap : Javamodel.Hierarchy.t -> Prospector.Jungloid.t -> string option
+(** The synthetic compilation unit handed to the parser; [None] when the
+    jungloid renders to no result variable. Exposed for tests. *)
+
+val check : Javamodel.Hierarchy.t -> Prospector.Jungloid.t -> Diagnostic.t list
+
+val clean : Javamodel.Hierarchy.t -> Prospector.Jungloid.t -> bool
+(** No error-severity finding. *)

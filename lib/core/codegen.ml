@@ -8,6 +8,19 @@ type generated = {
   free_var_names : (string * Jtype.t) list;
 }
 
+(* Names that cannot be used as Java identifiers; a derived variable name
+   landing on one must be rewritten or the generated code won't compile. *)
+let keywords =
+  [
+    "abstract"; "assert"; "boolean"; "break"; "byte"; "case"; "catch"; "char";
+    "class"; "const"; "continue"; "default"; "do"; "double"; "else"; "enum";
+    "extends"; "false"; "final"; "finally"; "float"; "for"; "goto"; "if";
+    "implements"; "import"; "instanceof"; "int"; "interface"; "long"; "native";
+    "new"; "null"; "package"; "private"; "protected"; "public"; "return";
+    "short"; "static"; "strictfp"; "super"; "switch"; "synchronized"; "this";
+    "throw"; "throws"; "transient"; "true"; "try"; "void"; "volatile"; "while";
+  ]
+
 let var_name_of_type ty =
   let simple = Jtype.simple_string ty in
   let simple =
@@ -25,8 +38,14 @@ let var_name_of_type ty =
     else simple
   in
   if simple = "" then "v"
-  else String.make 1 (Char.lowercase_ascii simple.[0])
-       ^ String.sub simple 1 (String.length simple - 1)
+  else
+    let name =
+      String.make 1 (Char.lowercase_ascii simple.[0])
+      ^ String.sub simple 1 (String.length simple - 1)
+    in
+    if name = "class" then "clazz"
+    else if List.mem name keywords then name ^ "_"
+    else name
 
 type namer = {
   used : (string, int) Hashtbl.t;
@@ -47,7 +66,14 @@ let prim_default = function
   | Jtype.Float | Jtype.Double -> "0.0"
   | Jtype.Byte | Jtype.Short | Jtype.Int | Jtype.Long -> "0"
 
-let generate ?input (j : Jungloid.t) =
+let safe_name base =
+  if base = "class" then "clazz"
+  else if List.mem base keywords then base ^ "_"
+  else base
+
+let generate ?input ?(qualified = false) (j : Jungloid.t) =
+  let tyname = if qualified then Jtype.to_string else Jtype.simple_string in
+  let cname = if qualified then Qname.to_string else Qname.simple in
   let namer = { used = Hashtbl.create 16 } in
   let buf = Buffer.create 256 in
   let frees = ref [] in
@@ -69,12 +95,12 @@ let generate ?input (j : Jungloid.t) =
     | _ ->
         let base =
           if String.length pname > 0 && not (String.length pname > 3 && String.sub pname 0 3 = "arg")
-          then pname
+          then safe_name pname
           else var_name_of_type ty
         in
         let v = fresh namer base in
         Buffer.add_string buf
-          (Printf.sprintf "%s %s; // free variable\n" (Jtype.simple_string ty) v);
+          (Printf.sprintf "%s %s; // free variable\n" (tyname ty) v);
         frees := (v, ty) :: !frees;
         v
   in
@@ -88,7 +114,7 @@ let generate ?input (j : Jungloid.t) =
   in
   let emit_stmt ty rhs =
     let v = fresh namer (var_name_of_type ty) in
-    Buffer.add_string buf (Printf.sprintf "%s %s = %s;\n" (Jtype.simple_string ty) v rhs);
+    Buffer.add_string buf (Printf.sprintf "%s %s = %s;\n" (tyname ty) v rhs);
     v
   in
   let final_var =
@@ -97,21 +123,21 @@ let generate ?input (j : Jungloid.t) =
         match e with
         | Elem.Widen _ -> cur
         | Elem.Downcast { to_; _ } ->
-            emit_stmt to_ (Printf.sprintf "(%s) %s" (Jtype.simple_string to_) cur)
+            emit_stmt to_ (Printf.sprintf "(%s) %s" (tyname to_) cur)
         | Elem.Field_access { owner; field } ->
             let rhs =
               if field.Member.fstatic then
-                Printf.sprintf "%s.%s" (Qname.simple owner) field.Member.fname
+                Printf.sprintf "%s.%s" (cname owner) field.Member.fname
               else Printf.sprintf "%s.%s" cur field.Member.fname
             in
             emit_stmt field.Member.ftype rhs
         | Elem.Static_call { owner; meth; input = slot } ->
             emit_stmt meth.Member.ret
-              (Printf.sprintf "%s.%s%s" (Qname.simple owner) meth.Member.mname
+              (Printf.sprintf "%s.%s%s" (cname owner) meth.Member.mname
                  (render_args meth.Member.params ~input_slot:slot ~expr:cur))
         | Elem.Ctor_call { owner; ctor; input = slot } ->
             emit_stmt (Jtype.ref_ owner)
-              (Printf.sprintf "new %s%s" (Qname.simple owner)
+              (Printf.sprintf "new %s%s" (cname owner)
                  (render_args ctor.Member.cparams ~input_slot:slot ~expr:cur))
         | Elem.Instance_call { owner; meth; input = slot } ->
             let recv =
@@ -126,4 +152,4 @@ let generate ?input (j : Jungloid.t) =
   in
   { code = Buffer.contents buf; result_var = final_var; free_var_names = List.rev !frees }
 
-let to_java ?input j = (generate ?input j).code
+let to_java ?input ?qualified j = (generate ?input ?qualified j).code

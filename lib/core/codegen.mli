@@ -18,16 +18,21 @@ type generated = {
       (** declared free variables the user still has to produce *)
 }
 
-val generate : ?input:string * Jtype.t -> Jungloid.t -> generated
+val generate : ?input:string * Jtype.t -> ?qualified:bool -> Jungloid.t -> generated
 (** [generate ~input:("ep", t) j] names the jungloid input [ep]; when
     [input] is omitted a variable named after the input type is assumed to
     exist in scope (for [Void]-input jungloids no input is referenced at
-    all). Variable names are derived from type names and uniquified. *)
+    all). Variable names are derived from type names and uniquified.
 
-val to_java : ?input:string * Jtype.t -> Jungloid.t -> string
+    With [qualified] (default [false]) type and class references are
+    rendered fully qualified — the form the analyzer's round-trip re-parse
+    uses, since simple names need import context to resolve. *)
+
+val to_java : ?input:string * Jtype.t -> ?qualified:bool -> Jungloid.t -> string
 (** Just the code of {!generate}. *)
 
 val var_name_of_type : Jtype.t -> string
 (** Naming convention used for generated locals: simple name, leading
     interface-[I] stripped, first letter lowercased — [IEditorInput] becomes
-    [editorInput]. Exposed for tests. *)
+    [editorInput]. Names that collide with a Java keyword are rewritten
+    ([Class] becomes [clazz]). Exposed for tests. *)

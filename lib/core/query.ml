@@ -68,6 +68,32 @@ type result = {
   code : string;
 }
 
+(* Soundness filtering is injected as a closure so the analyzer can sit on
+   top of this library without a dependency cycle; the counters let callers
+   report how much (ideally nothing) the oracle rejected. *)
+type verify = {
+  vcheck : Jungloid.t -> bool;
+  mutable vchecked : int;
+  mutable vfiltered : int;
+}
+
+let verifier vcheck = { vcheck; vchecked = 0; vfiltered = 0 }
+
+let verify_filter verify js =
+  match verify with
+  | None -> js
+  | Some v ->
+      List.filter
+        (fun j ->
+          v.vchecked <- v.vchecked + 1;
+          let ok = v.vcheck j in
+          if not ok then begin
+            v.vfiltered <- v.vfiltered + 1;
+            Log.warn (fun m -> m "verifier rejected %s" (Jungloid.to_string j))
+          end;
+          ok)
+        js
+
 type multi_result = {
   source_var : string option;
   result : result;
@@ -102,13 +128,16 @@ let dedup_rendered ranked =
       end)
     ranked
 
-let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name
+let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name ~verify
     paths_to_jungloid paths =
   let jungloids = dedup (List.map paths_to_jungloid paths) in
   let ranked =
     dedup_rendered
       (Rank.sort ~weights:settings.weights ?freevar_cost_of hierarchy jungloids)
   in
+  (* Unsound chains are dropped before truncation so a rejected result frees
+     its slot for the next-ranked sound one. *)
+  let ranked = verify_filter verify ranked in
   List.filteri (fun i _ -> i < settings.max_results) ranked
   |> List.map (fun j ->
          let input =
@@ -146,7 +175,7 @@ let viable_of ~reach ~target =
       then Some (Reach.viable r ~target)
       else None
 
-let run ?(settings = default_settings) ?reach ~graph ~hierarchy q =
+let run ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy q =
   match (Graph.find_type_node graph q.tin, Graph.find_type_node graph q.tout) with
   | Some src, Some dst ->
       let reach = current_reach ~graph reach in
@@ -169,7 +198,7 @@ let run ?(settings = default_settings) ?reach ~graph ~hierarchy q =
         rank_and_render ~settings ~hierarchy
           ~freevar_cost_of:(freevar_estimator ~settings graph)
           ~input_name:(fun _ -> None)
-          (Jungloid.of_path graph) paths
+          ~verify (Jungloid.of_path graph) paths
       end
   | _ ->
       Log.debug (fun m ->
@@ -207,7 +236,8 @@ let cluster results =
     results;
   List.rev_map (fun key -> Hashtbl.find seen key) !order
 
-let run_multi ?(settings = default_settings) ?reach ~graph ~hierarchy ~vars ~tout () =
+let run_multi ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy ~vars
+    ~tout () =
   match Graph.find_type_node graph tout with
   | None -> []
   | Some dst ->
@@ -265,6 +295,13 @@ let run_multi ?(settings = default_settings) ?reach ~graph ~hierarchy ~vars ~tou
               true
             end)
           ranked
+      in
+      let ranked =
+        match verify with
+        | None -> ranked
+        | Some _ ->
+            let keep = verify_filter verify (List.map (fun (_, j, _) -> j) ranked) in
+            List.filter (fun (_, j, _) -> List.memq j keep) ranked
       in
       List.filteri (fun i _ -> i < settings.max_results) ranked
       |> List.map (fun (key, j, s) ->

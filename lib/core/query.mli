@@ -40,9 +40,28 @@ type result = {
   code : string;  (** generated Java, input named after [tin] *)
 }
 
+(** {2 Verified mode}
+
+    An independent soundness oracle (in practice [Analysis.Verify.sound],
+    injected as a closure to keep the analyzer layered above this library)
+    re-checks every ranked chain; unsound ones are dropped {e before}
+    truncation to [max_results] and counted. On a healthy pipeline
+    [vfiltered] stays 0 — the property suite enforces this over the curated
+    workload. *)
+
+type verify = {
+  vcheck : Jungloid.t -> bool;
+  mutable vchecked : int;  (** chains inspected *)
+  mutable vfiltered : int;  (** chains rejected as unsound *)
+}
+
+val verifier : (Jungloid.t -> bool) -> verify
+(** Fresh counters around a soundness predicate. *)
+
 val run :
   ?settings:settings ->
   ?reach:Reach.t ->
+  ?verify:verify ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
@@ -53,7 +72,9 @@ val run :
     [tout]'s reachability cone is a small enough fraction of the graph for
     filtering to pay — the search frontier is pruned to the cone; the result
     list is provably identical with and without the index. A stale index is
-    ignored, never misapplied. *)
+    ignored, never misapplied. [?verify] filters unsound chains (see
+    {!verify}); the cached entry points below never take it, so cached and
+    verified results cannot mix. *)
 
 type multi_result = {
   source_var : string option;  (** [None] for the [void] source *)
@@ -76,6 +97,7 @@ val cluster : result list -> cluster list
 val run_multi :
   ?settings:settings ->
   ?reach:Reach.t ->
+  ?verify:verify ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   vars:(string * Jtype.t) list ->

@@ -17,6 +17,12 @@ type ctx = {
 let fail ctx (pos : Ast.pos) msg =
   Japi.Error.fail ~file:ctx.file ~line:pos.Ast.line ~col:pos.Ast.col msg
 
+let loc_of ctx (pos : Ast.pos) =
+  { Tast.file = ctx.file; line = pos.Ast.line; col = pos.Ast.col }
+
+(* Every typed expression is built through this, so positions never drop. *)
+let tx ctx pos tdesc ty = { Tast.tdesc; ty; loc = loc_of ctx pos }
+
 let simple_of_dotted s =
   match List.rev (String.split_on_char '.' s) with
   | last :: _ -> last
@@ -73,11 +79,12 @@ let base_qname ctx pos ty =
 
 let field_access ctx pos (recv : Tast.texpr) name =
   match (recv.Tast.ty, name) with
-  | Jtype.Array _, "length" -> { Tast.tdesc = recv.Tast.tdesc; ty = Jtype.Prim Jtype.Int }
+  | Jtype.Array _, "length" ->
+      { Tast.tdesc = recv.Tast.tdesc; ty = Jtype.Prim Jtype.Int; loc = recv.Tast.loc }
   | _ -> (
       let q = base_qname ctx pos recv.Tast.ty in
       match Hierarchy.lookup_field ctx.h q name with
-      | Some (owner, f) -> { Tast.tdesc = Tast.Tfield (recv, owner, f); ty = f.Member.ftype }
+      | Some (owner, f) -> tx ctx pos (Tast.Tfield (recv, owner, f)) f.Member.ftype
       | None ->
           fail ctx pos
             (Printf.sprintf "no field '%s' in %s" name (Qname.to_string q)))
@@ -100,13 +107,13 @@ let resolve_chain ctx env pos segs =
   | head :: rest -> (
       match List.assoc_opt head env with
       | Some ty ->
-          let base = { Tast.tdesc = Tast.Tvar head; ty } in
+          let base = tx ctx pos (Tast.Tvar head) ty in
           Value (List.fold_left (fun acc seg -> field_access ctx pos acc seg) base rest)
       | None when own_field ctx head <> None ->
           (* an instance field of the enclosing class (locals shadow it) *)
           let owner, f = Option.get (own_field ctx head) in
-          let this = { Tast.tdesc = Tast.Tvar "this"; ty = Jtype.ref_ ctx.own } in
-          let base = { Tast.tdesc = Tast.Tfield (this, owner, f); ty = f.Member.ftype } in
+          let this = tx ctx pos (Tast.Tvar "this") (Jtype.ref_ ctx.own) in
+          let base = tx ctx pos (Tast.Tfield (this, owner, f)) f.Member.ftype in
           Value (List.fold_left (fun acc seg -> field_access ctx pos acc seg) base rest)
       | None ->
           (* Longest class prefix: try [head], then dotted prefixes. *)
@@ -128,9 +135,7 @@ let resolve_chain ctx env pos segs =
               (* first member must be a static field of the class *)
               match Hierarchy.lookup_field ctx.h q fname with
               | Some (owner, f) when f.Member.fstatic ->
-                  let base =
-                    { Tast.tdesc = Tast.Tstatic_field (owner, f); ty = f.Member.ftype }
-                  in
+                  let base = tx ctx pos (Tast.Tstatic_field (owner, f)) f.Member.ftype in
                   Value
                     (List.fold_left (fun acc seg -> field_access ctx pos acc seg) base more)
               | Some _ ->
@@ -151,13 +156,13 @@ let lookup_method_exn ctx pos q name ~arity =
 let rec resolve_expr ctx env (e : Ast.expr) : Tast.texpr =
   let pos = e.Ast.pos in
   match e.Ast.desc with
-  | Ast.Hole -> { Tast.tdesc = Tast.Thole; ty = Jtype.object_t }
-  | Ast.Null -> { Tast.tdesc = Tast.Tnull; ty = Jtype.object_t }
-  | Ast.Lit_string s -> { Tast.tdesc = Tast.Tstring s; ty = Jtype.string_t }
-  | Ast.Lit_int n -> { Tast.tdesc = Tast.Tint n; ty = Jtype.Prim Jtype.Int }
-  | Ast.Lit_bool b -> { Tast.tdesc = Tast.Tbool b; ty = Jtype.Prim Jtype.Boolean }
+  | Ast.Hole -> tx ctx pos Tast.Thole Jtype.object_t
+  | Ast.Null -> tx ctx pos Tast.Tnull Jtype.object_t
+  | Ast.Lit_string s -> tx ctx pos (Tast.Tstring s) Jtype.string_t
+  | Ast.Lit_int n -> tx ctx pos (Tast.Tint n) (Jtype.Prim Jtype.Int)
+  | Ast.Lit_bool b -> tx ctx pos (Tast.Tbool b) (Jtype.Prim Jtype.Boolean)
   | Ast.Class_lit name ->
-      { Tast.tdesc = Tast.Tclass_lit (resolve_class ctx pos name); ty = class_class }
+      tx ctx pos (Tast.Tclass_lit (resolve_class ctx pos name)) class_class
   | Ast.Name segs -> (
       match resolve_chain ctx env pos segs with
       | Value v -> v
@@ -172,32 +177,32 @@ let rec resolve_expr ctx env (e : Ast.expr) : Tast.texpr =
       let targs = List.map (resolve_expr ctx env) args in
       let q = base_qname ctx pos recv.Tast.ty in
       let owner, m = lookup_method_exn ctx pos q name ~arity:(List.length args) in
-      { Tast.tdesc = Tast.Tcall (recv, owner, m, targs); ty = m.Member.ret }
+      tx ctx pos (Tast.Tcall (recv, owner, m, targs)) m.Member.ret
   | Ast.Name_call ([], name, args) ->
       (* unqualified call: own class *)
       let targs = List.map (resolve_expr ctx env) args in
       let owner, m = lookup_method_exn ctx pos ctx.own name ~arity:(List.length args) in
       if m.Member.mstatic then
-        { Tast.tdesc = Tast.Tstatic_call (owner, m, targs); ty = m.Member.ret }
+        tx ctx pos (Tast.Tstatic_call (owner, m, targs)) m.Member.ret
       else if ctx.static_ctx then
         fail ctx pos
           (Printf.sprintf "cannot call instance method '%s' from a static method" name)
       else
-        let this = { Tast.tdesc = Tast.Tvar "this"; ty = Jtype.ref_ ctx.own } in
-        { Tast.tdesc = Tast.Tcall (this, owner, m, targs); ty = m.Member.ret }
+        let this = tx ctx pos (Tast.Tvar "this") (Jtype.ref_ ctx.own) in
+        tx ctx pos (Tast.Tcall (this, owner, m, targs)) m.Member.ret
   | Ast.Name_call (segs, name, args) -> (
       let targs = List.map (resolve_expr ctx env) args in
       match resolve_chain ctx env pos segs with
       | Value recv ->
           let q = base_qname ctx pos recv.Tast.ty in
           let owner, m = lookup_method_exn ctx pos q name ~arity:(List.length args) in
-          { Tast.tdesc = Tast.Tcall (recv, owner, m, targs); ty = m.Member.ret }
+          tx ctx pos (Tast.Tcall (recv, owner, m, targs)) m.Member.ret
       | Class_ref q ->
           let owner, m = lookup_method_exn ctx pos q name ~arity:(List.length args) in
           if not m.Member.mstatic then
             fail ctx pos
               (Printf.sprintf "method '%s' of %s is not static" name (Qname.to_string q));
-          { Tast.tdesc = Tast.Tstatic_call (owner, m, targs); ty = m.Member.ret })
+          tx ctx pos (Tast.Tstatic_call (owner, m, targs)) m.Member.ret)
   | Ast.New (name, args) ->
       let q = resolve_class ctx pos name in
       let targs = List.map (resolve_expr ctx env) args in
@@ -214,11 +219,11 @@ let rec resolve_expr ctx env (e : Ast.expr) : Tast.texpr =
               (Printf.sprintf "no constructor of %s with %d arguments"
                  (Qname.to_string q) arity)
       | _ -> ());
-      { Tast.tdesc = Tast.Tnew (q, targs); ty = Jtype.ref_ q }
+      tx ctx pos (Tast.Tnew (q, targs)) (Jtype.ref_ q)
   | Ast.Cast (rt, inner) ->
       let ty = resolve_rtype ctx pos rt in
       let v = resolve_expr ctx env inner in
-      { Tast.tdesc = Tast.Tcast (ty, v); ty }
+      tx ctx pos (Tast.Tcast (ty, v)) ty
 
 let rec resolve_stmt ctx env (s : Ast.stmt) : (string * Jtype.t) list * Tast.tstmt =
   match s with
@@ -228,7 +233,7 @@ let rec resolve_stmt ctx env (s : Ast.stmt) : (string * Jtype.t) list * Tast.tst
       (* a hole initializer takes the declared type of the local *)
       let tinit =
         match tinit with
-        | Some { Tast.tdesc = Tast.Thole; _ } -> Some { Tast.tdesc = Tast.Thole; ty }
+        | Some ({ Tast.tdesc = Tast.Thole; _ } as hole) -> Some { hole with Tast.ty }
         | other -> other
       in
       ((name, ty) :: env, Tast.Tlocal (name, ty, tinit))
@@ -359,6 +364,7 @@ let program ~api files =
                   params;
                   ret = resolve_rtype ctx m.Ast.m_pos m.Ast.m_ret;
                   body = resolve_body ctx env m.Ast.m_body;
+                  mloc = loc_of ctx m.Ast.m_pos;
                 })
               c.Ast.c_methods)
           f.Ast.classes)

@@ -2,9 +2,20 @@ module Qname = Javamodel.Qname
 module Jtype = Javamodel.Jtype
 module Member = Javamodel.Member
 
+type loc = {
+  file : string;
+  line : int;
+  col : int;
+}
+
+let no_loc = { file = "<none>"; line = 0; col = 0 }
+let loc_known l = l.line > 0
+let loc_string l = Printf.sprintf "%s:%d:%d" l.file l.line l.col
+
 type texpr = {
   tdesc : tdesc;
   ty : Jtype.t;
+  loc : loc;
 }
 
 and tdesc =
@@ -38,6 +49,7 @@ type tmeth = {
   params : (string * Jtype.t) list;
   ret : Jtype.t;
   body : tstmt list;
+  mloc : loc;
 }
 
 type program = {

@@ -7,9 +7,27 @@ module Qname = Javamodel.Qname
 module Jtype = Javamodel.Jtype
 module Member = Javamodel.Member
 
+type loc = {
+  file : string;
+  line : int;
+  col : int;
+}
+(** Source position carried over from the lexer tokens, so downstream
+    diagnostics can point at the offending expression. *)
+
+val no_loc : loc
+(** Placeholder for synthesized trees with no source position. *)
+
+val loc_known : loc -> bool
+(** [false] exactly for {!no_loc}-style placeholders (line 0). *)
+
+val loc_string : loc -> string
+(** ["file:line:col"], the conventional clickable rendering. *)
+
 type texpr = {
   tdesc : tdesc;
   ty : Jtype.t;
+  loc : loc;
 }
 
 and tdesc =
@@ -45,6 +63,7 @@ type tmeth = {
   params : (string * Jtype.t) list;
   ret : Jtype.t;
   body : tstmt list;
+  mloc : loc;  (** position of the method header *)
 }
 
 type program = {

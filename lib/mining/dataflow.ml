@@ -1,237 +1,4 @@
-module Qname = Javamodel.Qname
-module Jtype = Javamodel.Jtype
-module Member = Javamodel.Member
-module Hierarchy = Javamodel.Hierarchy
-module Tast = Minijava.Tast
-
-(* Physical-identity table for per-use reaching definitions: keys are the
-   exact texpr nodes of the resolved tree. *)
-module Phys = Hashtbl.Make (struct
-  type t = Tast.texpr
-
-  let equal = ( == )
-
-  let hash = Hashtbl.hash
-end)
-
-type t = {
-  prog : Tast.program;
-  flow_sensitive : bool;
-  vars : (string * string, Tast.texpr list) Hashtbl.t;
-      (* (method key, var) -> producers *)
-  reaching : Tast.texpr list Phys.t;
-      (* flow-sensitive mode: Tvar use node -> defs reaching it *)
-  params : (string * string, (string * Tast.texpr) list) Hashtbl.t;
-      (* (method key, param name) -> (caller key, argument expr) *)
-  param_names : (string * string, unit) Hashtbl.t;
-  fields : (string * string, Tast.texpr list) Hashtbl.t;
-      (* (owner class, field name) -> assignments, corpus-wide *)
-  corpus_classes : (string, unit) Hashtbl.t;
-  by_sig : (string, Tast.tmeth list) Hashtbl.t;
-      (* "Owner.name/arity" -> corpus methods declaring that signature *)
-  methods : (string, Tast.tmeth) Hashtbl.t;
-  casts_rev : (Tast.tmeth * Tast.texpr) list ref;
-}
-
-let program t = t.prog
-
-let sig_key owner name arity =
-  Printf.sprintf "%s.%s/%d" (Qname.to_string owner) name arity
-
-let push tbl key v =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-  Hashtbl.replace tbl key (v :: existing)
-
-(* Record the producers contributed by one statement, flow-insensitively.
-   Field assignments are indexed corpus-wide by (owner, field): a field's
-   value may have been stored by any method of any instance. *)
-let rec scan_stmt t key (s : Tast.tstmt) =
-  match s with
-  | Tast.Tlocal (name, _, init) -> Option.iter (fun e -> push t.vars (key, name) e) init
-  | Tast.Tassign (name, e) -> push t.vars (key, name) e
-  | Tast.Tfield_assign (owner, f, e) ->
-      push t.fields (Qname.to_string owner, f.Member.fname) e
-  | Tast.Texpr _ | Tast.Treturn _ -> ()
-  | Tast.Tif (_, a, b) ->
-      List.iter (scan_stmt t key) a;
-      List.iter (scan_stmt t key) b
-  | Tast.Twhile (_, body) -> List.iter (scan_stmt t key) body
-
-(* Corpus methods a (virtual) call may reach: declared in the receiver's
-   static class or any subtype, with matching name and arity. *)
-let corpus_callees t ~recv_type ~name ~arity =
-  match recv_type with
-  | Jtype.Ref q ->
-      let h = t.prog.Tast.hierarchy in
-      let candidates = Qname.Set.add q (Hierarchy.subtypes h q) in
-      Qname.Set.fold
-        (fun c acc ->
-          match Hashtbl.find_opt t.by_sig (sig_key c name arity) with
-          | Some ms -> ms @ acc
-          | None -> acc)
-        candidates []
-      |> List.sort_uniq compare
-  | _ -> []
-
-let corpus_static_callee t ~owner ~name ~arity =
-  match Hashtbl.find_opt t.by_sig (sig_key owner name arity) with
-  | Some (m :: _) -> Some m
-  | _ -> None
-
-(* Wire arguments at a call site to the parameters of every possible corpus
-   callee; the receiver flows to "this". *)
-let scan_call_sites t caller_key body =
-  Tast.iter_exprs body (fun e ->
-      match e.Tast.tdesc with
-      | Tast.Tcall (recv, _, m, args) ->
-          let callees =
-            corpus_callees t ~recv_type:recv.Tast.ty ~name:m.Member.mname
-              ~arity:(List.length args)
-          in
-          List.iter
-            (fun (callee : Tast.tmeth) ->
-              let ckey = Tast.method_key callee in
-              push t.params (ckey, "this") (caller_key, recv);
-              List.iteri
-                (fun i (pname, _) ->
-                  match List.nth_opt args i with
-                  | Some arg -> push t.params (ckey, pname) (caller_key, arg)
-                  | None -> ())
-                callee.Tast.params)
-            callees
-      | Tast.Tstatic_call (owner, m, args) -> (
-          match
-            corpus_static_callee t ~owner ~name:m.Member.mname ~arity:(List.length args)
-          with
-          | Some callee ->
-              let ckey = Tast.method_key callee in
-              List.iteri
-                (fun i (pname, _) ->
-                  match List.nth_opt args i with
-                  | Some arg -> push t.params (ckey, pname) (caller_key, arg)
-                  | None -> ())
-                callee.Tast.params
-          | None -> ())
-      | _ -> ())
-
-let scan_casts t meth body =
-  Tast.iter_exprs body (fun e ->
-      match e.Tast.tdesc with
-      | Tast.Tcast (to_, inner)
-        when Jtype.is_reference to_ && Jtype.is_reference inner.Tast.ty ->
-          t.casts_rev := (meth, e) :: !(t.casts_rev)
-      | _ -> ())
-
-(* Flow-sensitive prepass: walk each body in order, tracking the current
-   reaching definitions of each local; record, at every Tvar use, the defs
-   that reach it. Branch joins merge; loops conservatively merge the body's
-   outgoing env into the incoming one (one extra pass). *)
-let record_reaching t (m : Tast.tmeth) =
-  let module SM = Map.Make (String) in
-  let record_uses env (e : Tast.texpr) =
-    Tast.iter_exprs [ Tast.Texpr e ] (fun sub ->
-        match sub.Tast.tdesc with
-        | Tast.Tvar v -> (
-            match SM.find_opt v env with
-            | Some defs -> Phys.replace t.reaching sub defs
-            | None -> ())
-        | _ -> ())
-  in
-  let merge a b =
-    SM.union (fun _ x y -> Some (List.sort_uniq compare (x @ y))) a b
-  in
-  let rec stmts env body =
-    List.fold_left
-      (fun env s ->
-        match s with
-        | Tast.Tlocal (name, _, init) ->
-            Option.iter (record_uses env) init;
-            (match init with
-            | Some e -> SM.add name [ e ] env
-            | None -> env)
-        | Tast.Tassign (name, e) ->
-            record_uses env e;
-            SM.add name [ e ] env
-        | Tast.Tfield_assign (_, _, e) ->
-            record_uses env e;
-            env
-        | Tast.Texpr e ->
-            record_uses env e;
-            env
-        | Tast.Treturn (Some e) ->
-            record_uses env e;
-            env
-        | Tast.Treturn None -> env
-        | Tast.Tif (c, a, b) ->
-            record_uses env c;
-            let ea = stmts env a and eb = stmts env b in
-            merge ea eb
-        | Tast.Twhile (c, body) ->
-            (* two passes so uses inside the loop see defs from a previous
-               iteration as well *)
-            let once = stmts env body in
-            let env' = merge env once in
-            record_uses env' c;
-            let again = stmts env' body in
-            merge env' again)
-      env body
-  in
-  ignore (stmts SM.empty m.Tast.body)
-
-let build ?(flow_sensitive = false) (prog : Tast.program) =
-  let t =
-    {
-      prog;
-      flow_sensitive;
-      reaching = Phys.create 256;
-      vars = Hashtbl.create 256;
-      fields = Hashtbl.create 64;
-      corpus_classes = Hashtbl.create 64;
-      params = Hashtbl.create 256;
-      param_names = Hashtbl.create 256;
-      by_sig = Hashtbl.create 256;
-      methods = Hashtbl.create 256;
-      casts_rev = ref [];
-    }
-  in
-  List.iter
-    (fun (m : Tast.tmeth) ->
-      let key = Tast.method_key m in
-      Hashtbl.replace t.methods key m;
-      Hashtbl.replace t.corpus_classes (Qname.to_string m.Tast.owner) ();
-      push t.by_sig (sig_key m.Tast.owner m.Tast.name (List.length m.Tast.params)) m;
-      List.iter (fun (p, _) -> Hashtbl.replace t.param_names (key, p) ()) m.Tast.params;
-      if not m.Tast.static then Hashtbl.replace t.param_names (key, "this") ())
-    prog.Tast.methods;
-  List.iter
-    (fun (m : Tast.tmeth) ->
-      let key = Tast.method_key m in
-      List.iter (scan_stmt t key) m.Tast.body;
-      scan_call_sites t key m.Tast.body;
-      scan_casts t m m.Tast.body;
-      if flow_sensitive then record_reaching t m)
-    prog.Tast.methods;
-  t
-
-let is_flow_sensitive t = t.flow_sensitive
-
-let reaching_defs t use =
-  if not t.flow_sensitive then None else Phys.find_opt t.reaching use
-
-let var_producers t ~method_key ~var =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.vars (method_key, var)))
-
-let param_producers t ~method_key ~var =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.params (method_key, var)))
-
-let is_param t ~method_key ~var = Hashtbl.mem t.param_names (method_key, var)
-
-let find_method t ~key = Hashtbl.find_opt t.methods key
-
-let field_producers t ~owner ~field =
-  List.rev
-    (Option.value ~default:[] (Hashtbl.find_opt t.fields (Qname.to_string owner, field)))
-
-let is_corpus_class t owner = Hashtbl.mem t.corpus_classes (Qname.to_string owner)
-
-let casts t = List.rev !(t.casts_rev)
+(* The def-use index moved to [Analysis.Dataflow] so the corpus linter can
+   share it without a dependency cycle; re-exported here so existing
+   [Mining.Dataflow] callers are unaffected. *)
+include Analysis.Dataflow

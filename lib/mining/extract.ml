@@ -245,26 +245,52 @@ and collect : 'a. budget -> 'a list -> f:('a -> chain list) -> chain list =
 
 let finish_chain origin ch = { input = ch.c_input; elems = List.rev ch.c_rev; origin }
 
+(* The old in-house predicate — composition equality plus conversion
+   direction — is now the analyzer's job; the verifier additionally checks
+   that every referenced member really is declared. *)
 let example_well_typed h ex =
   match ex.elems with
   | [] -> false
   | first :: _ ->
       Jtype.equal (Elem.input_type first) ex.input
-      && Prospector.Jungloid.well_typed h
+      && Analysis.Verify.sound h
            (Prospector.Jungloid.make ~input:ex.input ex.elems)
 
-let extract_common ?(max_per_cast = 64) ?(max_len = 12) ~sites () =
+(* Examples must come from working client code: a method with
+   error-severity lint (a variable read that can never be assigned, an
+   impossible cast) is not working code, so its cast sites are skipped.
+   Memoized — a method hosts many sites. *)
+let lint_gate_of df =
+  let memo = Hashtbl.create 16 in
+  fun key ->
+    match Hashtbl.find_opt memo key with
+    | Some bad -> bad
+    | None ->
+        let bad =
+          match Dataflow.find_method df ~key with
+          | Some m -> Analysis.Corpuslint.method_has_errors df m
+          | None -> false
+        in
+        Hashtbl.add memo key bad;
+        bad
+
+let extract_common ?(max_per_cast = 64) ?(max_len = 12) ?(lint_gate = true) ~df
+    ~sites () =
+  let gate = lint_gate_of df in
   List.concat_map
-    (fun (_key, origin, mk_chains) ->
-      let budget = { remaining = max_per_cast; max_len } in
-      let chains = mk_chains budget in
-      (* Enforce the cap exactly (collect only short-circuits between
-         items). *)
-      let chains = List.filteri (fun i _ -> i < max_per_cast) chains in
-      List.map (finish_chain origin) chains)
+    (fun (key, origin, mk_chains) ->
+      if lint_gate && gate key then []
+      else begin
+        let budget = { remaining = max_per_cast; max_len } in
+        let chains = mk_chains budget in
+        (* Enforce the cap exactly (collect only short-circuits between
+           items). *)
+        let chains = List.filteri (fun i _ -> i < max_per_cast) chains in
+        List.map (finish_chain origin) chains
+      end)
     sites
 
-let extract ?max_per_cast ?max_len df =
+let extract ?max_per_cast ?max_len ?lint_gate df =
   let sites =
     List.mapi
       (fun i ((m : Tast.tmeth), cast_expr) ->
@@ -277,9 +303,9 @@ let extract ?max_per_cast ?max_len df =
             trace df budget [] key cast_expr ))
       (Dataflow.casts df)
   in
-  extract_common ?max_per_cast ?max_len ~sites ()
+  extract_common ?max_per_cast ?max_len ?lint_gate ~df ~sites ()
 
-let extract_for_arg ?max_per_cast ?max_len df ~is_target =
+let extract_for_arg ?max_per_cast ?max_len ?lint_gate df ~is_target =
   (* Find call sites with a reference argument in a targeted parameter
      position; the final elem is the call with input = that parameter. *)
   let sites = ref [] in
@@ -321,4 +347,4 @@ let extract_for_arg ?max_per_cast ?max_len df ~is_target =
                 meth.Member.params)
           | _ -> ()))
     (Dataflow.program df).Tast.methods;
-  extract_common ?max_per_cast ?max_len ~sites:(List.rev !sites) ()
+  extract_common ?max_per_cast ?max_len ?lint_gate ~df ~sites:(List.rev !sites) ()

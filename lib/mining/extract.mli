@@ -28,16 +28,22 @@ type example = {
 }
 
 val example_well_typed : Javamodel.Hierarchy.t -> example -> bool
-(** Sanity predicate used by tests and the property suite. *)
+(** Sanity predicate used by tests and the property suite. A thin wrapper
+    over [Analysis.Verify.sound]: the example (as a jungloid) must pass the
+    analyzer's full re-typecheck, not just compose. *)
 
-val extract : ?max_per_cast:int -> ?max_len:int -> Dataflow.t -> example list
+val extract :
+  ?max_per_cast:int -> ?max_len:int -> ?lint_gate:bool -> Dataflow.t -> example list
 (** All example jungloids ending in casts, at most [max_per_cast] (default
     64) per cast expression and at most [max_len] (default 12) non-widening
-    elementary jungloids long. *)
+    elementary jungloids long. With [lint_gate] (default [true]) cast sites
+    inside methods carrying error-severity corpus lint are skipped — broken
+    client code is not evidence of a working conversion. *)
 
 val extract_for_arg :
   ?max_per_cast:int ->
   ?max_len:int ->
+  ?lint_gate:bool ->
   Dataflow.t ->
   is_target:(Javamodel.Jtype.t -> bool) ->
   example list

@@ -1,0 +1,67 @@
+The bundled model and corpus are lint-clean (exit 0):
+
+  $ ../../bin/prospector_cli.exe lint
+  0 errors, 0 warnings, 0 infos
+
+Machine-readable report, API pass only:
+
+  $ ../../bin/prospector_cli.exe lint --pass api --json
+  {"diagnostics": [], "errors": 0, "warnings": 0, "infos": 0}
+
+Verifying the solutions of a query (the Section 1 example):
+
+  $ ../../bin/prospector_cli.exe lint --pass query -q "org.eclipse.core.resources.IFile,org.eclipse.jdt.core.dom.ASTNode"
+  0 errors, 0 warnings, 0 infos
+
+A broken corpus: findings are printed with positions and the exit code is 1:
+
+  $ cat > api.japi <<'JAPI'
+  > package p;
+  > class A { A id(); }
+  > class B extends A { }
+  > class D { }
+  > JAPI
+  $ cat > bad.java <<'JAVA'
+  > package c;
+  > class K {
+  >   D m(A p) { D d = (D) p; return d; }
+  >   A n() { A a; return a.id(); }
+  > }
+  > JAVA
+  $ ../../bin/prospector_cli.exe lint --api api.japi --corpus bad.java
+  bad.java:3:20: error[C005]: cast to p.D, unrelated to the static type p.A
+  bad.java:4:23: error[C001]: 'a' is used but never assigned in c.K.n/0
+  2 errors, 0 warnings, 0 infos
+  [1]
+
+The same report as JSON:
+
+  $ ../../bin/prospector_cli.exe lint --api api.japi --corpus bad.java --json
+  {"diagnostics": [{"severity": "error", "code": "C005", "file": "bad.java", "line": 3, "col": 20, "message": "cast to p.D, unrelated to the static type p.A"}, {"severity": "error", "code": "C001", "file": "bad.java", "line": 4, "col": 23, "message": "'a' is used but never assigned in c.K.n/0"}], "errors": 2, "warnings": 0, "infos": 0}
+  [1]
+
+Warnings alone exit 0, unless --strict promotes them:
+
+  $ cat > warn.java <<'JAVA'
+  > package c;
+  > class K {
+  >   A m(A p) { A unused = p.id(); return p.id(); }
+  > }
+  > JAVA
+  $ ../../bin/prospector_cli.exe lint --api api.japi --corpus warn.java
+  warn.java:3:25: warning[C004]: local 'unused' is never used
+  0 errors, 1 warning, 0 infos
+  $ ../../bin/prospector_cli.exe lint --api api.japi --corpus warn.java --strict
+  warn.java:3:25: warning[C004]: local 'unused' is never used
+  0 errors, 1 warning, 0 infos
+  [1]
+
+Inputs that fail to load exit 2:
+
+  $ cat > broken.japi <<'JAPI'
+  > package p
+  > classs Oops {
+  > JAPI
+  $ ../../bin/prospector_cli.exe lint --api broken.japi
+  error: broken.japi:2:1: expected ';' but found identifier 'classs'
+  [2]
