@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint bench-cache bench-analysis clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server clean
 
 all: build
 
@@ -30,7 +30,23 @@ lint: build
 	  --corpus examples/corpus/editor_input.java \
 	  --corpus examples/corpus/workspace_ast.java
 
-check: build test lint fmt
+# One live daemon cycle over a real TCP socket: ephemeral port, health
+# check, a query, graceful drain. The binary is invoked directly (not via
+# `dune exec`) so the backgrounded daemon never holds the dune lock.
+PROSPECTOR := _build/default/bin/prospector_cli.exe
+serve-smoke: build
+	@rm -f .smoke-port; \
+	$(PROSPECTOR) serve --port 0 --port-file .smoke-port >/dev/null 2>&1 & \
+	pid=$$!; \
+	i=0; while [ ! -f .smoke-port ] && [ $$i -lt 200 ]; do sleep 0.1; i=$$((i+1)); done; \
+	test -f .smoke-port || { echo "serve-smoke: daemon never bound a port"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(PROSPECTOR) client --port-file .smoke-port health && \
+	$(PROSPECTOR) client --port-file .smoke-port query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 1 && \
+	$(PROSPECTOR) client --port-file .smoke-port stats && \
+	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
+	wait $$pid && echo "serve-smoke: OK"
+
+check: build test lint serve-smoke fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -41,6 +57,11 @@ bench-cache: build
 # per-pass lint timings).
 bench-analysis: build
 	dune exec bench/main.exe -- analysis
+
+# Regenerates BENCH_server.json (warm-daemon throughput and p50/p95 latency
+# over a live socket vs the cost of a one-shot CLI invocation).
+bench-server: build
+	dune exec bench/main.exe -- server
 
 clean:
 	dune clean

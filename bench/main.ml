@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam cache analysis micro          *)
+             search_bound cap_sweep objparam cache analysis server micro   *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -678,6 +678,136 @@ let section_analysis () =
   write_file "BENCH_analysis.json" json
 
 (* ------------------------------------------------------------------ *)
+(* Server: warm-daemon throughput vs one-shot CLI cost                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's reason to exist, in numbers: a one-shot CLI invocation pays
+   the full world build (API load, graph, mining) for a single answer; the
+   warm daemon pays it once and amortises. Latencies are measured
+   client-side over a real loopback socket, so they include the protocol
+   and transport, not just the engine. *)
+
+let section_server () =
+  rule "Server — warm-daemon throughput vs one-shot CLI cost";
+  let module Proto = Prospector_server.Proto in
+  let module Service = Prospector_server.Service in
+  let module Server = Prospector_server.Server in
+  let q0 = Query.query "void" "org.eclipse.ui.texteditor.DocumentProviderRegistry" in
+  let oneshot_t, _ =
+    time_of (fun () ->
+        let h = Japi.Loader.load_files Apidata.Api.api_sources in
+        let g = Sig_graph.build h in
+        ignore
+          (Mining.Enrich.enrich g
+             (Minijava.Resolve.parse_program ~api:h Apidata.Api.corpus_sources));
+        ignore (Query.run ~graph:g ~hierarchy:h q0))
+  in
+  Printf.printf "one-shot CLI cost (load + build + mine + 1 query): %.4f s\n" oneshot_t;
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let service = Service.create ~engine:(Query.engine ~graph ~hierarchy ()) () in
+  let config = { Server.default_config with Server.port = 0; workers = 4 } in
+  let srv = Server.create ~config service in
+  Server.start srv;
+  let port = Server.port srv in
+  let lines =
+    List.filteri (fun i _ -> i < 6) Problems.all
+    |> List.map (fun (p : Problems.t) ->
+           Proto.to_string
+             (Proto.envelope_to_json
+                {
+                  Proto.id = Proto.Null;
+                  req =
+                    Proto.Query
+                      {
+                        tin = p.Problems.tin;
+                        tout = p.Problems.tout;
+                        max_results = None;
+                        slack = None;
+                        cluster = false;
+                      };
+                }))
+    |> Array.of_list
+  in
+  let run_client n_requests =
+    let ic, oc =
+      Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    in
+    let lats = ref [] in
+    for i = 0 to n_requests - 1 do
+      let line = lines.(i mod Array.length lines) in
+      let t0 = Unix.gettimeofday () in
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      ignore (input_line ic);
+      lats := (Unix.gettimeofday () -. t0) :: !lats
+    done;
+    (try Unix.shutdown_connection ic with _ -> ());
+    close_in_noerr ic;
+    !lats
+  in
+  (* prime the daemon's query caches so we measure the steady state *)
+  ignore (run_client (Array.length lines));
+  let requests = 300 in
+  let seq_t, seq_lats = time_of (fun () -> run_client requests) in
+  let seq_rps = float_of_int requests /. seq_t in
+  let seq_p50 = percentile seq_lats 0.50 *. 1000.0 in
+  let seq_p95 = percentile seq_lats 0.95 *. 1000.0 in
+  Printf.printf
+    "warm daemon, 1 client:   %d requests in %.3f s  (%.0f req/s, p50 %.3f ms, p95 %.3f ms)\n"
+    requests seq_t seq_rps seq_p50 seq_p95;
+  let n_clients = 4 in
+  let per_client = 100 in
+  let results = Array.make n_clients [] in
+  let conc_t, () =
+    time_of (fun () ->
+        let ts =
+          List.init n_clients (fun k ->
+              Thread.create (fun () -> results.(k) <- run_client per_client) ())
+        in
+        List.iter Thread.join ts)
+  in
+  let conc_n = n_clients * per_client in
+  let conc_rps = float_of_int conc_n /. conc_t in
+  let conc_lats = List.concat (Array.to_list results) in
+  let conc_p50 = percentile conc_lats 0.50 *. 1000.0 in
+  let conc_p95 = percentile conc_lats 0.95 *. 1000.0 in
+  Printf.printf
+    "warm daemon, %d clients:  %d requests in %.3f s  (%.0f req/s, p50 %.3f ms, p95 %.3f ms)\n"
+    n_clients conc_n conc_t conc_rps conc_p50 conc_p95;
+  let speedup = oneshot_t /. (seq_t /. float_of_int requests) in
+  Printf.printf "per-request speedup over one-shot CLI: %.0fx\n" speedup;
+  Server.shutdown srv;
+  Server.wait srv;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"oneshot_s\": %.6f,\n\
+      \  \"distinct_queries\": %d,\n\
+      \  \"sequential\": {\n\
+      \    \"requests\": %d,\n\
+      \    \"elapsed_s\": %.6f,\n\
+      \    \"req_per_s\": %.1f,\n\
+      \    \"p50_ms\": %.4f,\n\
+      \    \"p95_ms\": %.4f\n\
+      \  },\n\
+      \  \"concurrent\": {\n\
+      \    \"clients\": %d,\n\
+      \    \"requests\": %d,\n\
+      \    \"elapsed_s\": %.6f,\n\
+      \    \"req_per_s\": %.1f,\n\
+      \    \"p50_ms\": %.4f,\n\
+      \    \"p95_ms\": %.4f\n\
+      \  },\n\
+      \  \"speedup_vs_oneshot\": %.1f\n\
+       }\n"
+      oneshot_t (Array.length lines) requests seq_t seq_rps seq_p50 seq_p95
+      n_clients conc_n conc_t conc_rps conc_p50 conc_p95 speedup
+  in
+  write_file "BENCH_server.json" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -758,6 +888,7 @@ let sections =
     ("objparam", section_objparam);
     ("cache", section_cache);
     ("analysis", section_analysis);
+    ("server", section_server);
     ("micro", section_micro);
   ]
 

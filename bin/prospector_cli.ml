@@ -15,11 +15,6 @@
 
 open Cmdliner
 
-let contains ~sub s =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  n = 0 || go 0
-
 (* ---------- shared options ---------- *)
 
 let api_files =
@@ -576,6 +571,416 @@ let lint_cmd =
       $ max_results $ slack $ verbose_flag $ passes $ queries $ json_flag
       $ strict_flag)
 
+(* ---------- serve ---------- *)
+
+(* The daemon: load (or warm-start) the engine once, then answer query
+   traffic over newline-delimited JSON — the deployment shape the ROADMAP's
+   "heavy traffic" north star asks for. See DESIGN.md "Server architecture"
+   for the protocol grammar and the locking model. *)
+
+module Proto = Prospector_server.Proto
+module Service = Prospector_server.Service
+module Server = Prospector_server.Server
+module Metrics = Prospector_server.Metrics
+
+let reach_path graph_path = graph_path ^ ".reach"
+
+(* Warm start: when --save-graph names an existing file, load the persisted
+   graph (and its reach index, if present) instead of rebuilding from .japi
+   and re-mining the corpus; on a cache miss, build as usual and persist
+   both files for the next start. The hierarchy itself is always re-parsed —
+   it is the cheap part, and .japi text is the interchange format. *)
+let load_env_for_serve ~api ~corpus ~mining ~protected_ ~save_graph =
+  match save_graph with
+  | Some path when Sys.file_exists path ->
+      let hierarchy =
+        match api with
+        | [] -> Apidata.Api.hierarchy ()
+        | files -> Japi.Loader.load_files (List.map (fun f -> (f, read_file f)) files)
+      in
+      let t0 = Unix.gettimeofday () in
+      let graph = Prospector.Serialize.load path in
+      let reach =
+        let rp = reach_path path in
+        if Sys.file_exists rp then
+          match Prospector.Serialize.load_reach rp with
+          | r -> Some r
+          | exception Prospector.Serialize.Format_error msg ->
+              Printf.eprintf "warning: ignoring %s: %s\n%!" rp msg;
+              None
+        else None
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.eprintf
+        "graph: loaded from %s in %.3f s (reach index %s) — skipped build + mining\n%!"
+        path dt
+        (match reach with Some _ -> "loaded" | None -> "absent, will rebuild");
+      ({ hierarchy; graph }, reach)
+  | _ ->
+      let t0 = Unix.gettimeofday () in
+      let env = load_env ~api ~corpus ~mining ~protected_ in
+      let build_dt = Unix.gettimeofday () -. t0 in
+      let reach =
+        match save_graph with
+        | None ->
+            Printf.eprintf "graph: built in %.3f s\n%!" build_dt;
+            None
+        | Some path ->
+            let t1 = Unix.gettimeofday () in
+            let r = Prospector.Reach.build env.graph in
+            let gsize = Prospector.Serialize.save env.graph path in
+            let rsize = Prospector.Serialize.save_reach r (reach_path path) in
+            Printf.eprintf
+              "graph: built in %.3f s; saved %d+%d bytes to %s (+.reach) in %.3f s — \
+               next start loads instead\n%!"
+              build_dt gsize rsize path
+              (Unix.gettimeofday () -. t1);
+            Some r
+      in
+      (env, reach)
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7467
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port; $(b,0) picks an ephemeral one (see --port-file).")
+  in
+  let port_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port here once listening (atomically) — the \
+                rendezvous for scripts using an ephemeral port.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+  in
+  let max_request_bytes =
+    Arg.(
+      value & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"B"
+          ~doc:"Oversized request lines get a $(b,too_large) error reply.")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Queued + in-flight connection cap; excess clients get a \
+                one-line $(b,busy) reply.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline: slower requests get a $(b,timeout) \
+                error reply instead of their result.")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve one request line per stdin line instead of TCP (editor \
+                integration).")
+  in
+  let save_graph =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-graph" ] ~docv:"PATH"
+          ~doc:"Persist the built graph and reach index to $(docv) / \
+                $(docv).reach on first start and warm-start from them later.")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-capacity" ] ~docv:"K" ~doc:"LRU capacity of the query cache.")
+  in
+  let run api corpus no_mining protected_ max_results slack verbose host port
+      port_file workers max_request_bytes max_connections deadline stdio save_graph
+      cache_capacity =
+    setup_logs verbose;
+    if cache_capacity < 1 then begin
+      Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
+        cache_capacity;
+      exit 1
+    end;
+    if workers < 1 then begin
+      Printf.eprintf "error: --workers must be at least 1 (got %d)\n" workers;
+      exit 1
+    end;
+    handle_errors (fun () ->
+        let env, reach =
+          load_env_for_serve ~api ~corpus ~mining:(not no_mining) ~protected_
+            ~save_graph
+        in
+        let engine =
+          Prospector.Query.engine ~cache_capacity ?reach ~graph:env.graph
+            ~hierarchy:env.hierarchy ()
+        in
+        let service =
+          Service.create
+            ~settings:(settings ~max_results ~slack)
+            ?deadline_s:deadline ~engine ()
+        in
+        if stdio then Server.serve_stdio ~max_request_bytes service
+        else begin
+          let config =
+            {
+              Server.default_config with
+              Server.host;
+              port;
+              workers;
+              max_request_bytes;
+              max_connections;
+              port_file;
+            }
+          in
+          let server = Server.create ~config service in
+          (* SIGINT and SIGTERM drain exactly like the shutdown op *)
+          let drain _ = Server.shutdown server in
+          (try Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+           with Invalid_argument _ -> ());
+          (try Sys.set_signal Sys.sigterm (Sys.Signal_handle drain)
+           with Invalid_argument _ -> ());
+          Server.run server
+        end;
+        prerr_string (Metrics.render (Service.metrics service)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived query daemon (newline-delimited JSON over TCP).")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag
+      $ max_results $ slack $ verbose_flag $ host $ port $ port_file $ workers
+      $ max_request_bytes $ max_connections $ deadline $ stdio $ save_graph
+      $ cache_capacity)
+
+(* ---------- client ---------- *)
+
+(* One request per invocation, against a running daemon. The default
+   rendering mirrors the one-shot subcommands byte for byte (the cram suite
+   diffs them); --json prints the raw response line. *)
+
+let client_render_results rs =
+  List.iteri
+    (fun i r ->
+      let get k =
+        match Proto.member k r with Some (Proto.Str s) -> s | _ -> ""
+      in
+      Printf.printf "#%d  %s\n" (i + 1) (get "jungloid");
+      String.trim (get "code") |> String.split_on_char '\n'
+      |> List.iter (fun line -> Printf.printf "      %s\n" line))
+    rs
+
+let client_render response =
+  let member k = Proto.member k response in
+  let arr k = match member k with Some (Proto.Arr xs) -> xs | _ -> [] in
+  match member "op" with
+  | Some (Proto.Str "query") ->
+      let rs = arr "results" in
+      if rs = [] then print_endline "no jungloids found" else client_render_results rs
+  | Some (Proto.Str "assist") ->
+      let ss = arr "suggestions" in
+      if ss = [] then print_endline "no suggestions"
+      else
+        List.iteri
+          (fun i s ->
+            let title =
+              match Proto.member "title" s with Some (Proto.Str x) -> x | _ -> ""
+            in
+            let uses =
+              match Proto.member "uses_var" s with
+              | Some (Proto.Str v) -> Printf.sprintf "   (uses %s)" v
+              | _ -> ""
+            in
+            Printf.printf "#%d  %s%s\n" (i + 1) title uses)
+          ss
+  | Some (Proto.Str "batch") ->
+      List.iter
+        (fun a ->
+          let get k =
+            match Proto.member k a with Some (Proto.Str s) -> s | _ -> ""
+          in
+          let rs = match Proto.member "results" a with
+            | Some (Proto.Arr xs) -> xs
+            | _ -> []
+          in
+          Printf.printf "(%s, %s): %d result(s)\n" (get "tin") (get "tout")
+            (List.length rs);
+          client_render_results rs)
+        (arr "answers")
+  | Some (Proto.Str "lint") ->
+      List.iter
+        (fun d ->
+          let get k =
+            match Proto.member k d with
+            | Some (Proto.Str s) -> s
+            | Some (Proto.Int i) -> string_of_int i
+            | _ -> ""
+          in
+          let where =
+            match Proto.member "subject" d with
+            | Some (Proto.Str s) -> s
+            | _ -> Printf.sprintf "%s:%s:%s" (get "file") (get "line") (get "col")
+          in
+          Printf.printf "%s: %s[%s]: %s\n" where (get "severity") (get "code")
+            (get "message"))
+        (arr "diagnostics");
+      let count k =
+        match member k with Some (Proto.Int i) -> i | _ -> 0
+      in
+      Printf.printf "%d error(s), %d warning(s)\n" (count "errors") (count "warnings")
+  | Some (Proto.Str "stats") ->
+      let int_at path k =
+        match Option.bind (member path) (Proto.member k) with
+        | Some (Proto.Int i) -> i
+        | _ -> 0
+      in
+      (match member "requests" with
+      | Some (Proto.Int n) -> Printf.printf "requests: %d\n" n
+      | _ -> ());
+      Printf.printf "graph: %d nodes, %d edges\n" (int_at "graph" "nodes")
+        (int_at "graph" "edges");
+      Printf.printf "cache: %d/%d entries, %d hits, %d misses\n"
+        (int_at "cache" "entries") (int_at "cache" "capacity")
+        (int_at "cache" "hits") (int_at "cache" "misses")
+  | Some (Proto.Str "health") | Some (Proto.Str "shutdown") -> (
+      match member "status" with
+      | Some (Proto.Str s) -> print_endline s
+      | _ -> print_endline "ok")
+  | _ -> print_endline (Proto.to_string response)
+
+let client_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon host.")
+  in
+  let port =
+    Arg.(value & opt int 7467 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let port_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Read the port from this file (written by $(b,serve --port-file)).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw response line.")
+  in
+  let vars =
+    Arg.(
+      value & opt_all string []
+      & info [ "var"; "v" ] ~docv:"NAME:TYPE" ~doc:"Visible variable for $(b,assist).")
+  in
+  let argv =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"OP"
+          ~doc:"One of: $(b,query TIN TOUT), $(b,assist TOUT), $(b,batch FILE), \
+                $(b,lint TIN TOUT), $(b,stats), $(b,health), $(b,shutdown), \
+                $(b,raw LINE).")
+  in
+  let run max_results slack host port port_file json_flag vars argv =
+    let port =
+      match port_file with
+      | None -> port
+      | Some f -> (
+          match int_of_string_opt (String.trim (read_file f)) with
+          | Some p -> p
+          | None ->
+              Printf.eprintf "error: %s does not contain a port number\n" f;
+              exit 2)
+    in
+    let some_results = Some max_results and some_slack = Some slack in
+    let line =
+      let envelope req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Null; req }) in
+      match argv with
+      | [ "query"; tin; tout ] ->
+          envelope
+            (Proto.Query
+               { tin; tout; max_results = some_results; slack = some_slack; cluster = false })
+      | [ "assist"; tout ] ->
+          let vars =
+            List.map
+              (fun s ->
+                match String.index_opt s ':' with
+                | Some i ->
+                    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+                | None ->
+                    Printf.eprintf "error: bad --var %S, expected NAME:TYPE\n" s;
+                    exit 2)
+              vars
+          in
+          envelope
+            (Proto.Assist { tout; vars; max_results = some_results; slack = some_slack })
+      | [ "batch"; file ] ->
+          let pairs =
+            parse_query_file file
+            |> List.map (fun (q : Prospector.Query.t) ->
+                   ( Javamodel.Jtype.to_string q.Prospector.Query.tin,
+                     Javamodel.Jtype.to_string q.Prospector.Query.tout ))
+          in
+          envelope
+            (Proto.Batch { pairs; max_results = some_results; slack = some_slack })
+      | [ "lint"; tin; tout ] -> envelope (Proto.Lint { tin; tout })
+      | [ "stats" ] -> envelope Proto.Stats
+      | [ "health" ] -> envelope Proto.Health
+      | [ "shutdown" ] -> envelope Proto.Shutdown
+      | [ "raw"; line ] -> line
+      | _ ->
+          Printf.eprintf
+            "error: bad request; see prospector client --help for the op forms\n";
+          exit 2
+    in
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let ic, oc =
+      try Unix.open_connection addr
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+          (Unix.error_message e);
+        exit 2
+    in
+    output_string oc (line ^ "\n");
+    flush oc;
+    let response_line =
+      try input_line ic
+      with End_of_file ->
+        Printf.eprintf "error: daemon closed the connection without replying\n";
+        exit 2
+    in
+    (try Unix.shutdown_connection ic with Unix.Unix_error _ -> ());
+    close_in_noerr ic;
+    if json_flag then print_endline response_line
+    else
+      match Proto.parse response_line with
+      | Error msg ->
+          Printf.eprintf "error: unparsable response: %s\n" msg;
+          exit 2
+      | Ok response -> (
+          match Proto.member "ok" response with
+          | Some (Proto.Bool true) -> client_render response
+          | _ ->
+              let get path k =
+                match Option.bind (Proto.member path response) (Proto.member k) with
+                | Some (Proto.Str s) -> s
+                | _ -> "?"
+              in
+              Printf.eprintf "error[%s]: %s\n" (get "error" "code")
+                (get "error" "message");
+              exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running prospector daemon and print the reply.")
+    Term.(
+      const run $ max_results $ slack $ host $ port $ port_file $ json_flag $ vars
+      $ argv)
+
 (* ---------- table1 ---------- *)
 
 let table1_cmd =
@@ -617,7 +1022,6 @@ let study_cmd =
     Term.(const run $ seed $ users)
 
 let () =
-  ignore contains;
   let doc = "jungloid mining: helping to navigate the API jungle" in
   let info = Cmd.info "prospector" ~version:"1.0.0" ~doc in
   exit
@@ -627,6 +1031,8 @@ let () =
             query_cmd;
             assist_cmd;
             batch_cmd;
+            serve_cmd;
+            client_cmd;
             infer_cmd;
             mine_cmd;
             lint_cmd;

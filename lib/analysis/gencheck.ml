@@ -3,10 +3,7 @@ module Hierarchy = Javamodel.Hierarchy
 module Jungloid = Prospector.Jungloid
 module Codegen = Prospector.Codegen
 
-let contains_sub s sub =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  n = 0 || go 0
+let contains_sub s sub = Prospector.Util.contains ~sub s
 
 let generated_file = "<generated>"
 

@@ -14,10 +14,7 @@ type t = {
   is_desired : Prospector.Query.result -> bool;
 }
 
-let contains ~sub s =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  n = 0 || go 0
+let contains = Prospector.Util.contains
 
 let code_has subs (r : Query.result) =
   List.for_all (fun sub -> contains ~sub r.Query.code) subs

@@ -324,14 +324,21 @@ type engine = {
   mutable e_gen : int;  (* graph generation the caches describe *)
 }
 
-let engine ?(cache_capacity = 256) ?(prune = true) ~graph ~hierarchy () =
+let engine ?(cache_capacity = 256) ?(prune = true) ?reach ~graph ~hierarchy () =
+  (* A persisted index (Serialize.load_reach) only counts if it describes
+     this exact graph build; anything stale is dropped and rebuilt lazily. *)
+  let seed =
+    match reach with
+    | Some r when prune && Reach.generation r = Graph.generation graph -> Some r
+    | _ -> None
+  in
   {
     e_graph = graph;
     e_hierarchy = hierarchy;
     e_single = Qcache.create ~capacity:cache_capacity ();
     e_multi = Qcache.create ~capacity:cache_capacity ();
     e_prune = prune;
-    e_reach = None;
+    e_reach = seed;
     e_gen = Graph.generation graph;
   }
 

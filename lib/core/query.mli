@@ -124,17 +124,29 @@ type engine
 val engine :
   ?cache_capacity:int ->
   ?prune:bool ->
+  ?reach:Reach.t ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   unit ->
   engine
 (** [cache_capacity] (default 256) sizes each of the two internal LRU
     caches; [prune:false] disables the reach index (the bench uses this to
-    measure the pruning speedup in isolation). *)
+    measure the pruning speedup in isolation). [?reach] seeds the engine
+    with a prebuilt index — the warm-start path: a server restart hands the
+    {!Serialize.load_reach} result straight to the engine and skips the
+    closure computation. A seed whose {!Reach.generation} does not match
+    the graph is silently dropped (the engine rebuilds lazily), so a stale
+    cache file can cost time but never correctness. *)
 
 val engine_graph : engine -> Graph.t
 
 val engine_hierarchy : engine -> Javamodel.Hierarchy.t
+
+val engine_reach : engine -> Reach.t option
+(** The engine's reachability index for the current graph generation,
+    building it on first use; [None] when the engine was created with
+    [prune:false]. Exposed so a server can persist the index it is already
+    using ({!Serialize.save_reach}) instead of computing it twice. *)
 
 val run_cached : ?settings:settings -> engine -> t -> result list
 (** {!run} through the cache: a hit costs one hash lookup; a miss runs the

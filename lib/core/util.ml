@@ -1,0 +1,29 @@
+(* Knuth–Morris–Pratt: O(|s| + |sub|), replacing the quadratic
+   String.sub-per-position scans that used to be copy-pasted around the
+   tree (CLI, apidata oracles, gencheck). *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  if n = 0 then true
+  else if n > m then false
+  else begin
+    let fail = Array.make n 0 in
+    let k = ref 0 in
+    for i = 1 to n - 1 do
+      while !k > 0 && sub.[i] <> sub.[!k] do
+        k := fail.(!k - 1)
+      done;
+      if sub.[i] = sub.[!k] then incr k;
+      fail.(i) <- !k
+    done;
+    let q = ref 0 in
+    try
+      for i = 0 to m - 1 do
+        while !q > 0 && s.[i] <> sub.[!q] do
+          q := fail.(!q - 1)
+        done;
+        if s.[i] = sub.[!q] then incr q;
+        if !q = n then raise Exit
+      done;
+      false
+    with Exit -> true
+  end

@@ -1,0 +1,6 @@
+(** Small string helpers shared across the tree. *)
+
+val contains : sub:string -> string -> bool
+(** [contains ~sub s] — does [s] contain [sub] as a substring? Linear-time
+    (KMP); [sub = ""] is contained in everything. The single home for the
+    substring test the result oracles and the codegen linter all need. *)

@@ -1,0 +1,134 @@
+(* Geometric latency buckets: bucket i holds samples in
+   (2^(i-1) µs, 2^i µs]; the last bucket is a catch-all. *)
+let n_buckets = 32
+
+let bucket_of_seconds s =
+  let us = s *. 1e6 in
+  let rec go i bound =
+    if i >= n_buckets - 1 || us <= bound then i else go (i + 1) (bound *. 2.0)
+  in
+  go 0 1.0
+
+let bucket_upper_ms i =
+  (* upper bound of bucket i, in milliseconds *)
+  ldexp 1.0 i /. 1000.0
+
+type per_op = {
+  mutable count : int;
+  mutable errors : int;
+  mutable sum_s : float;
+  mutable max_s : float;
+  buckets : int array;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, per_op) Hashtbl.t;
+  started_at : float;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 8; started_at = Unix.gettimeofday () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let get_op t op =
+  match Hashtbl.find_opt t.table op with
+  | Some p -> p
+  | None ->
+      let p =
+        { count = 0; errors = 0; sum_s = 0.0; max_s = 0.0; buckets = Array.make n_buckets 0 }
+      in
+      Hashtbl.add t.table op p;
+      p
+
+let record t ~op ~ok seconds =
+  with_lock t (fun () ->
+      let p = get_op t op in
+      p.count <- p.count + 1;
+      if not ok then p.errors <- p.errors + 1;
+      p.sum_s <- p.sum_s +. seconds;
+      if seconds > p.max_s then p.max_s <- seconds;
+      let b = bucket_of_seconds seconds in
+      p.buckets.(b) <- p.buckets.(b) + 1)
+
+type op_stats = {
+  count : int;
+  errors : int;
+  mean_ms : float;
+  max_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+(* The smallest bucket upper bound at or below which at least [q] of the
+   samples fall. *)
+let percentile (p : per_op) q =
+  if p.count = 0 then 0.0
+  else begin
+    let need = int_of_float (ceil (q *. float_of_int p.count)) in
+    let need = max 1 need in
+    let rec go i acc =
+      if i >= n_buckets then bucket_upper_ms (n_buckets - 1)
+      else
+        let acc = acc + p.buckets.(i) in
+        if acc >= need then bucket_upper_ms i else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let stats_of (p : per_op) =
+  {
+    count = p.count;
+    errors = p.errors;
+    mean_ms = (if p.count = 0 then 0.0 else p.sum_s *. 1000.0 /. float_of_int p.count);
+    max_ms = p.max_s *. 1000.0;
+    p50_ms = percentile p 0.50;
+    p95_ms = percentile p 0.95;
+    p99_ms = percentile p 0.99;
+  }
+
+let ops t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun op p acc -> (op, stats_of p) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let total_requests t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ (p : per_op) acc -> acc + p.count) t.table 0)
+
+let uptime_s t = Unix.gettimeofday () -. t.started_at
+
+let ops_json t =
+  Proto.Obj
+    (List.map
+       (fun (op, s) ->
+         ( op,
+           Proto.Obj
+             [
+               ("count", Proto.Int s.count);
+               ("errors", Proto.Int s.errors);
+               ("mean_ms", Proto.Float s.mean_ms);
+               ("max_ms", Proto.Float s.max_ms);
+               ("p50_ms", Proto.Float s.p50_ms);
+               ("p95_ms", Proto.Float s.p95_ms);
+               ("p99_ms", Proto.Float s.p99_ms);
+             ] ))
+       (ops t))
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "metrics: %d request(s) over %.1f s uptime\n" (total_requests t)
+       (uptime_s t));
+  List.iter
+    (fun (op, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-10s %6d req  %4d err  mean %8.3f ms  p50 %8.3f  p95 %8.3f  p99 %8.3f  max %8.3f\n"
+           op s.count s.errors s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms))
+    (ops t);
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Request accounting for the daemon: per-op counters and latency
+    histograms, served by the [stats] op and dumped on exit.
+
+    Latencies land in geometric buckets (1 µs doubling up to ~35 min), so
+    recording is O(1), memory is constant, and the reported p50/p95/p99 are
+    upper bounds with at most 2x resolution — the right trade for a
+    long-running server (an exact percentile would need every sample).
+
+    All operations are thread-safe (one internal mutex; recording is a few
+    array writes, so contention is not a concern next to query cost). *)
+
+type t
+
+val create : unit -> t
+(** Fresh counters; the creation instant anchors {!uptime_s}. *)
+
+val record : t -> op:string -> ok:bool -> float -> unit
+(** [record t ~op ~ok seconds] — one request of kind [op] took [seconds];
+    [ok = false] counts it as an error (error replies are still latencies:
+    a timeout reply took real time). *)
+
+type op_stats = {
+  count : int;
+  errors : int;
+  mean_ms : float;
+  max_ms : float;
+  p50_ms : float;  (** bucket upper bounds, see above *)
+  p95_ms : float;
+  p99_ms : float;
+}
+
+val ops : t -> (string * op_stats) list
+(** Snapshot, sorted by op name. *)
+
+val total_requests : t -> int
+
+val uptime_s : t -> float
+
+val ops_json : t -> Proto.json
+(** [{"query": {"count": ..., "p50_ms": ...}, ...}] — the [stats] payload. *)
+
+val render : t -> string
+(** Multi-line human dump (printed to stderr when the server drains). *)

@@ -1,0 +1,495 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let max_depth = 128
+
+(* ---------- encoder ---------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* The shortest decimal that reads back as the same double ("%.15g" almost
+   always; "%.17g" for the awkward ones). *)
+let float_literal f =
+  let s = Printf.sprintf "%.15g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  (* "1." style output is not JSON; neither is a bare "inf". *)
+  if
+    String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+    || String.contains s 'n' (* nan/inf never reach here, see encode *)
+  then s
+  else s ^ ".0"
+
+let rec encode buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_literal f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          encode buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          escape_into buf k;
+          Buffer.add_string buf "\": ";
+          encode buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  encode buf j;
+  Buffer.contents buf
+
+(* ---------- decoder ---------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "at byte %d: %s" c.pos msg))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance c
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c (Printf.sprintf "expected %C, found %C" ch x)
+  | None -> fail c (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail c "bad hex digit in \\u escape"
+
+let hex4 c =
+  if c.pos + 4 > String.length c.s then fail c "truncated \\u escape";
+  let v =
+    (hex_digit c c.s.[c.pos] lsl 12)
+    lor (hex_digit c c.s.[c.pos + 1] lsl 8)
+    lor (hex_digit c c.s.[c.pos + 2] lsl 4)
+    lor hex_digit c c.s.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "truncated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                let cp = hex4 c in
+                if cp >= 0xD800 && cp <= 0xDBFF then begin
+                  (* high surrogate: require the paired low one *)
+                  if
+                    c.pos + 2 <= String.length c.s
+                    && c.s.[c.pos] = '\\'
+                    && c.s.[c.pos + 1] = 'u'
+                  then begin
+                    c.pos <- c.pos + 2;
+                    let lo = hex4 c in
+                    if lo < 0xDC00 || lo > 0xDFFF then fail c "bad surrogate pair";
+                    add_utf8 buf
+                      (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                  end
+                  else fail c "lone high surrogate"
+                end
+                else if cp >= 0xDC00 && cp <= 0xDFFF then fail c "lone low surrogate"
+                else add_utf8 buf cp
+            | _ -> fail c (Printf.sprintf "bad escape \\%c" e));
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  if peek c = Some '-' then advance c;
+  let digits () =
+    let d = ref 0 in
+    while (match peek c with Some '0' .. '9' -> true | _ -> false) do
+      advance c;
+      incr d
+    done;
+    !d
+  in
+  if digits () = 0 then fail c "expected digits";
+  if peek c = Some '.' then begin
+    is_float := true;
+    advance c;
+    if digits () = 0 then fail c "expected digits after decimal point"
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      if digits () = 0 then fail c "expected digits in exponent"
+  | _ -> ());
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text) (* magnitude beyond int range *)
+
+let rec parse_value c depth =
+  if depth > max_depth then fail c "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c (depth + 1) in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ()
+          | Some '}' -> advance c
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c (depth + 1) in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements ()
+          | Some ']' -> advance c
+          | _ -> fail c "expected ',' or ']'"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c 0 in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage after value";
+  v
+
+let parse s = match of_string s with v -> Ok v | exception Parse_error m -> Error m
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* ---------- typed requests ---------- *)
+
+type request =
+  | Query of {
+      tin : string;
+      tout : string;
+      max_results : int option;
+      slack : int option;
+      cluster : bool;
+    }
+  | Assist of {
+      tout : string;
+      vars : (string * string) list;
+      max_results : int option;
+      slack : int option;
+    }
+  | Batch of {
+      pairs : (string * string) list;
+      max_results : int option;
+      slack : int option;
+    }
+  | Lint of { tin : string; tout : string }
+  | Stats
+  | Health
+  | Shutdown
+
+type envelope = { id : json; req : request }
+
+let ( let* ) = Result.bind
+
+let field_string j k =
+  match member k j with
+  | Some (Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let field_int_opt j k =
+  match member k j with
+  | Some (Int i) -> Ok (Some i)
+  | Some Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
+
+let field_bool j k ~default =
+  match member k j with
+  | Some (Bool b) -> Ok b
+  | Some Null | None -> Ok default
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+
+let parse_var = function
+  | Obj _ as o ->
+      let* name = field_string o "name" in
+      let* ty = field_string o "type" in
+      Ok (name, ty)
+  | _ -> Error "each var must be an object {\"name\", \"type\"}"
+
+let parse_pair = function
+  | Obj _ as o ->
+      let* tin = field_string o "tin" in
+      let* tout = field_string o "tout" in
+      Ok (tin, tout)
+  | _ -> Error "each query must be an object {\"tin\", \"tout\"}"
+
+let rec map_m f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_m f xs in
+      Ok (y :: ys)
+
+let request_of_json j =
+  match j with
+  | Obj _ ->
+      let id = Option.value (member "id" j) ~default:Null in
+      let* op = field_string j "op" in
+      let* req =
+        match op with
+        | "query" ->
+            let* tin = field_string j "tin" in
+            let* tout = field_string j "tout" in
+            let* max_results = field_int_opt j "max_results" in
+            let* slack = field_int_opt j "slack" in
+            let* cluster = field_bool j "cluster" ~default:false in
+            Ok (Query { tin; tout; max_results; slack; cluster })
+        | "assist" ->
+            let* tout = field_string j "tout" in
+            let* vars =
+              match member "vars" j with
+              | Some (Arr vs) -> map_m parse_var vs
+              | Some Null | None -> Ok []
+              | Some _ -> Error "field \"vars\" must be an array"
+            in
+            let* max_results = field_int_opt j "max_results" in
+            let* slack = field_int_opt j "slack" in
+            Ok (Assist { tout; vars; max_results; slack })
+        | "batch" ->
+            let* pairs =
+              match member "queries" j with
+              | Some (Arr qs) -> map_m parse_pair qs
+              | _ -> Error "field \"queries\" must be an array"
+            in
+            let* max_results = field_int_opt j "max_results" in
+            let* slack = field_int_opt j "slack" in
+            Ok (Batch { pairs; max_results; slack })
+        | "lint" ->
+            let* tin = field_string j "tin" in
+            let* tout = field_string j "tout" in
+            Ok (Lint { tin; tout })
+        | "stats" -> Ok Stats
+        | "health" -> Ok Health
+        | "shutdown" -> Ok Shutdown
+        | op -> Error (Printf.sprintf "unknown op %S" op)
+      in
+      Ok { id; req }
+  | _ -> Error "request must be a JSON object"
+
+let envelope_to_json { id; req } =
+  let id_field = match id with Null -> [] | id -> [ ("id", id) ] in
+  let opt k = function Some i -> [ (k, Int i) ] | None -> [] in
+  let fields =
+    match req with
+    | Query { tin; tout; max_results; slack; cluster } ->
+        [ ("op", Str "query"); ("tin", Str tin); ("tout", Str tout) ]
+        @ opt "max_results" max_results @ opt "slack" slack
+        @ if cluster then [ ("cluster", Bool true) ] else []
+    | Assist { tout; vars; max_results; slack } ->
+        [ ("op", Str "assist"); ("tout", Str tout) ]
+        @ (match vars with
+          | [] -> []
+          | vs ->
+              [
+                ( "vars",
+                  Arr
+                    (List.map
+                       (fun (name, ty) ->
+                         Obj [ ("name", Str name); ("type", Str ty) ])
+                       vs) );
+              ])
+        @ opt "max_results" max_results @ opt "slack" slack
+    | Batch { pairs; max_results; slack } ->
+        [
+          ("op", Str "batch");
+          ( "queries",
+            Arr
+              (List.map
+                 (fun (tin, tout) -> Obj [ ("tin", Str tin); ("tout", Str tout) ])
+                 pairs) );
+        ]
+        @ opt "max_results" max_results @ opt "slack" slack
+    | Lint { tin; tout } ->
+        [ ("op", Str "lint"); ("tin", Str tin); ("tout", Str tout) ]
+    | Stats -> [ ("op", Str "stats") ]
+    | Health -> [ ("op", Str "health") ]
+    | Shutdown -> [ ("op", Str "shutdown") ]
+  in
+  Obj (id_field @ fields)
+
+(* ---------- responses ---------- *)
+
+type error_code =
+  | Bad_request
+  | Unknown_op
+  | Too_large
+  | Busy
+  | Timeout
+  | Shutting_down
+  | Internal
+
+let error_code_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Too_large -> "too_large"
+  | Busy -> "busy"
+  | Timeout -> "timeout"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let ok_response ~id ~op fields =
+  Obj ([ ("id", id); ("ok", Bool true); ("op", Str op) ] @ fields)
+
+let error_response ~id code message =
+  Obj
+    [
+      ("id", id);
+      ("ok", Bool false);
+      ( "error",
+        Obj
+          [
+            ("code", Str (error_code_string code)); ("message", Str message);
+          ] );
+    ]

@@ -1,0 +1,112 @@
+(** The wire protocol of the prospector daemon: newline-delimited JSON.
+
+    One request per line, one response line per request, in order. The JSON
+    codec is hand-rolled on the same no-new-deps policy as
+    {!Analysis.Diagnostic}'s rendering — the subset we implement is full
+    RFC 8259 minus one liberty: strings are byte sequences (the encoder
+    escapes control characters and passes bytes >= 0x80 through verbatim;
+    the decoder expands [\uXXXX] to UTF-8), so any OCaml string round-trips
+    losslessly.
+
+    Request grammar (one object per line):
+    {v
+      {"op": "query",    "id"?: J, "tin": S, "tout": S,
+       "max_results"?: I, "slack"?: I, "cluster"?: B}
+      {"op": "assist",   "id"?: J, "tout": S,
+       "vars"?: [{"name": S, "type": S}...], "max_results"?: I, "slack"?: I}
+      {"op": "batch",    "id"?: J, "queries": [{"tin": S, "tout": S}...],
+       "max_results"?: I, "slack"?: I}
+      {"op": "lint",     "id"?: J, "tin": S, "tout": S}
+      {"op": "stats",    "id"?: J}
+      {"op": "health",   "id"?: J}
+      {"op": "shutdown", "id"?: J}
+    v}
+    Responses echo ["id"] verbatim and carry ["ok": true] plus op-specific
+    payload, or ["ok": false] with an ["error": {"code", "message"}]
+    object. *)
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string  (** raw bytes; see the codec note above *)
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val to_string : json -> string
+(** Compact (single-line, minimal whitespace) rendering. Floats print with
+    the shortest decimal that round-trips; non-finite floats render as
+    [null] (JSON has no spelling for them). *)
+
+val of_string : string -> json
+(** @raise Parse_error on malformed input, trailing garbage, or nesting
+    deeper than {!max_depth}. *)
+
+val parse : string -> (json, string) result
+(** {!of_string} with the error as a value. *)
+
+val max_depth : int
+(** Nesting bound of the decoder (a hostile request must not be able to
+    blow the stack): 128. *)
+
+val member : string -> json -> json option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+(** {1 Typed requests} *)
+
+type request =
+  | Query of {
+      tin : string;
+      tout : string;
+      max_results : int option;
+      slack : int option;
+      cluster : bool;
+    }
+  | Assist of {
+      tout : string;
+      vars : (string * string) list;  (** (name, type) pairs *)
+      max_results : int option;
+      slack : int option;
+    }
+  | Batch of {
+      pairs : (string * string) list;  (** (tin, tout) pairs *)
+      max_results : int option;
+      slack : int option;
+    }
+  | Lint of { tin : string; tout : string }
+  | Stats
+  | Health
+  | Shutdown
+
+type envelope = { id : json; req : request }
+(** [id] is echoed into the response untouched; [Null] when absent. *)
+
+val request_of_json : json -> (envelope, string) result
+
+val envelope_to_json : envelope -> json
+(** The client-side inverse of {!request_of_json}:
+    [request_of_json (envelope_to_json e) = Ok e]. *)
+
+(** {1 Responses} *)
+
+type error_code =
+  | Bad_request  (** unparsable JSON or missing/ill-typed fields *)
+  | Unknown_op
+  | Too_large  (** request line over the server's byte limit *)
+  | Busy  (** connection limit reached; retry later *)
+  | Timeout  (** the per-request deadline elapsed *)
+  | Shutting_down
+  | Internal  (** engine raised; message carries the details *)
+
+val error_code_string : error_code -> string
+
+val ok_response : id:json -> op:string -> (string * json) list -> json
+(** [{"id": id, "ok": true, "op": op, ...fields}]. *)
+
+val error_response : id:json -> error_code -> string -> json
+(** [{"id": id, "ok": false, "error": {"code", "message"}}]. *)

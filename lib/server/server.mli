@@ -1,0 +1,65 @@
+(** The transport: a TCP accept loop and a fixed worker pool around one
+    {!Service}, plus a line-oriented [--stdio] mode for editor integration.
+
+    Architecture (one box per thread):
+    {v
+      accept loop ──> bounded connection queue ──> worker 1..N
+         (poll + accept; over-limit            (read line, Service.handle_line,
+          connections get a "busy"              write line; repeat until EOF,
+          reply and are closed)                 error, or drain)
+    v}
+
+    Backpressure limits: at most [max_connections] connections queued or in
+    flight (excess connections are answered with a one-line [busy] error and
+    closed, so a stampede degrades loudly, not silently), and at most
+    [max_request_bytes] per request line (an oversized line gets a
+    [too_large] reply, the remainder of the line is discarded, and the
+    connection lives on).
+
+    Graceful drain ({!shutdown}, the wire [shutdown] op, or the CLI's SIGINT
+    handler): stop accepting, let every in-flight request finish and its
+    response flush, then join the workers. Blocking calls are bounded
+    (accept polls; reads carry a receive timeout), so drain completes even
+    with idle connections parked open. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  workers : int;  (** worker-pool size, default 4 *)
+  max_request_bytes : int;  (** per-line cap, default 1 MiB *)
+  max_connections : int;  (** queued + in-flight cap, default 64 *)
+  idle_poll_s : float;
+      (** how often parked reads/accepts wake to check for drain,
+          default 0.25 s *)
+  port_file : string option;
+      (** when set, the bound port is written here (atomically) once
+          listening — the rendezvous for tests on ephemeral ports *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Service.t -> t
+
+val port : t -> int
+(** The actually bound port (only meaningful after {!start}). *)
+
+val start : t -> unit
+(** Bind, listen, write [port_file], spawn the accept loop and workers.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val shutdown : t -> unit
+(** Request a graceful drain; idempotent, callable from any thread and from
+    a signal handler. *)
+
+val wait : t -> unit
+(** Join every server thread; returns once drained. Removes [port_file]. *)
+
+val run : t -> unit
+(** {!start} then {!wait}. *)
+
+val serve_stdio : ?max_request_bytes:int -> Service.t -> unit
+(** The [--stdio] transport: one request line from stdin, one response line
+    to stdout, until EOF or a [shutdown] request. Single-threaded — an
+    editor talks to its own private engine. *)

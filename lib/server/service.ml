@@ -1,0 +1,273 @@
+module Query = Prospector.Query
+module Jungloid = Prospector.Jungloid
+module Jtype = Javamodel.Jtype
+
+type t = {
+  eng : Query.engine;
+  lock : Mutex.t;  (* guards every engine touch; see the mli *)
+  mets : Metrics.t;
+  base_settings : Query.settings;
+  deadline_s : float option;
+  stop : bool Atomic.t;
+}
+
+let create ?(settings = Query.default_settings) ?deadline_s ~engine () =
+  {
+    eng = engine;
+    lock = Mutex.create ();
+    mets = Metrics.create ();
+    base_settings = settings;
+    deadline_s;
+    stop = Atomic.make false;
+  }
+
+let engine t = t.eng
+
+let metrics t = t.mets
+
+let shutdown_requested t = Atomic.get t.stop
+
+let request_shutdown t = Atomic.set t.stop true
+
+let with_engine t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---------- response payloads ---------- *)
+
+let result_json i (r : Query.result) =
+  Proto.Obj
+    [
+      ("rank", Proto.Int (i + 1));
+      ("jungloid", Proto.Str (Jungloid.to_string r.Query.jungloid));
+      ("code", Proto.Str r.Query.code);
+    ]
+
+let results_json rs =
+  Proto.Arr (List.mapi result_json rs)
+
+let cluster_json i (c : Query.cluster) =
+  Proto.Obj
+    [
+      ("rank", Proto.Int (i + 1));
+      ("members", Proto.Int c.Query.members);
+      ("type_path", Proto.Str c.Query.type_path);
+      ("representative", result_json i c.Query.representative);
+    ]
+
+let suggestion_json i (s : Prospector.Assist.suggestion) =
+  Proto.Obj
+    [
+      ("rank", Proto.Int (i + 1));
+      ("title", Proto.Str s.Prospector.Assist.title);
+      ("code", Proto.Str s.Prospector.Assist.code);
+      ( "uses_var",
+        match s.Prospector.Assist.uses_var with
+        | Some v -> Proto.Str v
+        | None -> Proto.Null );
+    ]
+
+let diagnostic_json (d : Analysis.Diagnostic.t) =
+  let where =
+    match d.Analysis.Diagnostic.where with
+    | Analysis.Diagnostic.Source l ->
+        [
+          ("file", Proto.Str l.Minijava.Tast.file);
+          ("line", Proto.Int l.Minijava.Tast.line);
+          ("col", Proto.Int l.Minijava.Tast.col);
+        ]
+    | Analysis.Diagnostic.Subject s -> [ ("subject", Proto.Str s) ]
+  in
+  Proto.Obj
+    ([
+       ( "severity",
+         Proto.Str (Analysis.Diagnostic.severity_string d.Analysis.Diagnostic.severity)
+       );
+       ("code", Proto.Str d.Analysis.Diagnostic.code);
+     ]
+    @ where
+    @ [ ("message", Proto.Str d.Analysis.Diagnostic.message) ])
+
+let cache_json stats =
+  Proto.Obj
+    [
+      ("entries", Proto.Int stats.Prospector.Qcache.s_entries);
+      ("capacity", Proto.Int stats.Prospector.Qcache.s_capacity);
+      ("hits", Proto.Int stats.Prospector.Qcache.s_hits);
+      ("misses", Proto.Int stats.Prospector.Qcache.s_misses);
+      ("hit_rate", Proto.Float (Prospector.Qcache.hit_rate stats));
+      ("evictions", Proto.Int stats.Prospector.Qcache.s_evictions);
+      ("invalidations", Proto.Int stats.Prospector.Qcache.s_invalidations);
+    ]
+
+(* ---------- dispatch ---------- *)
+
+let op_name = function
+  | Proto.Query _ -> "query"
+  | Proto.Assist _ -> "assist"
+  | Proto.Batch _ -> "batch"
+  | Proto.Lint _ -> "lint"
+  | Proto.Stats -> "stats"
+  | Proto.Health -> "health"
+  | Proto.Shutdown -> "shutdown"
+
+let settings_for t ~max_results ~slack =
+  let s = t.base_settings in
+  {
+    s with
+    Query.max_results = Option.value max_results ~default:s.Query.max_results;
+    slack = Option.value slack ~default:s.Query.slack;
+  }
+
+let dispatch t ~id req =
+  match req with
+  | Proto.Query { tin; tout; max_results; slack; cluster } ->
+      let settings = settings_for t ~max_results ~slack in
+      let q = Query.query tin tout in
+      let rs = with_engine t (fun () -> Query.run_cached ~settings t.eng q) in
+      let payload =
+        if cluster then
+          let cs = Query.cluster rs in
+          [
+            ("count", Proto.Int (List.length cs));
+            ("clusters", Proto.Arr (List.mapi cluster_json cs));
+          ]
+        else [ ("count", Proto.Int (List.length rs)); ("results", results_json rs) ]
+      in
+      Proto.ok_response ~id ~op:"query" payload
+  | Proto.Assist { tout; vars; max_results; slack } ->
+      let settings = settings_for t ~max_results ~slack in
+      let ctx =
+        {
+          Prospector.Assist.vars =
+            List.map (fun (name, ty) -> (name, Jtype.ref_of_string ty)) vars;
+          expected = Jtype.ref_of_string tout;
+        }
+      in
+      let suggestions =
+        with_engine t (fun () ->
+            Prospector.Assist.suggest ~settings ~engine:t.eng
+              ~graph:(Query.engine_graph t.eng)
+              ~hierarchy:(Query.engine_hierarchy t.eng)
+              ctx)
+      in
+      Proto.ok_response ~id ~op:"assist"
+        [
+          ("count", Proto.Int (List.length suggestions));
+          ("suggestions", Proto.Arr (List.mapi suggestion_json suggestions));
+        ]
+  | Proto.Batch { pairs; max_results; slack } ->
+      let settings = settings_for t ~max_results ~slack in
+      let qs = List.map (fun (tin, tout) -> Query.query tin tout) pairs in
+      let answers = with_engine t (fun () -> Query.run_batch ~settings t.eng qs) in
+      Proto.ok_response ~id ~op:"batch"
+        [
+          ( "answers",
+            Proto.Arr
+              (List.map
+                 (fun ((q : Query.t), rs) ->
+                   Proto.Obj
+                     [
+                       ("tin", Proto.Str (Jtype.to_string q.Query.tin));
+                       ("tout", Proto.Str (Jtype.to_string q.Query.tout));
+                       ("count", Proto.Int (List.length rs));
+                       ("results", results_json rs);
+                     ])
+                 answers) );
+        ]
+  | Proto.Lint { tin; tout } ->
+      let q = Query.query tin tout in
+      let hierarchy = Query.engine_hierarchy t.eng in
+      let ds =
+        with_engine t (fun () ->
+            Query.run_cached ~settings:t.base_settings t.eng q
+            |> List.concat_map (fun (r : Query.result) ->
+                   Analysis.Verify.check hierarchy r.Query.jungloid
+                   @ Analysis.Gencheck.check hierarchy r.Query.jungloid))
+        |> List.sort_uniq Analysis.Diagnostic.compare
+      in
+      Proto.ok_response ~id ~op:"lint"
+        [
+          ("diagnostics", Proto.Arr (List.map diagnostic_json ds));
+          ("errors", Proto.Int (Analysis.Diagnostic.count Analysis.Diagnostic.Error ds));
+          ( "warnings",
+            Proto.Int (Analysis.Diagnostic.count Analysis.Diagnostic.Warning ds) );
+        ]
+  | Proto.Stats ->
+      let graph_stats, cache_stats =
+        with_engine t (fun () ->
+            ( Prospector.Stats.of_graph (Query.engine_graph t.eng),
+              Query.engine_stats t.eng ))
+      in
+      Proto.ok_response ~id ~op:"stats"
+        [
+          ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
+          ("requests", Proto.Int (Metrics.total_requests t.mets));
+          ( "graph",
+            Proto.Obj
+              [
+                ("nodes", Proto.Int graph_stats.Prospector.Stats.nodes);
+                ("edges", Proto.Int graph_stats.Prospector.Stats.edges);
+                ( "generation",
+                  Proto.Int (Prospector.Graph.generation (Query.engine_graph t.eng)) );
+              ] );
+          ("cache", cache_json cache_stats);
+          ("ops", Metrics.ops_json t.mets);
+        ]
+  | Proto.Health ->
+      Proto.ok_response ~id ~op:"health"
+        [
+          ("status", Proto.Str "ok");
+          ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
+        ]
+  | Proto.Shutdown ->
+      request_shutdown t;
+      Proto.ok_response ~id ~op:"shutdown" [ ("status", Proto.Str "draining") ]
+
+let deadline_exceeded t elapsed =
+  match t.deadline_s with Some d -> elapsed > d | None -> false
+
+let handle t ({ Proto.id; req } : Proto.envelope) =
+  let t0 = Unix.gettimeofday () in
+  let response =
+    match dispatch t ~id req with
+    | resp ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (* Cooperative deadline: never serve a result that took longer than
+           the deadline (see the mli for what this does and does not bound). *)
+        if deadline_exceeded t elapsed then
+          Proto.error_response ~id Proto.Timeout
+            (Printf.sprintf "request exceeded the %.3f s deadline"
+               (Option.get t.deadline_s))
+        else resp
+    | exception exn ->
+        Proto.error_response ~id Proto.Internal (Printexc.to_string exn)
+  in
+  let ok = match Proto.member "ok" response with Some (Proto.Bool b) -> b | _ -> false in
+  Metrics.record t.mets ~op:(op_name req) ~ok (Unix.gettimeofday () -. t0);
+  response
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let handle_line t line =
+  let response =
+    match Proto.parse line with
+    | Error msg ->
+        Metrics.record t.mets ~op:"invalid" ~ok:false 0.0;
+        Proto.error_response ~id:Proto.Null Proto.Bad_request
+          ("malformed request: " ^ msg)
+    | Ok j -> (
+        let id = Option.value (Proto.member "id" j) ~default:Proto.Null in
+        match Proto.request_of_json j with
+        | Error msg ->
+            Metrics.record t.mets ~op:"invalid" ~ok:false 0.0;
+            let code =
+              if starts_with ~prefix:"unknown op" msg then Proto.Unknown_op
+              else Proto.Bad_request
+            in
+            Proto.error_response ~id code msg
+        | Ok envelope -> handle t envelope)
+  in
+  Proto.to_string response

@@ -1,0 +1,51 @@
+(** The daemon's brain, separated from its sockets: a {!Proto} request in, a
+    {!Proto} response out, against one shared query engine.
+
+    Both transports ({!Server}'s TCP worker pool and its [--stdio] loop) and
+    the tests drive this module; the concurrency test calls {!handle_line}
+    from many threads directly, no sockets involved.
+
+    Locking model: one mutex serializes every engine touch (graph, reach
+    index, LRU caches — none of them are thread-safe, and the LRU mutates
+    on {e reads}). Request parsing, response rendering, and metrics run
+    outside the lock, so workers only contend for the actual search. *)
+
+type t
+
+val create :
+  ?settings:Prospector.Query.settings ->
+  ?deadline_s:float ->
+  engine:Prospector.Query.engine ->
+  unit ->
+  t
+(** [settings] is the base for every request ([max_results]/[slack] fields
+    override per request). [deadline_s] is the per-request deadline: a
+    request whose execution exceeds it gets a [timeout] error reply instead
+    of its result. Enforcement is cooperative — the elapsed time is checked
+    against the deadline around the engine call, it does not interrupt a
+    running search (OCaml offers no safe preemption); the bound it enforces
+    is "no result computed slower than the deadline is ever served". *)
+
+val engine : t -> Prospector.Query.engine
+
+val metrics : t -> Metrics.t
+
+val shutdown_requested : t -> bool
+(** Set once a [shutdown] request has been answered; transports poll it and
+    drain. *)
+
+val request_shutdown : t -> unit
+(** What the [shutdown] op calls; exposed so a signal handler can trigger
+    the same drain. *)
+
+val handle : t -> Proto.envelope -> Proto.json
+(** Dispatch one parsed request: takes the engine lock for query/assist/
+    batch/lint, answers stats/health from counters, flips the shutdown flag
+    for [shutdown]. Engine exceptions become [internal] error replies —
+    a poisoned query must not take the daemon down. Records one metrics
+    sample per call. *)
+
+val handle_line : t -> string -> string
+(** The full wire cycle: parse one request line (parse failures become
+    [bad_request] replies, never exceptions), {!handle}, render the
+    response as one line (no trailing newline). *)

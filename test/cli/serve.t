@@ -1,0 +1,55 @@
+The daemon on an ephemeral port, with the port file as rendezvous:
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port --max-request-bytes 512 >server.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+
+Health check:
+
+  $ ../../bin/prospector_cli.exe client --port-file port health
+  ok
+
+A query through the daemon is byte-identical to the one-shot CLI (compare
+with the same query in run.t):
+
+  $ ../../bin/prospector_cli.exe client --port-file port query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 2
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+
+A malformed request gets an error reply, not a hung daemon:
+
+  $ ../../bin/prospector_cli.exe client --port-file port raw 'not json'
+  error[bad_request]: malformed request: at byte 0: expected null
+  [1]
+
+An oversized request line (the daemon was started with a 512-byte cap) is
+rejected and the connection survives for the next request:
+
+  $ ../../bin/prospector_cli.exe client --port-file port raw "\"$(printf 'x%.0s' $(seq 1 600))\""
+  error[too_large]: request exceeds 512 bytes
+  [1]
+
+The daemon is still healthy after both:
+
+  $ ../../bin/prospector_cli.exe client --port-file port health
+  ok
+
+Stats reflect the requests served so far:
+
+  $ ../../bin/prospector_cli.exe client --port-file port stats
+  requests: 4
+  graph: 386 nodes, 1142 edges
+  cache: 1/1024 entries, 0 hits, 1 misses
+
+Graceful drain over the wire:
+
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+
+The drain removed the port file and dumped metrics on stderr:
+
+  $ test -f port || echo "port file removed"
+  port file removed
+  $ grep -c "metrics:" server.log
+  1

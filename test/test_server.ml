@@ -1,0 +1,484 @@
+(* The server layer: Proto's JSON codec round-trips arbitrary values
+   (qcheck), typed request envelopes round-trip, the decoder rejects hostile
+   input, Service answers concurrent clients byte-identically to a
+   sequential engine, and the TCP transport survives malformed, oversized,
+   and vanishing clients. *)
+
+module Proto = Prospector_server.Proto
+module Service = Prospector_server.Service
+module Server = Prospector_server.Server
+module Metrics = Prospector_server.Metrics
+module Query = Prospector.Query
+module Util = Prospector.Util
+module Problems = Apidata.Problems
+
+(* ---------- qcheck: JSON round-trip ---------- *)
+
+(* Strings as arbitrary byte sequences: the codec's contract is that any
+   OCaml string survives encode/decode, so the generator leans on quotes,
+   backslashes, control bytes, and high bytes. *)
+let gen_string =
+  QCheck2.Gen.(
+    let nasty = oneofl [ '"'; '\\'; '\n'; '\r'; '\t'; '\b'; '\012'; '\x00'; '\x1f'; '\x7f'; '\xc3'; '\xa9'; '\xff' ] in
+    let byte = oneof [ nasty; printable; map Char.chr (int_range 0 255) ] in
+    string_size ~gen:byte (int_range 0 24))
+
+let gen_float =
+  (* the encoder spells non-finite floats as null, so only finite values
+     can round-trip; keep the generator inside the contract *)
+  QCheck2.Gen.(
+    map (fun f -> if Float.is_finite f then f else 0.0) float)
+
+let gen_json =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Proto.Null;
+              map (fun b -> Proto.Bool b) bool;
+              map (fun i -> Proto.Int i) int;
+              map (fun f -> Proto.Float f) gen_float;
+              map (fun s -> Proto.Str s) gen_string;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              (1, map (fun xs -> Proto.Arr xs) (list_size (int_range 0 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun kvs -> Proto.Obj kvs)
+                  (list_size (int_range 0 4) (pair gen_string (self (n / 2)))) );
+            ]))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"of_string (to_string j) = j" ~count:500 gen_json
+    (fun j -> Proto.of_string (Proto.to_string j) = j)
+
+let prop_parse_never_crashes =
+  (* parse must return a value or an Error — never raise, never loop *)
+  QCheck2.Test.make ~name:"parse never raises on arbitrary bytes" ~count:500
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 64))
+    (fun s ->
+      match Proto.parse s with Ok _ | Error _ -> true)
+
+(* ---------- qcheck: request envelope round-trip ---------- *)
+
+let gen_id =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Proto.Null;
+        map (fun i -> Proto.Int i) int;
+        map (fun s -> Proto.Str s) gen_string;
+      ])
+
+let gen_opt_int = QCheck2.Gen.(opt (int_range 0 100))
+
+let gen_request =
+  QCheck2.Gen.(
+    let name = string_size ~gen:printable (int_range 1 12) in
+    oneof
+      [
+        (let* tin = gen_string and* tout = gen_string in
+         let* max_results = gen_opt_int and* slack = gen_opt_int in
+         let* cluster = bool in
+         return (Proto.Query { tin; tout; max_results; slack; cluster }));
+        (let* tout = gen_string in
+         let* vars = list_size (int_range 0 3) (pair name gen_string) in
+         let* max_results = gen_opt_int and* slack = gen_opt_int in
+         return (Proto.Assist { tout; vars; max_results; slack }));
+        (let* pairs = list_size (int_range 0 3) (pair gen_string gen_string) in
+         let* max_results = gen_opt_int and* slack = gen_opt_int in
+         return (Proto.Batch { pairs; max_results; slack }));
+        (let* tin = gen_string and* tout = gen_string in
+         return (Proto.Lint { tin; tout }));
+        return Proto.Stats;
+        return Proto.Health;
+        return Proto.Shutdown;
+      ])
+
+let gen_envelope =
+  QCheck2.Gen.(
+    let* id = gen_id and* req = gen_request in
+    return { Proto.id; req })
+
+let prop_envelope_roundtrip =
+  QCheck2.Test.make ~name:"request_of_json (envelope_to_json e) = Ok e" ~count:300
+    gen_envelope (fun e ->
+      Proto.request_of_json (Proto.envelope_to_json e) = Ok e)
+
+let prop_envelope_wire_roundtrip =
+  (* the same, through the actual wire encoding *)
+  QCheck2.Test.make ~name:"envelope survives the full wire cycle" ~count:300
+    gen_envelope (fun e ->
+      Proto.request_of_json (Proto.of_string (Proto.to_string (Proto.envelope_to_json e)))
+      = Ok e)
+
+(* ---------- qcheck: Util.contains vs a naive oracle ---------- *)
+
+let naive_contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+
+let prop_contains_matches_naive =
+  QCheck2.Test.make ~name:"Util.contains agrees with the naive scan" ~count:1000
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 30))
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 5)))
+    (fun (s, sub) -> Util.contains ~sub s = naive_contains ~sub s)
+
+(* ---------- decoder edge cases (deterministic) ---------- *)
+
+let test_escaping_cases () =
+  let roundtrip s =
+    match Proto.of_string (Proto.to_string (Proto.Str s)) with
+    | Proto.Str s' -> Alcotest.(check string) (String.escaped s) s s'
+    | _ -> Alcotest.fail "string did not decode to a string"
+  in
+  List.iter roundtrip
+    [
+      "";
+      "plain";
+      "quote \" backslash \\ slash /";
+      "\n\r\t\b\012";
+      "\x00\x01\x1f";
+      "\x7f\x80\xff";
+      "caf\xc3\xa9";
+      String.make 3 '\\';
+    ];
+  let decodes input expect =
+    match Proto.of_string input with
+    | Proto.Str s -> Alcotest.(check string) input expect s
+    | _ -> Alcotest.fail "expected a string"
+  in
+  (* \u escapes expand to UTF-8, surrogate pairs included *)
+  decodes {|"\u0041"|} "A";
+  decodes {|"\u00e9"|} "\xc3\xa9";
+  decodes {|"\u20ac"|} "\xe2\x82\xac";
+  decodes {|"\ud83d\ude00"|} "\xf0\x9f\x98\x80";
+  decodes {|"\u0000"|} "\x00";
+  decodes {|"a\/b"|} "a/b"
+
+let expect_parse_error input =
+  match Proto.parse input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed input %S" input)
+
+let test_decoder_rejects () =
+  List.iter expect_parse_error
+    [
+      "";
+      "tru";
+      "nul";
+      "{";
+      "[1, 2";
+      "{\"a\" 1}";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "\"\\u12";
+      "\"\\ud800\"";  (* lone high surrogate *)
+      "\"\\udc00\"";  (* lone low surrogate *)
+      "\"\\ud800\\u0041\"";  (* high surrogate paired with a non-surrogate *)
+      "1.2.3";
+      "1e";
+      "- 1";
+      "{} garbage";
+      "[1] [2]";
+      "01a";
+    ];
+  (* nesting bound: max_depth is enforced, one below it is fine *)
+  let nested n = String.make n '[' ^ String.make n ']' in
+  (match Proto.parse (nested Proto.max_depth) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("rejected legal nesting: " ^ m));
+  expect_parse_error (nested (Proto.max_depth + 2))
+
+let test_number_decoding () =
+  let check_is input expect =
+    Alcotest.(check bool) input true (Proto.of_string input = expect)
+  in
+  check_is "0" (Proto.Int 0);
+  check_is "-7" (Proto.Int (-7));
+  check_is "1.5" (Proto.Float 1.5);
+  check_is "1e3" (Proto.Float 1000.0);
+  check_is "-2.5e-1" (Proto.Float (-0.25));
+  check_is (string_of_int max_int) (Proto.Int max_int);
+  check_is (string_of_int min_int) (Proto.Int min_int);
+  (* magnitude beyond the int range degrades to float, not an error *)
+  match Proto.of_string "123456789012345678901234567890" with
+  | Proto.Float _ -> ()
+  | _ -> Alcotest.fail "big integer literal should decode as a float"
+
+(* ---------- the service: shared fixtures ---------- *)
+
+let world = lazy (Apidata.Api.default_graph (), Apidata.Api.hierarchy ())
+
+let fresh_service ?deadline_s () =
+  let graph, hierarchy = Lazy.force world in
+  Service.create ?deadline_s ~engine:(Query.engine ~graph ~hierarchy ()) ()
+
+let line_of req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Null; req })
+
+let query_line ?max_results ?slack tin tout =
+  line_of (Proto.Query { tin; tout; max_results; slack; cluster = false })
+
+let field path j =
+  List.fold_left
+    (fun acc k -> match acc with Some o -> Proto.member k o | None -> None)
+    (Some j) path
+
+let response_ok line =
+  match Proto.parse line with
+  | Error m -> Alcotest.fail ("response is not JSON: " ^ m)
+  | Ok j -> (
+      match Proto.member "ok" j with
+      | Some (Proto.Bool b) -> (b, j)
+      | _ -> Alcotest.fail ("response has no ok field: " ^ line))
+
+let expect_error_code line code =
+  let ok, j = response_ok line in
+  Alcotest.(check bool) "error reply" false ok;
+  match field [ "error"; "code" ] j with
+  | Some (Proto.Str c) -> Alcotest.(check string) "error code" code c
+  | _ -> Alcotest.fail ("no error.code in " ^ line)
+
+let test_service_errors () =
+  let svc = fresh_service () in
+  expect_error_code (Service.handle_line svc "not json at all") "bad_request";
+  expect_error_code (Service.handle_line svc "{\"op\": 42}") "bad_request";
+  expect_error_code (Service.handle_line svc "{\"op\": \"frobnicate\"}") "unknown_op";
+  expect_error_code
+    (Service.handle_line svc "{\"op\": \"query\", \"tin\": \"void\"}")
+    "bad_request";
+  (* a poisoned query becomes an internal error reply, not an exception *)
+  let reply = Service.handle_line svc "{\"op\": \"query\", \"tin\": \"\", \"tout\": \"\"}" in
+  let ok, _ = response_ok reply in
+  ignore ok;
+  (* the service survived either way: a normal request still works *)
+  let ok, j = response_ok (Service.handle_line svc "{\"op\": \"health\"}") in
+  Alcotest.(check bool) "health after garbage" true ok;
+  match field [ "status" ] j with
+  | Some (Proto.Str "ok") -> ()
+  | _ -> Alcotest.fail "health status"
+
+let test_deadline_timeout () =
+  (* deadline 0: every engine-touching request exceeds it deterministically *)
+  let svc = fresh_service ~deadline_s:0.0 () in
+  let reply =
+    Service.handle_line svc (query_line "void" "org.eclipse.ui.texteditor.DocumentProviderRegistry")
+  in
+  expect_error_code reply "timeout";
+  (* and the error shows up in the metrics *)
+  let ops = Metrics.ops (Service.metrics svc) in
+  match List.assoc_opt "query" ops with
+  | Some s ->
+      Alcotest.(check int) "one query recorded" 1 s.Metrics.count;
+      Alcotest.(check int) "recorded as an error" 1 s.Metrics.errors
+  | None -> Alcotest.fail "no query metrics"
+
+let test_shutdown_flag () =
+  let svc = fresh_service () in
+  Alcotest.(check bool) "fresh service not draining" false (Service.shutdown_requested svc);
+  let ok, j = response_ok (Service.handle_line svc "{\"op\": \"shutdown\"}") in
+  Alcotest.(check bool) "shutdown acknowledged" true ok;
+  (match field [ "status" ] j with
+  | Some (Proto.Str "draining") -> ()
+  | _ -> Alcotest.fail "shutdown status");
+  Alcotest.(check bool) "draining after shutdown" true (Service.shutdown_requested svc)
+
+(* ---------- concurrency: N threads = sequential, byte for byte ---------- *)
+
+let workload_lines () =
+  let qs =
+    List.filteri (fun i _ -> i < 8) Problems.all
+    |> List.map (fun (p : Problems.t) -> query_line p.Problems.tin p.Problems.tout)
+  in
+  let extras =
+    [
+      query_line ~max_results:3 "void" "org.eclipse.ui.texteditor.DocumentProviderRegistry";
+      line_of
+        (Proto.Batch
+           {
+             pairs = [ ("void", "org.eclipse.ui.texteditor.DocumentProviderRegistry") ];
+             max_results = Some 2;
+             slack = None;
+           });
+      line_of
+        (Proto.Lint
+           { tin = "void"; tout = "org.eclipse.ui.texteditor.DocumentProviderRegistry" });
+    ]
+  in
+  qs @ extras
+
+let test_concurrent_equals_sequential () =
+  let lines = Array.of_list (workload_lines ()) in
+  let n = Array.length lines in
+  (* the sequential truth, from its own engine over the same graph *)
+  let seq = fresh_service () in
+  let expected = Array.map (Service.handle_line seq) lines in
+  (* one shared service, hammered from eight threads in rotated orders *)
+  let shared = fresh_service () in
+  let n_threads = 8 in
+  let got = Array.init n_threads (fun _ -> Array.make n "") in
+  let threads =
+    List.init n_threads (fun k ->
+        Thread.create
+          (fun () ->
+            for step = 0 to n - 1 do
+              let i = (step + k) mod n in
+              got.(k).(i) <- Service.handle_line shared lines.(i)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  for k = 0 to n_threads - 1 do
+    for i = 0 to n - 1 do
+      Alcotest.(check string)
+        (Printf.sprintf "thread %d, request %d" k i)
+        expected.(i) got.(k).(i)
+    done
+  done;
+  (* and the responses really are Query.run's answers: spot-check one *)
+  let graph, hierarchy = Lazy.force world in
+  let q = Query.query "void" "org.eclipse.ui.texteditor.DocumentProviderRegistry" in
+  let plain = Query.run ~graph ~hierarchy q in
+  let _, j = response_ok (Service.handle_line shared (query_line "void" "org.eclipse.ui.texteditor.DocumentProviderRegistry")) in
+  (match field [ "results" ] j with
+  | Some (Proto.Arr rs) ->
+      Alcotest.(check int) "result count matches Query.run" (List.length plain)
+        (List.length rs);
+      List.iteri
+        (fun i (r, item) ->
+          match Proto.member "code" item with
+          | Some (Proto.Str code) ->
+              Alcotest.(check string)
+                (Printf.sprintf "result %d code" i)
+                r.Query.code code
+          | _ -> Alcotest.fail "result without code")
+        (List.combine plain rs)
+  | _ -> Alcotest.fail "query response without results");
+  (* every thread's every request hit the one shared engine *)
+  Alcotest.(check int) "metrics counted every request"
+    ((n_threads * n) + 1)
+    (Metrics.total_requests (Service.metrics shared))
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  (* 100 samples at ~1 ms, 5 at ~100 ms: p50 stays small, p99 jumps *)
+  for _ = 1 to 100 do
+    Metrics.record m ~op:"query" ~ok:true 0.001
+  done;
+  for _ = 1 to 5 do
+    Metrics.record m ~op:"query" ~ok:false 0.1
+  done;
+  match List.assoc_opt "query" (Metrics.ops m) with
+  | None -> Alcotest.fail "no query stats"
+  | Some s ->
+      Alcotest.(check int) "count" 105 s.Metrics.count;
+      Alcotest.(check int) "errors" 5 s.Metrics.errors;
+      Alcotest.(check bool) "p50 near 1 ms" true (s.Metrics.p50_ms <= 2.0);
+      Alcotest.(check bool) "p99 sees the slow tail" true (s.Metrics.p99_ms >= 64.0);
+      Alcotest.(check bool) "max >= p99" true (s.Metrics.max_ms >= s.Metrics.p99_ms /. 2.0);
+      Alcotest.(check int) "total" 105 (Metrics.total_requests m)
+
+(* ---------- the TCP transport ---------- *)
+
+let connect port =
+  Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let send_recv (ic, oc) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let test_tcp_end_to_end () =
+  let service = fresh_service () in
+  let config =
+    { Server.default_config with Server.port = 0; workers = 2; max_request_bytes = 2048 }
+  in
+  let srv = Server.create ~config service in
+  Server.start srv;
+  let port = Server.port srv in
+  Alcotest.(check bool) "bound an ephemeral port" true (port > 0);
+  (* a client that connects and vanishes must not hurt anyone *)
+  let ic0, _ = connect port in
+  Unix.close (Unix.descr_of_in_channel ic0);
+  let conn = connect port in
+  (* health *)
+  let ok, j = response_ok (send_recv conn "{\"op\": \"health\"}") in
+  Alcotest.(check bool) "tcp health ok" true ok;
+  (match field [ "status" ] j with
+  | Some (Proto.Str "ok") -> ()
+  | _ -> Alcotest.fail "tcp health status");
+  (* a query over TCP = the same query straight through a service *)
+  let qline = query_line "void" "org.eclipse.ui.texteditor.DocumentProviderRegistry" in
+  let expected = Service.handle_line (fresh_service ()) qline in
+  Alcotest.(check string) "tcp query byte-identical" expected (send_recv conn qline);
+  (* malformed line: error reply, connection lives *)
+  expect_error_code (send_recv conn "][") "bad_request";
+  (* oversized line: too_large reply, connection still lives *)
+  let big = "{\"op\": \"health\", \"pad\": \"" ^ String.make 4096 'x' ^ "\"}" in
+  expect_error_code (send_recv conn big) "too_large";
+  let ok, _ = response_ok (send_recv conn "{\"op\": \"health\"}") in
+  Alcotest.(check bool) "health after oversize" true ok;
+  (* stats over the wire: sane structure, live counters *)
+  let ok, j = response_ok (send_recv conn "{\"op\": \"stats\"}") in
+  Alcotest.(check bool) "tcp stats ok" true ok;
+  (match field [ "graph"; "nodes" ] j with
+  | Some (Proto.Int nodes) -> Alcotest.(check bool) "graph nonempty" true (nodes > 0)
+  | _ -> Alcotest.fail "stats without graph.nodes");
+  (match field [ "requests" ] j with
+  | Some (Proto.Int r) -> Alcotest.(check bool) "requests counted" true (r >= 4)
+  | _ -> Alcotest.fail "stats without requests");
+  (* graceful drain over the wire *)
+  let ok, j = response_ok (send_recv conn "{\"op\": \"shutdown\"}") in
+  Alcotest.(check bool) "tcp shutdown ok" true ok;
+  (match field [ "status" ] j with
+  | Some (Proto.Str "draining") -> ()
+  | _ -> Alcotest.fail "tcp shutdown status");
+  Server.wait srv
+
+(* ---------- runner ---------- *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "proto-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_json_roundtrip;
+            prop_parse_never_crashes;
+            prop_envelope_roundtrip;
+            prop_envelope_wire_roundtrip;
+            prop_contains_matches_naive;
+          ] );
+      ( "proto-edges",
+        [
+          Alcotest.test_case "escaping round-trips" `Quick test_escaping_cases;
+          Alcotest.test_case "decoder rejects hostile input" `Quick test_decoder_rejects;
+          Alcotest.test_case "number decoding" `Quick test_number_decoding;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "error replies" `Quick test_service_errors;
+          Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
+          Alcotest.test_case "shutdown flag" `Quick test_shutdown_flag;
+          Alcotest.test_case "concurrent = sequential" `Quick
+            test_concurrent_equals_sequential;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "percentiles" `Quick test_metrics_percentiles ] );
+      ( "tcp",
+        [ Alcotest.test_case "end to end" `Quick test_tcp_end_to_end ] );
+    ]
