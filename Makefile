@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel clean
 
 all: build
 
@@ -46,7 +46,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke fmt
+check: build test lint serve-smoke bench-parallel fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -62,6 +62,12 @@ bench-analysis: build
 # over a live socket vs the cost of a one-shot CLI invocation).
 bench-server: build
 	dune exec bench/main.exe -- server
+
+# Regenerates BENCH_parallel.json (CSR-vs-list search, 1/2/4-domain batch
+# and mining scaling, with the host core count — the determinism booleans
+# in it double as a smoke test, so this runs as part of `make check`).
+bench-parallel: build
+	dune exec bench/main.exe -- parallel
 
 clean:
 	dune clean

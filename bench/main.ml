@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam cache analysis server micro   *)
+             search_bound cap_sweep objparam cache analysis server\n             parallel micro                                               *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -808,6 +808,118 @@ let section_server () =
   write_file "BENCH_server.json" json
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel engine: CSR snapshots and multicore fan-out         *)
+(* ------------------------------------------------------------------ *)
+
+let section_parallel () =
+  rule "Domain-parallel engine — CSR snapshots and multicore fan-out";
+  let module Pool = Prospector_parallel.Pool in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host: %d recommended domain(s)%s\n" cores
+    (if cores = 1 then " — expect no parallel speedup on this machine" else "");
+  (* CSR frozen view vs the adjacency-list graph, uncached and unpruned,
+     over a synthetic workload large enough for the search to dominate. *)
+  let h = Corpusgen.Workload.layered_api ~classes:2000 in
+  let g = Sig_graph.build h in
+  let qs = Corpusgen.Workload.random_queries h g ~count:40 ~seed:31 in
+  let nq = List.length qs in
+  let passes = 3 in
+  let run_passes f =
+    time_of (fun () ->
+        let last = ref [] in
+        for _ = 1 to passes do
+          last := List.map f qs
+        done;
+        !last)
+  in
+  let list_t, list_rs = run_passes (fun q -> Query.run ~graph:g ~hierarchy:h q) in
+  let freeze_t, frozen = time_of (fun () -> Prospector.Graph.freeze g) in
+  let csr_t, csr_rs =
+    run_passes (fun q -> Query.run ~frozen ~graph:g ~hierarchy:h q)
+  in
+  let csr_identical = list_rs = csr_rs in
+  Printf.printf
+    "CSR vs adjacency list (%d queries x %d passes, uncached):\n" nq passes;
+  Printf.printf
+    "  list: %.4f s    csr: %.4f s    speedup %.2fx (freeze cost %.4f s)\n"
+    list_t csr_t (list_t /. csr_t) freeze_t;
+  Printf.printf "  csr results identical to list: %b\n" csr_identical;
+  (* Batch fan-out at 1/2/4 domains: a fresh engine per job count so every
+     run pays the same cold misses; the reach-index build inside the first
+     batch uses the same pool. *)
+  let batch_at jobs =
+    let engine =
+      Query.engine ~pool:(Pool.create ~jobs) ~graph:g ~hierarchy:h ()
+    in
+    time_of (fun () -> Query.run_batch engine qs)
+  in
+  let b1_t, b1 = batch_at 1 in
+  let b2_t, b2 = batch_at 2 in
+  let b4_t, b4 = batch_at 4 in
+  let batch_identical = b1 = b2 && b2 = b4 in
+  Printf.printf "batch (cold engine, %d queries):\n" nq;
+  List.iter
+    (fun (jobs, t) ->
+      Printf.printf "  jobs=%d: %.4f s  (%.0f queries/s)\n" jobs t
+        (float_of_int nq /. t))
+    [ (1, b1_t); (2, b2_t); (4, b4_t) ];
+  Printf.printf "  4-domain speedup: %.2fx    byte-identical across jobs: %b\n"
+    (b1_t /. b4_t) batch_identical;
+  (* Mining fan-out over the bundled corpus. *)
+  let hierarchy = Apidata.Api.hierarchy () in
+  let prog =
+    Minijava.Resolve.parse_program ~api:hierarchy Apidata.Api.corpus_sources
+  in
+  let df = Mining.Dataflow.build prog in
+  let mine_at jobs =
+    time_of (fun () ->
+        let last = ref [] in
+        for _ = 1 to 20 do
+          last := Mining.Extract.extract ~pool:(Pool.create ~jobs) df
+        done;
+        !last)
+  in
+  let m1_t, m1 = mine_at 1 in
+  let m4_t, m4 = mine_at 4 in
+  let mining_identical = m1 = m4 in
+  Printf.printf "mining (%d examples x 20 passes):\n" (List.length m1);
+  Printf.printf
+    "  jobs=1: %.4f s    jobs=4: %.4f s    speedup %.2fx    identical: %b\n"
+    m1_t m4_t (m1_t /. m4_t) mining_identical;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"cores\": %d,\n\
+      \  \"csr\": {\n\
+      \    \"queries\": %d,\n\
+      \    \"passes\": %d,\n\
+      \    \"list_s\": %.6f,\n\
+      \    \"csr_s\": %.6f,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"freeze_s\": %.6f,\n\
+      \    \"identical\": %b\n\
+      \  },\n\
+      \  \"batch\": {\n\
+      \    \"jobs1_s\": %.6f,\n\
+      \    \"jobs2_s\": %.6f,\n\
+      \    \"jobs4_s\": %.6f,\n\
+      \    \"speedup_4v1\": %.3f,\n\
+      \    \"identical\": %b\n\
+      \  },\n\
+      \  \"mining\": {\n\
+      \    \"jobs1_s\": %.6f,\n\
+      \    \"jobs4_s\": %.6f,\n\
+      \    \"speedup_4v1\": %.3f,\n\
+      \    \"identical\": %b\n\
+      \  }\n\
+       }\n"
+      cores nq passes list_t csr_t (list_t /. csr_t) freeze_t csr_identical
+      b1_t b2_t b4_t (b1_t /. b4_t) batch_identical m1_t m4_t (m1_t /. m4_t)
+      mining_identical
+  in
+  write_file "BENCH_parallel.json" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -889,6 +1001,7 @@ let sections =
     ("cache", section_cache);
     ("analysis", section_analysis);
     ("server", section_server);
+    ("parallel", section_parallel);
     ("micro", section_micro);
   ]
 

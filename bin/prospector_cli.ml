@@ -56,6 +56,21 @@ let verbose_flag =
     value & flag
     & info [ "verbose" ] ~doc:"Log loading, mining, and query internals to stderr.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Fan work out across N domains (batch answering, corpus mining,               reach-index construction). Results are byte-identical at any               N; 1 (the default) stays fully sequential.")
+
+(* Validated exactly like --workers / --cache-capacity: a friendly one-line
+   error and exit 1, never an exception trace. *)
+let pool_of_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be at least 1 (got %d)\n" jobs;
+    exit 1
+  end;
+  Prospector_parallel.Pool.create ~jobs
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -71,7 +86,7 @@ type env = {
   graph : Prospector.Graph.t;
 }
 
-let load_env ~api ~corpus ~mining ~protected_ =
+let load_env ?pool ~api ~corpus ~mining ~protected_ () =
   let config =
     { Prospector.Sig_graph.default_config with include_protected = protected_ }
   in
@@ -89,7 +104,7 @@ let load_env ~api ~corpus ~mining ~protected_ =
   if mining && corpus_sources <> [] then begin
     let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
     ignore
-      (Mining.Enrich.enrich ~include_protected:protected_ graph prog)
+      (Mining.Enrich.enrich ~include_protected:protected_ ?pool graph prog)
   end;
   { hierarchy; graph }
 
@@ -128,7 +143,7 @@ let query_cmd =
     setup_logs verbose;
     handle_errors (fun () ->
         let env =
-          load_env ~api ~corpus ~mining:(not no_mining) ~protected_
+          load_env ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let q = Prospector.Query.query tin tout in
         let results =
@@ -165,7 +180,7 @@ let assist_cmd =
   in
   let run api corpus no_mining protected_ max_results slack vars tout =
     handle_errors (fun () ->
-        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let parsed_vars =
           List.map
             (fun s ->
@@ -263,26 +278,34 @@ let batch_cmd =
           ~doc:"Print hit/miss/eviction counters after the batch.")
   in
   let run api corpus no_mining protected_ max_results slack verbose file repeat
-      no_cache cache_capacity stats_flag =
+      no_cache cache_capacity stats_flag jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
         cache_capacity;
       exit 1
     end;
+    let pool = pool_of_jobs jobs in
     handle_errors (fun () ->
-        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let env =
+          load_env ~pool ~api ~corpus ~mining:(not no_mining) ~protected_ ()
+        in
         let qs = parse_query_file file in
         let settings = settings ~max_results ~slack in
         let engine =
-          Prospector.Query.engine ~cache_capacity ~graph:env.graph
+          Prospector.Query.engine ~cache_capacity ~pool ~graph:env.graph
             ~hierarchy:env.hierarchy ()
         in
         let run_pass () =
           if no_cache then
-            List.map
+            (* Cold queries are independent, so the fan-out is a plain map
+               over the engine's frozen snapshot. *)
+            let frozen = Prospector.Query.engine_frozen engine in
+            Prospector_parallel.Pool.map_list pool
               (fun q ->
-                (q, Prospector.Query.run ~settings ~graph:env.graph ~hierarchy:env.hierarchy q))
+                ( q,
+                  Prospector.Query.run ~settings ~frozen ~graph:env.graph
+                    ~hierarchy:env.hierarchy q ))
               qs
           else Prospector.Query.run_batch ~settings engine qs
         in
@@ -308,12 +331,14 @@ let batch_cmd =
              query engine.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag $ max_results
-      $ slack $ verbose_flag $ file $ repeat $ no_cache $ cache_capacity $ stats_flag)
+      $ slack $ verbose_flag $ file $ repeat $ no_cache $ cache_capacity $ stats_flag
+      $ jobs_arg)
 
 (* ---------- mine ---------- *)
 
 let mine_cmd =
-  let run api corpus protected_ =
+  let run api corpus protected_ jobs =
+    let pool = pool_of_jobs jobs in
     handle_errors (fun () ->
         let hierarchy =
           match api with
@@ -327,7 +352,7 @@ let mine_cmd =
         in
         let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
         let df = Mining.Dataflow.build prog in
-        let examples = Mining.Extract.extract df in
+        let examples = Mining.Extract.extract ~pool df in
         let generalized = Mining.Generalize.run examples in
         Printf.printf "corpus methods:          %d\n"
           (List.length prog.Minijava.Tast.methods);
@@ -346,15 +371,15 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Extract and generalize example jungloids from a corpus.")
-    Term.(const run $ api_files $ corpus_files $ protected_flag)
+    Term.(const run $ api_files $ corpus_files $ protected_flag $ jobs_arg)
 
 (* ---------- stats ---------- *)
 
 let stats_cmd =
   let run api corpus protected_ =
     handle_errors (fun () ->
-        let sig_env = load_env ~api ~corpus ~mining:false ~protected_ in
-        let full_env = load_env ~api ~corpus ~mining:true ~protected_ in
+        let sig_env = load_env ~api ~corpus ~mining:false ~protected_ () in
+        let full_env = load_env ~api ~corpus ~mining:true ~protected_ () in
         Printf.printf "hierarchy: %d declarations\n\n"
           (Javamodel.Hierarchy.size sig_env.hierarchy);
         Printf.printf "signature graph:\n%s\n\n"
@@ -380,7 +405,7 @@ let dot_cmd =
   in
   let run api corpus no_mining protected_ centers radius output =
     handle_errors (fun () ->
-        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let dot =
           match centers with
           | [] -> Prospector.Dot.full env.graph
@@ -412,7 +437,7 @@ let infer_cmd =
   in
   let run api corpus no_mining protected_ max_results slack files =
     handle_errors (fun () ->
-        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let sources = List.map (fun f -> (f, read_file f)) files in
         let holes = Prospector_ide.Infer.contexts ~api:env.hierarchy sources in
         if holes = [] then print_endline "no ? holes found"
@@ -502,7 +527,7 @@ let lint_cmd =
     in
     let loaded =
       try
-        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ in
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let corpus_sources =
           match (api, corpus) with
           | [], [] -> Apidata.Api.corpus_sources
@@ -590,7 +615,7 @@ let reach_path graph_path = graph_path ^ ".reach"
    and re-mining the corpus; on a cache miss, build as usual and persist
    both files for the next start. The hierarchy itself is always re-parsed —
    it is the cheap part, and .japi text is the interchange format. *)
-let load_env_for_serve ~api ~corpus ~mining ~protected_ ~save_graph =
+let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
   match save_graph with
   | Some path when Sys.file_exists path ->
       let hierarchy =
@@ -618,7 +643,7 @@ let load_env_for_serve ~api ~corpus ~mining ~protected_ ~save_graph =
       ({ hierarchy; graph }, reach)
   | _ ->
       let t0 = Unix.gettimeofday () in
-      let env = load_env ~api ~corpus ~mining ~protected_ in
+      let env = load_env ?pool ~api ~corpus ~mining ~protected_ () in
       let build_dt = Unix.gettimeofday () -. t0 in
       let reach =
         match save_graph with
@@ -702,7 +727,7 @@ let serve_cmd =
   in
   let run api corpus no_mining protected_ max_results slack verbose host port
       port_file workers max_request_bytes max_connections deadline stdio save_graph
-      cache_capacity =
+      cache_capacity jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -713,13 +738,14 @@ let serve_cmd =
       Printf.eprintf "error: --workers must be at least 1 (got %d)\n" workers;
       exit 1
     end;
+    let pool = pool_of_jobs jobs in
     handle_errors (fun () ->
         let env, reach =
-          load_env_for_serve ~api ~corpus ~mining:(not no_mining) ~protected_
-            ~save_graph
+          load_env_for_serve ~pool ~api ~corpus ~mining:(not no_mining)
+            ~protected_ ~save_graph ()
         in
         let engine =
-          Prospector.Query.engine ~cache_capacity ?reach ~graph:env.graph
+          Prospector.Query.engine ~cache_capacity ?reach ~pool ~graph:env.graph
             ~hierarchy:env.hierarchy ()
         in
         let service =
@@ -758,7 +784,7 @@ let serve_cmd =
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
       $ max_results $ slack $ verbose_flag $ host $ port $ port_file $ workers
       $ max_request_bytes $ max_connections $ deadline $ stdio $ save_graph
-      $ cache_capacity)
+      $ cache_capacity $ jobs_arg)
 
 (* ---------- client ---------- *)
 

@@ -26,6 +26,8 @@ type suggestion = {
 val suggest :
   ?settings:Query.settings ->
   ?engine:Query.engine ->
+  ?frozen:Graph.frozen ->
+  ?reach:Reach.t ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   context ->
@@ -37,4 +39,6 @@ val suggest :
 
     When [?engine] is supplied, the multi-source search goes through its
     cache and reach index ({!Query.run_multi_cached}); the engine must have
-    been built over the same [graph]/[hierarchy] pair. *)
+    been built over the same [graph]/[hierarchy] pair. Without an engine,
+    [?frozen]/[?reach] forward to {!Query.run_multi} — the server's
+    lock-free read path runs assist on a published snapshot this way. *)

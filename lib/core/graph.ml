@@ -116,3 +116,99 @@ let iter_edges t f =
 let real_nodes t =
   Hashtbl.fold (fun _ id acc -> (t.info.(id).ty, id) :: acc) t.ids []
   |> List.sort (fun (a, _) (b, _) -> Jtype.compare a b)
+
+(* ---------- frozen CSR snapshot ---------- *)
+
+type frozen = {
+  f_generation : int;
+  f_nodes : int;
+  f_edges : int;
+  f_fwd_off : int array;
+  f_fwd_dst : int array;
+  f_fwd_cost : int array;
+  f_fwd_edge : edge array;
+  f_bwd_off : int array;
+  f_bwd_src : int array;
+  f_bwd_cost : int array;
+  f_types : Jtype.t array;
+  f_origins : string option array;
+  f_ids : (string, node) Hashtbl.t;
+  f_void : node option;
+}
+
+let freeze t =
+  let n = t.n in
+  (* Forward adjacency, in the exact order [succs] yields it, so a DFS over
+     the CSR enumerates paths in the same order as one over the lists. *)
+  let fwd_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    fwd_off.(u + 1) <- fwd_off.(u) + List.length t.fwd.(u)
+  done;
+  let m = fwd_off.(n) in
+  let dummy =
+    { elem = Elem.Widen { from_ = Jtype.Void; to_ = Jtype.Void }; src = 0; dst = 0 }
+  in
+  let fwd_dst = Array.make m 0 in
+  let fwd_cost = Array.make m 0 in
+  let fwd_edge = Array.make m dummy in
+  for u = 0 to n - 1 do
+    let k = ref fwd_off.(u) in
+    List.iter
+      (fun e ->
+        fwd_dst.(!k) <- e.dst;
+        fwd_cost.(!k) <- Elem.cost e.elem;
+        fwd_edge.(!k) <- e;
+        incr k)
+      t.fwd.(u)
+  done;
+  let bwd_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    bwd_off.(u + 1) <- bwd_off.(u) + List.length t.bwd.(u)
+  done;
+  let bwd_src = Array.make m 0 in
+  let bwd_cost = Array.make m 0 in
+  for u = 0 to n - 1 do
+    let k = ref bwd_off.(u) in
+    List.iter
+      (fun e ->
+        bwd_src.(!k) <- e.src;
+        bwd_cost.(!k) <- Elem.cost e.elem;
+        incr k)
+      t.bwd.(u)
+  done;
+  {
+    f_generation = t.generation;
+    f_nodes = n;
+    f_edges = t.edges;
+    f_fwd_off = fwd_off;
+    f_fwd_dst = fwd_dst;
+    f_fwd_cost = fwd_cost;
+    f_fwd_edge = fwd_edge;
+    f_bwd_off = bwd_off;
+    f_bwd_src = bwd_src;
+    f_bwd_cost = bwd_cost;
+    f_types = Array.init n (fun i -> t.info.(i).ty);
+    f_origins = Array.init n (fun i -> t.info.(i).origin);
+    f_ids = Hashtbl.copy t.ids;
+    f_void = Hashtbl.find_opt t.ids (type_key Jtype.Void);
+  }
+
+let frozen_generation fz = fz.f_generation
+
+let frozen_node_count fz = fz.f_nodes
+
+let frozen_edge_count fz = fz.f_edges
+
+let frozen_find_type_node fz ty = Hashtbl.find_opt fz.f_ids (type_key ty)
+
+let frozen_void_node fz = fz.f_void
+
+let frozen_node_type fz id = fz.f_types.(id)
+
+let frozen_is_typestate fz id = fz.f_origins.(id) <> None
+
+let frozen_succs fz u =
+  let rec go k acc =
+    if k < fz.f_fwd_off.(u) then acc else go (k - 1) (fz.f_fwd_edge.(k) :: acc)
+  in
+  go (fz.f_fwd_off.(u + 1) - 1) []

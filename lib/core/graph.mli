@@ -69,3 +69,61 @@ val iter_edges : t -> (edge -> unit) -> unit
 
 val real_nodes : t -> (Jtype.t * node) list
 (** All interned real type nodes with their types. *)
+
+(** {2 Frozen CSR snapshots}
+
+    {!freeze} captures the graph as an immutable compressed-sparse-row view:
+    adjacency as flat offset/destination/cost [int] arrays (plus the aligned
+    {!edge} array forward, for path reconstruction), node metadata as plain
+    arrays, and a private copy of the type-interning table. The record is
+    exposed transparently so hot loops ({!Search.Csr}, {!Reach}) can index
+    the arrays directly — treat every field as read-only.
+
+    A frozen view is completely self-contained: no operation on it touches
+    the originating {!t}, which is what makes it safe to share across
+    domains while another domain mutates (and then re-freezes) the live
+    graph. [f_generation] records the {!generation} captured, so consumers
+    can tell stale snapshots from current ones. Forward adjacency preserves
+    {!succs} order exactly; backward adjacency preserves {!preds} order. *)
+
+type frozen = {
+  f_generation : int;
+  f_nodes : int;
+  f_edges : int;
+  f_fwd_off : int array;  (** length [f_nodes + 1]; edges of [u] live at
+                              indices [f_fwd_off.(u) .. f_fwd_off.(u+1) - 1] *)
+  f_fwd_dst : int array;
+  f_fwd_cost : int array;  (** memoized [Elem.cost], aligned with [f_fwd_dst] *)
+  f_fwd_edge : edge array;  (** the full edge, aligned with [f_fwd_dst] *)
+  f_bwd_off : int array;
+  f_bwd_src : int array;
+  f_bwd_cost : int array;
+  f_types : Jtype.t array;
+  f_origins : string option array;
+  f_ids : (string, node) Hashtbl.t;  (** private copy; never written again *)
+  f_void : node option;
+}
+
+val freeze : t -> frozen
+(** O(nodes + edges). Captures the graph at its current {!generation}. *)
+
+val frozen_generation : frozen -> int
+
+val frozen_node_count : frozen -> int
+
+val frozen_edge_count : frozen -> int
+
+val frozen_find_type_node : frozen -> Jtype.t -> node option
+(** {!find_type_node} against the snapshot's interning table. *)
+
+val frozen_void_node : frozen -> node option
+(** The [void] pseudo-node if it existed at freeze time; unlike
+    {!void_node}, never creates it. *)
+
+val frozen_node_type : frozen -> node -> Jtype.t
+
+val frozen_is_typestate : frozen -> node -> bool
+
+val frozen_succs : frozen -> node -> edge list
+(** Convenience slice of the CSR row, in {!succs} order (for callers off the
+    hot path). *)

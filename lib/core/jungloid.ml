@@ -18,6 +18,11 @@ let of_path g (p : Search.path) =
     ~input:(Graph.node_type g p.Search.source)
     (List.map (fun e -> e.Graph.elem) p.Search.edges)
 
+let of_frozen_path fz (p : Search.path) =
+  make
+    ~input:(Graph.frozen_node_type fz p.Search.source)
+    (List.map (fun e -> e.Graph.elem) p.Search.edges)
+
 let input_type t = t.input
 
 let output_type t =

@@ -21,6 +21,10 @@ val of_path : Graph.t -> Search.path -> t
 (** Convert a search result; typestate nodes disappear (the elementary
     jungloids on the edges carry the declared types). *)
 
+val of_frozen_path : Graph.frozen -> Search.path -> t
+(** {!of_path} against a CSR snapshot (same conversion, no access to the
+    mutable graph). *)
+
 val input_type : t -> Jtype.t
 
 val output_type : t -> Jtype.t

@@ -1,20 +1,22 @@
-(* An exact LRU cache over string keys: a hash table into an intrusive
-   doubly-linked recency list ([mru] end is most recent). Every operation is
+(* An exact LRU cache: a hash table into an intrusive doubly-linked recency
+   list ([mru] end is most recent). Keys are any structurally hashable type
+   (the engine uses flat key records, not rendered strings, so distinct
+   queries can never collide by string concatenation). Every operation is
    O(1); the list pointers are options so no sentinel (and no Obj.magic) is
    needed. *)
 
-type 'a entry = {
-  ekey : string;
+type ('k, 'a) entry = {
+  ekey : 'k;
   mutable value : 'a;
-  mutable prev : 'a entry option;  (* toward the MRU end *)
-  mutable next : 'a entry option;  (* toward the LRU end *)
+  mutable prev : ('k, 'a) entry option;  (* toward the MRU end *)
+  mutable next : ('k, 'a) entry option;  (* toward the LRU end *)
 }
 
-type 'a t = {
+type ('k, 'a) t = {
   capacity : int;
-  tbl : (string, 'a entry) Hashtbl.t;
-  mutable mru : 'a entry option;
-  mutable lru : 'a entry option;
+  tbl : ('k, ('k, 'a) entry) Hashtbl.t;
+  mutable mru : ('k, 'a) entry option;
+  mutable lru : ('k, 'a) entry option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;

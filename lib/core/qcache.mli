@@ -1,14 +1,16 @@
 (** An exact LRU cache with hit/miss/eviction accounting — the memoization
     layer under the {!Query} engine.
 
-    Keys are strings (callers render structured keys — type pair, settings,
-    graph generation — to a canonical string); values are arbitrary. All
+    Keys are any structurally hashable type. The engine passes flat key
+    records (type pair, settings, graph generation) rather than rendered
+    strings, so two distinct queries can never collide the way concatenated
+    strings can when an adversarial type name contains the separator. All
     operations are O(1). The counters are cumulative for the lifetime of the
     cache: {!clear} empties the table (counted as an invalidation) but
     preserves the hit/miss history, so a long-running engine's statistics
     survive graph enrichment. *)
 
-type 'a t
+type ('k, 'a) t
 
 type stats = {
   s_hits : int;
@@ -19,34 +21,34 @@ type stats = {
   s_capacity : int;
 }
 
-val create : ?capacity:int -> unit -> 'a t
+val create : ?capacity:int -> unit -> ('k, 'a) t
 (** Default capacity 256 entries.
     @raise Invalid_argument when [capacity < 1]. *)
 
-val capacity : 'a t -> int
+val capacity : ('k, 'a) t -> int
 
-val length : 'a t -> int
+val length : ('k, 'a) t -> int
 
-val find : 'a t -> string -> 'a option
+val find : ('k, 'a) t -> 'k -> 'a option
 (** Counts a hit or a miss and refreshes the entry's recency on hit. *)
 
-val mem : 'a t -> string -> bool
+val mem : ('k, 'a) t -> 'k -> bool
 (** Pure lookup: no counter or recency effect. *)
 
-val add : 'a t -> string -> 'a -> unit
+val add : ('k, 'a) t -> 'k -> 'a -> unit
 (** Insert (or overwrite) as most-recently-used; evicts the
     least-recently-used entry when the cache is at capacity. *)
 
-val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+val find_or_add : ('k, 'a) t -> 'k -> (unit -> 'a) -> 'a
 (** [find] then, on miss, compute, [add], and return. *)
 
-val clear : 'a t -> unit
+val clear : ('k, 'a) t -> unit
 (** Drop every entry and count one invalidation. *)
 
-val keys_mru_first : 'a t -> string list
+val keys_mru_first : ('k, 'a) t -> 'k list
 (** The recency order, most recent first (for tests and debugging). *)
 
-val stats : 'a t -> stats
+val stats : ('k, 'a) t -> stats
 
 val merge_stats : stats -> stats -> stats
 (** Pointwise sum — an engine with several internal caches reports one

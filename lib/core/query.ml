@@ -4,6 +4,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 module Jtype = Javamodel.Jtype
 module Hierarchy = Javamodel.Hierarchy
+module Pool = Prospector_parallel.Pool
 
 type t = {
   tin : Jtype.t;
@@ -47,20 +48,76 @@ let default_settings =
     estimate_freevars = false;
   }
 
+(* A read-only lens over either graph representation. [run]/[run_multi] are
+   written once against it; the [?frozen] path binds every operation to the
+   CSR snapshot, so a query running on a snapshot provably never touches the
+   mutable graph — which is what lets the server answer reads without a lock
+   while another domain mutates and re-freezes. *)
+type view = {
+  v_find : Jtype.t -> Graph.node option;
+  v_void : unit -> Graph.node option;
+  v_of_path : Search.path -> Jungloid.t;
+  v_distances_from : Graph.node list -> int array;
+  v_enumerate :
+    viable:(Graph.node -> bool) option ->
+    sources:Graph.node list ->
+    target:Graph.node ->
+    slack:int ->
+    limit:int ->
+    Search.path list;
+  v_enumerate_per_source :
+    viable:(Graph.node -> bool) option ->
+    sources:Graph.node list ->
+    target:Graph.node ->
+    slack:int ->
+    limit:int ->
+    Search.path list;
+}
+
+let view_of_graph g =
+  {
+    v_find = Graph.find_type_node g;
+    v_void = (fun () -> Some (Graph.void_node g));
+    v_of_path = Jungloid.of_path g;
+    v_distances_from = (fun sources -> Search.distances_from g ~sources);
+    v_enumerate =
+      (fun ~viable ~sources ~target ~slack ~limit ->
+        Search.enumerate g ~sources ~target ~slack ~limit ?viable ());
+    v_enumerate_per_source =
+      (fun ~viable ~sources ~target ~slack ~limit ->
+        Search.enumerate_per_source g ~sources ~target ~slack ~limit ?viable ());
+  }
+
+let view_of_frozen fz =
+  {
+    v_find = Graph.frozen_find_type_node fz;
+    v_void = (fun () -> Graph.frozen_void_node fz);
+    v_of_path = Jungloid.of_frozen_path fz;
+    v_distances_from = (fun sources -> Search.Csr.distances_from fz ~sources);
+    v_enumerate =
+      (fun ~viable ~sources ~target ~slack ~limit ->
+        Search.Csr.enumerate fz ~sources ~target ~slack ~limit ?viable ());
+    v_enumerate_per_source =
+      (fun ~viable ~sources ~target ~slack ~limit ->
+        Search.Csr.enumerate_per_source fz ~sources ~target ~slack ~limit ?viable ());
+  }
+
 (* The future-work free-variable estimator: a free variable of type T will
    cost about as much as the cheapest way to conjure a T from nothing (the
    void query the user would run next). Unreachable types keep the constant
    estimate. *)
-let freevar_estimator ~settings graph =
+let freevar_estimator ~settings view =
   if not settings.estimate_freevars then None
-  else begin
-    let dist = Search.distances_from graph ~sources:[ Graph.void_node graph ] in
-    Some
-      (fun ty ->
-        match Graph.find_type_node graph ty with
-        | Some n when n < Array.length dist && dist.(n) < max_int -> max 1 dist.(n)
-        | _ -> settings.weights.Rank.freevar_cost)
-  end
+  else
+    match view.v_void () with
+    | None -> Some (fun _ -> settings.weights.Rank.freevar_cost)
+    | Some void ->
+        let dist = view.v_distances_from [ void ] in
+        Some
+          (fun ty ->
+            match view.v_find ty with
+            | Some n when n < Array.length dist && dist.(n) < max_int -> max 1 dist.(n)
+            | _ -> settings.weights.Rank.freevar_cost)
 
 type result = {
   jungloid : Jungloid.t;
@@ -151,13 +208,12 @@ let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name ~verify
            code = Codegen.to_java ?input j;
          })
 
-(* A reach index only prunes when it describes the current graph; a stale one
-   (engine callers never produce this, manual callers might) is ignored
-   rather than risked. *)
-let current_reach ~graph reach =
-  match reach with
-  | Some r when Reach.generation r = Graph.generation graph -> Some r
-  | _ -> None
+(* A reach index only prunes when it describes the graph the view reads —
+   for the mutable graph that is its live generation, for a snapshot the
+   generation captured at freeze time. Anything stale (engine callers never
+   produce this, manual callers might) is ignored rather than risked. *)
+let current_reach ~gen reach =
+  match reach with Some r when Reach.generation r = gen -> Some r | _ -> None
 
 (* Filtering every BFS relaxation costs more than it saves once the viable
    cone covers most of the graph (on the dense curated graph cones run
@@ -175,10 +231,16 @@ let viable_of ~reach ~target =
       then Some (Reach.viable r ~target)
       else None
 
-let run ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy q =
-  match (Graph.find_type_node graph q.tin, Graph.find_type_node graph q.tout) with
+let view_and_gen ?frozen graph =
+  match frozen with
+  | Some fz -> (view_of_frozen fz, Graph.frozen_generation fz)
+  | None -> (view_of_graph graph, Graph.generation graph)
+
+let run ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy q =
+  let view, gen = view_and_gen ?frozen graph in
+  match (view.v_find q.tin, view.v_find q.tout) with
   | Some src, Some dst ->
-      let reach = current_reach ~graph reach in
+      let reach = current_reach ~gen reach in
       let viable = viable_of ~reach ~target:dst in
       if match reach with Some r -> not (Reach.mem r ~src ~target:dst) | None -> false
       then begin
@@ -189,16 +251,16 @@ let run ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy q =
       end
       else begin
         let paths =
-          Search.enumerate graph ~sources:[ src ] ~target:dst ~slack:settings.slack
-            ~limit:settings.limit ?viable ()
+          view.v_enumerate ~viable ~sources:[ src ] ~target:dst ~slack:settings.slack
+            ~limit:settings.limit
         in
         Log.debug (fun m ->
             m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
               (Jtype.to_string q.tout) (List.length paths));
         rank_and_render ~settings ~hierarchy
-          ~freevar_cost_of:(freevar_estimator ~settings graph)
+          ~freevar_cost_of:(freevar_estimator ~settings view)
           ~input_name:(fun _ -> None)
-          ~verify (Jungloid.of_path graph) paths
+          ~verify view.v_of_path paths
       end
   | _ ->
       Log.debug (fun m ->
@@ -236,23 +298,27 @@ let cluster results =
     results;
   List.rev_map (fun key -> Hashtbl.find seen key) !order
 
-let run_multi ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy ~vars
-    ~tout () =
-  match Graph.find_type_node graph tout with
+let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy
+    ~vars ~tout () =
+  let view, gen = view_and_gen ?frozen graph in
+  match view.v_find tout with
   | None -> []
   | Some dst ->
       let var_nodes =
         List.filter_map
-          (fun (name, ty) ->
-            Option.map (fun n -> (n, name)) (Graph.find_type_node graph ty))
+          (fun (name, ty) -> Option.map (fun n -> (n, name)) (view.v_find ty))
           vars
       in
-      let void = Graph.void_node graph in
-      let sources = void :: List.map fst var_nodes in
-      let viable = viable_of ~reach:(current_reach ~graph reach) ~target:dst in
+      let void = view.v_void () in
+      let sources =
+        match void with
+        | Some v -> v :: List.map fst var_nodes
+        | None -> List.map fst var_nodes
+      in
+      let viable = viable_of ~reach:(current_reach ~gen reach) ~target:dst in
       let paths =
-        Search.enumerate_per_source graph ~sources ~target:dst ~slack:settings.slack
-          ~limit:settings.limit ?viable ()
+        view.v_enumerate_per_source ~viable ~sources ~target:dst ~slack:settings.slack
+          ~limit:settings.limit
       in
       (* Attribute each path to the variables of its source node; a path from
          the void node belongs to no variable. Distinct (jungloid, source)
@@ -260,9 +326,9 @@ let run_multi ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy ~v
       let jungloid_sources = Hashtbl.create 64 in
       List.iter
         (fun (p : Search.path) ->
-          let j = Jungloid.of_path graph p in
+          let j = view.v_of_path p in
           let srcs =
-            if p.Search.source = void then [ None ]
+            if void = Some p.Search.source then [ None ]
             else
               List.filter_map
                 (fun (n, name) -> if n = p.Search.source then Some (Some name) else None)
@@ -273,7 +339,7 @@ let run_multi ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy ~v
       let pairs =
         Hashtbl.fold (fun (j, s) () acc -> (j, s) :: acc) jungloid_sources []
       in
-      let freevar_cost_of = freevar_estimator ~settings graph in
+      let freevar_cost_of = freevar_estimator ~settings view in
       let ranked =
         List.map
           (fun (j, s) ->
@@ -314,19 +380,50 @@ let run_multi ?(settings = default_settings) ?reach ?verify ~graph ~hierarchy ~v
 (* The query engine: LRU-memoized, reachability-pruned entry points    *)
 (* ------------------------------------------------------------------ *)
 
+(* Cache keys are flat records compared and hashed structurally. The old
+   scheme rendered keys to strings with separator characters, which an
+   adversarial type name containing the separator could forge into a
+   collision; a record key cannot collide by construction. Generation rides
+   along even though validation already clears stale entries — a second,
+   independent guard against serving results for a graph that no longer
+   exists. *)
+type single_key = {
+  sk_tin : Jtype.t;
+  sk_tout : Jtype.t;
+  sk_settings : settings;
+  sk_gen : int;
+}
+
+type multi_key = {
+  mk_vars : (string * Jtype.t) list;
+  mk_tout : Jtype.t;
+  mk_settings : settings;
+  mk_gen : int;
+}
+
 type engine = {
   e_graph : Graph.t;
   e_hierarchy : Hierarchy.t;
-  e_single : result list Qcache.t;
-  e_multi : multi_result list Qcache.t;
+  e_single : (single_key, result list) Qcache.t;
+  e_multi : (multi_key, multi_result list) Qcache.t;
   e_prune : bool;
+  e_pool : Pool.t;
+  mutable e_frozen : Graph.frozen;  (* CSR snapshot, valid for [e_gen] *)
   mutable e_reach : Reach.t option;  (* built lazily, valid for [e_gen] *)
   mutable e_gen : int;  (* graph generation the caches describe *)
 }
 
-let engine ?(cache_capacity = 256) ?(prune = true) ?reach ~graph ~hierarchy () =
+(* The void pseudo-node is interned up front so every snapshot can serve the
+   multi-source (content-assist) path; [Graph.void_node] would otherwise
+   create it mid-query and bump the generation under the caches. *)
+let refreeze graph =
+  ignore (Graph.void_node graph);
+  Graph.freeze graph
+
+let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ~graph ~hierarchy () =
   (* A persisted index (Serialize.load_reach) only counts if it describes
      this exact graph build; anything stale is dropped and rebuilt lazily. *)
+  let frozen = refreeze graph in
   let seed =
     match reach with
     | Some r when prune && Reach.generation r = Graph.generation graph -> Some r
@@ -338,6 +435,8 @@ let engine ?(cache_capacity = 256) ?(prune = true) ?reach ~graph ~hierarchy () =
     e_single = Qcache.create ~capacity:cache_capacity ();
     e_multi = Qcache.create ~capacity:cache_capacity ();
     e_prune = prune;
+    e_pool = Option.value pool ~default:Pool.sequential;
+    e_frozen = frozen;
     e_reach = seed;
     e_gen = Graph.generation graph;
   }
@@ -352,12 +451,18 @@ let invalidate e =
   Qcache.clear e.e_single;
   Qcache.clear e.e_multi;
   e.e_reach <- None;
+  e.e_frozen <- refreeze e.e_graph;
   e.e_gen <- Graph.generation e.e_graph
 
 (* Every cached entry point revalidates first, so mutating the graph (e.g.
    Mining.Enrich splicing in mined examples) transparently flushes both
-   caches and the reach index the next time the engine is used. *)
+   caches, the snapshot, and the reach index the next time the engine is
+   used. *)
 let validate e = if Graph.generation e.e_graph <> e.e_gen then invalidate e
+
+let engine_frozen e =
+  validate e;
+  e.e_frozen
 
 let engine_reach e =
   validate e;
@@ -366,7 +471,7 @@ let engine_reach e =
     match e.e_reach with
     | Some r -> Some r
     | None ->
-        let r = Reach.build e.e_graph in
+        let r = Reach.build_frozen ~pool:e.e_pool e.e_frozen in
         Log.debug (fun m ->
             m "engine: reach index built — %d nodes, %d SCCs" (Reach.node_count r)
               (Reach.scc_count r));
@@ -375,33 +480,70 @@ let engine_reach e =
 
 let engine_stats e = Qcache.merge_stats (Qcache.stats e.e_single) (Qcache.stats e.e_multi)
 
-let settings_key s =
-  Printf.sprintf "%d,%d,%d,%d,%b,%b,%b" s.slack s.limit s.max_results
-    s.weights.Rank.freevar_cost s.weights.Rank.package_tiebreak
-    s.weights.Rank.generality_tiebreak s.estimate_freevars
-
-(* Keys carry the graph generation even though validation already cleared
-   stale entries — a second, independent guard against serving results for a
-   graph that no longer exists. *)
 let single_key ~gen ~settings q =
-  Printf.sprintf "%s>%s|%s|g%d" (Jtype.to_string q.tin) (Jtype.to_string q.tout)
-    (settings_key settings) gen
-
-let multi_key ~gen ~settings ~vars ~tout =
-  let vs = List.map (fun (name, ty) -> name ^ ":" ^ Jtype.to_string ty) vars in
-  Printf.sprintf "multi|%s>%s|%s|g%d" (String.concat "," vs) (Jtype.to_string tout)
-    (settings_key settings) gen
+  { sk_tin = q.tin; sk_tout = q.tout; sk_settings = settings; sk_gen = gen }
 
 let run_cached ?(settings = default_settings) e q =
   validate e;
   Qcache.find_or_add e.e_single (single_key ~gen:e.e_gen ~settings q) (fun () ->
-      run ~settings ?reach:(engine_reach e) ~graph:e.e_graph ~hierarchy:e.e_hierarchy q)
+      run ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen ~graph:e.e_graph
+        ~hierarchy:e.e_hierarchy q)
 
-let run_batch ?(settings = default_settings) e qs =
-  List.map (fun q -> (q, run_cached ~settings e q)) qs
+(* The parallel batch replays the sequential cache protocol exactly:
+
+   Phase A walks the input and collects the distinct keys the cache does not
+   hold, in first-occurrence order, using only the effect-free [Qcache.mem].
+   Phase B computes those misses across the pool — every worker reads the
+   same snapshot, reach index, and warmed hierarchy, and writes nothing
+   shared. Phase C then performs, sequentially and in input order, the
+   identical [find_or_add] sequence the [jobs = 1] path performs, except
+   that a miss takes its value from phase B instead of computing. Hits,
+   misses, recency order, and evictions are therefore the same as
+   sequential execution — not just the returned results. A key that phase C
+   misses but phase B did not precompute (possible when replay evictions
+   shuffle the cache differently than phase A predicted) is recomputed
+   inline, exactly as [jobs = 1] would have. *)
+let run_batch ?(settings = default_settings) ?pool e qs =
+  validate e;
+  let pool = match pool with Some p -> p | None -> e.e_pool in
+  if Pool.jobs pool <= 1 then List.map (fun q -> (q, run_cached ~settings e q)) qs
+  else begin
+    Hierarchy.warm e.e_hierarchy;
+    let reach = engine_reach e in
+    let frozen = e.e_frozen in
+    let key q = single_key ~gen:e.e_gen ~settings q in
+    let solve q =
+      run ~settings ?reach ~frozen ~graph:e.e_graph ~hierarchy:e.e_hierarchy q
+    in
+    let seen = Hashtbl.create 64 in
+    let misses =
+      List.filter
+        (fun q ->
+          let k = key q in
+          if Qcache.mem e.e_single k || Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.replace seen k ();
+            true
+          end)
+        qs
+    in
+    let precomputed = Hashtbl.create 64 in
+    List.iter
+      (fun (k, r) -> Hashtbl.replace precomputed k r)
+      (Pool.map_list pool (fun q -> (key q, solve q)) misses);
+    List.map
+      (fun q ->
+        ( q,
+          Qcache.find_or_add e.e_single (key q) (fun () ->
+              match Hashtbl.find_opt precomputed (key q) with
+              | Some r -> r
+              | None -> solve q) ))
+      qs
+  end
 
 let run_multi_cached ?(settings = default_settings) e ~vars ~tout () =
   validate e;
-  Qcache.find_or_add e.e_multi (multi_key ~gen:e.e_gen ~settings ~vars ~tout) (fun () ->
-      run_multi ~settings ?reach:(engine_reach e) ~graph:e.e_graph
+  let k = { mk_vars = vars; mk_tout = tout; mk_settings = settings; mk_gen = e.e_gen } in
+  Qcache.find_or_add e.e_multi k (fun () ->
+      run_multi ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen ~graph:e.e_graph
         ~hierarchy:e.e_hierarchy ~vars ~tout ())

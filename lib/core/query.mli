@@ -61,6 +61,7 @@ val verifier : (Jungloid.t -> bool) -> verify
 val run :
   ?settings:settings ->
   ?reach:Reach.t ->
+  ?frozen:Graph.frozen ->
   ?verify:verify ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
@@ -74,7 +75,16 @@ val run :
     list is provably identical with and without the index. A stale index is
     ignored, never misapplied. [?verify] filters unsound chains (see
     {!verify}); the cached entry points below never take it, so cached and
-    verified results cannot mix. *)
+    verified results cannot mix.
+
+    With [?frozen], the whole pipeline (type lookup, 0-1 BFS, path DFS,
+    jungloid conversion) runs on the CSR snapshot and never reads [graph] —
+    the lock-free server read path. The snapshot is trusted: pass one taken
+    from this graph (results describe whatever graph it captures), and a
+    [?reach] index is matched against the {e snapshot}'s generation. Results
+    are byte-identical to the list-based path on the captured graph
+    ([test_parallel.ml], and transitively the [test_cache.ml] equivalence
+    suite, pin this). *)
 
 type multi_result = {
   source_var : string option;  (** [None] for the [void] source *)
@@ -97,6 +107,7 @@ val cluster : result list -> cluster list
 val run_multi :
   ?settings:settings ->
   ?reach:Reach.t ->
+  ?frozen:Graph.frozen ->
   ?verify:verify ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
@@ -106,7 +117,9 @@ val run_multi :
   multi_result list
 (** One multi-source search from all [vars] plus [void]; each result's code
     references the variable it starts from. The ranked order interleaves all
-    sources. [?reach] prunes exactly as in {!run}. *)
+    sources. [?reach] prunes and [?frozen] redirects to the snapshot exactly
+    as in {!run} (a snapshot without an interned [void] node simply omits
+    the [void] source; engine snapshots always intern it first). *)
 
 (** {2 The query engine}
 
@@ -125,6 +138,7 @@ val engine :
   ?cache_capacity:int ->
   ?prune:bool ->
   ?reach:Reach.t ->
+  ?pool:Prospector_parallel.Pool.t ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   unit ->
@@ -136,11 +150,20 @@ val engine :
     {!Serialize.load_reach} result straight to the engine and skips the
     closure computation. A seed whose {!Reach.generation} does not match
     the graph is silently dropped (the engine rebuilds lazily), so a stale
-    cache file can cost time but never correctness. *)
+    cache file can cost time but never correctness. [?pool] (default
+    sequential) is used by {!run_batch} and by the reach-index build; it
+    changes wall-clock only, never results. The engine freezes a CSR
+    snapshot of the graph eagerly (and again on every invalidation), so all
+    engine-driven searches run on flat arrays. *)
 
 val engine_graph : engine -> Graph.t
 
 val engine_hierarchy : engine -> Javamodel.Hierarchy.t
+
+val engine_frozen : engine -> Graph.frozen
+(** The engine's CSR snapshot for the current graph generation (re-frozen
+    after any graph mutation). The server publishes this snapshot for its
+    lock-free readers. *)
 
 val engine_reach : engine -> Reach.t option
 (** The engine's reachability index for the current graph generation,
@@ -152,10 +175,23 @@ val run_cached : ?settings:settings -> engine -> t -> result list
 (** {!run} through the cache: a hit costs one hash lookup; a miss runs the
     reachability-pruned pipeline and stores the result. *)
 
-val run_batch : ?settings:settings -> engine -> t list -> (t * result list) list
+val run_batch :
+  ?settings:settings ->
+  ?pool:Prospector_parallel.Pool.t ->
+  engine ->
+  t list ->
+  (t * result list) list
 (** Answer many queries through one engine — the reach index is built once
     and every repeated [(tin, tout)] pair after the first is a cache hit.
-    Results are in input order, duplicates included. *)
+    Results are in input order, duplicates included.
+
+    With a [?pool] (default: the engine's) of more than one job, cache
+    misses are computed concurrently over the engine's snapshot and then
+    replayed through the cache in input order. The replay performs the same
+    [find]/[add] sequence the sequential path performs, so the output {e
+    and} the cache state afterwards (hits, misses, evictions, recency) are
+    byte-identical to [jobs = 1] — parallelism is observable only as
+    wall-clock. *)
 
 val run_multi_cached :
   ?settings:settings ->

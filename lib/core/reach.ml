@@ -6,11 +6,22 @@
 
    Construction runs an iterative Tarjan SCC pass (the jungloid graph is
    cyclic: widening edges alone create cycles through shared supertypes),
-   then a single bitset DP over the condensation. Tarjan emits components
-   sinks-first, so every successor component of [c] has a smaller id and its
-   closure is already final when [c] is processed. Bitsets are stored per
-   component, not per node, which collapses the quadratic worst case on the
-   highly cyclic real graphs. *)
+   then a bitset DP over the condensation. Both passes run over the frozen
+   CSR adjacency (flat offset/destination arrays) rather than the mutable
+   graph's cons lists. Tarjan emits components sinks-first, so every
+   successor component of [c] has a smaller id and its closure is already
+   final when [c] is processed. Bitsets are stored per component, not per
+   node, which collapses the quadratic worst case on the highly cyclic real
+   graphs.
+
+   The DP optionally fans out across a Pool: components are grouped by
+   condensation level (sinks at level 0, level(c) = 1 + max over successor
+   components), and all components of one level are processed in parallel —
+   each writes only its own bitset and reads only lower-level closures,
+   which the level barrier (a join per level) has already completed and
+   published. The result is bit-for-bit the sequential sweep's. *)
+
+module Pool = Prospector_parallel.Pool
 
 module Bits = struct
   let word = Sys.int_size (* 63 on 64-bit platforms *)
@@ -40,10 +51,12 @@ type t = {
   creach : Bits.t array;  (* component -> bitset of reachable nodes *)
 }
 
-(* Iterative Tarjan: the explicit stack holds (node, unexplored successors);
-   when a node's successor list is exhausted its lowlink flows to the parent
-   beneath it, and a root pops its whole component. *)
-let compute_sccs n succs =
+(* Iterative Tarjan over the CSR: the explicit stack holds (node, next edge
+   index); when a node's CSR row is exhausted its lowlink flows to the
+   parent beneath it, and a root pops its whole component. Visit order
+   follows the row order — the same successor order the list-based graph
+   yields — so component numbering is deterministic. *)
+let compute_sccs n ~off ~adj =
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -62,68 +75,99 @@ let compute_sccs n succs =
   for root = 0 to n - 1 do
     if index.(root) < 0 then begin
       visit root;
-      Stack.push (root, succs root) call;
+      Stack.push (root, off.(root)) call;
       while not (Stack.is_empty call) do
-        let v, rest = Stack.pop call in
-        match rest with
-        | w :: rest' ->
-            Stack.push (v, rest') call;
-            if index.(w) < 0 then begin
-              visit w;
-              Stack.push (w, succs w) call
-            end
-            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
-        | [] ->
-            if lowlink.(v) = index.(v) then begin
-              let rec pop () =
-                match !scc_stack with
-                | w :: tail ->
-                    scc_stack := tail;
-                    on_stack.(w) <- false;
-                    comp.(w) <- !ncomp;
-                    if w <> v then pop ()
-                | [] -> assert false
-              in
-              pop ();
-              incr ncomp
-            end;
-            (match Stack.top_opt call with
-            | Some (u, _) -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
-            | None -> ())
+        let v, k = Stack.pop call in
+        if k < off.(v + 1) then begin
+          let w = adj.(k) in
+          Stack.push (v, k + 1) call;
+          if index.(w) < 0 then begin
+            visit w;
+            Stack.push (w, off.(w)) call
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          if lowlink.(v) = index.(v) then begin
+            let rec pop () =
+              match !scc_stack with
+              | w :: tail ->
+                  scc_stack := tail;
+                  on_stack.(w) <- false;
+                  comp.(w) <- !ncomp;
+                  if w <> v then pop ()
+              | [] -> assert false
+            in
+            pop ();
+            incr ncomp
+          end;
+          match Stack.top_opt call with
+          | Some (u, _) -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+          | None -> ()
+        end
       done
     end
   done;
   (comp, !ncomp)
 
-let build g =
-  let n = Graph.node_count g in
-  let succs u = List.map (fun e -> e.Graph.dst) (Graph.succs g u) in
-  let comp, ncomp = compute_sccs n succs in
+let build_frozen ?pool (fz : Graph.frozen) =
+  let n = fz.Graph.f_nodes in
+  let off = fz.Graph.f_fwd_off in
+  let adj = fz.Graph.f_fwd_dst in
+  let comp, ncomp = compute_sccs n ~off ~adj in
   let creach = Array.init ncomp (fun _ -> Bits.create n) in
-  (* Component ids come out sinks-first, so a plain id-order sweep sees every
-     successor component's closure already complete. [stamp] dedupes the
-     successor components of the component under construction. *)
-  let stamp = Array.make ncomp (-1) in
   let members = Array.make ncomp [] in
   for u = n - 1 downto 0 do
     members.(comp.(u)) <- u :: members.(comp.(u))
   done;
+  (* Condensation levels: sinks at 0, otherwise one above the deepest
+     successor component. Component ids are reverse topological, so an
+     ascending-id sweep sees every successor's level already final. *)
+  let level = Array.make ncomp 0 in
+  let max_level = ref 0 in
   for c = 0 to ncomp - 1 do
+    List.iter
+      (fun u ->
+        for k = off.(u) to off.(u + 1) - 1 do
+          let cv = comp.(adj.(k)) in
+          if cv <> c && level.(cv) + 1 > level.(c) then level.(c) <- level.(cv) + 1
+        done)
+      members.(c);
+    if level.(c) > !max_level then max_level := level.(c)
+  done;
+  let by_level = Array.make (!max_level + 1) [] in
+  for c = ncomp - 1 downto 0 do
+    by_level.(level.(c)) <- c :: by_level.(level.(c))
+  done;
+  (* The closure of one component: its members plus the union of its
+     successor components' (already complete) closures. [seen] dedupes
+     successor components — the same component is typically entered through
+     many edges. Unions are commutative and each call writes only
+     [creach.(c)], so every component of one level can run concurrently. *)
+  let close c =
     let bits = creach.(c) in
+    let seen = Hashtbl.create 16 in
     List.iter
       (fun u ->
         Bits.set bits u;
-        List.iter
-          (fun v ->
-            let cv = comp.(v) in
-            if cv <> c && stamp.(cv) <> c then begin
-              stamp.(cv) <- c;
-              Bits.union_into ~dst:bits creach.(cv)
-            end)
-          (succs u))
+        for k = off.(u) to off.(u + 1) - 1 do
+          let cv = comp.(adj.(k)) in
+          if cv <> c && not (Hashtbl.mem seen cv) then begin
+            Hashtbl.add seen cv ();
+            Bits.union_into ~dst:bits creach.(cv)
+          end
+        done)
       members.(c)
-  done;
-  { n; built_at = Graph.generation g; comp; creach }
+  in
+  let pool = Option.value pool ~default:Pool.sequential in
+  Array.iter
+    (fun comps ->
+      let comps = Array.of_list comps in
+      Pool.parallel_for pool ~n:(Array.length comps) (fun i -> close comps.(i)))
+    by_level;
+  { n; built_at = fz.Graph.f_generation; comp; creach }
+
+let build ?pool g = build_frozen ?pool (Graph.freeze g)
 
 let generation t = t.built_at
 

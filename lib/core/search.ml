@@ -5,7 +5,18 @@ type path = {
 
 let path_cost p = List.fold_left (fun acc e -> acc + Elem.cost e.Graph.elem) 0 p.edges
 
-(* A small functional deque for the 0-1 BFS. *)
+(* The two-list deque behind the list-based 0-1 BFS. Despite the persistent
+   lists inside, the structure is mutable: push and pop update [front] and
+   [back] in place, and [pop_front] reverses [back] into [front] when the
+   front runs dry (amortized O(1)).
+
+   Re-queue invariant: an entry [(d, u)] is pushed only when [d] strictly
+   improves [dist.(u)] — 0-cost relaxations to the front, 1-cost ones to the
+   back — so the deque holds at most two consecutive distance values at any
+   time and every pushed distance is final or superseded. A popped entry
+   whose distance no longer matches [dist.(u)] is stale (the node was
+   improved again after this entry was queued) and is skipped, not
+   re-expanded. *)
 module Deque = struct
   type 'a t = {
     mutable front : 'a list;
@@ -32,8 +43,8 @@ module Deque = struct
             Some x)
 end
 
-(* 0-1 BFS: [next u] yields [(cost, v)] pairs with cost 0 or 1. A node can
-   be improved (and re-queued) at most twice, so the deque stays small. *)
+(* 0-1 BFS: [next u] yields [(cost, v)] pairs with cost 0 or 1. See the
+   Deque comment for the re-queue discipline that keeps the deque small. *)
 let zero_one_bfs n ~starts ~next =
   let dist = Array.make n max_int in
   let dq = Deque.create () in
@@ -162,3 +173,179 @@ let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable
             ~limit ~count ~results source)
       (List.sort_uniq compare sources);
     List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* CSR variants: the same algorithms over a frozen snapshot            *)
+(* ------------------------------------------------------------------ *)
+
+(* A growable circular deque of ints for the CSR 0-1 BFS. Entries pack a
+   (distance, node) pair as [(d lsl 31) lor u]; distances are bounded by the
+   node count and node ids are dense, so both halves fit comfortably. The
+   flat buffer avoids the cons-cell allocation of the list Deque on every
+   relaxation — one of the two wins (with adjacency locality) of the CSR
+   path. *)
+module Ideque = struct
+  type t = {
+    mutable buf : int array;
+    mutable head : int;  (* index of the front element *)
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 64 0; head = 0; len = 0 }
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf' = Array.make (cap * 2) 0 in
+    for i = 0 to d.len - 1 do
+      buf'.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- buf';
+    d.head <- 0
+
+  let push_front d x =
+    if d.len = Array.length d.buf then grow d;
+    let cap = Array.length d.buf in
+    d.head <- (d.head + cap - 1) mod cap;
+    d.buf.(d.head) <- x;
+    d.len <- d.len + 1
+
+  let push_back d x =
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
+    d.len <- d.len + 1
+
+  (* Packed entries are non-negative, so -1 is a safe empty marker. *)
+  let pop_front d =
+    if d.len = 0 then -1
+    else begin
+      let x = d.buf.(d.head) in
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.len <- d.len - 1;
+      x
+    end
+end
+
+module Csr = struct
+  (* Shared 0-1 BFS core over one direction of the CSR: [off]/[adj]/[cost]
+     are either the forward or the backward arrays. Relaxation order within
+     a node follows the array order, which freeze built to match the
+     adjacency lists, so distances (and the enumeration order downstream)
+     agree with the list implementation exactly. *)
+  let bfs n ~starts ~off ~adj ~cost ~viable =
+    let dist = Array.make n max_int in
+    let dq = Ideque.create () in
+    let ok = match viable with None -> fun _ -> true | Some f -> f in
+    List.iter
+      (fun s ->
+        if s >= 0 && s < n && dist.(s) > 0 then begin
+          dist.(s) <- 0;
+          Ideque.push_front dq s (* d = 0: the packed entry is just the id *)
+        end)
+      starts;
+    let continue = ref true in
+    while !continue do
+      let x = Ideque.pop_front dq in
+      if x < 0 then continue := false
+      else begin
+        let u = x land 0x7FFFFFFF in
+        let du = x lsr 31 in
+        if du = dist.(u) then
+          for k = off.(u) to off.(u + 1) - 1 do
+            let v = adj.(k) in
+            let c = cost.(k) in
+            let d = du + c in
+            if d < dist.(v) && ok v then begin
+              dist.(v) <- d;
+              let packed = (d lsl 31) lor v in
+              if c = 0 then Ideque.push_front dq packed else Ideque.push_back dq packed
+            end
+          done
+      end
+    done;
+    dist
+
+  let distances_to ?viable fz ~target =
+    bfs fz.Graph.f_nodes ~starts:[ target ] ~off:fz.Graph.f_bwd_off
+      ~adj:fz.Graph.f_bwd_src ~cost:fz.Graph.f_bwd_cost ~viable
+
+  let distances_from ?viable fz ~sources =
+    bfs fz.Graph.f_nodes ~starts:sources ~off:fz.Graph.f_fwd_off
+      ~adj:fz.Graph.f_fwd_dst ~cost:fz.Graph.f_fwd_cost ~viable
+
+  let shortest_cost ?viable fz ~sources ~target =
+    let sources =
+      match viable with None -> sources | Some ok -> List.filter ok sources
+    in
+    if sources = [] then None
+    else
+      let dist = distances_from ?viable fz ~sources in
+      if target < Array.length dist && dist.(target) < max_int then Some dist.(target)
+      else None
+
+  (* The DFS core of the list implementation, with the successor iteration
+     turned into an index loop over the CSR row. *)
+  let dfs_from fz ~target ~dist_to ~on_path ~budget ~limit ~count ~results source =
+    let off = fz.Graph.f_fwd_off in
+    let dst = fz.Graph.f_fwd_dst in
+    let cost = fz.Graph.f_fwd_cost in
+    let edge = fz.Graph.f_fwd_edge in
+    let rec dfs u ucost rev_edges =
+      if !count < limit then begin
+        if u = target && rev_edges <> [] && ucost > 0 then begin
+          incr count;
+          results := { source; edges = List.rev rev_edges } :: !results
+        end;
+        (* Same acyclicity cut as the list version: nothing extends a path
+           already at the target. *)
+        if u <> target || rev_edges = [] then
+          for k = off.(u) to off.(u + 1) - 1 do
+            let v = dst.(k) in
+            let c' = ucost + cost.(k) in
+            if (not on_path.(v)) && dist_to.(v) < max_int && c' + dist_to.(v) <= budget
+            then begin
+              on_path.(v) <- true;
+              dfs v c' (edge.(k) :: rev_edges);
+              on_path.(v) <- false
+            end
+          done
+      end
+    in
+    if dist_to.(source) < max_int then begin
+      on_path.(source) <- true;
+      dfs source 0 [];
+      on_path.(source) <- false
+    end
+
+  let enumerate fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
+    match shortest_cost ?viable fz ~sources ~target with
+    | None -> []
+    | Some m ->
+        let budget = m + slack in
+        let dist_to = distances_to ?viable fz ~target in
+        let n = fz.Graph.f_nodes in
+        let on_path = Array.make n false in
+        let results = ref [] in
+        let count = ref 0 in
+        List.iter
+          (dfs_from fz ~target ~dist_to ~on_path ~budget ~limit ~count ~results)
+          (List.sort_uniq compare sources);
+        List.rev !results
+
+  let enumerate_per_source fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable ()
+      =
+    if target >= fz.Graph.f_nodes then []
+    else
+      let dist_to = distances_to ?viable fz ~target in
+      let n = fz.Graph.f_nodes in
+      let on_path = Array.make n false in
+      let results = ref [] in
+      let count = ref 0 in
+      List.iter
+        (fun source ->
+          if source < n && dist_to.(source) < max_int then
+            dfs_from fz ~target ~dist_to ~on_path
+              ~budget:(dist_to.(source) + slack)
+              ~limit ~count ~results source)
+        (List.sort_uniq compare sources);
+      List.rev !results
+end

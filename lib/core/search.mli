@@ -70,3 +70,52 @@ val enumerate_per_source :
 
 val path_cost : path -> int
 (** Sum of the edge costs (widening free). *)
+
+(** {2 CSR variants}
+
+    The same five entry points over a {!Graph.frozen} snapshot. The 0-1 BFS
+    runs on the flat offset/cost arrays with an int-packed circular deque
+    (no per-relaxation allocation) and the path DFS iterates CSR rows
+    instead of cons lists. Because {!Graph.freeze} preserves adjacency
+    order, each function returns {e exactly} what its list counterpart
+    returns on the graph the snapshot was taken from — the determinism suite
+    ([test_parallel.ml]) and the engine equivalence suite ([test_cache.ml])
+    both pin this.
+
+    These functions never touch the originating mutable graph, so they are
+    safe to call from many domains sharing one snapshot. *)
+
+module Csr : sig
+  val distances_to :
+    ?viable:(Graph.node -> bool) -> Graph.frozen -> target:Graph.node -> int array
+
+  val distances_from :
+    ?viable:(Graph.node -> bool) -> Graph.frozen -> sources:Graph.node list -> int array
+
+  val shortest_cost :
+    ?viable:(Graph.node -> bool) ->
+    Graph.frozen ->
+    sources:Graph.node list ->
+    target:Graph.node ->
+    int option
+
+  val enumerate :
+    Graph.frozen ->
+    sources:Graph.node list ->
+    target:Graph.node ->
+    ?slack:int ->
+    ?limit:int ->
+    ?viable:(Graph.node -> bool) ->
+    unit ->
+    path list
+
+  val enumerate_per_source :
+    Graph.frozen ->
+    sources:Graph.node list ->
+    target:Graph.node ->
+    ?slack:int ->
+    ?limit:int ->
+    ?viable:(Graph.node -> bool) ->
+    unit ->
+    path list
+end

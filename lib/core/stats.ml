@@ -36,6 +36,35 @@ let of_graph g =
     approx_bytes = ((nodes * 9) + (edges * 14)) * (Sys.word_size / 8);
   }
 
+(* Identical figures computed off a CSR snapshot — the server's lock-free
+   stats op reads this instead of walking the mutable graph. *)
+let of_frozen (fz : Graph.frozen) =
+  let widen = ref 0 and down = ref 0 and call = ref 0 and field = ref 0 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      match e.Graph.elem with
+      | Elem.Widen _ -> incr widen
+      | Elem.Downcast _ -> incr down
+      | Elem.Field_access _ -> incr field
+      | Elem.Static_call _ | Elem.Ctor_call _ | Elem.Instance_call _ -> incr call)
+    fz.Graph.f_fwd_edge;
+  let typestates = ref 0 in
+  for u = 0 to fz.Graph.f_nodes - 1 do
+    if Graph.frozen_is_typestate fz u then incr typestates
+  done;
+  let nodes = fz.Graph.f_nodes and edges = fz.Graph.f_edges in
+  {
+    nodes;
+    real_nodes = nodes - !typestates;
+    typestate_nodes = !typestates;
+    edges;
+    widen_edges = !widen;
+    downcast_edges = !down;
+    call_edges = !call;
+    field_edges = !field;
+    approx_bytes = ((nodes * 9) + (edges * 14)) * (Sys.word_size / 8);
+  }
+
 let pp_cache fmt (s : Qcache.stats) =
   Format.fprintf fmt
     "cache: %d/%d entries, %d hits, %d misses (%.0f%% hit rate), %d evictions, %d \

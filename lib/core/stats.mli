@@ -17,6 +17,10 @@ type t = {
 
 val of_graph : Graph.t -> t
 
+val of_frozen : Graph.frozen -> t
+(** Same figures from a CSR snapshot, without touching the mutable graph —
+    what the server's lock-free stats op uses. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -188,6 +188,14 @@ let depth t q =
   in
   go Qname.Set.empty q
 
+(* Force both lazy memos (the reverse subtype index and the depth cache) while
+   the caller still holds sole ownership. The memos mutate on first use, so a
+   hierarchy shared read-only across domains must be warmed first; after
+   [warm], [subtypes] and [depth] only read. *)
+let warm t =
+  ignore (reverse_index t);
+  iter t (fun (d : Decl.t) -> ignore (depth t d.dname))
+
 let matching_meth (d : Decl.t) name ~arity =
   List.find_opt
     (fun (m : Member.meth) ->

@@ -78,6 +78,14 @@ val depth : t -> Qname.t -> int
     [Object]; [Object] has depth 0. Used by the output-generality ranking
     tiebreak (larger depth = more specific type). *)
 
+val warm : t -> unit
+(** Force the lazy memos behind {!subtypes} (reverse index) and {!depth}
+    (per-name cache) for every declared name. A hierarchy is only safe to
+    share read-only across domains after warming — the memos mutate on first
+    use — so every parallel entry point ({!Mining.Extract},
+    [Query.run_batch], the server engine) warms before fanning out. Idempotent
+    and invalidated by {!add} like the memos themselves. *)
+
 val lookup_method : t -> Qname.t -> string -> arity:int -> (Qname.t * Member.meth) option
 (** Member lookup along the supertype chain, for the mini-Java resolver:
     returns the declaring type and signature of the first matching method. *)

@@ -50,11 +50,12 @@ let visible ~include_protected (ex : Extract.example) =
     ex.Extract.elems
 
 let enrich ?max_per_cast ?max_len ?(generalize = true) ?min_keep
-    ?(include_protected = false) ?(flow_sensitive = false) g prog =
+    ?(include_protected = false) ?(flow_sensitive = false) ?pool g prog =
   let df = Dataflow.build ~flow_sensitive prog in
   let casts = List.length (Dataflow.casts df) in
   let examples =
-    List.filter (visible ~include_protected) (Extract.extract ?max_per_cast ?max_len df)
+    List.filter (visible ~include_protected)
+      (Extract.extract ?max_per_cast ?max_len ?pool df)
   in
   let final =
     if generalize then Generalize.run ?min_keep examples else examples

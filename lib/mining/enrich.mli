@@ -26,6 +26,7 @@ val enrich :
   ?min_keep:int ->
   ?include_protected:bool ->
   ?flow_sensitive:bool ->
+  ?pool:Prospector_parallel.Pool.t ->
   Prospector.Graph.t ->
   Minijava.Tast.program ->
   stats
@@ -36,4 +37,7 @@ val enrich :
     [include_protected] admits protected ones (default [false], matching
     the paper's public-only synthesis surface). [flow_sensitive] switches
     the slicer to per-use reaching definitions (the paper is
-    flow-insensitive; the ablation measures the precision gap). *)
+    flow-insensitive; the ablation measures the precision gap). [?pool]
+    parallelizes the extraction stage (see {!Extract.extract}); splicing
+    stays sequential, so the resulting graph is identical at any job
+    count. *)

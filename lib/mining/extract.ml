@@ -5,6 +5,7 @@ module Decl = Javamodel.Decl
 module Hierarchy = Javamodel.Hierarchy
 module Tast = Minijava.Tast
 module Elem = Prospector.Elem
+module Pool = Prospector_parallel.Pool
 
 type example = {
   input : Jtype.t;
@@ -274,23 +275,43 @@ let lint_gate_of df =
         Hashtbl.add memo key bad;
         bad
 
-let extract_common ?(max_per_cast = 64) ?(max_len = 12) ?(lint_gate = true) ~df
-    ~sites () =
-  let gate = lint_gate_of df in
-  List.concat_map
-    (fun (key, origin, mk_chains) ->
-      if lint_gate && gate key then []
-      else begin
-        let budget = { remaining = max_per_cast; max_len } in
-        let chains = mk_chains budget in
-        (* Enforce the cap exactly (collect only short-circuits between
-           items). *)
-        let chains = List.filteri (fun i _ -> i < max_per_cast) chains in
-        List.map (finish_chain origin) chains
-      end)
-    sites
+let extract_common ?(max_per_cast = 64) ?(max_len = 12) ?(lint_gate = true)
+    ?(pool = Pool.sequential) ~df ~sites () =
+  (* The lint gate is evaluated sequentially up front, one verdict per
+     distinct method key: the memo behind [lint_gate_of] mutates on miss,
+     which a fan-out must not share. Everything the per-site walk reads
+     after this point — the data-flow indexes, the hierarchy's subtype
+     checks — is immutable, and each site owns its budget, so sites are
+     independent jobs. [Pool.map_list] keeps site order, hence output order
+     (and therefore the mined graph) is identical at any job count. *)
+  let gate =
+    if not lint_gate then fun _ -> false
+    else begin
+      let g = lint_gate_of df in
+      let verdicts = Hashtbl.create 16 in
+      List.iter
+        (fun (key, _, _) ->
+          if not (Hashtbl.mem verdicts key) then Hashtbl.replace verdicts key (g key))
+        sites;
+      Hashtbl.find verdicts
+    end
+  in
+  Hierarchy.warm (Dataflow.program df).Tast.hierarchy;
+  List.concat
+    (Pool.map_list pool
+       (fun (key, origin, mk_chains) ->
+         if lint_gate && gate key then []
+         else begin
+           let budget = { remaining = max_per_cast; max_len } in
+           let chains = mk_chains budget in
+           (* Enforce the cap exactly (collect only short-circuits between
+              items). *)
+           let chains = List.filteri (fun i _ -> i < max_per_cast) chains in
+           List.map (finish_chain origin) chains
+         end)
+       sites)
 
-let extract ?max_per_cast ?max_len ?lint_gate df =
+let extract ?max_per_cast ?max_len ?lint_gate ?pool df =
   let sites =
     List.mapi
       (fun i ((m : Tast.tmeth), cast_expr) ->
@@ -303,9 +324,9 @@ let extract ?max_per_cast ?max_len ?lint_gate df =
             trace df budget [] key cast_expr ))
       (Dataflow.casts df)
   in
-  extract_common ?max_per_cast ?max_len ?lint_gate ~df ~sites ()
+  extract_common ?max_per_cast ?max_len ?lint_gate ?pool ~df ~sites ()
 
-let extract_for_arg ?max_per_cast ?max_len ?lint_gate df ~is_target =
+let extract_for_arg ?max_per_cast ?max_len ?lint_gate ?pool df ~is_target =
   (* Find call sites with a reference argument in a targeted parameter
      position; the final elem is the call with input = that parameter. *)
   let sites = ref [] in
@@ -347,4 +368,4 @@ let extract_for_arg ?max_per_cast ?max_len ?lint_gate df ~is_target =
                 meth.Member.params)
           | _ -> ()))
     (Dataflow.program df).Tast.methods;
-  extract_common ?max_per_cast ?max_len ?lint_gate ~df ~sites:(List.rev !sites) ()
+  extract_common ?max_per_cast ?max_len ?lint_gate ?pool ~df ~sites:(List.rev !sites) ()

@@ -33,17 +33,29 @@ val example_well_typed : Javamodel.Hierarchy.t -> example -> bool
     analyzer's full re-typecheck, not just compose. *)
 
 val extract :
-  ?max_per_cast:int -> ?max_len:int -> ?lint_gate:bool -> Dataflow.t -> example list
+  ?max_per_cast:int ->
+  ?max_len:int ->
+  ?lint_gate:bool ->
+  ?pool:Prospector_parallel.Pool.t ->
+  Dataflow.t ->
+  example list
 (** All example jungloids ending in casts, at most [max_per_cast] (default
     64) per cast expression and at most [max_len] (default 12) non-widening
     elementary jungloids long. With [lint_gate] (default [true]) cast sites
     inside methods carrying error-severity corpus lint are skipped — broken
-    client code is not evidence of a working conversion. *)
+    client code is not evidence of a working conversion.
+
+    [?pool] fans the per-site backward walks out across domains: sites are
+    independent (each owns its extraction budget; the data-flow indexes are
+    read-only after construction) and results keep site order, so the
+    example list — and the graph mined from it — is identical at any job
+    count. *)
 
 val extract_for_arg :
   ?max_per_cast:int ->
   ?max_len:int ->
   ?lint_gate:bool ->
+  ?pool:Prospector_parallel.Pool.t ->
   Dataflow.t ->
   is_target:(Javamodel.Jtype.t -> bool) ->
   example list

@@ -1,0 +1,84 @@
+type t = { n_jobs : int }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { n_jobs = jobs }
+
+let sequential = { n_jobs = 1 }
+
+let jobs t = t.n_jobs
+
+(* Nested fan-out (a worker's body itself calling into the pool) runs
+   inline: spawning domains from a domain that is itself one of [jobs]
+   workers would oversubscribe the machine, and the inline path keeps the
+   semantics identical either way. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let chunks_per_worker = 4
+
+let parallel_for t ~n body =
+  if n > 0 then begin
+    let workers = min t.n_jobs n in
+    if workers = 1 || Domain.DLS.get inside_worker then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let chunk = max 1 (n / (workers * chunks_per_worker)) in
+      let next = Atomic.make 0 in
+      let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
+        Atomic.make None
+      in
+      let work () =
+        Domain.DLS.set inside_worker true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set inside_worker false)
+          (fun () ->
+            let continue = ref true in
+            while !continue do
+              let lo = Atomic.fetch_and_add next chunk in
+              if lo >= n || Atomic.get failed <> None then continue := false
+              else
+                let hi = min n (lo + chunk) in
+                try
+                  for i = lo to hi - 1 do
+                    body i
+                  done
+                with e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  ignore (Atomic.compare_and_set failed None (Some (e, bt)));
+                  continue := false
+            done)
+      in
+      let spawned = List.init (workers - 1) (fun _ -> Domain.spawn work) in
+      (* The calling domain is worker number [workers]. *)
+      work ();
+      List.iter Domain.join spawned;
+      match Atomic.get failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.n_jobs = 1 || n = 1 || Domain.DLS.get inside_worker then
+    Array.map f arr
+  else begin
+    (* Option-boxed so no element of [arr] needs to act as a placeholder;
+       each slot is written by exactly one worker. *)
+    let out = Array.make n None in
+    parallel_for t ~n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* every index ran *))
+      out
+  end
+
+let map_list t f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | l ->
+      if t.n_jobs = 1 || Domain.DLS.get inside_worker then List.map f l
+      else Array.to_list (map_array t f (Array.of_list l))

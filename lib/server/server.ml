@@ -34,6 +34,7 @@ type t = {
   stop : bool Atomic.t;
   active : int Atomic.t;  (* connections queued or in flight *)
   mutable threads : Thread.t list;
+  mutable domains : unit Domain.t list;
 }
 
 let create ?(config = default_config) service =
@@ -48,6 +49,7 @@ let create ?(config = default_config) service =
     stop = Atomic.make false;
     active = Atomic.make 0;
     threads = [];
+    domains = [];
   }
 
 let port t = t.bound_port
@@ -113,7 +115,7 @@ let rec next_line t r ~discarding =
 
 (* ---------- connection serving ---------- *)
 
-let serve_connection t fd =
+let serve_connection t local fd =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_poll_s
    with Unix.Unix_error _ -> ());
   let r = reader fd in
@@ -128,7 +130,7 @@ let serve_connection t fd =
                    t.config.max_request_bytes)));
         if not (stopping t) then loop ()
     | `Line line ->
-        send_line fd (Service.handle_line t.service line);
+        send_line fd (Service.handle_line ?local t.service line);
         (* a shutdown op answered above flips the service flag; fold the
            whole server into the drain *)
         if Service.shutdown_requested t.service then shutdown t;
@@ -140,9 +142,15 @@ let serve_connection t fd =
   | Sys_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* ---------- threads ---------- *)
+(* ---------- workers ---------- *)
 
+(* Each worker is a {e domain}: OCaml threads share one runtime lock, so
+   thread workers only ever overlapped on I/O waits. With snapshot reads
+   taking no lock (see {!Service}), domain workers execute searches truly
+   concurrently. Each owns one result cache. The connection queue's
+   mutex/condition pair works unchanged across domains. *)
 let worker t () =
+  let local = Service.local t.service in
   let rec loop () =
     Mutex.lock t.qmutex;
     while Queue.is_empty t.queue && not (stopping t) do
@@ -154,7 +162,7 @@ let worker t () =
     | Some fd ->
         Fun.protect
           ~finally:(fun () -> Atomic.decr t.active)
-          (fun () -> serve_connection t fd);
+          (fun () -> serve_connection t (Some local) fd);
         loop ()
     | None -> if stopping t then () else loop ()
   in
@@ -228,13 +236,16 @@ let start t =
       m "listening on %s:%d (%d workers, max %d connections, max request %d bytes)"
         t.config.host t.bound_port t.config.workers t.config.max_connections
         t.config.max_request_bytes);
-  let workers = List.init t.config.workers (fun _ -> Thread.create (worker t) ()) in
+  let workers = List.init t.config.workers (fun _ -> Domain.spawn (worker t)) in
   let acceptor = Thread.create (accept_loop t fd) () in
-  t.threads <- acceptor :: workers
+  t.domains <- workers;
+  t.threads <- [ acceptor ]
 
 let wait t =
   List.iter Thread.join t.threads;
   t.threads <- [];
+  List.iter Domain.join t.domains;
+  t.domains <- [];
   (match t.listen_fd with
   | Some fd ->
       t.listen_fd <- None;
@@ -253,6 +264,7 @@ let run t =
 (* ---------- stdio transport ---------- *)
 
 let serve_stdio ?(max_request_bytes = default_config.max_request_bytes) service =
+  let local = Service.local service in
   let rec loop () =
     match input_line stdin with
     | exception End_of_file -> ()
@@ -262,7 +274,7 @@ let serve_stdio ?(max_request_bytes = default_config.max_request_bytes) service 
             Proto.to_string
               (Proto.error_response ~id:Proto.Null Proto.Too_large
                  (Printf.sprintf "request exceeds %d bytes" max_request_bytes))
-          else Service.handle_line service line
+          else Service.handle_line ~local service line
         in
         print_string response;
         print_newline ();

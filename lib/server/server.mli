@@ -1,13 +1,20 @@
 (** The transport: a TCP accept loop and a fixed worker pool around one
     {!Service}, plus a line-oriented [--stdio] mode for editor integration.
 
-    Architecture (one box per thread):
+    Architecture (the accept loop is a thread, each worker its own domain):
     {v
-      accept loop ──> bounded connection queue ──> worker 1..N
+      accept loop ──> bounded connection queue ──> worker domain 1..N
          (poll + accept; over-limit            (read line, Service.handle_line,
           connections get a "busy"              write line; repeat until EOF,
           reply and are closed)                 error, or drain)
     v}
+
+    Workers are {e domains}, not threads: OCaml threads share one runtime
+    lock, so a thread pool only overlaps on I/O waits, while {!Service}'s
+    lock-free snapshot reads let domains execute whole searches
+    concurrently. Each worker owns a private {!Service.local} result cache;
+    the connection queue (mutex + condition) is shared across domains
+    unchanged.
 
     Backpressure limits: at most [max_connections] connections queued or in
     flight (excess connections are answered with a one-line [busy] error and
@@ -25,7 +32,7 @@
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** 0 picks an ephemeral port; see {!port} *)
-  workers : int;  (** worker-pool size, default 4 *)
+  workers : int;  (** worker-pool size (one domain each), default 4 *)
   max_request_bytes : int;  (** per-line cap, default 1 MiB *)
   max_connections : int;  (** queued + in-flight cap, default 64 *)
   idle_poll_s : float;
@@ -54,7 +61,8 @@ val shutdown : t -> unit
     a signal handler. *)
 
 val wait : t -> unit
-(** Join every server thread; returns once drained. Removes [port_file]. *)
+(** Join the acceptor thread and every worker domain; returns once drained.
+    Removes [port_file]. *)
 
 val run : t -> unit
 (** {!start} then {!wait}. *)

@@ -1,20 +1,82 @@
 module Query = Prospector.Query
+module Qcache = Prospector.Qcache
+module Graph = Prospector.Graph
 module Jungloid = Prospector.Jungloid
 module Jtype = Javamodel.Jtype
+module Hierarchy = Javamodel.Hierarchy
+
+(* What a reader needs, captured at one graph generation. Readers take the
+   whole record with one [Atomic.get] and never look back at the mutable
+   graph, so a concurrent republication can at worst give them the previous
+   (internally consistent) snapshot. *)
+type snapshot = {
+  s_gen : int;
+  s_frozen : Graph.frozen;
+  s_reach : Prospector.Reach.t option;
+}
+
+(* Per-worker result cache. The engine's LRU mutates on reads, so sharing it
+   across lock-free readers is impossible; instead each transport worker owns
+   one of these. One cache holds all three read shapes — a variant key keeps
+   them from colliding while letting hot ops steal capacity from cold ones. *)
+type lkey =
+  | Lquery of {
+      tin : Jtype.t;
+      tout : Jtype.t;
+      settings : Query.settings;
+      gen : int;
+    }
+  | Lassist of {
+      vars : (string * Jtype.t) list;
+      tout : Jtype.t;
+      settings : Query.settings;
+      gen : int;
+    }
+  | Llint of {
+      tin : Jtype.t;
+      tout : Jtype.t;
+      settings : Query.settings;
+      gen : int;
+    }
+
+type lval =
+  | Vresults of Query.result list
+  | Vsuggest of Prospector.Assist.suggestion list
+  | Vlint of Analysis.Diagnostic.t list
+
+type local = { lcache : (lkey, lval) Qcache.t }
 
 type t = {
   eng : Query.engine;
-  lock : Mutex.t;  (* guards every engine touch; see the mli *)
+  snap : snapshot Atomic.t;
+  publish : Mutex.t;  (* serializes engine touches and snapshot rebuilds *)
+  locals : local list ref;  (* every cache handed out, for the stats op *)
+  locals_lock : Mutex.t;
   mets : Metrics.t;
   base_settings : Query.settings;
   deadline_s : float option;
   stop : bool Atomic.t;
 }
 
+(* Call with [publish] held (or before the service is shared). *)
+let take_snapshot engine =
+  let frozen = Query.engine_frozen engine in
+  {
+    s_gen = Graph.frozen_generation frozen;
+    s_frozen = frozen;
+    s_reach = Query.engine_reach engine;
+  }
+
 let create ?(settings = Query.default_settings) ?deadline_s ~engine () =
+  (* Warm the hierarchy's lazy memos while we are still single-threaded:
+     after this, ranking only reads it. *)
+  Hierarchy.warm (Query.engine_hierarchy engine);
   {
     eng = engine;
-    lock = Mutex.create ();
+    snap = Atomic.make (take_snapshot engine);
+    publish = Mutex.create ();
+    locals = ref [];
+    locals_lock = Mutex.create ();
     mets = Metrics.create ();
     base_settings = settings;
     deadline_s;
@@ -29,9 +91,39 @@ let shutdown_requested t = Atomic.get t.stop
 
 let request_shutdown t = Atomic.set t.stop true
 
-let with_engine t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let local ?(capacity = 256) t =
+  let l = { lcache = Qcache.create ~capacity () } in
+  Mutex.lock t.locals_lock;
+  t.locals := l :: !(t.locals);
+  Mutex.unlock t.locals_lock;
+  l
+
+(* The published snapshot, republishing first if the graph moved on.
+
+   The generation probe reads a plain int field of the mutable graph — OCaml
+   guarantees the read cannot tear, only lag, and a lagging read merely
+   delays republication to the next request (results stay internally
+   consistent: they come from the complete previous snapshot). The rebuild
+   itself runs under [publish], because the engine (caches, re-freeze, reach
+   build) is not safe to touch concurrently; the double-check inside the
+   lock keeps a stampede of stale readers down to one rebuild. *)
+let current t =
+  let snap = Atomic.get t.snap in
+  if Graph.generation (Query.engine_graph t.eng) = snap.s_gen then snap
+  else begin
+    Mutex.lock t.publish;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.publish)
+      (fun () ->
+        let snap = Atomic.get t.snap in
+        if Graph.generation (Query.engine_graph t.eng) = snap.s_gen then snap
+        else begin
+          Hierarchy.warm (Query.engine_hierarchy t.eng);
+          let s = take_snapshot t.eng in
+          Atomic.set t.snap s;
+          s
+        end)
+  end
 
 (* ---------- response payloads ---------- *)
 
@@ -100,6 +192,86 @@ let cache_json stats =
       ("invalidations", Proto.Int stats.Prospector.Qcache.s_invalidations);
     ]
 
+(* ---------- snapshot reads ---------- *)
+
+(* Run a read on the snapshot, memoized in the worker's cache when it has
+   one. Without a [local] (direct library callers, tests) the read simply
+   computes — still lock-free, just uncached. *)
+let memo local key compute =
+  match local with
+  | None -> compute ()
+  | Some l -> Qcache.find_or_add l.lcache key compute
+
+let query_results t local snap ~settings q =
+  let compute () =
+    Vresults
+      (Query.run ~settings ?reach:snap.s_reach ~frozen:snap.s_frozen
+         ~graph:(Query.engine_graph t.eng)
+         ~hierarchy:(Query.engine_hierarchy t.eng)
+         q)
+  in
+  let key =
+    Lquery { tin = q.Query.tin; tout = q.Query.tout; settings; gen = snap.s_gen }
+  in
+  match memo local key compute with Vresults rs -> rs | _ -> assert false
+
+let assist_suggestions t local snap ~settings (ctx : Prospector.Assist.context) =
+  let compute () =
+    Vsuggest
+      (Prospector.Assist.suggest ~settings ~frozen:snap.s_frozen ?reach:snap.s_reach
+         ~graph:(Query.engine_graph t.eng)
+         ~hierarchy:(Query.engine_hierarchy t.eng)
+         ctx)
+  in
+  let key =
+    Lassist
+      {
+        vars = ctx.Prospector.Assist.vars;
+        tout = ctx.Prospector.Assist.expected;
+        settings;
+        gen = snap.s_gen;
+      }
+  in
+  match memo local key compute with Vsuggest ss -> ss | _ -> assert false
+
+let lint_diagnostics t local snap q =
+  let hierarchy = Query.engine_hierarchy t.eng in
+  let compute () =
+    Vlint
+      (query_results t local snap ~settings:t.base_settings q
+      |> List.concat_map (fun (r : Query.result) ->
+             Analysis.Verify.check hierarchy r.Query.jungloid
+             @ Analysis.Gencheck.check hierarchy r.Query.jungloid)
+      |> List.sort_uniq Analysis.Diagnostic.compare)
+  in
+  let key =
+    Llint
+      {
+        tin = q.Query.tin;
+        tout = q.Query.tout;
+        settings = t.base_settings;
+        gen = snap.s_gen;
+      }
+  in
+  match memo local key compute with Vlint ds -> ds | _ -> assert false
+
+(* Engine counters plus every worker cache's counters. Foreign caches may be
+   mid-mutation on other domains while we read; the counters are plain ints
+   (stale at worst, never torn), fine for monitoring output. *)
+let cache_stats t =
+  Mutex.lock t.locals_lock;
+  let ls = !(t.locals) in
+  Mutex.unlock t.locals_lock;
+  let engine_stats =
+    Mutex.lock t.publish;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.publish)
+      (fun () -> Query.engine_stats t.eng)
+  in
+  List.fold_left
+    (fun acc l -> Qcache.merge_stats acc (Qcache.stats l.lcache))
+    engine_stats ls
+
 (* ---------- dispatch ---------- *)
 
 let op_name = function
@@ -119,12 +291,12 @@ let settings_for t ~max_results ~slack =
     slack = Option.value slack ~default:s.Query.slack;
   }
 
-let dispatch t ~id req =
+let dispatch ?local t ~id req =
   match req with
   | Proto.Query { tin; tout; max_results; slack; cluster } ->
       let settings = settings_for t ~max_results ~slack in
       let q = Query.query tin tout in
-      let rs = with_engine t (fun () -> Query.run_cached ~settings t.eng q) in
+      let rs = query_results t local (current t) ~settings q in
       let payload =
         if cluster then
           let cs = Query.cluster rs in
@@ -144,13 +316,7 @@ let dispatch t ~id req =
           expected = Jtype.ref_of_string tout;
         }
       in
-      let suggestions =
-        with_engine t (fun () ->
-            Prospector.Assist.suggest ~settings ~engine:t.eng
-              ~graph:(Query.engine_graph t.eng)
-              ~hierarchy:(Query.engine_hierarchy t.eng)
-              ctx)
-      in
+      let suggestions = assist_suggestions t local (current t) ~settings ctx in
       Proto.ok_response ~id ~op:"assist"
         [
           ("count", Proto.Int (List.length suggestions));
@@ -159,7 +325,12 @@ let dispatch t ~id req =
   | Proto.Batch { pairs; max_results; slack } ->
       let settings = settings_for t ~max_results ~slack in
       let qs = List.map (fun (tin, tout) -> Query.query tin tout) pairs in
-      let answers = with_engine t (fun () -> Query.run_batch ~settings t.eng qs) in
+      (* One snapshot for the whole batch: every answer describes the same
+         graph generation even if a republication lands mid-batch.
+         Cross-request parallelism comes from the worker domains; fanning a
+         single request out as well would oversubscribe them. *)
+      let snap = current t in
+      let answers = List.map (fun q -> (q, query_results t local snap ~settings q)) qs in
       Proto.ok_response ~id ~op:"batch"
         [
           ( "answers",
@@ -177,15 +348,7 @@ let dispatch t ~id req =
         ]
   | Proto.Lint { tin; tout } ->
       let q = Query.query tin tout in
-      let hierarchy = Query.engine_hierarchy t.eng in
-      let ds =
-        with_engine t (fun () ->
-            Query.run_cached ~settings:t.base_settings t.eng q
-            |> List.concat_map (fun (r : Query.result) ->
-                   Analysis.Verify.check hierarchy r.Query.jungloid
-                   @ Analysis.Gencheck.check hierarchy r.Query.jungloid))
-        |> List.sort_uniq Analysis.Diagnostic.compare
-      in
+      let ds = lint_diagnostics t local (current t) q in
       Proto.ok_response ~id ~op:"lint"
         [
           ("diagnostics", Proto.Arr (List.map diagnostic_json ds));
@@ -194,11 +357,8 @@ let dispatch t ~id req =
             Proto.Int (Analysis.Diagnostic.count Analysis.Diagnostic.Warning ds) );
         ]
   | Proto.Stats ->
-      let graph_stats, cache_stats =
-        with_engine t (fun () ->
-            ( Prospector.Stats.of_graph (Query.engine_graph t.eng),
-              Query.engine_stats t.eng ))
-      in
+      let snap = current t in
+      let graph_stats = Prospector.Stats.of_frozen snap.s_frozen in
       Proto.ok_response ~id ~op:"stats"
         [
           ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
@@ -208,10 +368,9 @@ let dispatch t ~id req =
               [
                 ("nodes", Proto.Int graph_stats.Prospector.Stats.nodes);
                 ("edges", Proto.Int graph_stats.Prospector.Stats.edges);
-                ( "generation",
-                  Proto.Int (Prospector.Graph.generation (Query.engine_graph t.eng)) );
+                ("generation", Proto.Int snap.s_gen);
               ] );
-          ("cache", cache_json cache_stats);
+          ("cache", cache_json (cache_stats t));
           ("ops", Metrics.ops_json t.mets);
         ]
   | Proto.Health ->
@@ -227,10 +386,10 @@ let dispatch t ~id req =
 let deadline_exceeded t elapsed =
   match t.deadline_s with Some d -> elapsed > d | None -> false
 
-let handle t ({ Proto.id; req } : Proto.envelope) =
+let handle ?local t ({ Proto.id; req } : Proto.envelope) =
   let t0 = Unix.gettimeofday () in
   let response =
-    match dispatch t ~id req with
+    match dispatch ?local t ~id req with
     | resp ->
         let elapsed = Unix.gettimeofday () -. t0 in
         (* Cooperative deadline: never serve a result that took longer than
@@ -251,7 +410,7 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-let handle_line t line =
+let handle_line ?local t line =
   let response =
     match Proto.parse line with
     | Error msg ->
@@ -268,6 +427,6 @@ let handle_line t line =
               else Proto.Bad_request
             in
             Proto.error_response ~id code msg
-        | Ok envelope -> handle t envelope)
+        | Ok envelope -> handle ?local t envelope)
   in
   Proto.to_string response

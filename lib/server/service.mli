@@ -5,12 +5,27 @@
     the tests drive this module; the concurrency test calls {!handle_line}
     from many threads directly, no sockets involved.
 
-    Locking model: one mutex serializes every engine touch (graph, reach
-    index, LRU caches — none of them are thread-safe, and the LRU mutates
-    on {e reads}). Request parsing, response rendering, and metrics run
-    outside the lock, so workers only contend for the actual search. *)
+    Concurrency model (snapshot publication, no read lock): the service
+    keeps an {!Stdlib.Atomic} pointer to an immutable {e snapshot} — the
+    engine's CSR-frozen graph plus its reachability index, stamped with the
+    graph generation. Every read op (query, assist, batch, lint, stats)
+    loads the pointer once and runs entirely on that snapshot, which no one
+    ever mutates — so reads take no lock and scale across worker domains.
+    When the underlying graph's generation moves, the next request rebuilds
+    the engine state and publishes a fresh snapshot under a private mutex
+    (double-checked, so a stampede of stale readers triggers one rebuild);
+    in-flight readers simply finish on the previous snapshot. Result
+    caching is per worker ({!local}) because an LRU mutates on reads; a
+    worker that brings no cache still gets correct, lock-free, merely
+    uncached answers. *)
 
 type t
+
+type local
+(** A per-worker result cache (one LRU over the query/assist/lint shapes).
+    Not thread-safe — each transport worker owns exactly one and passes it
+    to {!handle_line}. All caches created by {!local} are registered with
+    the service so the stats op can report their combined counters. *)
 
 val create :
   ?settings:Prospector.Query.settings ->
@@ -24,11 +39,19 @@ val create :
     of its result. Enforcement is cooperative — the elapsed time is checked
     against the deadline around the engine call, it does not interrupt a
     running search (OCaml offers no safe preemption); the bound it enforces
-    is "no result computed slower than the deadline is ever served". *)
+    is "no result computed slower than the deadline is ever served".
+
+    Creation eagerly warms the hierarchy's lazy memos, freezes the graph,
+    and builds the reach index, so the first snapshot is published before
+    any worker starts. *)
 
 val engine : t -> Prospector.Query.engine
 
 val metrics : t -> Metrics.t
+
+val local : ?capacity:int -> t -> local
+(** A fresh worker cache (default capacity 256 entries), registered for
+    stats reporting. Call once per worker thread/domain. *)
 
 val shutdown_requested : t -> bool
 (** Set once a [shutdown] request has been answered; transports poll it and
@@ -38,14 +61,14 @@ val request_shutdown : t -> unit
 (** What the [shutdown] op calls; exposed so a signal handler can trigger
     the same drain. *)
 
-val handle : t -> Proto.envelope -> Proto.json
-(** Dispatch one parsed request: takes the engine lock for query/assist/
-    batch/lint, answers stats/health from counters, flips the shutdown flag
-    for [shutdown]. Engine exceptions become [internal] error replies —
+val handle : ?local:local -> t -> Proto.envelope -> Proto.json
+(** Dispatch one parsed request on the current snapshot (republishing it
+    first if the graph moved): lock-free for every read op, memoized in
+    [?local] when given. Engine exceptions become [internal] error replies —
     a poisoned query must not take the daemon down. Records one metrics
     sample per call. *)
 
-val handle_line : t -> string -> string
+val handle_line : ?local:local -> t -> string -> string
 (** The full wire cycle: parse one request line (parse failures become
     [bad_request] replies, never exceptions), {!handle}, render the
     response as one line (no trailing newline). *)

@@ -1,0 +1,31 @@
+--jobs is validated like --workers and --cache-capacity: zero or negative
+values get a one-line error and exit 1, never an exception trace.
+
+  $ cat > queries.txt <<'EOF'
+  > java.io.InputStream java.io.BufferedReader
+  > void org.eclipse.ui.texteditor.DocumentProviderRegistry
+  > EOF
+  $ ../../bin/prospector_cli.exe batch queries.txt --jobs 0
+  error: --jobs must be at least 1 (got 0)
+  [1]
+  $ ../../bin/prospector_cli.exe batch queries.txt -j-3
+  error: --jobs must be at least 1 (got -3)
+  [1]
+  $ ../../bin/prospector_cli.exe mine --jobs 0
+  error: --jobs must be at least 1 (got 0)
+  [1]
+  $ ../../bin/prospector_cli.exe serve --jobs=-1
+  error: --jobs must be at least 1 (got -1)
+  [1]
+
+Fan-out never changes answers: every subcommand is byte-identical at any
+job count.
+
+  $ ../../bin/prospector_cli.exe batch queries.txt -n 2 > batch.j1
+  $ ../../bin/prospector_cli.exe batch queries.txt -n 2 --jobs 4 > batch.j4
+  $ diff batch.j1 batch.j4
+  $ ../../bin/prospector_cli.exe batch queries.txt --no-cache -n 2 --jobs 4 > batch.nc.j4
+  $ diff batch.j1 batch.nc.j4
+  $ ../../bin/prospector_cli.exe mine > mine.j1
+  $ ../../bin/prospector_cli.exe mine --jobs 4 > mine.j4
+  $ diff mine.j1 mine.j4

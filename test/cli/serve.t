@@ -39,7 +39,7 @@ Stats reflect the requests served so far:
   $ ../../bin/prospector_cli.exe client --port-file port stats
   requests: 4
   graph: 386 nodes, 1142 edges
-  cache: 1/1024 entries, 0 hits, 1 misses
+  cache: 1/2048 entries, 0 hits, 1 misses
 
 Graceful drain over the wire:
 

@@ -1,0 +1,243 @@
+(* The domain-parallel engine must be invisible in the answers: this suite
+   pins Pool's scheduling contract (ordering, nesting, exceptions), the
+   Graph.freeze CSR round-trip (qcheck, over random synthetic APIs), and
+   byte-identical results at jobs = 1 vs jobs = 4 for queries, batches, and
+   corpus mining. The CSR search kernels themselves are covered
+   transitively: [Query.run ~frozen] answers every query here over the
+   frozen view and is compared against the adjacency-list path. *)
+
+module Jtype = Javamodel.Jtype
+module Graph = Prospector.Graph
+module Query = Prospector.Query
+module Stats = Prospector.Stats
+module Pool = Prospector_parallel.Pool
+module Proto = Prospector_server.Proto
+module Service = Prospector_server.Service
+module Problems = Apidata.Problems
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------- the pool's scheduling contract ---------- *)
+
+let test_pool_create_rejects () =
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0))
+
+let test_pool_map_order () =
+  let input = List.init 317 (fun i -> i) in
+  let expected = List.map (fun i -> i * i) input in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      check_bool
+        (Printf.sprintf "map_list order at jobs = %d" jobs)
+        true
+        (Pool.map_list pool (fun i -> i * i) input = expected);
+      check_bool
+        (Printf.sprintf "map_array order at jobs = %d" jobs)
+        true
+        (Pool.map_array pool (fun i -> i * i) (Array.of_list input)
+        = Array.of_list expected))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_for_covers_every_index () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  (* disjoint index-addressed writes, the documented contract *)
+  Pool.parallel_for (Pool.create ~jobs:4) ~n (fun i -> hits.(i) <- hits.(i) + 1);
+  check_bool "each index exactly once" true (Array.for_all (( = ) 1) hits)
+
+let test_pool_empty_and_tiny () =
+  let pool = Pool.create ~jobs:4 in
+  check_bool "empty list" true (Pool.map_list pool succ [] = []);
+  check_bool "singleton" true (Pool.map_list pool succ [ 41 ] = [ 42 ]);
+  Pool.parallel_for pool ~n:0 (fun _ -> Alcotest.fail "body ran for n = 0")
+
+exception Boom of int
+
+let test_pool_reraises () =
+  List.iter
+    (fun jobs ->
+      let raised =
+        try
+          Pool.parallel_for (Pool.create ~jobs) ~n:64 (fun i ->
+              if i mod 13 = 5 then raise (Boom i));
+          false
+        with Boom _ -> true
+      in
+      check_bool (Printf.sprintf "exception escapes at jobs = %d" jobs) true raised)
+    [ 1; 4 ]
+
+let test_pool_nested_fanout_inlines () =
+  (* a worker fanning out on the same pool must not deadlock; it runs the
+     inner call inline *)
+  let pool = Pool.create ~jobs:4 in
+  let got =
+    Pool.map_list pool
+      (fun i -> List.fold_left ( + ) i (Pool.map_list pool succ [ 1; 2; 3 ]))
+      (List.init 32 (fun i -> i))
+  in
+  check_bool "nested totals" true (got = List.init 32 (fun i -> i + 9))
+
+(* ---------- qcheck: freeze round-trips the graph ---------- *)
+
+let world_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* classes = int_range 20 80 in
+    return
+      (let params =
+         { Corpusgen.Apigen.default_params with classes; seed; methods_per_class = 4 }
+       in
+       let h = Corpusgen.Apigen.generate params in
+       (h, Prospector.Sig_graph.build h)))
+
+let prop_freeze_roundtrip =
+  QCheck2.Test.make ~name:"freeze preserves nodes, edges, and adjacency order"
+    ~count:40 world_gen (fun (_, g) ->
+      let fz = Graph.freeze g in
+      Graph.frozen_generation fz = Graph.generation g
+      && Graph.frozen_node_count fz = Graph.node_count g
+      && Graph.frozen_edge_count fz = Graph.edge_count g
+      && Graph.frozen_void_node fz = Graph.find_type_node g Jtype.Void
+      && List.for_all
+           (fun n ->
+             Jtype.equal (Graph.frozen_node_type fz n) (Graph.node_type g n)
+             && Graph.frozen_is_typestate fz n = Graph.is_typestate g n
+             && Graph.frozen_succs fz n = Graph.succs g n)
+           (Graph.nodes g)
+      && List.for_all
+           (fun (ty, n) -> Graph.frozen_find_type_node fz ty = Some n)
+           (Graph.real_nodes g))
+
+let prop_frozen_run_equals_live =
+  QCheck2.Test.make ~name:"Query.run ~frozen = Query.run" ~count:25 world_gen
+    (fun (h, g) ->
+      let frozen = Graph.freeze g in
+      List.for_all
+        (fun q ->
+          let live = Query.run ~graph:g ~hierarchy:h q in
+          let frz = Query.run ~frozen ~graph:g ~hierarchy:h q in
+          List.length live = List.length frz
+          && List.for_all2
+               (fun (a : Query.result) (b : Query.result) ->
+                 Prospector.Jungloid.equal a.Query.jungloid b.Query.jungloid
+                 && Prospector.Rank.compare_key a.Query.key b.Query.key = 0
+                 && a.Query.code = b.Query.code)
+               live frz)
+        (Corpusgen.Workload.random_queries h g ~count:3 ~seed:7))
+
+(* ---------- byte-identical answers at any job count ---------- *)
+
+let workload () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let qs =
+    List.map
+      (fun (p : Problems.t) -> Query.query p.Problems.tin p.Problems.tout)
+      Problems.all
+  in
+  (graph, hierarchy, qs)
+
+let check_results_equal name (a : Query.result list) (b : Query.result list) =
+  check_int (name ^ ": result count") (List.length a) (List.length b);
+  List.iteri
+    (fun i (x, y) ->
+      let n = Printf.sprintf "%s: result %d" name i in
+      check_bool
+        (n ^ " jungloid")
+        true
+        (Prospector.Jungloid.equal x.Query.jungloid y.Query.jungloid);
+      check_bool
+        (n ^ " rank key")
+        true
+        (Prospector.Rank.compare_key x.Query.key y.Query.key = 0);
+      check_string (n ^ " code") x.Query.code y.Query.code)
+    (List.combine a b)
+
+let test_batch_deterministic () =
+  let graph, hierarchy, qs = workload () in
+  (* duplicates exercise the cache-replay phase: the second occurrence must
+     be a hit in both runs *)
+  let qs = qs @ qs in
+  let seq_engine = Query.engine ~graph ~hierarchy () in
+  let par_engine = Query.engine ~pool:(Pool.create ~jobs:4) ~graph ~hierarchy () in
+  let seq = Query.run_batch seq_engine qs in
+  let par = Query.run_batch par_engine qs in
+  check_int "same batch length" (List.length seq) (List.length par);
+  List.iter2
+    (fun ((qa : Query.t), ra) ((qb : Query.t), rb) ->
+      check_bool "same query order" true (qa == qb);
+      check_results_equal (Jtype.to_string qa.Query.tout) ra rb)
+    seq par;
+  (* the replay protocol also reproduces the exact cache accounting *)
+  check_string "same cache stats"
+    (Stats.cache_to_string (Query.engine_stats seq_engine))
+    (Stats.cache_to_string (Query.engine_stats par_engine))
+
+let test_mining_deterministic () =
+  let hierarchy = Apidata.Api.hierarchy () in
+  let prog =
+    Minijava.Resolve.parse_program ~api:hierarchy Apidata.Api.corpus_sources
+  in
+  let df = Mining.Dataflow.build prog in
+  let seq = Mining.Extract.extract df in
+  let par = Mining.Extract.extract ~pool:(Pool.create ~jobs:4) df in
+  check_bool "corpus has examples" true (seq <> []);
+  check_bool "mining output identical at jobs = 4" true (seq = par)
+
+(* ---------- the service republishes its snapshot after mutation ---------- *)
+
+let stats_nodes line =
+  match Proto.of_string line with
+  | Proto.Obj _ as j -> (
+      match Proto.member "graph" j with
+      | Some g -> (
+          match Proto.member "nodes" g with
+          | Some (Proto.Int n) -> n
+          | _ -> Alcotest.fail "stats without graph.nodes")
+      | None -> Alcotest.fail ("stats without graph in: " ^ line))
+  | _ -> Alcotest.fail "unparseable stats reply"
+
+let test_service_snapshot_republish () =
+  let graph, hierarchy, _ = workload () in
+  let svc = Service.create ~engine:(Query.engine ~graph ~hierarchy ()) () in
+  let local = Service.local svc in
+  let before = stats_nodes (Service.handle_line ~local svc "{\"op\": \"stats\"}") in
+  check_int "snapshot sees the full graph" (Graph.node_count graph) before;
+  (* grow the live graph: the next request must observe a fresh snapshot *)
+  ignore (Graph.ensure_type_node graph (Jtype.ref_of_string "brand.New"));
+  let after = stats_nodes (Service.handle_line ~local svc "{\"op\": \"stats\"}") in
+  check_int "republished after generation bump" (before + 1) after
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create rejects jobs < 1" `Quick test_pool_create_rejects;
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "parallel_for covers every index" `Quick
+            test_pool_for_covers_every_index;
+          Alcotest.test_case "empty and tiny inputs" `Quick test_pool_empty_and_tiny;
+          Alcotest.test_case "exceptions re-raised" `Quick test_pool_reraises;
+          Alcotest.test_case "nested fan-out runs inline" `Quick
+            test_pool_nested_fanout_inlines;
+        ] );
+      ( "freeze",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_freeze_roundtrip; prop_frozen_run_equals_live ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "batch: jobs 4 = jobs 1" `Quick test_batch_deterministic;
+          Alcotest.test_case "mining: jobs 4 = jobs 1" `Quick
+            test_mining_deterministic;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "snapshot republish on mutation" `Quick
+            test_service_snapshot_republish;
+        ] );
+    ]
