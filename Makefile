@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk clean
 
 all: build
 
@@ -46,7 +46,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke bench-parallel fmt
+check: build test lint serve-smoke bench-parallel bench-topk fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -68,6 +68,13 @@ bench-server: build
 # in it double as a smoke test, so this runs as part of `make check`).
 bench-parallel: build
 	dune exec bench/main.exe -- parallel
+
+# Regenerates BENCH_topk.json (best-first vs exhaustive search at k=1/10/100:
+# wall-clock, materialized-candidate counts, and byte-identity booleans).
+# The section exits nonzero if best-first ever diverges from the exhaustive
+# oracle, which makes this the equivalence gate inside `make check`.
+bench-topk: build
+	dune exec bench/main.exe -- topk
 
 clean:
 	dune clean

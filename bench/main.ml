@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam cache analysis server\n             parallel micro                                               *)
+             search_bound cap_sweep objparam cache analysis server\n             parallel topk micro                                          *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -724,6 +724,7 @@ let section_server () =
                         tout = p.Problems.tout;
                         max_results = None;
                         slack = None;
+                        strategy = None;
                         cluster = false;
                       };
                 }))
@@ -919,6 +920,81 @@ let section_parallel () =
   in
   write_file "BENCH_parallel.json" json
 
+
+(* ------------------------------------------------------------------ *)
+(* Best-first top-k vs exhaustive enumeration                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The laziness claim of the BestFirst strategy, measured: identical output
+   to the exhaustive oracle at every k, while materializing candidates
+   proportional to k instead of the full within-budget path set. The
+   `identical` booleans gate `make check` — a false here exits nonzero. *)
+let section_topk () =
+  rule "Best-first top-k vs exhaustive enumeration";
+  let h = Corpusgen.Workload.layered_api ~classes:2000 in
+  let g = Sig_graph.build h in
+  let frozen = Prospector.Graph.freeze g in
+  let qs = Corpusgen.Workload.random_queries h g ~count:40 ~seed:31 in
+  let nq = List.length qs in
+  let passes = 3 in
+  let run_at ~strategy ~k =
+    let settings = { Query.default_settings with max_results = k; strategy } in
+    time_of (fun () ->
+        let last = ref [] in
+        for _ = 1 to passes do
+          last :=
+            List.map
+              (fun q -> Query.run_info ~settings ~frozen ~graph:g ~hierarchy:h q)
+              qs
+        done;
+        !last)
+  in
+  Printf.printf
+    "layered synthetic (%d queries x %d passes, frozen CSR, uncached):\n" nq
+    passes;
+  let all_identical = ref true in
+  let rows =
+    List.map
+      (fun k ->
+        let ex_t, ex = run_at ~strategy:Query.Exhaustive ~k in
+        let bf_t, bf = run_at ~strategy:Query.BestFirst ~k in
+        let identical = List.map fst ex = List.map fst bf in
+        if not identical then all_identical := false;
+        let candidates rs =
+          List.fold_left
+            (fun acc (_, (i : Query.info)) -> acc + i.Query.candidates)
+            0 rs
+        in
+        let ex_c = candidates ex and bf_c = candidates bf in
+        Printf.printf
+          "  k=%-4d exhaustive: %.4f s (%6d candidates)   best-first: %.4f s \
+           (%6d candidates)   speedup %.2fx   identical: %b\n"
+          k ex_t ex_c bf_t bf_c (ex_t /. bf_t) identical;
+        (k, ex_t, ex_c, bf_t, bf_c, identical))
+      [ 1; 10; 100 ]
+  in
+  Printf.printf "  all identical: %b\n" !all_identical;
+  let json =
+    Printf.sprintf "{\n  \"queries\": %d,\n  \"passes\": %d,\n  \"rows\": [\n%s\n  ],\n  \"identical\": %b\n}\n"
+      nq passes
+      (String.concat ",\n"
+         (List.map
+            (fun (k, ex_t, ex_c, bf_t, bf_c, id) ->
+              Printf.sprintf
+                "    {\"k\": %d, \"exhaustive_s\": %.6f, \
+                 \"exhaustive_candidates\": %d, \"best_first_s\": %.6f, \
+                 \"best_first_candidates\": %d, \"identical\": %b}"
+                k ex_t ex_c bf_t bf_c id)
+            rows))
+      !all_identical
+  in
+  write_file "BENCH_topk.json" json;
+  if not !all_identical then begin
+    prerr_endline
+      "error: best-first results diverged from the exhaustive oracle";
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
@@ -1002,6 +1078,7 @@ let sections =
     ("analysis", section_analysis);
     ("server", section_server);
     ("parallel", section_parallel);
+    ("topk", section_topk);
     ("micro", section_micro);
   ]
 

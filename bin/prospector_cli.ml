@@ -43,7 +43,11 @@ let protected_flag =
         ~doc:"Admit protected members (the paper's proposed extension).")
 
 let max_results =
-  Arg.(value & opt int 10 & info [ "max-results"; "n" ] ~docv:"N" ~doc:"Result list length.")
+  Arg.(
+    value & opt int 10
+    & info
+        [ "max-results"; "n"; "top" ]
+        ~docv:"N" ~doc:"Result list length (the k of the top-k search).")
 
 let slack =
   Arg.(
@@ -108,8 +112,36 @@ let load_env ?pool ~api ~corpus ~mining ~protected_ () =
   end;
   { hierarchy; graph }
 
-let settings ~max_results ~slack =
-  { Prospector.Query.default_settings with max_results; slack }
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:"Search strategy: $(b,best-first) (the default: rank-ordered \
+              best-first top-k, stops once the top results are certified) or \
+              $(b,exhaustive) (enumerate every within-budget path, the \
+              equivalence oracle). Output is byte-identical either way.")
+
+(* Validated like --jobs: a friendly one-line error and exit 1. *)
+let parse_strategy = function
+  | None -> None
+  | Some s -> (
+      match Prospector.Query.strategy_of_string s with
+      | Ok st -> Some st
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+
+let settings ~max_results ~slack ~strategy =
+  let base = Prospector.Query.default_settings in
+  {
+    base with
+    Prospector.Query.max_results;
+    slack;
+    strategy =
+      Option.value (parse_strategy strategy)
+        ~default:base.Prospector.Query.strategy;
+  }
 
 let handle_errors f =
   try f () with
@@ -139,18 +171,24 @@ let query_cmd =
           ~doc:"Group similar jungloids (same type path) and show one \
                 representative per group.")
   in
-  let run api corpus no_mining protected_ max_results slack cluster verbose tin tout =
+  let run api corpus no_mining protected_ max_results slack strategy cluster
+      verbose tin tout =
     setup_logs verbose;
     handle_errors (fun () ->
         let env =
           load_env ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let q = Prospector.Query.query tin tout in
-        let results =
-          Prospector.Query.run
-            ~settings:(settings ~max_results ~slack)
-            ~graph:env.graph ~hierarchy:env.hierarchy q
+        let st = settings ~max_results ~slack ~strategy in
+        let results, info =
+          Prospector.Query.run_info ~settings:st ~graph:env.graph
+            ~hierarchy:env.hierarchy q
         in
+        if info.Prospector.Query.truncated then
+          Printf.eprintf
+            "warning: search stopped at the %d-path limit; better-ranked \
+             solutions may be missing\n"
+            st.Prospector.Query.limit;
         if results = [] then print_endline "no jungloids found"
         else if cluster then
           List.iteri
@@ -165,7 +203,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Synthesize jungloids for a (tin, tout) query.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ cluster_flag $ verbose_flag $ tin $ tout)
+      $ max_results $ slack $ strategy_arg $ cluster_flag $ verbose_flag $ tin
+      $ tout)
 
 (* ---------- assist ---------- *)
 
@@ -178,7 +217,7 @@ let assist_cmd =
           ~doc:"A visible variable, e.g. $(b,ep:org.eclipse.ui.IEditorPart) \
                 (repeatable).")
   in
-  let run api corpus no_mining protected_ max_results slack vars tout =
+  let run api corpus no_mining protected_ max_results slack strategy vars tout =
     handle_errors (fun () ->
         let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let parsed_vars =
@@ -200,7 +239,7 @@ let assist_cmd =
         in
         let suggestions =
           Prospector.Assist.suggest
-            ~settings:(settings ~max_results ~slack)
+            ~settings:(settings ~max_results ~slack ~strategy)
             ~graph:env.graph ~hierarchy:env.hierarchy ctx
         in
         if suggestions = [] then print_endline "no suggestions"
@@ -217,7 +256,7 @@ let assist_cmd =
     (Cmd.info "assist" ~doc:"Content assist: suggestions for an expected type.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ vars $ tout)
+      $ max_results $ slack $ strategy_arg $ vars $ tout)
 
 (* ---------- batch ---------- *)
 
@@ -277,8 +316,8 @@ let batch_cmd =
       & info [ "cache-stats" ]
           ~doc:"Print hit/miss/eviction counters after the batch.")
   in
-  let run api corpus no_mining protected_ max_results slack verbose file repeat
-      no_cache cache_capacity stats_flag jobs =
+  let run api corpus no_mining protected_ max_results slack strategy verbose
+      file repeat no_cache cache_capacity stats_flag jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -291,7 +330,7 @@ let batch_cmd =
           load_env ~pool ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let qs = parse_query_file file in
-        let settings = settings ~max_results ~slack in
+        let settings = settings ~max_results ~slack ~strategy in
         let engine =
           Prospector.Query.engine ~cache_capacity ~pool ~graph:env.graph
             ~hierarchy:env.hierarchy ()
@@ -331,8 +370,8 @@ let batch_cmd =
              query engine.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag $ max_results
-      $ slack $ verbose_flag $ file $ repeat $ no_cache $ cache_capacity $ stats_flag
-      $ jobs_arg)
+      $ slack $ strategy_arg $ verbose_flag $ file $ repeat $ no_cache
+      $ cache_capacity $ stats_flag $ jobs_arg)
 
 (* ---------- mine ---------- *)
 
@@ -435,7 +474,7 @@ let infer_cmd =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
          ~doc:"Mini-Java source files containing ? holes.")
   in
-  let run api corpus no_mining protected_ max_results slack files =
+  let run api corpus no_mining protected_ max_results slack strategy files =
     handle_errors (fun () ->
         let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let sources = List.map (fun f -> (f, read_file f)) files in
@@ -444,7 +483,7 @@ let infer_cmd =
         else
           (* One engine for the whole buffer, as the IDE session would hold. *)
           Prospector_ide.Infer.suggest_all
-            ~settings:(settings ~max_results ~slack)
+            ~settings:(settings ~max_results ~slack ~strategy)
             ~graph:env.graph ~hierarchy:env.hierarchy holes
           |> List.iter (fun ((h : Prospector_ide.Infer.hole), suggestions) ->
                  Printf.printf "hole in %s.%s, expecting %s (in scope: %s)\n"
@@ -465,7 +504,7 @@ let infer_cmd =
        ~doc:"Infer queries from ? holes in mini-Java source and suggest code.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ files)
+      $ max_results $ slack $ strategy_arg $ files)
 
 (* ---------- lint ---------- *)
 
@@ -517,8 +556,8 @@ let lint_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Exit nonzero on warnings, not just errors.")
   in
-  let run api corpus no_mining protected_ max_results slack verbose passes
-      queries json strict =
+  let run api corpus no_mining protected_ max_results slack strategy verbose
+      passes queries json strict =
     setup_logs verbose;
     let passes =
       match passes with
@@ -562,7 +601,7 @@ let lint_cmd =
                   let tin, tout = parse_query_spec spec in
                   let q = Prospector.Query.query tin tout in
                   Prospector.Query.run
-                    ~settings:(settings ~max_results ~slack)
+                    ~settings:(settings ~max_results ~slack ~strategy)
                     ~graph:env.graph ~hierarchy:env.hierarchy q
                   |> List.concat_map (fun (r : Prospector.Query.result) ->
                          let j = r.Prospector.Query.jungloid in
@@ -593,8 +632,8 @@ let lint_cmd =
              verification, with a shared diagnostic report.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ verbose_flag $ passes $ queries $ json_flag
-      $ strict_flag)
+      $ max_results $ slack $ strategy_arg $ verbose_flag $ passes $ queries
+      $ json_flag $ strict_flag)
 
 (* ---------- serve ---------- *)
 
@@ -725,9 +764,9 @@ let serve_cmd =
       value & opt int 512
       & info [ "cache-capacity" ] ~docv:"K" ~doc:"LRU capacity of the query cache.")
   in
-  let run api corpus no_mining protected_ max_results slack verbose host port
-      port_file workers max_request_bytes max_connections deadline stdio save_graph
-      cache_capacity jobs =
+  let run api corpus no_mining protected_ max_results slack strategy verbose
+      host port port_file workers max_request_bytes max_connections deadline
+      stdio save_graph cache_capacity jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -750,7 +789,7 @@ let serve_cmd =
         in
         let service =
           Service.create
-            ~settings:(settings ~max_results ~slack)
+            ~settings:(settings ~max_results ~slack ~strategy)
             ?deadline_s:deadline ~engine ()
         in
         if stdio then Server.serve_stdio ~max_request_bytes service
@@ -782,9 +821,9 @@ let serve_cmd =
        ~doc:"Run the long-lived query daemon (newline-delimited JSON over TCP).")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ verbose_flag $ host $ port $ port_file $ workers
-      $ max_request_bytes $ max_connections $ deadline $ stdio $ save_graph
-      $ cache_capacity $ jobs_arg)
+      $ max_results $ slack $ strategy_arg $ verbose_flag $ host $ port
+      $ port_file $ workers $ max_request_bytes $ max_connections $ deadline
+      $ stdio $ save_graph $ cache_capacity $ jobs_arg)
 
 (* ---------- client ---------- *)
 
@@ -809,7 +848,14 @@ let client_render response =
   match member "op" with
   | Some (Proto.Str "query") ->
       let rs = arr "results" in
-      if rs = [] then print_endline "no jungloids found" else client_render_results rs
+      if rs = [] then print_endline "no jungloids found"
+      else client_render_results rs;
+      (match member "truncated" with
+      | Some (Proto.Bool true) ->
+          prerr_endline
+            "warning: the daemon's search hit its path limit; better-ranked \
+             solutions may be missing"
+      | _ -> ())
   | Some (Proto.Str "assist") ->
       let ss = arr "suggestions" in
       if ss = [] then print_endline "no suggestions"
@@ -874,7 +920,10 @@ let client_render response =
         (int_at "graph" "edges");
       Printf.printf "cache: %d/%d entries, %d hits, %d misses\n"
         (int_at "cache" "entries") (int_at "cache" "capacity")
-        (int_at "cache" "hits") (int_at "cache" "misses")
+        (int_at "cache" "hits") (int_at "cache" "misses");
+      (match member "truncated_queries" with
+      | Some (Proto.Int n) when n > 0 -> Printf.printf "truncated queries: %d\n" n
+      | _ -> ())
   | Some (Proto.Str "health") | Some (Proto.Str "shutdown") -> (
       match member "status" with
       | Some (Proto.Str s) -> print_endline s
@@ -911,7 +960,7 @@ let client_cmd =
                 $(b,lint TIN TOUT), $(b,stats), $(b,health), $(b,shutdown), \
                 $(b,raw LINE).")
   in
-  let run max_results slack host port port_file json_flag vars argv =
+  let run max_results slack strategy host port port_file json_flag vars argv =
     let port =
       match port_file with
       | None -> port
@@ -923,13 +972,24 @@ let client_cmd =
               exit 2)
     in
     let some_results = Some max_results and some_slack = Some slack in
+    (* Validate locally so a typo fails fast; send the canonical spelling. *)
+    let strategy =
+      Option.map Prospector.Query.strategy_to_string (parse_strategy strategy)
+    in
     let line =
       let envelope req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Null; req }) in
       match argv with
       | [ "query"; tin; tout ] ->
           envelope
             (Proto.Query
-               { tin; tout; max_results = some_results; slack = some_slack; cluster = false })
+               {
+                 tin;
+                 tout;
+                 max_results = some_results;
+                 slack = some_slack;
+                 strategy;
+                 cluster = false;
+               })
       | [ "assist"; tout ] ->
           let vars =
             List.map
@@ -943,7 +1003,8 @@ let client_cmd =
               vars
           in
           envelope
-            (Proto.Assist { tout; vars; max_results = some_results; slack = some_slack })
+            (Proto.Assist
+               { tout; vars; max_results = some_results; slack = some_slack; strategy })
       | [ "batch"; file ] ->
           let pairs =
             parse_query_file file
@@ -952,7 +1013,8 @@ let client_cmd =
                      Javamodel.Jtype.to_string q.Prospector.Query.tout ))
           in
           envelope
-            (Proto.Batch { pairs; max_results = some_results; slack = some_slack })
+            (Proto.Batch
+               { pairs; max_results = some_results; slack = some_slack; strategy })
       | [ "lint"; tin; tout ] -> envelope (Proto.Lint { tin; tout })
       | [ "stats" ] -> envelope Proto.Stats
       | [ "health" ] -> envelope Proto.Health
@@ -1004,8 +1066,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one request to a running prospector daemon and print the reply.")
     Term.(
-      const run $ max_results $ slack $ host $ port $ port_file $ json_flag $ vars
-      $ argv)
+      const run $ max_results $ slack $ strategy_arg $ host $ port $ port_file
+      $ json_flag $ vars $ argv)
 
 (* ---------- table1 ---------- *)
 

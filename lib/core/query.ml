@@ -31,12 +31,35 @@ let parse_type s =
 
 let query tin tout = { tin = parse_type tin; tout = parse_type tout }
 
+(* [BestFirst] answers the same query by popping a rank-ordered heap of
+   path prefixes (see [Topk]) and stopping once [max_results] distinct
+   solutions are certified — provably the same output as the exhaustive
+   pipeline, without materializing thousands of also-rans. [Exhaustive]
+   remains as the equivalence oracle and for corpus tooling that wants the
+   whole within-budget path set anyway. *)
+type strategy =
+  | Exhaustive
+  | BestFirst
+
+let strategy_to_string = function
+  | Exhaustive -> "exhaustive"
+  | BestFirst -> "best-first"
+
+let strategy_of_string = function
+  | "exhaustive" -> Ok Exhaustive
+  | "best-first" -> Ok BestFirst
+  | s ->
+      Error
+        (Printf.sprintf "unknown strategy %S (expected \"best-first\" or \"exhaustive\")"
+           s)
+
 type settings = {
   slack : int;
   limit : int;
   max_results : int;
   weights : Rank.weights;
   estimate_freevars : bool;
+  strategy : strategy;
 }
 
 let default_settings =
@@ -46,7 +69,14 @@ let default_settings =
     max_results = 10;
     weights = Rank.default_weights;
     estimate_freevars = false;
+    strategy = BestFirst;
   }
+
+(* A negative free-variable cost would make the best-first priority
+   non-monotone (prefixes could get cheaper as they grow), voiding the
+   order certificate; such ablation configurations silently fall back. *)
+let effective_strategy settings =
+  if settings.weights.Rank.freevar_cost < 0 then Exhaustive else settings.strategy
 
 (* A read-only lens over either graph representation. [run]/[run_multi] are
    written once against it; the [?frozen] path binds every operation to the
@@ -57,13 +87,19 @@ type view = {
   v_find : Jtype.t -> Graph.node option;
   v_void : unit -> Graph.node option;
   v_of_path : Search.path -> Jungloid.t;
+  v_node_type : Graph.node -> Jtype.t;
   v_distances_from : Graph.node list -> int array;
+  v_distances_to :
+    viable:(Graph.node -> bool) option -> target:Graph.node -> int array;
+  v_iter_succs : Graph.node -> (int -> Graph.edge -> unit) -> unit;
+  v_edge_slots : int;  (* total edge count for the CSR memo; 0 = list graph *)
   v_enumerate :
     viable:(Graph.node -> bool) option ->
     sources:Graph.node list ->
     target:Graph.node ->
     slack:int ->
     limit:int ->
+    truncated:bool ref ->
     Search.path list;
   v_enumerate_per_source :
     viable:(Graph.node -> bool) option ->
@@ -71,6 +107,7 @@ type view = {
     target:Graph.node ->
     slack:int ->
     limit:int ->
+    truncated:bool ref ->
     Search.path list;
 }
 
@@ -79,13 +116,18 @@ let view_of_graph g =
     v_find = Graph.find_type_node g;
     v_void = (fun () -> Some (Graph.void_node g));
     v_of_path = Jungloid.of_path g;
+    v_node_type = Graph.node_type g;
     v_distances_from = (fun sources -> Search.distances_from g ~sources);
+    v_distances_to = (fun ~viable ~target -> Search.distances_to ?viable g ~target);
+    v_iter_succs = (fun u f -> List.iteri f (Graph.succs g u));
+    v_edge_slots = 0;
     v_enumerate =
-      (fun ~viable ~sources ~target ~slack ~limit ->
-        Search.enumerate g ~sources ~target ~slack ~limit ?viable ());
+      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
+        Search.enumerate g ~sources ~target ~slack ~limit ?viable ~truncated ());
     v_enumerate_per_source =
-      (fun ~viable ~sources ~target ~slack ~limit ->
-        Search.enumerate_per_source g ~sources ~target ~slack ~limit ?viable ());
+      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
+        Search.enumerate_per_source g ~sources ~target ~slack ~limit ?viable ~truncated
+          ());
   }
 
 let view_of_frozen fz =
@@ -93,13 +135,23 @@ let view_of_frozen fz =
     v_find = Graph.frozen_find_type_node fz;
     v_void = (fun () -> Graph.frozen_void_node fz);
     v_of_path = Jungloid.of_frozen_path fz;
+    v_node_type = Graph.frozen_node_type fz;
     v_distances_from = (fun sources -> Search.Csr.distances_from fz ~sources);
+    v_distances_to = (fun ~viable ~target -> Search.Csr.distances_to ?viable fz ~target);
+    v_iter_succs =
+      (fun u f ->
+        let off = fz.Graph.f_fwd_off in
+        for k = off.(u) to off.(u + 1) - 1 do
+          f k fz.Graph.f_fwd_edge.(k)
+        done);
+    v_edge_slots = Array.length fz.Graph.f_fwd_edge;
     v_enumerate =
-      (fun ~viable ~sources ~target ~slack ~limit ->
-        Search.Csr.enumerate fz ~sources ~target ~slack ~limit ?viable ());
+      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
+        Search.Csr.enumerate fz ~sources ~target ~slack ~limit ?viable ~truncated ());
     v_enumerate_per_source =
-      (fun ~viable ~sources ~target ~slack ~limit ->
-        Search.Csr.enumerate_per_source fz ~sources ~target ~slack ~limit ?viable ());
+      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
+        Search.Csr.enumerate_per_source fz ~sources ~target ~slack ~limit ?viable
+          ~truncated ());
   }
 
 (* The future-work free-variable estimator: a free variable of type T will
@@ -236,7 +288,72 @@ let view_and_gen ?frozen graph =
   | Some fz -> (view_of_frozen fz, Graph.frozen_generation fz)
   | None -> (view_of_graph graph, Graph.generation graph)
 
-let run ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy q =
+(* Per-query execution report: how many candidates the search materialized
+   into jungloids (the laziness metric) and whether it stopped at
+   [settings.limit] — the signal the CLI and server surface so a clipped
+   result set is never mistaken for a complete one. *)
+type info = {
+  candidates : int;
+  truncated : bool;
+}
+
+let no_info = { candidates = 0; truncated = false }
+
+(* The best-first generator for one query shape, positioned exactly where
+   [v_enumerate] sits in the exhaustive pipeline. [sources] carries the
+   per-source budget (shortest-cost-from-that-source + slack). *)
+let topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to ~sources ~target =
+  Topk.start ?freevar_cost_of ~weights:settings.weights ~hierarchy
+    ~node_type:view.v_node_type ~iter_succs:view.v_iter_succs
+    ~edge_slots:view.v_edge_slots ~materialize:view.v_of_path ~dist_to ~sources
+    ~target ~limit:settings.limit ()
+
+(* Consume a certified-order candidate stream for the single-source query:
+   the expression-level dedup subsumes the exhaustive pipeline's structural
+   dedup (structurally equal jungloids render identically), verification
+   frees slots exactly as in [rank_and_render], and the stream stops as
+   soon as [max_results] survivors exist. *)
+let consume_single ~settings ~hierarchy ~freevar_cost_of ~verify st =
+  let seen = Hashtbl.create 32 in
+  let rec loop acc n =
+    if n = 0 then List.rev acc
+    else
+      match Topk.next st with
+      | None -> List.rev acc
+      | Some c ->
+          let j = c.Topk.cand_jungloid in
+          let expr = Jungloid.to_expression j in
+          if Hashtbl.mem seen expr then loop acc n
+          else begin
+            Hashtbl.replace seen expr ();
+            let ok =
+              match verify with
+              | None -> true
+              | Some v ->
+                  v.vchecked <- v.vchecked + 1;
+                  let ok = v.vcheck j in
+                  if not ok then begin
+                    v.vfiltered <- v.vfiltered + 1;
+                    Log.warn (fun m -> m "verifier rejected %s" (Jungloid.to_string j))
+                  end;
+                  ok
+            in
+            if ok then
+              let r =
+                {
+                  jungloid = j;
+                  key = Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j;
+                  code = Codegen.to_java j;
+                }
+              in
+              loop (r :: acc) (n - 1)
+            else loop acc n
+          end
+  in
+  loop [] settings.max_results
+
+let run_info ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy
+    q =
   let view, gen = view_and_gen ?frozen graph in
   match (view.v_find q.tin, view.v_find q.tout) with
   | Some src, Some dst ->
@@ -247,26 +364,57 @@ let run ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy 
         Log.debug (fun m ->
             m "query (%s, %s): pruned — tin can never reach tout"
               (Jtype.to_string q.tin) (Jtype.to_string q.tout));
-        []
+        ([], no_info)
       end
       else begin
-        let paths =
-          view.v_enumerate ~viable ~sources:[ src ] ~target:dst ~slack:settings.slack
-            ~limit:settings.limit
-        in
-        Log.debug (fun m ->
-            m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
-              (Jtype.to_string q.tout) (List.length paths));
-        rank_and_render ~settings ~hierarchy
-          ~freevar_cost_of:(freevar_estimator ~settings view)
-          ~input_name:(fun _ -> None)
-          ~verify view.v_of_path paths
+        let freevar_cost_of = freevar_estimator ~settings view in
+        match effective_strategy settings with
+        | Exhaustive ->
+            let truncated = ref false in
+            let paths =
+              view.v_enumerate ~viable ~sources:[ src ] ~target:dst
+                ~slack:settings.slack ~limit:settings.limit ~truncated
+            in
+            Log.debug (fun m ->
+                m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
+                  (Jtype.to_string q.tout) (List.length paths));
+            ( rank_and_render ~settings ~hierarchy ~freevar_cost_of
+                ~input_name:(fun _ -> None)
+                ~verify view.v_of_path paths,
+              { candidates = List.length paths; truncated = !truncated } )
+        | BestFirst ->
+            let dist_to = view.v_distances_to ~viable ~target:dst in
+            if src >= Array.length dist_to || dist_to.(src) = max_int then begin
+              Log.debug (fun m ->
+                  m "query (%s, %s): no path" (Jtype.to_string q.tin)
+                    (Jtype.to_string q.tout));
+              ([], no_info)
+            end
+            else begin
+              let st =
+                topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to
+                  ~sources:[ (src, dist_to.(src) + settings.slack) ]
+                  ~target:dst
+              in
+              let results =
+                consume_single ~settings ~hierarchy ~freevar_cost_of ~verify st
+              in
+              Log.debug (fun m ->
+                  m "query (%s, %s): %d candidates materialized (best-first)"
+                    (Jtype.to_string q.tin) (Jtype.to_string q.tout)
+                    (Topk.materialized st));
+              ( results,
+                { candidates = Topk.materialized st; truncated = Topk.truncated st } )
+            end
       end
   | _ ->
       Log.debug (fun m ->
           m "query (%s, %s): type not in graph" (Jtype.to_string q.tin)
             (Jtype.to_string q.tout));
-      []
+      ([], no_info)
+
+let run ?settings ?reach ?frozen ?verify ~graph ~hierarchy q =
+  fst (run_info ?settings ?reach ?frozen ?verify ~graph ~hierarchy q)
 
 type cluster = {
   representative : result;
@@ -298,6 +446,104 @@ let cluster results =
     results;
   List.rev_map (fun key -> Hashtbl.find seen key) !order
 
+(* The multi-source best-first consumer. Candidates arrive in certified
+   rank order; the exhaustive pipeline additionally orders pairs with equal
+   keys by their source variable ([compare sa sb] after [compare_key]), so
+   the stream is buffered into maximal equal-key runs, each run expanded
+   into (jungloid, source-var) pairs and sorted by source before emission.
+   All candidates of one structurally-equal jungloid share one key and
+   therefore one run, so the per-run (jungloid, source) dedup reproduces
+   the exhaustive [Hashtbl.replace] dedup exactly. *)
+let consume_multi ~settings ~hierarchy ~freevar_cost_of ~verify ~void ~var_nodes st =
+  let seen_pair = Hashtbl.create 64 in
+  let seen_expr = Hashtbl.create 64 in
+  let out = ref [] in
+  let count = ref 0 in
+  let buffer = ref [] in
+  let flush_run () =
+    let cands = List.rev !buffer in
+    buffer := [];
+    let pairs =
+      List.concat_map
+        (fun (c : Topk.candidate) ->
+          let srcs =
+            if void = Some c.Topk.cand_path.Search.source then [ None ]
+            else
+              List.filter_map
+                (fun (n, name) ->
+                  if n = c.Topk.cand_path.Search.source then Some (Some name) else None)
+                var_nodes
+          in
+          List.filter_map
+            (fun s ->
+              if Hashtbl.mem seen_pair (c.Topk.cand_jungloid, s) then None
+              else begin
+                Hashtbl.replace seen_pair (c.Topk.cand_jungloid, s) ();
+                Some (c, s)
+              end)
+            srcs)
+        cands
+    in
+    let pairs = List.stable_sort (fun (_, sa) (_, sb) -> compare sa sb) pairs in
+    List.iter
+      (fun ((c : Topk.candidate), s) ->
+        if !count < settings.max_results then begin
+          let j = c.Topk.cand_jungloid in
+          let ekey = (s, Jungloid.to_expression j) in
+          if not (Hashtbl.mem seen_expr ekey) then begin
+            Hashtbl.replace seen_expr ekey ();
+            let ok =
+              match verify with
+              | None -> true
+              | Some v ->
+                  v.vchecked <- v.vchecked + 1;
+                  let ok = v.vcheck j in
+                  if not ok then begin
+                    v.vfiltered <- v.vfiltered + 1;
+                    Log.warn (fun m -> m "verifier rejected %s" (Jungloid.to_string j))
+                  end;
+                  ok
+            in
+            if ok then begin
+              let input =
+                match s with
+                | Some name -> Some (name, Jungloid.input_type j)
+                | None -> None
+              in
+              out :=
+                {
+                  source_var = s;
+                  result =
+                    {
+                      jungloid = j;
+                      key =
+                        Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy
+                          j;
+                      code = Codegen.to_java ?input j;
+                    };
+                }
+                :: !out;
+              incr count
+            end
+          end
+        end)
+      pairs
+  in
+  let rec loop last_key =
+    if !count >= settings.max_results then ()
+    else
+      match Topk.next st with
+      | None -> flush_run ()
+      | Some c ->
+          (match last_key with
+          | Some k when Rank.compare_key k c.Topk.cand_key <> 0 -> flush_run ()
+          | _ -> ());
+          buffer := c :: !buffer;
+          loop (Some c.Topk.cand_key)
+  in
+  loop None;
+  List.rev !out
+
 let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy
     ~vars ~tout () =
   let view, gen = view_and_gen ?frozen graph in
@@ -316,65 +562,96 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hier
         | None -> List.map fst var_nodes
       in
       let viable = viable_of ~reach:(current_reach ~gen reach) ~target:dst in
-      let paths =
-        view.v_enumerate_per_source ~viable ~sources ~target:dst ~slack:settings.slack
-          ~limit:settings.limit
-      in
-      (* Attribute each path to the variables of its source node; a path from
-         the void node belongs to no variable. Distinct (jungloid, source)
-         pairs each become one suggestion. *)
-      let jungloid_sources = Hashtbl.create 64 in
-      List.iter
-        (fun (p : Search.path) ->
-          let j = view.v_of_path p in
-          let srcs =
-            if void = Some p.Search.source then [ None ]
-            else
-              List.filter_map
-                (fun (n, name) -> if n = p.Search.source then Some (Some name) else None)
-                var_nodes
-          in
-          List.iter (fun s -> Hashtbl.replace jungloid_sources (j, s) ()) srcs)
-        paths;
-      let pairs =
-        Hashtbl.fold (fun (j, s) () acc -> (j, s) :: acc) jungloid_sources []
-      in
       let freevar_cost_of = freevar_estimator ~settings view in
-      let ranked =
-        List.map
-          (fun (j, s) ->
-            (Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j, j, s))
-          pairs
-        |> List.sort (fun (ka, _, sa) (kb, _, sb) ->
-               match Rank.compare_key ka kb with
-               | 0 -> compare sa sb
-               | c -> c)
+      let exhaustive () =
+        let truncated = ref false in
+        let paths =
+          view.v_enumerate_per_source ~viable ~sources ~target:dst
+            ~slack:settings.slack ~limit:settings.limit ~truncated
+        in
+        (* Attribute each path to the variables of its source node; a path
+           from the void node belongs to no variable. Distinct (jungloid,
+           source) pairs each become one suggestion. *)
+        let jungloid_sources = Hashtbl.create 64 in
+        List.iter
+          (fun (p : Search.path) ->
+            let j = view.v_of_path p in
+            let srcs =
+              if void = Some p.Search.source then [ None ]
+              else
+                List.filter_map
+                  (fun (n, name) ->
+                    if n = p.Search.source then Some (Some name) else None)
+                  var_nodes
+            in
+            List.iter (fun s -> Hashtbl.replace jungloid_sources (j, s) ()) srcs)
+          paths;
+        let pairs =
+          Hashtbl.fold (fun (j, s) () acc -> (j, s) :: acc) jungloid_sources []
+        in
+        let ranked =
+          List.map
+            (fun (j, s) ->
+              (Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j, j, s))
+            pairs
+          |> List.sort (fun (ka, _, sa) (kb, _, sb) ->
+                 match Rank.compare_key ka kb with
+                 | 0 -> compare sa sb
+                 | c -> c)
+        in
+        let seen = Hashtbl.create 64 in
+        let ranked =
+          List.filter
+            (fun (_, j, s) ->
+              let key = (s, Jungloid.to_expression j) in
+              if Hashtbl.mem seen key then false
+              else begin
+                Hashtbl.replace seen key ();
+                true
+              end)
+            ranked
+        in
+        let ranked =
+          match verify with
+          | None -> ranked
+          | Some _ ->
+              let keep = verify_filter verify (List.map (fun (_, j, _) -> j) ranked) in
+              List.filter (fun (_, j, _) -> List.memq j keep) ranked
+        in
+        List.filteri (fun i _ -> i < settings.max_results) ranked
+        |> List.map (fun (key, j, s) ->
+               let input =
+                 match s with
+                 | Some name -> Some (name, Jungloid.input_type j)
+                 | None -> None
+               in
+               {
+                 source_var = s;
+                 result = { jungloid = j; key; code = Codegen.to_java ?input j };
+               })
       in
-      let seen = Hashtbl.create 64 in
-      let ranked =
-        List.filter
-          (fun (_, j, s) ->
-            let key = (s, Jungloid.to_expression j) in
-            if Hashtbl.mem seen key then false
-            else begin
-              Hashtbl.replace seen key ();
-              true
-            end)
-          ranked
+      let best_first () =
+        let dist_to = view.v_distances_to ~viable ~target:dst in
+        let budgeted =
+          List.filter_map
+            (fun s ->
+              if s < Array.length dist_to && dist_to.(s) < max_int then
+                Some (s, dist_to.(s) + settings.slack)
+              else None)
+            (List.sort_uniq compare sources)
+        in
+        if budgeted = [] then []
+        else
+          let st =
+            topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to
+              ~sources:budgeted ~target:dst
+          in
+          consume_multi ~settings ~hierarchy ~freevar_cost_of ~verify ~void
+            ~var_nodes st
       in
-      let ranked =
-        match verify with
-        | None -> ranked
-        | Some _ ->
-            let keep = verify_filter verify (List.map (fun (_, j, _) -> j) ranked) in
-            List.filter (fun (_, j, _) -> List.memq j keep) ranked
-      in
-      List.filteri (fun i _ -> i < settings.max_results) ranked
-      |> List.map (fun (key, j, s) ->
-             let input =
-               match s with Some name -> Some (name, Jungloid.input_type j) | None -> None
-             in
-             { source_var = s; result = { jungloid = j; key; code = Codegen.to_java ?input j } })
+      (match effective_strategy settings with
+      | Exhaustive -> exhaustive ()
+      | BestFirst -> best_first ())
 
 (* ------------------------------------------------------------------ *)
 (* The query engine: LRU-memoized, reachability-pruned entry points    *)

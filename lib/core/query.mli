@@ -20,6 +20,26 @@ val query : string -> string -> t
     dotted type names; ["void"] gives the zero-input query, a ["[]"] suffix
     an array type. *)
 
+(** How the engine finds the top-[max_results] chains. [BestFirst] (the
+    default) expands rank-ordered path prefixes from a min-heap ({!Topk})
+    and stops once the top results are certified — provably byte-identical
+    output to [Exhaustive], which enumerates every within-budget path and
+    sorts ([test_topk.ml] pins the equivalence). [Exhaustive] remains the
+    oracle and the choice for corpus tooling that wants the full path set.
+    Configurations with a negative [freevar_cost] (ablations) silently run
+    exhaustively: a negative charge would break the best-first order
+    certificate. *)
+type strategy =
+  | Exhaustive
+  | BestFirst
+
+val strategy_to_string : strategy -> string
+(** ["exhaustive"] / ["best-first"] — the wire and CLI spelling. *)
+
+val strategy_of_string : string -> (strategy, string) result
+(** Inverse of {!strategy_to_string}; [Error] carries a user-ready message
+    listing the accepted spellings. *)
+
 type settings = {
   slack : int;  (** extra path cost beyond the shortest; the paper uses 1 *)
   limit : int;  (** cap on enumerated paths *)
@@ -29,10 +49,12 @@ type settings = {
       (** replace the constant free-variable charge with each type's actual
           shortest production cost from the void node — the estimation the
           paper leaves as future work (default [false]) *)
+  strategy : strategy;
 }
 
 val default_settings : settings
-(** [slack = 1], [limit = 4096], [max_results = 10], default weights. *)
+(** [slack = 1], [limit = 4096], [max_results = 10], default weights,
+    [strategy = BestFirst]. *)
 
 type result = {
   jungloid : Jungloid.t;
@@ -57,6 +79,28 @@ type verify = {
 
 val verifier : (Jungloid.t -> bool) -> verify
 (** Fresh counters around a soundness predicate. *)
+
+type info = {
+  candidates : int;
+      (** candidates the search materialized into jungloids: every
+          enumerated path under [Exhaustive], only the candidates actually
+          needed to certify the top results under [BestFirst] *)
+  truncated : bool;
+      (** the search stopped at [settings.limit] — the result list may be
+          missing better-ranked solutions and callers should say so *)
+}
+
+val run_info :
+  ?settings:settings ->
+  ?reach:Reach.t ->
+  ?frozen:Graph.frozen ->
+  ?verify:verify ->
+  graph:Graph.t ->
+  hierarchy:Hierarchy.t ->
+  t ->
+  result list * info
+(** {!run} plus the execution report — the CLI's truncation warning and the
+    server's [truncated] reply field come from here. *)
 
 val run :
   ?settings:settings ->

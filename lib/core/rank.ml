@@ -15,8 +15,10 @@ type key = {
   crossings : int;
   specificity : int;
   interior : int;
-  text : string;
+  tie : Jungloid.t;
 }
+
+let text k = Jungloid.to_string k.tie
 
 let package_crossings (j : Jungloid.t) =
   (* The chain conceptually starts at the input object's class, so its
@@ -78,23 +80,35 @@ let key ?(weights = default_weights) ?freevar_cost_of h j =
         0 j.Jungloid.elems
     else 0
   in
-  { length; crossings; specificity; interior; text = Jungloid.to_string j }
+  { length; crossings; specificity; interior; tie = j }
 
-let compare_key a b =
+let compare_numeric a b =
   match compare a.length b.length with
   | 0 -> (
       match compare a.crossings b.crossings with
       | 0 -> (
           match compare a.specificity b.specificity with
-          | 0 -> (
-              match compare a.interior b.interior with
-              | 0 -> compare a.text b.text
-              | c -> c)
+          | 0 -> compare a.interior b.interior
           | c -> c)
       | c -> c)
   | c -> c
 
+(* The textual tiebreak is rendered only when all four numeric components
+   tie — on realistic workloads the overwhelmingly common case is that they
+   do not, so most comparisons never pay for [Jungloid.to_string]. *)
+let compare_key a b =
+  match compare_numeric a b with
+  | 0 -> compare (Jungloid.to_string a.tie) (Jungloid.to_string b.tie)
+  | c -> c
+
 let sort ?weights ?freevar_cost_of h js =
-  List.map (fun j -> (key ?weights ?freevar_cost_of h j, j)) js
-  |> List.stable_sort (fun (a, _) (b, _) -> compare_key a b)
-  |> List.map snd
+  (* Decorate with a memoized rendering so a jungloid compared textually
+     against many numeric-equal peers is stringified once, not O(n) times. *)
+  List.map
+    (fun j -> (key ?weights ?freevar_cost_of h j, lazy (Jungloid.to_string j), j))
+    js
+  |> List.stable_sort (fun (a, ta, _) (b, tb, _) ->
+         match compare_numeric a b with
+         | 0 -> compare (Lazy.force ta) (Lazy.force tb)
+         | c -> c)
+  |> List.map (fun (_, _, j) -> j)

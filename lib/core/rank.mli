@@ -36,8 +36,14 @@ type key = {
   crossings : int;
   specificity : int;  (** hierarchy depth of the pre-widening output type *)
   interior : int;  (** summed depth of intermediate output types *)
-  text : string;
+  tie : Jungloid.t;
+      (** source of the textual tiebreak; rendered lazily by {!compare_key}
+          only when all four numeric components tie *)
 }
+
+val text : key -> string
+(** The textual tiebreak, [Jungloid.to_string] of [tie] — computed on
+    demand, never stored. *)
 
 val key :
   ?weights:weights ->
@@ -51,6 +57,14 @@ val key :
     cost from the graph when [estimate_freevars] is set. *)
 
 val compare_key : key -> key -> int
+(** Lexicographic over (length, crossings, specificity, interior, text);
+    the text is rendered only on a full numeric tie. *)
+
+val type_depth : Hierarchy.t -> Javamodel.Jtype.t -> int
+(** Hierarchy depth of a reference type, 1 for arrays, 0 otherwise — the
+    generality measure behind [specificity]/[interior]. Exposed so the
+    best-first enumerator ({!Topk}) computes tiebreaks with the exact same
+    function. *)
 
 val sort :
   ?weights:weights ->

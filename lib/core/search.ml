@@ -43,8 +43,11 @@ module Deque = struct
             Some x)
 end
 
-(* 0-1 BFS: [next u] yields [(cost, v)] pairs with cost 0 or 1. See the
-   Deque comment for the re-queue discipline that keeps the deque small. *)
+(* 0-1 BFS: [next u f] calls [f cost v] for each neighbor, cost 0 or 1 —
+   an iterator rather than a returned list, so relaxing a node allocates
+   nothing (the old [List.map]-per-visited-node built a transient pair list
+   on every expansion). See the Deque comment for the re-queue discipline
+   that keeps the deque small. *)
 let zero_one_bfs n ~starts ~next =
   let dist = Array.make n max_int in
   let dq = Deque.create () in
@@ -60,15 +63,13 @@ let zero_one_bfs n ~starts ~next =
     | None -> ()
     | Some (du, u) ->
         if du = dist.(u) then
-          List.iter
-            (fun (cost, v) ->
-              let d = dist.(u) + cost in
+          next u (fun cost v ->
+              let d = du + cost in
               if d < dist.(v) then begin
                 dist.(v) <- d;
                 if cost = 0 then Deque.push_front dq (d, v)
                 else Deque.push_back dq (d, v)
-              end)
-            (next u);
+              end);
         loop ()
   in
   loop ();
@@ -79,22 +80,25 @@ let zero_one_bfs n ~starts ~next =
    cone this is result-preserving — any path that reaches the target lies
    entirely inside the cone — while shrinking the BFS frontier from the
    whole graph to the cone. *)
-let keep viable step =
-  match viable with
-  | None -> step
-  | Some ok -> List.filter (fun (_, v) -> ok v) step
+let oracle = function None -> fun _ -> true | Some ok -> ok
 
 let distances_to ?viable g ~target =
   let n = Graph.node_count g in
-  zero_one_bfs n ~starts:[ target ] ~next:(fun u ->
-      keep viable
-        (List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.src)) (Graph.preds g u)))
+  let ok = oracle viable in
+  zero_one_bfs n ~starts:[ target ] ~next:(fun u f ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          if ok e.Graph.src then f (Elem.cost e.Graph.elem) e.Graph.src)
+        (Graph.preds g u))
 
 let distances_from ?viable g ~sources =
   let n = Graph.node_count g in
-  zero_one_bfs n ~starts:sources ~next:(fun u ->
-      keep viable
-        (List.map (fun e -> (Elem.cost e.Graph.elem, e.Graph.dst)) (Graph.succs g u)))
+  let ok = oracle viable in
+  zero_one_bfs n ~starts:sources ~next:(fun u f ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          if ok e.Graph.dst then f (Elem.cost e.Graph.elem) e.Graph.dst)
+        (Graph.succs g u))
 
 let shortest_cost ?viable g ~sources ~target =
   let sources =
@@ -138,7 +142,17 @@ let dfs_from g ~target ~dist_to ~on_path ~budget ~limit ~count ~results source =
     on_path.(source) <- false
   end
 
-let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
+(* When the DFS stops at [limit] the enumeration is clipped mid-flight; the
+   [?truncated] flag (OR-ed, never cleared) lets callers surface that the
+   result set may be incomplete instead of silently shipping a prefix. A
+   count that lands exactly on [limit] is reported as truncated even if the
+   DFS happened to have nothing further — conservative by design. *)
+let flag_truncated truncated ~count ~limit =
+  match truncated with
+  | Some r -> if !count >= limit then r := true
+  | None -> ()
+
+let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable ?truncated () =
   match shortest_cost ?viable g ~sources ~target with
   | None -> []
   | Some m ->
@@ -151,9 +165,11 @@ let enumerate g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
       List.iter
         (dfs_from g ~target ~dist_to ~on_path ~budget ~limit ~count ~results)
         (List.sort_uniq compare sources);
+      flag_truncated truncated ~count ~limit;
       List.rev !results
 
-let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
+let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable
+    ?truncated () =
   (* One query per source, as content assist conceptually runs them; the
      backward BFS is shared, so the cost is close to a single query. Each
      source gets its own budget: its shortest cost to the target plus
@@ -172,6 +188,7 @@ let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable
             ~budget:(dist_to.(source) + slack)
             ~limit ~count ~results source)
       (List.sort_uniq compare sources);
+    flag_truncated truncated ~count ~limit;
     List.rev !results
 
 (* ------------------------------------------------------------------ *)
@@ -316,7 +333,8 @@ module Csr = struct
       on_path.(source) <- false
     end
 
-  let enumerate fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable () =
+  let enumerate fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable ?truncated
+      () =
     match shortest_cost ?viable fz ~sources ~target with
     | None -> []
     | Some m ->
@@ -329,10 +347,11 @@ module Csr = struct
         List.iter
           (dfs_from fz ~target ~dist_to ~on_path ~budget ~limit ~count ~results)
           (List.sort_uniq compare sources);
+        flag_truncated truncated ~count ~limit;
         List.rev !results
 
-  let enumerate_per_source fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable ()
-      =
+  let enumerate_per_source fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable
+      ?truncated () =
     if target >= fz.Graph.f_nodes then []
     else
       let dist_to = distances_to ?viable fz ~target in
@@ -347,5 +366,6 @@ module Csr = struct
               ~budget:(dist_to.(source) + slack)
               ~limit ~count ~results source)
         (List.sort_uniq compare sources);
+      flag_truncated truncated ~count ~limit;
       List.rev !results
 end

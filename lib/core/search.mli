@@ -44,13 +44,19 @@ val enumerate :
   ?slack:int ->
   ?limit:int ->
   ?viable:(Graph.node -> bool) ->
+  ?truncated:bool ref ->
   unit ->
   path list
 (** All acyclic paths from any source to [target] of cost at most
     [shortest + slack] (default [slack = 1]), up to [limit] paths (default
     4096). Returns [[]] when unreachable. Paths of cost 0 (pure widening,
     or an empty path when a source equals the target) are excluded: they
-    contain no code. *)
+    contain no code.
+
+    [?truncated] is set to [true] (never cleared — callers may share one
+    flag across searches) when the enumeration stopped at [limit], i.e. the
+    returned list may be missing paths. The check is conservative: exactly
+    [limit] paths also raises the flag. *)
 
 val enumerate_per_source :
   Graph.t ->
@@ -59,6 +65,7 @@ val enumerate_per_source :
   ?slack:int ->
   ?limit:int ->
   ?viable:(Graph.node -> bool) ->
+  ?truncated:bool ref ->
   unit ->
   path list
 (** Content-assist semantics: conceptually one query {e per} source, so each
@@ -106,6 +113,7 @@ module Csr : sig
     ?slack:int ->
     ?limit:int ->
     ?viable:(Graph.node -> bool) ->
+    ?truncated:bool ref ->
     unit ->
     path list
 
@@ -116,6 +124,7 @@ module Csr : sig
     ?slack:int ->
     ?limit:int ->
     ?viable:(Graph.node -> bool) ->
+    ?truncated:bool ref ->
     unit ->
     path list
 end

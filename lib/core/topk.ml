@@ -1,0 +1,595 @@
+(* Rank-aware best-first top-k path enumeration (the lazy alternative to
+   [Search.enumerate] + [Rank.sort]).
+
+   The exhaustive pipeline materializes every acyclic path within budget —
+   up to [limit = 4096] — builds a [Jungloid.t] and a full [Rank.key] per
+   path, sorts, and then throws away everything past [max_results]. Here
+   the frontier of path *prefixes* lives in a binary min-heap ordered by an
+   admissible priority
+
+       f(prefix) = cost(prefix) + charge(prefix) + dist_to(head)
+
+   where [dist_to] is the exact 0-1-BFS distance to the target and [charge]
+   the free-variable charge accumulated so far. Both edge cost and charge
+   are non-negative and [dist_to] is consistent (it satisfies the triangle
+   inequality along every edge the search can take), so f never decreases
+   along an expansion and completed paths pop with f equal to their final
+   Rank length — in nondecreasing length order. Prefixes are stored in a
+   shared-prefix arena of parent-pointer ints (one row per prefix, flat
+   parallel arrays), so extending a path is O(1) and allocation-free: no
+   [List.rev], no cons garbage, no per-prefix jungloid.
+
+   Exactness of the tiebreaks: completed paths of one length are buffered
+   until the heap minimum exceeds that length (then no more paths of that
+   length can complete), sorted by the incrementally-maintained numeric
+   tiebreaks (package crossings, output specificity, interior generality —
+   each updated per appended edge with the same functions [Rank.key]
+   applies to the finished jungloid), and only then resolved group by
+   group: paths are materialized into jungloids — and rendered for the
+   textual tiebreak — only for the numeric-tie groups the consumer actually
+   reaches. Within a numeric-tie group the order is (text, source,
+   DFS-lexicographic edge ordinals), which reproduces [Rank.sort]'s stable
+   order over the DFS enumeration exactly: the DFS emits paths in
+   (source asc, edge-ordinal lex) preorder, and complete paths are never
+   prefixes of one another, so the lex comparison always finds a deciding
+   ordinal. The net effect is byte-identical output to the exhaustive
+   pipeline while touching ~k candidates instead of thousands. *)
+
+module Jtype = Javamodel.Jtype
+module Hierarchy = Javamodel.Hierarchy
+module Qname = Javamodel.Qname
+
+(* A growable int array — the building block of both the arena and the
+   heap. Plain [int array] underneath: unboxed, cache-friendly. *)
+module Ivec = struct
+  type t = {
+    mutable buf : int array;
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 64 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.buf then begin
+      let buf' = Array.make (2 * Array.length v.buf) 0 in
+      Array.blit v.buf 0 buf' 0 v.len;
+      v.buf <- buf'
+    end;
+    v.buf.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.buf.(i)
+end
+
+(* Binary min-heap over (priority, payload) int pairs in two parallel
+   arrays. Pop order among equal priorities is unspecified but
+   deterministic — the batch sort above it restores the exact rank order,
+   so only the grouping by priority matters. *)
+module Heap = struct
+  type t = {
+    mutable prio : int array;
+    mutable payload : int array;
+    mutable len : int;
+  }
+
+  let create () = { prio = Array.make 64 0; payload = Array.make 64 0; len = 0 }
+
+  let length h = h.len
+
+  let min_prio h = if h.len = 0 then max_int else h.prio.(0)
+
+  let swap h i j =
+    let p = h.prio.(i) and x = h.payload.(i) in
+    h.prio.(i) <- h.prio.(j);
+    h.payload.(i) <- h.payload.(j);
+    h.prio.(j) <- p;
+    h.payload.(j) <- x
+
+  let add h ~prio x =
+    if h.len = Array.length h.prio then begin
+      let cap = 2 * h.len in
+      let prio' = Array.make cap 0 and payload' = Array.make cap 0 in
+      Array.blit h.prio 0 prio' 0 h.len;
+      Array.blit h.payload 0 payload' 0 h.len;
+      h.prio <- prio';
+      h.payload <- payload'
+    end;
+    h.prio.(h.len) <- prio;
+    h.payload.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.prio.((!i - 1) / 2) > h.prio.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    assert (h.len > 0);
+    let x = h.payload.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.prio.(0) <- h.prio.(h.len);
+      h.payload.(0) <- h.payload.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.len && h.prio.(l) < h.prio.(!m) then m := l;
+        if r < h.len && h.prio.(r) < h.prio.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          swap h !i !m;
+          i := !m
+        end
+      done
+    end;
+    x
+end
+
+(* The shared-prefix arena: row [i] is a path prefix, [parents.(i)] its
+   one-shorter prefix (-1 for a root), [edges.(i)] the appended edge and
+   [ords.(i)] that edge's ordinal in its source's adjacency row (the
+   DFS-lexicographic coordinate). Reconstruction walks the parent chain —
+   paths share storage with every sibling that branched off them. *)
+module Arena = struct
+  type t = {
+    parents : Ivec.t;
+    ords : Ivec.t;
+    nodes : Ivec.t;
+    mutable edges : Graph.edge option array;
+  }
+
+  let create () =
+    {
+      parents = Ivec.create ();
+      ords = Ivec.create ();
+      nodes = Ivec.create ();
+      edges = Array.make 64 None;
+    }
+
+  let size a = a.parents.Ivec.len
+
+  let ensure_edge a id =
+    if id >= Array.length a.edges then begin
+      let edges' = Array.make (2 * Array.length a.edges) None in
+      Array.blit a.edges 0 edges' 0 (Array.length a.edges);
+      a.edges <- edges'
+    end
+
+  let add_root a node =
+    let id = size a in
+    Ivec.push a.parents (-1);
+    Ivec.push a.ords (-1);
+    Ivec.push a.nodes node;
+    ensure_edge a id;
+    a.edges.(id) <- None;
+    id
+
+  let append a ~parent ~ord (e : Graph.edge) =
+    let id = size a in
+    Ivec.push a.parents parent;
+    Ivec.push a.ords ord;
+    Ivec.push a.nodes e.Graph.dst;
+    ensure_edge a id;
+    a.edges.(id) <- Some e;
+    id
+
+  let node a id = Ivec.get a.nodes id
+
+  let parent a id = Ivec.get a.parents id
+
+  (* Acyclicity check: is [v] anywhere on the prefix ending at [id]? The
+     chain walk replaces the DFS's [on_path] bit array — prefixes on the
+     heap are not nested, so no single boolean array can describe them. *)
+  let on_path a id v =
+    let rec go id = id >= 0 && (node a id = v || go (parent a id)) in
+    go id
+
+  let path a id =
+    let rec go id acc =
+      let p = parent a id in
+      if p < 0 then { Search.source = node a id; edges = acc }
+      else
+        match a.edges.(id) with
+        | Some e -> go p (e :: acc)
+        | None -> assert false
+    in
+    go id []
+
+  (* Edge ordinals from the root outward — the DFS-lexicographic
+     coordinates of the path. *)
+  let ords_of a id =
+    let rec depth id acc = if parent a id < 0 then acc else depth (parent a id) (acc + 1) in
+    let n = depth id 0 in
+    let arr = Array.make n (-1) in
+    let rec fill id i =
+      if parent a id >= 0 then begin
+        arr.(i) <- Ivec.get a.ords id;
+        fill (parent a id) (i - 1)
+      end
+    in
+    fill id (n - 1);
+    arr
+end
+
+type candidate = {
+  cand_path : Search.path;
+  cand_jungloid : Jungloid.t;
+  cand_key : Rank.key;
+}
+
+type t = {
+  arena : Arena.t;
+  heap : Heap.t;
+  (* Per-prefix incremental rank state, aligned with arena rows. Values
+     are stored already gated by the weights (a disabled tiebreak stays 0
+     everywhere), so the batch sort sees exactly what [Rank.key] would
+     compute for the finished jungloid. *)
+  m_cost : Ivec.t;  (* sum of edge costs *)
+  m_charge : Ivec.t;  (* free-variable charge so far *)
+  m_cross : Ivec.t;  (* package crossings so far *)
+  m_lastpkg : Ivec.t;  (* interned id of the last package seen; -1 none *)
+  m_spec : Ivec.t;  (* depth of the last non-widening output (or input) *)
+  m_interior : Ivec.t;  (* summed depth of non-widening outputs *)
+  m_budget : Ivec.t;  (* per-source cost budget, inherited from the root *)
+  (* Per-edge memo of the rank contributions, keyed by the CSR edge index
+     (the ordinal [iter_succs] reports). The list-graph backend passes
+     [edge_slots = 0] — its ordinals are per-row, not global — and simply
+     recomputes; the CSR backend computes each edge's charge, package and
+     depth once no matter how many prefixes traverse it. *)
+  e_charge : int array;  (* -1 unset *)
+  e_pkg : int array;  (* min_int unset; -1 no package; >= 0 interned id *)
+  e_depth : int array;  (* min_int unset; -1 widening; >= 0 output depth *)
+  pkg_ids : (string, int) Hashtbl.t;
+  mutable pkg_next : int;
+  (* Search parameters. *)
+  weights : Rank.weights;
+  hierarchy : Hierarchy.t;
+  freevar_cost_of : (Jtype.t -> int) option;
+  node_type : Graph.node -> Jtype.t;
+  iter_succs : Graph.node -> (int -> Graph.edge -> unit) -> unit;
+  materialize : Search.path -> Jungloid.t;
+  dist_to : int array;
+  target : Graph.node;
+  limit : int;
+  (* Completion staging: [pending] holds completed arena rows of length
+     [pending_len] until that length is certified complete; [groups] are
+     the numeric-tie groups of the certified batch awaiting lazy
+     resolution; [emit] is the fully-ordered current group. *)
+  mutable pending : int list;
+  mutable pending_len : int;
+  mutable groups : int array list;
+  mutable emit : candidate list;
+  mutable completed : int;
+  mutable materialized_n : int;
+  mutable truncated_f : bool;
+  mutable stopped : bool;
+}
+
+let intern st pkg =
+  match Hashtbl.find_opt st.pkg_ids pkg with
+  | Some id -> id
+  | None ->
+      let id = st.pkg_next in
+      st.pkg_next <- id + 1;
+      Hashtbl.add st.pkg_ids pkg id;
+      id
+
+let edge_charge st ord (e : Graph.edge) =
+  let compute () =
+    List.fold_left
+      (fun acc (_, ty) ->
+        if Jtype.is_reference ty then
+          acc
+          +
+          match st.freevar_cost_of with
+          | None -> st.weights.Rank.freevar_cost
+          | Some cost_of -> cost_of ty
+        else acc)
+      0
+      (Elem.free_vars e.Graph.elem)
+  in
+  if ord >= 0 && ord < Array.length st.e_charge then begin
+    let c = st.e_charge.(ord) in
+    if c >= 0 then c
+    else begin
+      let c = compute () in
+      st.e_charge.(ord) <- c;
+      c
+    end
+  end
+  else compute ()
+
+let edge_pkg st ord (e : Graph.edge) =
+  let compute () =
+    match Elem.owner_package e.Graph.elem with
+    | None -> -1
+    | Some p -> intern st p
+  in
+  if ord >= 0 && ord < Array.length st.e_pkg then begin
+    let p = st.e_pkg.(ord) in
+    if p > min_int then p
+    else begin
+      let p = compute () in
+      st.e_pkg.(ord) <- p;
+      p
+    end
+  end
+  else compute ()
+
+let edge_depth st ord (e : Graph.edge) =
+  let compute () =
+    if Elem.is_widen e.Graph.elem then -1
+    else Rank.type_depth st.hierarchy (Elem.output_type e.Graph.elem)
+  in
+  if ord >= 0 && ord < Array.length st.e_depth then begin
+    let d = st.e_depth.(ord) in
+    if d > min_int then d
+    else begin
+      let d = compute () in
+      st.e_depth.(ord) <- d;
+      d
+    end
+  end
+  else compute ()
+
+let add_root st node budget =
+  let id = Arena.add_root st.arena node in
+  Ivec.push st.m_cost 0;
+  Ivec.push st.m_charge 0;
+  Ivec.push st.m_cross 0;
+  Ivec.push st.m_lastpkg
+    (if st.weights.Rank.package_tiebreak then
+       match st.node_type node with
+       | Jtype.Ref q -> intern st (Qname.package_string q)
+       | _ -> -1
+     else -1);
+  Ivec.push st.m_spec
+    (if st.weights.Rank.generality_tiebreak then
+       Rank.type_depth st.hierarchy (st.node_type node)
+     else 0);
+  Ivec.push st.m_interior 0;
+  Ivec.push st.m_budget budget;
+  Heap.add st.heap ~prio:st.dist_to.(node) id
+
+let append st parent ord (e : Graph.edge) =
+  let id = Arena.append st.arena ~parent ~ord e in
+  let cost = Ivec.get st.m_cost parent + Elem.cost e.Graph.elem in
+  let charge = Ivec.get st.m_charge parent + edge_charge st ord e in
+  Ivec.push st.m_cost cost;
+  Ivec.push st.m_charge charge;
+  (if st.weights.Rank.package_tiebreak then begin
+     let pkg = edge_pkg st ord e in
+     let last = Ivec.get st.m_lastpkg parent in
+     if pkg >= 0 then begin
+       Ivec.push st.m_cross
+         (Ivec.get st.m_cross parent + if last >= 0 && last <> pkg then 1 else 0);
+       Ivec.push st.m_lastpkg pkg
+     end
+     else begin
+       Ivec.push st.m_cross (Ivec.get st.m_cross parent);
+       Ivec.push st.m_lastpkg last
+     end
+   end
+   else begin
+     Ivec.push st.m_cross 0;
+     Ivec.push st.m_lastpkg (-1)
+   end);
+  (if st.weights.Rank.generality_tiebreak then begin
+     let d = edge_depth st ord e in
+     if d >= 0 then begin
+       Ivec.push st.m_spec d;
+       Ivec.push st.m_interior (Ivec.get st.m_interior parent + d)
+     end
+     else begin
+       Ivec.push st.m_spec (Ivec.get st.m_spec parent);
+       Ivec.push st.m_interior (Ivec.get st.m_interior parent)
+     end
+   end
+   else begin
+     Ivec.push st.m_spec 0;
+     Ivec.push st.m_interior 0
+   end);
+  Ivec.push st.m_budget (Ivec.get st.m_budget parent);
+  Heap.add st.heap ~prio:(cost + charge + st.dist_to.(e.Graph.dst)) id
+
+(* Expansion mirrors the DFS push guard exactly: skip nodes already on the
+   chain, unreachable nodes, and extensions whose optimistic total cost
+   exceeds the root's budget. The budget is on *cost* alone (as in the
+   DFS), not cost + charge. *)
+let expand st id =
+  let u = Arena.node st.arena id in
+  let cost = Ivec.get st.m_cost id in
+  let budget = Ivec.get st.m_budget id in
+  st.iter_succs u (fun ord e ->
+      let v = e.Graph.dst in
+      if
+        v < Array.length st.dist_to
+        && st.dist_to.(v) < max_int
+        && cost + Elem.cost e.Graph.elem + st.dist_to.(v) <= budget
+        && not (Arena.on_path st.arena id v)
+      then append st id ord e)
+
+let cmp_ords (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i = n then compare la lb
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Move the pending batch — every completed path of length [pending_len] —
+   into numeric-tie groups. The sort key is the gated (crossings,
+   specificity, interior) triple; nothing is materialized yet. *)
+let flush_pending st =
+  let arr = Array.of_list (List.rev st.pending) in
+  st.pending <- [];
+  Array.sort
+    (fun a b ->
+      match compare (Ivec.get st.m_cross a) (Ivec.get st.m_cross b) with
+      | 0 -> (
+          match compare (Ivec.get st.m_spec a) (Ivec.get st.m_spec b) with
+          | 0 -> compare (Ivec.get st.m_interior a) (Ivec.get st.m_interior b)
+          | c -> c)
+      | c -> c)
+    arr;
+  let groups = ref [] in
+  let n = Array.length arr in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while
+      !j < n
+      && Ivec.get st.m_cross arr.(!i) = Ivec.get st.m_cross arr.(!j)
+      && Ivec.get st.m_spec arr.(!i) = Ivec.get st.m_spec arr.(!j)
+      && Ivec.get st.m_interior arr.(!i) = Ivec.get st.m_interior arr.(!j)
+    do
+      incr j
+    done;
+    groups := Array.sub arr !i (!j - !i) :: !groups;
+    i := !j
+  done;
+  st.groups <- List.rev !groups
+
+(* Resolve one numeric-tie group: only here are paths materialized into
+   jungloids (counted — this is the laziness the bench measures) and
+   rendered for the textual tiebreak. *)
+let resolve_group st ids =
+  let members =
+    Array.map
+      (fun id ->
+        let p = Arena.path st.arena id in
+        let j = st.materialize p in
+        st.materialized_n <- st.materialized_n + 1;
+        let key =
+          {
+            Rank.length = Ivec.get st.m_cost id + Ivec.get st.m_charge id;
+            crossings = Ivec.get st.m_cross id;
+            specificity = Ivec.get st.m_spec id;
+            interior = Ivec.get st.m_interior id;
+            tie = j;
+          }
+        in
+        ( Jungloid.to_string j,
+          p.Search.source,
+          Arena.ords_of st.arena id,
+          { cand_path = p; cand_jungloid = j; cand_key = key } ))
+      ids
+  in
+  Array.sort
+    (fun (ta, sa, oa, _) (tb, sb, ob, _) ->
+      match compare (ta : string) tb with
+      | 0 -> (
+          match compare (sa : int) sb with 0 -> cmp_ords oa ob | c -> c)
+      | c -> c)
+    members;
+  Array.to_list (Array.map (fun (_, _, _, c) -> c) members)
+
+(* The driver: make [emit] non-empty or prove the search exhausted. Work
+   is strictly consumer-paced — the heap is popped only while no resolved
+   candidate is waiting. *)
+let rec refill st =
+  match st.emit with
+  | _ :: _ -> true
+  | [] -> (
+      match st.groups with
+      | g :: rest ->
+          st.groups <- rest;
+          st.emit <- resolve_group st g;
+          refill st
+      | [] ->
+          let exhausted = st.stopped || Heap.length st.heap = 0 in
+          if st.pending <> [] && (exhausted || Heap.min_prio st.heap > st.pending_len)
+          then begin
+            flush_pending st;
+            refill st
+          end
+          else if exhausted then false
+          else begin
+            let f = Heap.min_prio st.heap in
+            let id = Heap.pop st.heap in
+            let u = Arena.node st.arena id in
+            if u = st.target && Arena.parent st.arena id >= 0 then begin
+              (* A completed (or dead: pure-widening, cost-0) path. Like
+                 the DFS, never extend a non-empty path at the target —
+                 every continuation would have to revisit it. *)
+              if Ivec.get st.m_cost id > 0 then begin
+                if st.completed >= st.limit then begin
+                  st.truncated_f <- true;
+                  st.stopped <- true
+                end
+                else begin
+                  st.completed <- st.completed + 1;
+                  if st.pending = [] then st.pending_len <- f;
+                  st.pending <- id :: st.pending
+                end
+              end
+            end
+            else expand st id;
+            refill st
+          end)
+
+let next st =
+  if refill st then (
+    match st.emit with
+    | c :: rest ->
+        st.emit <- rest;
+        Some c
+    | [] -> assert false)
+  else None
+
+let materialized st = st.materialized_n
+
+let truncated st = st.truncated_f
+
+let start ?freevar_cost_of ~weights ~hierarchy ~node_type ~iter_succs ~edge_slots
+    ~materialize ~dist_to ~sources ~target ~limit () =
+  let st =
+    {
+      arena = Arena.create ();
+      heap = Heap.create ();
+      m_cost = Ivec.create ();
+      m_charge = Ivec.create ();
+      m_cross = Ivec.create ();
+      m_lastpkg = Ivec.create ();
+      m_spec = Ivec.create ();
+      m_interior = Ivec.create ();
+      m_budget = Ivec.create ();
+      (* The list backend reports per-row ordinals, unusable as global
+         memo keys; it passes [edge_slots = 0] so the memo arrays are
+         empty and the [ord < length] guard bypasses them (row ordinals
+         are always >= 0). *)
+      e_charge = Array.make edge_slots (-1);
+      e_pkg = Array.make edge_slots min_int;
+      e_depth = Array.make edge_slots min_int;
+      pkg_ids = Hashtbl.create 64;
+      pkg_next = 0;
+      weights;
+      hierarchy;
+      freevar_cost_of;
+      node_type;
+      iter_succs;
+      materialize;
+      dist_to;
+      target;
+      limit;
+      pending = [];
+      pending_len = 0;
+      groups = [];
+      emit = [];
+      completed = 0;
+      materialized_n = 0;
+      truncated_f = false;
+      stopped = false;
+    }
+  in
+  List.iter
+    (fun (node, budget) ->
+      if node >= 0 && node < Array.length dist_to && dist_to.(node) < max_int then
+        add_root st node budget)
+    (List.sort_uniq compare sources);
+  st

@@ -1,0 +1,126 @@
+(** Rank-aware best-first top-k path enumeration.
+
+    The lazy alternative to {!Search.enumerate} + {!Rank.sort}: path
+    prefixes live in a shared-prefix arena (parent-pointer rows in flat int
+    arrays) under a binary min-heap ordered by the admissible priority
+    [cost + free-variable charge + dist_to], and the Rank tiebreak
+    components are maintained incrementally per appended edge. Completed
+    paths are therefore delivered in {e exact} {!Rank.compare_key} order —
+    byte-identical to sorting the exhaustive enumeration — while the search
+    touches about [k] candidates instead of materializing thousands.
+    {!Query} drives this under [settings.strategy = BestFirst]; the module
+    is exposed (including {!Heap} and {!Arena}) for its unit tests.
+
+    Streams from one generator are consumer-paced: each {!next} call pops
+    and expands only until the next candidate's position is certified
+    (all paths of its length completed, its numeric-tie group resolved). *)
+
+module Heap : sig
+  (** Binary min-heap over [(priority, payload)] int pairs in parallel
+      arrays. Pop order among equal priorities is unspecified but
+      deterministic. *)
+
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+
+  val min_prio : t -> int
+  (** [max_int] when empty. *)
+
+  val add : t -> prio:int -> int -> unit
+
+  val pop : t -> int
+  (** Payload of a minimum-priority entry; the heap must be non-empty. *)
+end
+
+module Arena : sig
+  (** The shared-prefix path arena: each row is a prefix, extending a
+      prefix appends one row pointing at its parent — no list copying,
+      no per-path allocation until {!path} reconstructs a result. *)
+
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val add_root : t -> Graph.node -> int
+  (** A zero-length prefix at a source node; returns its row id. *)
+
+  val append : t -> parent:int -> ord:int -> Graph.edge -> int
+  (** Extend [parent] with an edge whose ordinal in its source's adjacency
+      row is [ord]; returns the new row id. *)
+
+  val node : t -> int -> Graph.node
+  (** Head node of a prefix. *)
+
+  val parent : t -> int -> int
+  (** Parent row, [-1] for a root. *)
+
+  val on_path : t -> int -> Graph.node -> bool
+  (** Does the prefix ending at this row visit the node? (The acyclicity
+      check — a chain walk, since heap prefixes are not nested the way DFS
+      stack prefixes are.) *)
+
+  val path : t -> int -> Search.path
+  (** Reconstruct the full path, root first. *)
+
+  val ords_of : t -> int -> int array
+  (** The edge ordinals from the root outward — the DFS-lexicographic
+      coordinates of the path. *)
+end
+
+type candidate = {
+  cand_path : Search.path;
+  cand_jungloid : Jungloid.t;
+  cand_key : Rank.key;  (** exactly what {!Rank.key} computes for it *)
+}
+
+type t
+(** A running best-first enumeration. *)
+
+val start :
+  ?freevar_cost_of:(Javamodel.Jtype.t -> int) ->
+  weights:Rank.weights ->
+  hierarchy:Javamodel.Hierarchy.t ->
+  node_type:(Graph.node -> Javamodel.Jtype.t) ->
+  iter_succs:(Graph.node -> (int -> Graph.edge -> unit) -> unit) ->
+  edge_slots:int ->
+  materialize:(Search.path -> Jungloid.t) ->
+  dist_to:int array ->
+  sources:(Graph.node * int) list ->
+  target:Graph.node ->
+  limit:int ->
+  unit ->
+  t
+(** Begin a search. [iter_succs u f] must call [f ord e] for each outgoing
+    edge in adjacency order, [ord] being a stable per-edge ordinal —
+    the global CSR edge index (with [edge_slots] = total edge count, so
+    per-edge rank contributions are memoized once per edge), or the
+    per-row index with [edge_slots = 0] for the list graph (memo
+    bypassed). [dist_to] are exact backward 0-1-BFS distances to [target]
+    ([max_int] = unreachable); pruned distances are fine as long as the
+    pruning is cone-exact, which keeps the priority admissible and
+    consistent. [sources] pairs each source node with its cost budget
+    (shortest-cost + slack — per source, as {!Search.enumerate_per_source}
+    budgets them); a node must appear at most once. [limit] caps completed
+    candidates exactly as the DFS caps enumerated paths.
+
+    [weights]/[freevar_cost_of] must match what the consumer passes to
+    {!Rank.key}, or the certified order and the final keys disagree.
+    Negative charges break priority monotonicity — callers gate on
+    [freevar_cost < 0] and fall back to the exhaustive strategy. *)
+
+val next : t -> candidate option
+(** The next candidate in exact {!Rank.compare_key} order (ties resolved
+    as the exhaustive pipeline resolves them: textual rendering, then
+    source node, then DFS-lexicographic edge order); [None] when the
+    budgeted search space is exhausted or [limit] was hit. *)
+
+val materialized : t -> int
+(** How many candidates were materialized into jungloids so far — the
+    laziness metric ([BENCH_topk.json] compares it against the exhaustive
+    enumeration count). *)
+
+val truncated : t -> bool
+(** Whether the search stopped at [limit] completed candidates. *)

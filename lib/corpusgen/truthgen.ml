@@ -149,7 +149,17 @@ let score ?(generalize = true) ?(min_keep = 1) ?(flow_sensitive = false)
   for i = 0 to p.producers - 1 do
     let results =
       Query.run
-        ~settings:{ Query.default_settings with slack = 2; max_results = 1000 }
+        ~settings:
+          (* Exhaustive on purpose: at slack 2 and an effectively unbounded
+             result list this wants the full path set, not a certified
+             prefix — the corpus-tooling case the best-first default is the
+             wrong shape for. *)
+          {
+            Query.default_settings with
+            slack = 2;
+            max_results = 1000;
+            strategy = Query.Exhaustive;
+          }
         ~graph:g ~hierarchy:t.hierarchy (Query.query tin (model i))
     in
     let correct =

@@ -311,6 +311,7 @@ type request =
       tout : string;
       max_results : int option;
       slack : int option;
+      strategy : string option;
       cluster : bool;
     }
   | Assist of {
@@ -318,11 +319,13 @@ type request =
       vars : (string * string) list;
       max_results : int option;
       slack : int option;
+      strategy : string option;
     }
   | Batch of {
       pairs : (string * string) list;
       max_results : int option;
       slack : int option;
+      strategy : string option;
     }
   | Lint of { tin : string; tout : string }
   | Stats
@@ -344,6 +347,12 @@ let field_int_opt j k =
   | Some (Int i) -> Ok (Some i)
   | Some Null | None -> Ok None
   | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
+
+let field_string_opt j k =
+  match member k j with
+  | Some (Str s) -> Ok (Some s)
+  | Some Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
 
 let field_bool j k ~default =
   match member k j with
@@ -384,8 +393,9 @@ let request_of_json j =
             let* tout = field_string j "tout" in
             let* max_results = field_int_opt j "max_results" in
             let* slack = field_int_opt j "slack" in
+            let* strategy = field_string_opt j "strategy" in
             let* cluster = field_bool j "cluster" ~default:false in
-            Ok (Query { tin; tout; max_results; slack; cluster })
+            Ok (Query { tin; tout; max_results; slack; strategy; cluster })
         | "assist" ->
             let* tout = field_string j "tout" in
             let* vars =
@@ -396,7 +406,8 @@ let request_of_json j =
             in
             let* max_results = field_int_opt j "max_results" in
             let* slack = field_int_opt j "slack" in
-            Ok (Assist { tout; vars; max_results; slack })
+            let* strategy = field_string_opt j "strategy" in
+            Ok (Assist { tout; vars; max_results; slack; strategy })
         | "batch" ->
             let* pairs =
               match member "queries" j with
@@ -405,7 +416,8 @@ let request_of_json j =
             in
             let* max_results = field_int_opt j "max_results" in
             let* slack = field_int_opt j "slack" in
-            Ok (Batch { pairs; max_results; slack })
+            let* strategy = field_string_opt j "strategy" in
+            Ok (Batch { pairs; max_results; slack; strategy })
         | "lint" ->
             let* tin = field_string j "tin" in
             let* tout = field_string j "tout" in
@@ -421,13 +433,15 @@ let request_of_json j =
 let envelope_to_json { id; req } =
   let id_field = match id with Null -> [] | id -> [ ("id", id) ] in
   let opt k = function Some i -> [ (k, Int i) ] | None -> [] in
+  let opt_s k = function Some s -> [ (k, Str s) ] | None -> [] in
   let fields =
     match req with
-    | Query { tin; tout; max_results; slack; cluster } ->
+    | Query { tin; tout; max_results; slack; strategy; cluster } ->
         [ ("op", Str "query"); ("tin", Str tin); ("tout", Str tout) ]
         @ opt "max_results" max_results @ opt "slack" slack
+        @ opt_s "strategy" strategy
         @ if cluster then [ ("cluster", Bool true) ] else []
-    | Assist { tout; vars; max_results; slack } ->
+    | Assist { tout; vars; max_results; slack; strategy } ->
         [ ("op", Str "assist"); ("tout", Str tout) ]
         @ (match vars with
           | [] -> []
@@ -441,7 +455,8 @@ let envelope_to_json { id; req } =
                        vs) );
               ])
         @ opt "max_results" max_results @ opt "slack" slack
-    | Batch { pairs; max_results; slack } ->
+        @ opt_s "strategy" strategy
+    | Batch { pairs; max_results; slack; strategy } ->
         [
           ("op", Str "batch");
           ( "queries",
@@ -451,6 +466,7 @@ let envelope_to_json { id; req } =
                  pairs) );
         ]
         @ opt "max_results" max_results @ opt "slack" slack
+        @ opt_s "strategy" strategy
     | Lint { tin; tout } ->
         [ ("op", Str "lint"); ("tin", Str tin); ("tout", Str tout) ]
     | Stats -> [ ("op", Str "stats") ]

@@ -65,6 +65,10 @@ type request =
       tout : string;
       max_results : int option;
       slack : int option;
+      strategy : string option;
+          (** ["best-first"] or ["exhaustive"]; absent = server default.
+              Validated by {!Service} (not here) so the error reply can say
+              which spellings exist. *)
       cluster : bool;
     }
   | Assist of {
@@ -72,11 +76,13 @@ type request =
       vars : (string * string) list;  (** (name, type) pairs *)
       max_results : int option;
       slack : int option;
+      strategy : string option;
     }
   | Batch of {
       pairs : (string * string) list;  (** (tin, tout) pairs *)
       max_results : int option;
       slack : int option;
+      strategy : string option;
     }
   | Lint of { tin : string; tout : string }
   | Stats

@@ -40,7 +40,7 @@ type lkey =
     }
 
 type lval =
-  | Vresults of Query.result list
+  | Vresults of Query.result list * bool  (* results, truncated *)
   | Vsuggest of Prospector.Assist.suggestion list
   | Vlint of Analysis.Diagnostic.t list
 
@@ -56,6 +56,9 @@ type t = {
   base_settings : Query.settings;
   deadline_s : float option;
   stop : bool Atomic.t;
+  truncated_queries : int Atomic.t;
+      (* how many query computations hit [settings.limit]; cache hits of an
+         already-truncated result do not re-count *)
 }
 
 (* Call with [publish] held (or before the service is shared). *)
@@ -81,6 +84,7 @@ let create ?(settings = Query.default_settings) ?deadline_s ~engine () =
     base_settings = settings;
     deadline_s;
     stop = Atomic.make false;
+    truncated_queries = Atomic.make 0;
   }
 
 let engine t = t.eng
@@ -204,16 +208,21 @@ let memo local key compute =
 
 let query_results t local snap ~settings q =
   let compute () =
-    Vresults
-      (Query.run ~settings ?reach:snap.s_reach ~frozen:snap.s_frozen
-         ~graph:(Query.engine_graph t.eng)
-         ~hierarchy:(Query.engine_hierarchy t.eng)
-         q)
+    let rs, info =
+      Query.run_info ~settings ?reach:snap.s_reach ~frozen:snap.s_frozen
+        ~graph:(Query.engine_graph t.eng)
+        ~hierarchy:(Query.engine_hierarchy t.eng)
+        q
+    in
+    if info.Query.truncated then Atomic.incr t.truncated_queries;
+    Vresults (rs, info.Query.truncated)
   in
   let key =
     Lquery { tin = q.Query.tin; tout = q.Query.tout; settings; gen = snap.s_gen }
   in
-  match memo local key compute with Vresults rs -> rs | _ -> assert false
+  match memo local key compute with
+  | Vresults (rs, truncated) -> (rs, truncated)
+  | _ -> assert false
 
 let assist_suggestions t local snap ~settings (ctx : Prospector.Assist.context) =
   let compute () =
@@ -238,7 +247,7 @@ let lint_diagnostics t local snap q =
   let hierarchy = Query.engine_hierarchy t.eng in
   let compute () =
     Vlint
-      (query_results t local snap ~settings:t.base_settings q
+      (fst (query_results t local snap ~settings:t.base_settings q)
       |> List.concat_map (fun (r : Query.result) ->
              Analysis.Verify.check hierarchy r.Query.jungloid
              @ Analysis.Gencheck.check hierarchy r.Query.jungloid)
@@ -283,32 +292,51 @@ let op_name = function
   | Proto.Health -> "health"
   | Proto.Shutdown -> "shutdown"
 
-let settings_for t ~max_results ~slack =
+let settings_for t ~max_results ~slack ~strategy =
   let s = t.base_settings in
   {
     s with
     Query.max_results = Option.value max_results ~default:s.Query.max_results;
     slack = Option.value slack ~default:s.Query.slack;
+    strategy = Option.value strategy ~default:s.Query.strategy;
   }
+
+(* An unknown strategy string is the requester's mistake, answered with
+   [Bad_request] and the accepted spellings, before any engine work. *)
+let parse_strategy = function
+  | None -> Ok None
+  | Some s -> Result.map Option.some (Query.strategy_of_string s)
 
 let dispatch ?local t ~id req =
   match req with
-  | Proto.Query { tin; tout; max_results; slack; cluster } ->
-      let settings = settings_for t ~max_results ~slack in
-      let q = Query.query tin tout in
-      let rs = query_results t local (current t) ~settings q in
-      let payload =
-        if cluster then
-          let cs = Query.cluster rs in
-          [
-            ("count", Proto.Int (List.length cs));
-            ("clusters", Proto.Arr (List.mapi cluster_json cs));
-          ]
-        else [ ("count", Proto.Int (List.length rs)); ("results", results_json rs) ]
-      in
-      Proto.ok_response ~id ~op:"query" payload
-  | Proto.Assist { tout; vars; max_results; slack } ->
-      let settings = settings_for t ~max_results ~slack in
+  | Proto.Query { tin; tout; max_results; slack; strategy; cluster } -> (
+      match parse_strategy strategy with
+      | Error msg -> Proto.error_response ~id Proto.Bad_request msg
+      | Ok strategy ->
+          let settings = settings_for t ~max_results ~slack ~strategy in
+          let q = Query.query tin tout in
+          let rs, truncated = query_results t local (current t) ~settings q in
+          let payload =
+            if cluster then
+              let cs = Query.cluster rs in
+              [
+                ("count", Proto.Int (List.length cs));
+                ("clusters", Proto.Arr (List.mapi cluster_json cs));
+                ("truncated", Proto.Bool truncated);
+              ]
+            else
+              [
+                ("count", Proto.Int (List.length rs));
+                ("results", results_json rs);
+                ("truncated", Proto.Bool truncated);
+              ]
+          in
+          Proto.ok_response ~id ~op:"query" payload)
+  | Proto.Assist { tout; vars; max_results; slack; strategy } -> (
+      match parse_strategy strategy with
+      | Error msg -> Proto.error_response ~id Proto.Bad_request msg
+      | Ok strategy ->
+      let settings = settings_for t ~max_results ~slack ~strategy in
       let ctx =
         {
           Prospector.Assist.vars =
@@ -321,9 +349,12 @@ let dispatch ?local t ~id req =
         [
           ("count", Proto.Int (List.length suggestions));
           ("suggestions", Proto.Arr (List.mapi suggestion_json suggestions));
-        ]
-  | Proto.Batch { pairs; max_results; slack } ->
-      let settings = settings_for t ~max_results ~slack in
+        ])
+  | Proto.Batch { pairs; max_results; slack; strategy } -> (
+      match parse_strategy strategy with
+      | Error msg -> Proto.error_response ~id Proto.Bad_request msg
+      | Ok strategy ->
+      let settings = settings_for t ~max_results ~slack ~strategy in
       let qs = List.map (fun (tin, tout) -> Query.query tin tout) pairs in
       (* One snapshot for the whole batch: every answer describes the same
          graph generation even if a republication lands mid-batch.
@@ -336,16 +367,17 @@ let dispatch ?local t ~id req =
           ( "answers",
             Proto.Arr
               (List.map
-                 (fun ((q : Query.t), rs) ->
+                 (fun ((q : Query.t), (rs, truncated)) ->
                    Proto.Obj
                      [
                        ("tin", Proto.Str (Jtype.to_string q.Query.tin));
                        ("tout", Proto.Str (Jtype.to_string q.Query.tout));
                        ("count", Proto.Int (List.length rs));
                        ("results", results_json rs);
+                       ("truncated", Proto.Bool truncated);
                      ])
                  answers) );
-        ]
+        ])
   | Proto.Lint { tin; tout } ->
       let q = Query.query tin tout in
       let ds = lint_diagnostics t local (current t) q in
@@ -363,6 +395,7 @@ let dispatch ?local t ~id req =
         [
           ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
           ("requests", Proto.Int (Metrics.total_requests t.mets));
+          ("truncated_queries", Proto.Int (Atomic.get t.truncated_queries));
           ( "graph",
             Proto.Obj
               [

@@ -1,0 +1,46 @@
+--strategy is validated like --jobs: an unknown spelling gets a one-line
+error and exit 1, never an exception trace.
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry --strategy bogus
+  error: unknown strategy "bogus" (expected "best-first" or "exhaustive")
+  [1]
+
+--top is an alias for --max-results: the k of the best-first top-k search.
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 3
+  #1  λx. AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(x), false) : IFile -> ASTNode
+        ICompilationUnit compilationUnit = JavaCore.createCompilationUnitFrom(file);
+        CompilationUnit compilationUnit2 = AST.parseCompilationUnit(compilationUnit, false);
+  #2  λx. AST.parseCompilationUnit(String.valueOf(x).toCharArray()) : IFile -> ASTNode
+        String string = String.valueOf(file);
+        char[] chars = string.toCharArray();
+        CompilationUnit compilationUnit = AST.parseCompilationUnit(chars);
+  #3  λx. AST.parseCompilationUnit(x.getCharset().toCharArray()) : IFile -> ASTNode
+        String string = file.getCharset();
+        char[] chars = string.toCharArray();
+        CompilationUnit compilationUnit = AST.parseCompilationUnit(chars);
+
+The strategies are byte-identical — the default best-first search returns
+exactly what the exhaustive oracle returns, on every subcommand:
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 > bf.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 --strategy exhaustive > ex.out
+  $ cmp bf.out ex.out
+
+  $ ../../bin/prospector_cli.exe assist org.eclipse.ui.IEditorInput -v ep:org.eclipse.ui.IEditorPart -n 3 > bf.out
+  $ ../../bin/prospector_cli.exe assist org.eclipse.ui.IEditorInput -v ep:org.eclipse.ui.IEditorPart -n 3 --strategy exhaustive > ex.out
+  $ cmp bf.out ex.out
+
+  $ cat > queries.txt <<'EOF'
+  > java.io.InputStream java.io.BufferedReader
+  > void org.eclipse.ui.texteditor.DocumentProviderRegistry
+  > EOF
+  $ ../../bin/prospector_cli.exe batch queries.txt -n 2 > bf.out
+  $ ../../bin/prospector_cli.exe batch queries.txt -n 2 --strategy exhaustive > ex.out
+  $ cmp bf.out ex.out
+
+Spelling out the default is also accepted:
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 1 --strategy best-first
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();

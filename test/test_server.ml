@@ -78,6 +78,17 @@ let gen_id =
 
 let gen_opt_int = QCheck2.Gen.(opt (int_range 0 100))
 
+(* The codec carries any string; validation is Service's job. *)
+let gen_opt_strategy =
+  QCheck2.Gen.(
+    oneof
+      [
+        return None;
+        return (Some "best-first");
+        return (Some "exhaustive");
+        map Option.some gen_string;
+      ])
+
 let gen_request =
   QCheck2.Gen.(
     let name = string_size ~gen:printable (int_range 1 12) in
@@ -85,15 +96,18 @@ let gen_request =
       [
         (let* tin = gen_string and* tout = gen_string in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
+         let* strategy = gen_opt_strategy in
          let* cluster = bool in
-         return (Proto.Query { tin; tout; max_results; slack; cluster }));
+         return (Proto.Query { tin; tout; max_results; slack; strategy; cluster }));
         (let* tout = gen_string in
          let* vars = list_size (int_range 0 3) (pair name gen_string) in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
-         return (Proto.Assist { tout; vars; max_results; slack }));
+         let* strategy = gen_opt_strategy in
+         return (Proto.Assist { tout; vars; max_results; slack; strategy }));
         (let* pairs = list_size (int_range 0 3) (pair gen_string gen_string) in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
-         return (Proto.Batch { pairs; max_results; slack }));
+         let* strategy = gen_opt_strategy in
+         return (Proto.Batch { pairs; max_results; slack; strategy }));
         (let* tin = gen_string and* tout = gen_string in
          return (Proto.Lint { tin; tout }));
         return Proto.Stats;
@@ -228,7 +242,9 @@ let fresh_service ?deadline_s () =
 let line_of req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Null; req })
 
 let query_line ?max_results ?slack tin tout =
-  line_of (Proto.Query { tin; tout; max_results; slack; cluster = false })
+  line_of
+    (Proto.Query
+       { tin; tout; max_results; slack; strategy = None; cluster = false })
 
 let field path j =
   List.fold_left
@@ -310,6 +326,7 @@ let workload_lines () =
              pairs = [ ("void", "org.eclipse.ui.texteditor.DocumentProviderRegistry") ];
              max_results = Some 2;
              slack = None;
+             strategy = None;
            });
       line_of
         (Proto.Lint

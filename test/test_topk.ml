@@ -1,0 +1,376 @@
+(* The best-first top-k search must be invisible in the answers: this suite
+   unit-tests its two data structures (the binary heap and the shared-prefix
+   path arena), then pins the headline contract — [strategy = BestFirst]
+   returns byte-identical results to the exhaustive enumerate-and-sort
+   oracle — over the bundled Eclipse graph (Table 1, mined typestate
+   duplicates included), the layered synthetic workload, random Apigen
+   worlds (qcheck), and the multi-source assist path, while materializing
+   no more candidates than the oracle does. *)
+
+module Jtype = Javamodel.Jtype
+module Graph = Prospector.Graph
+module Search = Prospector.Search
+module Rank = Prospector.Rank
+module Query = Prospector.Query
+module Topk = Prospector.Topk
+module Sig_graph = Prospector.Sig_graph
+module Apigen = Corpusgen.Apigen
+module Workload = Corpusgen.Workload
+module Problems = Apidata.Problems
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let load = Japi.Loader.load_string
+
+let node g name = Option.get (Graph.find_type_node g (Jtype.ref_of_string name))
+
+(* The first outgoing edge of [u] that lands on the named type (the
+   adjacency row also holds widen edges to supertypes). *)
+let edge_to g u name =
+  let want = Jtype.ref_of_string name in
+  List.find
+    (fun (e : Graph.edge) -> Jtype.equal (Graph.node_type g e.Graph.dst) want)
+    (Graph.succs g u)
+
+(* ---------- the heap ---------- *)
+
+let test_heap_empty () =
+  let hp = Topk.Heap.create () in
+  check_int "empty length" 0 (Topk.Heap.length hp);
+  check_int "empty min_prio" max_int (Topk.Heap.min_prio hp)
+
+let test_heap_pops_sorted () =
+  let hp = Topk.Heap.create () in
+  (* deterministic pseudo-random priorities, duplicates included *)
+  let r = ref 1234 in
+  let next () =
+    r := ((!r * 1103515245) + 12345) land 0x3FFFFFFF;
+    !r mod 997
+  in
+  let pushed = List.init 500 (fun _ -> next ()) in
+  List.iter (fun p -> Topk.Heap.add hp ~prio:p p) pushed;
+  check_int "length after pushes" 500 (Topk.Heap.length hp);
+  let popped = List.init 500 (fun _ -> Topk.Heap.pop hp) in
+  check_bool "pops in nondecreasing priority order" true
+    (popped = List.sort compare pushed);
+  check_int "drained" 0 (Topk.Heap.length hp)
+
+let test_heap_interleaved () =
+  (* pops interleaved with pushes still always yield the current minimum *)
+  let hp = Topk.Heap.create () in
+  List.iter (fun p -> Topk.Heap.add hp ~prio:p p) [ 5; 1; 4 ];
+  check_int "min of 5,1,4" 1 (Topk.Heap.pop hp);
+  Topk.Heap.add hp ~prio:0 0;
+  Topk.Heap.add hp ~prio:9 9;
+  check_int "min after reinsert" 0 (Topk.Heap.pop hp);
+  check_int "then" 4 (Topk.Heap.pop hp);
+  check_int "then" 5 (Topk.Heap.pop hp);
+  check_int "then" 9 (Topk.Heap.pop hp)
+
+(* ---------- the arena ---------- *)
+
+(* Linear chain A -> B -> C -> D, as in test_core_search. *)
+let chain_model () =
+  load
+    {|
+    package p;
+    class A { B toB(); }
+    class B { C toC(); }
+    class C { D toD(); }
+    class D { }
+    |}
+
+let test_arena_reconstructs_paths () =
+  let h = chain_model () in
+  let g = Sig_graph.build h in
+  let a = node g "p.A" in
+  let ea = edge_to g a "p.B" in
+  let eb = edge_to g ea.Graph.dst "p.C" in
+  let ec = edge_to g eb.Graph.dst "p.D" in
+  let ar = Topk.Arena.create () in
+  let r0 = Topk.Arena.add_root ar a in
+  check_int "root node" a (Topk.Arena.node ar r0);
+  check_int "root parent" (-1) (Topk.Arena.parent ar r0);
+  check_bool "root path is empty" true
+    (Topk.Arena.path ar r0 = { Search.source = a; edges = [] });
+  let r1 = Topk.Arena.append ar ~parent:r0 ~ord:0 ea in
+  let r2 = Topk.Arena.append ar ~parent:r1 ~ord:0 eb in
+  let r3 = Topk.Arena.append ar ~parent:r2 ~ord:0 ec in
+  (* a second branch sharing the r1 prefix: rows never get copied *)
+  let s2 = Topk.Arena.append ar ~parent:r1 ~ord:1 eb in
+  check_int "five rows for two sharing paths" 5 (Topk.Arena.size ar);
+  let p = Topk.Arena.path ar r3 in
+  check_bool "path source" true (p.Search.source = a);
+  check_bool "path edges root-first" true (p.Search.edges = [ ea; eb; ec ]);
+  check_bool "ords root-first" true (Topk.Arena.ords_of ar r3 = [| 0; 0; 0 |]);
+  check_bool "branch ords" true (Topk.Arena.ords_of ar s2 = [| 0; 1 |]);
+  check_int "branch parent" r1 (Topk.Arena.parent ar s2)
+
+let test_arena_on_path () =
+  let h = chain_model () in
+  let g = Sig_graph.build h in
+  let a = node g "p.A" in
+  let ea = edge_to g a "p.B" in
+  let eb = edge_to g ea.Graph.dst "p.C" in
+  let ar = Topk.Arena.create () in
+  let r0 = Topk.Arena.add_root ar a in
+  let r1 = Topk.Arena.append ar ~parent:r0 ~ord:0 ea in
+  let r2 = Topk.Arena.append ar ~parent:r1 ~ord:0 eb in
+  check_bool "sees the source" true (Topk.Arena.on_path ar r2 a);
+  check_bool "sees an interior node" true
+    (Topk.Arena.on_path ar r2 ea.Graph.dst);
+  check_bool "sees the head" true (Topk.Arena.on_path ar r2 eb.Graph.dst);
+  check_bool "a prefix does not see later nodes" true
+    (not (Topk.Arena.on_path ar r1 eb.Graph.dst))
+
+(* ---------- strategy spellings ---------- *)
+
+let test_strategy_strings () =
+  check_bool "best-first parses" true
+    (Query.strategy_of_string "best-first" = Ok Query.BestFirst);
+  check_bool "exhaustive parses" true
+    (Query.strategy_of_string "exhaustive" = Ok Query.Exhaustive);
+  check_bool "to_string round-trips" true
+    (List.for_all
+       (fun s -> Query.strategy_of_string (Query.strategy_to_string s) = Ok s)
+       [ Query.BestFirst; Query.Exhaustive ]);
+  check_bool "unknown spelling rejected" true
+    (match Query.strategy_of_string "bfs" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---------- byte-identical to the exhaustive oracle ---------- *)
+
+let settings_at ~k strategy =
+  { Query.default_settings with max_results = k; strategy }
+
+let results_equal (a : Query.result list) (b : Query.result list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Query.result) (y : Query.result) ->
+         Prospector.Jungloid.equal x.Query.jungloid y.Query.jungloid
+         && Rank.compare_key x.Query.key y.Query.key = 0
+         && x.Query.code = y.Query.code)
+       a b
+
+let test_bundled_equivalence () =
+  (* the mined Eclipse graph: downcast edges, typestate duplicates, the
+     full Table 1 workload at the default k *)
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  List.iter
+    (fun (p : Problems.t) ->
+      let q = Query.query p.Problems.tin p.Problems.tout in
+      let ex =
+        Query.run
+          ~settings:(settings_at ~k:10 Query.Exhaustive)
+          ~graph ~hierarchy q
+      in
+      let bf = Query.run ~graph ~hierarchy q (* default = BestFirst, k=10 *) in
+      check_bool
+        (Printf.sprintf "problem %d identical" p.Problems.id)
+        true (results_equal ex bf))
+    Problems.all
+
+let test_layered_equivalence () =
+  let h = Workload.layered_api ~classes:300 in
+  let g = Sig_graph.build h in
+  let frozen = Graph.freeze g in
+  List.iter
+    (fun q ->
+      let ex =
+        Query.run
+          ~settings:(settings_at ~k:10 Query.Exhaustive)
+          ~graph:g ~hierarchy:h q
+      in
+      let bf =
+        Query.run
+          ~settings:(settings_at ~k:10 Query.BestFirst)
+          ~frozen ~graph:g ~hierarchy:h q
+      in
+      check_bool "layered: best-first over CSR = exhaustive over list" true
+        (results_equal ex bf))
+    (Workload.random_queries h g ~count:10 ~seed:11)
+
+let test_exhaustion_below_k () =
+  (* asking for far more results than exist must terminate, deliver the
+     whole solution set, and not claim truncation *)
+  let h = chain_model () in
+  let g = Sig_graph.build h in
+  let q = Query.query "p.A" "p.D" in
+  let ex =
+    Query.run
+      ~settings:(settings_at ~k:10_000 Query.Exhaustive)
+      ~graph:g ~hierarchy:h q
+  in
+  let bf, info =
+    Query.run_info
+      ~settings:(settings_at ~k:10_000 Query.BestFirst)
+      ~graph:g ~hierarchy:h q
+  in
+  check_bool "everything delivered" true (results_equal ex bf);
+  check_bool "at least the chain itself" true (List.length bf >= 1);
+  check_bool "not truncated" false info.Query.truncated
+
+let test_truncation_reported () =
+  let h = Workload.layered_api ~classes:200 in
+  let g = Sig_graph.build h in
+  let qs = Workload.random_queries h g ~count:10 ~seed:3 in
+  (* a query with more than one within-budget path *)
+  let q =
+    List.find
+      (fun q ->
+        let _, i =
+          Query.run_info
+            ~settings:(settings_at ~k:100 Query.Exhaustive)
+            ~graph:g ~hierarchy:h q
+        in
+        i.Query.candidates > 1)
+      qs
+  in
+  let tight strategy =
+    { Query.default_settings with max_results = 100; strategy; limit = 1 }
+  in
+  let _, exi =
+    Query.run_info ~settings:(tight Query.Exhaustive) ~graph:g ~hierarchy:h q
+  in
+  let _, bfi =
+    Query.run_info ~settings:(tight Query.BestFirst) ~graph:g ~hierarchy:h q
+  in
+  check_bool "exhaustive reports truncation" true exi.Query.truncated;
+  check_bool "best-first reports truncation" true bfi.Query.truncated
+
+let test_multi_equivalence () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let vars =
+    [
+      ("ep", Jtype.ref_of_string "org.eclipse.ui.IEditorPart");
+      ("page", Jtype.ref_of_string "org.eclipse.ui.IWorkbenchPage");
+    ]
+  in
+  let tout = Jtype.ref_of_string "org.eclipse.ui.texteditor.IDocumentProvider" in
+  let at strategy =
+    Query.run_multi
+      ~settings:{ Query.default_settings with strategy }
+      ~graph ~hierarchy ~vars ~tout ()
+  in
+  let ex = at Query.Exhaustive and bf = at Query.BestFirst in
+  check_int "multi: same count" (List.length ex) (List.length bf);
+  List.iter2
+    (fun (a : Query.multi_result) (b : Query.multi_result) ->
+      check_bool "multi: same source var" true
+        (a.Query.source_var = b.Query.source_var);
+      check_bool "multi: same jungloid" true
+        (Prospector.Jungloid.equal a.Query.result.Query.jungloid
+           b.Query.result.Query.jungloid);
+      check_bool "multi: same code" true
+        (a.Query.result.Query.code = b.Query.result.Query.code))
+    ex bf
+
+(* ---------- qcheck: random Apigen worlds ---------- *)
+
+let world_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* classes = int_range 20 80 in
+    return
+      (let params =
+         {
+           Corpusgen.Apigen.default_params with
+           classes;
+           seed;
+           methods_per_class = 4;
+         }
+       in
+       let h = Corpusgen.Apigen.generate params in
+       (h, Sig_graph.build h)))
+
+let prop_best_first_equals_exhaustive =
+  QCheck2.Test.make
+    ~name:"BestFirst = first k of exhaustive Rank.sort (random APIs)"
+    ~count:25 world_gen (fun (h, g) ->
+      let frozen = Graph.freeze g in
+      List.for_all
+        (fun q ->
+          List.for_all
+            (fun k ->
+              let ex, exi =
+                Query.run_info
+                  ~settings:(settings_at ~k Query.Exhaustive)
+                  ~graph:g ~hierarchy:h q
+              in
+              let bf, bfi =
+                Query.run_info
+                  ~settings:(settings_at ~k Query.BestFirst)
+                  ~graph:g ~hierarchy:h q
+              in
+              let bz =
+                Query.run
+                  ~settings:(settings_at ~k Query.BestFirst)
+                  ~frozen ~graph:g ~hierarchy:h q
+              in
+              (* an exhaustive oracle that hit the path limit certifies
+                 nothing; skip (never happens at these sizes in practice) *)
+              exi.Query.truncated
+              || results_equal ex bf
+                 && results_equal ex bz
+                 && bfi.Query.candidates <= exi.Query.candidates)
+            [ 1; 3; 10 ])
+        (Corpusgen.Workload.random_queries h g ~count:3 ~seed:7))
+
+let prop_estimated_freevars_equal =
+  (* the freevar_cost_of estimation path reweighs the priority's charge
+     component; the equivalence must survive it *)
+  QCheck2.Test.make
+    ~name:"BestFirst = exhaustive under estimate_freevars" ~count:15 world_gen
+    (fun (h, g) ->
+      let at strategy =
+        {
+          Query.default_settings with
+          strategy;
+          estimate_freevars = true;
+          max_results = 10;
+        }
+      in
+      List.for_all
+        (fun q ->
+          let ex = Query.run ~settings:(at Query.Exhaustive) ~graph:g ~hierarchy:h q in
+          let bf = Query.run ~settings:(at Query.BestFirst) ~graph:g ~hierarchy:h q in
+          results_equal ex bf)
+        (Corpusgen.Workload.random_queries h g ~count:3 ~seed:13))
+
+let () =
+  Alcotest.run "topk"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty heap" `Quick test_heap_empty;
+          Alcotest.test_case "pops sorted" `Quick test_heap_pops_sorted;
+          Alcotest.test_case "interleaved push/pop" `Quick test_heap_interleaved;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reconstructs shared-prefix paths" `Quick
+            test_arena_reconstructs_paths;
+          Alcotest.test_case "on_path walks the parent chain" `Quick
+            test_arena_on_path;
+        ] );
+      ( "strategy",
+        [ Alcotest.test_case "spellings round-trip" `Quick test_strategy_strings ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "bundled Eclipse graph, Table 1" `Quick
+            test_bundled_equivalence;
+          Alcotest.test_case "layered synthetic, CSR view" `Quick
+            test_layered_equivalence;
+          Alcotest.test_case "exhaustion below k" `Quick test_exhaustion_below_k;
+          Alcotest.test_case "truncation reported by both strategies" `Quick
+            test_truncation_reported;
+          Alcotest.test_case "multi-source assist path" `Quick
+            test_multi_equivalence;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_best_first_equals_exhaustive; prop_estimated_freevars_equal ] );
+    ]
