@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank clean
 
 all: build
 
@@ -46,7 +46,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke bench-parallel bench-topk fmt
+check: build test lint serve-smoke bench-parallel bench-topk bench-rank fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -75,6 +75,14 @@ bench-parallel: build
 # oracle, which makes this the equivalence gate inside `make check`.
 bench-topk: build
 	dune exec bench/main.exe -- topk
+
+# Regenerates BENCH_rank.json (MRR and rank-of-known-answer deltas for the
+# usage-weighted ranking vs the paper order, on Table 1 and a Truthgen
+# ground-truth world). The section re-checks BestFirst+Mined against the
+# Exhaustive+Mined oracle byte for byte and exits nonzero on divergence,
+# so this is the mined counterpart of the `topk` gate in `make check`.
+bench-rank: build
+	dune exec bench/main.exe -- rank
 
 clean:
 	dune clean

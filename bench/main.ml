@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam cache analysis server\n             parallel topk micro                                          *)
+             search_bound cap_sweep objparam cache analysis server\n             parallel topk rank micro                                     *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -725,6 +725,7 @@ let section_server () =
                         max_results = None;
                         slack = None;
                         strategy = None;
+                        ranking = None;
                         cluster = false;
                       };
                 }))
@@ -996,6 +997,192 @@ let section_topk () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Usage-weighted ranking vs the paper order                           *)
+(* ------------------------------------------------------------------ *)
+
+(* MRR and rank-of-known-answer deltas for the corpus-mined edge costs, on
+   the two workloads with known desired solutions: the Table 1 problems
+   (whose idioms come from the bundled corpus the model is mined from) and
+   a Truthgen ground-truth world. On both, BestFirst+Mined is re-checked
+   byte-for-byte against Exhaustive+Mined — any divergence exits nonzero,
+   making this the mined counterpart of the `topk` equivalence gate inside
+   `make check`. *)
+let section_rank () =
+  rule "Usage-weighted ranking vs the paper order";
+  let identical = ref true in
+  let reciprocal = function Some r -> 1.0 /. float_of_int r | None -> 0.0 in
+  let mrr ranks =
+    List.fold_left (fun a r -> a +. reciprocal r) 0.0 ranks
+    /. float_of_int (max 1 (List.length ranks))
+  in
+  (* -- Table 1 ------------------------------------------------------ *)
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let edge_cost = Mining.Usage.edge_cost (Apidata.Api.usage ()) in
+  let mined_settings = { Query.default_settings with ranking = Query.Mined } in
+  let paper = Problems.run_all ~graph ~hierarchy () in
+  let mined =
+    Problems.run_all ~settings:mined_settings ~edge_cost ~graph ~hierarchy ()
+  in
+  let mined_ex =
+    Problems.run_all
+      ~settings:{ mined_settings with strategy = Query.Exhaustive }
+      ~edge_cost ~graph ~hierarchy ()
+  in
+  let codes (m : Problems.measured) =
+    List.map (fun (r : Query.result) -> r.Query.code) m.Problems.results
+  in
+  List.iter2
+    (fun bf ex -> if codes bf <> codes ex then identical := false)
+    mined mined_ex;
+  let improved = ref 0 and worse = ref 0 in
+  let show = function Some r -> string_of_int r | None -> "No" in
+  let rows =
+    List.map2
+      (fun (p : Problems.measured) (m : Problems.measured) ->
+        (match (p.Problems.rank, m.Problems.rank) with
+        | Some pr, Some mr when mr < pr -> incr improved
+        | Some pr, Some mr when mr > pr -> incr worse
+        | Some _, None | None, Some _ -> incr worse
+        | _ -> ());
+        if p.Problems.rank <> m.Problems.rank then
+          Printf.printf "  problem %2d: paper rank %-3s mined rank %s\n"
+            p.problem.Problems.id (show p.Problems.rank) (show m.Problems.rank);
+        (p.problem.Problems.id, p.Problems.rank, m.Problems.rank))
+      paper mined
+  in
+  let rank_of (m : Problems.measured) = m.Problems.rank in
+  let t1_paper = mrr (List.map rank_of paper) in
+  let t1_mined = mrr (List.map rank_of mined) in
+  Printf.printf
+    "table 1: MRR paper %.4f -> mined %.4f (%d improved, %d worse, %d rows)\n"
+    t1_paper t1_mined !improved !worse (List.length rows);
+  (* -- Truthgen ------------------------------------------------------ *)
+  let t =
+    Corpusgen.Truthgen.generate
+      {
+        Corpusgen.Truthgen.default_params with
+        producers = 12;
+        coverage = 0.75;
+        seed = 13;
+      }
+  in
+  let prog =
+    Minijava.Resolve.parse_program ~api:t.Corpusgen.Truthgen.hierarchy
+      t.Corpusgen.Truthgen.corpus
+  in
+  let tg = Sig_graph.build t.Corpusgen.Truthgen.hierarchy in
+  let usage = ref Mining.Usage.empty in
+  let _ =
+    Mining.Enrich.enrich
+      ~on_examples:(fun exs -> usage := Mining.Usage.of_examples exs)
+      tg prog
+  in
+  let t_cost = Mining.Usage.edge_cost !usage in
+  let t_settings = { Query.default_settings with slack = 2 } in
+  let known_rank i results =
+    (* the ground-truth answer: reach producer i's lookup and downcast its
+       Object result to the actual model class *)
+    let is_known (r : Query.result) =
+      let elems = r.Query.jungloid.Prospector.Jungloid.elems in
+      List.exists
+        (function
+          | Prospector.Elem.Instance_call { meth; _ } ->
+              String.equal meth.Javamodel.Member.mname
+                (Printf.sprintf "lookup%d" i)
+          | _ -> false)
+        elems
+      && List.exists
+           (function
+             | Prospector.Elem.Downcast { to_; _ } ->
+                 String.equal (Javamodel.Jtype.to_string to_)
+                   (Corpusgen.Truthgen.model i)
+             | _ -> false)
+           elems
+    in
+    let rec go n = function
+      | [] -> None
+      | r :: rest -> if is_known r then Some n else go (n + 1) rest
+    in
+    go 1 results
+  in
+  let run_producer ~settings ?edge_cost i =
+    Query.run ~settings ?edge_cost ~graph:tg
+      ~hierarchy:t.Corpusgen.Truthgen.hierarchy
+      (Query.query Corpusgen.Truthgen.registry (Corpusgen.Truthgen.model i))
+  in
+  let covered =
+    List.filter
+      (fun i -> t.Corpusgen.Truthgen.covered.(i))
+      (List.init t.Corpusgen.Truthgen.params.Corpusgen.Truthgen.producers
+         (fun i -> i))
+  in
+  let tg_paper =
+    List.map (fun i -> known_rank i (run_producer ~settings:t_settings i)) covered
+  in
+  let tg_mined =
+    List.map
+      (fun i ->
+        let settings = { t_settings with ranking = Query.Mined } in
+        let bf = run_producer ~settings ~edge_cost:t_cost i in
+        let ex =
+          run_producer
+            ~settings:{ settings with strategy = Query.Exhaustive }
+            ~edge_cost:t_cost i
+        in
+        let code (r : Query.result) = r.Query.code in
+        if List.map code bf <> List.map code ex then identical := false;
+        known_rank i bf)
+      covered
+  in
+  let tg_p = mrr tg_paper and tg_m = mrr tg_mined in
+  Printf.printf
+    "truthgen: MRR of known answer, paper %.4f -> mined %.4f (%d covered \
+     producers)\n"
+    tg_p tg_m (List.length covered);
+  Printf.printf "  best-first+mined identical to exhaustive+mined: %b\n"
+    !identical;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"table1\": {\n\
+      \    \"mrr_paper\": %.6f,\n\
+      \    \"mrr_mined\": %.6f,\n\
+      \    \"improved\": %d,\n\
+      \    \"worse\": %d,\n\
+      \    \"rows\": [\n%s\n    ]\n\
+      \  },\n\
+      \  \"truthgen\": {\n\
+      \    \"mrr_paper\": %.6f,\n\
+      \    \"mrr_mined\": %.6f,\n\
+      \    \"covered_producers\": %d\n\
+      \  },\n\
+      \  \"identical\": %b\n\
+       }\n"
+      t1_paper t1_mined !improved !worse
+      (String.concat ",\n"
+         (List.map
+            (fun (id, pr, mr) ->
+              let cell = function
+                | Some r -> string_of_int r
+                | None -> "null"
+              in
+              Printf.sprintf
+                "      {\"problem\": %d, \"paper_rank\": %s, \"mined_rank\": \
+                 %s}"
+                id (cell pr) (cell mr))
+            rows))
+      tg_p tg_m (List.length covered) !identical
+  in
+  write_file "BENCH_rank.json" json;
+  if not !identical then begin
+    prerr_endline
+      "error: best-first results diverged from the exhaustive oracle under \
+       the mined ranking";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1079,6 +1266,7 @@ let sections =
     ("server", section_server);
     ("parallel", section_parallel);
     ("topk", section_topk);
+    ("rank", section_rank);
     ("micro", section_micro);
   ]
 

@@ -88,6 +88,8 @@ let read_file path =
 type env = {
   hierarchy : Javamodel.Hierarchy.t;
   graph : Prospector.Graph.t;
+  usage : Mining.Usage.t option;
+      (* mined usage model, present whenever corpus mining ran *)
 }
 
 let load_env ?pool ~api ~corpus ~mining ~protected_ () =
@@ -105,12 +107,15 @@ let load_env ?pool ~api ~corpus ~mining ~protected_ () =
     | [], [] -> Apidata.Api.corpus_sources
     | _, files -> List.map (fun f -> (f, read_file f)) files
   in
+  let usage = ref None in
   if mining && corpus_sources <> [] then begin
     let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
     ignore
-      (Mining.Enrich.enrich ~include_protected:protected_ ?pool graph prog)
+      (Mining.Enrich.enrich ~include_protected:protected_ ?pool
+         ~on_examples:(fun exs -> usage := Some (Mining.Usage.of_examples exs))
+         graph prog)
   end;
-  { hierarchy; graph }
+  { hierarchy; graph; usage = !usage }
 
 let strategy_arg =
   Arg.(
@@ -132,7 +137,27 @@ let parse_strategy = function
           Printf.eprintf "error: %s\n" msg;
           exit 1)
 
-let settings ~max_results ~slack ~strategy =
+let ranking_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ranking" ] ~docv:"NAME"
+        ~doc:"Result order: $(b,paper) (the default: Section 3.2's static \
+              length/crossings/specificity rule) or $(b,mined) (usage-weighted \
+              probabilistic order learned from the corpus; falls back to \
+              $(b,paper) with a warning when no corpus was mined). The \
+              candidate set is identical either way — only the order changes.")
+
+let parse_ranking = function
+  | None -> None
+  | Some s -> (
+      match Prospector.Query.ranking_of_string s with
+      | Ok r -> Some r
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+
+let settings ~max_results ~slack ~strategy ~ranking =
   let base = Prospector.Query.default_settings in
   {
     base with
@@ -141,7 +166,17 @@ let settings ~max_results ~slack ~strategy =
     strategy =
       Option.value (parse_strategy strategy)
         ~default:base.Prospector.Query.strategy;
+    ranking =
+      Option.value (parse_ranking ranking)
+        ~default:base.Prospector.Query.ranking;
   }
+
+(* The usage model as the [?edge_cost] the query layer consumes; [None]
+   (mining disabled, or a warm start without corpus sources) makes [Mined]
+   requests fall back to [Paper] with a logged warning (the query layer
+   reports configuration fallbacks at warning level, which the CLI shows
+   by default). *)
+let edge_cost_of env = Option.map Mining.Usage.edge_cost env.usage
 
 let handle_errors f =
   try f () with
@@ -171,18 +206,18 @@ let query_cmd =
           ~doc:"Group similar jungloids (same type path) and show one \
                 representative per group.")
   in
-  let run api corpus no_mining protected_ max_results slack strategy cluster
-      verbose tin tout =
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      cluster verbose tin tout =
     setup_logs verbose;
     handle_errors (fun () ->
         let env =
           load_env ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let q = Prospector.Query.query tin tout in
-        let st = settings ~max_results ~slack ~strategy in
+        let st = settings ~max_results ~slack ~strategy ~ranking in
         let results, info =
-          Prospector.Query.run_info ~settings:st ~graph:env.graph
-            ~hierarchy:env.hierarchy q
+          Prospector.Query.run_info ~settings:st ?edge_cost:(edge_cost_of env)
+            ~graph:env.graph ~hierarchy:env.hierarchy q
         in
         if info.Prospector.Query.truncated then
           Printf.eprintf
@@ -203,8 +238,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Synthesize jungloids for a (tin, tout) query.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ cluster_flag $ verbose_flag $ tin
-      $ tout)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ cluster_flag
+      $ verbose_flag $ tin $ tout)
 
 (* ---------- assist ---------- *)
 
@@ -217,7 +252,8 @@ let assist_cmd =
           ~doc:"A visible variable, e.g. $(b,ep:org.eclipse.ui.IEditorPart) \
                 (repeatable).")
   in
-  let run api corpus no_mining protected_ max_results slack strategy vars tout =
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      vars tout =
     handle_errors (fun () ->
         let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let parsed_vars =
@@ -239,8 +275,9 @@ let assist_cmd =
         in
         let suggestions =
           Prospector.Assist.suggest
-            ~settings:(settings ~max_results ~slack ~strategy)
-            ~graph:env.graph ~hierarchy:env.hierarchy ctx
+            ~settings:(settings ~max_results ~slack ~strategy ~ranking)
+            ?edge_cost:(edge_cost_of env) ~graph:env.graph
+            ~hierarchy:env.hierarchy ctx
         in
         if suggestions = [] then print_endline "no suggestions"
         else
@@ -256,7 +293,7 @@ let assist_cmd =
     (Cmd.info "assist" ~doc:"Content assist: suggestions for an expected type.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ vars $ tout)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ vars $ tout)
 
 (* ---------- batch ---------- *)
 
@@ -316,8 +353,8 @@ let batch_cmd =
       & info [ "cache-stats" ]
           ~doc:"Print hit/miss/eviction counters after the batch.")
   in
-  let run api corpus no_mining protected_ max_results slack strategy verbose
-      file repeat no_cache cache_capacity stats_flag jobs =
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      verbose file repeat no_cache cache_capacity stats_flag jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -330,21 +367,23 @@ let batch_cmd =
           load_env ~pool ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let qs = parse_query_file file in
-        let settings = settings ~max_results ~slack ~strategy in
+        let settings = settings ~max_results ~slack ~strategy ~ranking in
+        let edge_cost = edge_cost_of env in
         let engine =
-          Prospector.Query.engine ~cache_capacity ~pool ~graph:env.graph
-            ~hierarchy:env.hierarchy ()
+          Prospector.Query.engine ~cache_capacity ~pool ?edge_cost
+            ~graph:env.graph ~hierarchy:env.hierarchy ()
         in
         let run_pass () =
           if no_cache then
             (* Cold queries are independent, so the fan-out is a plain map
-               over the engine's frozen snapshot. *)
+               over the engine's frozen snapshot (baked with the same usage
+               model the rank layer applies). *)
             let frozen = Prospector.Query.engine_frozen engine in
             Prospector_parallel.Pool.map_list pool
               (fun q ->
                 ( q,
-                  Prospector.Query.run ~settings ~frozen ~graph:env.graph
-                    ~hierarchy:env.hierarchy q ))
+                  Prospector.Query.run ~settings ~frozen ?edge_cost
+                    ~graph:env.graph ~hierarchy:env.hierarchy q ))
               qs
           else Prospector.Query.run_batch ~settings engine qs
         in
@@ -370,8 +409,8 @@ let batch_cmd =
              query engine.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag $ max_results
-      $ slack $ strategy_arg $ verbose_flag $ file $ repeat $ no_cache
-      $ cache_capacity $ stats_flag $ jobs_arg)
+      $ slack $ strategy_arg $ ranking_arg $ verbose_flag $ file $ repeat
+      $ no_cache $ cache_capacity $ stats_flag $ jobs_arg)
 
 (* ---------- mine ---------- *)
 
@@ -474,7 +513,8 @@ let infer_cmd =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
          ~doc:"Mini-Java source files containing ? holes.")
   in
-  let run api corpus no_mining protected_ max_results slack strategy files =
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      files =
     handle_errors (fun () ->
         let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let sources = List.map (fun f -> (f, read_file f)) files in
@@ -483,8 +523,9 @@ let infer_cmd =
         else
           (* One engine for the whole buffer, as the IDE session would hold. *)
           Prospector_ide.Infer.suggest_all
-            ~settings:(settings ~max_results ~slack ~strategy)
-            ~graph:env.graph ~hierarchy:env.hierarchy holes
+            ~settings:(settings ~max_results ~slack ~strategy ~ranking)
+            ?edge_cost:(edge_cost_of env) ~graph:env.graph
+            ~hierarchy:env.hierarchy holes
           |> List.iter (fun ((h : Prospector_ide.Infer.hole), suggestions) ->
                  Printf.printf "hole in %s.%s, expecting %s (in scope: %s)\n"
                    (Javamodel.Qname.to_string h.Prospector_ide.Infer.owner)
@@ -504,7 +545,7 @@ let infer_cmd =
        ~doc:"Infer queries from ? holes in mini-Java source and suggest code.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ files)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ files)
 
 (* ---------- lint ---------- *)
 
@@ -556,8 +597,8 @@ let lint_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Exit nonzero on warnings, not just errors.")
   in
-  let run api corpus no_mining protected_ max_results slack strategy verbose
-      passes queries json strict =
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      verbose passes queries json strict =
     setup_logs verbose;
     let passes =
       match passes with
@@ -601,8 +642,9 @@ let lint_cmd =
                   let tin, tout = parse_query_spec spec in
                   let q = Prospector.Query.query tin tout in
                   Prospector.Query.run
-                    ~settings:(settings ~max_results ~slack ~strategy)
-                    ~graph:env.graph ~hierarchy:env.hierarchy q
+                    ~settings:(settings ~max_results ~slack ~strategy ~ranking)
+                    ?edge_cost:(edge_cost_of env) ~graph:env.graph
+                    ~hierarchy:env.hierarchy q
                   |> List.concat_map (fun (r : Prospector.Query.result) ->
                          let j = r.Prospector.Query.jungloid in
                          Analysis.Verify.check env.hierarchy j
@@ -632,8 +674,8 @@ let lint_cmd =
              verification, with a shared diagnostic report.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ verbose_flag $ passes $ queries
-      $ json_flag $ strict_flag)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ verbose_flag
+      $ passes $ queries $ json_flag $ strict_flag)
 
 (* ---------- serve ---------- *)
 
@@ -679,7 +721,35 @@ let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
         "graph: loaded from %s in %.3f s (reach index %s) — skipped build + mining\n%!"
         path dt
         (match reach with Some _ -> "loaded" | None -> "absent, will rebuild");
-      ({ hierarchy; graph }, reach)
+      (* The persisted graph already contains the spliced examples, but the
+         usage model cannot be read back off it — re-extract it from the
+         corpus sources (no graph mutation, so the loaded snapshot stays
+         exactly what was saved). *)
+      let usage =
+        if not mining then None
+        else
+          let corpus_sources =
+            match (api, corpus) with
+            | [], [] -> Apidata.Api.corpus_sources
+            | _, files -> List.map (fun f -> (f, read_file f)) files
+          in
+          if corpus_sources = [] then None
+          else begin
+            let t1 = Unix.gettimeofday () in
+            let prog =
+              Minijava.Resolve.parse_program ~api:hierarchy corpus_sources
+            in
+            let m =
+              Mining.Usage.of_examples
+                (Mining.Enrich.examples ~include_protected:protected_ ?pool prog)
+            in
+            Printf.eprintf "usage model: re-mined in %.3f s (%d occurrences)\n%!"
+              (Unix.gettimeofday () -. t1)
+              (Mining.Usage.total m);
+            Some m
+          end
+      in
+      ({ hierarchy; graph; usage }, reach)
   | _ ->
       let t0 = Unix.gettimeofday () in
       let env = load_env ?pool ~api ~corpus ~mining ~protected_ () in
@@ -764,9 +834,9 @@ let serve_cmd =
       value & opt int 512
       & info [ "cache-capacity" ] ~docv:"K" ~doc:"LRU capacity of the query cache.")
   in
-  let run api corpus no_mining protected_ max_results slack strategy verbose
-      host port port_file workers max_request_bytes max_connections deadline
-      stdio save_graph cache_capacity jobs =
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      verbose host port port_file workers max_request_bytes max_connections
+      deadline stdio save_graph cache_capacity jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -784,12 +854,13 @@ let serve_cmd =
             ~protected_ ~save_graph ()
         in
         let engine =
-          Prospector.Query.engine ~cache_capacity ?reach ~pool ~graph:env.graph
+          Prospector.Query.engine ~cache_capacity ?reach ~pool
+            ?edge_cost:(edge_cost_of env) ~graph:env.graph
             ~hierarchy:env.hierarchy ()
         in
         let service =
           Service.create
-            ~settings:(settings ~max_results ~slack ~strategy)
+            ~settings:(settings ~max_results ~slack ~strategy ~ranking)
             ?deadline_s:deadline ~engine ()
         in
         if stdio then Server.serve_stdio ~max_request_bytes service
@@ -821,9 +892,9 @@ let serve_cmd =
        ~doc:"Run the long-lived query daemon (newline-delimited JSON over TCP).")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ verbose_flag $ host $ port
-      $ port_file $ workers $ max_request_bytes $ max_connections $ deadline
-      $ stdio $ save_graph $ cache_capacity $ jobs_arg)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ verbose_flag $ host
+      $ port $ port_file $ workers $ max_request_bytes $ max_connections
+      $ deadline $ stdio $ save_graph $ cache_capacity $ jobs_arg)
 
 (* ---------- client ---------- *)
 
@@ -960,7 +1031,8 @@ let client_cmd =
                 $(b,lint TIN TOUT), $(b,stats), $(b,health), $(b,shutdown), \
                 $(b,raw LINE).")
   in
-  let run max_results slack strategy host port port_file json_flag vars argv =
+  let run max_results slack strategy ranking host port port_file json_flag vars
+      argv =
     let port =
       match port_file with
       | None -> port
@@ -976,6 +1048,9 @@ let client_cmd =
     let strategy =
       Option.map Prospector.Query.strategy_to_string (parse_strategy strategy)
     in
+    let ranking =
+      Option.map Prospector.Query.ranking_to_string (parse_ranking ranking)
+    in
     let line =
       let envelope req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Null; req }) in
       match argv with
@@ -988,6 +1063,7 @@ let client_cmd =
                  max_results = some_results;
                  slack = some_slack;
                  strategy;
+                 ranking;
                  cluster = false;
                })
       | [ "assist"; tout ] ->
@@ -1004,7 +1080,14 @@ let client_cmd =
           in
           envelope
             (Proto.Assist
-               { tout; vars; max_results = some_results; slack = some_slack; strategy })
+               {
+                 tout;
+                 vars;
+                 max_results = some_results;
+                 slack = some_slack;
+                 strategy;
+                 ranking;
+               })
       | [ "batch"; file ] ->
           let pairs =
             parse_query_file file
@@ -1014,7 +1097,13 @@ let client_cmd =
           in
           envelope
             (Proto.Batch
-               { pairs; max_results = some_results; slack = some_slack; strategy })
+               {
+                 pairs;
+                 max_results = some_results;
+                 slack = some_slack;
+                 strategy;
+                 ranking;
+               })
       | [ "lint"; tin; tout ] -> envelope (Proto.Lint { tin; tout })
       | [ "stats" ] -> envelope Proto.Stats
       | [ "health" ] -> envelope Proto.Health
@@ -1066,8 +1155,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one request to a running prospector daemon and print the reply.")
     Term.(
-      const run $ max_results $ slack $ strategy_arg $ host $ port $ port_file
-      $ json_flag $ vars $ argv)
+      const run $ max_results $ slack $ strategy_arg $ ranking_arg $ host $ port
+      $ port_file $ json_flag $ vars $ argv)
 
 (* ---------- table1 ---------- *)
 

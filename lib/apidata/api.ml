@@ -31,3 +31,6 @@ let jungloid_graph () =
   (g, stats)
 
 let default_graph = memo (fun () -> fst (jungloid_graph ()))
+
+let usage =
+  memo (fun () -> Mining.Usage.of_examples (Mining.Enrich.examples (program ())))

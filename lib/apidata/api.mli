@@ -28,3 +28,9 @@ val jungloid_graph : unit -> Prospector.Graph.t * Mining.Enrich.stats
 val default_graph : unit -> Prospector.Graph.t
 (** Memoized jungloid graph for read-only use (queries, assist, benches).
     Do not mutate. *)
+
+val usage : unit -> Mining.Usage.t
+(** Memoized usage model mined from the bundled corpus — the
+    [Mined]-ranking counterpart of {!default_graph}: the same corpus
+    evidence the graph's spliced examples came from, counted pre-
+    generalization. *)

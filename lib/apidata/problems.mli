@@ -29,6 +29,7 @@ type measured = {
 
 val run_one :
   ?settings:Prospector.Query.settings ->
+  ?edge_cost:(Prospector.Elem.t -> int) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   t ->
@@ -36,6 +37,7 @@ val run_one :
 
 val run_all :
   ?settings:Prospector.Query.settings ->
+  ?edge_cost:(Prospector.Elem.t -> int) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   unit ->

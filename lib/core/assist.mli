@@ -28,6 +28,7 @@ val suggest :
   ?engine:Query.engine ->
   ?frozen:Graph.frozen ->
   ?reach:Reach.t ->
+  ?edge_cost:(Elem.t -> int) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   context ->
@@ -39,6 +40,7 @@ val suggest :
 
     When [?engine] is supplied, the multi-source search goes through its
     cache and reach index ({!Query.run_multi_cached}); the engine must have
-    been built over the same [graph]/[hierarchy] pair. Without an engine,
-    [?frozen]/[?reach] forward to {!Query.run_multi} — the server's
-    lock-free read path runs assist on a published snapshot this way. *)
+    been built over the same [graph]/[hierarchy] pair (its own usage model
+    serves [Mined]-ranking requests). Without an engine, [?frozen]/[?reach]/
+    [?edge_cost] forward to {!Query.run_multi} — the server's lock-free read
+    path runs assist on a published snapshot this way. *)

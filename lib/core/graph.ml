@@ -126,17 +126,21 @@ type frozen = {
   f_fwd_off : int array;
   f_fwd_dst : int array;
   f_fwd_cost : int array;
+  f_fwd_wcost : int array;
   f_fwd_edge : edge array;
   f_bwd_off : int array;
   f_bwd_src : int array;
   f_bwd_cost : int array;
+  f_bwd_wcost : int array;
   f_types : Jtype.t array;
   f_origins : string option array;
   f_ids : (string, node) Hashtbl.t;
   f_void : node option;
 }
 
-let freeze t =
+let default_wcost e = Elem.cost_scale * Elem.cost e
+
+let freeze ?(wcost = default_wcost) t =
   let n = t.n in
   (* Forward adjacency, in the exact order [succs] yields it, so a DFS over
      the CSR enumerates paths in the same order as one over the lists. *)
@@ -150,6 +154,7 @@ let freeze t =
   in
   let fwd_dst = Array.make m 0 in
   let fwd_cost = Array.make m 0 in
+  let fwd_wcost = Array.make m 0 in
   let fwd_edge = Array.make m dummy in
   for u = 0 to n - 1 do
     let k = ref fwd_off.(u) in
@@ -157,6 +162,7 @@ let freeze t =
       (fun e ->
         fwd_dst.(!k) <- e.dst;
         fwd_cost.(!k) <- Elem.cost e.elem;
+        fwd_wcost.(!k) <- wcost e.elem;
         fwd_edge.(!k) <- e;
         incr k)
       t.fwd.(u)
@@ -167,12 +173,14 @@ let freeze t =
   done;
   let bwd_src = Array.make m 0 in
   let bwd_cost = Array.make m 0 in
+  let bwd_wcost = Array.make m 0 in
   for u = 0 to n - 1 do
     let k = ref bwd_off.(u) in
     List.iter
       (fun e ->
         bwd_src.(!k) <- e.src;
         bwd_cost.(!k) <- Elem.cost e.elem;
+        bwd_wcost.(!k) <- wcost e.elem;
         incr k)
       t.bwd.(u)
   done;
@@ -183,10 +191,12 @@ let freeze t =
     f_fwd_off = fwd_off;
     f_fwd_dst = fwd_dst;
     f_fwd_cost = fwd_cost;
+    f_fwd_wcost = fwd_wcost;
     f_fwd_edge = fwd_edge;
     f_bwd_off = bwd_off;
     f_bwd_src = bwd_src;
     f_bwd_cost = bwd_cost;
+    f_bwd_wcost = bwd_wcost;
     f_types = Array.init n (fun i -> t.info.(i).ty);
     f_origins = Array.init n (fun i -> t.info.(i).origin);
     f_ids = Hashtbl.copy t.ids;

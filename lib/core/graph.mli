@@ -94,18 +94,28 @@ type frozen = {
                               indices [f_fwd_off.(u) .. f_fwd_off.(u+1) - 1] *)
   f_fwd_dst : int array;
   f_fwd_cost : int array;  (** memoized [Elem.cost], aligned with [f_fwd_dst] *)
+  f_fwd_wcost : int array;  (** weighted edge cost (see {!freeze}'s [wcost]),
+                                aligned with [f_fwd_dst] *)
   f_fwd_edge : edge array;  (** the full edge, aligned with [f_fwd_dst] *)
   f_bwd_off : int array;
   f_bwd_src : int array;
   f_bwd_cost : int array;
+  f_bwd_wcost : int array;  (** weighted edge cost, aligned with [f_bwd_src] —
+                                backward rows carry no [edge], so weighted
+                                distance-to-target sweeps need it baked in *)
   f_types : Jtype.t array;
   f_origins : string option array;
   f_ids : (string, node) Hashtbl.t;  (** private copy; never written again *)
   f_void : node option;
 }
 
-val freeze : t -> frozen
-(** O(nodes + edges). Captures the graph at its current {!generation}. *)
+val freeze : ?wcost:(Elem.t -> int) -> t -> frozen
+(** O(nodes + edges). Captures the graph at its current {!generation}.
+    [wcost] supplies the weighted (mined) cost per elementary jungloid,
+    baked into [f_fwd_wcost]/[f_bwd_wcost]; it must be non-negative. The
+    default is the paper cost in fixed-point units,
+    [Elem.cost_scale * Elem.cost] — snapshots frozen with the default are
+    only valid for weighted search under the same (default) cost model. *)
 
 val frozen_generation : frozen -> int
 

@@ -53,6 +53,25 @@ let strategy_of_string = function
         (Printf.sprintf "unknown strategy %S (expected \"best-first\" or \"exhaustive\")"
            s)
 
+(* [Mined] orders results by the usage-weighted cost learned from the
+   corpus ([Mining.Usage]), with the paper key as tiebreak; the candidate
+   set (paper-cost budget) is unchanged, so both rankings surface the same
+   solutions in different orders. The cost model itself travels separately
+   (the [?edge_cost] arguments / the engine field): settings stay a flat
+   structurally-comparable record, which the query cache keys require. *)
+type ranking =
+  | Paper
+  | Mined
+
+let ranking_to_string = function Paper -> "paper" | Mined -> "mined"
+
+let ranking_of_string = function
+  | "paper" -> Ok Paper
+  | "mined" -> Ok Mined
+  | s ->
+      Error
+        (Printf.sprintf "unknown ranking %S (expected \"paper\" or \"mined\")" s)
+
 type settings = {
   slack : int;
   limit : int;
@@ -60,6 +79,7 @@ type settings = {
   weights : Rank.weights;
   estimate_freevars : bool;
   strategy : strategy;
+  ranking : ranking;
 }
 
 let default_settings =
@@ -70,13 +90,41 @@ let default_settings =
     weights = Rank.default_weights;
     estimate_freevars = false;
     strategy = BestFirst;
+    ranking = Paper;
   }
 
 (* A negative free-variable cost would make the best-first priority
    non-monotone (prefixes could get cheaper as they grow), voiding the
-   order certificate; such ablation configurations silently fall back. *)
-let effective_strategy settings =
-  if settings.weights.Rank.freevar_cost < 0 then Exhaustive else settings.strategy
+   order certificate; such ablation configurations fall back to the
+   exhaustive strategy. Likewise [Mined] without a loaded usage model
+   falls back to the paper ranking. Both fallbacks are reported in
+   [info.warnings] so callers are never silently served by a different
+   configuration than they asked for. *)
+let effective_mode ~edge_cost settings =
+  let warnings = ref [] in
+  let strategy =
+    if settings.weights.Rank.freevar_cost < 0 && settings.strategy = BestFirst then begin
+      warnings :=
+        "negative freevar_cost voids the best-first order certificate; falling back to the exhaustive strategy"
+        :: !warnings;
+      Exhaustive
+    end
+    else settings.strategy
+  in
+  let ranking =
+    match settings.ranking with
+    | Mined when Option.is_none edge_cost ->
+        warnings :=
+          "mined ranking requested but no usage model is loaded; falling back to the paper ranking"
+          :: !warnings;
+        Paper
+    | r -> r
+  in
+  (* Gate the cost model on the effective ranking so paper-mode callers
+     that happen to hold a model rank identically to ones that do not. *)
+  let edge_cost = match ranking with Mined -> edge_cost | Paper -> None in
+  List.iter (fun w -> Log.warn (fun m -> m "%s" w)) (List.rev !warnings);
+  (strategy, edge_cost, List.rev !warnings)
 
 (* A read-only lens over either graph representation. [run]/[run_multi] are
    written once against it; the [?frozen] path binds every operation to the
@@ -93,6 +141,16 @@ type view = {
     viable:(Graph.node -> bool) option -> target:Graph.node -> int array;
   v_iter_succs : Graph.node -> (int -> Graph.edge -> unit) -> unit;
   v_edge_slots : int;  (* total edge count for the CSR memo; 0 = list graph *)
+  (* Weighted (mined-ranking) lens. The frozen variant reads the wcost
+     arrays baked at freeze time and ignores the passed model — the engine
+     freezes with its own model, and manual [?frozen] callers must freeze
+     with the same [~wcost] they query with (documented on [run]). *)
+  v_weighted_distances_to :
+    viable:(Graph.node -> bool) option ->
+    target:Graph.node ->
+    cost:(Elem.t -> int) ->
+    int array;
+  v_edge_wcost : (Elem.t -> int) -> int -> Graph.edge -> int;
   v_enumerate :
     viable:(Graph.node -> bool) option ->
     sources:Graph.node list ->
@@ -121,6 +179,10 @@ let view_of_graph g =
     v_distances_to = (fun ~viable ~target -> Search.distances_to ?viable g ~target);
     v_iter_succs = (fun u f -> List.iteri f (Graph.succs g u));
     v_edge_slots = 0;
+    v_weighted_distances_to =
+      (fun ~viable ~target ~cost ->
+        Search.weighted_distances_to ?viable g ~target ~cost);
+    v_edge_wcost = (fun cost _ord e -> cost e.Graph.elem);
     v_enumerate =
       (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
         Search.enumerate g ~sources ~target ~slack ~limit ?viable ~truncated ());
@@ -145,6 +207,10 @@ let view_of_frozen fz =
           f k fz.Graph.f_fwd_edge.(k)
         done);
     v_edge_slots = Array.length fz.Graph.f_fwd_edge;
+    v_weighted_distances_to =
+      (fun ~viable ~target ~cost:_ ->
+        Search.Csr.weighted_distances_to ?viable fz ~target);
+    v_edge_wcost = (fun _cost ord _e -> fz.Graph.f_fwd_wcost.(ord));
     v_enumerate =
       (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
         Search.Csr.enumerate fz ~sources ~target ~slack ~limit ?viable ~truncated ());
@@ -237,12 +303,13 @@ let dedup_rendered ranked =
       end)
     ranked
 
-let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name ~verify
-    paths_to_jungloid paths =
+let rank_and_render ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~input_name
+    ~verify paths_to_jungloid paths =
   let jungloids = dedup (List.map paths_to_jungloid paths) in
   let ranked =
     dedup_rendered
-      (Rank.sort ~weights:settings.weights ?freevar_cost_of hierarchy jungloids)
+      (Rank.sort ~weights:settings.weights ?freevar_cost_of ?edge_cost hierarchy
+         jungloids)
   in
   (* Unsound chains are dropped before truncation so a rejected result frees
      its slot for the next-ranked sound one. *)
@@ -256,7 +323,9 @@ let rank_and_render ~settings ~hierarchy ~freevar_cost_of ~input_name ~verify
          in
          {
            jungloid = j;
-           key = Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j;
+           key =
+             Rank.key ~weights:settings.weights ?freevar_cost_of ?edge_cost hierarchy
+               j;
            code = Codegen.to_java ?input j;
          })
 
@@ -295,15 +364,30 @@ let view_and_gen ?frozen graph =
 type info = {
   candidates : int;
   truncated : bool;
+  warnings : string list;
 }
 
-let no_info = { candidates = 0; truncated = false }
+let no_info = { candidates = 0; truncated = false; warnings = [] }
 
 (* The best-first generator for one query shape, positioned exactly where
    [v_enumerate] sits in the exhaustive pipeline. [sources] carries the
-   per-source budget (shortest-cost-from-that-source + slack). *)
-let topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to ~sources ~target =
-  Topk.start ?freevar_cost_of ~weights:settings.weights ~hierarchy
+   per-source budget (shortest-cost-from-that-source + slack). With an
+   [edge_cost] model the stream runs in weighted mode: priorities use the
+   exact weighted distances while the budget prune stays on the paper
+   [dist_to], so the candidate set is unchanged and only the certified
+   order follows the mined costs. *)
+let topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable view
+    ~dist_to ~sources ~target =
+  let weighted =
+    Option.map
+      (fun cost ->
+        {
+          Topk.wdist_to = view.v_weighted_distances_to ~viable ~target ~cost;
+          edge_wcost = view.v_edge_wcost cost;
+        })
+      edge_cost
+  in
+  Topk.start ?freevar_cost_of ?weighted ~weights:settings.weights ~hierarchy
     ~node_type:view.v_node_type ~iter_succs:view.v_iter_succs
     ~edge_slots:view.v_edge_slots ~materialize:view.v_of_path ~dist_to ~sources
     ~target ~limit:settings.limit ()
@@ -313,7 +397,7 @@ let topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to ~sources ~ta
    dedup (structurally equal jungloids render identically), verification
    frees slots exactly as in [rank_and_render], and the stream stops as
    soon as [max_results] survivors exist. *)
-let consume_single ~settings ~hierarchy ~freevar_cost_of ~verify st =
+let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify st =
   let seen = Hashtbl.create 32 in
   let rec loop acc n =
     if n = 0 then List.rev acc
@@ -342,7 +426,9 @@ let consume_single ~settings ~hierarchy ~freevar_cost_of ~verify st =
               let r =
                 {
                   jungloid = j;
-                  key = Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j;
+                  key =
+                    Rank.key ~weights:settings.weights ?freevar_cost_of ?edge_cost
+                      hierarchy j;
                   code = Codegen.to_java j;
                 }
               in
@@ -352,9 +438,11 @@ let consume_single ~settings ~hierarchy ~freevar_cost_of ~verify st =
   in
   loop [] settings.max_results
 
-let run_info ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy
-    q =
+let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~graph
+    ~hierarchy q =
   let view, gen = view_and_gen ?frozen graph in
+  let strategy, edge_cost, warnings = effective_mode ~edge_cost settings in
+  let no_info = { no_info with warnings } in
   match (view.v_find q.tin, view.v_find q.tout) with
   | Some src, Some dst ->
       let reach = current_reach ~gen reach in
@@ -368,7 +456,7 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hiera
       end
       else begin
         let freevar_cost_of = freevar_estimator ~settings view in
-        match effective_strategy settings with
+        match strategy with
         | Exhaustive ->
             let truncated = ref false in
             let paths =
@@ -378,10 +466,10 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hiera
             Log.debug (fun m ->
                 m "query (%s, %s): %d paths enumerated" (Jtype.to_string q.tin)
                   (Jtype.to_string q.tout) (List.length paths));
-            ( rank_and_render ~settings ~hierarchy ~freevar_cost_of
+            ( rank_and_render ~settings ~hierarchy ~freevar_cost_of ?edge_cost
                 ~input_name:(fun _ -> None)
                 ~verify view.v_of_path paths,
-              { candidates = List.length paths; truncated = !truncated } )
+              { candidates = List.length paths; truncated = !truncated; warnings } )
         | BestFirst ->
             let dist_to = view.v_distances_to ~viable ~target:dst in
             if src >= Array.length dist_to || dist_to.(src) = max_int then begin
@@ -392,19 +480,25 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hiera
             end
             else begin
               let st =
-                topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to
+                topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable
+                  view ~dist_to
                   ~sources:[ (src, dist_to.(src) + settings.slack) ]
                   ~target:dst
               in
               let results =
-                consume_single ~settings ~hierarchy ~freevar_cost_of ~verify st
+                consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost
+                  ~verify st
               in
               Log.debug (fun m ->
                   m "query (%s, %s): %d candidates materialized (best-first)"
                     (Jtype.to_string q.tin) (Jtype.to_string q.tout)
                     (Topk.materialized st));
               ( results,
-                { candidates = Topk.materialized st; truncated = Topk.truncated st } )
+                {
+                  candidates = Topk.materialized st;
+                  truncated = Topk.truncated st;
+                  warnings;
+                } )
             end
       end
   | _ ->
@@ -413,8 +507,8 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hiera
             (Jtype.to_string q.tout));
       ([], no_info)
 
-let run ?settings ?reach ?frozen ?verify ~graph ~hierarchy q =
-  fst (run_info ?settings ?reach ?frozen ?verify ~graph ~hierarchy q)
+let run ?settings ?reach ?frozen ?verify ?edge_cost ~graph ~hierarchy q =
+  fst (run_info ?settings ?reach ?frozen ?verify ?edge_cost ~graph ~hierarchy q)
 
 type cluster = {
   representative : result;
@@ -454,7 +548,8 @@ let cluster results =
    All candidates of one structurally-equal jungloid share one key and
    therefore one run, so the per-run (jungloid, source) dedup reproduces
    the exhaustive [Hashtbl.replace] dedup exactly. *)
-let consume_multi ~settings ~hierarchy ~freevar_cost_of ~verify ~void ~var_nodes st =
+let consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify ~void
+    ~var_nodes st =
   let seen_pair = Hashtbl.create 64 in
   let seen_expr = Hashtbl.create 64 in
   let out = ref [] in
@@ -517,8 +612,8 @@ let consume_multi ~settings ~hierarchy ~freevar_cost_of ~verify ~void ~var_nodes
                     {
                       jungloid = j;
                       key =
-                        Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy
-                          j;
+                        Rank.key ~weights:settings.weights ?freevar_cost_of
+                          ?edge_cost hierarchy j;
                       code = Codegen.to_java ?input j;
                     };
                 }
@@ -544,9 +639,10 @@ let consume_multi ~settings ~hierarchy ~freevar_cost_of ~verify ~void ~var_nodes
   loop None;
   List.rev !out
 
-let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hierarchy
-    ~vars ~tout () =
+let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~graph
+    ~hierarchy ~vars ~tout () =
   let view, gen = view_and_gen ?frozen graph in
+  let strategy, edge_cost, _warnings = effective_mode ~edge_cost settings in
   match view.v_find tout with
   | None -> []
   | Some dst ->
@@ -592,7 +688,10 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hier
         let ranked =
           List.map
             (fun (j, s) ->
-              (Rank.key ~weights:settings.weights ?freevar_cost_of hierarchy j, j, s))
+              ( Rank.key ~weights:settings.weights ?freevar_cost_of ?edge_cost
+                  hierarchy j,
+                j,
+                s ))
             pairs
           |> List.sort (fun (ka, _, sa) (kb, _, sb) ->
                  match Rank.compare_key ka kb with
@@ -643,13 +742,13 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ~graph ~hier
         if budgeted = [] then []
         else
           let st =
-            topk_stream ~settings ~hierarchy ~freevar_cost_of view ~dist_to
-              ~sources:budgeted ~target:dst
+            topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable view
+              ~dist_to ~sources:budgeted ~target:dst
           in
-          consume_multi ~settings ~hierarchy ~freevar_cost_of ~verify ~void
-            ~var_nodes st
+          consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
+            ~void ~var_nodes st
       in
-      (match effective_strategy settings with
+      (match strategy with
       | Exhaustive -> exhaustive ()
       | BestFirst -> best_first ())
 
@@ -685,6 +784,7 @@ type engine = {
   e_multi : (multi_key, multi_result list) Qcache.t;
   e_prune : bool;
   e_pool : Pool.t;
+  e_edge_cost : (Elem.t -> int) option;  (* mined cost model, if loaded *)
   mutable e_frozen : Graph.frozen;  (* CSR snapshot, valid for [e_gen] *)
   mutable e_reach : Reach.t option;  (* built lazily, valid for [e_gen] *)
   mutable e_gen : int;  (* graph generation the caches describe *)
@@ -692,15 +792,18 @@ type engine = {
 
 (* The void pseudo-node is interned up front so every snapshot can serve the
    multi-source (content-assist) path; [Graph.void_node] would otherwise
-   create it mid-query and bump the generation under the caches. *)
-let refreeze graph =
+   create it mid-query and bump the generation under the caches. Snapshots
+   bake the engine's cost model, so weighted search over [e_frozen] always
+   agrees with the [e_edge_cost] the rank layer applies. *)
+let refreeze ?edge_cost graph =
   ignore (Graph.void_node graph);
-  Graph.freeze graph
+  Graph.freeze ?wcost:edge_cost graph
 
-let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ~graph ~hierarchy () =
+let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ?edge_cost ~graph
+    ~hierarchy () =
   (* A persisted index (Serialize.load_reach) only counts if it describes
      this exact graph build; anything stale is dropped and rebuilt lazily. *)
-  let frozen = refreeze graph in
+  let frozen = refreeze ?edge_cost graph in
   let seed =
     match reach with
     | Some r when prune && Reach.generation r = Graph.generation graph -> Some r
@@ -713,6 +816,7 @@ let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ~graph ~hierarch
     e_multi = Qcache.create ~capacity:cache_capacity ();
     e_prune = prune;
     e_pool = Option.value pool ~default:Pool.sequential;
+    e_edge_cost = edge_cost;
     e_frozen = frozen;
     e_reach = seed;
     e_gen = Graph.generation graph;
@@ -722,13 +826,15 @@ let engine_graph e = e.e_graph
 
 let engine_hierarchy e = e.e_hierarchy
 
+let engine_edge_cost e = e.e_edge_cost
+
 let invalidate e =
   Log.debug (fun m ->
       m "engine: invalidated at graph generation %d" (Graph.generation e.e_graph));
   Qcache.clear e.e_single;
   Qcache.clear e.e_multi;
   e.e_reach <- None;
-  e.e_frozen <- refreeze e.e_graph;
+  e.e_frozen <- refreeze ?edge_cost:e.e_edge_cost e.e_graph;
   e.e_gen <- Graph.generation e.e_graph
 
 (* Every cached entry point revalidates first, so mutating the graph (e.g.
@@ -763,8 +869,8 @@ let single_key ~gen ~settings q =
 let run_cached ?(settings = default_settings) e q =
   validate e;
   Qcache.find_or_add e.e_single (single_key ~gen:e.e_gen ~settings q) (fun () ->
-      run ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen ~graph:e.e_graph
-        ~hierarchy:e.e_hierarchy q)
+      run ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen
+        ?edge_cost:e.e_edge_cost ~graph:e.e_graph ~hierarchy:e.e_hierarchy q)
 
 (* The parallel batch replays the sequential cache protocol exactly:
 
@@ -790,7 +896,8 @@ let run_batch ?(settings = default_settings) ?pool e qs =
     let frozen = e.e_frozen in
     let key q = single_key ~gen:e.e_gen ~settings q in
     let solve q =
-      run ~settings ?reach ~frozen ~graph:e.e_graph ~hierarchy:e.e_hierarchy q
+      run ~settings ?reach ~frozen ?edge_cost:e.e_edge_cost ~graph:e.e_graph
+        ~hierarchy:e.e_hierarchy q
     in
     let seen = Hashtbl.create 64 in
     let misses =
@@ -822,5 +929,6 @@ let run_multi_cached ?(settings = default_settings) e ~vars ~tout () =
   validate e;
   let k = { mk_vars = vars; mk_tout = tout; mk_settings = settings; mk_gen = e.e_gen } in
   Qcache.find_or_add e.e_multi k (fun () ->
-      run_multi ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen ~graph:e.e_graph
-        ~hierarchy:e.e_hierarchy ~vars ~tout ())
+      run_multi ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen
+        ?edge_cost:e.e_edge_cost ~graph:e.e_graph ~hierarchy:e.e_hierarchy ~vars
+        ~tout ())

@@ -26,9 +26,9 @@ val query : string -> string -> t
     output to [Exhaustive], which enumerates every within-budget path and
     sorts ([test_topk.ml] pins the equivalence). [Exhaustive] remains the
     oracle and the choice for corpus tooling that wants the full path set.
-    Configurations with a negative [freevar_cost] (ablations) silently run
-    exhaustively: a negative charge would break the best-first order
-    certificate. *)
+    Configurations with a negative [freevar_cost] (ablations) run
+    exhaustively — a negative charge would break the best-first order
+    certificate — and report the fallback in {!info.warnings}. *)
 type strategy =
   | Exhaustive
   | BestFirst
@@ -38,6 +38,28 @@ val strategy_to_string : strategy -> string
 
 val strategy_of_string : string -> (strategy, string) result
 (** Inverse of {!strategy_to_string}; [Error] carries a user-ready message
+    listing the accepted spellings. *)
+
+(** How results are ordered. [Paper] is Section 3.2's static rule
+    (length, crossings, specificity). [Mined] orders by the usage-weighted
+    cost learned from the corpus ([Mining.Usage] — −log frequency with
+    Laplace smoothing, in {!Elem.cost_scale} fixed-point units), refined by
+    the full paper key as the deterministic tiebreak. The candidate set
+    (paper-cost budget [m + slack]) is identical under both rankings — only
+    the order changes — and [BestFirst] remains byte-identical to
+    [Exhaustive] under either. The cost model itself is passed separately
+    ([?edge_cost] / the engine's model): settings stay a flat structurally
+    comparable record, as the query-cache keys require. [Mined] without a
+    model falls back to [Paper] and reports it in {!info.warnings}. *)
+type ranking =
+  | Paper
+  | Mined
+
+val ranking_to_string : ranking -> string
+(** ["paper"] / ["mined"] — the wire and CLI spelling. *)
+
+val ranking_of_string : string -> (ranking, string) result
+(** Inverse of {!ranking_to_string}; [Error] carries a user-ready message
     listing the accepted spellings. *)
 
 type settings = {
@@ -50,11 +72,12 @@ type settings = {
           shortest production cost from the void node — the estimation the
           paper leaves as future work (default [false]) *)
   strategy : strategy;
+  ranking : ranking;
 }
 
 val default_settings : settings
 (** [slack = 1], [limit = 4096], [max_results = 10], default weights,
-    [strategy = BestFirst]. *)
+    [strategy = BestFirst], [ranking = Paper]. *)
 
 type result = {
   jungloid : Jungloid.t;
@@ -88,6 +111,11 @@ type info = {
   truncated : bool;
       (** the search stopped at [settings.limit] — the result list may be
           missing better-ranked solutions and callers should say so *)
+  warnings : string list;
+      (** configuration fallbacks applied to this query: a negative
+          [freevar_cost] forcing the exhaustive strategy, or [Mined]
+          ranking without a loaded usage model reverting to [Paper].
+          Empty when the query ran exactly as configured. *)
 }
 
 val run_info :
@@ -95,6 +123,7 @@ val run_info :
   ?reach:Reach.t ->
   ?frozen:Graph.frozen ->
   ?verify:verify ->
+  ?edge_cost:(Elem.t -> int) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
@@ -107,6 +136,7 @@ val run :
   ?reach:Reach.t ->
   ?frozen:Graph.frozen ->
   ?verify:verify ->
+  ?edge_cost:(Elem.t -> int) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
@@ -128,7 +158,14 @@ val run :
     [?reach] index is matched against the {e snapshot}'s generation. Results
     are byte-identical to the list-based path on the captured graph
     ([test_parallel.ml], and transitively the [test_cache.ml] equivalence
-    suite, pin this). *)
+    suite, pin this).
+
+    [?edge_cost] is the mined usage model ([Mining.Usage.edge_cost]),
+    consulted only when [settings.ranking = Mined]. It must be
+    non-negative, and when combined with [?frozen] the snapshot must have
+    been taken with [Graph.freeze ~wcost] under the {e same} model — the
+    weighted best-first search reads the snapshot's baked cost arrays.
+    Engine snapshots maintain this invariant automatically. *)
 
 type multi_result = {
   source_var : string option;  (** [None] for the [void] source *)
@@ -153,6 +190,7 @@ val run_multi :
   ?reach:Reach.t ->
   ?frozen:Graph.frozen ->
   ?verify:verify ->
+  ?edge_cost:(Elem.t -> int) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   vars:(string * Jtype.t) list ->
@@ -183,6 +221,7 @@ val engine :
   ?prune:bool ->
   ?reach:Reach.t ->
   ?pool:Prospector_parallel.Pool.t ->
+  ?edge_cost:(Elem.t -> int) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   unit ->
@@ -198,11 +237,24 @@ val engine :
     sequential) is used by {!run_batch} and by the reach-index build; it
     changes wall-clock only, never results. The engine freezes a CSR
     snapshot of the graph eagerly (and again on every invalidation), so all
-    engine-driven searches run on flat arrays. *)
+    engine-driven searches run on flat arrays.
+
+    [?edge_cost] installs the mined usage model ({!Mining.Usage.edge_cost}
+    in practice) for queries with [settings.ranking = Mined]; every
+    snapshot the engine freezes bakes this model into its weighted-cost
+    arrays, so weighted search and the rank layer always agree. Without
+    it, [Mined] requests fall back to [Paper] with an {!info.warnings}
+    entry. *)
 
 val engine_graph : engine -> Graph.t
 
 val engine_hierarchy : engine -> Javamodel.Hierarchy.t
+
+val engine_edge_cost : engine -> (Elem.t -> int) option
+(** The usage model installed at engine creation, if any. Lock-free readers
+    that run on {!engine_frozen} snapshots pass this as their [?edge_cost]:
+    the snapshot's baked weighted costs and the rank layer's model are then
+    the same by construction. *)
 
 val engine_frozen : engine -> Graph.frozen
 (** The engine's CSR snapshot for the current graph generation (re-frozen

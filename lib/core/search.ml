@@ -82,6 +82,91 @@ let zero_one_bfs n ~starts ~next =
    whole graph to the cone. *)
 let oracle = function None -> fun _ -> true | Some ok -> ok
 
+(* Dijkstra for the weighted (mined) cost model, where edge costs are
+   arbitrary non-negative ints and the 0-1 deque trick no longer applies.
+   The heap holds (dist, node) in two parallel arrays — unpacked, because
+   weighted distances need not fit the 31-bit packing of the 0-1 deque.
+   Lazy deletion: stale entries (dist no longer current) are skipped. *)
+let dijkstra n ~starts ~next =
+  let dist = Array.make n max_int in
+  let hd = ref (Array.make 64 0) in
+  (* distances *)
+  let hn = ref (Array.make 64 0) in
+  (* nodes *)
+  let len = ref 0 in
+  let swap i j =
+    let d = !hd.(i) in
+    !hd.(i) <- !hd.(j);
+    !hd.(j) <- d;
+    let v = !hn.(i) in
+    !hn.(i) <- !hn.(j);
+    !hn.(j) <- v
+  in
+  let push d u =
+    if !len = Array.length !hd then begin
+      let cap' = !len * 2 in
+      let hd' = Array.make cap' 0 and hn' = Array.make cap' 0 in
+      Array.blit !hd 0 hd' 0 !len;
+      Array.blit !hn 0 hn' 0 !len;
+      hd := hd';
+      hn := hn'
+    end;
+    !hd.(!len) <- d;
+    !hn.(!len) <- u;
+    let i = ref !len in
+    incr len;
+    while !i > 0 && !hd.((!i - 1) / 2) > !hd.(!i) do
+      swap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let pop () =
+    let d = !hd.(0) and u = !hn.(0) in
+    decr len;
+    swap 0 !len;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < !len && !hd.(l) < !hd.(!s) then s := l;
+      if r < !len && !hd.(r) < !hd.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        swap !i !s;
+        i := !s
+      end
+    done;
+    (d, u)
+  in
+  List.iter
+    (fun s ->
+      if s >= 0 && s < n && dist.(s) > 0 then begin
+        dist.(s) <- 0;
+        push 0 s
+      end)
+    starts;
+  while !len > 0 do
+    let du, u = pop () in
+    if du = dist.(u) then
+      next u (fun cost v ->
+          let d = du + cost in
+          if d < dist.(v) then begin
+            dist.(v) <- d;
+            push d v
+          end)
+  done;
+  dist
+
+let weighted_distances_to ?viable g ~target ~cost =
+  let n = Graph.node_count g in
+  let ok = oracle viable in
+  dijkstra n ~starts:[ target ] ~next:(fun u f ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          if ok e.Graph.src then f (cost e.Graph.elem) e.Graph.src)
+        (Graph.preds g u))
+
 let distances_to ?viable g ~target =
   let n = Graph.node_count g in
   let ok = oracle viable in
@@ -284,6 +369,20 @@ module Csr = struct
   let distances_to ?viable fz ~target =
     bfs fz.Graph.f_nodes ~starts:[ target ] ~off:fz.Graph.f_bwd_off
       ~adj:fz.Graph.f_bwd_src ~cost:fz.Graph.f_bwd_cost ~viable
+
+  (* Weighted (mined) distances to the target, over the baked-in
+     [f_bwd_wcost] — the backward rows carry no [edge], so the cost model
+     must have been supplied at freeze time. *)
+  let weighted_distances_to ?viable fz ~target =
+    let off = fz.Graph.f_bwd_off in
+    let adj = fz.Graph.f_bwd_src in
+    let wcost = fz.Graph.f_bwd_wcost in
+    let ok = oracle viable in
+    dijkstra fz.Graph.f_nodes ~starts:[ target ] ~next:(fun u f ->
+        for k = off.(u) to off.(u + 1) - 1 do
+          let v = adj.(k) in
+          if ok v then f wcost.(k) v
+        done)
 
   let distances_from ?viable fz ~sources =
     bfs fz.Graph.f_nodes ~starts:sources ~off:fz.Graph.f_fwd_off

@@ -29,6 +29,18 @@ val distances_from :
   ?viable:(Graph.node -> bool) -> Graph.t -> sources:Graph.node list -> int array
 (** Cost of the cheapest path from the nearest source to each node. *)
 
+val weighted_distances_to :
+  ?viable:(Graph.node -> bool) ->
+  Graph.t ->
+  target:Graph.node ->
+  cost:(Elem.t -> int) ->
+  int array
+(** Exact cheapest weighted cost from each node to [target] under the given
+    non-negative edge-cost model (Dijkstra); [max_int] when unreachable.
+    Used as the admissible heuristic of weighted best-first search: exact
+    distances satisfy the triangle inequality, so the resulting priority is
+    consistent. *)
+
 val shortest_cost :
   ?viable:(Graph.node -> bool) ->
   Graph.t ->
@@ -98,6 +110,11 @@ module Csr : sig
 
   val distances_from :
     ?viable:(Graph.node -> bool) -> Graph.frozen -> sources:Graph.node list -> int array
+
+  val weighted_distances_to :
+    ?viable:(Graph.node -> bool) -> Graph.frozen -> target:Graph.node -> int array
+  (** Like {!Search.weighted_distances_to}, but the cost model is the one
+      baked into the snapshot's [f_bwd_wcost] at freeze time. *)
 
   val shortest_cost :
     ?viable:(Graph.node -> bool) ->

@@ -219,6 +219,24 @@ type candidate = {
   cand_key : Rank.key;
 }
 
+(* Mined (usage-weighted) mode. The heap priority becomes
+
+       f_w(prefix) = wcost(prefix) + cost_scale*charge(prefix) + wdist_to(head)
+
+   with [wdist_to] the exact weighted Dijkstra distance to the target —
+   consistent for the same reason the 0-1 distances are, so completed paths
+   pop in nondecreasing weighted total. The *budget prune* stays on the
+   paper cost (see [expand]): the candidate set must be byte-identical to
+   the exhaustive enumeration, which budgets on paper cost regardless of
+   ranking mode; only the emission order changes. *)
+type weighted_mode = {
+  wdist_to : int array;
+  edge_wcost : int -> Graph.edge -> int;
+      (** ordinal + edge -> learned cost; the CSR backend reads the baked
+          [f_fwd_wcost] by ordinal, the list backend applies the model to
+          the elem *)
+}
+
 type t = {
   arena : Arena.t;
   heap : Heap.t;
@@ -227,6 +245,7 @@ type t = {
      everywhere), so the batch sort sees exactly what [Rank.key] would
      compute for the finished jungloid. *)
   m_cost : Ivec.t;  (* sum of edge costs *)
+  m_wcost : Ivec.t;  (* sum of weighted edge costs (0 in paper mode) *)
   m_charge : Ivec.t;  (* free-variable charge so far *)
   m_cross : Ivec.t;  (* package crossings so far *)
   m_lastpkg : Ivec.t;  (* interned id of the last package seen; -1 none *)
@@ -251,6 +270,7 @@ type t = {
   iter_succs : Graph.node -> (int -> Graph.edge -> unit) -> unit;
   materialize : Search.path -> Jungloid.t;
   dist_to : int array;
+  weighted : weighted_mode option;
   target : Graph.node;
   limit : int;
   (* Completion staging: [pending] holds completed arena rows of length
@@ -337,6 +357,7 @@ let edge_depth st ord (e : Graph.edge) =
 let add_root st node budget =
   let id = Arena.add_root st.arena node in
   Ivec.push st.m_cost 0;
+  Ivec.push st.m_wcost 0;
   Ivec.push st.m_charge 0;
   Ivec.push st.m_cross 0;
   Ivec.push st.m_lastpkg
@@ -351,13 +372,24 @@ let add_root st node budget =
      else 0);
   Ivec.push st.m_interior 0;
   Ivec.push st.m_budget budget;
-  Heap.add st.heap ~prio:st.dist_to.(node) id
+  let prio =
+    match st.weighted with
+    | None -> st.dist_to.(node)
+    | Some w -> w.wdist_to.(node)
+  in
+  Heap.add st.heap ~prio id
 
 let append st parent ord (e : Graph.edge) =
   let id = Arena.append st.arena ~parent ~ord e in
   let cost = Ivec.get st.m_cost parent + Elem.cost e.Graph.elem in
+  let wcost =
+    match st.weighted with
+    | None -> 0
+    | Some w -> Ivec.get st.m_wcost parent + w.edge_wcost ord e
+  in
   let charge = Ivec.get st.m_charge parent + edge_charge st ord e in
   Ivec.push st.m_cost cost;
+  Ivec.push st.m_wcost wcost;
   Ivec.push st.m_charge charge;
   (if st.weights.Rank.package_tiebreak then begin
      let pkg = edge_pkg st ord e in
@@ -392,7 +424,12 @@ let append st parent ord (e : Graph.edge) =
      Ivec.push st.m_interior 0
    end);
   Ivec.push st.m_budget (Ivec.get st.m_budget parent);
-  Heap.add st.heap ~prio:(cost + charge + st.dist_to.(e.Graph.dst)) id
+  let prio =
+    match st.weighted with
+    | None -> cost + charge + st.dist_to.(e.Graph.dst)
+    | Some w -> wcost + (Elem.cost_scale * charge) + w.wdist_to.(e.Graph.dst)
+  in
+  Heap.add st.heap ~prio id
 
 (* Expansion mirrors the DFS push guard exactly: skip nodes already on the
    chain, unreachable nodes, and extensions whose optimistic total cost
@@ -422,18 +459,25 @@ let cmp_ords (a : int array) (b : int array) =
   in
   go 0
 
-(* Move the pending batch — every completed path of length [pending_len] —
-   into numeric-tie groups. The sort key is the gated (crossings,
-   specificity, interior) triple; nothing is materialized yet. *)
+(* Move the pending batch — every completed path of priority [pending_len] —
+   into numeric-tie groups. In paper mode the batch shares its length, so
+   the sort key is the gated (crossings, specificity, interior) triple; in
+   weighted mode it shares only the weighted total, so the paper length
+   (cost + charge) is compared first — which is a no-op for paper batches.
+   Nothing is materialized yet. *)
 let flush_pending st =
+  let length id = Ivec.get st.m_cost id + Ivec.get st.m_charge id in
   let arr = Array.of_list (List.rev st.pending) in
   st.pending <- [];
   Array.sort
     (fun a b ->
-      match compare (Ivec.get st.m_cross a) (Ivec.get st.m_cross b) with
+      match compare (length a) (length b) with
       | 0 -> (
-          match compare (Ivec.get st.m_spec a) (Ivec.get st.m_spec b) with
-          | 0 -> compare (Ivec.get st.m_interior a) (Ivec.get st.m_interior b)
+          match compare (Ivec.get st.m_cross a) (Ivec.get st.m_cross b) with
+          | 0 -> (
+              match compare (Ivec.get st.m_spec a) (Ivec.get st.m_spec b) with
+              | 0 -> compare (Ivec.get st.m_interior a) (Ivec.get st.m_interior b)
+              | c -> c)
           | c -> c)
       | c -> c)
     arr;
@@ -444,6 +488,7 @@ let flush_pending st =
     let j = ref (!i + 1) in
     while
       !j < n
+      && length arr.(!i) = length arr.(!j)
       && Ivec.get st.m_cross arr.(!i) = Ivec.get st.m_cross arr.(!j)
       && Ivec.get st.m_spec arr.(!i) = Ivec.get st.m_spec arr.(!j)
       && Ivec.get st.m_interior arr.(!i) = Ivec.get st.m_interior arr.(!j)
@@ -465,9 +510,16 @@ let resolve_group st ids =
         let p = Arena.path st.arena id in
         let j = st.materialize p in
         st.materialized_n <- st.materialized_n + 1;
+        let weighted =
+          match st.weighted with
+          | None -> 0
+          | Some _ ->
+              Ivec.get st.m_wcost id + (Elem.cost_scale * Ivec.get st.m_charge id)
+        in
         let key =
           {
-            Rank.length = Ivec.get st.m_cost id + Ivec.get st.m_charge id;
+            Rank.weighted;
+            length = Ivec.get st.m_cost id + Ivec.get st.m_charge id;
             crossings = Ivec.get st.m_cross id;
             specificity = Ivec.get st.m_spec id;
             interior = Ivec.get st.m_interior id;
@@ -546,13 +598,14 @@ let materialized st = st.materialized_n
 
 let truncated st = st.truncated_f
 
-let start ?freevar_cost_of ~weights ~hierarchy ~node_type ~iter_succs ~edge_slots
-    ~materialize ~dist_to ~sources ~target ~limit () =
+let start ?freevar_cost_of ?weighted ~weights ~hierarchy ~node_type ~iter_succs
+    ~edge_slots ~materialize ~dist_to ~sources ~target ~limit () =
   let st =
     {
       arena = Arena.create ();
       heap = Heap.create ();
       m_cost = Ivec.create ();
+      m_wcost = Ivec.create ();
       m_charge = Ivec.create ();
       m_cross = Ivec.create ();
       m_lastpkg = Ivec.create ();
@@ -575,6 +628,7 @@ let start ?freevar_cost_of ~weights ~hierarchy ~node_type ~iter_succs ~edge_slot
       iter_succs;
       materialize;
       dist_to;
+      weighted;
       target;
       limit;
       pending = [];

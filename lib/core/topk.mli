@@ -79,8 +79,24 @@ type candidate = {
 type t
 (** A running best-first enumeration. *)
 
+type weighted_mode = {
+  wdist_to : int array;
+      (** exact weighted Dijkstra distances to the target
+          ({!Search.weighted_distances_to}), [max_int] = unreachable *)
+  edge_wcost : int -> Graph.edge -> int;
+      (** [(ord, edge)] -> learned non-negative cost in {!Elem.cost_scale}
+          units; must agree with the [edge_cost] the consumer passes to
+          {!Rank.key}, and with the model [wdist_to] was computed under *)
+}
+(** Mined-ranking mode: the heap priority becomes weighted cost + scaled
+    charge + [wdist_to], so candidates are certified in exact weighted
+    {!Rank.compare_key} order. The enumeration budget stays on the paper
+    cost, keeping the candidate {e set} byte-identical to the exhaustive
+    pipeline's — only the order changes. *)
+
 val start :
   ?freevar_cost_of:(Javamodel.Jtype.t -> int) ->
+  ?weighted:weighted_mode ->
   weights:Rank.weights ->
   hierarchy:Javamodel.Hierarchy.t ->
   node_type:(Graph.node -> Javamodel.Jtype.t) ->

@@ -45,6 +45,7 @@ val to_context : hole -> Prospector.Assist.context
 val suggest_at :
   ?settings:Prospector.Query.settings ->
   ?engine:Prospector.Query.engine ->
+  ?edge_cost:(Prospector.Elem.t -> int) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   hole ->
@@ -53,20 +54,26 @@ val suggest_at :
     to serve the hole from the interactive query cache — the IDE keeps one
     engine per open workspace, so re-triggering assist at an unchanged
     program point costs a hash lookup, and graph enrichment (new mined
-    examples arriving) transparently invalidates it. *)
+    examples arriving) transparently invalidates it. [?edge_cost] is the
+    mined usage model for [Mined]-ranking settings (engine sessions carry
+    their own — see {!session}). *)
 
 val session :
   ?cache_capacity:int ->
+  ?edge_cost:(Prospector.Elem.t -> int) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   unit ->
   Prospector.Query.engine
 (** The interactive session handle: a {!Prospector.Query.engine} over the
-    workspace graph, shared by every completion request. *)
+    workspace graph, shared by every completion request. [?edge_cost]
+    installs the workspace's mined usage model for [Mined]-ranking
+    completions. *)
 
 val suggest_all :
   ?settings:Prospector.Query.settings ->
   ?engine:Prospector.Query.engine ->
+  ?edge_cost:(Prospector.Elem.t -> int) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   hole list ->

@@ -19,6 +19,20 @@ type stats = {
 val add_examples : Prospector.Graph.t -> Extract.example list -> int * int
 (** Returns [(edges_added, typestate_nodes_added)]. *)
 
+val examples :
+  ?max_per_cast:int ->
+  ?max_len:int ->
+  ?include_protected:bool ->
+  ?flow_sensitive:bool ->
+  ?pool:Prospector_parallel.Pool.t ->
+  Minijava.Tast.program ->
+  Extract.example list
+(** The extraction front half of {!enrich} alone: visibility-filtered,
+    pre-generalization examples, exactly what [enrich]'s [on_examples] hook
+    reports — without touching any graph. The serve warm-start uses this to
+    rebuild the {!Usage} model next to a graph loaded from disk (which
+    already contains the spliced examples). *)
+
 val enrich :
   ?max_per_cast:int ->
   ?max_len:int ->
@@ -27,6 +41,7 @@ val enrich :
   ?include_protected:bool ->
   ?flow_sensitive:bool ->
   ?pool:Prospector_parallel.Pool.t ->
+  ?on_examples:(Extract.example list -> unit) ->
   Prospector.Graph.t ->
   Minijava.Tast.program ->
   stats
@@ -40,4 +55,7 @@ val enrich :
     flow-insensitive; the ablation measures the precision gap). [?pool]
     parallelizes the extraction stage (see {!Extract.extract}); splicing
     stays sequential, so the resulting graph is identical at any job
-    count. *)
+    count. [on_examples] is called once with the visibility-filtered,
+    pre-generalization examples — the raw usage evidence
+    {!Usage.of_examples} counts (generalization dedups, which would skew
+    frequencies). *)

@@ -312,6 +312,7 @@ type request =
       max_results : int option;
       slack : int option;
       strategy : string option;
+      ranking : string option;
       cluster : bool;
     }
   | Assist of {
@@ -320,12 +321,14 @@ type request =
       max_results : int option;
       slack : int option;
       strategy : string option;
+      ranking : string option;
     }
   | Batch of {
       pairs : (string * string) list;
       max_results : int option;
       slack : int option;
       strategy : string option;
+      ranking : string option;
     }
   | Lint of { tin : string; tout : string }
   | Stats
@@ -394,8 +397,9 @@ let request_of_json j =
             let* max_results = field_int_opt j "max_results" in
             let* slack = field_int_opt j "slack" in
             let* strategy = field_string_opt j "strategy" in
+            let* ranking = field_string_opt j "ranking" in
             let* cluster = field_bool j "cluster" ~default:false in
-            Ok (Query { tin; tout; max_results; slack; strategy; cluster })
+            Ok (Query { tin; tout; max_results; slack; strategy; ranking; cluster })
         | "assist" ->
             let* tout = field_string j "tout" in
             let* vars =
@@ -407,7 +411,8 @@ let request_of_json j =
             let* max_results = field_int_opt j "max_results" in
             let* slack = field_int_opt j "slack" in
             let* strategy = field_string_opt j "strategy" in
-            Ok (Assist { tout; vars; max_results; slack; strategy })
+            let* ranking = field_string_opt j "ranking" in
+            Ok (Assist { tout; vars; max_results; slack; strategy; ranking })
         | "batch" ->
             let* pairs =
               match member "queries" j with
@@ -417,7 +422,8 @@ let request_of_json j =
             let* max_results = field_int_opt j "max_results" in
             let* slack = field_int_opt j "slack" in
             let* strategy = field_string_opt j "strategy" in
-            Ok (Batch { pairs; max_results; slack; strategy })
+            let* ranking = field_string_opt j "ranking" in
+            Ok (Batch { pairs; max_results; slack; strategy; ranking })
         | "lint" ->
             let* tin = field_string j "tin" in
             let* tout = field_string j "tout" in
@@ -436,12 +442,12 @@ let envelope_to_json { id; req } =
   let opt_s k = function Some s -> [ (k, Str s) ] | None -> [] in
   let fields =
     match req with
-    | Query { tin; tout; max_results; slack; strategy; cluster } ->
+    | Query { tin; tout; max_results; slack; strategy; ranking; cluster } ->
         [ ("op", Str "query"); ("tin", Str tin); ("tout", Str tout) ]
         @ opt "max_results" max_results @ opt "slack" slack
-        @ opt_s "strategy" strategy
+        @ opt_s "strategy" strategy @ opt_s "ranking" ranking
         @ if cluster then [ ("cluster", Bool true) ] else []
-    | Assist { tout; vars; max_results; slack; strategy } ->
+    | Assist { tout; vars; max_results; slack; strategy; ranking } ->
         [ ("op", Str "assist"); ("tout", Str tout) ]
         @ (match vars with
           | [] -> []
@@ -455,8 +461,8 @@ let envelope_to_json { id; req } =
                        vs) );
               ])
         @ opt "max_results" max_results @ opt "slack" slack
-        @ opt_s "strategy" strategy
-    | Batch { pairs; max_results; slack; strategy } ->
+        @ opt_s "strategy" strategy @ opt_s "ranking" ranking
+    | Batch { pairs; max_results; slack; strategy; ranking } ->
         [
           ("op", Str "batch");
           ( "queries",
@@ -466,7 +472,7 @@ let envelope_to_json { id; req } =
                  pairs) );
         ]
         @ opt "max_results" max_results @ opt "slack" slack
-        @ opt_s "strategy" strategy
+        @ opt_s "strategy" strategy @ opt_s "ranking" ranking
     | Lint { tin; tout } ->
         [ ("op", Str "lint"); ("tin", Str tin); ("tout", Str tout) ]
     | Stats -> [ ("op", Str "stats") ]

@@ -11,7 +11,7 @@
     Request grammar (one object per line):
     {v
       {"op": "query",    "id"?: J, "tin": S, "tout": S,
-       "max_results"?: I, "slack"?: I, "cluster"?: B}
+       "max_results"?: I, "slack"?: I, "ranking"?: S, "cluster"?: B}
       {"op": "assist",   "id"?: J, "tout": S,
        "vars"?: [{"name": S, "type": S}...], "max_results"?: I, "slack"?: I}
       {"op": "batch",    "id"?: J, "queries": [{"tin": S, "tout": S}...],
@@ -69,6 +69,9 @@ type request =
           (** ["best-first"] or ["exhaustive"]; absent = server default.
               Validated by {!Service} (not here) so the error reply can say
               which spellings exist. *)
+      ranking : string option;
+          (** ["paper"] or ["mined"]; absent = server default. Validated by
+              {!Service}, like [strategy]. *)
       cluster : bool;
     }
   | Assist of {
@@ -77,12 +80,14 @@ type request =
       max_results : int option;
       slack : int option;
       strategy : string option;
+      ranking : string option;
     }
   | Batch of {
       pairs : (string * string) list;  (** (tin, tout) pairs *)
       max_results : int option;
       slack : int option;
       strategy : string option;
+      ranking : string option;
     }
   | Lint of { tin : string; tout : string }
   | Stats

@@ -209,7 +209,10 @@ let memo local key compute =
 let query_results t local snap ~settings q =
   let compute () =
     let rs, info =
+      (* The engine froze this snapshot with its own usage model, so the
+         model passed here matches the snapshot's baked weighted costs. *)
       Query.run_info ~settings ?reach:snap.s_reach ~frozen:snap.s_frozen
+        ?edge_cost:(Query.engine_edge_cost t.eng)
         ~graph:(Query.engine_graph t.eng)
         ~hierarchy:(Query.engine_hierarchy t.eng)
         q
@@ -228,6 +231,7 @@ let assist_suggestions t local snap ~settings (ctx : Prospector.Assist.context) 
   let compute () =
     Vsuggest
       (Prospector.Assist.suggest ~settings ~frozen:snap.s_frozen ?reach:snap.s_reach
+         ?edge_cost:(Query.engine_edge_cost t.eng)
          ~graph:(Query.engine_graph t.eng)
          ~hierarchy:(Query.engine_hierarchy t.eng)
          ctx)
@@ -292,28 +296,43 @@ let op_name = function
   | Proto.Health -> "health"
   | Proto.Shutdown -> "shutdown"
 
-let settings_for t ~max_results ~slack ~strategy =
+let settings_for t ~max_results ~slack ~strategy ~ranking =
   let s = t.base_settings in
   {
     s with
     Query.max_results = Option.value max_results ~default:s.Query.max_results;
     slack = Option.value slack ~default:s.Query.slack;
     strategy = Option.value strategy ~default:s.Query.strategy;
+    ranking = Option.value ranking ~default:s.Query.ranking;
   }
 
-(* An unknown strategy string is the requester's mistake, answered with
-   [Bad_request] and the accepted spellings, before any engine work. *)
+(* An unknown strategy or ranking string is the requester's mistake, answered
+   with [Bad_request] and the accepted spellings, before any engine work. *)
 let parse_strategy = function
   | None -> Ok None
   | Some s -> Result.map Option.some (Query.strategy_of_string s)
 
+let parse_ranking = function
+  | None -> Ok None
+  | Some s -> Result.map Option.some (Query.ranking_of_string s)
+
+(* Validate both optional spellings, reporting the first offender. *)
+let parse_mode ~strategy ~ranking =
+  match parse_strategy strategy with
+  | Error _ as e -> e
+  | Ok strategy -> (
+      match parse_ranking ranking with
+      | Error _ as e -> e
+      | Ok ranking -> Ok (strategy, ranking))
+
 let dispatch ?local t ~id req =
   match req with
-  | Proto.Query { tin; tout; max_results; slack; strategy; cluster } -> (
-      match parse_strategy strategy with
+  | Proto.Query { tin; tout; max_results; slack; strategy; ranking; cluster }
+    -> (
+      match parse_mode ~strategy ~ranking with
       | Error msg -> Proto.error_response ~id Proto.Bad_request msg
-      | Ok strategy ->
-          let settings = settings_for t ~max_results ~slack ~strategy in
+      | Ok (strategy, ranking) ->
+          let settings = settings_for t ~max_results ~slack ~strategy ~ranking in
           let q = Query.query tin tout in
           let rs, truncated = query_results t local (current t) ~settings q in
           let payload =
@@ -332,11 +351,11 @@ let dispatch ?local t ~id req =
               ]
           in
           Proto.ok_response ~id ~op:"query" payload)
-  | Proto.Assist { tout; vars; max_results; slack; strategy } -> (
-      match parse_strategy strategy with
+  | Proto.Assist { tout; vars; max_results; slack; strategy; ranking } -> (
+      match parse_mode ~strategy ~ranking with
       | Error msg -> Proto.error_response ~id Proto.Bad_request msg
-      | Ok strategy ->
-      let settings = settings_for t ~max_results ~slack ~strategy in
+      | Ok (strategy, ranking) ->
+      let settings = settings_for t ~max_results ~slack ~strategy ~ranking in
       let ctx =
         {
           Prospector.Assist.vars =
@@ -350,11 +369,11 @@ let dispatch ?local t ~id req =
           ("count", Proto.Int (List.length suggestions));
           ("suggestions", Proto.Arr (List.mapi suggestion_json suggestions));
         ])
-  | Proto.Batch { pairs; max_results; slack; strategy } -> (
-      match parse_strategy strategy with
+  | Proto.Batch { pairs; max_results; slack; strategy; ranking } -> (
+      match parse_mode ~strategy ~ranking with
       | Error msg -> Proto.error_response ~id Proto.Bad_request msg
-      | Ok strategy ->
-      let settings = settings_for t ~max_results ~slack ~strategy in
+      | Ok (strategy, ranking) ->
+      let settings = settings_for t ~max_results ~slack ~strategy ~ranking in
       let qs = List.map (fun (tin, tout) -> Query.query tin tout) pairs in
       (* One snapshot for the whole batch: every answer describes the same
          graph generation even if a republication lands mid-batch.

@@ -1,0 +1,62 @@
+--ranking is validated exactly like --strategy: an unknown spelling gets a
+one-line error and exit 1, never an exception trace.
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry --ranking bogus
+  error: unknown ranking "bogus" (expected "paper" or "mined")
+  [1]
+
+Spelling out the default is accepted and changes nothing:
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 1 > paper.out
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 1 --ranking paper > explicit.out
+  $ cmp paper.out explicit.out
+
+Under the mined ranking, best-first stays byte-identical to the exhaustive
+oracle — the candidate set is the same paper-cost budget either way, only
+the order changes:
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 --ranking mined > bf.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 --ranking mined --strategy exhaustive > ex.out
+  $ cmp bf.out ex.out
+
+  $ ../../bin/prospector_cli.exe assist org.eclipse.ui.IEditorInput -v ep:org.eclipse.ui.IEditorPart -n 3 --ranking mined > bf.out
+  $ ../../bin/prospector_cli.exe assist org.eclipse.ui.IEditorInput -v ep:org.eclipse.ui.IEditorPart -n 3 --ranking mined --strategy exhaustive > ex.out
+  $ cmp bf.out ex.out
+
+The corpus-mined idiom stays on top under the usage-weighted order:
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 1 --ranking mined
+  #1  λx. AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(x), false) : IFile -> ASTNode
+        ICompilationUnit compilationUnit = JavaCore.createCompilationUnitFrom(file);
+        CompilationUnit compilationUnit2 = AST.parseCompilationUnit(compilationUnit, false);
+
+Asking for the mined ranking without a mined corpus falls back to the
+paper order, with a warning instead of silence:
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 1 --ranking mined --no-mining
+  prospector_cli.exe: [WARNING] mined ranking requested but no usage model is loaded; falling back to the paper ranking
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+
+The server validates the ranking field the same way. Start a daemon:
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port >server.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+
+An unknown ranking spelling in a request is a bad_request reply naming the
+accepted spellings, before any engine work:
+
+  $ ../../bin/prospector_cli.exe client --port-file port raw '{"op":"query","tin":"void","tout":"org.eclipse.ui.texteditor.DocumentProviderRegistry","ranking":"bogus"}'
+  error[bad_request]: unknown ranking "bogus" (expected "paper" or "mined")
+  [1]
+
+A mined-ranking query over the wire matches the one-shot CLI byte for byte:
+
+  $ ../../bin/prospector_cli.exe client --port-file port query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 5 --ranking mined > wire.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 5 --ranking mined > local.out
+  $ cmp wire.out local.out
+
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV

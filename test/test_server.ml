@@ -89,6 +89,16 @@ let gen_opt_strategy =
         map Option.some gen_string;
       ])
 
+let gen_opt_ranking =
+  QCheck2.Gen.(
+    oneof
+      [
+        return None;
+        return (Some "paper");
+        return (Some "mined");
+        map Option.some gen_string;
+      ])
+
 let gen_request =
   QCheck2.Gen.(
     let name = string_size ~gen:printable (int_range 1 12) in
@@ -97,17 +107,22 @@ let gen_request =
         (let* tin = gen_string and* tout = gen_string in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
          let* strategy = gen_opt_strategy in
+         let* ranking = gen_opt_ranking in
          let* cluster = bool in
-         return (Proto.Query { tin; tout; max_results; slack; strategy; cluster }));
+         return
+           (Proto.Query
+              { tin; tout; max_results; slack; strategy; ranking; cluster }));
         (let* tout = gen_string in
          let* vars = list_size (int_range 0 3) (pair name gen_string) in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
          let* strategy = gen_opt_strategy in
-         return (Proto.Assist { tout; vars; max_results; slack; strategy }));
+         let* ranking = gen_opt_ranking in
+         return (Proto.Assist { tout; vars; max_results; slack; strategy; ranking }));
         (let* pairs = list_size (int_range 0 3) (pair gen_string gen_string) in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
          let* strategy = gen_opt_strategy in
-         return (Proto.Batch { pairs; max_results; slack; strategy }));
+         let* ranking = gen_opt_ranking in
+         return (Proto.Batch { pairs; max_results; slack; strategy; ranking }));
         (let* tin = gen_string and* tout = gen_string in
          return (Proto.Lint { tin; tout }));
         return Proto.Stats;
@@ -244,7 +259,15 @@ let line_of req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Nul
 let query_line ?max_results ?slack tin tout =
   line_of
     (Proto.Query
-       { tin; tout; max_results; slack; strategy = None; cluster = false })
+       {
+         tin;
+         tout;
+         max_results;
+         slack;
+         strategy = None;
+         ranking = None;
+         cluster = false;
+       })
 
 let field path j =
   List.fold_left
@@ -327,6 +350,7 @@ let workload_lines () =
              max_results = Some 2;
              slack = None;
              strategy = None;
+             ranking = None;
            });
       line_of
         (Proto.Lint

@@ -269,6 +269,147 @@ let test_multi_equivalence () =
         (a.Query.result.Query.code = b.Query.result.Query.code))
     ex bf
 
+(* ---------- usage-weighted ranking: the same differential harness ---------- *)
+
+(* [Mined] must preserve the headline contract verbatim: BestFirst+Mined is
+   byte-identical to Exhaustive+Mined (the oracle re-sorts the same
+   paper-budget candidate set by the weighted key). The bundled corpus
+   supplies a real model for the Eclipse graph; synthetic worlds get a
+   deterministic pseudo-random non-negative model — the equivalence must
+   hold for any such model, not just −log frequencies. *)
+
+let mined_at ~k strategy =
+  { Query.default_settings with max_results = k; strategy; ranking = Query.Mined }
+
+(* Widen stays free, matching the Usage invariant the rank layer assumes. *)
+let synthetic_cost ~seed e =
+  if Prospector.Elem.is_widen e then 0
+  else Hashtbl.hash (seed, e) mod (3 * Prospector.Elem.cost_scale)
+
+let test_bundled_mined_equivalence () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let edge_cost = Mining.Usage.edge_cost (Apidata.Api.usage ()) in
+  List.iter
+    (fun (p : Problems.t) ->
+      let q = Query.query p.Problems.tin p.Problems.tout in
+      let ex =
+        Query.run ~settings:(mined_at ~k:10 Query.Exhaustive) ~edge_cost ~graph
+          ~hierarchy q
+      in
+      let bf =
+        Query.run ~settings:(mined_at ~k:10 Query.BestFirst) ~edge_cost ~graph
+          ~hierarchy q
+      in
+      check_bool
+        (Printf.sprintf "problem %d identical under mined ranking" p.Problems.id)
+        true (results_equal ex bf))
+    Problems.all
+
+let test_layered_mined_equivalence () =
+  let h = Workload.layered_api ~classes:300 in
+  let g = Sig_graph.build h in
+  let edge_cost = synthetic_cost ~seed:42 in
+  (* the snapshot must be frozen under the same model the rank layer uses *)
+  let frozen = Graph.freeze ~wcost:edge_cost g in
+  List.iter
+    (fun q ->
+      let ex =
+        Query.run ~settings:(mined_at ~k:10 Query.Exhaustive) ~edge_cost
+          ~graph:g ~hierarchy:h q
+      in
+      let bf =
+        Query.run ~settings:(mined_at ~k:10 Query.BestFirst) ~edge_cost ~frozen
+          ~graph:g ~hierarchy:h q
+      in
+      check_bool "layered mined: best-first over CSR = exhaustive over list" true
+        (results_equal ex bf))
+    (Workload.random_queries h g ~count:10 ~seed:11)
+
+let test_multi_mined_equivalence () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let edge_cost = Mining.Usage.edge_cost (Apidata.Api.usage ()) in
+  let vars =
+    [
+      ("ep", Jtype.ref_of_string "org.eclipse.ui.IEditorPart");
+      ("page", Jtype.ref_of_string "org.eclipse.ui.IWorkbenchPage");
+    ]
+  in
+  let tout = Jtype.ref_of_string "org.eclipse.ui.texteditor.IDocumentProvider" in
+  let at strategy =
+    Query.run_multi
+      ~settings:{ Query.default_settings with strategy; ranking = Query.Mined }
+      ~edge_cost ~graph ~hierarchy ~vars ~tout ()
+  in
+  let ex = at Query.Exhaustive and bf = at Query.BestFirst in
+  check_int "mined multi: same count" (List.length ex) (List.length bf);
+  List.iter2
+    (fun (a : Query.multi_result) (b : Query.multi_result) ->
+      check_bool "mined multi: same source var" true
+        (a.Query.source_var = b.Query.source_var);
+      check_bool "mined multi: same jungloid" true
+        (Prospector.Jungloid.equal a.Query.result.Query.jungloid
+           b.Query.result.Query.jungloid);
+      check_bool "mined multi: same code" true
+        (a.Query.result.Query.code = b.Query.result.Query.code))
+    ex bf
+
+(* ---------- configuration-fallback warnings ---------- *)
+
+let test_fallback_warnings () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let q = Query.query "org.eclipse.ui.IEditorPart" "org.eclipse.core.resources.IFile" in
+  (* healthy configuration: no warnings *)
+  let _, info = Query.run_info ~graph ~hierarchy q in
+  check_bool "default run reports no warnings" true (info.Query.warnings = []);
+  (* a negative freevar charge voids the best-first certificate: the run
+     must fall back to the exhaustive strategy AND say so (the fallback was
+     silent before info.warnings existed) *)
+  let ablation =
+    {
+      Query.default_settings with
+      weights = { Rank.default_weights with Rank.freevar_cost = -1 };
+    }
+  in
+  let rs_bf, info_bf = Query.run_info ~settings:ablation ~graph ~hierarchy q in
+  check_int "negative freevar_cost: one warning" 1
+    (List.length info_bf.Query.warnings);
+  check_bool "warning names the exhaustive fallback" true
+    (let w = List.hd info_bf.Query.warnings in
+     let contains sub =
+       let n = String.length sub and m = String.length w in
+       let rec go i = i + n <= m && (String.sub w i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains "freevar_cost" && contains "exhaustive");
+  (* the fallback serves the exhaustive answers, not a broken best-first *)
+  let rs_ex =
+    Query.run
+      ~settings:{ ablation with strategy = Query.Exhaustive }
+      ~graph ~hierarchy q
+  in
+  check_bool "fallback answers = exhaustive answers" true
+    (results_equal rs_ex rs_bf);
+  (* Mined without a loaded model reverts to Paper, with its own warning *)
+  let rs_m, info_m =
+    Query.run_info
+      ~settings:{ Query.default_settings with ranking = Query.Mined }
+      ~graph ~hierarchy q
+  in
+  check_int "mined without model: one warning" 1 (List.length info_m.Query.warnings);
+  check_bool "warning names the paper fallback" true
+    (let w = List.hd info_m.Query.warnings in
+     let n = String.length "paper ranking" and m = String.length w in
+     let rec go i =
+       i + n <= m && (String.sub w i n = "paper ranking" || go (i + 1))
+     in
+     go 0);
+  let rs_p = Query.run ~graph ~hierarchy q in
+  check_bool "modelless mined answers = paper answers" true
+    (results_equal rs_p rs_m)
+
 (* ---------- qcheck: random Apigen worlds ---------- *)
 
 let world_gen =
@@ -317,6 +458,35 @@ let prop_best_first_equals_exhaustive =
               || results_equal ex bf
                  && results_equal ex bz
                  && bfi.Query.candidates <= exi.Query.candidates)
+            [ 1; 3; 10 ])
+        (Corpusgen.Workload.random_queries h g ~count:3 ~seed:7))
+
+let prop_mined_equals_exhaustive =
+  QCheck2.Test.make
+    ~name:"BestFirst+Mined = Exhaustive+Mined (random APIs, random models)"
+    ~count:25 world_gen (fun (h, g) ->
+      let edge_cost = synthetic_cost ~seed:7 in
+      let frozen = Graph.freeze ~wcost:edge_cost g in
+      List.for_all
+        (fun q ->
+          List.for_all
+            (fun k ->
+              let ex, exi =
+                Query.run_info
+                  ~settings:(mined_at ~k Query.Exhaustive)
+                  ~edge_cost ~graph:g ~hierarchy:h q
+              in
+              let bf =
+                Query.run
+                  ~settings:(mined_at ~k Query.BestFirst)
+                  ~edge_cost ~graph:g ~hierarchy:h q
+              in
+              let bz =
+                Query.run
+                  ~settings:(mined_at ~k Query.BestFirst)
+                  ~edge_cost ~frozen ~graph:g ~hierarchy:h q
+              in
+              exi.Query.truncated || (results_equal ex bf && results_equal ex bz))
             [ 1; 3; 10 ])
         (Corpusgen.Workload.random_queries h g ~count:3 ~seed:7))
 
@@ -373,4 +543,16 @@ let () =
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_best_first_equals_exhaustive; prop_estimated_freevars_equal ] );
+      ( "mined",
+        [
+          Alcotest.test_case "bundled Eclipse graph, Table 1, usage model"
+            `Quick test_bundled_mined_equivalence;
+          Alcotest.test_case "layered synthetic, CSR view, synthetic model"
+            `Quick test_layered_mined_equivalence;
+          Alcotest.test_case "multi-source assist path, usage model" `Quick
+            test_multi_mined_equivalence;
+          Alcotest.test_case "configuration fallbacks warn" `Quick
+            test_fallback_warnings;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_mined_equals_exhaustive ] );
     ]
