@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-proto clean
 
 all: build
 
@@ -24,11 +24,21 @@ fmt:
 # The analyzer over everything we ship: API-model and graph lint plus the
 # bundled mining corpus, then the example corpus under examples/corpus/.
 # --strict promotes warnings, so the gate only passes a spotless model.
+# The deviant_*.java seeds are protocol-violating on purpose: the proto
+# pass MUST flag them, so that run expects exit code exactly 1 under
+# --strict (2 would be a usage/parse error, 0 a silent miss).
 lint: build
 	dune exec bin/prospector_cli.exe -- lint --strict
 	dune exec bin/prospector_cli.exe -- lint --strict \
 	  --corpus examples/corpus/editor_input.java \
 	  --corpus examples/corpus/workspace_ast.java
+	dune exec bin/prospector_cli.exe -- lint --strict --pass proto \
+	  --corpus examples/corpus/editor_input.java \
+	  --corpus examples/corpus/workspace_ast.java
+	dune exec bin/prospector_cli.exe -- lint --strict --pass proto \
+	  --corpus examples/corpus/deviant_out_of_order.java \
+	  --corpus examples/corpus/deviant_missed_follow.java; \
+	test $$? -eq 1
 
 # One live daemon cycle over a real TCP socket: ephemeral port, health
 # check, a query, graceful drain. The binary is invoked directly (not via
@@ -46,7 +56,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke bench-parallel bench-topk bench-rank fmt
+check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-proto fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -83,6 +93,14 @@ bench-topk: build
 # so this is the mined counterpart of the `topk` gate in `make check`.
 bench-rank: build
 	dune exec bench/main.exe -- rank
+
+# Regenerates BENCH_proto.json (protocol mining time, lint throughput over
+# the bundled corpus, and Table 1 query overhead at protocol=Warn vs Off).
+# The section exits nonzero if the mined model flags any Table 1 solution
+# or if best-first diverges from exhaustive under Warn/Filter, so this is
+# the protocol-checking gate inside `make check`.
+bench-proto: build
+	dune exec bench/main.exe -- proto
 
 clean:
 	dune clean

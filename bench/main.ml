@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam cache analysis server\n             parallel topk rank micro                                     *)
+             search_bound cap_sweep objparam cache analysis server\n             parallel topk rank proto micro                               *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -726,6 +726,7 @@ let section_server () =
                         slack = None;
                         strategy = None;
                         ranking = None;
+                        protocol = None;
                         cluster = false;
                       };
                 }))
@@ -1183,6 +1184,155 @@ let section_rank () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Mined typestate protocols                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Mining cost, lint throughput over the bundled corpus, the overhead a
+   protocol-checked query pays at [Warn], and two gates: every Table 1
+   solution must vet clean against the bundled model (protocol checking
+   must never flag the paper's own answers), and BestFirst must stay
+   byte-identical to Exhaustive under [Warn] and [Filter]. *)
+let section_proto () =
+  rule "Mined typestate protocols";
+  let prog = Apidata.Api.program () in
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  (* -- mining ------------------------------------------------------- *)
+  let mine_t, model =
+    time_of (fun () ->
+        let m = ref Analysis.Protocol.empty in
+        for _ = 1 to 10 do
+          m := Mining.Protomine.mine prog
+        done;
+        !m)
+  in
+  let mine_t = mine_t /. 10.0 in
+  Printf.printf
+    "mining: %.4f s/corpus (%d types, %d sequences, %d transitions)\n" mine_t
+    (List.length (Analysis.Protocol.modeled_types model))
+    (Analysis.Protocol.sequence_count model)
+    (Analysis.Protocol.transition_count model);
+  (* -- lint throughput ---------------------------------------------- *)
+  let df = Mining.Dataflow.build prog in
+  let seqs = Mining.Protomine.sequences df in
+  let lint_passes = 100 in
+  let lint_t, findings =
+    time_of (fun () ->
+        let last = ref [] in
+        for _ = 1 to lint_passes do
+          last := Analysis.Protolint.check model seqs
+        done;
+        !last)
+  in
+  let seqs_per_s =
+    float_of_int (lint_passes * List.length seqs) /. lint_t
+  in
+  Printf.printf
+    "lint: %d sequences x %d passes in %.4f s (%.0f sequences/s, %d findings \
+     on the corpus itself)\n"
+    (List.length seqs) lint_passes lint_t seqs_per_s
+    (List.length findings);
+  (* -- query overhead at Warn, and the equivalence gates ------------- *)
+  let protocol_check j = Analysis.Protolint.violations model j in
+  let passes = 5 in
+  let run_all ~protocol ~strategy () =
+    List.map
+      (fun (p : Problems.t) ->
+        Query.run
+          ~settings:{ Query.default_settings with protocol; strategy }
+          ~protocol_check ~graph ~hierarchy
+          (Query.query p.Problems.tin p.Problems.tout))
+      Problems.all
+  in
+  let timed ~protocol ~strategy =
+    let t, r =
+      time_of (fun () ->
+          let last = ref [] in
+          for _ = 1 to passes do
+            last := run_all ~protocol ~strategy ()
+          done;
+          !last)
+    in
+    (t /. float_of_int passes, r)
+  in
+  let off_t, off = timed ~protocol:Query.Off ~strategy:Query.BestFirst in
+  let warn_t, warn = timed ~protocol:Query.Warn ~strategy:Query.BestFirst in
+  let overhead = (warn_t -. off_t) /. off_t *. 100.0 in
+  Printf.printf
+    "Table 1 workload: off %.4f s   warn %.4f s   overhead %+.1f%%\n" off_t
+    warn_t overhead;
+  let results_equal a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (x : Query.result) (y : Query.result) ->
+           Prospector.Jungloid.equal x.Query.jungloid y.Query.jungloid
+           && x.Query.code = y.Query.code)
+         a b
+  in
+  let identical = ref true in
+  List.iter
+    (fun protocol ->
+      let _, ex = timed ~protocol ~strategy:Query.Exhaustive in
+      let _, bf = timed ~protocol ~strategy:Query.BestFirst in
+      if not (List.for_all2 results_equal ex bf) then identical := false)
+    [ Query.Warn; Query.Filter ];
+  Printf.printf "best-first = exhaustive under warn and filter: %b\n" !identical;
+  (* warn must not perturb the result set either *)
+  if not (List.for_all2 results_equal off warn) then identical := false;
+  (* -- Table 1 solutions must vet clean ----------------------------- *)
+  let flagged =
+    List.concat_map
+      (fun rs ->
+        List.concat_map
+          (fun (r : Query.result) ->
+            Analysis.Protolint.vet model r.Query.jungloid)
+          rs)
+      off
+  in
+  Printf.printf "protocol findings on Table 1 solutions: %d\n"
+    (List.length flagged);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"mine_s\": %.6f,\n\
+      \  \"modeled_types\": %d,\n\
+      \  \"sequences\": %d,\n\
+      \  \"transitions\": %d,\n\
+      \  \"lint_sequences_per_s\": %.1f,\n\
+      \  \"corpus_findings\": %d,\n\
+      \  \"query_off_s\": %.6f,\n\
+      \  \"query_warn_s\": %.6f,\n\
+      \  \"warn_overhead_pct\": %.2f,\n\
+      \  \"table1_flagged\": %d,\n\
+      \  \"identical\": %b\n\
+       }\n"
+      mine_t
+      (List.length (Analysis.Protocol.modeled_types model))
+      (Analysis.Protocol.sequence_count model)
+      (Analysis.Protocol.transition_count model)
+      seqs_per_s
+      (List.length findings)
+      off_t warn_t overhead
+      (List.length flagged)
+      !identical
+  in
+  write_file "BENCH_proto.json" json;
+  if flagged <> [] then begin
+    List.iter
+      (fun d -> prerr_endline (Analysis.Diagnostic.to_string d))
+      flagged;
+    prerr_endline
+      "error: the mined protocol model flagged a Table 1 solution";
+    exit 1
+  end;
+  if not !identical then begin
+    prerr_endline
+      "error: best-first results diverged from the exhaustive oracle under \
+       protocol checking";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1267,6 +1417,7 @@ let sections =
     ("parallel", section_parallel);
     ("topk", section_topk);
     ("rank", section_rank);
+    ("proto", section_proto);
     ("micro", section_micro);
   ]
 

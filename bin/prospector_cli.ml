@@ -90,6 +90,8 @@ type env = {
   graph : Prospector.Graph.t;
   usage : Mining.Usage.t option;
       (* mined usage model, present whenever corpus mining ran *)
+  proto : Analysis.Protocol.model option;
+      (* mined typestate model, present whenever corpus mining ran *)
 }
 
 let load_env ?pool ~api ~corpus ~mining ~protected_ () =
@@ -108,14 +110,16 @@ let load_env ?pool ~api ~corpus ~mining ~protected_ () =
     | _, files -> List.map (fun f -> (f, read_file f)) files
   in
   let usage = ref None in
+  let proto = ref None in
   if mining && corpus_sources <> [] then begin
     let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
     ignore
       (Mining.Enrich.enrich ~include_protected:protected_ ?pool
          ~on_examples:(fun exs -> usage := Some (Mining.Usage.of_examples exs))
-         graph prog)
+         graph prog);
+    proto := Some (Mining.Protomine.mine prog)
   end;
-  { hierarchy; graph; usage = !usage }
+  { hierarchy; graph; usage = !usage; proto = !proto }
 
 let strategy_arg =
   Arg.(
@@ -157,7 +161,28 @@ let parse_ranking = function
           Printf.eprintf "error: %s\n" msg;
           exit 1)
 
-let settings ~max_results ~slack ~strategy ~ranking =
+let protocol_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ] ~docv:"MODE"
+        ~doc:"Mined-typestate checking of synthesized jungloids: $(b,off) \
+              (the default), $(b,warn) (results unchanged; call-order \
+              violations against the mined automata are reported as \
+              warnings) or $(b,filter) (violating jungloids are dropped \
+              from the results). Falls back to $(b,off) with a warning when \
+              no corpus was mined.")
+
+let parse_protocol = function
+  | None -> None
+  | Some s -> (
+      match Prospector.Query.protocol_of_string s with
+      | Ok p -> Some p
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+
+let settings ~max_results ~slack ~strategy ~ranking ~protocol =
   let base = Prospector.Query.default_settings in
   {
     base with
@@ -169,6 +194,9 @@ let settings ~max_results ~slack ~strategy ~ranking =
     ranking =
       Option.value (parse_ranking ranking)
         ~default:base.Prospector.Query.ranking;
+    protocol =
+      Option.value (parse_protocol protocol)
+        ~default:base.Prospector.Query.protocol;
   }
 
 (* The usage model as the [?edge_cost] the query layer consumes; [None]
@@ -177,6 +205,12 @@ let settings ~max_results ~slack ~strategy ~ranking =
    reports configuration fallbacks at warning level, which the CLI shows
    by default). *)
 let edge_cost_of env = Option.map Mining.Usage.edge_cost env.usage
+
+(* The mined typestate model as the [?protocol_check] the query layer
+   consumes; [None] makes [Warn]/[Filter] requests fall back to [Off] with
+   the same logged-warning discipline as [Mined] ranking. *)
+let protocol_check_of env =
+  Option.map (fun m j -> Analysis.Protolint.violations m j) env.proto
 
 let handle_errors f =
   try f () with
@@ -207,17 +241,18 @@ let query_cmd =
                 representative per group.")
   in
   let run api corpus no_mining protected_ max_results slack strategy ranking
-      cluster verbose tin tout =
+      protocol cluster verbose tin tout =
     setup_logs verbose;
     handle_errors (fun () ->
         let env =
           load_env ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let q = Prospector.Query.query tin tout in
-        let st = settings ~max_results ~slack ~strategy ~ranking in
+        let st = settings ~max_results ~slack ~strategy ~ranking ~protocol in
         let results, info =
           Prospector.Query.run_info ~settings:st ?edge_cost:(edge_cost_of env)
-            ~graph:env.graph ~hierarchy:env.hierarchy q
+            ?protocol_check:(protocol_check_of env) ~graph:env.graph
+            ~hierarchy:env.hierarchy q
         in
         if info.Prospector.Query.truncated then
           Printf.eprintf
@@ -238,8 +273,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Synthesize jungloids for a (tin, tout) query.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ ranking_arg $ cluster_flag
-      $ verbose_flag $ tin $ tout)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
+      $ cluster_flag $ verbose_flag $ tin $ tout)
 
 (* ---------- assist ---------- *)
 
@@ -253,7 +288,7 @@ let assist_cmd =
                 (repeatable).")
   in
   let run api corpus no_mining protected_ max_results slack strategy ranking
-      vars tout =
+      protocol vars tout =
     handle_errors (fun () ->
         let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let parsed_vars =
@@ -275,8 +310,9 @@ let assist_cmd =
         in
         let suggestions =
           Prospector.Assist.suggest
-            ~settings:(settings ~max_results ~slack ~strategy ~ranking)
-            ?edge_cost:(edge_cost_of env) ~graph:env.graph
+            ~settings:(settings ~max_results ~slack ~strategy ~ranking ~protocol)
+            ?edge_cost:(edge_cost_of env)
+            ?protocol_check:(protocol_check_of env) ~graph:env.graph
             ~hierarchy:env.hierarchy ctx
         in
         if suggestions = [] then print_endline "no suggestions"
@@ -293,7 +329,8 @@ let assist_cmd =
     (Cmd.info "assist" ~doc:"Content assist: suggestions for an expected type.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ ranking_arg $ vars $ tout)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg $ vars
+      $ tout)
 
 (* ---------- batch ---------- *)
 
@@ -354,7 +391,7 @@ let batch_cmd =
           ~doc:"Print hit/miss/eviction counters after the batch.")
   in
   let run api corpus no_mining protected_ max_results slack strategy ranking
-      verbose file repeat no_cache cache_capacity stats_flag jobs =
+      protocol verbose file repeat no_cache cache_capacity stats_flag jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -367,11 +404,14 @@ let batch_cmd =
           load_env ~pool ~api ~corpus ~mining:(not no_mining) ~protected_ ()
         in
         let qs = parse_query_file file in
-        let settings = settings ~max_results ~slack ~strategy ~ranking in
+        let settings =
+          settings ~max_results ~slack ~strategy ~ranking ~protocol
+        in
         let edge_cost = edge_cost_of env in
+        let protocol_check = protocol_check_of env in
         let engine =
           Prospector.Query.engine ~cache_capacity ~pool ?edge_cost
-            ~graph:env.graph ~hierarchy:env.hierarchy ()
+            ?protocol_check ~graph:env.graph ~hierarchy:env.hierarchy ()
         in
         let run_pass () =
           if no_cache then
@@ -383,7 +423,7 @@ let batch_cmd =
               (fun q ->
                 ( q,
                   Prospector.Query.run ~settings ~frozen ?edge_cost
-                    ~graph:env.graph ~hierarchy:env.hierarchy q ))
+                    ?protocol_check ~graph:env.graph ~hierarchy:env.hierarchy q ))
               qs
           else Prospector.Query.run_batch ~settings engine qs
         in
@@ -409,8 +449,8 @@ let batch_cmd =
              query engine.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag $ max_results
-      $ slack $ strategy_arg $ ranking_arg $ verbose_flag $ file $ repeat
-      $ no_cache $ cache_capacity $ stats_flag $ jobs_arg)
+      $ slack $ strategy_arg $ ranking_arg $ protocol_arg $ verbose_flag $ file
+      $ repeat $ no_cache $ cache_capacity $ stats_flag $ jobs_arg)
 
 (* ---------- mine ---------- *)
 
@@ -445,6 +485,32 @@ let mine_cmd =
                  (Prospector.Jungloid.make ~input:ex.Mining.Extract.input
                     ex.Mining.Extract.elems)))
           generalized;
+        let model = Mining.Protomine.of_dataflow df in
+        let module Protocol = Analysis.Protocol in
+        Printf.printf "\nprotocol model:          %d types, %d sequences, %d transitions\n"
+          (List.length (Protocol.modeled_types model))
+          (Protocol.sequence_count model)
+          (Protocol.transition_count model);
+        List.iter
+          (fun tname ->
+            let obs = Protocol.observations model ~tname in
+            Printf.printf "\n  %s (%d sequences%s)\n" tname obs
+              (if Protocol.modeled model ~tname then ""
+               else ", below evidence floor");
+            List.iter
+              (fun (meth, occ) ->
+                let usually =
+                  match Protocol.common_successor model ~tname ~meth with
+                  | Some s -> Printf.sprintf "; usually followed by %s" s
+                  | None -> ""
+                in
+                Printf.printf "    %-28s %d uses (%d first, %d last%s)\n" meth
+                  occ
+                  (Protocol.start_count model ~tname ~meth)
+                  (Protocol.end_count model ~tname ~meth)
+                  usually)
+              (Protocol.methods model ~tname))
+          (Protocol.modeled_types model);
         ignore protected_)
   in
   Cmd.v
@@ -514,7 +580,7 @@ let infer_cmd =
          ~doc:"Mini-Java source files containing ? holes.")
   in
   let run api corpus no_mining protected_ max_results slack strategy ranking
-      files =
+      protocol files =
     handle_errors (fun () ->
         let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
         let sources = List.map (fun f -> (f, read_file f)) files in
@@ -523,8 +589,9 @@ let infer_cmd =
         else
           (* One engine for the whole buffer, as the IDE session would hold. *)
           Prospector_ide.Infer.suggest_all
-            ~settings:(settings ~max_results ~slack ~strategy ~ranking)
-            ?edge_cost:(edge_cost_of env) ~graph:env.graph
+            ~settings:(settings ~max_results ~slack ~strategy ~ranking ~protocol)
+            ?edge_cost:(edge_cost_of env)
+            ?protocol_check:(protocol_check_of env) ~graph:env.graph
             ~hierarchy:env.hierarchy holes
           |> List.iter (fun ((h : Prospector_ide.Infer.hole), suggestions) ->
                  Printf.printf "hole in %s.%s, expecting %s (in scope: %s)\n"
@@ -545,7 +612,7 @@ let infer_cmd =
        ~doc:"Infer queries from ? holes in mini-Java source and suggest code.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ ranking_arg $ files)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg $ files)
 
 (* ---------- lint ---------- *)
 
@@ -570,16 +637,18 @@ let parse_query_spec s =
 
 let lint_cmd =
   let pass_conv =
-    Arg.enum [ ("api", `Api); ("corpus", `Corpus); ("query", `Query) ]
+    Arg.enum
+      [ ("api", `Api); ("corpus", `Corpus); ("query", `Query); ("proto", `Proto) ]
   in
   let passes =
     Arg.(
       value & opt_all pass_conv []
       & info [ "pass" ] ~docv:"PASS"
           ~doc:"Run only this pass: $(b,api) (model and graph lint), \
-                $(b,corpus) (mini-Java linter) or $(b,query) (solution \
-                verifier); repeatable. Default: api and corpus, plus query \
-                when $(b,--query) is given.")
+                $(b,corpus) (mini-Java linter), $(b,query) (solution \
+                verifier) or $(b,proto) (mined-typestate protocol checks on \
+                the corpus clients); repeatable. Default: api and corpus, \
+                plus query when $(b,--query) is given.")
   in
   let queries =
     Arg.(
@@ -598,7 +667,7 @@ let lint_cmd =
       & info [ "strict" ] ~doc:"Exit nonzero on warnings, not just errors.")
   in
   let run api corpus no_mining protected_ max_results slack strategy ranking
-      verbose passes queries json strict =
+      protocol verbose passes queries json strict =
     setup_logs verbose;
     let passes =
       match passes with
@@ -614,7 +683,10 @@ let lint_cmd =
           | _, files -> List.map (fun f -> (f, read_file f)) files
         in
         let prog =
-          if List.mem `Corpus passes && corpus_sources <> [] then
+          if
+            (List.mem `Corpus passes || List.mem `Proto passes)
+            && corpus_sources <> []
+          then
             Some (Minijava.Resolve.parse_program ~api:env.hierarchy corpus_sources)
           else None
         in
@@ -636,14 +708,32 @@ let lint_cmd =
               match prog with
               | None -> []
               | Some prog -> Analysis.Corpuslint.lint_program prog)
+          | `Proto -> (
+              match prog with
+              | None -> []
+              | Some prog ->
+                  (* Against the bundled API, deviance is judged by the
+                     bundled model, so a handful of client files under
+                     --corpus are linted against what the whole shipped
+                     corpus learned; with a custom --api the given corpus is
+                     all the evidence there is. *)
+                  let model =
+                    match api with
+                    | [] -> Apidata.Api.proto ()
+                    | _ -> Mining.Protomine.mine prog
+                  in
+                  Analysis.Protolint.check model
+                    (Mining.Protomine.sequences (Mining.Dataflow.build prog)))
           | `Query ->
               List.concat_map
                 (fun spec ->
                   let tin, tout = parse_query_spec spec in
                   let q = Prospector.Query.query tin tout in
                   Prospector.Query.run
-                    ~settings:(settings ~max_results ~slack ~strategy ~ranking)
-                    ?edge_cost:(edge_cost_of env) ~graph:env.graph
+                    ~settings:
+                      (settings ~max_results ~slack ~strategy ~ranking ~protocol)
+                    ?edge_cost:(edge_cost_of env)
+                    ?protocol_check:(protocol_check_of env) ~graph:env.graph
                     ~hierarchy:env.hierarchy q
                   |> List.concat_map (fun (r : Prospector.Query.result) ->
                          let j = r.Prospector.Query.jungloid in
@@ -674,8 +764,8 @@ let lint_cmd =
              verification, with a shared diagnostic report.")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ ranking_arg $ verbose_flag
-      $ passes $ queries $ json_flag $ strict_flag)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
+      $ verbose_flag $ passes $ queries $ json_flag $ strict_flag)
 
 (* ---------- serve ---------- *)
 
@@ -722,18 +812,18 @@ let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
         path dt
         (match reach with Some _ -> "loaded" | None -> "absent, will rebuild");
       (* The persisted graph already contains the spliced examples, but the
-         usage model cannot be read back off it — re-extract it from the
-         corpus sources (no graph mutation, so the loaded snapshot stays
-         exactly what was saved). *)
-      let usage =
-        if not mining then None
+         usage and protocol models cannot be read back off it — re-extract
+         them from the corpus sources (no graph mutation, so the loaded
+         snapshot stays exactly what was saved). *)
+      let usage, proto =
+        if not mining then (None, None)
         else
           let corpus_sources =
             match (api, corpus) with
             | [], [] -> Apidata.Api.corpus_sources
             | _, files -> List.map (fun f -> (f, read_file f)) files
           in
-          if corpus_sources = [] then None
+          if corpus_sources = [] then (None, None)
           else begin
             let t1 = Unix.gettimeofday () in
             let prog =
@@ -743,13 +833,14 @@ let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
               Mining.Usage.of_examples
                 (Mining.Enrich.examples ~include_protected:protected_ ?pool prog)
             in
+            let p = Mining.Protomine.mine prog in
             Printf.eprintf "usage model: re-mined in %.3f s (%d occurrences)\n%!"
               (Unix.gettimeofday () -. t1)
               (Mining.Usage.total m);
-            Some m
+            (Some m, Some p)
           end
       in
-      ({ hierarchy; graph; usage }, reach)
+      ({ hierarchy; graph; usage; proto }, reach)
   | _ ->
       let t0 = Unix.gettimeofday () in
       let env = load_env ?pool ~api ~corpus ~mining ~protected_ () in
@@ -835,8 +926,8 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"K" ~doc:"LRU capacity of the query cache.")
   in
   let run api corpus no_mining protected_ max_results slack strategy ranking
-      verbose host port port_file workers max_request_bytes max_connections
-      deadline stdio save_graph cache_capacity jobs =
+      protocol verbose host port port_file workers max_request_bytes
+      max_connections deadline stdio save_graph cache_capacity jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -855,12 +946,17 @@ let serve_cmd =
         in
         let engine =
           Prospector.Query.engine ~cache_capacity ?reach ~pool
-            ?edge_cost:(edge_cost_of env) ~graph:env.graph
+            ?edge_cost:(edge_cost_of env)
+            ?protocol_check:(protocol_check_of env) ~graph:env.graph
             ~hierarchy:env.hierarchy ()
         in
         let service =
           Service.create
-            ~settings:(settings ~max_results ~slack ~strategy ~ranking)
+            ~settings:(settings ~max_results ~slack ~strategy ~ranking ~protocol)
+            ?vet:
+              (Option.map
+                 (fun m j -> Analysis.Protolint.vet m j)
+                 env.proto)
             ?deadline_s:deadline ~engine ()
         in
         if stdio then Server.serve_stdio ~max_request_bytes service
@@ -892,9 +988,10 @@ let serve_cmd =
        ~doc:"Run the long-lived query daemon (newline-delimited JSON over TCP).")
     Term.(
       const run $ api_files $ corpus_files $ no_mining $ protected_flag
-      $ max_results $ slack $ strategy_arg $ ranking_arg $ verbose_flag $ host
-      $ port $ port_file $ workers $ max_request_bytes $ max_connections
-      $ deadline $ stdio $ save_graph $ cache_capacity $ jobs_arg)
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
+      $ verbose_flag $ host $ port $ port_file $ workers $ max_request_bytes
+      $ max_connections $ deadline $ stdio $ save_graph $ cache_capacity
+      $ jobs_arg)
 
 (* ---------- client ---------- *)
 
@@ -1031,8 +1128,8 @@ let client_cmd =
                 $(b,lint TIN TOUT), $(b,stats), $(b,health), $(b,shutdown), \
                 $(b,raw LINE).")
   in
-  let run max_results slack strategy ranking host port port_file json_flag vars
-      argv =
+  let run max_results slack strategy ranking protocol host port port_file
+      json_flag vars argv =
     let port =
       match port_file with
       | None -> port
@@ -1051,6 +1148,9 @@ let client_cmd =
     let ranking =
       Option.map Prospector.Query.ranking_to_string (parse_ranking ranking)
     in
+    let protocol =
+      Option.map Prospector.Query.protocol_to_string (parse_protocol protocol)
+    in
     let line =
       let envelope req = Proto.to_string (Proto.envelope_to_json { Proto.id = Proto.Null; req }) in
       match argv with
@@ -1064,6 +1164,7 @@ let client_cmd =
                  slack = some_slack;
                  strategy;
                  ranking;
+                 protocol;
                  cluster = false;
                })
       | [ "assist"; tout ] ->
@@ -1087,6 +1188,7 @@ let client_cmd =
                  slack = some_slack;
                  strategy;
                  ranking;
+                 protocol;
                })
       | [ "batch"; file ] ->
           let pairs =
@@ -1103,6 +1205,7 @@ let client_cmd =
                  slack = some_slack;
                  strategy;
                  ranking;
+                 protocol;
                })
       | [ "lint"; tin; tout ] -> envelope (Proto.Lint { tin; tout })
       | [ "stats" ] -> envelope Proto.Stats
@@ -1155,8 +1258,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one request to a running prospector daemon and print the reply.")
     Term.(
-      const run $ max_results $ slack $ strategy_arg $ ranking_arg $ host $ port
-      $ port_file $ json_flag $ vars $ argv)
+      const run $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
+      $ host $ port $ port_file $ json_flag $ vars $ argv)
 
 (* ---------- table1 ---------- *)
 

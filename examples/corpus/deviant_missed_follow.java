@@ -1,0 +1,13 @@
+// Deliberately PROTOCOL-DEVIANT client: probes hasMoreElements but never
+// consumes with nextElement. In every corpus sequence hasMoreElements is
+// followed by another call on the same receiver, so ending the object's
+// life here is flagged (P002: must-follow violation). Keep this file out
+// of the clean-corpus lint invocations.
+package examples.deviant;
+
+class ProbeOnly {
+  void probe(ZipFile zip) {
+    Enumeration en = zip.entries();
+    en.hasMoreElements();
+  }
+}

@@ -1,0 +1,16 @@
+// Deliberately PROTOCOL-DEVIANT client: calls the Enumeration pair in the
+// wrong order (nextElement before hasMoreElements). `make lint` runs
+// `lint --pass proto` over this file against the bundled mined model and
+// expects it to be flagged (P001: the corpus never calls hasMoreElements
+// directly after nextElement). Keep this file out of the clean-corpus lint
+// invocations.
+package examples.deviant;
+
+class BackwardsDrainer {
+  Object takeThenProbe(ZipFile zip) {
+    Enumeration en = zip.entries();
+    Object entry = en.nextElement();
+    en.hasMoreElements();
+    return entry;
+  }
+}

@@ -1,0 +1,251 @@
+(* Mined typestate protocols. See protocol.mli for the model and the
+   derivation of the deviance threshold from the Laplace smoothing floor. *)
+
+module Tast = Minijava.Tast
+
+type producer =
+  | Cast
+  | Call of string
+  | New of string
+  | Field of string
+  | Param
+  | Unknown
+
+let producer_string = function
+  | Cast -> "cast"
+  | Call s -> "call " ^ s
+  | New s -> "new " ^ s
+  | Field s -> "field " ^ s
+  | Param -> "param"
+  | Unknown -> "unknown"
+
+type event = {
+  ev_meth : string;
+  ev_loc : Tast.loc;
+  ev_void : bool;
+  ev_discarded : bool;
+}
+
+type sequence = {
+  seq_type : string;
+  seq_producer : producer;
+  seq_loc : Tast.loc;
+  seq_events : event list;
+}
+
+(* One automaton per receiver type. States are abstract phases: the
+   distinguished fresh phase plus one phase per observed method ("the
+   object right after [m]"). The tables below are sufficient statistics
+   for every transition probability we expose:
+   - [a_starts m]: fresh --m--> phase(m), i.e. sequences whose first call
+     is [m];
+   - [a_pairs (p, n)]: phase(p) --n--> phase(n), i.e. occurrences of [n]
+     directly after [p] on the same receiver;
+   - [a_ends m]: phase(m) --end, i.e. occurrences of [m] that close their
+     receiver's sequence;
+   - [a_occ m]: total occurrences of [m] = outgoing observations of
+     phase(m) (each occurrence is followed by exactly one thing: another
+     call or the end). *)
+type automaton = {
+  a_sequences : int;
+  a_starts : (string, int) Hashtbl.t;
+  a_pairs : (string * string, int) Hashtbl.t;
+  a_ends : (string, int) Hashtbl.t;
+  a_occ : (string, int) Hashtbl.t;
+}
+
+type model = { automata : (string, automaton) Hashtbl.t; m_min_evidence : int }
+
+let default_min_evidence = 2
+
+let empty =
+  { automata = Hashtbl.create 1; m_min_evidence = default_min_evidence }
+
+let bump tbl key n =
+  let prev = try Hashtbl.find tbl key with Not_found -> 0 in
+  Hashtbl.replace tbl key (prev + n)
+
+let fresh_automaton () =
+  {
+    a_sequences = 0;
+    a_starts = Hashtbl.create 7;
+    a_pairs = Hashtbl.create 7;
+    a_ends = Hashtbl.create 7;
+    a_occ = Hashtbl.create 7;
+  }
+
+let learn ?(min_evidence = default_min_evidence) sequences =
+  let automata = Hashtbl.create 16 in
+  let for_type t =
+    match Hashtbl.find_opt automata t with
+    | Some a -> a
+    | None ->
+        let a = fresh_automaton () in
+        Hashtbl.replace automata t a;
+        a
+  in
+  List.iter
+    (fun seq ->
+      let a = for_type seq.seq_type in
+      Hashtbl.replace automata seq.seq_type
+        { a with a_sequences = a.a_sequences + 1 };
+      (match seq.seq_events with
+      | [] -> ()
+      | first :: _ -> bump a.a_starts first.ev_meth 1);
+      let rec walk = function
+        | [] -> ()
+        | [ last ] ->
+            bump a.a_occ last.ev_meth 1;
+            bump a.a_ends last.ev_meth 1
+        | prev :: (next :: _ as rest) ->
+            bump a.a_occ prev.ev_meth 1;
+            bump a.a_pairs (prev.ev_meth, next.ev_meth) 1;
+            walk rest
+      in
+      walk seq.seq_events)
+    sequences;
+  { automata; m_min_evidence = min_evidence }
+
+let min_evidence m = m.m_min_evidence
+let automaton m t = Hashtbl.find_opt m.automata t
+
+let modeled_types m =
+  Hashtbl.fold (fun t _ acc -> t :: acc) m.automata [] |> List.sort compare
+
+let observations m ~tname =
+  match automaton m tname with None -> 0 | Some a -> a.a_sequences
+
+let modeled m ~tname = observations m ~tname >= m.m_min_evidence
+
+let sequence_count m =
+  Hashtbl.fold (fun _ a acc -> acc + a.a_sequences) m.automata 0
+
+let transition_count m =
+  Hashtbl.fold
+    (fun _ a acc ->
+      acc + Hashtbl.length a.a_starts + Hashtbl.length a.a_pairs
+      + Hashtbl.length a.a_ends)
+    m.automata 0
+
+let occ a meth = try Hashtbl.find a.a_occ meth with Not_found -> 0
+
+let known_method m ~tname ~meth =
+  match automaton m tname with None -> false | Some a -> occ a meth > 0
+
+let methods m ~tname =
+  match automaton m tname with
+  | None -> []
+  | Some a ->
+      Hashtbl.fold (fun meth n acc -> (meth, n) :: acc) a.a_occ []
+      |> List.sort compare
+
+let table_count find m ~tname key =
+  match automaton m tname with
+  | None -> 0
+  | Some a -> ( match find a key with Some n -> n | None -> 0)
+
+let occurrence_count m ~tname ~meth =
+  table_count (fun a k -> Hashtbl.find_opt a.a_occ k) m ~tname meth
+
+let start_count m ~tname ~meth =
+  table_count (fun a k -> Hashtbl.find_opt a.a_starts k) m ~tname meth
+
+let end_count m ~tname ~meth =
+  table_count (fun a k -> Hashtbl.find_opt a.a_ends k) m ~tname meth
+
+let pair_count m ~tname ~prev ~next =
+  table_count (fun a k -> Hashtbl.find_opt a.a_pairs k) m ~tname (prev, next)
+
+(* Alphabet size [V] for smoothing: distinct observed methods of the
+   type. The fresh phase and every phase(m) share it, so one unseen floor
+   [1/(n+V+1)] applies uniformly. *)
+let distinct a = Hashtbl.length a.a_occ
+
+let laplace ~count ~total ~distinct =
+  float_of_int (count + 1) /. float_of_int (total + distinct + 1)
+
+let start_prob m ~tname ~meth =
+  match automaton m tname with
+  | None -> 1.0
+  | Some a ->
+      let count = try Hashtbl.find a.a_starts meth with Not_found -> 0 in
+      laplace ~count ~total:a.a_sequences ~distinct:(distinct a)
+
+let pair_prob m ~tname ~prev ~next =
+  match automaton m tname with
+  | None -> 1.0
+  | Some a ->
+      let count =
+        try Hashtbl.find a.a_pairs (prev, next) with Not_found -> 0
+      in
+      laplace ~count ~total:(occ a prev) ~distinct:(distinct a)
+
+(* A zero-count transition out of a phase with [n] observations has
+   smoothed probability 1/(n+V+1); it crosses the deviance floor exactly
+   when n >= min_evidence. The [count = 0 && n >= min_evidence] test below
+   is that comparison with the common factor cancelled. *)
+let start_deviant m ~tname ~meth =
+  match automaton m tname with
+  | None -> false
+  | Some a ->
+      occ a meth > 0
+      && a.a_sequences >= m.m_min_evidence
+      && not (Hashtbl.mem a.a_starts meth)
+
+let pair_deviant m ~tname ~prev ~next =
+  match automaton m tname with
+  | None -> false
+  | Some a ->
+      occ a prev >= m.m_min_evidence
+      && occ a next > 0
+      && not (Hashtbl.mem a.a_pairs (prev, next))
+
+(* Most common entry in [tbl] restricted by [select]; ties break towards
+   the lexicographically smallest key so messages are deterministic. *)
+let most_common fold =
+  fold (fun key count best ->
+      match best with
+      | Some (_, bn) when bn > count -> best
+      | Some (bk, bn) when bn = count && bk <= key -> best
+      | _ -> Some (key, count))
+
+let common_successor a prev =
+  most_common
+    (fun f init ->
+      Hashtbl.fold
+        (fun (p, n) count acc -> if p = prev then f n count acc else acc)
+        a.a_pairs init)
+    None
+  |> Option.map fst
+
+let must_follow m ~tname ~meth =
+  match automaton m tname with
+  | None -> None
+  | Some a ->
+      if
+        occ a meth >= m.m_min_evidence
+        && not (Hashtbl.mem a.a_ends meth)
+      then common_successor a meth
+      else None
+
+let always_terminal m ~tname ~meth =
+  match automaton m tname with
+  | None -> false
+  | Some a ->
+      let n = occ a meth in
+      n >= m.m_min_evidence
+      && (try Hashtbl.find a.a_ends meth with Not_found -> 0) = n
+
+let common_successor m ~tname ~meth =
+  match automaton m tname with
+  | None -> None
+  | Some a -> common_successor a meth
+
+let start_suggestion m ~tname =
+  match automaton m tname with
+  | None -> None
+  | Some a ->
+      most_common
+        (fun f init -> Hashtbl.fold f a.a_starts init)
+        None
+      |> Option.map fst

@@ -1,0 +1,138 @@
+(** Mined typestate protocols: per-API-type call-order automata learned
+    from corpus receiver sequences.
+
+    The miner ([Mining.Protomine]) reconstructs, for every tracked receiver
+    in the corpus, the sequence of methods called on it, in evaluation
+    order, together with how the object was produced (a cast, a producing
+    call, a constructor, a field read, a parameter). This module holds the
+    shared currency: the {!sequence} shape the miner emits and the linter
+    consumes, and the learned {!model} — one automaton per receiver type
+    whose states are abstract object phases (fresh, after method [m]) and
+    whose transitions carry Laplace-smoothed method-pair probabilities.
+
+    {b Deviance threshold.} With [V] distinct observed methods, a
+    transition out of phase [m] seen [c] times among [n] observations has
+    Laplace probability [(c+1)/(n+V+1)]. A never-seen transition ([c = 0])
+    is called {e deviant} exactly when its smoothed probability falls to
+    the floor [1/(n+V+1)] with [n >= min_evidence] — i.e. at or below the
+    probability a fresh, evidence-free phase would assign
+    ([1/(min_evidence+V+1)]). An empty corpus has [n = 0] everywhere, so
+    nothing is ever deviant: the model degenerates to accept-everything,
+    and thresholds need no tuning per corpus (the knob is derived from the
+    smoothing floor, not fitted). *)
+
+module Tast = Minijava.Tast
+
+(** How a tracked object came to exist. [Cast] marks downcast-produced
+    receivers (the pattern behind [P006]); [Param] marks method parameters
+    with no known corpus caller; [Unknown] is an unresolvable origin. *)
+type producer =
+  | Cast
+  | Call of string  (** producing call, ["Owner.name/arity"] *)
+  | New of string  (** constructor, owner class *)
+  | Field of string  (** field read, ["Owner.fname"] *)
+  | Param
+  | Unknown
+
+val producer_string : producer -> string
+
+type event = {
+  ev_meth : string;  (** ["name/arity"] — the automaton alphabet *)
+  ev_loc : Tast.loc;  (** call site, for diagnostics *)
+  ev_void : bool;  (** the call returns [void] *)
+  ev_discarded : bool;  (** statement position: the result is dropped *)
+}
+
+type sequence = {
+  seq_type : string;  (** dotted static type of the receiver *)
+  seq_producer : producer;
+  seq_loc : Tast.loc;  (** where the object is produced (or first used) *)
+  seq_events : event list;  (** calls on the receiver, evaluation order *)
+}
+
+type automaton
+
+type model
+
+val empty : model
+(** The accept-everything model (what an empty corpus learns). *)
+
+val default_min_evidence : int
+(** [2] — the smallest [n] at which an observation is corroborated at all,
+    i.e. the first point where the floor comparison in the module docstring
+    separates "never seen despite repeated evidence" from "the phase itself
+    was seen once". *)
+
+val learn : ?min_evidence:int -> sequence list -> model
+(** One automaton per distinct [seq_type]; sequences with no events are
+    counted (they are evidence the type is used) but add no transitions. *)
+
+val min_evidence : model -> int
+
+val automaton : model -> string -> automaton option
+
+val modeled_types : model -> string list
+(** Types with at least one observed sequence, sorted. *)
+
+val modeled : model -> tname:string -> bool
+(** The type has at least [min_evidence] observed sequences — below that,
+    every check on it is vacuously satisfied. *)
+
+val sequence_count : model -> int
+(** Total observed sequences across all automata. *)
+
+val transition_count : model -> int
+(** Total distinct (phase, method) transitions across all automata. *)
+
+val observations : model -> tname:string -> int
+(** Observed sequences for one type; [0] when unmodeled. *)
+
+val known_method : model -> tname:string -> meth:string -> bool
+(** The corpus called [meth] on this type at least once. *)
+
+val methods : model -> tname:string -> (string * int) list
+(** Observed methods of the type with occurrence counts, sorted by name. *)
+
+val occurrence_count : model -> tname:string -> meth:string -> int
+(** How often the corpus called [meth] on the type. *)
+
+val start_count : model -> tname:string -> meth:string -> int
+(** How many sequences begin with [meth]. *)
+
+val end_count : model -> tname:string -> meth:string -> int
+(** How many occurrences of [meth] close their sequence. *)
+
+val pair_count : model -> tname:string -> prev:string -> next:string -> int
+(** How often [next] directly follows [prev]. *)
+
+val start_prob : model -> tname:string -> meth:string -> float
+(** Laplace-smoothed probability that a fresh object's first call is
+    [meth]; [1.0] when the type is unmodeled. *)
+
+val pair_prob : model -> tname:string -> prev:string -> next:string -> float
+(** Laplace-smoothed probability of calling [next] directly after [prev];
+    [1.0] when the type is unmodeled. *)
+
+val start_deviant : model -> tname:string -> meth:string -> bool
+(** [meth] is known on the type, the type has [min_evidence] sequences,
+    and no corpus sequence ever started with [meth]. *)
+
+val pair_deviant : model -> tname:string -> prev:string -> next:string -> bool
+(** Both methods are known, [prev] has [min_evidence] observations, and the
+    corpus never called [next] directly after [prev]. *)
+
+val must_follow : model -> tname:string -> meth:string -> string option
+(** [Some succ] when ending the object's life at [meth] is deviant: [meth]
+    has [min_evidence] observations and {e every} one of them is followed
+    by another call on the same receiver. [succ] is the most common
+    successor (ties break lexicographically). *)
+
+val always_terminal : model -> tname:string -> meth:string -> bool
+(** [meth] has [min_evidence] observations and every one of them ends its
+    receiver's sequence — the object is done after [meth]. *)
+
+val start_suggestion : model -> tname:string -> string option
+(** The most common first call on a fresh object of the type. *)
+
+val common_successor : model -> tname:string -> meth:string -> string option
+(** The most common call directly after [meth], when any was observed. *)

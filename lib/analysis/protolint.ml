@@ -1,0 +1,185 @@
+(* Protocol lint over mined typestate automata. See protolint.mli for the
+   rule catalogue. *)
+
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Elem = Prospector.Elem
+module Jungloid = Prospector.Jungloid
+
+let meth_label (m : Member.meth) =
+  Printf.sprintf "%s/%d" m.Member.mname (List.length m.Member.params)
+
+(* ------------------------------------------------------------------ *)
+(* Client-code pass: P001–P006 over reconstructed receiver sequences. *)
+
+let check_sequence model (seq : Protocol.sequence) =
+  let tname = seq.seq_type in
+  if not (Protocol.modeled model ~tname) then []
+  else begin
+    let diags = ref [] in
+    let report loc sev code msg =
+      diags := Diagnostic.at sev ~code ~loc msg :: !diags
+    in
+    let qualify m = tname ^ "." ^ m in
+    (* P005: methods the corpus never calls on this type at all. Deviance
+       checks below only fire between known methods, so the two rules
+       never double-report one call site. *)
+    List.iter
+      (fun (ev : Protocol.event) ->
+        if not (Protocol.known_method model ~tname ~meth:ev.ev_meth) then
+          report ev.ev_loc Diagnostic.Info "P005"
+            (Printf.sprintf
+               "unknown method on modeled type: %d corpus uses of %s never \
+                call %s"
+               (Protocol.observations model ~tname)
+               tname ev.ev_meth))
+      seq.seq_events;
+    (match seq.seq_events with
+    | [] -> ()
+    | first :: _ ->
+        if Protocol.start_deviant model ~tname ~meth:first.ev_meth then begin
+          let start =
+            match Protocol.start_suggestion model ~tname with
+            | Some s -> Printf.sprintf " (corpus clients start with %s)" s
+            | None -> ""
+          in
+          match seq.seq_producer with
+          | Protocol.Cast ->
+              report first.ev_loc Diagnostic.Warning "P006"
+                (Printf.sprintf
+                   "cast-then-protocol-violation: object cast to %s is first \
+                    used via %s, never the first call in the corpus%s"
+                   tname first.ev_meth start)
+          | _ ->
+              report first.ev_loc Diagnostic.Warning "P003"
+                (Printf.sprintf
+                   "use before producing call: no corpus client calls %s \
+                    first on a fresh %s%s"
+                   first.ev_meth tname start)
+        end);
+    let rec pairs = function
+      | (prev : Protocol.event) :: (next :: _ as rest) ->
+          if
+            Protocol.pair_deviant model ~tname ~prev:prev.ev_meth
+              ~next:next.ev_meth
+          then begin
+            let usual =
+              match
+                Protocol.common_successor model ~tname ~meth:prev.ev_meth
+              with
+              | Some s -> Printf.sprintf " (usually %s follows)" (qualify s)
+              | None -> ""
+            in
+            report next.ev_loc Diagnostic.Warning "P001"
+              (Printf.sprintf
+                 "rare transition: the corpus never calls %s after %s%s"
+                 (qualify next.ev_meth) (qualify prev.ev_meth) usual)
+          end;
+          pairs rest
+      | _ -> ()
+    in
+    pairs seq.seq_events;
+    (match List.rev seq.seq_events with
+    | [] -> ()
+    | last :: _ -> (
+        (match Protocol.must_follow model ~tname ~meth:last.ev_meth with
+        | Some succ ->
+            report last.ev_loc Diagnostic.Warning "P002"
+              (Printf.sprintf
+                 "must-follow call missing: corpus clients always follow %s \
+                  with another call (usually %s)"
+                 (qualify last.ev_meth) (qualify succ))
+        | None -> ());
+        if
+          last.ev_discarded && (not last.ev_void)
+          && Protocol.always_terminal model ~tname ~meth:last.ev_meth
+        then
+          report last.ev_loc Diagnostic.Info "P004"
+            (Printf.sprintf
+               "dead terminal call: %s always ends the protocol of %s and \
+                its result is discarded here"
+               (qualify last.ev_meth) tname)));
+    !diags
+  end
+
+let check model sequences =
+  List.concat_map (check_sequence model) sequences
+  |> List.sort_uniq Diagnostic.compare
+
+(* ------------------------------------------------------------------ *)
+(* Jungloid vetting: J010–J012 over a synthesized chain. *)
+
+(* The object currently flowing through the chain, when the chain itself
+   produced it. [None] marks the query input (unknown provenance — never
+   vetted, so Table 1 solutions that start from a live editor object are
+   not second-guessed). *)
+type tracked = { t_ty : Jtype.t; t_cast : bool }
+
+let vet model (j : Jungloid.t) =
+  let diags = ref [] in
+  let report i e sev code msg =
+    let subject = Printf.sprintf "step %d (%s)" i (Elem.describe e) in
+    diags := Diagnostic.about sev ~code ~subject msg :: !diags
+  in
+  let vet_call i e (t : tracked) (meth : Member.meth) =
+    let tname = Jtype.to_string t.t_ty in
+    let m = meth_label meth in
+    if Protocol.start_deviant model ~tname ~meth:m then begin
+      let start =
+        match Protocol.start_suggestion model ~tname with
+        | Some s -> Printf.sprintf " (corpus clients start with %s)" s
+        | None -> ""
+      in
+      if t.t_cast then
+        report i e Diagnostic.Warning "J012"
+          (Printf.sprintf
+             "downcast-then-deviant call: the chain casts to %s and calls \
+              %s, never the first call in the corpus%s"
+             tname m start)
+      else
+        report i e Diagnostic.Warning "J010"
+          (Printf.sprintf
+             "deviant first call: no corpus client calls %s first on a \
+              fresh %s%s"
+             m tname start)
+    end;
+    match Protocol.must_follow model ~tname ~meth:m with
+    | Some succ ->
+        report i e Diagnostic.Warning "J011"
+          (Printf.sprintf
+             "must-follow call left dangling: corpus clients always follow \
+              %s.%s with another call (usually %s.%s)"
+             tname m tname succ)
+    | None -> ()
+  in
+  let state = ref None in
+  List.iteri
+    (fun idx (e : Elem.t) ->
+      let i = idx + 1 in
+      match e with
+      | Elem.Widen { to_; _ } ->
+          (* Same value, wider static type: the object continues. *)
+          state :=
+            Option.map (fun t -> { t with t_ty = to_ }) !state
+      | Elem.Downcast { to_; _ } ->
+          (* The previous object ends silently (a cast is not a call); the
+             cast result is a chain-produced object. *)
+          state := Some { t_ty = to_; t_cast = true }
+      | Elem.Field_access { field; _ } ->
+          state := Some { t_ty = field.Member.ftype; t_cast = false }
+      | Elem.Ctor_call { owner; _ } ->
+          state := Some { t_ty = Jtype.ref_ owner; t_cast = false }
+      | Elem.Static_call { meth; _ } ->
+          state := Some { t_ty = meth.Member.ret; t_cast = false }
+      | Elem.Instance_call { meth; input; _ } ->
+          (match (input, !state) with
+          | Elem.Receiver, Some t ->
+              (* The one call the chain makes on this object: vet it as
+                 both the first and the last event of its life. *)
+              vet_call i e t meth
+          | _ -> ());
+          state := Some { t_ty = meth.Member.ret; t_cast = false })
+    j.Jungloid.elems;
+  List.rev !diags
+
+let violations model j = List.map Diagnostic.to_string (vet model j)

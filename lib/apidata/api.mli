@@ -34,3 +34,7 @@ val usage : unit -> Mining.Usage.t
     [Mined]-ranking counterpart of {!default_graph}: the same corpus
     evidence the graph's spliced examples came from, counted pre-
     generalization. *)
+
+val proto : unit -> Analysis.Protocol.model
+(** Memoized typestate model mined from the bundled corpus — what
+    [lint --pass proto] and jungloid vetting check against. *)

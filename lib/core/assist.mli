@@ -29,6 +29,7 @@ val suggest :
   ?frozen:Graph.frozen ->
   ?reach:Reach.t ->
   ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   context ->
@@ -41,6 +42,7 @@ val suggest :
     When [?engine] is supplied, the multi-source search goes through its
     cache and reach index ({!Query.run_multi_cached}); the engine must have
     been built over the same [graph]/[hierarchy] pair (its own usage model
-    serves [Mined]-ranking requests). Without an engine, [?frozen]/[?reach]/
-    [?edge_cost] forward to {!Query.run_multi} — the server's lock-free read
-    path runs assist on a published snapshot this way. *)
+    serves [Mined]-ranking requests, its own checker [Warn]/[Filter]
+    protocol requests). Without an engine, [?frozen]/[?reach]/[?edge_cost]/
+    [?protocol_check] forward to {!Query.run_multi} — the server's
+    lock-free read path runs assist on a published snapshot this way. *)

@@ -72,6 +72,31 @@ let ranking_of_string = function
       Error
         (Printf.sprintf "unknown ranking %S (expected \"paper\" or \"mined\")" s)
 
+(* Typestate vetting of synthesized chains against a mined protocol model
+   ([Analysis.Protolint] via [Mining.Protomine]). Like the usage model,
+   the checker itself travels separately ([?protocol_check] / the engine
+   field) so settings stay flat and structurally comparable. [Warn]
+   surfaces violations in [info.warnings] without touching the result
+   list; [Filter] drops violating chains — post-enumeration, per
+   candidate, at exactly the positions the [?verify] oracle runs, never
+   inside the search priority, so BestFirst stays byte-identical to the
+   Exhaustive oracle. *)
+type protocol =
+  | Off
+  | Warn
+  | Filter
+
+let protocol_to_string = function Off -> "off" | Warn -> "warn" | Filter -> "filter"
+
+let protocol_of_string = function
+  | "off" -> Ok Off
+  | "warn" -> Ok Warn
+  | "filter" -> Ok Filter
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown protocol %S (expected \"off\", \"warn\" or \"filter\")" s)
+
 type settings = {
   slack : int;
   limit : int;
@@ -80,6 +105,7 @@ type settings = {
   estimate_freevars : bool;
   strategy : strategy;
   ranking : ranking;
+  protocol : protocol;
 }
 
 let default_settings =
@@ -91,16 +117,18 @@ let default_settings =
     estimate_freevars = false;
     strategy = BestFirst;
     ranking = Paper;
+    protocol = Off;
   }
 
 (* A negative free-variable cost would make the best-first priority
    non-monotone (prefixes could get cheaper as they grow), voiding the
    order certificate; such ablation configurations fall back to the
    exhaustive strategy. Likewise [Mined] without a loaded usage model
-   falls back to the paper ranking. Both fallbacks are reported in
+   falls back to the paper ranking, and [Warn]/[Filter] without a loaded
+   protocol checker fall back to [Off]. All fallbacks are reported in
    [info.warnings] so callers are never silently served by a different
    configuration than they asked for. *)
-let effective_mode ~edge_cost settings =
+let effective_mode ~edge_cost ~protocol_check settings =
   let warnings = ref [] in
   let strategy =
     if settings.weights.Rank.freevar_cost < 0 && settings.strategy = BestFirst then begin
@@ -123,8 +151,36 @@ let effective_mode ~edge_cost settings =
   (* Gate the cost model on the effective ranking so paper-mode callers
      that happen to hold a model rank identically to ones that do not. *)
   let edge_cost = match ranking with Mined -> edge_cost | Paper -> None in
+  let protocol =
+    match settings.protocol with
+    | (Warn | Filter) when Option.is_none protocol_check ->
+        warnings :=
+          "protocol checking requested but no protocol model is loaded; running with protocol checks off"
+          :: !warnings;
+        Off
+    | p -> p
+  in
   List.iter (fun w -> Log.warn (fun m -> m "%s" w)) (List.rev !warnings);
-  (strategy, edge_cost, List.rev !warnings)
+  (strategy, edge_cost, protocol, List.rev !warnings)
+
+(* In [Filter] mode a violating chain is dropped exactly where the
+   [?verify] oracle drops unsound ones: after enumeration, per candidate,
+   before truncation — never inside the search priority (which is what
+   keeps BestFirst certified against the Exhaustive oracle). *)
+let protocol_pred ~protocol ~protocol_check =
+  match (protocol, protocol_check) with
+  | Filter, Some pc ->
+      Some
+        (fun j ->
+          let ok = pc j = [] in
+          if not ok then
+            Log.info (fun m ->
+                m "protocol filter dropped %s" (Jungloid.to_string j));
+          ok)
+  | _ -> None
+
+let protocol_filter pfilter js =
+  match pfilter with None -> js | Some ok -> List.filter ok js
 
 (* A read-only lens over either graph representation. [run]/[run_multi] are
    written once against it; the [?frozen] path binds every operation to the
@@ -304,7 +360,7 @@ let dedup_rendered ranked =
     ranked
 
 let rank_and_render ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~input_name
-    ~verify paths_to_jungloid paths =
+    ~verify ~pfilter paths_to_jungloid paths =
   let jungloids = dedup (List.map paths_to_jungloid paths) in
   let ranked =
     dedup_rendered
@@ -312,8 +368,10 @@ let rank_and_render ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~input_name
          jungloids)
   in
   (* Unsound chains are dropped before truncation so a rejected result frees
-     its slot for the next-ranked sound one. *)
+     its slot for the next-ranked sound one; protocol filtering runs after
+     the oracle so its counters see the same candidates either way. *)
   let ranked = verify_filter verify ranked in
+  let ranked = protocol_filter pfilter ranked in
   List.filteri (fun i _ -> i < settings.max_results) ranked
   |> List.map (fun j ->
          let input =
@@ -397,7 +455,8 @@ let topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable view
    dedup (structurally equal jungloids render identically), verification
    frees slots exactly as in [rank_and_render], and the stream stops as
    soon as [max_results] survivors exist. *)
-let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify st =
+let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
+    ~pfilter st =
   let seen = Hashtbl.create 32 in
   let rec loop acc n =
     if n = 0 then List.rev acc
@@ -422,6 +481,7 @@ let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify st =
                   end;
                   ok
             in
+            let ok = ok && match pfilter with None -> true | Some f -> f j in
             if ok then
               let r =
                 {
@@ -438,11 +498,15 @@ let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify st =
   in
   loop [] settings.max_results
 
-let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~graph
-    ~hierarchy q =
+let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
+    ?protocol_check ~graph ~hierarchy q =
   let view, gen = view_and_gen ?frozen graph in
-  let strategy, edge_cost, warnings = effective_mode ~edge_cost settings in
+  let strategy, edge_cost, protocol, warnings =
+    effective_mode ~edge_cost ~protocol_check settings
+  in
+  let pfilter = protocol_pred ~protocol ~protocol_check in
   let no_info = { no_info with warnings } in
+  let results, info =
   match (view.v_find q.tin, view.v_find q.tout) with
   | Some src, Some dst ->
       let reach = current_reach ~gen reach in
@@ -468,7 +532,7 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~g
                   (Jtype.to_string q.tout) (List.length paths));
             ( rank_and_render ~settings ~hierarchy ~freevar_cost_of ?edge_cost
                 ~input_name:(fun _ -> None)
-                ~verify view.v_of_path paths,
+                ~verify ~pfilter view.v_of_path paths,
               { candidates = List.length paths; truncated = !truncated; warnings } )
         | BestFirst ->
             let dist_to = view.v_distances_to ~viable ~target:dst in
@@ -487,7 +551,7 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~g
               in
               let results =
                 consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost
-                  ~verify st
+                  ~verify ~pfilter st
               in
               Log.debug (fun m ->
                   m "query (%s, %s): %d candidates materialized (best-first)"
@@ -506,9 +570,30 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~g
           m "query (%s, %s): type not in graph" (Jtype.to_string q.tin)
             (Jtype.to_string q.tout));
       ([], no_info)
+  in
+  (* [Warn] never touches the result list: emitted results are vetted after
+     selection and violations ride along as warnings only, so the output
+     stays byte-identical to [Off] (and BestFirst to Exhaustive). *)
+  match (protocol, protocol_check) with
+  | Warn, Some pc ->
+      let pwarnings =
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun v ->
+                Printf.sprintf "protocol: %s: %s" (Jungloid.to_expression r.jungloid) v)
+              (pc r.jungloid))
+          results
+      in
+      List.iter (fun w -> Log.warn (fun m -> m "%s" w)) pwarnings;
+      (results, { info with warnings = info.warnings @ pwarnings })
+  | _ -> (results, info)
 
-let run ?settings ?reach ?frozen ?verify ?edge_cost ~graph ~hierarchy q =
-  fst (run_info ?settings ?reach ?frozen ?verify ?edge_cost ~graph ~hierarchy q)
+let run ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ~graph
+    ~hierarchy q =
+  fst
+    (run_info ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ~graph
+       ~hierarchy q)
 
 type cluster = {
   representative : result;
@@ -548,8 +633,8 @@ let cluster results =
    All candidates of one structurally-equal jungloid share one key and
    therefore one run, so the per-run (jungloid, source) dedup reproduces
    the exhaustive [Hashtbl.replace] dedup exactly. *)
-let consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify ~void
-    ~var_nodes st =
+let consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
+    ~pfilter ~void ~var_nodes st =
   let seen_pair = Hashtbl.create 64 in
   let seen_expr = Hashtbl.create 64 in
   let out = ref [] in
@@ -599,6 +684,7 @@ let consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify ~void
                   end;
                   ok
             in
+            let ok = ok && match pfilter with None -> true | Some f -> f j in
             if ok then begin
               let input =
                 match s with
@@ -639,10 +725,14 @@ let consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify ~void
   loop None;
   List.rev !out
 
-let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~graph
-    ~hierarchy ~vars ~tout () =
+let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
+    ?protocol_check ~graph ~hierarchy ~vars ~tout () =
   let view, gen = view_and_gen ?frozen graph in
-  let strategy, edge_cost, _warnings = effective_mode ~edge_cost settings in
+  let strategy, edge_cost, protocol, _warnings =
+    effective_mode ~edge_cost ~protocol_check settings
+  in
+  let pfilter = protocol_pred ~protocol ~protocol_check in
+  let results =
   match view.v_find tout with
   | None -> []
   | Some dst ->
@@ -717,6 +807,11 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~
               let keep = verify_filter verify (List.map (fun (_, j, _) -> j) ranked) in
               List.filter (fun (_, j, _) -> List.memq j keep) ranked
         in
+        let ranked =
+          match pfilter with
+          | None -> ranked
+          | Some f -> List.filter (fun (_, j, _) -> f j) ranked
+        in
         List.filteri (fun i _ -> i < settings.max_results) ranked
         |> List.map (fun (key, j, s) ->
                let input =
@@ -746,11 +841,28 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost ~
               ~dist_to ~sources:budgeted ~target:dst
           in
           consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
-            ~void ~var_nodes st
+            ~pfilter ~void ~var_nodes st
       in
       (match strategy with
       | Exhaustive -> exhaustive ()
       | BestFirst -> best_first ())
+  in
+  (* [run_multi] has no info channel: [Warn]-mode violations on emitted
+     suggestions are logged, results untouched. *)
+  (match (protocol, protocol_check) with
+  | Warn, Some pc ->
+      List.iter
+        (fun mr ->
+          List.iter
+            (fun v ->
+              Log.warn (fun m ->
+                  m "protocol: %s: %s"
+                    (Jungloid.to_expression mr.result.jungloid)
+                    v))
+            (pc mr.result.jungloid))
+        results
+  | _ -> ());
+  results
 
 (* ------------------------------------------------------------------ *)
 (* The query engine: LRU-memoized, reachability-pruned entry points    *)
@@ -785,6 +897,8 @@ type engine = {
   e_prune : bool;
   e_pool : Pool.t;
   e_edge_cost : (Elem.t -> int) option;  (* mined cost model, if loaded *)
+  e_protocol_check : (Jungloid.t -> string list) option;
+      (* mined typestate checker, if loaded: violations of a chain *)
   mutable e_frozen : Graph.frozen;  (* CSR snapshot, valid for [e_gen] *)
   mutable e_reach : Reach.t option;  (* built lazily, valid for [e_gen] *)
   mutable e_gen : int;  (* graph generation the caches describe *)
@@ -799,8 +913,8 @@ let refreeze ?edge_cost graph =
   ignore (Graph.void_node graph);
   Graph.freeze ?wcost:edge_cost graph
 
-let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ?edge_cost ~graph
-    ~hierarchy () =
+let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ?edge_cost
+    ?protocol_check ~graph ~hierarchy () =
   (* A persisted index (Serialize.load_reach) only counts if it describes
      this exact graph build; anything stale is dropped and rebuilt lazily. *)
   let frozen = refreeze ?edge_cost graph in
@@ -817,6 +931,7 @@ let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ?edge_cost ~grap
     e_prune = prune;
     e_pool = Option.value pool ~default:Pool.sequential;
     e_edge_cost = edge_cost;
+    e_protocol_check = protocol_check;
     e_frozen = frozen;
     e_reach = seed;
     e_gen = Graph.generation graph;
@@ -827,6 +942,8 @@ let engine_graph e = e.e_graph
 let engine_hierarchy e = e.e_hierarchy
 
 let engine_edge_cost e = e.e_edge_cost
+
+let engine_protocol_check e = e.e_protocol_check
 
 let invalidate e =
   Log.debug (fun m ->
@@ -870,7 +987,8 @@ let run_cached ?(settings = default_settings) e q =
   validate e;
   Qcache.find_or_add e.e_single (single_key ~gen:e.e_gen ~settings q) (fun () ->
       run ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen
-        ?edge_cost:e.e_edge_cost ~graph:e.e_graph ~hierarchy:e.e_hierarchy q)
+        ?edge_cost:e.e_edge_cost ?protocol_check:e.e_protocol_check
+        ~graph:e.e_graph ~hierarchy:e.e_hierarchy q)
 
 (* The parallel batch replays the sequential cache protocol exactly:
 
@@ -896,7 +1014,8 @@ let run_batch ?(settings = default_settings) ?pool e qs =
     let frozen = e.e_frozen in
     let key q = single_key ~gen:e.e_gen ~settings q in
     let solve q =
-      run ~settings ?reach ~frozen ?edge_cost:e.e_edge_cost ~graph:e.e_graph
+      run ~settings ?reach ~frozen ?edge_cost:e.e_edge_cost
+        ?protocol_check:e.e_protocol_check ~graph:e.e_graph
         ~hierarchy:e.e_hierarchy q
     in
     let seen = Hashtbl.create 64 in
@@ -930,5 +1049,5 @@ let run_multi_cached ?(settings = default_settings) e ~vars ~tout () =
   let k = { mk_vars = vars; mk_tout = tout; mk_settings = settings; mk_gen = e.e_gen } in
   Qcache.find_or_add e.e_multi k (fun () ->
       run_multi ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen
-        ?edge_cost:e.e_edge_cost ~graph:e.e_graph ~hierarchy:e.e_hierarchy ~vars
-        ~tout ())
+        ?edge_cost:e.e_edge_cost ?protocol_check:e.e_protocol_check
+        ~graph:e.e_graph ~hierarchy:e.e_hierarchy ~vars ~tout ())

@@ -62,6 +62,29 @@ val ranking_of_string : string -> (ranking, string) result
 (** Inverse of {!ranking_to_string}; [Error] carries a user-ready message
     listing the accepted spellings. *)
 
+(** Typestate vetting of synthesized chains against a mined protocol model
+    ([Mining.Protomine] / [Analysis.Protolint] in practice). [Warn] vets
+    the {e emitted} results after selection and reports violations in
+    {!info.warnings} — the result list is byte-identical to [Off]. [Filter]
+    drops violating chains post-enumeration, per candidate, at exactly the
+    positions the [?verify] oracle runs — never inside the search priority
+    — so [BestFirst] stays byte-identical to [Exhaustive] under every mode
+    ([test_topk.ml] pins this). The checker itself travels separately
+    ([?protocol_check] / the engine's checker), keeping settings flat and
+    structurally comparable for the cache keys; [Warn]/[Filter] without a
+    checker fall back to [Off] with an {!info.warnings} entry. *)
+type protocol =
+  | Off
+  | Warn
+  | Filter
+
+val protocol_to_string : protocol -> string
+(** ["off"] / ["warn"] / ["filter"] — the wire and CLI spelling. *)
+
+val protocol_of_string : string -> (protocol, string) result
+(** Inverse of {!protocol_to_string}; [Error] carries a user-ready message
+    listing the accepted spellings. *)
+
 type settings = {
   slack : int;  (** extra path cost beyond the shortest; the paper uses 1 *)
   limit : int;  (** cap on enumerated paths *)
@@ -73,11 +96,12 @@ type settings = {
           paper leaves as future work (default [false]) *)
   strategy : strategy;
   ranking : ranking;
+  protocol : protocol;
 }
 
 val default_settings : settings
 (** [slack = 1], [limit = 4096], [max_results = 10], default weights,
-    [strategy = BestFirst], [ranking = Paper]. *)
+    [strategy = BestFirst], [ranking = Paper], [protocol = Off]. *)
 
 type result = {
   jungloid : Jungloid.t;
@@ -112,10 +136,13 @@ type info = {
       (** the search stopped at [settings.limit] — the result list may be
           missing better-ranked solutions and callers should say so *)
   warnings : string list;
-      (** configuration fallbacks applied to this query: a negative
-          [freevar_cost] forcing the exhaustive strategy, or [Mined]
-          ranking without a loaded usage model reverting to [Paper].
-          Empty when the query ran exactly as configured. *)
+      (** configuration fallbacks applied to this query — a negative
+          [freevar_cost] forcing the exhaustive strategy, [Mined] ranking
+          without a loaded usage model reverting to [Paper], or
+          [Warn]/[Filter] without a protocol checker reverting to [Off] —
+          plus, under [protocol = Warn], one ["protocol: ..."] line per
+          violation found on an emitted result. Empty when the query ran
+          exactly as configured and nothing was flagged. *)
 }
 
 val run_info :
@@ -124,6 +151,7 @@ val run_info :
   ?frozen:Graph.frozen ->
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
@@ -137,6 +165,7 @@ val run :
   ?frozen:Graph.frozen ->
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
@@ -165,7 +194,12 @@ val run :
     non-negative, and when combined with [?frozen] the snapshot must have
     been taken with [Graph.freeze ~wcost] under the {e same} model — the
     weighted best-first search reads the snapshot's baked cost arrays.
-    Engine snapshots maintain this invariant automatically. *)
+    Engine snapshots maintain this invariant automatically.
+
+    [?protocol_check] returns the protocol violations of a chain
+    ([Analysis.Protolint.violations] against a mined model in practice; []
+    means clean), consulted only when [settings.protocol] is [Warn] or
+    [Filter] (see {!protocol}). *)
 
 type multi_result = {
   source_var : string option;  (** [None] for the [void] source *)
@@ -191,6 +225,7 @@ val run_multi :
   ?frozen:Graph.frozen ->
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   vars:(string * Jtype.t) list ->
@@ -201,7 +236,9 @@ val run_multi :
     references the variable it starts from. The ranked order interleaves all
     sources. [?reach] prunes and [?frozen] redirects to the snapshot exactly
     as in {!run} (a snapshot without an interned [void] node simply omits
-    the [void] source; engine snapshots always intern it first). *)
+    the [void] source; engine snapshots always intern it first). There is no
+    info channel here, so [protocol = Warn] violations are logged rather
+    than returned; [Filter] drops violating suggestions as in {!run}. *)
 
 (** {2 The query engine}
 
@@ -222,6 +259,7 @@ val engine :
   ?reach:Reach.t ->
   ?pool:Prospector_parallel.Pool.t ->
   ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
   graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   unit ->
@@ -244,7 +282,13 @@ val engine :
     snapshot the engine freezes bakes this model into its weighted-cost
     arrays, so weighted search and the rank layer always agree. Without
     it, [Mined] requests fall back to [Paper] with an {!info.warnings}
-    entry. *)
+    entry.
+
+    [?protocol_check] installs the mined typestate checker
+    ({!run}'s [?protocol_check]) for queries with [settings.protocol]
+    of [Warn] or [Filter]; cached entry points apply it automatically,
+    and [settings.protocol] is part of every cache key, so [Filter]ed
+    and unfiltered results never mix. *)
 
 val engine_graph : engine -> Graph.t
 
@@ -255,6 +299,11 @@ val engine_edge_cost : engine -> (Elem.t -> int) option
     that run on {!engine_frozen} snapshots pass this as their [?edge_cost]:
     the snapshot's baked weighted costs and the rank layer's model are then
     the same by construction. *)
+
+val engine_protocol_check : engine -> (Jungloid.t -> string list) option
+(** The typestate checker installed at engine creation, if any — the
+    [?protocol_check] counterpart of {!engine_edge_cost} for lock-free
+    snapshot readers. *)
 
 val engine_frozen : engine -> Graph.frozen
 (** The engine's CSR snapshot for the current graph generation (re-frozen

@@ -61,20 +61,22 @@ let contexts ~api sources = holes (Minijava.Resolve.parse_program ~api sources)
 
 let to_context h = { Prospector.Assist.vars = h.vars; expected = h.expected }
 
-let suggest_at ?settings ?engine ?edge_cost ~graph ~hierarchy h =
-  Prospector.Assist.suggest ?settings ?engine ?edge_cost ~graph ~hierarchy
-    (to_context h)
+let suggest_at ?settings ?engine ?edge_cost ?protocol_check ~graph ~hierarchy h =
+  Prospector.Assist.suggest ?settings ?engine ?edge_cost ?protocol_check ~graph
+    ~hierarchy (to_context h)
 
-let session ?cache_capacity ?edge_cost ~graph ~hierarchy () =
-  Prospector.Query.engine ?cache_capacity ?edge_cost ~graph ~hierarchy ()
+let session ?cache_capacity ?edge_cost ?protocol_check ~graph ~hierarchy () =
+  Prospector.Query.engine ?cache_capacity ?edge_cost ?protocol_check ~graph
+    ~hierarchy ()
 
-let suggest_all ?settings ?engine ?edge_cost ~graph ~hierarchy holes =
+let suggest_all ?settings ?engine ?edge_cost ?protocol_check ~graph ~hierarchy
+    holes =
   (* An editing session: one engine across every hole in the buffer, so
      holes sharing an expected type (or revisited after an edit elsewhere)
      reuse search work instead of repeating it. *)
   let engine =
     match engine with
     | Some e -> e
-    | None -> session ?edge_cost ~graph ~hierarchy ()
+    | None -> session ?edge_cost ?protocol_check ~graph ~hierarchy ()
   in
   List.map (fun h -> (h, suggest_at ?settings ~engine ~graph ~hierarchy h)) holes

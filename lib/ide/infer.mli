@@ -46,6 +46,7 @@ val suggest_at :
   ?settings:Prospector.Query.settings ->
   ?engine:Prospector.Query.engine ->
   ?edge_cost:(Prospector.Elem.t -> int) ->
+  ?protocol_check:(Prospector.Jungloid.t -> string list) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   hole ->
@@ -55,12 +56,14 @@ val suggest_at :
     engine per open workspace, so re-triggering assist at an unchanged
     program point costs a hash lookup, and graph enrichment (new mined
     examples arriving) transparently invalidates it. [?edge_cost] is the
-    mined usage model for [Mined]-ranking settings (engine sessions carry
-    their own — see {!session}). *)
+    mined usage model for [Mined]-ranking settings; [?protocol_check] the
+    mined typestate checker for [Warn]/[Filter]-protocol settings (engine
+    sessions carry their own — see {!session}). *)
 
 val session :
   ?cache_capacity:int ->
   ?edge_cost:(Prospector.Elem.t -> int) ->
+  ?protocol_check:(Prospector.Jungloid.t -> string list) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   unit ->
@@ -68,12 +71,14 @@ val session :
 (** The interactive session handle: a {!Prospector.Query.engine} over the
     workspace graph, shared by every completion request. [?edge_cost]
     installs the workspace's mined usage model for [Mined]-ranking
-    completions. *)
+    completions; [?protocol_check] its mined typestate checker for
+    [Warn]/[Filter]-protocol completions. *)
 
 val suggest_all :
   ?settings:Prospector.Query.settings ->
   ?engine:Prospector.Query.engine ->
   ?edge_cost:(Prospector.Elem.t -> int) ->
+  ?protocol_check:(Prospector.Jungloid.t -> string list) ->
   graph:Prospector.Graph.t ->
   hierarchy:Javamodel.Hierarchy.t ->
   hole list ->

@@ -313,6 +313,7 @@ type request =
       slack : int option;
       strategy : string option;
       ranking : string option;
+      protocol : string option;
       cluster : bool;
     }
   | Assist of {
@@ -322,6 +323,7 @@ type request =
       slack : int option;
       strategy : string option;
       ranking : string option;
+      protocol : string option;
     }
   | Batch of {
       pairs : (string * string) list;
@@ -329,6 +331,7 @@ type request =
       slack : int option;
       strategy : string option;
       ranking : string option;
+      protocol : string option;
     }
   | Lint of { tin : string; tout : string }
   | Stats
@@ -398,8 +401,11 @@ let request_of_json j =
             let* slack = field_int_opt j "slack" in
             let* strategy = field_string_opt j "strategy" in
             let* ranking = field_string_opt j "ranking" in
+            let* protocol = field_string_opt j "protocol" in
             let* cluster = field_bool j "cluster" ~default:false in
-            Ok (Query { tin; tout; max_results; slack; strategy; ranking; cluster })
+            Ok
+              (Query
+                 { tin; tout; max_results; slack; strategy; ranking; protocol; cluster })
         | "assist" ->
             let* tout = field_string j "tout" in
             let* vars =
@@ -412,7 +418,8 @@ let request_of_json j =
             let* slack = field_int_opt j "slack" in
             let* strategy = field_string_opt j "strategy" in
             let* ranking = field_string_opt j "ranking" in
-            Ok (Assist { tout; vars; max_results; slack; strategy; ranking })
+            let* protocol = field_string_opt j "protocol" in
+            Ok (Assist { tout; vars; max_results; slack; strategy; ranking; protocol })
         | "batch" ->
             let* pairs =
               match member "queries" j with
@@ -423,7 +430,8 @@ let request_of_json j =
             let* slack = field_int_opt j "slack" in
             let* strategy = field_string_opt j "strategy" in
             let* ranking = field_string_opt j "ranking" in
-            Ok (Batch { pairs; max_results; slack; strategy; ranking })
+            let* protocol = field_string_opt j "protocol" in
+            Ok (Batch { pairs; max_results; slack; strategy; ranking; protocol })
         | "lint" ->
             let* tin = field_string j "tin" in
             let* tout = field_string j "tout" in
@@ -442,12 +450,14 @@ let envelope_to_json { id; req } =
   let opt_s k = function Some s -> [ (k, Str s) ] | None -> [] in
   let fields =
     match req with
-    | Query { tin; tout; max_results; slack; strategy; ranking; cluster } ->
+    | Query { tin; tout; max_results; slack; strategy; ranking; protocol; cluster }
+      ->
         [ ("op", Str "query"); ("tin", Str tin); ("tout", Str tout) ]
         @ opt "max_results" max_results @ opt "slack" slack
         @ opt_s "strategy" strategy @ opt_s "ranking" ranking
+        @ opt_s "protocol" protocol
         @ if cluster then [ ("cluster", Bool true) ] else []
-    | Assist { tout; vars; max_results; slack; strategy; ranking } ->
+    | Assist { tout; vars; max_results; slack; strategy; ranking; protocol } ->
         [ ("op", Str "assist"); ("tout", Str tout) ]
         @ (match vars with
           | [] -> []
@@ -462,7 +472,8 @@ let envelope_to_json { id; req } =
               ])
         @ opt "max_results" max_results @ opt "slack" slack
         @ opt_s "strategy" strategy @ opt_s "ranking" ranking
-    | Batch { pairs; max_results; slack; strategy; ranking } ->
+        @ opt_s "protocol" protocol
+    | Batch { pairs; max_results; slack; strategy; ranking; protocol } ->
         [
           ("op", Str "batch");
           ( "queries",
@@ -473,6 +484,7 @@ let envelope_to_json { id; req } =
         ]
         @ opt "max_results" max_results @ opt "slack" slack
         @ opt_s "strategy" strategy @ opt_s "ranking" ranking
+        @ opt_s "protocol" protocol
     | Lint { tin; tout } ->
         [ ("op", Str "lint"); ("tin", Str tin); ("tout", Str tout) ]
     | Stats -> [ ("op", Str "stats") ]

@@ -11,7 +11,8 @@
     Request grammar (one object per line):
     {v
       {"op": "query",    "id"?: J, "tin": S, "tout": S,
-       "max_results"?: I, "slack"?: I, "ranking"?: S, "cluster"?: B}
+       "max_results"?: I, "slack"?: I, "ranking"?: S, "protocol"?: S,
+       "cluster"?: B}
       {"op": "assist",   "id"?: J, "tout": S,
        "vars"?: [{"name": S, "type": S}...], "max_results"?: I, "slack"?: I}
       {"op": "batch",    "id"?: J, "queries": [{"tin": S, "tout": S}...],
@@ -72,6 +73,9 @@ type request =
       ranking : string option;
           (** ["paper"] or ["mined"]; absent = server default. Validated by
               {!Service}, like [strategy]. *)
+      protocol : string option;
+          (** ["off"], ["warn"] or ["filter"]; absent = server default.
+              Validated by {!Service}, like [strategy]. *)
       cluster : bool;
     }
   | Assist of {
@@ -81,6 +85,7 @@ type request =
       slack : int option;
       strategy : string option;
       ranking : string option;
+      protocol : string option;
     }
   | Batch of {
       pairs : (string * string) list;  (** (tin, tout) pairs *)
@@ -88,6 +93,7 @@ type request =
       slack : int option;
       strategy : string option;
       ranking : string option;
+      protocol : string option;
     }
   | Lint of { tin : string; tout : string }
   | Stats

@@ -54,6 +54,9 @@ type t = {
   locals_lock : Mutex.t;
   mets : Metrics.t;
   base_settings : Query.settings;
+  vet : (Jungloid.t -> Analysis.Diagnostic.t list) option;
+      (* protocol vetting for the lint op, injected at [create] so this
+         library never depends on the mining layer that learns the model *)
   deadline_s : float option;
   stop : bool Atomic.t;
   truncated_queries : int Atomic.t;
@@ -70,7 +73,7 @@ let take_snapshot engine =
     s_reach = Query.engine_reach engine;
   }
 
-let create ?(settings = Query.default_settings) ?deadline_s ~engine () =
+let create ?(settings = Query.default_settings) ?vet ?deadline_s ~engine () =
   (* Warm the hierarchy's lazy memos while we are still single-threaded:
      after this, ranking only reads it. *)
   Hierarchy.warm (Query.engine_hierarchy engine);
@@ -82,6 +85,7 @@ let create ?(settings = Query.default_settings) ?deadline_s ~engine () =
     locals_lock = Mutex.create ();
     mets = Metrics.create ();
     base_settings = settings;
+    vet;
     deadline_s;
     stop = Atomic.make false;
     truncated_queries = Atomic.make 0;
@@ -213,6 +217,7 @@ let query_results t local snap ~settings q =
          model passed here matches the snapshot's baked weighted costs. *)
       Query.run_info ~settings ?reach:snap.s_reach ~frozen:snap.s_frozen
         ?edge_cost:(Query.engine_edge_cost t.eng)
+        ?protocol_check:(Query.engine_protocol_check t.eng)
         ~graph:(Query.engine_graph t.eng)
         ~hierarchy:(Query.engine_hierarchy t.eng)
         q
@@ -232,6 +237,7 @@ let assist_suggestions t local snap ~settings (ctx : Prospector.Assist.context) 
     Vsuggest
       (Prospector.Assist.suggest ~settings ~frozen:snap.s_frozen ?reach:snap.s_reach
          ?edge_cost:(Query.engine_edge_cost t.eng)
+         ?protocol_check:(Query.engine_protocol_check t.eng)
          ~graph:(Query.engine_graph t.eng)
          ~hierarchy:(Query.engine_hierarchy t.eng)
          ctx)
@@ -249,12 +255,14 @@ let assist_suggestions t local snap ~settings (ctx : Prospector.Assist.context) 
 
 let lint_diagnostics t local snap q =
   let hierarchy = Query.engine_hierarchy t.eng in
+  let vet = match t.vet with Some v -> v | None -> fun _ -> [] in
   let compute () =
     Vlint
       (fst (query_results t local snap ~settings:t.base_settings q)
       |> List.concat_map (fun (r : Query.result) ->
              Analysis.Verify.check hierarchy r.Query.jungloid
-             @ Analysis.Gencheck.check hierarchy r.Query.jungloid)
+             @ Analysis.Gencheck.check hierarchy r.Query.jungloid
+             @ vet r.Query.jungloid)
       |> List.sort_uniq Analysis.Diagnostic.compare)
   in
   let key =
@@ -296,7 +304,7 @@ let op_name = function
   | Proto.Health -> "health"
   | Proto.Shutdown -> "shutdown"
 
-let settings_for t ~max_results ~slack ~strategy ~ranking =
+let settings_for t ~max_results ~slack ~strategy ~ranking ~protocol =
   let s = t.base_settings in
   {
     s with
@@ -304,10 +312,12 @@ let settings_for t ~max_results ~slack ~strategy ~ranking =
     slack = Option.value slack ~default:s.Query.slack;
     strategy = Option.value strategy ~default:s.Query.strategy;
     ranking = Option.value ranking ~default:s.Query.ranking;
+    protocol = Option.value protocol ~default:s.Query.protocol;
   }
 
-(* An unknown strategy or ranking string is the requester's mistake, answered
-   with [Bad_request] and the accepted spellings, before any engine work. *)
+(* An unknown strategy, ranking or protocol string is the requester's
+   mistake, answered with [Bad_request] and the accepted spellings, before
+   any engine work. *)
 let parse_strategy = function
   | None -> Ok None
   | Some s -> Result.map Option.some (Query.strategy_of_string s)
@@ -316,23 +326,33 @@ let parse_ranking = function
   | None -> Ok None
   | Some s -> Result.map Option.some (Query.ranking_of_string s)
 
-(* Validate both optional spellings, reporting the first offender. *)
-let parse_mode ~strategy ~ranking =
+let parse_protocol = function
+  | None -> Ok None
+  | Some s -> Result.map Option.some (Query.protocol_of_string s)
+
+(* Validate the optional spellings, reporting the first offender. *)
+let parse_mode ~strategy ~ranking ~protocol =
   match parse_strategy strategy with
   | Error _ as e -> e
   | Ok strategy -> (
       match parse_ranking ranking with
       | Error _ as e -> e
-      | Ok ranking -> Ok (strategy, ranking))
+      | Ok ranking -> (
+          match parse_protocol protocol with
+          | Error _ as e -> e
+          | Ok protocol -> Ok (strategy, ranking, protocol)))
 
 let dispatch ?local t ~id req =
   match req with
-  | Proto.Query { tin; tout; max_results; slack; strategy; ranking; cluster }
+  | Proto.Query
+      { tin; tout; max_results; slack; strategy; ranking; protocol; cluster }
     -> (
-      match parse_mode ~strategy ~ranking with
+      match parse_mode ~strategy ~ranking ~protocol with
       | Error msg -> Proto.error_response ~id Proto.Bad_request msg
-      | Ok (strategy, ranking) ->
-          let settings = settings_for t ~max_results ~slack ~strategy ~ranking in
+      | Ok (strategy, ranking, protocol) ->
+          let settings =
+            settings_for t ~max_results ~slack ~strategy ~ranking ~protocol
+          in
           let q = Query.query tin tout in
           let rs, truncated = query_results t local (current t) ~settings q in
           let payload =
@@ -351,11 +371,14 @@ let dispatch ?local t ~id req =
               ]
           in
           Proto.ok_response ~id ~op:"query" payload)
-  | Proto.Assist { tout; vars; max_results; slack; strategy; ranking } -> (
-      match parse_mode ~strategy ~ranking with
+  | Proto.Assist { tout; vars; max_results; slack; strategy; ranking; protocol }
+    -> (
+      match parse_mode ~strategy ~ranking ~protocol with
       | Error msg -> Proto.error_response ~id Proto.Bad_request msg
-      | Ok (strategy, ranking) ->
-      let settings = settings_for t ~max_results ~slack ~strategy ~ranking in
+      | Ok (strategy, ranking, protocol) ->
+      let settings =
+        settings_for t ~max_results ~slack ~strategy ~ranking ~protocol
+      in
       let ctx =
         {
           Prospector.Assist.vars =
@@ -369,11 +392,13 @@ let dispatch ?local t ~id req =
           ("count", Proto.Int (List.length suggestions));
           ("suggestions", Proto.Arr (List.mapi suggestion_json suggestions));
         ])
-  | Proto.Batch { pairs; max_results; slack; strategy; ranking } -> (
-      match parse_mode ~strategy ~ranking with
+  | Proto.Batch { pairs; max_results; slack; strategy; ranking; protocol } -> (
+      match parse_mode ~strategy ~ranking ~protocol with
       | Error msg -> Proto.error_response ~id Proto.Bad_request msg
-      | Ok (strategy, ranking) ->
-      let settings = settings_for t ~max_results ~slack ~strategy ~ranking in
+      | Ok (strategy, ranking, protocol) ->
+      let settings =
+        settings_for t ~max_results ~slack ~strategy ~ranking ~protocol
+      in
       let qs = List.map (fun (tin, tout) -> Query.query tin tout) pairs in
       (* One snapshot for the whole batch: every answer describes the same
          graph generation even if a republication lands mid-batch.

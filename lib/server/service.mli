@@ -29,12 +29,17 @@ type local
 
 val create :
   ?settings:Prospector.Query.settings ->
+  ?vet:(Prospector.Jungloid.t -> Analysis.Diagnostic.t list) ->
   ?deadline_s:float ->
   engine:Prospector.Query.engine ->
   unit ->
   t
 (** [settings] is the base for every request ([max_results]/[slack] fields
-    override per request). [deadline_s] is the per-request deadline: a
+    override per request). [vet] is the protocol vetting pass the lint op
+    appends to its per-result diagnostics (typically
+    [Analysis.Protolint.vet] over a mined model) — injected here because
+    this library must not depend on the mining layer that learns the model.
+    [deadline_s] is the per-request deadline: a
     request whose execution exceeds it gets a [timeout] error reply instead
     of its result. Enforcement is cooperative — the elapsed time is checked
     against the deadline around the engine call, it does not interrupt a

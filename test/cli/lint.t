@@ -65,3 +65,49 @@ Inputs that fail to load exit 2:
   $ ../../bin/prospector_cli.exe lint --api broken.japi
   error: broken.japi:2:1: expected ';' but found identifier 'classs'
   [2]
+
+The proto pass checks corpus clients against the mined call-order automata.
+The bundled corpus is self-clean by construction:
+
+  $ ../../bin/prospector_cli.exe lint --pass proto
+  0 errors, 0 warnings, 0 infos
+
+A client that probes hasMoreElements but never consumes violates the mined
+Enumeration protocol (checked against the bundled model):
+
+  $ cat > deviant.java <<'JAVA'
+  > package c;
+  > class Probe {
+  >   void probe(ZipFile zip) {
+  >     Enumeration en = zip.entries();
+  >     en.hasMoreElements();
+  >   }
+  > }
+  > JAVA
+  $ ../../bin/prospector_cli.exe lint --pass proto --corpus deviant.java
+  deviant.java:5:5: warning[P002]: must-follow call missing: corpus clients always follow java.util.Enumeration.hasMoreElements/0 with another call (usually java.util.Enumeration.nextElement/0)
+  0 errors, 1 warning, 0 infos
+
+Protocol findings are warnings, so they obey the same --strict matrix:
+
+  $ ../../bin/prospector_cli.exe lint --pass proto --corpus deviant.java --strict
+  deviant.java:5:5: warning[P002]: must-follow call missing: corpus clients always follow java.util.Enumeration.hasMoreElements/0 with another call (usually java.util.Enumeration.nextElement/0)
+  0 errors, 1 warning, 0 infos
+  [1]
+
+The JSON report is deterministic: findings sort by (file, position, code),
+independent of the order the passes ran in:
+
+  $ cat > warn2.java <<'JAVA'
+  > package c;
+  > class K2 {
+  >   A m(A p) { A unused = p.id(); return p.id(); }
+  > }
+  > JAVA
+  $ ../../bin/prospector_cli.exe lint --api api.japi --corpus bad.java --corpus warn2.java --pass corpus --pass api --json > ab.json
+  [1]
+  $ ../../bin/prospector_cli.exe lint --api api.japi --corpus bad.java --corpus warn2.java --pass api --pass corpus --json > ba.json
+  [1]
+  $ cmp ab.json ba.json
+  $ cat ab.json
+  {"diagnostics": [{"severity": "error", "code": "C005", "file": "bad.java", "line": 3, "col": 20, "message": "cast to p.D, unrelated to the static type p.A"}, {"severity": "error", "code": "C001", "file": "bad.java", "line": 4, "col": 23, "message": "'a' is used but never assigned in c.K.n/0"}, {"severity": "warning", "code": "C004", "file": "warn2.java", "line": 3, "col": 25, "message": "local 'unused' is never used"}], "errors": 2, "warnings": 1, "infos": 0}

@@ -1,0 +1,56 @@
+--protocol is validated exactly like --strategy and --ranking: an unknown
+spelling gets a one-line error and exit 1, never an exception trace.
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry --protocol bogus
+  error: unknown protocol "bogus" (expected "off", "warn" or "filter")
+  [1]
+
+The Table 1 solutions are protocol-clean against the bundled mined model,
+so warn mode changes nothing — output is byte-identical to the default:
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 > off.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 --protocol warn > warn.out
+  $ cmp off.out warn.out
+
+Filter mode drops violating candidates after enumeration, never inside the
+search, so best-first stays byte-identical to the exhaustive oracle:
+
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 --protocol filter > bf.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode --top 5 --protocol filter --strategy exhaustive > ex.out
+  $ cmp bf.out ex.out
+
+Asking for protocol checks without a mined corpus falls back to off, with
+a warning instead of silence:
+
+  $ ../../bin/prospector_cli.exe query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 1 --protocol warn --no-mining
+  prospector_cli.exe: [WARNING] protocol checking requested but no protocol model is loaded; running with protocol checks off
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+
+The server validates the protocol field the same way. Start a daemon:
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port >server.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+
+An unknown protocol spelling in a request is a bad_request reply naming the
+accepted spellings, before any engine work:
+
+  $ ../../bin/prospector_cli.exe client --port-file port raw '{"op":"query","tin":"void","tout":"org.eclipse.ui.texteditor.DocumentProviderRegistry","protocol":"bogus"}'
+  error[bad_request]: unknown protocol "bogus" (expected "off", "warn" or "filter")
+  [1]
+
+A protocol-checked query over the wire matches the one-shot CLI byte for
+byte, in both warn and filter mode:
+
+  $ ../../bin/prospector_cli.exe client --port-file port query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 5 --protocol warn > wire.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 5 --protocol warn > local.out
+  $ cmp wire.out local.out
+
+  $ ../../bin/prospector_cli.exe client --port-file port query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 5 --protocol filter > wire.out
+  $ ../../bin/prospector_cli.exe query org.eclipse.core.resources.IFile org.eclipse.jdt.core.dom.ASTNode -n 5 --protocol filter > local.out
+  $ cmp wire.out local.out
+
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV

@@ -477,6 +477,259 @@ let gencheck_rejects_nonsense () =
 
 (* ---------- properties: verifier agrees with the search ---------- *)
 
+(* ---------- mined typestate protocols (P/J-prefixed proto codes) ---------- *)
+
+module Protocol = Analysis.Protocol
+module Protolint = Analysis.Protolint
+module Tast = Minijava.Tast
+
+let pev ?(void = false) ?(discarded = false) m =
+  { Protocol.ev_meth = m; ev_loc = Tast.no_loc; ev_void = void; ev_discarded = discarded }
+
+let pseq ?(producer = Protocol.Call "p.Src.open/0") ty events =
+  {
+    Protocol.seq_type = ty;
+    seq_producer = producer;
+    seq_loc = Tast.no_loc;
+    seq_events = events;
+  }
+
+(* Two iterations of the canonical probe-then-consume protocol: [has/0]
+   always starts and is always followed; [next/0] always ends. *)
+let iter_model () =
+  Protocol.learn
+    [
+      pseq "p.It" [ pev "has/0"; pev "next/0" ];
+      pseq "p.It" [ pev "has/0"; pev "next/0" ];
+    ]
+
+let protocol_learn_counts () =
+  let m = iter_model () in
+  check_bool "p.It modeled" true (Protocol.modeled m ~tname:"p.It");
+  check_int "observations" 2 (Protocol.observations m ~tname:"p.It");
+  check_int "sequence count" 2 (Protocol.sequence_count m);
+  check_bool "has known" true (Protocol.known_method m ~tname:"p.It" ~meth:"has/0");
+  check_bool "foo unknown" false (Protocol.known_method m ~tname:"p.It" ~meth:"foo/0");
+  check_int "has occurrences" 2 (Protocol.occurrence_count m ~tname:"p.It" ~meth:"has/0");
+  check_int "has starts" 2 (Protocol.start_count m ~tname:"p.It" ~meth:"has/0");
+  check_int "has ends" 0 (Protocol.end_count m ~tname:"p.It" ~meth:"has/0");
+  check_int "next ends" 2 (Protocol.end_count m ~tname:"p.It" ~meth:"next/0");
+  check_int "has->next pairs" 2
+    (Protocol.pair_count m ~tname:"p.It" ~prev:"has/0" ~next:"next/0");
+  check_int "next->has pairs" 0
+    (Protocol.pair_count m ~tname:"p.It" ~prev:"next/0" ~next:"has/0");
+  (* below the evidence floor: one sequence models nothing *)
+  let single = Protocol.learn [ pseq "p.One" [ pev "go/0" ] ] in
+  check_bool "single-sequence type unmodeled" false
+    (Protocol.modeled single ~tname:"p.One");
+  check_bool "unmodeled start never deviant" false
+    (Protocol.start_deviant single ~tname:"p.One" ~meth:"stop/0")
+
+let protocol_deviance () =
+  let m = iter_model () in
+  check_bool "next never starts" true
+    (Protocol.start_deviant m ~tname:"p.It" ~meth:"next/0");
+  check_bool "has starts fine" false
+    (Protocol.start_deviant m ~tname:"p.It" ~meth:"has/0");
+  check_bool "next->has deviant" true
+    (Protocol.pair_deviant m ~tname:"p.It" ~prev:"next/0" ~next:"has/0");
+  check_bool "has->next observed" false
+    (Protocol.pair_deviant m ~tname:"p.It" ~prev:"has/0" ~next:"next/0");
+  check_bool "has must be followed" true
+    (Protocol.must_follow m ~tname:"p.It" ~meth:"has/0" = Some "next/0");
+  check_bool "next may end" true
+    (Protocol.must_follow m ~tname:"p.It" ~meth:"next/0" = None);
+  check_bool "next always terminal" true
+    (Protocol.always_terminal m ~tname:"p.It" ~meth:"next/0");
+  check_bool "has never terminal" false
+    (Protocol.always_terminal m ~tname:"p.It" ~meth:"has/0");
+  check_bool "start suggestion" true
+    (Protocol.start_suggestion m ~tname:"p.It" = Some "has/0");
+  (* smoothing orders never-seen below seen *)
+  check_bool "deviant pair smoothed below observed pair" true
+    (Protocol.pair_prob m ~tname:"p.It" ~prev:"next/0" ~next:"has/0"
+    < Protocol.pair_prob m ~tname:"p.It" ~prev:"has/0" ~next:"next/0");
+  (* the empty corpus accepts everything *)
+  check_bool "empty model deviates nowhere" false
+    (Protocol.start_deviant Protocol.empty ~tname:"p.It" ~meth:"next/0"
+    || Protocol.pair_deviant Protocol.empty ~tname:"p.It" ~prev:"next/0"
+         ~next:"has/0"
+    || Protocol.must_follow Protocol.empty ~tname:"p.It" ~meth:"has/0" <> None);
+  check_bool "unmodeled probabilities saturate" true
+    (Protocol.start_prob Protocol.empty ~tname:"p.It" ~meth:"next/0" = 1.0)
+
+let protolint_codes () =
+  let m = iter_model () in
+  let codes_of s = codes (Protolint.check m [ s ]) in
+  (* P003: a fresh object's first call was never first in the corpus *)
+  check_bool "P003 fires" true
+    (has_code "P003" (Protolint.check m [ pseq "p.It" [ pev "next/0" ] ]));
+  (* P006 replaces P003 when the object came from a downcast *)
+  check_bool "P006 on cast producer" true
+    (codes_of (pseq ~producer:Protocol.Cast "p.It" [ pev "next/0" ])
+    = [ "P006" ]);
+  (* P001: an out-of-order pair between two known methods *)
+  check_bool "P001 fires" true
+    (has_code "P001"
+       (Protolint.check m
+          [ pseq "p.It" [ pev "has/0"; pev "next/0"; pev "has/0" ] ]));
+  (* P002: the receiver's life ends at a must-follow method *)
+  check_bool "P002 alone" true
+    (codes_of (pseq "p.It" [ pev "has/0" ]) = [ "P002" ]);
+  (* P004: discarded result of an always-terminal call, Info only *)
+  let p4 =
+    Protolint.check m
+      [ pseq "p.It" [ pev "has/0"; pev ~discarded:true "next/0" ] ]
+  in
+  check_bool "P004 fires" true (has_code "P004" p4);
+  check_bool "P004 is info" true (errors_only p4 = [] && Diagnostic.count Diagnostic.Warning p4 = 0);
+  (* P005: a method the corpus never calls on the type, Info only *)
+  check_bool "P005 fires" true
+    (has_code "P005"
+       (Protolint.check m [ pseq "p.It" [ pev "has/0"; pev "foo/0" ] ]));
+  (* negatives: the canonical sequence is clean; unmodeled types vacuous *)
+  check_int "canonical sequence clean" 0
+    (List.length (Protolint.check m [ pseq "p.It" [ pev "has/0"; pev "next/0" ] ]));
+  check_int "unmodeled type vacuous" 0
+    (List.length (Protolint.check m [ pseq "p.Other" [ pev "next/0" ] ]))
+
+(* vetting synthesized jungloids against the same model *)
+
+let m_open = Member.meth "open" ~params:[] ~ret:(r "p.It")
+let m_has = Member.meth "has" ~params:[] ~ret:Jtype.(Prim Boolean)
+let m_next = Member.meth "next" ~params:[] ~ret:(r "java.lang.Object")
+
+let call_on owner meth =
+  Elem.Instance_call { owner = qn owner; meth; input = Elem.Receiver }
+
+let protolint_vet () =
+  let m = iter_model () in
+  (* J010: the chain's one call on a produced p.It was never first *)
+  let j010 =
+    Protolint.vet m
+      (j (r "p.Src") [ call_on "p.Src" m_open; call_on "p.It" m_next ])
+  in
+  check_bool "J010 fires" true (has_code "J010" j010);
+  (* J011: the chain abandons the object right after a must-follow call *)
+  let j011 =
+    Protolint.vet m
+      (j (r "p.Src") [ call_on "p.Src" m_open; call_on "p.It" m_has ])
+  in
+  check_bool "J011 fires" true (has_code "J011" j011);
+  (* J012: deviant first call on a downcast-produced object *)
+  let j012 =
+    Protolint.vet m
+      (j
+         (r "java.lang.Object")
+         [
+           Elem.Downcast { from_ = r "java.lang.Object"; to_ = r "p.It" };
+           call_on "p.It" m_next;
+         ])
+  in
+  check_bool "J012 fires" true (has_code "J012" j012);
+  check_bool "J012 not J010" false (has_code "J010" j012);
+  (* the query input has unknown provenance: never vetted *)
+  check_int "input receiver unvetted" 0
+    (List.length (Protolint.vet m (j (r "p.It") [ call_on "p.It" m_next ])));
+  (* violations is the string rendering of the same findings *)
+  check_int "violations mirror vet" (List.length j010)
+    (List.length
+       (Protolint.violations m
+          (j (r "p.Src") [ call_on "p.Src" m_open; call_on "p.It" m_next ])))
+
+(* the miner end to end on small corpora *)
+
+let protomine_api () =
+  Japi.Loader.load_string
+    {|
+    package q;
+    class Src { Iter open(); }
+    interface Iter { boolean has(); java.lang.Object next(); }
+    |}
+
+let mine_sequences src =
+  let api = protomine_api () in
+  let prog = Minijava.Resolve.parse_program ~api [ ("t.java", src) ] in
+  Mining.Protomine.sequences (Mining.Dataflow.build prog)
+
+let iter_seqs seqs =
+  List.filter (fun (s : Protocol.sequence) -> s.Protocol.seq_type = "q.Iter") seqs
+
+let protomine_reconstructs () =
+  let seqs =
+    mine_sequences
+      {|
+      package c;
+      class User {
+        void use(Src s) {
+          Iter it = s.open();
+          it.has();
+          it.next();
+        }
+      }
+      |}
+  in
+  match iter_seqs seqs with
+  | [ s ] ->
+      check_bool "producer is the producing call" true
+        (s.Protocol.seq_producer = Protocol.Call "q.Src.open/0");
+      check_bool "events in evaluation order" true
+        (List.map (fun (e : Protocol.event) -> e.Protocol.ev_meth)
+           s.Protocol.seq_events
+        = [ "has/0"; "next/0" ]);
+      check_bool "statement results marked discarded" true
+        (List.for_all
+           (fun (e : Protocol.event) -> e.Protocol.ev_discarded)
+           s.Protocol.seq_events)
+  | ss -> Alcotest.failf "expected one q.Iter sequence, got %d" (List.length ss)
+
+let protomine_cast_producer () =
+  let seqs =
+    mine_sequences
+      {|
+      package c;
+      class CastUser {
+        void use(java.lang.Object o) {
+          Iter it = (Iter) o;
+          it.has();
+        }
+      }
+      |}
+  in
+  match iter_seqs seqs with
+  | [ s ] ->
+      check_bool "cast producer" true (s.Protocol.seq_producer = Protocol.Cast)
+  | ss -> Alcotest.failf "expected one q.Iter sequence, got %d" (List.length ss)
+
+let protomine_interprocedural () =
+  (* the callee's calls on its parameter splice into the caller's receiver
+     stream, and the parameter yields no double-counted standalone sequence *)
+  let seqs =
+    mine_sequences
+      {|
+      package c;
+      class Caller {
+        static void drain(Iter inner) {
+          inner.next();
+        }
+        void run(Src s) {
+          Iter it = s.open();
+          it.has();
+          Caller.drain(it);
+        }
+      }
+      |}
+  in
+  match iter_seqs seqs with
+  | [ s ] ->
+      check_bool "spliced events" true
+        (List.map (fun (e : Protocol.event) -> e.Protocol.ev_meth)
+           s.Protocol.seq_events
+        = [ "has/0"; "next/0" ])
+  | ss -> Alcotest.failf "expected one q.Iter sequence, got %d" (List.length ss)
+
+(* ---------- qcheck: random Apigen worlds ---------- *)
+
 type world = {
   w_h : Hierarchy.t;
   w_g : Graph.t;
@@ -530,6 +783,38 @@ let prop_extracted_examples_sound =
       let exs = Mining.Extract.extract df in
       List.for_all (Mining.Extract.example_well_typed h) exs)
 
+let prop_reaching_defs_refine_producers =
+  (* The flow-sensitive prepass may only narrow the flow-insensitive
+     answer: every definition reaching a variable use is among that
+     variable's producers. *)
+  QCheck2.Test.make
+    ~name:"flow-sensitive reaching defs are a subset of var_producers"
+    ~count:20
+    QCheck2.Gen.(int_range 2 24)
+    (fun branches ->
+      let h, sources = Corpusgen.Workload.branchy_corpus ~branches in
+      let prog = Minijava.Resolve.parse_program ~api:h sources in
+      let df = Analysis.Dataflow.build ~flow_sensitive:true prog in
+      List.for_all
+        (fun (m : Tast.tmeth) ->
+          let method_key = Tast.method_key m in
+          let ok = ref true in
+          Tast.iter_exprs m.Tast.body (fun (e : Tast.texpr) ->
+              match e.Tast.tdesc with
+              | Tast.Tvar v
+                when not (Analysis.Dataflow.is_param df ~method_key ~var:v) -> (
+                  match Analysis.Dataflow.reaching_defs df e with
+                  | None -> ()
+                  | Some defs ->
+                      let all =
+                        Analysis.Dataflow.var_producers df ~method_key ~var:v
+                      in
+                      if not (List.for_all (fun d -> List.memq d all) defs)
+                      then ok := false)
+              | _ -> ());
+          !ok)
+        prog.Tast.methods)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -568,11 +853,25 @@ let () =
           Alcotest.test_case "table1 solutions verified" `Slow table1_solutions_verified;
           Alcotest.test_case "table1 verified filters zero" `Slow table1_verified_filters_zero;
         ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "learned counts" `Quick protocol_learn_counts;
+          Alcotest.test_case "deviance predicates" `Quick protocol_deviance;
+          Alcotest.test_case "P codes fire and stay quiet" `Quick protolint_codes;
+          Alcotest.test_case "jungloid vetting (J010-J012)" `Quick protolint_vet;
+          Alcotest.test_case "miner reconstructs receiver sequences" `Quick
+            protomine_reconstructs;
+          Alcotest.test_case "miner records cast producers" `Quick
+            protomine_cast_producer;
+          Alcotest.test_case "miner splices through corpus calls" `Quick
+            protomine_interprocedural;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_solutions_pass_verifier;
             prop_verified_mode_filters_nothing;
             prop_extracted_examples_sound;
+            prop_reaching_defs_refine_producers;
           ] );
     ]

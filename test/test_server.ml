@@ -99,6 +99,17 @@ let gen_opt_ranking =
         map Option.some gen_string;
       ])
 
+let gen_opt_protocol =
+  QCheck2.Gen.(
+    oneof
+      [
+        return None;
+        return (Some "off");
+        return (Some "warn");
+        return (Some "filter");
+        map Option.some gen_string;
+      ])
+
 let gen_request =
   QCheck2.Gen.(
     let name = string_size ~gen:printable (int_range 1 12) in
@@ -108,21 +119,36 @@ let gen_request =
          let* max_results = gen_opt_int and* slack = gen_opt_int in
          let* strategy = gen_opt_strategy in
          let* ranking = gen_opt_ranking in
+         let* protocol = gen_opt_protocol in
          let* cluster = bool in
          return
            (Proto.Query
-              { tin; tout; max_results; slack; strategy; ranking; cluster }));
+              {
+                tin;
+                tout;
+                max_results;
+                slack;
+                strategy;
+                ranking;
+                protocol;
+                cluster;
+              }));
         (let* tout = gen_string in
          let* vars = list_size (int_range 0 3) (pair name gen_string) in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
          let* strategy = gen_opt_strategy in
          let* ranking = gen_opt_ranking in
-         return (Proto.Assist { tout; vars; max_results; slack; strategy; ranking }));
+         let* protocol = gen_opt_protocol in
+         return
+           (Proto.Assist
+              { tout; vars; max_results; slack; strategy; ranking; protocol }));
         (let* pairs = list_size (int_range 0 3) (pair gen_string gen_string) in
          let* max_results = gen_opt_int and* slack = gen_opt_int in
          let* strategy = gen_opt_strategy in
          let* ranking = gen_opt_ranking in
-         return (Proto.Batch { pairs; max_results; slack; strategy; ranking }));
+         let* protocol = gen_opt_protocol in
+         return
+           (Proto.Batch { pairs; max_results; slack; strategy; ranking; protocol }));
         (let* tin = gen_string and* tout = gen_string in
          return (Proto.Lint { tin; tout }));
         return Proto.Stats;
@@ -266,6 +292,7 @@ let query_line ?max_results ?slack tin tout =
          slack;
          strategy = None;
          ranking = None;
+         protocol = None;
          cluster = false;
        })
 
@@ -351,6 +378,7 @@ let workload_lines () =
              slack = None;
              strategy = None;
              ranking = None;
+             protocol = None;
            });
       line_of
         (Proto.Lint

@@ -410,6 +410,116 @@ let test_fallback_warnings () =
   check_bool "modelless mined answers = paper answers" true
     (results_equal rs_p rs_m)
 
+(* ---------- mined-protocol checking: the same differential harness ---------- *)
+
+(* The settings contract: [Warn] leaves the result set byte-identical to
+   [Off] (violations only surface as warnings), and [Filter] drops
+   violating candidates after enumeration — never inside the search
+   priority — so BestFirst and Exhaustive stay byte-identical under every
+   mode. The real mined model covers the bundled graph; a synthetic checker
+   exercises arbitrary drop sets. *)
+
+let bundled_check =
+  lazy
+    (let model = Apidata.Api.proto () in
+     fun j -> Analysis.Protolint.violations model j)
+
+(* Deterministic, model-free: drops roughly a third of all candidates. *)
+let synthetic_check j =
+  if Hashtbl.hash (Prospector.Jungloid.to_expression j) mod 3 = 0 then
+    [ "synthetic violation" ]
+  else []
+
+let proto_at ~k ~protocol strategy =
+  { Query.default_settings with max_results = k; strategy; protocol }
+
+let test_bundled_protocol_equivalence () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let protocol_check = Lazy.force bundled_check in
+  List.iter
+    (fun (p : Problems.t) ->
+      let q = Query.query p.Problems.tin p.Problems.tout in
+      let off = Query.run ~graph ~hierarchy q in
+      List.iter
+        (fun protocol ->
+          let at strategy =
+            Query.run
+              ~settings:(proto_at ~k:10 ~protocol strategy)
+              ~protocol_check ~graph ~hierarchy q
+          in
+          let ex = at Query.Exhaustive and bf = at Query.BestFirst in
+          check_bool
+            (Printf.sprintf "problem %d identical under %s" p.Problems.id
+               (Query.protocol_to_string protocol))
+            true (results_equal ex bf);
+          if protocol = Query.Warn then
+            check_bool
+              (Printf.sprintf "problem %d: warn leaves results untouched"
+                 p.Problems.id)
+              true (results_equal off bf))
+        [ Query.Warn; Query.Filter ])
+    Problems.all
+
+let test_synthetic_filter_equivalence () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  List.iter
+    (fun (p : Problems.t) ->
+      let q = Query.query p.Problems.tin p.Problems.tout in
+      let at strategy =
+        Query.run
+          ~settings:(proto_at ~k:10 ~protocol:Query.Filter strategy)
+          ~protocol_check:synthetic_check ~graph ~hierarchy q
+      in
+      let ex = at Query.Exhaustive and bf = at Query.BestFirst in
+      check_bool
+        (Printf.sprintf "problem %d identical under synthetic filter"
+           p.Problems.id)
+        true (results_equal ex bf);
+      (* the filter really ran: every survivor passes the predicate *)
+      check_bool "no violating survivor" true
+        (List.for_all
+           (fun (r : Query.result) -> synthetic_check r.Query.jungloid = [])
+           bf))
+    Problems.all
+
+let test_protocol_fallback_warning () =
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let q = Query.query "org.eclipse.ui.IEditorPart" "org.eclipse.core.resources.IFile" in
+  let off = Query.run ~graph ~hierarchy q in
+  (* Warn/Filter without a loaded checker: revert to Off, say so once *)
+  List.iter
+    (fun protocol ->
+      let rs, info =
+        Query.run_info
+          ~settings:{ Query.default_settings with protocol }
+          ~graph ~hierarchy q
+      in
+      check_int
+        (Printf.sprintf "%s without checker: one warning"
+           (Query.protocol_to_string protocol))
+        1
+        (List.length info.Query.warnings);
+      check_bool "warning names the protocol fallback" true
+        (let w = List.hd info.Query.warnings in
+         let n = String.length "protocol" and m = String.length w in
+         let rec go i = (i + n <= m) && (String.sub w i n = "protocol" || go (i + 1)) in
+         go 0);
+      check_bool "checkerless answers = off answers" true (results_equal off rs))
+    [ Query.Warn; Query.Filter ];
+  (* and with a checker, Warn reports violations without touching results *)
+  let rs_w, info_w =
+    Query.run_info
+      ~settings:{ Query.default_settings with protocol = Query.Warn }
+      ~protocol_check:(fun _ -> [ "always deviant" ])
+      ~graph ~hierarchy q
+  in
+  check_bool "warn with checker keeps results" true (results_equal off rs_w);
+  check_int "one violation warning per result" (List.length off)
+    (List.length info_w.Query.warnings)
+
 (* ---------- qcheck: random Apigen worlds ---------- *)
 
 let world_gen =
@@ -555,4 +665,13 @@ let () =
             test_fallback_warnings;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_mined_equals_exhaustive ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "bundled Eclipse graph, Table 1, mined model"
+            `Quick test_bundled_protocol_equivalence;
+          Alcotest.test_case "synthetic filter drops, both strategies agree"
+            `Quick test_synthetic_filter_equivalence;
+          Alcotest.test_case "checkerless fallback warns; warn keeps results"
+            `Quick test_protocol_fallback_warning;
+        ] );
     ]
