@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-proto clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-refine bench-proto clean
 
 all: build
 
@@ -56,7 +56,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-proto fmt
+check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-refine bench-proto fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -93,6 +93,14 @@ bench-topk: build
 # so this is the mined counterpart of the `topk` gate in `make check`.
 bench-rank: build
 	dune exec bench/main.exe -- rank
+
+# Regenerates BENCH_refine.json (questions-to-convergence and probe-selection
+# latency for refine sessions on Table 1 and a layered synthetic world).
+# The section exits nonzero if any session changes the answer (the survivor
+# must be the original rank-1) or overruns ceil(log2 k) + 2 questions, so
+# this is the spec-by-example gate inside `make check`.
+bench-refine: build
+	dune exec bench/main.exe -- refine
 
 # Regenerates BENCH_proto.json (protocol mining time, lint throughput over
 # the bundled corpus, and Table 1 query overhead at protocol=Warn vs Off).

@@ -7,7 +7,7 @@
              dune exec bench/main.exe -- table1  (one section)
 
    Sections: table1 perf figure8 figures mining_accuracy rank_ablation
-             search_bound cap_sweep objparam cache analysis server\n             parallel topk rank proto micro                               *)
+             search_bound cap_sweep objparam cache analysis server\n             parallel topk rank refine proto micro                        *)
 
 module Query = Prospector.Query
 module Sig_graph = Prospector.Sig_graph
@@ -998,6 +998,147 @@ let section_topk () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Refine sessions — questions to convergence and probe latency        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Table 1 problem gets one refine session driven by the simulated
+   programmer (desired = the rank-1 result), measuring how many probes it
+   takes to converge and how long each probe selection costs — probe
+   selection runs inside Session.start and Session.answer, so those two
+   calls are the latency samples. The gate: refine must never change the
+   answer (to_rank1 on every session) and must stay close to a binary
+   search, at most ceil(log2 k) + 2 questions. The same loop runs on a
+   layered synthetic world to keep the latency numbers honest beyond the
+   bundled model's size. *)
+
+module Esession = Prospector_eval.Session
+
+let section_refine () =
+  rule "Refine sessions — questions to convergence and probe latency";
+  let probe_samples = ref [] in
+  (* One full session; returns (k, questions, to_rank1, live_at_end). *)
+  let run_session (results : Query.result list) =
+    match results with
+    | [] -> None
+    | desired :: _ ->
+        let candidates =
+          List.map (fun result -> { Esession.source = None; result }) results
+        in
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          probe_samples := (Unix.gettimeofday () -. t0) :: !probe_samples;
+          r
+        in
+        let rec loop sess =
+          match Simstudy.Programmer.answer_probe sess ~desired with
+          | None -> sess
+          | Some choice -> (
+              match timed (fun () -> Esession.answer sess ~choice) with
+              | Ok sess' -> loop sess'
+              | Error _ -> sess)
+        in
+        let final = loop (timed (fun () -> Esession.start candidates)) in
+        Some
+          ( List.length candidates,
+            Esession.questions_asked final,
+            Simstudy.Programmer.same_result
+              (Esession.best final).Esession.result desired,
+            List.length (Esession.live final) )
+  in
+  let question_bound k =
+    int_of_float (ceil (log (float_of_int (max 1 k)) /. log 2.0)) + 2
+  in
+  (* -- Table 1 ------------------------------------------------------ *)
+  let graph = Apidata.Api.default_graph () in
+  let hierarchy = Apidata.Api.hierarchy () in
+  let failed = ref false in
+  let table1_rows =
+    List.filter_map
+      (fun (p : Problems.t) ->
+        let results =
+          Query.run ~graph ~hierarchy (Query.query p.Problems.tin p.Problems.tout)
+        in
+        match run_session results with
+        | None -> None
+        | Some (k, questions, to_rank1, live) ->
+            let bound = question_bound k in
+            let ok = to_rank1 && questions <= bound in
+            if not ok then failed := true;
+            Printf.printf
+              "  #%-2d k=%-3d questions=%d (bound %d)  live at end=%d  \
+               survivor is rank-1: %b%s\n"
+              p.Problems.id k questions bound live to_rank1
+              (if ok then "" else "   FAIL");
+            Some (p.Problems.id, k, questions, bound, to_rank1, live))
+      Problems.all
+  in
+  (* -- layered synthetic world -------------------------------------- *)
+  let h = Corpusgen.Workload.layered_api ~classes:500 in
+  let g = Sig_graph.build h in
+  let qs = Corpusgen.Workload.random_queries h g ~count:20 ~seed:7 in
+  let layered =
+    List.filter_map
+      (fun q -> run_session (Query.run ~graph:g ~hierarchy:h q))
+      qs
+  in
+  let layered_sessions = List.length layered in
+  let layered_max_q =
+    List.fold_left (fun acc (_, q, _, _) -> max acc q) 0 layered
+  in
+  let layered_mean_q =
+    if layered = [] then 0.0
+    else
+      float_of_int (List.fold_left (fun acc (_, q, _, _) -> acc + q) 0 layered)
+      /. float_of_int layered_sessions
+  in
+  Printf.printf
+    "  layered (%d classes): %d/%d queries gave results; questions max=%d \
+     mean=%.2f\n"
+    500 layered_sessions (List.length qs) layered_max_q layered_mean_q;
+  (* -- probe latency ------------------------------------------------- *)
+  let samples = List.sort compare !probe_samples in
+  let n = List.length samples in
+  let pct p =
+    if n = 0 then 0.0
+    else List.nth samples (min (n - 1) (int_of_float (float_of_int n *. p)))
+  in
+  let ms s = s *. 1000.0 in
+  Printf.printf
+    "  probe selection: %d samples, p50 %.3f ms, p95 %.3f ms, max %.3f ms\n" n
+    (ms (pct 0.50)) (ms (pct 0.95))
+    (ms (match List.rev samples with [] -> 0.0 | x :: _ -> x));
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"table1\": [\n%s\n  ],\n\
+      \  \"layered\": {\"classes\": %d, \"queries\": %d, \"sessions\": %d, \
+       \"max_questions\": %d, \"mean_questions\": %.3f},\n\
+      \  \"probe_latency_ms\": {\"samples\": %d, \"p50\": %.4f, \"p95\": \
+       %.4f},\n\
+      \  \"ok\": %b\n\
+       }\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (id, k, questions, bound, to_rank1, live) ->
+              Printf.sprintf
+                "    {\"id\": %d, \"k\": %d, \"questions\": %d, \"bound\": \
+                 %d, \"to_rank1\": %b, \"live_at_end\": %d}"
+                id k questions bound to_rank1 live)
+            table1_rows))
+      500 (List.length qs) layered_sessions layered_max_q layered_mean_q n
+      (ms (pct 0.50)) (ms (pct 0.95))
+      (not !failed)
+  in
+  write_file "BENCH_refine.json" json;
+  if !failed then begin
+    prerr_endline
+      "error: a refine session changed the answer or overran ceil(log2 k) + \
+       2 questions";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Usage-weighted ranking vs the paper order                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1417,6 +1558,7 @@ let sections =
     ("parallel", section_parallel);
     ("topk", section_topk);
     ("rank", section_rank);
+    ("refine", section_refine);
     ("proto", section_proto);
     ("micro", section_micro);
   ]

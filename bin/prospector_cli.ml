@@ -332,6 +332,188 @@ let assist_cmd =
       $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg $ vars
       $ tout)
 
+(* ---------- refine ---------- *)
+
+(* Spec-by-example disambiguation over a ranked result list, run locally
+   (no daemon): synthesize the candidates exactly like query/assist would,
+   then loop Probe questions until the session converges. --auto answers
+   every probe the way Simstudy's programmer does (follow the branch that
+   keeps the rank-1 result) — the deterministic transcript the docs and
+   cram tests pin. *)
+
+module Esession = Prospector_eval.Session
+module Eprobe = Prospector_eval.Probe
+module Evalue = Prospector_eval.Value
+
+let print_refine_question n (q : Eprobe.question) =
+  Printf.printf "question %d:\n" n;
+  List.iter
+    (fun (k, v) -> Printf.printf "  given %s = %s\n" k (Evalue.to_string v))
+    q.Eprobe.env;
+  print_endline "  which output do you expect?";
+  List.iteri
+    (fun i (g : Eprobe.group) ->
+      let what =
+        match g.Eprobe.answer with
+        | Eprobe.Output s -> s
+        | Eprobe.Unknown -> "(can't tell)"
+      in
+      Printf.printf "    [%d] %s   (%d candidate%s)\n" i what
+        (List.length g.Eprobe.members)
+        (if List.length g.Eprobe.members = 1 then "" else "s"))
+    q.Eprobe.groups
+
+let print_refine_result st =
+  let best = Esession.best st in
+  let live = List.length (Esession.live st) in
+  let asked = Esession.questions_asked st in
+  if live = 1 then
+    Printf.printf "converged after %d question%s: result #%d of the ranked list\n"
+      asked
+      (if asked = 1 then "" else "s")
+      (Esession.best_rank st + 1)
+  else
+    Printf.printf
+      "no probe can split the remaining %d candidates; rank order decides: \
+       result #%d\n"
+      live
+      (Esession.best_rank st + 1);
+  (match best.Esession.source with
+  | Some v -> Printf.printf "(uses %s)\n" v
+  | None -> ());
+  Printf.printf "%s\n" (Prospector.Jungloid.to_string best.Esession.result.Prospector.Query.jungloid);
+  String.trim best.Esession.result.Prospector.Query.code
+  |> String.split_on_char '\n'
+  |> List.iter (fun line -> Printf.printf "  %s\n" line)
+
+let refine_cmd =
+  let argv =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:"Either $(b,TIN TOUT) (query-shaped) or $(b,TOUT) with \
+                $(b,--var) bindings (assist-shaped).")
+  in
+  let vars =
+    Arg.(
+      value & opt_all string []
+      & info [ "var"; "v" ] ~docv:"NAME:TYPE"
+          ~doc:"A visible variable for the assist-shaped session (repeatable).")
+  in
+  let auto_flag =
+    Arg.(
+      value & flag
+      & info [ "auto" ]
+          ~doc:"Answer every probe automatically, following the branch that \
+                keeps the rank-1 result (deterministic; what the simulated \
+                study programmer does). Without it, answers are read from \
+                stdin.")
+  in
+  let run api corpus no_mining protected_ max_results slack strategy ranking
+      protocol verbose vars auto argv =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let env = load_env ~api ~corpus ~mining:(not no_mining) ~protected_ () in
+        let st = settings ~max_results ~slack ~strategy ~ranking ~protocol in
+        let candidates =
+          match (argv, vars) with
+          | [ tin; tout ], [] ->
+              let q = Prospector.Query.query tin tout in
+              Prospector.Query.run ~settings:st ?edge_cost:(edge_cost_of env)
+                ?protocol_check:(protocol_check_of env) ~graph:env.graph
+                ~hierarchy:env.hierarchy q
+              |> List.map (fun result -> { Esession.source = None; result })
+          | [ tout ], _ :: _ ->
+              let parsed_vars =
+                List.map
+                  (fun s ->
+                    match String.index_opt s ':' with
+                    | Some i ->
+                        ( String.sub s 0 i,
+                          Javamodel.Jtype.ref_of_string
+                            (String.sub s (i + 1) (String.length s - i - 1)) )
+                    | None ->
+                        Printf.eprintf "error: bad --var %S, expected NAME:TYPE\n" s;
+                        exit 2)
+                  vars
+              in
+              let ctx =
+                {
+                  Prospector.Assist.vars = parsed_vars;
+                  expected = Javamodel.Jtype.ref_of_string tout;
+                }
+              in
+              Prospector.Assist.suggest ~settings:st
+                ?edge_cost:(edge_cost_of env)
+                ?protocol_check:(protocol_check_of env) ~graph:env.graph
+                ~hierarchy:env.hierarchy ctx
+              |> List.map (fun (s : Prospector.Assist.suggestion) ->
+                     {
+                       Esession.source = s.Prospector.Assist.uses_var;
+                       result = s.Prospector.Assist.result;
+                     })
+          | _ ->
+              Printf.eprintf
+                "error: expected either TIN TOUT, or TOUT with --var bindings\n";
+              exit 2
+        in
+        if candidates = [] then begin
+          print_endline "no jungloids found";
+          exit 0
+        end;
+        Printf.printf "%d candidate%s\n"
+          (List.length candidates)
+          (if List.length candidates = 1 then "" else "s");
+        let desired = (List.hd candidates).Esession.result in
+        let rec loop sess =
+          match Esession.question sess with
+          | None -> print_refine_result sess
+          | Some q ->
+              print_refine_question (Esession.questions_asked sess + 1) q;
+              let choice =
+                if auto then begin
+                  match Simstudy.Programmer.answer_probe sess ~desired with
+                  | Some c ->
+                      Printf.printf "  answer: %d\n" c;
+                      Some c
+                  | None -> None
+                end
+                else begin
+                  Printf.printf "  answer [0-%d]: %!"
+                    (List.length q.Eprobe.groups - 1);
+                  match input_line stdin with
+                  | exception End_of_file ->
+                      print_endline "";
+                      None
+                  | line -> (
+                      match int_of_string_opt (String.trim line) with
+                      | Some c -> Some c
+                      | None ->
+                          print_endline "  (not a number; session stopped)";
+                          None)
+                end
+              in
+              (match choice with
+              | None -> print_refine_result sess
+              | Some c -> (
+                  match Esession.answer sess ~choice:c with
+                  | Ok sess' -> loop sess'
+                  | Error `Bad_choice ->
+                      Printf.printf "  choice %d is out of range\n" c;
+                      loop sess
+                  | Error `No_question -> print_refine_result sess))
+        in
+        loop (Esession.start candidates))
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Disambiguate a ranked result list by answering \"Twenty \
+             Questions\" probes on concrete inputs.")
+    Term.(
+      const run $ api_files $ corpus_files $ no_mining $ protected_flag
+      $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
+      $ verbose_flag $ vars $ auto_flag $ argv)
+
 (* ---------- batch ---------- *)
 
 (* Server-style operation: answer a whole file of queries through one
@@ -925,9 +1107,17 @@ let serve_cmd =
       value & opt int 512
       & info [ "cache-capacity" ] ~docv:"K" ~doc:"LRU capacity of the query cache.")
   in
+  let session_ttl =
+    Arg.(
+      value & opt (some float) None
+      & info [ "session-ttl" ] ~docv:"SECONDS"
+          ~doc:"Evict refine sessions idle for longer than $(docv); later \
+                ops on an evicted id get a $(b,session_expired) error reply. \
+                Omitted = sessions only die on $(b,refine_stop) or drain.")
+  in
   let run api corpus no_mining protected_ max_results slack strategy ranking
       protocol verbose host port port_file workers max_request_bytes
-      max_connections deadline stdio save_graph cache_capacity jobs =
+      max_connections deadline stdio save_graph cache_capacity session_ttl jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -957,9 +1147,17 @@ let serve_cmd =
               (Option.map
                  (fun m j -> Analysis.Protolint.vet m j)
                  env.proto)
-            ?deadline_s:deadline ~engine ()
+            ?deadline_s:deadline ?session_ttl_s:session_ttl ~engine ()
         in
-        if stdio then Server.serve_stdio ~max_request_bytes service
+        if stdio then begin
+          (* SIGINT drains exactly like the shutdown op: in-flight refine
+             sessions answer shutting_down, the loop exits after the next
+             reply. *)
+          let drain _ = Service.request_shutdown service in
+          (try Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+           with Invalid_argument _ -> ());
+          Server.serve_stdio ~max_request_bytes service
+        end
         else begin
           let config =
             {
@@ -991,7 +1189,7 @@ let serve_cmd =
       $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
       $ verbose_flag $ host $ port $ port_file $ workers $ max_request_bytes
       $ max_connections $ deadline $ stdio $ save_graph $ cache_capacity
-      $ jobs_arg)
+      $ session_ttl $ jobs_arg)
 
 (* ---------- client ---------- *)
 
@@ -1075,6 +1273,69 @@ let client_render response =
         match member k with Some (Proto.Int i) -> i | _ -> 0
       in
       Printf.printf "%d error(s), %d warning(s)\n" (count "errors") (count "warnings")
+  | Some (Proto.Str "refine_start")
+  | Some (Proto.Str "refine_answer")
+  | Some (Proto.Str "refine_status") -> (
+      let int k = match member k with Some (Proto.Int i) -> i | _ -> 0 in
+      (match member "session" with
+      | Some (Proto.Str s) ->
+          Printf.printf "session %s: %d candidate(s), %d live, %d question(s) \
+                         answered\n"
+            s (int "candidates") (int "live") (int "asked")
+      | _ -> ());
+      match (member "question", member "result") with
+      | Some q, _ ->
+          List.iter
+            (fun b ->
+              let get k =
+                match Proto.member k b with Some (Proto.Str s) -> s | _ -> ""
+              in
+              Printf.printf "given %s = %s\n" (get "source") (get "value"))
+            (match Proto.member "inputs" q with
+            | Some (Proto.Arr xs) -> xs
+            | _ -> []);
+          print_endline "which output do you expect?";
+          List.iter
+            (fun c ->
+              let choice =
+                match Proto.member "choice" c with
+                | Some (Proto.Int i) -> i
+                | _ -> 0
+              in
+              let count =
+                match Proto.member "count" c with
+                | Some (Proto.Int i) -> i
+                | _ -> 0
+              in
+              let what =
+                match Proto.member "output" c with
+                | Some (Proto.Str s) -> s
+                | _ -> "(can't tell)"
+              in
+              Printf.printf "  [%d] %s   (%d candidate%s)\n" choice what count
+                (if count = 1 then "" else "s"))
+            (match Proto.member "choices" q with
+            | Some (Proto.Arr xs) -> xs
+            | _ -> [])
+      | None, Some r ->
+          let get k =
+            match Proto.member k r with Some (Proto.Str s) -> s | _ -> ""
+          in
+          let rank =
+            match Proto.member "rank" r with Some (Proto.Int i) -> i | _ -> 0
+          in
+          Printf.printf "converged: result #%d\n" rank;
+          (match Proto.member "source" r with
+          | Some (Proto.Str v) -> Printf.printf "(uses %s)\n" v
+          | _ -> ());
+          Printf.printf "%s\n" (get "jungloid");
+          String.trim (get "code") |> String.split_on_char '\n'
+          |> List.iter (fun line -> Printf.printf "  %s\n" line)
+      | None, None -> ())
+  | Some (Proto.Str "refine_stop") -> (
+      match member "session" with
+      | Some (Proto.Str s) -> Printf.printf "stopped %s\n" s
+      | _ -> print_endline "stopped")
   | Some (Proto.Str "stats") ->
       let int_at path k =
         match Option.bind (member path) (Proto.member k) with
@@ -1091,6 +1352,9 @@ let client_render response =
         (int_at "cache" "hits") (int_at "cache" "misses");
       (match member "truncated_queries" with
       | Some (Proto.Int n) when n > 0 -> Printf.printf "truncated queries: %d\n" n
+      | _ -> ());
+      (match member "sessions" with
+      | Some (Proto.Int n) when n > 0 -> Printf.printf "sessions: %d\n" n
       | _ -> ())
   | Some (Proto.Str "health") | Some (Proto.Str "shutdown") -> (
       match member "status" with
@@ -1125,7 +1389,10 @@ let client_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"OP"
           ~doc:"One of: $(b,query TIN TOUT), $(b,assist TOUT), $(b,batch FILE), \
-                $(b,lint TIN TOUT), $(b,stats), $(b,health), $(b,shutdown), \
+                $(b,lint TIN TOUT), $(b,refine-start TIN TOUT) (or \
+                $(b,refine-start TOUT) with $(b,--var)), $(b,refine-answer \
+                SESSION CHOICE), $(b,refine-status SESSION), $(b,refine-stop \
+                SESSION), $(b,stats), $(b,health), $(b,shutdown), \
                 $(b,raw LINE).")
   in
   let run max_results slack strategy ranking protocol host port port_file
@@ -1208,6 +1475,51 @@ let client_cmd =
                  protocol;
                })
       | [ "lint"; tin; tout ] -> envelope (Proto.Lint { tin; tout })
+      | [ "refine-start"; tin; tout ] when vars = [] ->
+          envelope
+            (Proto.Refine_start
+               {
+                 tin = Some tin;
+                 tout;
+                 vars = [];
+                 max_results = some_results;
+                 slack = some_slack;
+                 strategy;
+                 ranking;
+                 protocol;
+               })
+      | [ "refine-start"; tout ] when vars <> [] ->
+          let vars =
+            List.map
+              (fun s ->
+                match String.index_opt s ':' with
+                | Some i ->
+                    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+                | None ->
+                    Printf.eprintf "error: bad --var %S, expected NAME:TYPE\n" s;
+                    exit 2)
+              vars
+          in
+          envelope
+            (Proto.Refine_start
+               {
+                 tin = None;
+                 tout;
+                 vars;
+                 max_results = some_results;
+                 slack = some_slack;
+                 strategy;
+                 ranking;
+                 protocol;
+               })
+      | [ "refine-answer"; session; choice ] -> (
+          match int_of_string_opt choice with
+          | Some choice -> envelope (Proto.Refine_answer { session; choice })
+          | None ->
+              Printf.eprintf "error: bad choice %S, expected a number\n" choice;
+              exit 2)
+      | [ "refine-status"; session ] -> envelope (Proto.Refine_status { session })
+      | [ "refine-stop"; session ] -> envelope (Proto.Refine_stop { session })
       | [ "stats" ] -> envelope Proto.Stats
       | [ "health" ] -> envelope Proto.Health
       | [ "shutdown" ] -> envelope Proto.Shutdown
@@ -1310,6 +1622,7 @@ let () =
           [
             query_cmd;
             assist_cmd;
+            refine_cmd;
             batch_cmd;
             serve_cmd;
             client_cmd;

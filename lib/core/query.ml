@@ -455,48 +455,59 @@ let topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable view
    dedup (structurally equal jungloids render identically), verification
    frees slots exactly as in [rank_and_render], and the stream stops as
    soon as [max_results] survivors exist. *)
-let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
+(* Lazy result stream over a [Topk] heap. Forcing the next element pulls
+   candidates until one survives dedup + verify + protocol filtering; the
+   memoization makes re-traversal safe even though the heap is stateful.
+   [consume_single] (the query op) and [run_stream] (the refine workload)
+   share this producer, so a refine session's candidate list is the query
+   reply's result list by construction. *)
+let stream_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
     ~pfilter st =
   let seen = Hashtbl.create 32 in
-  let rec loop acc n =
-    if n = 0 then List.rev acc
-    else
-      match Topk.next st with
-      | None -> List.rev acc
-      | Some c ->
-          let j = c.Topk.cand_jungloid in
-          let expr = Jungloid.to_expression j in
-          if Hashtbl.mem seen expr then loop acc n
-          else begin
-            Hashtbl.replace seen expr ();
-            let ok =
-              match verify with
-              | None -> true
-              | Some v ->
-                  v.vchecked <- v.vchecked + 1;
-                  let ok = v.vcheck j in
-                  if not ok then begin
-                    v.vfiltered <- v.vfiltered + 1;
-                    Log.warn (fun m -> m "verifier rejected %s" (Jungloid.to_string j))
-                  end;
-                  ok
+  let rec next () =
+    match Topk.next st with
+    | None -> Seq.Nil
+    | Some c ->
+        let j = c.Topk.cand_jungloid in
+        let expr = Jungloid.to_expression j in
+        if Hashtbl.mem seen expr then next ()
+        else begin
+          Hashtbl.replace seen expr ();
+          let ok =
+            match verify with
+            | None -> true
+            | Some v ->
+                v.vchecked <- v.vchecked + 1;
+                let ok = v.vcheck j in
+                if not ok then begin
+                  v.vfiltered <- v.vfiltered + 1;
+                  Log.warn (fun m -> m "verifier rejected %s" (Jungloid.to_string j))
+                end;
+                ok
+          in
+          let ok = ok && match pfilter with None -> true | Some f -> f j in
+          if ok then
+            let r =
+              {
+                jungloid = j;
+                key =
+                  Rank.key ~weights:settings.weights ?freevar_cost_of ?edge_cost
+                    hierarchy j;
+                code = Codegen.to_java j;
+              }
             in
-            let ok = ok && match pfilter with None -> true | Some f -> f j in
-            if ok then
-              let r =
-                {
-                  jungloid = j;
-                  key =
-                    Rank.key ~weights:settings.weights ?freevar_cost_of ?edge_cost
-                      hierarchy j;
-                  code = Codegen.to_java j;
-                }
-              in
-              loop (r :: acc) (n - 1)
-            else loop acc n
-          end
+            Seq.Cons (r, next)
+          else next ()
+        end
   in
-  loop [] settings.max_results
+  Seq.memoize next
+
+let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
+    ~pfilter st =
+  List.of_seq
+    (Seq.take settings.max_results
+       (stream_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
+          ~pfilter st))
 
 let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
     ?protocol_check ~graph ~hierarchy q =
@@ -594,6 +605,48 @@ let run ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ~graph
   fst
     (run_info ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ~graph
        ~hierarchy q)
+
+let run_stream ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
+    ?protocol_check ~graph ~hierarchy q =
+  let edge_cost0 = edge_cost in
+  let view, gen = view_and_gen ?frozen graph in
+  let strategy, edge_cost, protocol, _warnings =
+    effective_mode ~edge_cost ~protocol_check settings
+  in
+  let pfilter = protocol_pred ~protocol ~protocol_check in
+  match strategy with
+  | Exhaustive ->
+      (* exhaustive ranking needs the full path set up front; the stream
+         degenerates to the ranked list *)
+      List.to_seq
+        (run ~settings ?reach ?frozen ?verify ?edge_cost:edge_cost0
+           ?protocol_check ~graph ~hierarchy q)
+  | BestFirst -> (
+      match (view.v_find q.tin, view.v_find q.tout) with
+      | Some src, Some dst ->
+          let reach = current_reach ~gen reach in
+          let viable = viable_of ~reach ~target:dst in
+          if
+            match reach with
+            | Some r -> not (Reach.mem r ~src ~target:dst)
+            | None -> false
+          then Seq.empty
+          else begin
+            let freevar_cost_of = freevar_estimator ~settings view in
+            let dist_to = view.v_distances_to ~viable ~target:dst in
+            if src >= Array.length dist_to || dist_to.(src) = max_int then
+              Seq.empty
+            else
+              let st =
+                topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost
+                  ~viable view ~dist_to
+                  ~sources:[ (src, dist_to.(src) + settings.slack) ]
+                  ~target:dst
+              in
+              stream_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost
+                ~verify ~pfilter st
+          end
+      | _ -> Seq.empty)
 
 type cluster = {
   representative : result;

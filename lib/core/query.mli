@@ -201,6 +201,27 @@ val run :
     means clean), consulted only when [settings.protocol] is [Warn] or
     [Filter] (see {!protocol}). *)
 
+val run_stream :
+  ?settings:settings ->
+  ?reach:Reach.t ->
+  ?frozen:Graph.frozen ->
+  ?verify:verify ->
+  ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
+  graph:Graph.t ->
+  hierarchy:Hierarchy.t ->
+  t ->
+  result Seq.t
+(** The lazy form of {!run}: ranked results on demand, sharing the
+    producer {!run} truncates, so [List.of_seq (Seq.take
+    settings.max_results (run_stream ... q))] is byte-identical to [run
+    ... q]. This is what refine sessions consume — a session's candidate
+    set {e is} the query reply's result list. The sequence is memoized
+    (safe to re-traverse) but captures live search state: consume it
+    before mutating the graph, or pass [?frozen]. Under the [Exhaustive]
+    strategy there is nothing lazy to expose and the stream degenerates to
+    {!run}'s list; [settings.max_results] then bounds it. *)
+
 type multi_result = {
   source_var : string option;  (** [None] for the [void] source *)
   result : result;

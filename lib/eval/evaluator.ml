@@ -1,0 +1,297 @@
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Member = Javamodel.Member
+module Elem = Prospector.Elem
+module Jungloid = Prospector.Jungloid
+
+type stubs = Elem.t -> Value.t -> Value.t option
+
+type outcome = Done of Value.t | Fuel_exhausted
+
+let default_fuel = 64
+
+(* ------------------------------------------------------------------ *)
+(* String helpers for the modeled path/string surface.                 *)
+
+let after_last sep s =
+  match String.rindex_opt s sep with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let basename s = after_last '/' s
+
+let dirname s =
+  match String.rindex_opt s '/' with Some i -> String.sub s 0 i | None -> ""
+
+let extension s =
+  let b = basename s in
+  match String.rindex_opt b '.' with
+  | Some i when i > 0 -> Some (String.sub b (i + 1) (String.length b - i - 1))
+  | _ -> None
+
+let first_line s =
+  match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+
+let first_token s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with Some i -> String.sub s 0 i | None -> s
+
+let first_segment s =
+  let s = if String.length s > 0 && s.[0] = '/' then String.sub s 1 (String.length s - 1) else s in
+  match String.index_opt s '/' with Some i -> String.sub s 0 i | None -> s
+
+(* The "contents" of a provenance term: the string it was ultimately built
+   from, if any. [BufferedReader(FileReader("a.txt"))] has contents
+   ["a.txt"]; a term built from nothing has none. *)
+let rec contents = function
+  | Value.Str s -> Some s
+  | Value.Obj { parts = p :: _; _ } -> contents p
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Obj { parts = []; _ }
+  | Value.Opaque _ ->
+      None
+
+let obj cls parts = Value.Obj { cls; parts }
+
+let render = Value.to_string
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: modeled semantics for the bundled model's string/file/parse
+   surface. Dispatch is on (owner simple name, member name, input slot) so
+   the stubs survive both the J2SE and Eclipse halves of the model without
+   enumerating overloads. *)
+
+let string_semantics mname (v : Value.t) : Value.t option =
+  match (mname, v) with
+  | "length", Value.Str s -> Some (Value.Int (String.length s))
+  | "trim", Value.Str s -> Some (Value.Str (String.trim s))
+  | "toLowerCase", Value.Str s -> Some (Value.Str (String.lowercase_ascii s))
+  | "toUpperCase", Value.Str s -> Some (Value.Str (String.uppercase_ascii s))
+  | "charAt", Value.Str s ->
+      (* free index defaults to 0; the empty string throws in Java, so the
+         model goes dark with the exception's name *)
+      if s = "" then Some (Value.Opaque "StringIndexOutOfBoundsException")
+      else Some (Value.Int (Char.code s.[0]))
+  | "substring", Value.Str _ ->
+      (* free begin/end default to 0: the empty prefix *)
+      Some (Value.Str "")
+  | "startsWith", Value.Str _ | "endsWith", Value.Str _ ->
+      (* free prefix/suffix defaults to "" — vacuously true *)
+      Some (Value.Bool true)
+  | "indexOf", Value.Str _ -> Some (Value.Int 0)
+  | "toCharArray", Value.Str s -> Some (obj "char[]" [ Value.Str s ])
+  | "getBytes", Value.Str s -> Some (obj "byte[]" [ Value.Str s ])
+  | "concat", Value.Str s -> Some (Value.Str s)
+  | _ -> None
+
+let instance_semantics owner_simple mname (v : Value.t) : Value.t option =
+  match (owner_simple, mname, v) with
+  | "String", _, _ -> string_semantics mname v
+  | _, "toString", _ ->
+      (* toString renders the modeled value itself — on any class *)
+      Some (Value.Str (render v))
+  | _, "getClass", Value.Obj { cls; _ } ->
+      Some (obj "Class" [ Value.Str cls ])
+  | _, "getClass", Value.Str _ -> Some (obj "Class" [ Value.Str "String" ])
+  | "Class", "getName", Value.Obj { parts = [ Value.Str n ]; _ } ->
+      Some (Value.Str n)
+  | "Integer", "intValue", Value.Obj { parts = [ Value.Int n ]; _ } ->
+      Some (Value.Int n)
+  | "StringBuffer", "length", v -> (
+      match contents v with Some s -> Some (Value.Int (String.length s)) | None -> None)
+  | "File", "getName", v -> Option.map (fun s -> Value.Str (basename s)) (contents v)
+  | "File", "getPath", v -> Option.map (fun s -> Value.Str s) (contents v)
+  | "File", "getAbsolutePath", v ->
+      Option.map
+        (fun s ->
+          Value.Str (if String.length s > 0 && s.[0] = '/' then s else "/" ^ s))
+        (contents v)
+  | "File", "getParentFile", v ->
+      Option.map (fun s -> obj "File" [ Value.Str (dirname s) ]) (contents v)
+  | "File", "exists", v -> Option.map (fun s -> Value.Bool (s <> "")) (contents v)
+  | "File", "isDirectory", _ -> Some (Value.Bool false)
+  | "File", "toURL", v ->
+      Option.map (fun s -> obj "URL" [ Value.Str ("file:" ^ s) ]) (contents v)
+  | _, "readLine", v -> Option.map (fun s -> Value.Str (first_line s)) (contents v)
+  | _, "getLineNumber", _ -> Some (Value.Int 0)
+  | _, "read", v ->
+      Option.map
+        (fun s -> Value.Int (if s = "" then -1 else Char.code s.[0]))
+        (contents v)
+  | _, "available", v | _, "size", v ->
+      Option.map (fun s -> Value.Int (String.length s)) (contents v)
+  | "StringTokenizer", "nextToken", v ->
+      Option.map (fun s -> Value.Str (first_token s)) (contents v)
+  | "StringTokenizer", "hasMoreTokens", v ->
+      Option.map (fun s -> Value.Bool (String.trim s <> "")) (contents v)
+  | "URL", "toExternalForm", v | "URL", "getFile", v | "URI", "getPath", v ->
+      Option.map (fun s -> Value.Str s) (contents v)
+  (* Eclipse: paths and resources carry a workspace-relative path string. *)
+  | ("IPath" | "Path"), "toOSString", v ->
+      Option.map (fun s -> Value.Str s) (contents v)
+  | ("IPath" | "Path"), "lastSegment", v ->
+      Option.map (fun s -> Value.Str (basename s)) (contents v)
+  | ("IPath" | "Path"), "getFileExtension", v ->
+      Option.map
+        (fun s ->
+          match extension s with
+          | Some e -> Value.Str e
+          | None -> Value.Opaque "null")
+        (contents v)
+  | ("IPath" | "Path"), "toFile", v ->
+      Option.map (fun s -> obj "File" [ Value.Str s ]) (contents v)
+  | ("IPath" | "Path"), "segmentCount", v ->
+      Option.map
+        (fun s ->
+          Value.Int
+            (List.length
+               (List.filter (fun x -> x <> "") (String.split_on_char '/' s))))
+        (contents v)
+  | _, "getFullPath", v ->
+      Option.map
+        (fun s ->
+          obj "Path"
+            [ Value.Str (if String.length s > 0 && s.[0] = '/' then s else "/" ^ s) ])
+        (contents v)
+  | _, "getLocation", v ->
+      Option.map (fun s -> obj "Path" [ Value.Str ("/ws/" ^ s) ]) (contents v)
+  | _, "getFileExtension", v ->
+      Option.map
+        (fun s ->
+          match extension s with
+          | Some e -> Value.Str e
+          | None -> Value.Opaque "null")
+        (contents v)
+  | _, "getProject", v ->
+      Option.map (fun s -> obj "IProject" [ Value.Str (first_segment s) ]) (contents v)
+  | _, "getElementName", v | _, "getName", v ->
+      Option.map (fun s -> Value.Str (basename s)) (contents v)
+  | _, "getSource", v ->
+      Option.map (fun s -> Value.Str ("source of " ^ s)) (contents v)
+  | _, "getContents", v ->
+      Option.map (fun s -> obj "InputStream" [ Value.Str ("contents of " ^ s) ]) (contents v)
+  | _, "getCharset", _ | _, "getEncoding", _ -> Some (Value.Str "UTF-8")
+  | _, "exists", _ -> Some (Value.Bool true)
+  | _ -> None
+
+let static_semantics owner_simple mname (v : Value.t) : Value.t option =
+  match (owner_simple, mname, v) with
+  | "Integer", "parseInt", Value.Str s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some (Value.Int n)
+      | None -> Some (Value.Opaque "NumberFormatException"))
+  | "Integer", "valueOf", Value.Str s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some (obj "Integer" [ Value.Int n ])
+      | None -> Some (Value.Opaque "NumberFormatException"))
+  | "Boolean", "valueOf", Value.Str s ->
+      Some (Value.Bool (String.lowercase_ascii (String.trim s) = "true"))
+  | "String", "valueOf", v -> Some (Value.Str (render v))
+  | "System", "getProperty", Value.Str k -> Some (Value.Str ("property:" ^ k))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: generic provenance semantics. Structure-building operations —
+   wrapping constructors, conversion statics, argumentless getters — yield
+   an Obj term recording the class and the input, which is exactly what a
+   probe needs to tell chains apart without a behavioral model. *)
+
+let ref_result ty k =
+  match ty with
+  | Jtype.Ref _ | Jtype.Array _ -> Some (k (Jtype.simple_string ty))
+  | Jtype.Prim _ | Jtype.Void -> None
+
+(* The argument vector of a call: the input value in its slot, an [Opaque]
+   placeholder (rendered ["<name>"]) for every free parameter. Free
+   parameters thus stay visibly unknown but still tell
+   [new BufferedReader(r)] apart from [new BufferedReader(r, <sz>)]. *)
+let arg_vector params ~input v =
+  List.mapi
+    (fun i (pname, _) -> if input = Some i then v else Value.Opaque pname)
+    params
+
+let provenance (e : Elem.t) (v : Value.t) : Value.t option =
+  match e with
+  | Elem.Ctor_call { owner; ctor; input = Elem.Param i } ->
+      (* "new " marks a fresh construction: new Shell(d) and
+         d.getActiveShell() are different objects and must not collide *)
+      Some
+        (obj
+           ("new " ^ Qname.simple owner)
+           (arg_vector ctor.Member.cparams ~input:(Some i) v))
+  | Elem.Ctor_call { owner; ctor; input = Elem.No_input } ->
+      Some
+        (obj
+           ("new " ^ Qname.simple owner)
+           (arg_vector ctor.Member.cparams ~input:None v))
+  | Elem.Static_call { meth; input = Elem.Param i; _ } ->
+      ref_result meth.Member.ret (fun cls ->
+          obj cls (arg_vector meth.Member.params ~input:(Some i) v))
+  | Elem.Static_call { meth; input = Elem.No_input; _ } ->
+      ref_result meth.Member.ret (fun cls ->
+          obj cls (arg_vector meth.Member.params ~input:None v))
+  | Elem.Instance_call { meth; input = Elem.Receiver; _ } ->
+      ref_result meth.Member.ret (fun cls ->
+          obj cls (v :: arg_vector meth.Member.params ~input:None v))
+  | Elem.Field_access { field; _ } ->
+      ref_result field.Member.ftype (fun cls ->
+          match v with
+          | Value.Unit -> obj cls [ Value.Str field.Member.fname ]
+          | _ -> obj cls [ Value.Str field.Member.fname; v ])
+  | Elem.Instance_call { input = Elem.Param _; _ } ->
+      (* the receiver is free: even the provenance of the result is
+         unknowable, so the chain goes dark *)
+      None
+  | Elem.Ctor_call { input = Elem.Receiver; _ }
+  | Elem.Static_call { input = Elem.Receiver; _ }
+  | Elem.Instance_call { input = Elem.No_input; _ }
+  | Elem.Widen _ | Elem.Downcast _ ->
+      None
+
+let default_stubs (e : Elem.t) (v : Value.t) : Value.t option =
+  let specific =
+    match e with
+    | Elem.Instance_call { owner; meth; input = Elem.Receiver } ->
+        instance_semantics (Qname.simple owner) meth.Member.mname v
+    | Elem.Static_call { owner; meth; input = Elem.Param _ } ->
+        static_semantics (Qname.simple owner) meth.Member.mname v
+    | Elem.Ctor_call { owner; input = Elem.Param _; _ }
+      when Qname.simple owner = "String" ->
+        (* new String(char[]) recovers the original string *)
+        Option.map (fun s -> Value.Str s) (contents v)
+    | _ -> None
+  in
+  match specific with Some _ -> specific | None -> provenance e v
+
+(* ------------------------------------------------------------------ *)
+
+let eval_elem (stubs : stubs) (e : Elem.t) (v : Value.t) : Value.t =
+  match e with
+  | Elem.Widen _ -> v
+  | Elem.Downcast { to_; _ } -> (
+      (* A cast is observable: it asserts the result's static type (and can
+         fail at runtime), so chains differing only in a downcast — the
+         paper's (IFile) pattern — get distinct, honest provenance. *)
+      match v with
+      | Value.Opaque _ -> v
+      | _ ->
+          Value.Obj
+            { cls = "(" ^ Jtype.simple_string to_ ^ ")"; parts = [ v ] })
+  | _ -> (
+      match v with
+      | Value.Opaque _ -> v (* opaque absorbs: no stub may resurrect it *)
+      | _ -> (
+          match stubs e v with
+          | Some r -> r
+          | None -> (
+              match default_stubs e v with
+              | Some r -> r
+              | None -> Value.Opaque (Jtype.simple_string (Elem.output_type e)))))
+
+let eval ?(fuel = default_fuel) ?(stubs = default_stubs) ~(input : Value.t)
+    (j : Jungloid.t) : outcome =
+  let rec go fuel v = function
+    | [] -> Done v
+    | _ when fuel <= 0 -> Fuel_exhausted
+    | e :: rest -> go (fuel - 1) (eval_elem stubs e v) rest
+  in
+  go fuel input j.Jungloid.elems

@@ -1,0 +1,56 @@
+(** A concrete interpreter for jungloids over the {!Value} domain.
+
+    A jungloid is a unary composition chain, so evaluation is a left fold:
+    feed the input value to the first elementary jungloid, its result to
+    the next, and so on. Each elementary jungloid is interpreted by a
+    {e semantic stub} — a partial model of the API element it names. Three
+    layers of stubs apply, most specific first:
+
+    - {b modeled semantics} for the string/file/parse surface of the
+      bundled model ([String.trim] really trims, [File.getName] really
+      takes the basename, [Integer.parseInt] really parses or goes dark
+      with the exception's name);
+    - {b provenance semantics} for everything structural: a wrapping
+      constructor, a conversion static, or a zero-argument getter returning
+      a reference type builds an {!Value.Obj} term recording the class and
+      the value it came from — enough to tell [new BufferedReader(new
+      InputStreamReader(x))] from any other chain without pretending to
+      model readers;
+    - {b no model}: the result is {!Value.Opaque}. Opaque absorbs
+      everything downstream — once a chain goes dark it stays dark, so a
+      probe can never claim to distinguish candidates on unmodeled
+      behavior.
+
+    Evaluation always terminates: each elementary jungloid costs one unit
+    of fuel and an exhausted budget yields {!Fuel_exhausted} (the probe
+    engine treats it like an opaque answer). *)
+
+type stubs = Prospector.Elem.t -> Value.t -> Value.t option
+(** A stub maps one elementary jungloid and its input value to its output
+    value; [None] means "no model" and falls through to the next layer
+    (custom stubs fall back to {!default_stubs}' generic provenance rules,
+    then to opaque). *)
+
+val default_stubs : stubs
+(** The bundled-model stubs described above. *)
+
+type outcome =
+  | Done of Value.t
+  | Fuel_exhausted  (** the step budget ran out mid-chain *)
+
+val default_fuel : int
+(** 64 — far beyond any ranked jungloid's length; the bound exists so
+    evaluation of {e any} chain provably terminates. *)
+
+val eval_elem : stubs -> Prospector.Elem.t -> Value.t -> Value.t
+(** One step. {!Prospector.Elem.Widen} is the identity (widening has no
+    syntax and no observable effect); a {!Prospector.Elem.Downcast} wraps
+    the value in a visible type assertion (a cast {e is} observable — it
+    names the static type and can fail at runtime, and it is often the
+    entire difference between two ranked candidates); an opaque input
+    stays opaque; otherwise the stub decides and [None] becomes [Opaque]
+    of the element's output type. *)
+
+val eval :
+  ?fuel:int -> ?stubs:stubs -> input:Value.t -> Prospector.Jungloid.t -> outcome
+(** Run the whole chain on [input]. [fuel] defaults to {!default_fuel}. *)

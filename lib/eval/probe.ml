@@ -1,0 +1,124 @@
+module Jtype = Javamodel.Jtype
+module Qname = Javamodel.Qname
+module Jungloid = Prospector.Jungloid
+
+type candidate = { key : string; jungloid : Jungloid.t }
+
+type answer = Output of string | Unknown
+
+type group = { answer : answer; members : int list }
+
+type question = { env : (string * Value.t) list; groups : group list }
+
+let seeds (ty : Jtype.t) : Value.t list =
+  match ty with
+  | Jtype.Void -> [ Value.Unit ]
+  | Jtype.Ref q when Qname.to_string q = "java.lang.String" ->
+      [
+        Value.Str "src/Main.java";
+        Value.Str "  hello world \n second line";
+        Value.Str "42";
+      ]
+  | Jtype.Ref q ->
+      [
+        Value.Obj { cls = Qname.simple q; parts = [ Value.Str "src/Main.java" ] };
+        Value.Obj { cls = Qname.simple q; parts = [ Value.Str "lib/data.txt" ] };
+      ]
+  | Jtype.Array _ ->
+      [
+        Value.Obj
+          { cls = Jtype.simple_string ty; parts = [ Value.Str "src/Main.java" ] };
+      ]
+  | Jtype.Prim Jtype.Boolean -> [ Value.Bool false ]
+  | Jtype.Prim _ -> [ Value.Int 0 ]
+
+(* One binding set per probe: the all-first-seeds base environment, then
+   each source varied to each of its alternative seeds in turn. *)
+let environments (sources : (string * Jtype.t) list) :
+    (string * Value.t) list list =
+  let base = List.map (fun (k, ty) -> (k, List.hd (seeds ty))) sources in
+  let variants =
+    List.concat_map
+      (fun (k, ty) ->
+        List.filter_map
+          (fun s ->
+            let env =
+              List.map (fun (k', v) -> if k' = k then (k', s) else (k', v)) base
+            in
+            if env = base then None else Some env)
+          (List.tl (seeds ty)))
+      sources
+  in
+  base :: variants
+
+let answer_of_outcome = function
+  | Evaluator.Fuel_exhausted -> Unknown
+  | Evaluator.Done v ->
+      if Value.is_opaque v then Unknown else Output (Value.to_string v)
+
+let partition ~fuel ~stubs (cands : candidate list)
+    (env : (string * Value.t) list) : question =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iteri
+    (fun i c ->
+      let input =
+        match List.assoc_opt c.key env with Some v -> v | None -> Value.Unit
+      in
+      let a = answer_of_outcome (Evaluator.eval ~fuel ~stubs ~input c.jungloid) in
+      (match Hashtbl.find_opt tbl a with
+      | Some members -> Hashtbl.replace tbl a (i :: members)
+      | None ->
+          order := a :: !order;
+          Hashtbl.replace tbl a [ i ]))
+    cands;
+  let groups =
+    List.rev_map
+      (fun a -> { answer = a; members = List.rev (Hashtbl.find tbl a) })
+      !order
+  in
+  (* largest first, first-seen order within equal sizes; the "can't tell"
+     branch always sinks to the end *)
+  let weight g =
+    match g.answer with
+    | Unknown -> -1
+    | Output _ -> List.length g.members
+  in
+  let groups = List.stable_sort (fun a b -> Stdlib.compare (weight b) (weight a)) groups in
+  { env; groups }
+
+let entropy (q : question) : float =
+  let total =
+    float_of_int (List.fold_left (fun n g -> n + List.length g.members) 0 q.groups)
+  in
+  if total = 0.0 then 0.0
+  else
+    List.fold_left
+      (fun h g ->
+        let p = float_of_int (List.length g.members) /. total in
+        h -. (p *. (Float.log p /. Float.log 2.0)))
+      0.0 q.groups
+
+let choose ?(fuel = Evaluator.default_fuel) ?(stubs = Evaluator.default_stubs)
+    (cands : candidate list) : question option =
+  if List.length cands < 2 then None
+  else
+    let sources =
+      List.fold_left
+        (fun acc c ->
+          if List.mem_assoc c.key acc then acc
+          else acc @ [ (c.key, Jungloid.input_type c.jungloid) ])
+        [] cands
+    in
+    let best =
+      List.fold_left
+        (fun best env ->
+          let q = partition ~fuel ~stubs cands env in
+          if List.length q.groups < 2 then best
+          else
+            match best with
+            | Some (_, h) when h >= entropy q -> best
+            | _ -> Some (q, entropy q))
+        None (environments sources)
+    in
+    Option.map fst best

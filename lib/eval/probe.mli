@@ -1,0 +1,52 @@
+(** Probe selection: the "Twenty Questions" engine.
+
+    Given the live candidate jungloids of a refine session, the engine
+    enumerates a small set of candidate inputs (environments binding each
+    input source to a seed value), evaluates every candidate on each
+    environment, and picks the environment whose answer partition has
+    maximum entropy — the best bisection of the candidate set. The chosen
+    question is shown to the user as "on this input, which output do you
+    expect?"; every choice names a {e non-empty} branch because branches
+    are built from the candidates that actually produced that answer.
+
+    Candidates that evaluate to {!Value.Opaque} (or run out of fuel) fold
+    into a single "can't tell" branch. If no environment splits the
+    candidates — e.g. every candidate is opaque on every probe — {!choose}
+    returns [None] and the caller falls back to rank order. *)
+
+type candidate = {
+  key : string;
+      (** name of the input source this candidate consumes: the query
+          variable for assist-shaped sessions, ["input"] for plain
+          queries, ["()"] for zero-input jungloids *)
+  jungloid : Prospector.Jungloid.t;
+}
+
+type answer =
+  | Output of string  (** a rendered {!Value.t} the user could observe *)
+  | Unknown  (** opaque or fuel-exhausted — "can't tell from this input" *)
+
+type group = {
+  answer : answer;
+  members : int list;  (** indices into the candidate list; never empty *)
+}
+
+type question = {
+  env : (string * Value.t) list;  (** the probe input, one binding per source *)
+  groups : group list;  (** the partition, largest first *)
+}
+
+val seeds : Javamodel.Jtype.t -> Value.t list
+(** Deterministic seed inputs per type: a few strings for
+    [java.lang.String], a provenance object per reference type, [Unit]
+    for [void]. Never empty. *)
+
+val entropy : question -> float
+(** Shannon entropy of the partition, in bits. *)
+
+val choose :
+  ?fuel:int -> ?stubs:Evaluator.stubs -> candidate list -> question option
+(** The highest-entropy question over the enumerated environments, or
+    [None] when no environment yields at least two branches (including on
+    singleton or empty candidate lists). Deterministic: ties keep the
+    earliest environment. *)

@@ -1,0 +1,79 @@
+module Jtype = Javamodel.Jtype
+module Jungloid = Prospector.Jungloid
+module Query = Prospector.Query
+
+type candidate = { source : string option; result : Query.result }
+
+type t = {
+  all : candidate array;  (* rank order, immutable *)
+  live : int list;  (* indices into [all], rank order *)
+  pending : Probe.question option;
+  history : (Probe.question * int) list;  (* newest last *)
+  fuel : int;
+  stubs : Evaluator.stubs;
+}
+
+let key_of (c : candidate) =
+  match c.source with
+  | Some v -> v
+  | None -> (
+      match Jungloid.input_type c.result.Query.jungloid with
+      | Jtype.Void -> "()"
+      | _ -> "input")
+
+let probe_candidates all live =
+  List.map
+    (fun i ->
+      let c = all.(i) in
+      { Probe.key = key_of c; jungloid = c.result.Query.jungloid })
+    live
+
+let start ?(fuel = Evaluator.default_fuel) ?(stubs = Evaluator.default_stubs)
+    (cands : candidate list) : t =
+  if cands = [] then invalid_arg "Session.start: empty candidate list";
+  let all = Array.of_list cands in
+  let live = List.init (Array.length all) Fun.id in
+  let pending =
+    if Array.length all < 2 then None
+    else Probe.choose ~fuel ~stubs (probe_candidates all live)
+  in
+  { all; live; pending; history = []; fuel; stubs }
+
+let candidates t = Array.to_list t.all
+
+let live t = List.map (fun i -> t.all.(i)) t.live
+
+let question t = t.pending
+
+let answer t ~choice =
+  match t.pending with
+  | None -> Error `No_question
+  | Some q -> (
+      match List.nth_opt q.Probe.groups choice with
+      | None -> Error `Bad_choice
+      | Some g ->
+          (* group members index the probe's candidate list, which was
+             built from [t.live] in order — map back to [all] indices *)
+          let live_arr = Array.of_list t.live in
+          let live = List.map (fun i -> live_arr.(i)) g.Probe.members in
+          let pending =
+            if List.length live < 2 then None
+            else
+              Probe.choose ~fuel:t.fuel ~stubs:t.stubs
+                (probe_candidates t.all live)
+          in
+          Ok { t with live; pending; history = t.history @ [ (q, choice) ] })
+
+let converged t = Option.is_none t.pending
+
+let best t =
+  match t.live with
+  | i :: _ -> t.all.(i)
+  | [] -> assert false (* live never empty: groups are non-empty *)
+
+let best_rank t =
+  match t.live with i :: _ -> i | [] -> assert false
+
+let questions_asked t = List.length t.history
+
+let history t = t.history

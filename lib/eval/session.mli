@@ -1,0 +1,54 @@
+(** Pure refine-session state: a candidate set narrowed by probe answers.
+
+    A session starts from the ranked top-k results of a query (or the
+    pooled suggestions of an assist context), asks the question {!Probe}
+    selects, and on each answer keeps exactly the candidates in the chosen
+    branch. Rank order is preserved throughout, so {!best} is always "the
+    result the user would have picked manually" restricted to the live
+    set; when the session converges — one candidate left, or no probe can
+    split the survivors — {!best} {e is} the answer, and on the
+    all-opaque fallback it degrades to the existing rank-1.
+
+    The state is immutable and contains no clocks or locks; TTL and
+    concurrency live in the server's session table, which is why this
+    module stays testable in isolation. *)
+
+type candidate = {
+  source : string option;
+      (** assist query variable this candidate consumes; [None] for
+          plain [tin -> tout] queries *)
+  result : Prospector.Query.result;
+}
+
+type t
+
+val start : ?fuel:int -> ?stubs:Evaluator.stubs -> candidate list -> t
+(** @raise Invalid_argument on an empty candidate list. *)
+
+val candidates : t -> candidate list
+(** The original candidate set, rank order. *)
+
+val live : t -> candidate list
+(** Candidates still compatible with every answer so far, rank order. *)
+
+val question : t -> Probe.question option
+(** The pending question; [None] iff the session has converged. *)
+
+val answer : t -> choice:int -> (t, [ `No_question | `Bad_choice ]) result
+(** Commit the user's choice (an index into the pending question's
+    groups). The live set strictly shrinks, so a session over [k]
+    candidates converges within [k - 1] answers. *)
+
+val converged : t -> bool
+
+val best : t -> candidate
+(** Highest-ranked live candidate. *)
+
+val best_rank : t -> int
+(** 0-based rank of {!best} in the {e original} candidate list, so a
+    converged reply can say "this was result #3 of the ranked list". *)
+
+val questions_asked : t -> int
+
+val history : t -> (Probe.question * int) list
+(** Committed (question, choice) pairs, oldest first. *)

@@ -1,0 +1,52 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Obj of { cls : string; parts : t list }
+  | Opaque of string
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Str a, Str b -> String.equal a b
+  | Obj a, Obj b ->
+      String.equal a.cls b.cls
+      && List.length a.parts = List.length b.parts
+      && List.for_all2 equal a.parts b.parts
+  | Opaque a, Opaque b -> String.equal a b
+  | (Unit | Bool _ | Int _ | Str _ | Obj _ | Opaque _), _ -> false
+
+let tag = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Str _ -> 3
+  | Obj _ -> 4
+  | Opaque _ -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bool a, Bool b -> Stdlib.compare a b
+  | Int a, Int b -> Stdlib.compare a b
+  | Str a, Str b -> String.compare a b
+  | Obj a, Obj b -> (
+      match String.compare a.cls b.cls with
+      | 0 -> List.compare compare a.parts b.parts
+      | c -> c)
+  | Opaque a, Opaque b -> String.compare a b
+  | a, b -> Stdlib.compare (tag a) (tag b)
+
+let is_opaque = function Opaque _ -> true | _ -> false
+
+let rec to_string = function
+  | Unit -> "()"
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Str s -> "\"" ^ String.escaped s ^ "\""
+  | Obj { cls; parts } ->
+      cls ^ "(" ^ String.concat ", " (List.map to_string parts) ^ ")"
+  | Opaque ty -> "<" ^ ty ^ ">"

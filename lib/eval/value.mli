@@ -1,0 +1,34 @@
+(** The modeled value domain of the jungloid evaluator.
+
+    Small on purpose: the evaluator only has to tell candidate jungloids
+    {e apart}, not faithfully execute Java. Concrete scalars cover the
+    string/number/boolean surface of the bundled model; every other object
+    is an {!Obj} — a class name plus the values it was built from — so a
+    chain like [new BufferedReader(new InputStreamReader(x))] evaluates to
+    a provenance term that differs from [new LineNumberReader(...)]'s even
+    though neither is a real reader. {!Opaque} marks the output of an API
+    element the evaluator has no model for; it absorbs every later
+    operation (see {!Evaluator}). *)
+
+type t =
+  | Unit  (** the [void] input of zero-input jungloids *)
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Obj of {
+      cls : string;  (** simple class name, e.g. ["BufferedReader"] *)
+      parts : t list;  (** the values it was constructed from *)
+    }
+  | Opaque of string  (** unmodeled; the payload names the type that went dark *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val is_opaque : t -> bool
+
+val to_string : t -> string
+(** Deterministic rendering used as the partition label of a probe answer:
+    ["\"a.java\""], ["42"], ["BufferedReader(InputStreamReader(...))"].
+    Opaque values render as ["<T>"] but are never shown as a choice — the
+    probe engine folds them into one "unknown" branch. *)

@@ -24,11 +24,17 @@ type per_op = {
 type t = {
   mutex : Mutex.t;
   table : (string, per_op) Hashtbl.t;
+  gauge_table : (string, int) Hashtbl.t;
   started_at : float;
 }
 
 let create () =
-  { mutex = Mutex.create (); table = Hashtbl.create 8; started_at = Unix.gettimeofday () }
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 8;
+    gauge_table = Hashtbl.create 4;
+    started_at = Unix.gettimeofday ();
+  }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -91,6 +97,17 @@ let stats_of (p : per_op) =
     p99_ms = percentile p 0.99;
   }
 
+let set_gauge t name v =
+  with_lock t (fun () -> Hashtbl.replace t.gauge_table name v)
+
+let gauges t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.gauge_table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let gauges_json t =
+  Proto.Obj (List.map (fun (name, v) -> (name, Proto.Int v)) (gauges t))
+
 let ops t =
   with_lock t (fun () ->
       Hashtbl.fold (fun op p acc -> (op, stats_of p) :: acc) t.table []
@@ -131,4 +148,8 @@ let render t =
            "  %-10s %6d req  %4d err  mean %8.3f ms  p50 %8.3f  p95 %8.3f  p99 %8.3f  max %8.3f\n"
            op s.count s.errors s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms))
     (ops t);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "  gauge %s = %d\n" name v))
+    (gauges t);
   Buffer.contents buf

@@ -32,6 +32,18 @@ type op_stats = {
 val ops : t -> (string * op_stats) list
 (** Snapshot, sorted by op name. *)
 
+val set_gauge : t -> string -> int -> unit
+(** Point-in-time level, e.g. [set_gauge t "refine_sessions" 3]. Unlike a
+    latency sample a gauge overwrites; it reports the current level, not a
+    history. *)
+
+val gauges : t -> (string * int) list
+(** Snapshot, sorted by gauge name; empty until a gauge is first set, so
+    servers that never see a refine op keep their old output. *)
+
+val gauges_json : t -> Proto.json
+(** [{"refine_sessions": 0, ...}]. *)
+
 val total_requests : t -> int
 
 val uptime_s : t -> float

@@ -334,6 +334,19 @@ type request =
       protocol : string option;
     }
   | Lint of { tin : string; tout : string }
+  | Refine_start of {
+      tin : string option;
+      tout : string;
+      vars : (string * string) list;
+      max_results : int option;
+      slack : int option;
+      strategy : string option;
+      ranking : string option;
+      protocol : string option;
+    }
+  | Refine_answer of { session : string; choice : int }
+  | Refine_status of { session : string }
+  | Refine_stop of { session : string }
   | Stats
   | Health
   | Shutdown
@@ -436,6 +449,43 @@ let request_of_json j =
             let* tin = field_string j "tin" in
             let* tout = field_string j "tout" in
             Ok (Lint { tin; tout })
+        | "refine_start" ->
+            let* tin = field_string_opt j "tin" in
+            let* tout = field_string j "tout" in
+            let* vars =
+              match member "vars" j with
+              | Some (Arr vs) -> map_m parse_var vs
+              | Some Null | None -> Ok []
+              | Some _ -> Error "field \"vars\" must be an array"
+            in
+            let* () =
+              if tin <> None && vars <> [] then
+                Error "refine_start takes either \"tin\" or \"vars\", not both"
+              else Ok ()
+            in
+            let* max_results = field_int_opt j "max_results" in
+            let* slack = field_int_opt j "slack" in
+            let* strategy = field_string_opt j "strategy" in
+            let* ranking = field_string_opt j "ranking" in
+            let* protocol = field_string_opt j "protocol" in
+            Ok
+              (Refine_start
+                 { tin; tout; vars; max_results; slack; strategy; ranking; protocol })
+        | "refine_answer" ->
+            let* session = field_string j "session" in
+            let* choice =
+              match member "choice" j with
+              | Some (Int i) when i >= 0 -> Ok i
+              | Some _ -> Error "field \"choice\" must be a non-negative integer"
+              | None -> Error "missing field \"choice\""
+            in
+            Ok (Refine_answer { session; choice })
+        | "refine_status" ->
+            let* session = field_string j "session" in
+            Ok (Refine_status { session })
+        | "refine_stop" ->
+            let* session = field_string j "session" in
+            Ok (Refine_stop { session })
         | "stats" -> Ok Stats
         | "health" -> Ok Health
         | "shutdown" -> Ok Shutdown
@@ -487,6 +537,35 @@ let envelope_to_json { id; req } =
         @ opt_s "protocol" protocol
     | Lint { tin; tout } ->
         [ ("op", Str "lint"); ("tin", Str tin); ("tout", Str tout) ]
+    | Refine_start { tin; tout; vars; max_results; slack; strategy; ranking; protocol }
+      ->
+        [ ("op", Str "refine_start") ]
+        @ opt_s "tin" tin
+        @ [ ("tout", Str tout) ]
+        @ (match vars with
+          | [] -> []
+          | vs ->
+              [
+                ( "vars",
+                  Arr
+                    (List.map
+                       (fun (name, ty) ->
+                         Obj [ ("name", Str name); ("type", Str ty) ])
+                       vs) );
+              ])
+        @ opt "max_results" max_results @ opt "slack" slack
+        @ opt_s "strategy" strategy @ opt_s "ranking" ranking
+        @ opt_s "protocol" protocol
+    | Refine_answer { session; choice } ->
+        [
+          ("op", Str "refine_answer");
+          ("session", Str session);
+          ("choice", Int choice);
+        ]
+    | Refine_status { session } ->
+        [ ("op", Str "refine_status"); ("session", Str session) ]
+    | Refine_stop { session } ->
+        [ ("op", Str "refine_stop"); ("session", Str session) ]
     | Stats -> [ ("op", Str "stats") ]
     | Health -> [ ("op", Str "health") ]
     | Shutdown -> [ ("op", Str "shutdown") ]
@@ -501,6 +580,7 @@ type error_code =
   | Too_large
   | Busy
   | Timeout
+  | Session_expired
   | Shutting_down
   | Internal
 
@@ -510,6 +590,7 @@ let error_code_string = function
   | Too_large -> "too_large"
   | Busy -> "busy"
   | Timeout -> "timeout"
+  | Session_expired -> "session_expired"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 

@@ -18,10 +18,21 @@
       {"op": "batch",    "id"?: J, "queries": [{"tin": S, "tout": S}...],
        "max_results"?: I, "slack"?: I}
       {"op": "lint",     "id"?: J, "tin": S, "tout": S}
+      {"op": "refine_start",  "id"?: J, "tout": S,
+       "tin"?: S | "vars"?: [{"name": S, "type": S}...],
+       "max_results"?: I, "slack"?: I, "strategy"?: S, "ranking"?: S,
+       "protocol"?: S}
+      {"op": "refine_answer", "id"?: J, "session": S, "choice": I}
+      {"op": "refine_status", "id"?: J, "session": S}
+      {"op": "refine_stop",   "id"?: J, "session": S}
       {"op": "stats",    "id"?: J}
       {"op": "health",   "id"?: J}
       {"op": "shutdown", "id"?: J}
     v}
+    [refine_start] opens a stateful disambiguation session over the
+    query's (or assist context's) ranked candidates; the reply carries a
+    session id for the follow-up ops. A [tin] makes it query-shaped, [vars]
+    make it assist-shaped (passing both is a [bad_request]).
     Responses echo ["id"] verbatim and carry ["ok": true] plus op-specific
     payload, or ["ok": false] with an ["error": {"code", "message"}]
     object. *)
@@ -96,6 +107,22 @@ type request =
       protocol : string option;
     }
   | Lint of { tin : string; tout : string }
+  | Refine_start of {
+      tin : string option;  (** query-shaped when present *)
+      tout : string;
+      vars : (string * string) list;  (** assist-shaped when non-empty *)
+      max_results : int option;
+      slack : int option;
+      strategy : string option;
+      ranking : string option;
+      protocol : string option;
+    }
+  | Refine_answer of {
+      session : string;
+      choice : int;  (** index into the pending question's choice list *)
+    }
+  | Refine_status of { session : string }
+  | Refine_stop of { session : string }
   | Stats
   | Health
   | Shutdown
@@ -117,6 +144,10 @@ type error_code =
   | Too_large  (** request line over the server's byte limit *)
   | Busy  (** connection limit reached; retry later *)
   | Timeout  (** the per-request deadline elapsed *)
+  | Session_expired
+      (** the refine session id is unknown — evicted by TTL, stopped, or
+          never issued. Distinct from [Bad_request] so clients can restart
+          the session instead of fixing the request. *)
   | Shutting_down
   | Internal  (** engine raised; message carries the details *)
 

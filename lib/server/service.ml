@@ -46,6 +46,14 @@ type lval =
 
 type local = { lcache : (lkey, lval) Qcache.t }
 
+(* One refine session: the pure {!Prospector_eval.Session} state plus the
+   bookkeeping TTL eviction needs. Mutated only under [sessions_lock]. *)
+type session = {
+  sess_id : string;
+  mutable sess_state : Prospector_eval.Session.t;
+  mutable sess_touched : float;  (* Unix time of the last refine op on it *)
+}
+
 type t = {
   eng : Query.engine;
   snap : snapshot Atomic.t;
@@ -62,6 +70,15 @@ type t = {
   truncated_queries : int Atomic.t;
       (* how many query computations hit [settings.limit]; cache hits of an
          already-truncated result do not re-count *)
+  sessions : (string, session) Hashtbl.t;
+      (* live refine sessions; the one piece of cross-request state. All
+         access goes through [sessions_lock] — session ops are cheap (probe
+         selection over <= max_results candidates) next to query cost, so
+         a plain mutex cannot become the bottleneck the snapshot scheme
+         exists to avoid *)
+  sessions_lock : Mutex.t;
+  session_counter : int Atomic.t;
+  session_ttl_s : float option;  (* [None] = sessions never expire *)
 }
 
 (* Call with [publish] held (or before the service is shared). *)
@@ -73,7 +90,8 @@ let take_snapshot engine =
     s_reach = Query.engine_reach engine;
   }
 
-let create ?(settings = Query.default_settings) ?vet ?deadline_s ~engine () =
+let create ?(settings = Query.default_settings) ?vet ?deadline_s ?session_ttl_s
+    ~engine () =
   (* Warm the hierarchy's lazy memos while we are still single-threaded:
      after this, ranking only reads it. *)
   Hierarchy.warm (Query.engine_hierarchy engine);
@@ -89,6 +107,10 @@ let create ?(settings = Query.default_settings) ?vet ?deadline_s ~engine () =
     deadline_s;
     stop = Atomic.make false;
     truncated_queries = Atomic.make 0;
+    sessions = Hashtbl.create 16;
+    sessions_lock = Mutex.create ();
+    session_counter = Atomic.make 0;
+    session_ttl_s;
   }
 
 let engine t = t.eng
@@ -97,7 +119,39 @@ let metrics t = t.mets
 
 let shutdown_requested t = Atomic.get t.stop
 
-let request_shutdown t = Atomic.set t.stop true
+let with_sessions t f =
+  Mutex.lock t.sessions_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sessions_lock) f
+
+(* Call with [sessions_lock] held. *)
+let publish_session_gauge t =
+  Metrics.set_gauge t.mets "refine_sessions" (Hashtbl.length t.sessions)
+
+let live_sessions t = with_sessions t (fun () -> Hashtbl.length t.sessions)
+
+(* Drop every session whose idle time exceeds the TTL. Run at the top of
+   each refine op, with the lock held. *)
+let sweep_sessions t now =
+  match t.session_ttl_s with
+  | None -> ()
+  | Some ttl ->
+      let dead =
+        Hashtbl.fold
+          (fun id s acc -> if now -. s.sess_touched >= ttl then id :: acc else acc)
+          t.sessions []
+      in
+      List.iter (Hashtbl.remove t.sessions) dead;
+      if dead <> [] then publish_session_gauge t
+
+let request_shutdown t =
+  Atomic.set t.stop true;
+  (* Drain-time cleanup: the sessions die with the server; reject the
+     stragglers with [shutting_down], not [session_expired]. *)
+  with_sessions t (fun () ->
+      if Hashtbl.length t.sessions > 0 then begin
+        Hashtbl.reset t.sessions;
+        publish_session_gauge t
+      end)
 
 let local ?(capacity = 256) t =
   let l = { lcache = Qcache.create ~capacity () } in
@@ -293,6 +347,72 @@ let cache_stats t =
     (fun acc l -> Qcache.merge_stats acc (Qcache.stats l.lcache))
     engine_stats ls
 
+(* ---------- refine sessions ---------- *)
+
+module Esession = Prospector_eval.Session
+module Eprobe = Prospector_eval.Probe
+module Evalue = Prospector_eval.Value
+
+let question_json (q : Eprobe.question) =
+  Proto.Obj
+    [
+      ( "inputs",
+        Proto.Arr
+          (List.map
+             (fun (k, v) ->
+               Proto.Obj
+                 [
+                   ("source", Proto.Str k);
+                   ("value", Proto.Str (Evalue.to_string v));
+                 ])
+             q.Eprobe.env) );
+      ( "choices",
+        Proto.Arr
+          (List.mapi
+             (fun i (g : Eprobe.group) ->
+               Proto.Obj
+                 [
+                   ("choice", Proto.Int i);
+                   ( "output",
+                     match g.Eprobe.answer with
+                     | Eprobe.Output s -> Proto.Str s
+                     | Eprobe.Unknown -> Proto.Null );
+                   ("count", Proto.Int (List.length g.Eprobe.members));
+                 ])
+             q.Eprobe.groups) );
+    ]
+
+(* Rendered exactly like a query result (same fields, original rank), plus
+   the assist source variable when there is one. *)
+let refine_candidate_json rank (c : Esession.candidate) =
+  match (result_json rank c.Esession.result, c.Esession.source) with
+  | Proto.Obj fields, Some v -> Proto.Obj (fields @ [ ("source", Proto.Str v) ])
+  | j, _ -> j
+
+let session_payload sess =
+  let st = sess.sess_state in
+  let base =
+    [
+      ("session", Proto.Str sess.sess_id);
+      ("candidates", Proto.Int (List.length (Esession.candidates st)));
+      ("live", Proto.Int (List.length (Esession.live st)));
+      ("asked", Proto.Int (Esession.questions_asked st));
+      ("converged", Proto.Bool (Esession.converged st));
+    ]
+  in
+  match Esession.question st with
+  | Some q -> base @ [ ("question", question_json q) ]
+  | None ->
+      base @ [ ("result", refine_candidate_json (Esession.best_rank st) (Esession.best st)) ]
+
+let draining_response ~id =
+  Proto.error_response ~id Proto.Shutting_down
+    "server is draining; refine sessions are closed"
+
+let expired_response ~id session =
+  Proto.error_response ~id Proto.Session_expired
+    (Printf.sprintf "unknown or expired session %S" session)
+
 (* ---------- dispatch ---------- *)
 
 let op_name = function
@@ -300,6 +420,10 @@ let op_name = function
   | Proto.Assist _ -> "assist"
   | Proto.Batch _ -> "batch"
   | Proto.Lint _ -> "lint"
+  | Proto.Refine_start _ -> "refine_start"
+  | Proto.Refine_answer _ -> "refine_answer"
+  | Proto.Refine_status _ -> "refine_status"
+  | Proto.Refine_stop _ -> "refine_stop"
   | Proto.Stats -> "stats"
   | Proto.Health -> "health"
   | Proto.Shutdown -> "shutdown"
@@ -432,6 +556,123 @@ let dispatch ?local t ~id req =
           ( "warnings",
             Proto.Int (Analysis.Diagnostic.count Analysis.Diagnostic.Warning ds) );
         ]
+  | Proto.Refine_start
+      { tin; tout; vars; max_results; slack; strategy; ranking; protocol } -> (
+      (* Shutdown check first: during a drain the table has been cleared
+         and must stay empty, so the typed reply is [shutting_down] — never
+         [session_expired], never [internal]. *)
+      if shutdown_requested t then draining_response ~id
+      else
+        match parse_mode ~strategy ~ranking ~protocol with
+        | Error msg -> Proto.error_response ~id Proto.Bad_request msg
+        | Ok (strategy, ranking, protocol) -> (
+            let settings =
+              settings_for t ~max_results ~slack ~strategy ~ranking ~protocol
+            in
+            let snap = current t in
+            let candidates =
+              match tin with
+              | Some tin ->
+                  (* Same producer as the query op (see Query.run_stream):
+                     the session's candidates ARE the query reply's results. *)
+                  let q = Query.query tin tout in
+                  Query.run_stream ~settings ?reach:snap.s_reach
+                    ~frozen:snap.s_frozen
+                    ?edge_cost:(Query.engine_edge_cost t.eng)
+                    ?protocol_check:(Query.engine_protocol_check t.eng)
+                    ~graph:(Query.engine_graph t.eng)
+                    ~hierarchy:(Query.engine_hierarchy t.eng)
+                    q
+                  |> Seq.take settings.Query.max_results
+                  |> List.of_seq
+                  |> List.map (fun r -> { Esession.source = None; result = r })
+              | None ->
+                  let ctx =
+                    {
+                      Prospector.Assist.vars =
+                        List.map
+                          (fun (name, ty) -> (name, Jtype.ref_of_string ty))
+                          vars;
+                      expected = Jtype.ref_of_string tout;
+                    }
+                  in
+                  assist_suggestions t local snap ~settings ctx
+                  |> List.map (fun (s : Prospector.Assist.suggestion) ->
+                         {
+                           Esession.source = s.Prospector.Assist.uses_var;
+                           result = s.Prospector.Assist.result;
+                         })
+            in
+            match candidates with
+            | [] ->
+                (* nothing to disambiguate and nothing worth a session id *)
+                Proto.ok_response ~id ~op:"refine_start"
+                  [
+                    ("session", Proto.Null);
+                    ("candidates", Proto.Int 0);
+                    ("live", Proto.Int 0);
+                    ("asked", Proto.Int 0);
+                    ("converged", Proto.Bool true);
+                  ]
+            | _ ->
+                let now = Unix.gettimeofday () in
+                let sess =
+                  {
+                    sess_id =
+                      Printf.sprintf "r%d"
+                        (Atomic.fetch_and_add t.session_counter 1 + 1);
+                    sess_state = Esession.start candidates;
+                    sess_touched = now;
+                  }
+                in
+                with_sessions t (fun () ->
+                    sweep_sessions t now;
+                    Hashtbl.replace t.sessions sess.sess_id sess;
+                    publish_session_gauge t);
+                Proto.ok_response ~id ~op:"refine_start" (session_payload sess)))
+  | Proto.Refine_answer { session; choice } ->
+      if shutdown_requested t then draining_response ~id
+      else
+        let now = Unix.gettimeofday () in
+        with_sessions t (fun () ->
+            sweep_sessions t now;
+            match Hashtbl.find_opt t.sessions session with
+            | None -> expired_response ~id session
+            | Some sess -> (
+                sess.sess_touched <- now;
+                match Esession.answer sess.sess_state ~choice with
+                | Error `No_question ->
+                    Proto.error_response ~id Proto.Bad_request
+                      "session has already converged; no question is pending"
+                | Error `Bad_choice ->
+                    Proto.error_response ~id Proto.Bad_request
+                      (Printf.sprintf "choice %d is out of range" choice)
+                | Ok st ->
+                    sess.sess_state <- st;
+                    Proto.ok_response ~id ~op:"refine_answer"
+                      (session_payload sess)))
+  | Proto.Refine_status { session } ->
+      if shutdown_requested t then draining_response ~id
+      else
+        (* a status read does not refresh the TTL *)
+        with_sessions t (fun () ->
+            sweep_sessions t (Unix.gettimeofday ());
+            match Hashtbl.find_opt t.sessions session with
+            | None -> expired_response ~id session
+            | Some sess ->
+                Proto.ok_response ~id ~op:"refine_status" (session_payload sess))
+  | Proto.Refine_stop { session } ->
+      if shutdown_requested t then draining_response ~id
+      else
+        with_sessions t (fun () ->
+            sweep_sessions t (Unix.gettimeofday ());
+            match Hashtbl.find_opt t.sessions session with
+            | None -> expired_response ~id session
+            | Some _ ->
+                Hashtbl.remove t.sessions session;
+                publish_session_gauge t;
+                Proto.ok_response ~id ~op:"refine_stop"
+                  [ ("session", Proto.Str session); ("stopped", Proto.Bool true) ])
   | Proto.Stats ->
       let snap = current t in
       let graph_stats = Prospector.Stats.of_frozen snap.s_frozen in
@@ -440,6 +681,7 @@ let dispatch ?local t ~id req =
           ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
           ("requests", Proto.Int (Metrics.total_requests t.mets));
           ("truncated_queries", Proto.Int (Atomic.get t.truncated_queries));
+          ("sessions", Proto.Int (live_sessions t));
           ( "graph",
             Proto.Obj
               [

@@ -31,6 +31,7 @@ val create :
   ?settings:Prospector.Query.settings ->
   ?vet:(Prospector.Jungloid.t -> Analysis.Diagnostic.t list) ->
   ?deadline_s:float ->
+  ?session_ttl_s:float ->
   engine:Prospector.Query.engine ->
   unit ->
   t
@@ -45,6 +46,14 @@ val create :
     against the deadline around the engine call, it does not interrupt a
     running search (OCaml offers no safe preemption); the bound it enforces
     is "no result computed slower than the deadline is ever served".
+
+    [session_ttl_s] bounds how long an idle refine session survives: a
+    session untouched for that many seconds is evicted, and later ops on
+    its id get a typed [session_expired] reply (so clients restart the
+    session rather than debug an [internal]). Omitted = sessions only die
+    on [refine_stop] or drain. Refine sessions are the one piece of
+    cross-request mutable state; they live behind their own mutex and
+    never touch the lock-free snapshot read path.
 
     Creation eagerly warms the hierarchy's lazy memos, freezes the graph,
     and builds the reach index, so the first snapshot is published before
@@ -64,7 +73,12 @@ val shutdown_requested : t -> bool
 
 val request_shutdown : t -> unit
 (** What the [shutdown] op calls; exposed so a signal handler can trigger
-    the same drain. *)
+    the same drain. Also clears the refine-session table: in-flight
+    session ids answer [shutting_down] from then on. *)
+
+val live_sessions : t -> int
+(** Current refine-session count (the [stats] reply's ["sessions"] field
+    and the ["refine_sessions"] metrics gauge). *)
 
 val handle : ?local:local -> t -> Proto.envelope -> Proto.json
 (** Dispatch one parsed request on the current snapshot (republishing it

@@ -169,3 +169,30 @@ let solve_with_tool c ~rng ~skill ~graph ~hierarchy (p : Apidata.Study.t) =
          the invocation. *)
       let fallback = solve_baseline c ~rng ~skill ~graph ~hierarchy p in
       { fallback with minutes = fallback.minutes +. (skill *. c.invoke_minutes) }
+
+(* ---------- probe answering (refine sessions) ---------- *)
+
+module Esession = Prospector_eval.Session
+module Eprobe = Prospector_eval.Probe
+
+let same_result (a : Query.result) (b : Query.result) =
+  String.equal
+    (Prospector.Jungloid.to_expression a.Query.jungloid)
+    (Prospector.Jungloid.to_expression b.Query.jungloid)
+  && String.equal a.Query.code b.Query.code
+
+let answer_probe (st : Esession.t) ~(desired : Query.result) : int option =
+  match Esession.question st with
+  | None -> None
+  | Some q ->
+      let live = Array.of_list (Esession.live st) in
+      let contains (g : Eprobe.group) =
+        List.exists
+          (fun i -> same_result live.(i).Esession.result desired)
+          g.Eprobe.members
+      in
+      let rec find i = function
+        | [] -> Some 0 (* desired is gone: shrug and follow the crowd *)
+        | g :: gs -> if contains g then Some i else find (i + 1) gs
+      in
+      find 0 q.Eprobe.groups

@@ -65,3 +65,22 @@ val solve_baseline :
   hierarchy:Javamodel.Hierarchy.t ->
   Apidata.Study.t ->
   attempt
+
+(** {2 Probe answering}
+
+    The refine-session arm of the simulation: the programmer has the
+    desired solution in mind (operationally: a known result, normally the
+    one they would have picked by reading the ranked list) and answers
+    each probe with the branch whose candidates include it. *)
+
+val same_result : Prospector.Query.result -> Prospector.Query.result -> bool
+(** Identity of ranked results: same expression, same generated code. *)
+
+val answer_probe :
+  Prospector_eval.Session.t ->
+  desired:Prospector.Query.result ->
+  int option
+(** The choice index whose branch contains [desired]; [None] when the
+    session has no pending question (converged). If [desired] is not in
+    any branch — it was eliminated by an earlier inconsistent answer —
+    the programmer picks branch 0 (the largest). *)

@@ -161,3 +161,49 @@ let render_figure8 s =
        s.tool_reuse s.tool_total s.baseline_reuse s.baseline_total s.incorrect_tool
        s.incorrect_baseline);
   Buffer.contents buf
+
+(* ---------- refine-session trials ---------- *)
+
+module Esession = Prospector_eval.Session
+
+type refine_run = {
+  candidates : int;
+  questions : int;
+  to_rank1 : bool;
+  live_at_end : int;
+}
+
+let refine_results (results : Prospector.Query.result list) =
+  match results with
+  | [] -> None
+  | rank1 :: _ ->
+      let cands =
+        List.map (fun r -> { Esession.source = None; result = r }) results
+      in
+      let st = ref (Esession.start cands) in
+      let questions = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Programmer.answer_probe !st ~desired:rank1 with
+        | None -> continue := false
+        | Some choice -> (
+            match Esession.answer !st ~choice with
+            | Ok st' ->
+                incr questions;
+                st := st'
+            | Error _ -> continue := false)
+      done;
+      Some
+        {
+          candidates = List.length results;
+          questions = !questions;
+          to_rank1 = Programmer.same_result (Esession.best !st).Esession.result rank1;
+          live_at_end = List.length (Esession.live !st);
+        }
+
+let refine_table1 ?settings ~graph ~hierarchy () =
+  List.filter_map
+    (fun (p : Apidata.Problems.t) ->
+      let m = Apidata.Problems.run_one ?settings ~graph ~hierarchy p in
+      Option.map (fun r -> (p, r)) (refine_results m.Apidata.Problems.results))
+    Apidata.Problems.all

@@ -55,3 +55,31 @@ val simulate :
 val render_figure8 : summary -> string
 (** A textual Figure 8: per-problem time scatter for both arms with means —
     the series the paper plots. *)
+
+(** {2 Refine-session trials}
+
+    The spec-by-example arm: instead of reading the ranked list, the
+    simulated programmer answers probes ({!Programmer.answer_probe},
+    desired = the rank-1 result they would have picked manually) until the
+    session converges. [to_rank1] must hold on every trial — refine may
+    never change the answer, only shorten the path to it. *)
+
+type refine_run = {
+  candidates : int;  (** k, the ranked candidates the session started from *)
+  questions : int;  (** probes answered before convergence *)
+  to_rank1 : bool;  (** the survivor is the original rank-1 result *)
+  live_at_end : int;
+      (** 1 = fully disambiguated; more = no probe could split the rest
+          (opaque tail) and rank order broke the tie *)
+}
+
+val refine_results : Prospector.Query.result list -> refine_run option
+(** Run one session over a ranked result list; [None] on an empty list. *)
+
+val refine_table1 :
+  ?settings:Prospector.Query.settings ->
+  graph:Prospector.Graph.t ->
+  hierarchy:Javamodel.Hierarchy.t ->
+  unit ->
+  (Apidata.Problems.t * refine_run) list
+(** One refine session per Table 1 problem that returns any results. *)

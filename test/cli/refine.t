@@ -1,0 +1,168 @@
+Spec-by-example disambiguation, locally: --auto answers every probe the way
+the simulated study programmer does (keep the rank-1 result), so the
+transcript is deterministic.
+
+  $ ../../bin/prospector_cli.exe refine --auto java.io.File java.io.BufferedReader
+  10 candidates
+  question 1:
+    given input = File("src/Main.java")
+    which output do you expect?
+      [0] new BufferedReader(new FileReader(File("src/Main.java")))   (1 candidate)
+      [1] new BufferedReader(new FileReader(File("src/Main.java")), <size>)   (1 candidate)
+      [2] new LineNumberReader(new FileReader(File("src/Main.java")))   (1 candidate)
+      [3] new BufferedReader(new StringReader("/src/Main.java"))   (1 candidate)
+      [4] new BufferedReader(new StringReader("/src/Main.java"), <size>)   (1 candidate)
+      [5] new BufferedReader(new StringReader("Main.java"))   (1 candidate)
+      [6] new BufferedReader(new StringReader("Main.java"), <size>)   (1 candidate)
+      [7] new BufferedReader(new StringReader("src/Main.java"))   (1 candidate)
+      [8] new BufferedReader(new StringReader("src/Main.java"), <size>)   (1 candidate)
+      [9] new BufferedReader(new FileReader("/src/Main.java"))   (1 candidate)
+    answer: 0
+  converged after 1 question: result #1 of the ranked list
+  λx. new BufferedReader(new FileReader(x)) : File -> BufferedReader
+    FileReader fileReader = new FileReader(file);
+    BufferedReader bufferedReader = new BufferedReader(fileReader);
+
+The assist-shaped session pools candidates from every visible variable:
+
+  $ ../../bin/prospector_cli.exe refine --auto org.eclipse.swt.widgets.Shell --var d:org.eclipse.swt.widgets.Display
+  9 candidates
+  question 1:
+    given () = ()
+    given d = Display("src/Main.java")
+    which output do you expect?
+      [0] Shell(Display())   (2 candidates)
+      [1] new Shell(Display())   (2 candidates)
+      [2] Shell()   (1 candidate)
+      [3] new Shell(Display("src/Main.java"))   (1 candidate)
+      [4] Shell(Display("src/Main.java"))   (1 candidate)
+      [5] Shell(new Display())   (1 candidate)
+      [6] new Shell(new Display())   (1 candidate)
+    answer: 2
+  converged after 1 question: result #1 of the ranked list
+  λ(). JDIDebugUIPlugin.getActiveWorkbenchShell() : void -> Shell
+    Shell shell = JDIDebugUIPlugin.getActiveWorkbenchShell();
+
+Interactive answers come from stdin: a wrong number re-asks, and when no
+probe can split the survivors, rank order decides:
+
+  $ printf '99\n0\n' | ../../bin/prospector_cli.exe refine java.io.File java.io.FileReader
+  8 candidates
+  question 1:
+    given input = File("src/Main.java")
+    which output do you expect?
+      [0] new FileReader("File(\"src/Main.java\")")   (2 candidates)
+      [1] new FileReader(File("src/Main.java"))   (1 candidate)
+      [2] new FileReader("/src/Main.java")   (1 candidate)
+      [3] new FileReader("Main.java")   (1 candidate)
+      [4] new FileReader("src/Main.java")   (1 candidate)
+      [5] new FileReader(String(<parentComponent>, File("src/Main.java")))   (1 candidate)
+      [6] (can't tell)   (1 candidate)
+    answer [0-6]:   choice 99 is out of range
+  question 1:
+    given input = File("src/Main.java")
+    which output do you expect?
+      [0] new FileReader("File(\"src/Main.java\")")   (2 candidates)
+      [1] new FileReader(File("src/Main.java"))   (1 candidate)
+      [2] new FileReader("/src/Main.java")   (1 candidate)
+      [3] new FileReader("Main.java")   (1 candidate)
+      [4] new FileReader("src/Main.java")   (1 candidate)
+      [5] new FileReader(String(<parentComponent>, File("src/Main.java")))   (1 candidate)
+      [6] (can't tell)   (1 candidate)
+    answer [0-6]: no probe can split the remaining 2 candidates; rank order decides: result #5
+  λx. new FileReader(String.valueOf(x)) : File -> FileReader
+    String string = String.valueOf(file);
+    FileReader fileReader = new FileReader(string);
+
+The same session over the wire. Start a daemon:
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port >server.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+
+refine-start returns the session id and the first question:
+
+  $ ../../bin/prospector_cli.exe client --port-file port refine-start java.io.File java.io.BufferedReader
+  session r1: 10 candidate(s), 10 live, 0 question(s) answered
+  given input = File("src/Main.java")
+  which output do you expect?
+    [0] new BufferedReader(new FileReader(File("src/Main.java")))   (1 candidate)
+    [1] new BufferedReader(new FileReader(File("src/Main.java")), <size>)   (1 candidate)
+    [2] new LineNumberReader(new FileReader(File("src/Main.java")))   (1 candidate)
+    [3] new BufferedReader(new StringReader("/src/Main.java"))   (1 candidate)
+    [4] new BufferedReader(new StringReader("/src/Main.java"), <size>)   (1 candidate)
+    [5] new BufferedReader(new StringReader("Main.java"))   (1 candidate)
+    [6] new BufferedReader(new StringReader("Main.java"), <size>)   (1 candidate)
+    [7] new BufferedReader(new StringReader("src/Main.java"))   (1 candidate)
+    [8] new BufferedReader(new StringReader("src/Main.java"), <size>)   (1 candidate)
+    [9] new BufferedReader(new FileReader("/src/Main.java"))   (1 candidate)
+
+A live session shows up in stats:
+
+  $ ../../bin/prospector_cli.exe client --port-file port stats | grep sessions
+  sessions: 1
+
+Answering the branch that keeps rank-1 converges immediately; the reply
+carries the surviving result:
+
+  $ ../../bin/prospector_cli.exe client --port-file port refine-answer r1 0
+  session r1: 10 candidate(s), 1 live, 1 question(s) answered
+  converged: result #1
+  λx. new BufferedReader(new FileReader(x)) : File -> BufferedReader
+    FileReader fileReader = new FileReader(file);
+    BufferedReader bufferedReader = new BufferedReader(fileReader);
+
+refine-status echoes the converged state without advancing anything:
+
+  $ ../../bin/prospector_cli.exe client --port-file port refine-status r1
+  session r1: 10 candidate(s), 1 live, 1 question(s) answered
+  converged: result #1
+  λx. new BufferedReader(new FileReader(x)) : File -> BufferedReader
+    FileReader fileReader = new FileReader(file);
+    BufferedReader bufferedReader = new BufferedReader(fileReader);
+
+Answering a converged session is a typed bad_request, not an internal error:
+
+  $ ../../bin/prospector_cli.exe client --port-file port refine-answer r1 42
+  error[bad_request]: session has already converged; no question is pending
+  [1]
+
+refine-stop frees the slot; later ops on the id get session_expired:
+
+  $ ../../bin/prospector_cli.exe client --port-file port refine-stop r1
+  stopped r1
+  $ ../../bin/prospector_cli.exe client --port-file port refine-status r1
+  error[session_expired]: unknown or expired session "r1"
+  [1]
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+
+TTL eviction: with --session-ttl 0 a session is already idle-expired by the
+time the next op sweeps the table:
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port2 --session-ttl 0 >server2.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port2 ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port2 refine-start java.io.File java.io.BufferedReader | head -1
+  session r1: 10 candidate(s), 10 live, 0 question(s) answered
+  $ ../../bin/prospector_cli.exe client --port-file port2 refine-answer r1 0
+  error[session_expired]: unknown or expired session "r1"
+  [1]
+  $ ../../bin/prospector_cli.exe client --port-file port2 shutdown
+  draining
+  $ wait $SRV
+
+Drain beats sessions: a SIGINT between two stdio requests turns the second
+into a typed shutting_down reply, never an internal error. The first request
+opens a session, the sleep gives the signal time to land mid-stream:
+
+  $ { printf '{"op":"refine_start","tin":"java.io.File","tout":"java.io.BufferedReader"}\n'; sleep 4; printf '{"op":"refine_answer","session":"r1","choice":0}\n'; } | ../../bin/prospector_cli.exe serve --stdio --no-mining >stdio.out 2>/dev/null &
+  $ SRV=$!
+  $ i=0; while [ "$(wc -l <stdio.out)" -lt 1 ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ kill -INT $SRV
+  $ wait $SRV
+  $ grep -c '"session": "r1"' stdio.out
+  1
+  $ tail -1 stdio.out
+  {"id": null, "ok": false, "error": {"code": "shutting_down", "message": "server is draining; refine sessions are closed"}}
