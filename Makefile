@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-refine bench-proto clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-refine bench-proto bench-scale clean
 
 all: build
 
@@ -56,7 +56,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-refine bench-proto fmt
+check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-refine bench-proto bench-scale fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -109,6 +109,16 @@ bench-refine: build
 # the protocol-checking gate inside `make check`.
 bench-proto: build
 	dune exec bench/main.exe -- proto
+
+# Regenerates BENCH_scale.json (mega-world generation, CSR kernel vs list
+# search, package-cone sharded batch vs the sequential oracle, and mmap
+# warm-start vs full-deserialize times, at 10k/100k methods by default —
+# BENCH_SCALE_SIZES=10000,100000,1000000 adds the million-method row).
+# The section exits nonzero on any shard/mmap identity divergence or a CSR
+# kernel slowdown at >= 100k methods, so this is the scale gate inside
+# `make check`.
+bench-scale: build
+	dune exec bench/main.exe -- --section scale
 
 clean:
 	dune clean

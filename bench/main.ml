@@ -200,6 +200,34 @@ let write_file path contents =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Every BENCH_*.json is stamped with the size of the model it measured
+   (total methods) and the commit, so archived numbers stay traceable when
+   quoted outside the repo. *)
+let commit_id =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let hier_methods h =
+  Javamodel.Hierarchy.fold h ~init:0 ~f:(fun n d ->
+      n + List.length d.Javamodel.Decl.methods)
+
+let write_bench ~model_methods path json =
+  let stamp =
+    Printf.sprintf "\n  \"model_methods\": %d,\n  \"commit\": %S," model_methods
+      (Lazy.force commit_id)
+  in
+  let i = String.index json '{' in
+  write_file path
+    (String.sub json 0 (i + 1)
+    ^ stamp
+    ^ String.sub json (i + 1) (String.length json - i - 1))
+
 let section_figures () =
   rule "Figures 1, 3, 6 — graph excerpts (DOT)";
   let hierarchy = Apidata.Api.hierarchy () in
@@ -577,7 +605,7 @@ let section_cache () =
       spruned_t (sbase_t /. spruned_t) sbuild_t savg_cone (List.length miss_qs)
       mbase_t mpruned_t (mbase_t /. mpruned_t)
   in
-  write_file "BENCH_cache.json" json
+  write_bench ~model_methods:(hier_methods hierarchy) "BENCH_cache.json" json
 
 (* ------------------------------------------------------------------ *)
 (* Analyzer: verifier overhead and lint pass timings                   *)
@@ -675,7 +703,7 @@ let section_analysis () =
       (1e6 *. gencheck_t /. float_of_int (max 1 nchains))
       apilint_t (List.length api_ds) corpuslint_t (List.length corpus_ds)
   in
-  write_file "BENCH_analysis.json" json
+  write_bench ~model_methods:(hier_methods hierarchy) "BENCH_analysis.json" json
 
 (* ------------------------------------------------------------------ *)
 (* Server: warm-daemon throughput vs one-shot CLI cost                 *)
@@ -808,7 +836,7 @@ let section_server () =
       oneshot_t (Array.length lines) requests seq_t seq_rps seq_p50 seq_p95
       n_clients conc_n conc_t conc_rps conc_p50 conc_p95 speedup
   in
-  write_file "BENCH_server.json" json
+  write_bench ~model_methods:(hier_methods (Apidata.Api.hierarchy ())) "BENCH_server.json" json
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel engine: CSR snapshots and multicore fan-out         *)
@@ -920,7 +948,7 @@ let section_parallel () =
       b1_t b2_t b4_t (b1_t /. b4_t) batch_identical m1_t m4_t (m1_t /. m4_t)
       mining_identical
   in
-  write_file "BENCH_parallel.json" json
+  write_bench ~model_methods:(hier_methods h) "BENCH_parallel.json" json
 
 
 (* ------------------------------------------------------------------ *)
@@ -990,7 +1018,7 @@ let section_topk () =
             rows))
       !all_identical
   in
-  write_file "BENCH_topk.json" json;
+  write_bench ~model_methods:(hier_methods h) "BENCH_topk.json" json;
   if not !all_identical then begin
     prerr_endline
       "error: best-first results diverged from the exhaustive oracle";
@@ -1130,7 +1158,7 @@ let section_refine () =
       (ms (pct 0.50)) (ms (pct 0.95))
       (not !failed)
   in
-  write_file "BENCH_refine.json" json;
+  write_bench ~model_methods:(hier_methods hierarchy) "BENCH_refine.json" json;
   if !failed then begin
     prerr_endline
       "error: a refine session changed the answer or overran ceil(log2 k) + \
@@ -1316,7 +1344,7 @@ let section_rank () =
             rows))
       tg_p tg_m (List.length covered) !identical
   in
-  write_file "BENCH_rank.json" json;
+  write_bench ~model_methods:(hier_methods hierarchy) "BENCH_rank.json" json;
   if not !identical then begin
     prerr_endline
       "error: best-first results diverged from the exhaustive oracle under \
@@ -1457,7 +1485,7 @@ let section_proto () =
       (List.length flagged)
       !identical
   in
-  write_file "BENCH_proto.json" json;
+  write_bench ~model_methods:(hier_methods hierarchy) "BENCH_proto.json" json;
   if flagged <> [] then begin
     List.iter
       (fun d -> prerr_endline (Analysis.Diagnostic.to_string d))
@@ -1538,6 +1566,223 @@ let section_micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Million-method scale: mega worlds, shards, mmap warm starts         *)
+(* ------------------------------------------------------------------ *)
+
+(* Gates `make check` at reduced sizes (10k/100k): a shard or mmap identity
+   divergence, or a CSR slowdown at >= 100k methods, exits nonzero. The
+   full million-method row is opt-in:
+
+     BENCH_SCALE_SIZES=10000,100000,1000000 dune exec bench/main.exe -- scale
+
+   Above 200k methods the engine runs unpruned — the reach index is the one
+   structure whose memory grows faster than the graph — so the shard path
+   (which routes through reach) falls back to the whole snapshot there; the
+   identity checks still run. *)
+let section_scale () =
+  rule "Million-method scale — mega worlds, shards, mmap warm starts";
+  let sizes =
+    match Sys.getenv_opt "BENCH_SCALE_SIZES" with
+    | None -> [ 10_000; 100_000 ]
+    | Some s ->
+        List.filter_map int_of_string_opt
+          (String.split_on_char ',' (String.trim s))
+  in
+  let failed = ref false in
+  let measure methods =
+    Printf.printf "\n%d methods:\n%!" methods;
+    let gen_t, h = time_of (fun () -> Corpusgen.Workload.mega_api ~methods) in
+    let build_t, g = time_of (fun () -> Sig_graph.build h) in
+    let freeze_t, frozen = time_of (fun () -> Prospector.Graph.freeze g) in
+    let nodes = frozen.Prospector.Graph.f_nodes
+    and edges = frozen.Prospector.Graph.f_edges in
+    Printf.printf
+      "  world: %d nodes, %d edges (gen %.2f s, build %.2f s, freeze %.3f s)\n\
+       %!"
+      nodes edges gen_t build_t freeze_t;
+    let reach_t, reach =
+      time_of (fun () -> Prospector.Reach.build_frozen frozen)
+    in
+    (* Solvable pairs sampled in O(1) per probe via the reach index — the
+       rejection sampling in [Workload.random_queries] pays a full search
+       per probe, which does not survive contact with a million-method
+       graph. *)
+    let qs =
+      let rng = Corpusgen.Rng.create ~seed:31 in
+      let real =
+        Array.of_list
+          (List.filter_map
+             (fun (ty, node) ->
+               match ty with
+               | Javamodel.Jtype.Ref _ -> Some (ty, node)
+               | _ -> None)
+             (Prospector.Graph.real_nodes g))
+      in
+      let n = Array.length real in
+      let acc = ref [] and got = ref 0 and tries = ref 0 in
+      while !got < 20 && !tries < 200_000 do
+        incr tries;
+        let ti, si = real.(Corpusgen.Rng.int rng n) in
+        let to_, di = real.(Corpusgen.Rng.int rng n) in
+        if si <> di && Prospector.Reach.mem reach ~src:si ~target:di then begin
+          acc := ({ Query.tin = ti; tout = to_ }, (si, di)) :: !acc;
+          incr got
+        end
+      done;
+      List.rev !acc
+    in
+    let pairs = List.map snd qs in
+    let qs = List.map fst qs in
+    let nq = List.length qs in
+    Printf.printf "  reach index: %.2f s; %d solvable queries sampled\n%!"
+      reach_t nq;
+    (* The flat CSR kernels vs the adjacency-list interpreter: the per-query
+       search kernels (backward 0-1 BFS to the target, forward BFS from the
+       source), repeated until the measurement is search-bound. End-to-end
+       latency is enumeration-bound — the arena explores the same path set
+       either way — so it is reported separately below and only checked for
+       identity; the kernel ratio is what the flat lanes buy. *)
+    let module S = Prospector.Search in
+    let passes = max 2 (4_000_000 / ((edges * nq) + 1)) in
+    let kern_list_t, _ =
+      time_of (fun () ->
+          for _ = 1 to passes do
+            List.iter
+              (fun (si, di) ->
+                ignore (S.distances_to g ~target:di : int array);
+                ignore (S.distances_from g ~sources:[ si ] : int array))
+              pairs
+          done)
+    in
+    let scratch = S.Scratch.create () in
+    let kern_csr_t, _ =
+      time_of (fun () ->
+          for _ = 1 to passes do
+            List.iter
+              (fun (si, di) ->
+                S.Scratch.with_frame scratch (fun () ->
+                    ignore (S.Csr.distances_to ~scratch frozen ~target:di
+                        : S.Dist.t);
+                    ignore
+                      (S.Csr.distances_from ~scratch frozen ~sources:[ si ]
+                        : S.Dist.t)))
+              pairs
+          done)
+    in
+    let csr_speedup = kern_list_t /. kern_csr_t in
+    Printf.printf
+      "  search kernels (%d passes): csr %.3f s vs list %.3f s — %.2fx\n%!"
+      passes kern_csr_t kern_list_t csr_speedup;
+    if methods >= 100_000 && csr_speedup < 1.0 then failed := true;
+    let list_t, list_rs =
+      time_of (fun () ->
+          List.map (fun q -> Query.run ~graph:g ~hierarchy:h q) qs)
+    in
+    let csr_t, csr_rs =
+      time_of (fun () -> List.map (fun q -> Query.run ~frozen ~hierarchy:h q) qs)
+    in
+    let csr_identical = list_rs = csr_rs in
+    Printf.printf
+      "  end-to-end: csr %.3f s vs list %.3f s (%.2fx), identical %b\n%!"
+      csr_t list_t (list_t /. csr_t) csr_identical;
+    if not csr_identical then failed := true;
+    (* Package-cone sharding: batch fan-out vs the sequential whole-snapshot
+       oracle, byte for byte. *)
+    let prune = methods <= 200_000 in
+    let engine = Query.engine_of_frozen ~prune ~reach ~frozen ~hierarchy:h () in
+    let batch_t, batch = time_of (fun () -> Query.run_batch engine qs) in
+    let shard_count =
+      match Query.engine_shards engine with
+      | Some sh -> Prospector.Shard.shard_count sh
+      | None -> 0
+    in
+    let oracle = List.map (fun q -> (q, Query.run ~frozen ~hierarchy:h q)) qs in
+    let shard_identical = batch = oracle in
+    let qps = float_of_int nq /. batch_t in
+    Printf.printf
+      "  batch: %.3f s (%.0f queries/s), %d shard(s), identical to oracle %b\n\
+       %!"
+      batch_t qps shard_count shard_identical;
+    if not shard_identical then failed := true;
+    (* Warm start: v2 mmap vs a full v1 deserialize + re-freeze — what a
+       server restart used to cost to reach the same serving state. *)
+    let froz_path = Filename.temp_file "prospector_scale" ".froz" in
+    let v1_path = Filename.temp_file "prospector_scale" ".graph" in
+    let _, froz_bytes =
+      time_of (fun () -> Prospector.Serialize.save_frozen frozen froz_path)
+    in
+    ignore (Prospector.Serialize.save g v1_path : int);
+    let load_frozen_exn ~mmap =
+      match Prospector.Serialize.load_frozen ~mmap froz_path with
+      | Ok fz -> fz
+      | Error e -> failwith (Prospector.Serialize.error_message e)
+    in
+    let mmap_t, mmap_fz = time_of (fun () -> load_frozen_exn ~mmap:true) in
+    let read_t, read_fz = time_of (fun () -> load_frozen_exn ~mmap:false) in
+    let v1_t, _ =
+      time_of (fun () ->
+          Prospector.Graph.freeze (Prospector.Serialize.load v1_path))
+    in
+    Sys.remove froz_path;
+    Sys.remove v1_path;
+    let run_on fz =
+      List.map (fun q -> Query.run ~frozen:fz ~hierarchy:h q) qs
+    in
+    let mmap_identical = run_on mmap_fz = csr_rs && run_on read_fz = csr_rs in
+    let warm_speedup = v1_t /. mmap_t in
+    Printf.printf
+      "  warm start: mmap %.4f s, raw read %.4f s, v1 deserialize+freeze \
+       %.3f s — %.1fx, identical %b\n\
+       %!"
+      mmap_t read_t v1_t warm_speedup mmap_identical;
+    if not mmap_identical then failed := true;
+    Printf.sprintf
+      "    {\n\
+      \      \"methods\": %d,\n\
+      \      \"nodes\": %d,\n\
+      \      \"edges\": %d,\n\
+      \      \"gen_s\": %.3f,\n\
+      \      \"build_s\": %.3f,\n\
+      \      \"freeze_s\": %.4f,\n\
+      \      \"reach_s\": %.3f,\n\
+      \      \"queries\": %d,\n\
+      \      \"kernel_passes\": %d,\n\
+      \      \"kernel_list_s\": %.4f,\n\
+      \      \"kernel_csr_s\": %.4f,\n\
+      \      \"csr_speedup\": %.3f,\n\
+      \      \"query_list_s\": %.4f,\n\
+      \      \"query_csr_s\": %.4f,\n\
+      \      \"csr_identical\": %b,\n\
+      \      \"batch_s\": %.4f,\n\
+      \      \"queries_per_s\": %.1f,\n\
+      \      \"shards\": %d,\n\
+      \      \"shard_identical\": %b,\n\
+      \      \"frozen_bytes\": %d,\n\
+      \      \"warm_mmap_s\": %.5f,\n\
+      \      \"warm_read_s\": %.5f,\n\
+      \      \"v1_deserialize_s\": %.4f,\n\
+      \      \"warm_speedup_vs_v1\": %.2f,\n\
+      \      \"mmap_identical\": %b\n\
+      \    }"
+      methods nodes edges gen_t build_t freeze_t reach_t nq passes kern_list_t
+      kern_csr_t csr_speedup list_t csr_t csr_identical batch_t qps
+      shard_count shard_identical froz_bytes mmap_t read_t v1_t warm_speedup
+      mmap_identical
+  in
+  let rows = List.map measure sizes in
+  let json =
+    Printf.sprintf "{\n  \"sizes\": [\n%s\n  ]\n}\n" (String.concat ",\n" rows)
+  in
+  write_bench ~model_methods:(List.fold_left max 0 sizes) "BENCH_scale.json"
+    json;
+  if !failed then begin
+    prerr_endline
+      "error: scale gate failed (identity divergence or CSR slowdown at \
+       100k+)";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1560,18 +1805,36 @@ let sections =
     ("rank", section_rank);
     ("refine", section_refine);
     ("proto", section_proto);
+    ("scale", section_scale);
     ("micro", section_micro);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  (* Sections select by bare name or by `--section NAME` (repeatable;
+     `--section=NAME` also accepted) — the flag form is what Makefile
+     targets and scripts use. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | [ "--section" ] ->
+        prerr_endline "error: --section requires a section name";
+        exit 1
+    | "--section" :: name :: rest -> parse (name :: acc) rest
+    | arg :: rest when String.starts_with ~prefix:"--section=" arg ->
+        parse (String.sub arg 10 (String.length arg - 10) :: acc) rest
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let requested = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let unknown =
+    List.filter (fun name -> not (List.mem_assoc name sections)) requested
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown section(s) %s; available: %s\n"
+      (String.concat " " unknown)
+      (String.concat " " (List.map fst sections));
+    exit 1
+  end;
   let to_run =
     if requested = [] then sections
     else List.filter (fun (name, _) -> List.mem name requested) sections
   in
-  if to_run = [] then begin
-    Printf.eprintf "unknown section(s); available: %s\n"
-      (String.concat " " (List.map fst sections));
-    exit 1
-  end;
   List.iter (fun (_, f) -> f ()) to_run

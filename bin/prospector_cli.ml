@@ -963,88 +963,136 @@ module Metrics = Prospector_server.Metrics
 
 let reach_path graph_path = graph_path ^ ".reach"
 
+(* What [serve] builds its engine from: a mutable graph (cold build, or a
+   legacy v1 graph file) or a frozen CSR snapshot (v2 warm start — possibly
+   mmapped, in which case the mutable graph is never materialized). *)
+type serve_env = {
+  sv_hierarchy : Javamodel.Hierarchy.t;
+  sv_base : [ `Graph of Prospector.Graph.t | `Frozen of Prospector.Graph.frozen ];
+  sv_usage : Mining.Usage.t option;
+  sv_proto : Analysis.Protocol.model option;
+}
+
 (* Warm start: when --save-graph names an existing file, load the persisted
-   graph (and its reach index, if present) instead of rebuilding from .japi
-   and re-mining the corpus; on a cache miss, build as usual and persist
-   both files for the next start. The hierarchy itself is always re-parsed —
-   it is the cheap part, and .japi text is the interchange format. *)
+   snapshot (and the reach index, if present) instead of rebuilding from
+   .japi and re-mining the corpus; on a cache miss, build as usual and
+   persist both files for the next start. A v2 file mmaps straight into the
+   engine; a v1 (Marshal) file still loads as a mutable graph; anything
+   truncated or corrupt degrades to the cold build with a warning and the
+   freshly built snapshot overwrites the bad file. The hierarchy itself is
+   always re-parsed — it is the cheap part, and .japi text is the
+   interchange format. *)
 let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
+  let remine hierarchy =
+    if not mining then (None, None)
+    else
+      (* The persisted snapshot already contains the spliced examples, but
+         the usage and protocol models cannot be read back off it —
+         re-extract them from the corpus sources (no graph mutation, so the
+         loaded snapshot stays exactly what was saved). *)
+      let corpus_sources =
+        match (api, corpus) with
+        | [], [] -> Apidata.Api.corpus_sources
+        | _, files -> List.map (fun f -> (f, read_file f)) files
+      in
+      if corpus_sources = [] then (None, None)
+      else begin
+        let t1 = Unix.gettimeofday () in
+        let prog = Minijava.Resolve.parse_program ~api:hierarchy corpus_sources in
+        let m =
+          Mining.Usage.of_examples
+            (Mining.Enrich.examples ~include_protected:protected_ ?pool prog)
+        in
+        let p = Mining.Protomine.mine prog in
+        Printf.eprintf "usage model: re-mined in %.3f s (%d occurrences)\n%!"
+          (Unix.gettimeofday () -. t1)
+          (Mining.Usage.total m);
+        (Some m, Some p)
+      end
+  in
+  let cold_build () =
+    let t0 = Unix.gettimeofday () in
+    let env = load_env ?pool ~api ~corpus ~mining ~protected_ () in
+    let build_dt = Unix.gettimeofday () -. t0 in
+    let reach =
+      match save_graph with
+      | None ->
+          Printf.eprintf "graph: built in %.3f s\n%!" build_dt;
+          None
+      | Some path ->
+          let t1 = Unix.gettimeofday () in
+          let r = Prospector.Reach.build env.graph in
+          (* Persist the v2 CSR snapshot (default cost baking — a mined
+             model is re-baked at load time) so the next start mmaps it. *)
+          ignore (Prospector.Graph.void_node env.graph);
+          let fz = Prospector.Graph.freeze env.graph in
+          let gsize = Prospector.Serialize.save_frozen fz path in
+          let rsize = Prospector.Serialize.save_reach r (reach_path path) in
+          Printf.eprintf
+            "graph: built in %.3f s; saved %d+%d bytes to %s (+.reach) in %.3f s — \
+             next start loads instead\n%!"
+            build_dt gsize rsize path
+            (Unix.gettimeofday () -. t1);
+          Some r
+    in
+    ( {
+        sv_hierarchy = env.hierarchy;
+        sv_base = `Graph env.graph;
+        sv_usage = env.usage;
+        sv_proto = env.proto;
+      },
+      reach )
+  in
   match save_graph with
-  | Some path when Sys.file_exists path ->
+  | Some path when Sys.file_exists path -> (
       let hierarchy =
         match api with
         | [] -> Apidata.Api.hierarchy ()
         | files -> Japi.Loader.load_files (List.map (fun f -> (f, read_file f)) files)
       in
       let t0 = Unix.gettimeofday () in
-      let graph = Prospector.Serialize.load path in
-      let reach =
-        let rp = reach_path path in
-        if Sys.file_exists rp then
-          match Prospector.Serialize.load_reach rp with
-          | r -> Some r
-          | exception Prospector.Serialize.Format_error msg ->
-              Printf.eprintf "warning: ignoring %s: %s\n%!" rp msg;
-              None
-        else None
-      in
-      let dt = Unix.gettimeofday () -. t0 in
-      Printf.eprintf
-        "graph: loaded from %s in %.3f s (reach index %s) — skipped build + mining\n%!"
-        path dt
-        (match reach with Some _ -> "loaded" | None -> "absent, will rebuild");
-      (* The persisted graph already contains the spliced examples, but the
-         usage and protocol models cannot be read back off it — re-extract
-         them from the corpus sources (no graph mutation, so the loaded
-         snapshot stays exactly what was saved). *)
-      let usage, proto =
-        if not mining then (None, None)
-        else
-          let corpus_sources =
-            match (api, corpus) with
-            | [], [] -> Apidata.Api.corpus_sources
-            | _, files -> List.map (fun f -> (f, read_file f)) files
-          in
-          if corpus_sources = [] then (None, None)
-          else begin
-            let t1 = Unix.gettimeofday () in
-            let prog =
-              Minijava.Resolve.parse_program ~api:hierarchy corpus_sources
-            in
-            let m =
-              Mining.Usage.of_examples
-                (Mining.Enrich.examples ~include_protected:protected_ ?pool prog)
-            in
-            let p = Mining.Protomine.mine prog in
-            Printf.eprintf "usage model: re-mined in %.3f s (%d occurrences)\n%!"
-              (Unix.gettimeofday () -. t1)
-              (Mining.Usage.total m);
-            (Some m, Some p)
-          end
-      in
-      ({ hierarchy; graph; usage; proto }, reach)
-  | _ ->
-      let t0 = Unix.gettimeofday () in
-      let env = load_env ?pool ~api ~corpus ~mining ~protected_ () in
-      let build_dt = Unix.gettimeofday () -. t0 in
-      let reach =
-        match save_graph with
-        | None ->
-            Printf.eprintf "graph: built in %.3f s\n%!" build_dt;
+      let base =
+        match Prospector.Serialize.load_frozen path with
+        | Ok fz -> Some (`Frozen fz)
+        | Error (Prospector.Serialize.Bad_magic _) -> (
+            (* Not a v2 snapshot — maybe a legacy v1 graph file. *)
+            match Prospector.Serialize.load_result path with
+            | Ok g -> Some (`Graph g)
+            | Error e ->
+                Printf.eprintf "warning: ignoring %s: %s — rebuilding\n%!" path
+                  (Prospector.Serialize.error_message e);
+                None)
+        | Error e ->
+            Printf.eprintf "warning: ignoring %s: %s — rebuilding\n%!" path
+              (Prospector.Serialize.error_message e);
             None
-        | Some path ->
-            let t1 = Unix.gettimeofday () in
-            let r = Prospector.Reach.build env.graph in
-            let gsize = Prospector.Serialize.save env.graph path in
-            let rsize = Prospector.Serialize.save_reach r (reach_path path) in
-            Printf.eprintf
-              "graph: built in %.3f s; saved %d+%d bytes to %s (+.reach) in %.3f s — \
-               next start loads instead\n%!"
-              build_dt gsize rsize path
-              (Unix.gettimeofday () -. t1);
-            Some r
       in
-      (env, reach)
+      match base with
+      | None -> cold_build ()
+      | Some base ->
+          let reach =
+            let rp = reach_path path in
+            if Sys.file_exists rp then
+              match Prospector.Serialize.load_reach_result rp with
+              | Ok r -> Some r
+              | Error e ->
+                  Printf.eprintf "warning: ignoring %s: %s\n%!" rp
+                    (Prospector.Serialize.error_message e);
+                  None
+            else None
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.eprintf
+            "graph: %s from %s in %.3f s (reach index %s) — skipped build + mining\n%!"
+            (match base with
+            | `Frozen _ -> "mmap warm start"
+            | `Graph _ -> "loaded (v1)")
+            path dt
+            (match reach with Some _ -> "loaded" | None -> "absent, will rebuild");
+          let usage, proto = remine hierarchy in
+          ( { sv_hierarchy = hierarchy; sv_base = base; sv_usage = usage; sv_proto = proto },
+            reach ))
+  | _ -> cold_build ()
 
 let serve_cmd =
   let host =
@@ -1134,11 +1182,20 @@ let serve_cmd =
           load_env_for_serve ~pool ~api ~corpus ~mining:(not no_mining)
             ~protected_ ~save_graph ()
         in
+        let edge_cost = Option.map Mining.Usage.edge_cost env.sv_usage in
+        let protocol_check =
+          Option.map
+            (fun m j -> Analysis.Protolint.violations m j)
+            env.sv_proto
+        in
         let engine =
-          Prospector.Query.engine ~cache_capacity ?reach ~pool
-            ?edge_cost:(edge_cost_of env)
-            ?protocol_check:(protocol_check_of env) ~graph:env.graph
-            ~hierarchy:env.hierarchy ()
+          match env.sv_base with
+          | `Graph graph ->
+              Prospector.Query.engine ~cache_capacity ?reach ~pool ?edge_cost
+                ?protocol_check ~graph ~hierarchy:env.sv_hierarchy ()
+          | `Frozen frozen ->
+              Prospector.Query.engine_of_frozen ~cache_capacity ?reach ~pool
+                ?edge_cost ?protocol_check ~frozen ~hierarchy:env.sv_hierarchy ()
         in
         let service =
           Service.create
@@ -1146,7 +1203,7 @@ let serve_cmd =
             ?vet:
               (Option.map
                  (fun m j -> Analysis.Protolint.vet m j)
-                 env.proto)
+                 env.sv_proto)
             ?deadline_s:deadline ?session_ttl_s:session_ttl ~engine ()
         in
         if stdio then begin

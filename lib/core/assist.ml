@@ -66,7 +66,7 @@ let of_multi mr =
     result = mr.Query.result;
   }
 
-let suggest ?settings ?engine ?frozen ?reach ?edge_cost ?protocol_check ~graph
+let suggest ?settings ?engine ?frozen ?reach ?edge_cost ?protocol_check ?graph
     ~hierarchy ctx =
   let multi =
     (* The engine's cache keys on (vars, tout, settings, generation), so
@@ -75,6 +75,6 @@ let suggest ?settings ?engine ?frozen ?reach ?edge_cost ?protocol_check ~graph
     | Some e -> Query.run_multi_cached ?settings e ~vars:ctx.vars ~tout:ctx.expected ()
     | None ->
         Query.run_multi ?settings ?reach ?frozen ?edge_cost ?protocol_check
-          ~graph ~hierarchy ~vars:ctx.vars ~tout:ctx.expected ()
+          ?graph ~hierarchy ~vars:ctx.vars ~tout:ctx.expected ()
   in
   direct_suggestions ~hierarchy ctx @ List.map of_multi multi

@@ -30,7 +30,7 @@ val suggest :
   ?reach:Reach.t ->
   ?edge_cost:(Elem.t -> int) ->
   ?protocol_check:(Jungloid.t -> string list) ->
-  graph:Graph.t ->
+  ?graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   context ->
   suggestion list

@@ -119,18 +119,34 @@ let real_nodes t =
 
 (* ---------- frozen CSR snapshot ---------- *)
 
+(* Hot arrays live out of the OCaml heap. Kind [Bigarray.int] (a native
+   word) rather than the int32 one might expect: without flambda every
+   [Int32] read allocates a box, which would put an allocation on every
+   relaxed edge — the exact cost this layout exists to remove. Edge costs
+   are 0/1 so they pack into uint16 lanes. *)
+type int_array1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type cost_array1 =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ba_int len : int_array1 =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+
+let ba_cost len : cost_array1 =
+  Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout len
+
 type frozen = {
   f_generation : int;
   f_nodes : int;
   f_edges : int;
-  f_fwd_off : int array;
-  f_fwd_dst : int array;
-  f_fwd_cost : int array;
+  f_fwd_off : int_array1;
+  f_fwd_dst : int_array1;
+  f_fwd_cost : cost_array1;
   f_fwd_wcost : int array;
   f_fwd_edge : edge array;
-  f_bwd_off : int array;
-  f_bwd_src : int array;
-  f_bwd_cost : int array;
+  f_bwd_off : int_array1;
+  f_bwd_src : int_array1;
+  f_bwd_cost : cost_array1;
   f_bwd_wcost : int array;
   f_types : Jtype.t array;
   f_origins : string option array;
@@ -140,50 +156,72 @@ type frozen = {
 
 let default_wcost e = Elem.cost_scale * Elem.cost e
 
+(* Backward rows are derived from the forward rows by a counting sort on
+   destination, so each [v]'s predecessors appear in ascending forward-edge
+   order. This makes the backward representation a pure function of the
+   forward one — which is what lets [rebake] recompute [f_bwd_wcost] for a
+   new cost model without any stored fwd->bwd mapping, and lets the
+   serialized form carry only forward [Elem.t]s. Distance sweeps are
+   relaxation-order independent, so the (deliberate) departure from [preds]
+   order is unobservable in results. *)
+let derive_bwd ~n ~m ~(fwd_off : int_array1) ~(fwd_dst : int_array1)
+    ~(fwd_cost : cost_array1) ~fwd_wcost =
+  let bwd_off = ba_int (n + 1) in
+  Bigarray.Array1.fill bwd_off 0;
+  for k = 0 to m - 1 do
+    let v = fwd_dst.{k} in
+    bwd_off.{v + 1} <- bwd_off.{v + 1} + 1
+  done;
+  for v = 0 to n - 1 do
+    bwd_off.{v + 1} <- bwd_off.{v + 1} + bwd_off.{v}
+  done;
+  let bwd_src = ba_int m in
+  let bwd_cost = ba_cost m in
+  let bwd_wcost = Array.make m 0 in
+  let cursor = Array.make (max n 1) 0 in
+  for u = 0 to n - 1 do
+    for k = fwd_off.{u} to fwd_off.{u + 1} - 1 do
+      let v = fwd_dst.{k} in
+      let j = bwd_off.{v} + cursor.(v) in
+      cursor.(v) <- cursor.(v) + 1;
+      bwd_src.{j} <- u;
+      bwd_cost.{j} <- fwd_cost.{k};
+      bwd_wcost.(j) <- fwd_wcost.(k)
+    done
+  done;
+  (bwd_off, bwd_src, bwd_cost, bwd_wcost)
+
 let freeze ?(wcost = default_wcost) t =
   let n = t.n in
   (* Forward adjacency, in the exact order [succs] yields it, so a DFS over
      the CSR enumerates paths in the same order as one over the lists. *)
-  let fwd_off = Array.make (n + 1) 0 in
+  let fwd_off = ba_int (n + 1) in
+  fwd_off.{0} <- 0;
   for u = 0 to n - 1 do
-    fwd_off.(u + 1) <- fwd_off.(u) + List.length t.fwd.(u)
+    fwd_off.{u + 1} <- fwd_off.{u} + List.length t.fwd.(u)
   done;
-  let m = fwd_off.(n) in
+  let m = fwd_off.{n} in
   let dummy =
     { elem = Elem.Widen { from_ = Jtype.Void; to_ = Jtype.Void }; src = 0; dst = 0 }
   in
-  let fwd_dst = Array.make m 0 in
-  let fwd_cost = Array.make m 0 in
+  let fwd_dst = ba_int m in
+  let fwd_cost = ba_cost m in
   let fwd_wcost = Array.make m 0 in
   let fwd_edge = Array.make m dummy in
   for u = 0 to n - 1 do
-    let k = ref fwd_off.(u) in
+    let k = ref fwd_off.{u} in
     List.iter
       (fun e ->
-        fwd_dst.(!k) <- e.dst;
-        fwd_cost.(!k) <- Elem.cost e.elem;
+        fwd_dst.{!k} <- e.dst;
+        fwd_cost.{!k} <- Elem.cost e.elem;
         fwd_wcost.(!k) <- wcost e.elem;
         fwd_edge.(!k) <- e;
         incr k)
       t.fwd.(u)
   done;
-  let bwd_off = Array.make (n + 1) 0 in
-  for u = 0 to n - 1 do
-    bwd_off.(u + 1) <- bwd_off.(u) + List.length t.bwd.(u)
-  done;
-  let bwd_src = Array.make m 0 in
-  let bwd_cost = Array.make m 0 in
-  let bwd_wcost = Array.make m 0 in
-  for u = 0 to n - 1 do
-    let k = ref bwd_off.(u) in
-    List.iter
-      (fun e ->
-        bwd_src.(!k) <- e.src;
-        bwd_cost.(!k) <- Elem.cost e.elem;
-        bwd_wcost.(!k) <- wcost e.elem;
-        incr k)
-      t.bwd.(u)
-  done;
+  let bwd_off, bwd_src, bwd_cost, bwd_wcost =
+    derive_bwd ~n ~m ~fwd_off ~fwd_dst ~fwd_cost ~fwd_wcost
+  in
   {
     f_generation = t.generation;
     f_nodes = n;
@@ -203,6 +241,15 @@ let freeze ?(wcost = default_wcost) t =
     f_void = Hashtbl.find_opt t.ids (type_key Jtype.Void);
   }
 
+let rebake ?(wcost = default_wcost) fz =
+  let m = Array.length fz.f_fwd_edge in
+  let fwd_wcost = Array.init m (fun k -> wcost fz.f_fwd_edge.(k).elem) in
+  let _, _, _, bwd_wcost =
+    derive_bwd ~n:fz.f_nodes ~m ~fwd_off:fz.f_fwd_off ~fwd_dst:fz.f_fwd_dst
+      ~fwd_cost:fz.f_fwd_cost ~fwd_wcost
+  in
+  { fz with f_fwd_wcost = fwd_wcost; f_bwd_wcost = bwd_wcost }
+
 let frozen_generation fz = fz.f_generation
 
 let frozen_node_count fz = fz.f_nodes
@@ -219,6 +266,34 @@ let frozen_is_typestate fz id = fz.f_origins.(id) <> None
 
 let frozen_succs fz u =
   let rec go k acc =
-    if k < fz.f_fwd_off.(u) then acc else go (k - 1) (fz.f_fwd_edge.(k) :: acc)
+    if k < fz.f_fwd_off.{u} then acc else go (k - 1) (fz.f_fwd_edge.(k) :: acc)
   in
-  go (fz.f_fwd_off.(u + 1) - 1) []
+  go (fz.f_fwd_off.{u + 1} - 1) []
+
+let of_frozen fz =
+  let g = create () in
+  for i = 0 to fz.f_nodes - 1 do
+    let id =
+      match fz.f_origins.(i) with
+      | None -> ensure_type_node g fz.f_types.(i)
+      | Some origin -> add_typestate g ~underlying:fz.f_types.(i) ~origin
+    in
+    if id <> i then
+      invalid_arg "Graph.of_frozen: snapshot node ids are not reproducible"
+  done;
+  (* [add_edge] conses onto the front of the row, so replaying each node's
+     edges in reverse restores the exact [succs] order the snapshot froze.
+     [preds] order is not reproduced (it interleaved insertions across
+     sources); nothing observes it — see [derive_bwd]. *)
+  for u = 0 to fz.f_nodes - 1 do
+    for k = fz.f_fwd_off.{u + 1} - 1 downto fz.f_fwd_off.{u} do
+      let e = fz.f_fwd_edge.(k) in
+      add_edge g ~src:u e.elem ~dst:e.dst
+    done
+  done;
+  if g.edges <> fz.f_edges then
+    invalid_arg "Graph.of_frozen: snapshot edge set is not reproducible";
+  (* Rebuilding is not a mutation of the model the snapshot captured:
+     adopt its generation so derived caches stay valid. *)
+  g.generation <- fz.f_generation;
+  g

@@ -72,42 +72,79 @@ val real_nodes : t -> (Jtype.t * node) list
 
 (** {2 Frozen CSR snapshots}
 
-    {!freeze} captures the graph as an immutable compressed-sparse-row view:
-    adjacency as flat offset/destination/cost [int] arrays (plus the aligned
-    {!edge} array forward, for path reconstruction), node metadata as plain
-    arrays, and a private copy of the type-interning table. The record is
+    {!freeze} captures the graph as an immutable compressed-sparse-row view,
+    split into a {e hot} and a {e cold} half. The hot half — row offsets,
+    destinations/sources, and 0/1 paper costs — is packed into out-of-heap
+    {!Bigarray} lanes (native-word ids, uint16 costs): the GC never scans
+    them, they mmap straight from a {!Serialize} snapshot, and they are safe
+    to share read-only across domains. The cold half — the boxed {!edge}
+    table, weighted costs, node metadata, and a private copy of the
+    type-interning table — stays on the OCaml heap and is only touched when
+    a found path is materialized, never per relaxed edge. The record is
     exposed transparently so hot loops ({!Search.Csr}, {!Reach}) can index
-    the arrays directly — treat every field as read-only.
+    the lanes directly — treat every field as read-only.
 
     A frozen view is completely self-contained: no operation on it touches
     the originating {!t}, which is what makes it safe to share across
     domains while another domain mutates (and then re-freezes) the live
     graph. [f_generation] records the {!generation} captured, so consumers
     can tell stale snapshots from current ones. Forward adjacency preserves
-    {!succs} order exactly; backward adjacency preserves {!preds} order. *)
+    {!succs} order exactly. Backward adjacency is a counting sort of the
+    forward rows by destination (each node's predecessors in ascending
+    forward-edge order) — {e not} {!preds} order; distance sweeps are
+    relaxation-order independent, so the difference is unobservable, and it
+    makes the backward half a pure function of the forward half (see
+    {!rebake}). *)
+
+type int_array1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Native-word lanes, not int32: without flambda, boxed [Int32] reads would
+    put an allocation on every relaxed edge. *)
+
+type cost_array1 =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val ba_int : int -> int_array1
+(** Fresh uninitialized lane (for loaders and shard builders). *)
+
+val ba_cost : int -> cost_array1
 
 type frozen = {
   f_generation : int;
   f_nodes : int;
   f_edges : int;
-  f_fwd_off : int array;  (** length [f_nodes + 1]; edges of [u] live at
-                              indices [f_fwd_off.(u) .. f_fwd_off.(u+1) - 1] *)
-  f_fwd_dst : int array;
-  f_fwd_cost : int array;  (** memoized [Elem.cost], aligned with [f_fwd_dst] *)
-  f_fwd_wcost : int array;  (** weighted edge cost (see {!freeze}'s [wcost]),
-                                aligned with [f_fwd_dst] *)
-  f_fwd_edge : edge array;  (** the full edge, aligned with [f_fwd_dst] *)
-  f_bwd_off : int array;
-  f_bwd_src : int array;
-  f_bwd_cost : int array;
-  f_bwd_wcost : int array;  (** weighted edge cost, aligned with [f_bwd_src] —
-                                backward rows carry no [edge], so weighted
-                                distance-to-target sweeps need it baked in *)
+  f_fwd_off : int_array1;
+      (** length [f_nodes + 1]; edges of [u] live at indices
+          [f_fwd_off.{u} .. f_fwd_off.{u+1} - 1] *)
+  f_fwd_dst : int_array1;
+  f_fwd_cost : cost_array1;  (** memoized [Elem.cost], aligned with [f_fwd_dst] *)
+  f_fwd_wcost : int array;
+      (** weighted edge cost (see {!freeze}'s [wcost]), aligned with
+          [f_fwd_dst]; plain [int array] — weighted costs exceed uint16 *)
+  f_fwd_edge : edge array;  (** cold: the full edge, aligned with [f_fwd_dst] *)
+  f_bwd_off : int_array1;
+  f_bwd_src : int_array1;
+  f_bwd_cost : cost_array1;
+  f_bwd_wcost : int array;
+      (** weighted edge cost, aligned with [f_bwd_src] — backward rows carry
+          no [edge], so weighted distance-to-target sweeps need it baked in *)
   f_types : Jtype.t array;
   f_origins : string option array;
   f_ids : (string, node) Hashtbl.t;  (** private copy; never written again *)
   f_void : node option;
 }
+
+val derive_bwd :
+  n:int ->
+  m:int ->
+  fwd_off:int_array1 ->
+  fwd_dst:int_array1 ->
+  fwd_cost:cost_array1 ->
+  fwd_wcost:int array ->
+  int_array1 * int_array1 * cost_array1 * int array
+(** [(bwd_off, bwd_src, bwd_cost, bwd_wcost)] derived from forward rows by a
+    counting sort on destination — the canonical backward representation
+    {!freeze} and {!rebake} use, exposed for builders of derived snapshots
+    ({!Shard}). *)
 
 val freeze : ?wcost:(Elem.t -> int) -> t -> frozen
 (** O(nodes + edges). Captures the graph at its current {!generation}.
@@ -116,6 +153,12 @@ val freeze : ?wcost:(Elem.t -> int) -> t -> frozen
     default is the paper cost in fixed-point units,
     [Elem.cost_scale * Elem.cost] — snapshots frozen with the default are
     only valid for weighted search under the same (default) cost model. *)
+
+val rebake : ?wcost:(Elem.t -> int) -> frozen -> frozen
+(** A copy of the snapshot with [f_fwd_wcost]/[f_bwd_wcost] recomputed under
+    a new cost model — everything else is shared with the input. This is how
+    a deserialized snapshot (which carries only structure) is fitted with a
+    mined cost model without rebuilding the graph. *)
 
 val frozen_generation : frozen -> int
 
@@ -137,3 +180,13 @@ val frozen_is_typestate : frozen -> node -> bool
 val frozen_succs : frozen -> node -> edge list
 (** Convenience slice of the CSR row, in {!succs} order (for callers off the
     hot path). *)
+
+val of_frozen : frozen -> t
+(** Rebuild a live (mutable) graph from a snapshot: nodes re-interned in id
+    order, forward rows replayed so {!succs} order matches the snapshot
+    exactly, and the snapshot's generation adopted (rebuilding is not a
+    model change). O(nodes + edges) with full hashtable re-interning — this
+    is the slow path that mmap warm starts avoid; it only runs if something
+    actually needs the mutable view (e.g. splicing mined examples into a
+    warm-started server). Raises [Invalid_argument] if the snapshot's node
+    numbering cannot be reproduced. *)

@@ -192,9 +192,9 @@ type view = {
   v_void : unit -> Graph.node option;
   v_of_path : Search.path -> Jungloid.t;
   v_node_type : Graph.node -> Jtype.t;
-  v_distances_from : Graph.node list -> int array;
+  v_distances_from : Graph.node list -> Search.Dist.t;
   v_distances_to :
-    viable:(Graph.node -> bool) option -> target:Graph.node -> int array;
+    cone:Reach.cone option -> target:Graph.node -> Search.Dist.t;
   v_iter_succs : Graph.node -> (int -> Graph.edge -> unit) -> unit;
   v_edge_slots : int;  (* total edge count for the CSR memo; 0 = list graph *)
   (* Weighted (mined-ranking) lens. The frozen variant reads the wcost
@@ -202,13 +202,13 @@ type view = {
      freezes with its own model, and manual [?frozen] callers must freeze
      with the same [~wcost] they query with (documented on [run]). *)
   v_weighted_distances_to :
-    viable:(Graph.node -> bool) option ->
+    cone:Reach.cone option ->
     target:Graph.node ->
     cost:(Elem.t -> int) ->
-    int array;
+    Search.Dist.t;
   v_edge_wcost : (Elem.t -> int) -> int -> Graph.edge -> int;
   v_enumerate :
-    viable:(Graph.node -> bool) option ->
+    cone:Reach.cone option ->
     sources:Graph.node list ->
     target:Graph.node ->
     slack:int ->
@@ -216,7 +216,7 @@ type view = {
     truncated:bool ref ->
     Search.path list;
   v_enumerate_per_source :
-    viable:(Graph.node -> bool) option ->
+    cone:Reach.cone option ->
     sources:Graph.node list ->
     target:Graph.node ->
     slack:int ->
@@ -225,55 +225,72 @@ type view = {
     Search.path list;
 }
 
+(* The list-graph view keeps the closure-based viability hook: pruning is a
+   cone probe behind a closure, and distance arrays are wrapped unstamped. *)
 let view_of_graph g =
+  let viable_of cone = Option.map Reach.cone_viable cone in
   {
     v_find = Graph.find_type_node g;
     v_void = (fun () -> Some (Graph.void_node g));
     v_of_path = Jungloid.of_path g;
     v_node_type = Graph.node_type g;
-    v_distances_from = (fun sources -> Search.distances_from g ~sources);
-    v_distances_to = (fun ~viable ~target -> Search.distances_to ?viable g ~target);
+    v_distances_from =
+      (fun sources -> Search.Dist.of_array (Search.distances_from g ~sources));
+    v_distances_to =
+      (fun ~cone ~target ->
+        Search.Dist.of_array
+          (Search.distances_to ?viable:(viable_of cone) g ~target));
     v_iter_succs = (fun u f -> List.iteri f (Graph.succs g u));
     v_edge_slots = 0;
     v_weighted_distances_to =
-      (fun ~viable ~target ~cost ->
-        Search.weighted_distances_to ?viable g ~target ~cost);
+      (fun ~cone ~target ~cost ->
+        Search.Dist.of_array
+          (Search.weighted_distances_to ?viable:(viable_of cone) g ~target ~cost));
     v_edge_wcost = (fun cost _ord e -> cost e.Graph.elem);
     v_enumerate =
-      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
-        Search.enumerate g ~sources ~target ~slack ~limit ?viable ~truncated ());
+      (fun ~cone ~sources ~target ~slack ~limit ~truncated ->
+        Search.enumerate g ~sources ~target ~slack ~limit
+          ?viable:(viable_of cone) ~truncated ());
     v_enumerate_per_source =
-      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
-        Search.enumerate_per_source g ~sources ~target ~slack ~limit ?viable ~truncated
-          ());
+      (fun ~cone ~sources ~target ~slack ~limit ~truncated ->
+        Search.enumerate_per_source g ~sources ~target ~slack ~limit
+          ?viable:(viable_of cone) ~truncated ());
   }
 
-let view_of_frozen fz =
+(* The CSR view threads [?scratch] into every sweep: under a
+   [Search.Scratch.with_frame] the distance lanes are recycled per domain,
+   so the steady-state query allocates nothing proportional to the graph.
+   Callers that let distances escape the call (run_stream) build the view
+   without scratch and get escape-safe one-shot lanes. *)
+let view_of_frozen ?scratch fz =
   {
     v_find = Graph.frozen_find_type_node fz;
     v_void = (fun () -> Graph.frozen_void_node fz);
     v_of_path = Jungloid.of_frozen_path fz;
     v_node_type = Graph.frozen_node_type fz;
-    v_distances_from = (fun sources -> Search.Csr.distances_from fz ~sources);
-    v_distances_to = (fun ~viable ~target -> Search.Csr.distances_to ?viable fz ~target);
+    v_distances_from =
+      (fun sources -> Search.Csr.distances_from ?scratch fz ~sources);
+    v_distances_to =
+      (fun ~cone ~target -> Search.Csr.distances_to ?scratch ?cone fz ~target);
     v_iter_succs =
       (fun u f ->
         let off = fz.Graph.f_fwd_off in
-        for k = off.(u) to off.(u + 1) - 1 do
+        for k = off.{u} to off.{u + 1} - 1 do
           f k fz.Graph.f_fwd_edge.(k)
         done);
     v_edge_slots = Array.length fz.Graph.f_fwd_edge;
     v_weighted_distances_to =
-      (fun ~viable ~target ~cost:_ ->
-        Search.Csr.weighted_distances_to ?viable fz ~target);
+      (fun ~cone ~target ~cost:_ ->
+        Search.Csr.weighted_distances_to ?scratch ?cone fz ~target);
     v_edge_wcost = (fun _cost ord _e -> fz.Graph.f_fwd_wcost.(ord));
     v_enumerate =
-      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
-        Search.Csr.enumerate fz ~sources ~target ~slack ~limit ?viable ~truncated ());
-    v_enumerate_per_source =
-      (fun ~viable ~sources ~target ~slack ~limit ~truncated ->
-        Search.Csr.enumerate_per_source fz ~sources ~target ~slack ~limit ?viable
+      (fun ~cone ~sources ~target ~slack ~limit ~truncated ->
+        Search.Csr.enumerate ?scratch fz ~sources ~target ~slack ~limit ?cone
           ~truncated ());
+    v_enumerate_per_source =
+      (fun ~cone ~sources ~target ~slack ~limit ~truncated ->
+        Search.Csr.enumerate_per_source ?scratch fz ~sources ~target ~slack
+          ~limit ?cone ~truncated ());
   }
 
 (* The future-work free-variable estimator: a free variable of type T will
@@ -290,8 +307,11 @@ let freevar_estimator ~settings view =
         Some
           (fun ty ->
             match view.v_find ty with
-            | Some n when n < Array.length dist && dist.(n) < max_int -> max 1 dist.(n)
-            | _ -> settings.weights.Rank.freevar_cost)
+            | Some n ->
+                let d = Search.Dist.get dist n in
+                if d < max_int then max 1 d
+                else settings.weights.Rank.freevar_cost
+            | None -> settings.weights.Rank.freevar_cost)
 
 type result = {
   jungloid : Jungloid.t;
@@ -404,16 +424,21 @@ let prune_threshold = 0.75
 let viable_of ~reach ~target =
   match reach with
   | None -> None
-  | Some r ->
-      let cone = Reach.cone_size r ~target in
-      if float_of_int cone <= prune_threshold *. float_of_int (Reach.node_count r)
-      then Some (Reach.viable r ~target)
-      else None
+  | Some r -> (
+      match Reach.cone r ~target with
+      | None -> None
+      | Some (cn, size) ->
+          if
+            float_of_int size
+            <= prune_threshold *. float_of_int (Reach.node_count r)
+          then Some cn
+          else None)
 
-let view_and_gen ?frozen graph =
-  match frozen with
-  | Some fz -> (view_of_frozen fz, Graph.frozen_generation fz)
-  | None -> (view_of_graph graph, Graph.generation graph)
+let view_and_gen ?scratch ?frozen ?graph () =
+  match (frozen, graph) with
+  | Some fz, _ -> (view_of_frozen ?scratch fz, Graph.frozen_generation fz)
+  | None, Some g -> (view_of_graph g, Graph.generation g)
+  | None, None -> invalid_arg "Query: pass at least one of ?graph / ?frozen"
 
 (* Per-query execution report: how many candidates the search materialized
    into jungloids (the laziness metric) and whether it stopped at
@@ -434,19 +459,19 @@ let no_info = { candidates = 0; truncated = false; warnings = [] }
    exact weighted distances while the budget prune stays on the paper
    [dist_to], so the candidate set is unchanged and only the certified
    order follows the mined costs. *)
-let topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable view
-    ~dist_to ~sources ~target =
+let topk_stream ?memo ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~cone
+    view ~dist_to ~sources ~target =
   let weighted =
     Option.map
       (fun cost ->
         {
-          Topk.wdist_to = view.v_weighted_distances_to ~viable ~target ~cost;
+          Topk.wdist_to = view.v_weighted_distances_to ~cone ~target ~cost;
           edge_wcost = view.v_edge_wcost cost;
         })
       edge_cost
   in
-  Topk.start ?freevar_cost_of ?weighted ~weights:settings.weights ~hierarchy
-    ~node_type:view.v_node_type ~iter_succs:view.v_iter_succs
+  Topk.start ?freevar_cost_of ?weighted ?memo ~weights:settings.weights
+    ~hierarchy ~node_type:view.v_node_type ~iter_succs:view.v_iter_succs
     ~edge_slots:view.v_edge_slots ~materialize:view.v_of_path ~dist_to ~sources
     ~target ~limit:settings.limit ()
 
@@ -510,18 +535,25 @@ let consume_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
           ~pfilter st))
 
 let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
-    ?protocol_check ~graph ~hierarchy q =
-  let view, gen = view_and_gen ?frozen graph in
+    ?protocol_check ?graph ~hierarchy q =
+  (* Consume-within-call entry point: distance lanes come from the domain's
+     scratch pool (released when the frame below ends — nothing in a
+     [result] refers to them) and the Topk per-edge memo is reused across
+     queries on this domain. *)
+  let scratch =
+    match frozen with Some _ -> Some (Search.Scratch.domain ()) | None -> None
+  in
   let strategy, edge_cost, protocol, warnings =
     effective_mode ~edge_cost ~protocol_check settings
   in
   let pfilter = protocol_pred ~protocol ~protocol_check in
   let no_info = { no_info with warnings } in
-  let results, info =
+  let body () =
+  let view, gen = view_and_gen ?scratch ?frozen ?graph () in
   match (view.v_find q.tin, view.v_find q.tout) with
   | Some src, Some dst ->
       let reach = current_reach ~gen reach in
-      let viable = viable_of ~reach ~target:dst in
+      let cone = viable_of ~reach ~target:dst in
       if match reach with Some r -> not (Reach.mem r ~src ~target:dst) | None -> false
       then begin
         Log.debug (fun m ->
@@ -535,7 +567,7 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
         | Exhaustive ->
             let truncated = ref false in
             let paths =
-              view.v_enumerate ~viable ~sources:[ src ] ~target:dst
+              view.v_enumerate ~cone ~sources:[ src ] ~target:dst
                 ~slack:settings.slack ~limit:settings.limit ~truncated
             in
             Log.debug (fun m ->
@@ -546,8 +578,9 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
                 ~verify ~pfilter view.v_of_path paths,
               { candidates = List.length paths; truncated = !truncated; warnings } )
         | BestFirst ->
-            let dist_to = view.v_distances_to ~viable ~target:dst in
-            if src >= Array.length dist_to || dist_to.(src) = max_int then begin
+            let dist_to = view.v_distances_to ~cone ~target:dst in
+            let dsrc = Search.Dist.get dist_to src in
+            if dsrc = max_int then begin
               Log.debug (fun m ->
                   m "query (%s, %s): no path" (Jtype.to_string q.tin)
                     (Jtype.to_string q.tout));
@@ -555,9 +588,9 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
             end
             else begin
               let st =
-                topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable
-                  view ~dist_to
-                  ~sources:[ (src, dist_to.(src) + settings.slack) ]
+                topk_stream ~memo:(Topk.Memo.domain ()) ~settings ~hierarchy
+                  ~freevar_cost_of ?edge_cost ~cone view ~dist_to
+                  ~sources:[ (src, dsrc + settings.slack) ]
                   ~target:dst
               in
               let results =
@@ -582,6 +615,11 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
             (Jtype.to_string q.tout));
       ([], no_info)
   in
+  let results, info =
+    match scratch with
+    | Some s -> Search.Scratch.with_frame s body
+    | None -> body ()
+  in
   (* [Warn] never touches the result list: emitted results are vetted after
      selection and violations ride along as warnings only, so the output
      stays byte-identical to [Off] (and BestFirst to Exhaustive). *)
@@ -600,16 +638,20 @@ let run_info ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
       (results, { info with warnings = info.warnings @ pwarnings })
   | _ -> (results, info)
 
-let run ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ~graph
+let run ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ?graph
     ~hierarchy q =
   fst
-    (run_info ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check ~graph
-       ~hierarchy q)
+    (run_info ?settings ?reach ?frozen ?verify ?edge_cost ?protocol_check
+       ?graph ~hierarchy q)
 
+(* Escaping entry point: the returned sequence captures live search state
+   (distance lanes, the Topk heap), so it must not borrow recycled
+   per-domain scratch or the shared memo — the view is built without
+   scratch (one-shot lanes) and [topk_stream] gets no memo. *)
 let run_stream ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
-    ?protocol_check ~graph ~hierarchy q =
+    ?protocol_check ?graph ~hierarchy q =
   let edge_cost0 = edge_cost in
-  let view, gen = view_and_gen ?frozen graph in
+  let view, gen = view_and_gen ?frozen ?graph () in
   let strategy, edge_cost, protocol, _warnings =
     effective_mode ~edge_cost ~protocol_check settings
   in
@@ -620,12 +662,12 @@ let run_stream ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
          degenerates to the ranked list *)
       List.to_seq
         (run ~settings ?reach ?frozen ?verify ?edge_cost:edge_cost0
-           ?protocol_check ~graph ~hierarchy q)
+           ?protocol_check ?graph ~hierarchy q)
   | BestFirst -> (
       match (view.v_find q.tin, view.v_find q.tout) with
       | Some src, Some dst ->
           let reach = current_reach ~gen reach in
-          let viable = viable_of ~reach ~target:dst in
+          let cone = viable_of ~reach ~target:dst in
           if
             match reach with
             | Some r -> not (Reach.mem r ~src ~target:dst)
@@ -633,14 +675,14 @@ let run_stream ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
           then Seq.empty
           else begin
             let freevar_cost_of = freevar_estimator ~settings view in
-            let dist_to = view.v_distances_to ~viable ~target:dst in
-            if src >= Array.length dist_to || dist_to.(src) = max_int then
-              Seq.empty
+            let dist_to = view.v_distances_to ~cone ~target:dst in
+            let dsrc = Search.Dist.get dist_to src in
+            if dsrc = max_int then Seq.empty
             else
               let st =
                 topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost
-                  ~viable view ~dist_to
-                  ~sources:[ (src, dist_to.(src) + settings.slack) ]
+                  ~cone view ~dist_to
+                  ~sources:[ (src, dsrc + settings.slack) ]
                   ~target:dst
               in
               stream_single ~settings ~hierarchy ~freevar_cost_of ?edge_cost
@@ -779,13 +821,16 @@ let consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
   List.rev !out
 
 let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
-    ?protocol_check ~graph ~hierarchy ~vars ~tout () =
-  let view, gen = view_and_gen ?frozen graph in
+    ?protocol_check ?graph ~hierarchy ~vars ~tout () =
+  let scratch =
+    match frozen with Some _ -> Some (Search.Scratch.domain ()) | None -> None
+  in
   let strategy, edge_cost, protocol, _warnings =
     effective_mode ~edge_cost ~protocol_check settings
   in
   let pfilter = protocol_pred ~protocol ~protocol_check in
-  let results =
+  let body () =
+  let view, gen = view_and_gen ?scratch ?frozen ?graph () in
   match view.v_find tout with
   | None -> []
   | Some dst ->
@@ -800,12 +845,12 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
         | Some v -> v :: List.map fst var_nodes
         | None -> List.map fst var_nodes
       in
-      let viable = viable_of ~reach:(current_reach ~gen reach) ~target:dst in
+      let cone = viable_of ~reach:(current_reach ~gen reach) ~target:dst in
       let freevar_cost_of = freevar_estimator ~settings view in
       let exhaustive () =
         let truncated = ref false in
         let paths =
-          view.v_enumerate_per_source ~viable ~sources ~target:dst
+          view.v_enumerate_per_source ~cone ~sources ~target:dst
             ~slack:settings.slack ~limit:settings.limit ~truncated
         in
         (* Attribute each path to the variables of its source node; a path
@@ -878,20 +923,20 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
                })
       in
       let best_first () =
-        let dist_to = view.v_distances_to ~viable ~target:dst in
+        let dist_to = view.v_distances_to ~cone ~target:dst in
         let budgeted =
           List.filter_map
             (fun s ->
-              if s < Array.length dist_to && dist_to.(s) < max_int then
-                Some (s, dist_to.(s) + settings.slack)
-              else None)
+              let d = Search.Dist.get dist_to s in
+              if d < max_int then Some (s, d + settings.slack) else None)
             (List.sort_uniq compare sources)
         in
         if budgeted = [] then []
         else
           let st =
-            topk_stream ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~viable view
-              ~dist_to ~sources:budgeted ~target:dst
+            topk_stream ~memo:(Topk.Memo.domain ()) ~settings ~hierarchy
+              ~freevar_cost_of ?edge_cost ~cone view ~dist_to ~sources:budgeted
+              ~target:dst
           in
           consume_multi ~settings ~hierarchy ~freevar_cost_of ?edge_cost ~verify
             ~pfilter ~void ~var_nodes st
@@ -899,6 +944,11 @@ let run_multi ?(settings = default_settings) ?reach ?frozen ?verify ?edge_cost
       (match strategy with
       | Exhaustive -> exhaustive ()
       | BestFirst -> best_first ())
+  in
+  let results =
+    match scratch with
+    | Some s -> Search.Scratch.with_frame s body
+    | None -> body ()
   in
   (* [run_multi] has no info channel: [Warn]-mode violations on emitted
      suggestions are logged, results untouched. *)
@@ -943,7 +993,9 @@ type multi_key = {
 }
 
 type engine = {
-  e_graph : Graph.t;
+  e_graph : Graph.t Lazy.t;
+      (* mmap-warm-started engines never pay for the mutable rebuild unless
+         something (enrichment, DOT export) actually asks for it *)
   e_hierarchy : Hierarchy.t;
   e_single : (single_key, result list) Qcache.t;
   e_multi : (multi_key, multi_result list) Qcache.t;
@@ -954,6 +1006,9 @@ type engine = {
       (* mined typestate checker, if loaded: violations of a chain *)
   mutable e_frozen : Graph.frozen;  (* CSR snapshot, valid for [e_gen] *)
   mutable e_reach : Reach.t option;  (* built lazily, valid for [e_gen] *)
+  mutable e_shards : Shard.t option option;
+      (* package-cone shard plan: [None] = not planned yet,
+         [Some None] = planned and unavailable *)
   mutable e_gen : int;  (* graph generation the caches describe *)
 }
 
@@ -977,7 +1032,7 @@ let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ?edge_cost
     | _ -> None
   in
   {
-    e_graph = graph;
+    e_graph = Lazy.from_val graph;
     e_hierarchy = hierarchy;
     e_single = Qcache.create ~capacity:cache_capacity ();
     e_multi = Qcache.create ~capacity:cache_capacity ();
@@ -987,10 +1042,44 @@ let engine ?(cache_capacity = 256) ?(prune = true) ?reach ?pool ?edge_cost
     e_protocol_check = protocol_check;
     e_frozen = frozen;
     e_reach = seed;
+    e_shards = None;
     e_gen = Graph.generation graph;
   }
 
-let engine_graph e = e.e_graph
+(* The warm-start constructor: everything engine-driven runs on the snapshot
+   as loaded (possibly mmapped), and the mutable graph exists only as a
+   lazy rebuild. An [edge_cost] model re-bakes the weighted-cost arrays —
+   snapshots persist only the default baking — and a persisted reach index
+   seeds pruning exactly as in [engine]. *)
+let engine_of_frozen ?(cache_capacity = 256) ?(prune = true) ?reach ?pool
+    ?edge_cost ?protocol_check ~frozen ~hierarchy () =
+  let frozen =
+    match edge_cost with
+    | Some wcost -> Graph.rebake ~wcost frozen
+    | None -> frozen
+  in
+  let gen = Graph.frozen_generation frozen in
+  let seed =
+    match reach with
+    | Some r when prune && Reach.generation r = gen -> Some r
+    | _ -> None
+  in
+  {
+    e_graph = lazy (Graph.of_frozen frozen);
+    e_hierarchy = hierarchy;
+    e_single = Qcache.create ~capacity:cache_capacity ();
+    e_multi = Qcache.create ~capacity:cache_capacity ();
+    e_prune = prune;
+    e_pool = Option.value pool ~default:Pool.sequential;
+    e_edge_cost = edge_cost;
+    e_protocol_check = protocol_check;
+    e_frozen = frozen;
+    e_reach = seed;
+    e_shards = None;
+    e_gen = gen;
+  }
+
+let engine_graph e = Lazy.force e.e_graph
 
 let engine_hierarchy e = e.e_hierarchy
 
@@ -998,20 +1087,30 @@ let engine_edge_cost e = e.e_edge_cost
 
 let engine_protocol_check e = e.e_protocol_check
 
+(* The generation the engine's caches would be validated against right now:
+   the live graph's if the mutable view was ever forced, the snapshot's
+   otherwise. Probing it never forces the rebuild (the server's stats and
+   staleness checks use this). *)
+let engine_live_generation e =
+  if Lazy.is_val e.e_graph then Graph.generation (Lazy.force e.e_graph)
+  else e.e_gen
+
 let invalidate e =
+  let graph = Lazy.force e.e_graph in
   Log.debug (fun m ->
-      m "engine: invalidated at graph generation %d" (Graph.generation e.e_graph));
+      m "engine: invalidated at graph generation %d" (Graph.generation graph));
   Qcache.clear e.e_single;
   Qcache.clear e.e_multi;
   e.e_reach <- None;
-  e.e_frozen <- refreeze ?edge_cost:e.e_edge_cost e.e_graph;
-  e.e_gen <- Graph.generation e.e_graph
+  e.e_shards <- None;
+  e.e_frozen <- refreeze ?edge_cost:e.e_edge_cost graph;
+  e.e_gen <- Graph.generation graph
 
 (* Every cached entry point revalidates first, so mutating the graph (e.g.
    Mining.Enrich splicing in mined examples) transparently flushes both
    caches, the snapshot, and the reach index the next time the engine is
-   used. *)
-let validate e = if Graph.generation e.e_graph <> e.e_gen then invalidate e
+   used. A graph that was never forced cannot have moved. *)
+let validate e = if engine_live_generation e <> e.e_gen then invalidate e
 
 let engine_frozen e =
   validate e;
@@ -1031,6 +1130,27 @@ let engine_reach e =
         e.e_reach <- Some r;
         Some r
 
+(* The package-cone shard plan for the current snapshot, planned on first
+   use (shard contents themselves stay lazy inside [Shard.t]). Needs the
+   reach index — without pruning there is no condensation to plan over. *)
+let engine_shards e =
+  validate e;
+  match e.e_shards with
+  | Some s -> s
+  | None ->
+      let s =
+        match engine_reach e with
+        | None -> None
+        | Some r -> Shard.plan e.e_frozen r
+      in
+      (match s with
+      | Some sh ->
+          Log.debug (fun m ->
+              m "engine: shard plan — %d package groups" (Shard.shard_count sh))
+      | None -> ());
+      e.e_shards <- Some s;
+      s
+
 let engine_stats e = Qcache.merge_stats (Qcache.stats e.e_single) (Qcache.stats e.e_multi)
 
 let single_key ~gen ~settings q =
@@ -1041,7 +1161,7 @@ let run_cached ?(settings = default_settings) e q =
   Qcache.find_or_add e.e_single (single_key ~gen:e.e_gen ~settings q) (fun () ->
       run ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen
         ?edge_cost:e.e_edge_cost ?protocol_check:e.e_protocol_check
-        ~graph:e.e_graph ~hierarchy:e.e_hierarchy q)
+        ~hierarchy:e.e_hierarchy q)
 
 (* The parallel batch replays the sequential cache protocol exactly:
 
@@ -1068,8 +1188,35 @@ let run_batch ?(settings = default_settings) ?pool e qs =
     let key q = single_key ~gen:e.e_gen ~settings q in
     let solve q =
       run ~settings ?reach ~frozen ?edge_cost:e.e_edge_cost
-        ?protocol_check:e.e_protocol_check ~graph:e.e_graph
-        ~hierarchy:e.e_hierarchy q
+        ?protocol_check:e.e_protocol_check ~hierarchy:e.e_hierarchy q
+    in
+    (* Scatter-gather: a query whose target has a package runs on that
+       package group's shard — a sub-snapshot containing the target's whole
+       reachability cone, so the answer is byte-identical to the full-graph
+       one (test_scale.ml pins this against the jobs = 1 oracle). Queries
+       with packageless targets, oversized shards, or a freevar estimator
+       (which measures distances from [void] over the whole graph) fall
+       back to the full snapshot. *)
+    let shards = if settings.estimate_freevars then None else engine_shards e in
+    let solve_routed (q, sub) =
+      match sub with
+      | None -> solve q
+      | Some sfz ->
+          (* No reach index for the shard: its whole point is that the
+             sub-graph is close to the target's cone already. *)
+          run ~settings ~frozen:sfz ?edge_cost:e.e_edge_cost
+            ?protocol_check:e.e_protocol_check ~hierarchy:e.e_hierarchy q
+    in
+    let route q =
+      match shards with
+      | None -> None
+      | Some sh -> (
+          match Graph.frozen_find_type_node frozen q.tout with
+          | None -> None
+          | Some dst -> (
+              match Shard.route sh ~target:dst with
+              | None -> None
+              | Some g -> Shard.sub sh g))
     in
     let seen = Hashtbl.create 64 in
     let misses =
@@ -1083,10 +1230,13 @@ let run_batch ?(settings = default_settings) ?pool e qs =
           end)
         qs
     in
+    (* Shard sub-snapshots are forced here, sequentially, before the fan-out
+       — workers only ever read published shards. *)
+    let routed = List.map (fun q -> (q, route q)) misses in
     let precomputed = Hashtbl.create 64 in
     List.iter
       (fun (k, r) -> Hashtbl.replace precomputed k r)
-      (Pool.map_list pool (fun q -> (key q, solve q)) misses);
+      (Pool.map_list pool (fun ((q, _) as rq) -> (key q, solve_routed rq)) routed);
     List.map
       (fun q ->
         ( q,
@@ -1103,4 +1253,4 @@ let run_multi_cached ?(settings = default_settings) e ~vars ~tout () =
   Qcache.find_or_add e.e_multi k (fun () ->
       run_multi ~settings ?reach:(engine_reach e) ~frozen:e.e_frozen
         ?edge_cost:e.e_edge_cost ?protocol_check:e.e_protocol_check
-        ~graph:e.e_graph ~hierarchy:e.e_hierarchy ~vars ~tout ())
+        ~hierarchy:e.e_hierarchy ~vars ~tout ())

@@ -152,7 +152,7 @@ val run_info :
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
   ?protocol_check:(Jungloid.t -> string list) ->
-  graph:Graph.t ->
+  ?graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
   result list * info
@@ -166,12 +166,16 @@ val run :
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
   ?protocol_check:(Jungloid.t -> string list) ->
-  graph:Graph.t ->
+  ?graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
   result list
 (** Ranked solution jungloids; [[]] when [tin] or [tout] has no node or no
-    path exists. When [?reach] is a {!Reach} index for the graph's current
+    path exists. Exactly one of [?graph] and [?frozen] is required
+    ([Invalid_argument] when both are missing; [?frozen] wins when both are
+    given) — snapshot-only callers (warm-started engines, shard workers)
+    never materialize a mutable graph at all. When [?reach] is a {!Reach}
+    index for the graph's current
     {!Graph.generation}, unsolvable queries are rejected in O(1) and — when
     [tout]'s reachability cone is a small enough fraction of the graph for
     filtering to pay — the search frontier is pruned to the cone; the result
@@ -181,8 +185,11 @@ val run :
     verified results cannot mix.
 
     With [?frozen], the whole pipeline (type lookup, 0-1 BFS, path DFS,
-    jungloid conversion) runs on the CSR snapshot and never reads [graph] —
-    the lock-free server read path. The snapshot is trusted: pass one taken
+    jungloid conversion) runs on the CSR snapshot and never reads the
+    mutable graph —
+    the lock-free server read path. Distances land in recycled per-domain
+    epoch-stamped scratch lanes, so at steady state a query allocates
+    nothing proportional to the graph. The snapshot is trusted: pass one taken
     from this graph (results describe whatever graph it captures), and a
     [?reach] index is matched against the {e snapshot}'s generation. Results
     are byte-identical to the list-based path on the captured graph
@@ -208,7 +215,7 @@ val run_stream :
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
   ?protocol_check:(Jungloid.t -> string list) ->
-  graph:Graph.t ->
+  ?graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   t ->
   result Seq.t
@@ -247,7 +254,7 @@ val run_multi :
   ?verify:verify ->
   ?edge_cost:(Elem.t -> int) ->
   ?protocol_check:(Jungloid.t -> string list) ->
-  graph:Graph.t ->
+  ?graph:Graph.t ->
   hierarchy:Hierarchy.t ->
   vars:(string * Jtype.t) list ->
   tout:Jtype.t ->
@@ -311,7 +318,35 @@ val engine :
     and [settings.protocol] is part of every cache key, so [Filter]ed
     and unfiltered results never mix. *)
 
+val engine_of_frozen :
+  ?cache_capacity:int ->
+  ?prune:bool ->
+  ?reach:Reach.t ->
+  ?pool:Prospector_parallel.Pool.t ->
+  ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
+  frozen:Graph.frozen ->
+  hierarchy:Hierarchy.t ->
+  unit ->
+  engine
+(** An engine over an existing CSR snapshot — the mmap warm-start path: a
+    server restart hands {!Serialize.load_frozen}'s (possibly mmapped)
+    snapshot straight here and starts answering queries without rebuilding
+    anything; the mutable graph behind {!engine_graph} is reconstructed
+    lazily, only if something (enrichment, DOT export) actually needs it.
+    With [?edge_cost] the snapshot's weighted-cost arrays are re-baked
+    under the model ({!Graph.rebake}) so weighted search and the rank layer
+    agree, as in {!engine}. All other parameters behave as in {!engine}. *)
+
 val engine_graph : engine -> Graph.t
+(** The engine's mutable graph — forces the lazy rebuild on a warm-started
+    engine (O(nodes + edges)); engine-driven queries never call this. *)
+
+val engine_live_generation : engine -> int
+(** The generation the engine's caches are validated against: the live
+    graph's if the mutable view was ever forced, the snapshot's otherwise.
+    Unlike [Graph.generation (engine_graph e)], never forces the rebuild —
+    the server's staleness probes use this. *)
 
 val engine_hierarchy : engine -> Javamodel.Hierarchy.t
 
@@ -337,6 +372,13 @@ val engine_reach : engine -> Reach.t option
     [prune:false]. Exposed so a server can persist the index it is already
     using ({!Serialize.save_reach}) instead of computing it twice. *)
 
+val engine_shards : engine -> Shard.t option
+(** The engine's package-cone shard plan for the current snapshot, planned
+    on first use (shard contents stay lazy inside the plan); [None] when
+    sharding is unavailable — no reach index ([prune:false]), or too few
+    packages. {!run_batch} routes through this; it is exposed for the
+    scale bench's shard statistics. *)
+
 val run_cached : ?settings:settings -> engine -> t -> result list
 (** {!run} through the cache: a hit costs one hash lookup; a miss runs the
     reachability-pruned pipeline and stores the result. *)
@@ -357,7 +399,15 @@ val run_batch :
     [find]/[add] sequence the sequential path performs, so the output {e
     and} the cache state afterwards (hits, misses, evictions, recency) are
     byte-identical to [jobs = 1] — parallelism is observable only as
-    wall-clock. *)
+    wall-clock.
+
+    Misses are additionally routed through the engine's package-cone shard
+    plan ({!engine_shards}): a query whose target type has a package runs
+    on the target's package-group sub-snapshot, which contains the whole
+    reachability cone of the target by construction, so results stay
+    byte-identical to the [jobs = 1] oracle ([test_scale.ml] pins this on
+    generated worlds). Packageless targets, oversized shards, and
+    [settings.estimate_freevars] runs fall back to the full snapshot. *)
 
 val run_multi_cached :
   ?settings:settings ->

@@ -32,7 +32,7 @@ module Bits = struct
 
   let set (b : t) i = b.(i / word) <- b.(i / word) lor (1 lsl (i mod word))
 
-  let mem (b : t) i = b.(i / word) land (1 lsl (i mod word)) <> 0
+  let[@inline] mem (b : t) i = b.(i / word) land (1 lsl (i mod word)) <> 0
 
   let union_into ~(dst : t) (src : t) =
     for k = 0 to Array.length dst - 1 do
@@ -49,6 +49,7 @@ type t = {
   built_at : int;  (* graph generation at build time *)
   comp : int array;  (* node -> component id, ids in reverse topological order *)
   creach : Bits.t array;  (* component -> bitset of reachable nodes *)
+  csize : int array;  (* component -> member count, for O(SCCs) cone sizing *)
 }
 
 (* Iterative Tarjan over the CSR: the explicit stack holds (node, next edge
@@ -56,7 +57,7 @@ type t = {
    parent beneath it, and a root pops its whole component. Visit order
    follows the row order — the same successor order the list-based graph
    yields — so component numbering is deterministic. *)
-let compute_sccs n ~off ~adj =
+let compute_sccs n ~(off : Graph.int_array1) ~(adj : Graph.int_array1) =
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -75,15 +76,15 @@ let compute_sccs n ~off ~adj =
   for root = 0 to n - 1 do
     if index.(root) < 0 then begin
       visit root;
-      Stack.push (root, off.(root)) call;
+      Stack.push (root, off.{root}) call;
       while not (Stack.is_empty call) do
         let v, k = Stack.pop call in
-        if k < off.(v + 1) then begin
-          let w = adj.(k) in
+        if k < off.{v + 1} then begin
+          let w = adj.{k} in
           Stack.push (v, k + 1) call;
           if index.(w) < 0 then begin
             visit w;
-            Stack.push (w, off.(w)) call
+            Stack.push (w, off.{w}) call
           end
           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
         end
@@ -128,8 +129,8 @@ let build_frozen ?pool (fz : Graph.frozen) =
   for c = 0 to ncomp - 1 do
     List.iter
       (fun u ->
-        for k = off.(u) to off.(u + 1) - 1 do
-          let cv = comp.(adj.(k)) in
+        for k = off.{u} to off.{u + 1} - 1 do
+          let cv = comp.(adj.{k}) in
           if cv <> c && level.(cv) + 1 > level.(c) then level.(c) <- level.(cv) + 1
         done)
       members.(c);
@@ -150,8 +151,8 @@ let build_frozen ?pool (fz : Graph.frozen) =
     List.iter
       (fun u ->
         Bits.set bits u;
-        for k = off.(u) to off.(u + 1) - 1 do
-          let cv = comp.(adj.(k)) in
+        for k = off.{u} to off.{u + 1} - 1 do
+          let cv = comp.(adj.{k}) in
           if cv <> c && not (Hashtbl.mem seen cv) then begin
             Hashtbl.add seen cv ();
             Bits.union_into ~dst:bits creach.(cv)
@@ -165,7 +166,11 @@ let build_frozen ?pool (fz : Graph.frozen) =
       let comps = Array.of_list comps in
       Pool.parallel_for pool ~n:(Array.length comps) (fun i -> close comps.(i)))
     by_level;
-  { n; built_at = fz.Graph.f_generation; comp; creach }
+  let csize = Array.make ncomp 0 in
+  for u = 0 to n - 1 do
+    csize.(comp.(u)) <- csize.(comp.(u)) + 1
+  done;
+  { n; built_at = fz.Graph.f_generation; comp; creach; csize }
 
 let build ?pool g = build_frozen ?pool (Graph.freeze g)
 
@@ -174,6 +179,8 @@ let generation t = t.built_at
 let node_count t = t.n
 
 let scc_count t = Array.length t.creach
+
+let components t = t.comp
 
 (* Nodes the index has never seen (created after the build) are conservatively
    reported reachable: [mem] is a pruning oracle, and "don't prune" is the
@@ -189,15 +196,39 @@ let viable t ~target =
     let n = t.n and comp = t.comp and creach = t.creach in
     fun u -> u < 0 || u >= n || Bits.mem creach.(comp.(u)) target
 
-let cone_size t ~target =
-  if target < 0 || target >= t.n then t.n
+(* The cone of a target, flipped component-wise: instead of a per-node
+   closure probe (node -> component -> bitset-of-nodes), precompute the set
+   of components that reach the target as a bitset over component ids. The
+   search's viability check then costs two array loads and a mask — no
+   closure call — and building the cone is O(SCCs), not O(nodes), because
+   [csize] carries member counts. *)
+type cone = {
+  cone_comp : int array;  (* node -> component id (shared with the index) *)
+  cone_bits : Bits.t;  (* component ids that reach the target *)
+}
+
+let cone t ~target =
+  if target < 0 || target >= t.n then None
   else begin
-    let c = ref 0 in
-    for u = 0 to t.n - 1 do
-      if Bits.mem t.creach.(t.comp.(u)) target then incr c
+    let ncomp = Array.length t.creach in
+    let bits = Bits.create ncomp in
+    let size = ref 0 in
+    for c = 0 to ncomp - 1 do
+      if Bits.mem t.creach.(c) target then begin
+        Bits.set bits c;
+        size := !size + t.csize.(c)
+      end
     done;
-    !c
+    Some ({ cone_comp = t.comp; cone_bits = bits }, !size)
   end
+
+let cone_viable cn =
+  let comp = cn.cone_comp and bits = cn.cone_bits in
+  let n = Array.length comp in
+  fun u -> u < 0 || u >= n || Bits.mem bits comp.(u)
+
+let cone_size t ~target =
+  match cone t ~target with None -> t.n | Some (_, size) -> size
 
 let reachable_count t ~src =
   if src < 0 || src >= t.n then t.n else Bits.count t.creach.(t.comp.(src))
@@ -228,4 +259,8 @@ let undump d =
     invalid_arg
       (Printf.sprintf "Reach.undump: index format version %d, expected %d" d.d_version
          dump_version);
-  { n = d.d_n; built_at = d.d_built_at; comp = d.d_comp; creach = d.d_creach }
+  (* [csize] is derivable, so the dump format (version 1) doesn't carry it. *)
+  let ncomp = Array.length d.d_creach in
+  let csize = Array.make ncomp 0 in
+  Array.iter (fun c -> csize.(c) <- csize.(c) + 1) d.d_comp;
+  { n = d.d_n; built_at = d.d_built_at; comp = d.d_comp; creach = d.d_creach; csize }

@@ -14,6 +14,22 @@
     pruned search enumerates exactly the same path set in exactly the same
     order ([test_reach.ml] checks this property on randomized graphs). *)
 
+(** Compact bitsets over dense int ids ([Sys.int_size] bits per word).
+    Exposed so hot loops ({!Search.Csr}, {!Shard}) can probe a {!cone}
+    directly instead of going through a closure. *)
+module Bits : sig
+  type t = int array
+
+  val word : int
+
+  val create : int -> t
+  (** [create n] — an all-zero bitset over ids [0 .. n-1]. *)
+
+  val set : t -> int -> unit
+
+  val mem : t -> int -> bool
+end
+
 type t
 
 val build : ?pool:Prospector_parallel.Pool.t -> Graph.t -> t
@@ -38,6 +54,11 @@ val node_count : t -> int
 
 val scc_count : t -> int
 
+val components : t -> int array
+(** The node -> SCC id map (ids in reverse topological order — a
+    component's successors all have smaller ids). Shared with the index;
+    treat as read-only. {!Shard} uses it to run DPs over the condensation. *)
+
 val mem : t -> src:Graph.node -> target:Graph.node -> bool
 (** [mem t ~src ~target] — can [src] reach [target]? Nodes outside the
     indexed range (created after the build) are conservatively reported
@@ -46,6 +67,25 @@ val mem : t -> src:Graph.node -> target:Graph.node -> bool
 val viable : t -> target:Graph.node -> Graph.node -> bool
 (** [viable t ~target] specialized as a predicate for {!Search}'s [?viable]
     argument; same conservative out-of-range behavior as {!mem}. *)
+
+(** A target's reachability cone in probe form: bit [cone_comp.(u)] of
+    [cone_bits] says whether [u] can reach the target. Two array loads and a
+    mask per check — the allocation-free, closure-free viability test the
+    CSR search inlines per relaxed edge. *)
+type cone = {
+  cone_comp : int array;  (** node -> SCC id; shared with the index *)
+  cone_bits : Bits.t;  (** over SCC ids: components that reach the target *)
+}
+
+val cone : t -> target:Graph.node -> (cone * int) option
+(** The cone of [target] together with its node count, in O(SCCs) — the
+    member-count sum replaces the old O(nodes) sweep, which mattered once
+    cones were built per query at 10^5+ nodes. [None] when [target] is
+    outside the indexed range (the caller must then search unpruned). *)
+
+val cone_viable : cone -> Graph.node -> bool
+(** The cone as a predicate, for the list-based {!Search} functions' [?viable]
+    hook; out-of-range nodes are conservatively viable, matching {!viable}. *)
 
 val cone_size : t -> target:Graph.node -> int
 (** Number of nodes that can reach [target] — the pruned search's whole

@@ -43,6 +43,174 @@ module Deque = struct
             Some x)
 end
 
+(* A growable circular deque of ints for the CSR 0-1 BFS. Entries pack a
+   (distance, node) pair as [(d lsl 31) lor u]; distances are bounded by the
+   node count and node ids are dense, so both halves fit comfortably. The
+   flat buffer avoids the cons-cell allocation of the list Deque on every
+   relaxation — one of the wins (with adjacency locality) of the CSR path. *)
+module Ideque = struct
+  type t = {
+    mutable buf : int array;
+    mutable head : int;  (* index of the front element *)
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 64 0; head = 0; len = 0 }
+
+  (* A drained deque keeps its grown buffer; reset just rewinds the
+     cursors so the buffer can serve the next query. *)
+  let reset d =
+    d.head <- 0;
+    d.len <- 0
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf' = Array.make (cap * 2) 0 in
+    for i = 0 to d.len - 1 do
+      buf'.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- buf';
+    d.head <- 0
+
+  let push_front d x =
+    if d.len = Array.length d.buf then grow d;
+    let cap = Array.length d.buf in
+    d.head <- (d.head + cap - 1) mod cap;
+    d.buf.(d.head) <- x;
+    d.len <- d.len + 1
+
+  let push_back d x =
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
+    d.len <- d.len + 1
+
+  (* Packed entries are non-negative, so -1 is a safe empty marker. *)
+  let pop_front d =
+    if d.len = 0 then -1
+    else begin
+      let x = d.buf.(d.head) in
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.len <- d.len - 1;
+      x
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-stamped distance maps and per-domain scratch                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A distance map that may be backed by recycled scratch: entry [u] is
+   valid only when [stamp.(u) = epoch], otherwise it reads as [max_int].
+   [epoch = 0] marks a plain (fully initialized) array — lane epochs are
+   always >= 1 — so the plain case pays no stamp lookup. The point of the
+   stamps is that a recycled lane never needs an O(n) clearing pass between
+   queries: bumping the epoch invalidates every previous entry at once. *)
+module Dist = struct
+  type t = {
+    d : int array;  (* capacity may exceed the current graph's node count *)
+    stamp : int array;
+    epoch : int;
+  }
+
+  let of_array a = { d = a; stamp = [||]; epoch = 0 }
+
+  let[@inline] get t u =
+    if u < 0 || u >= Array.length t.d then max_int
+    else if t.epoch = 0 then Array.unsafe_get t.d u
+    else if Array.unsafe_get t.stamp u = t.epoch then Array.unsafe_get t.d u
+    else max_int
+
+  let snapshot ~n t = Array.init n (fun u -> get t u)
+end
+
+(* Per-domain scratch: distance/stamp lanes and one packed deque, reused
+   across queries so the steady-state search allocates nothing O(n). A
+   caller brackets its query in [with_frame]; lanes taken inside the frame
+   return to the free list when the outermost frame ends (frames nest —
+   only the outermost releases, so a query running inside another query's
+   frame cannot recycle its caller's live lanes). Taking a lane bumps its
+   epoch, which invalidates all its previous contents without touching
+   them; on the (once per ~2^62 takes) epoch wrap the stamps are zeroed
+   explicitly. Outside any frame [take] hands out a fresh one-shot lane —
+   nothing would ever release a pooled one, and one-shot lanes are safe to
+   let escape (which [run_stream]'s lazily-forced sequences rely on). *)
+module Scratch = struct
+  type lane = {
+    mutable ld : int array;
+    mutable lstamp : int array;
+    mutable lepoch : int;
+  }
+
+  type t = {
+    mutable free : lane list;
+    mutable busy : lane list;
+    mutable dq : Ideque.t option;
+    mutable depth : int;
+  }
+
+  let create () = { free = []; busy = []; dq = Some (Ideque.create ()); depth = 0 }
+
+  let key = Domain.DLS.new_key create
+
+  let domain () = Domain.DLS.get key
+
+  let oneshot n = { ld = Array.make n 0; lstamp = Array.make n 0; lepoch = 1 }
+
+  let take t n =
+    if t.depth = 0 then oneshot n
+    else begin
+      let l =
+        match t.free with
+        | l :: rest ->
+            t.free <- rest;
+            l
+        | [] -> { ld = [||]; lstamp = [||]; lepoch = 0 }
+      in
+      t.busy <- l :: t.busy;
+      if Array.length l.ld < n then begin
+        let cap = max n (2 * Array.length l.ld) in
+        l.ld <- Array.make cap 0;
+        l.lstamp <- Array.make cap 0;
+        l.lepoch <- 0
+      end;
+      if l.lepoch = max_int then begin
+        Array.fill l.lstamp 0 (Array.length l.lstamp) 0;
+        l.lepoch <- 0
+      end;
+      l.lepoch <- l.lepoch + 1;
+      l
+    end
+
+  let take_dq t =
+    match t.dq with
+    | Some d ->
+        t.dq <- None;
+        Ideque.reset d;
+        d
+    | None -> Ideque.create ()
+
+  let give_dq t d =
+    match t.dq with
+    | None ->
+        Ideque.reset d;
+        t.dq <- Some d
+    | Some _ -> ()
+
+  let enter t = t.depth <- t.depth + 1
+
+  let leave t =
+    t.depth <- t.depth - 1;
+    if t.depth <= 0 then begin
+      t.depth <- 0;
+      t.free <- List.rev_append t.busy t.free;
+      t.busy <- []
+    end
+
+  let with_frame t f =
+    enter t;
+    Fun.protect ~finally:(fun () -> leave t) f
+end
+
 (* 0-1 BFS: [next u f] calls [f cost v] for each neighbor, cost 0 or 1 —
    an iterator rather than a returned list, so relaxing a node allocates
    nothing (the old [List.map]-per-visited-node built a transient pair list
@@ -86,9 +254,14 @@ let oracle = function None -> fun _ -> true | Some ok -> ok
    arbitrary non-negative ints and the 0-1 deque trick no longer applies.
    The heap holds (dist, node) in two parallel arrays — unpacked, because
    weighted distances need not fit the 31-bit packing of the 0-1 deque.
-   Lazy deletion: stale entries (dist no longer current) are skipped. *)
-let dijkstra n ~starts ~next =
-  let dist = Array.make n max_int in
+   Lazy deletion: stale entries (dist no longer current) are skipped.
+   Distances live in an epoch-stamped lane so the CSR path can recycle it
+   across queries; the list-API wrapper below materializes the plain
+   max_int-initialized array the public signature promises. *)
+let dijkstra_into (lane : Scratch.lane) n ~starts ~next =
+  let dist = lane.Scratch.ld
+  and stamp = lane.Scratch.lstamp
+  and epoch = lane.Scratch.lepoch in
   let hd = ref (Array.make 64 0) in
   (* distances *)
   let hn = ref (Array.make 64 0) in
@@ -141,8 +314,9 @@ let dijkstra n ~starts ~next =
   in
   List.iter
     (fun s ->
-      if s >= 0 && s < n && dist.(s) > 0 then begin
+      if s >= 0 && s < n && (stamp.(s) <> epoch || dist.(s) > 0) then begin
         dist.(s) <- 0;
+        stamp.(s) <- epoch;
         push 0 s
       end)
     starts;
@@ -151,10 +325,23 @@ let dijkstra n ~starts ~next =
     if du = dist.(u) then
       next u (fun cost v ->
           let d = du + cost in
-          if d < dist.(v) then begin
+          let dv =
+            if Array.unsafe_get stamp v = epoch then Array.unsafe_get dist v
+            else max_int
+          in
+          if d < dv then begin
             dist.(v) <- d;
+            stamp.(v) <- epoch;
             push d v
           end)
+  done
+
+let dijkstra n ~starts ~next =
+  let lane = Scratch.oneshot n in
+  dijkstra_into lane n ~starts ~next;
+  let dist = lane.Scratch.ld and stamp = lane.Scratch.lstamp in
+  for u = 0 to n - 1 do
+    if stamp.(u) <> 1 then dist.(u) <- max_int
   done;
   dist
 
@@ -280,67 +467,36 @@ let enumerate_per_source g ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable
 (* CSR variants: the same algorithms over a frozen snapshot            *)
 (* ------------------------------------------------------------------ *)
 
-(* A growable circular deque of ints for the CSR 0-1 BFS. Entries pack a
-   (distance, node) pair as [(d lsl 31) lor u]; distances are bounded by the
-   node count and node ids are dense, so both halves fit comfortably. The
-   flat buffer avoids the cons-cell allocation of the list Deque on every
-   relaxation — one of the two wins (with adjacency locality) of the CSR
-   path. *)
-module Ideque = struct
-  type t = {
-    mutable buf : int array;
-    mutable head : int;  (* index of the front element *)
-    mutable len : int;
-  }
-
-  let create () = { buf = Array.make 64 0; head = 0; len = 0 }
-
-  let grow d =
-    let cap = Array.length d.buf in
-    let buf' = Array.make (cap * 2) 0 in
-    for i = 0 to d.len - 1 do
-      buf'.(i) <- d.buf.((d.head + i) mod cap)
-    done;
-    d.buf <- buf';
-    d.head <- 0
-
-  let push_front d x =
-    if d.len = Array.length d.buf then grow d;
-    let cap = Array.length d.buf in
-    d.head <- (d.head + cap - 1) mod cap;
-    d.buf.(d.head) <- x;
-    d.len <- d.len + 1
-
-  let push_back d x =
-    if d.len = Array.length d.buf then grow d;
-    d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
-    d.len <- d.len + 1
-
-  (* Packed entries are non-negative, so -1 is a safe empty marker. *)
-  let pop_front d =
-    if d.len = 0 then -1
-    else begin
-      let x = d.buf.(d.head) in
-      d.head <- (d.head + 1) mod Array.length d.buf;
-      d.len <- d.len - 1;
-      x
-    end
-end
-
 module Csr = struct
+  let lane_of scratch n =
+    match scratch with Some s -> Scratch.take s n | None -> Scratch.oneshot n
+
+  let dist_of (lane : Scratch.lane) =
+    { Dist.d = lane.Scratch.ld; stamp = lane.Scratch.lstamp; epoch = lane.Scratch.lepoch }
+
   (* Shared 0-1 BFS core over one direction of the CSR: [off]/[adj]/[cost]
-     are either the forward or the backward arrays. Relaxation order within
+     are either the forward or the backward lanes. Relaxation order within
      a node follows the array order, which freeze built to match the
      adjacency lists, so distances (and the enumeration order downstream)
-     agree with the list implementation exactly. *)
-  let bfs n ~starts ~off ~adj ~cost ~viable =
-    let dist = Array.make n max_int in
-    let dq = Ideque.create () in
-    let ok = match viable with None -> fun _ -> true | Some f -> f in
+     agree with the list implementation exactly. The viability check is the
+     cone's bitset probed inline — two array loads per relaxed edge, no
+     closure call. *)
+  let bfs_into (lane : Scratch.lane) dq n ~starts ~(off : Graph.int_array1)
+      ~(adj : Graph.int_array1) ~(cost : Graph.cost_array1) ~cone =
+    let dist = lane.Scratch.ld
+    and stamp = lane.Scratch.lstamp
+    and epoch = lane.Scratch.lepoch in
+    let comp, cbits =
+      match (cone : Reach.cone option) with
+      | Some c -> (c.Reach.cone_comp, c.Reach.cone_bits)
+      | None -> ([||], [||])
+    in
+    let pruned = Array.length comp > 0 in
     List.iter
       (fun s ->
-        if s >= 0 && s < n && dist.(s) > 0 then begin
+        if s >= 0 && s < n && (stamp.(s) <> epoch || dist.(s) > 0) then begin
           dist.(s) <- 0;
+          stamp.(s) <- epoch;
           Ideque.push_front dq s (* d = 0: the packed entry is just the id *)
         end)
       starts;
@@ -351,96 +507,139 @@ module Csr = struct
       else begin
         let u = x land 0x7FFFFFFF in
         let du = x lsr 31 in
+        (* [u] was pushed, so its stamp is current: the plain read is exact. *)
         if du = dist.(u) then
-          for k = off.(u) to off.(u + 1) - 1 do
-            let v = adj.(k) in
-            let c = cost.(k) in
+          for k = off.{u} to off.{u + 1} - 1 do
+            let v = adj.{k} in
+            let c = cost.{k} in
             let d = du + c in
-            if d < dist.(v) && ok v then begin
-              dist.(v) <- d;
+            let dv =
+              if Array.unsafe_get stamp v = epoch then Array.unsafe_get dist v
+              else max_int
+            in
+            if
+              d < dv
+              && ((not pruned)
+                 || Reach.Bits.mem cbits (Array.unsafe_get comp v))
+            then begin
+              Array.unsafe_set dist v d;
+              Array.unsafe_set stamp v epoch;
               let packed = (d lsl 31) lor v in
               if c = 0 then Ideque.push_front dq packed else Ideque.push_back dq packed
             end
           done
       end
-    done;
-    dist
+    done
 
-  let distances_to ?viable fz ~target =
-    bfs fz.Graph.f_nodes ~starts:[ target ] ~off:fz.Graph.f_bwd_off
-      ~adj:fz.Graph.f_bwd_src ~cost:fz.Graph.f_bwd_cost ~viable
+  let bfs ?scratch n ~starts ~off ~adj ~cost ~cone =
+    let lane = lane_of scratch n in
+    let dq =
+      match scratch with Some s -> Scratch.take_dq s | None -> Ideque.create ()
+    in
+    bfs_into lane dq n ~starts ~off ~adj ~cost ~cone;
+    (match scratch with Some s -> Scratch.give_dq s dq | None -> ());
+    dist_of lane
+
+  let distances_to ?scratch ?cone fz ~target =
+    bfs ?scratch fz.Graph.f_nodes ~starts:[ target ] ~off:fz.Graph.f_bwd_off
+      ~adj:fz.Graph.f_bwd_src ~cost:fz.Graph.f_bwd_cost ~cone
 
   (* Weighted (mined) distances to the target, over the baked-in
      [f_bwd_wcost] — the backward rows carry no [edge], so the cost model
      must have been supplied at freeze time. *)
-  let weighted_distances_to ?viable fz ~target =
+  let weighted_distances_to ?scratch ?cone fz ~target =
     let off = fz.Graph.f_bwd_off in
     let adj = fz.Graph.f_bwd_src in
     let wcost = fz.Graph.f_bwd_wcost in
-    let ok = oracle viable in
-    dijkstra fz.Graph.f_nodes ~starts:[ target ] ~next:(fun u f ->
-        for k = off.(u) to off.(u + 1) - 1 do
-          let v = adj.(k) in
-          if ok v then f wcost.(k) v
-        done)
+    let n = fz.Graph.f_nodes in
+    let comp, cbits =
+      match (cone : Reach.cone option) with
+      | Some c -> (c.Reach.cone_comp, c.Reach.cone_bits)
+      | None -> ([||], [||])
+    in
+    let pruned = Array.length comp > 0 in
+    let lane = lane_of scratch n in
+    dijkstra_into lane n ~starts:[ target ] ~next:(fun u f ->
+        for k = off.{u} to off.{u + 1} - 1 do
+          let v = adj.{k} in
+          if (not pruned) || Reach.Bits.mem cbits comp.(v) then f wcost.(k) v
+        done);
+    dist_of lane
 
-  let distances_from ?viable fz ~sources =
-    bfs fz.Graph.f_nodes ~starts:sources ~off:fz.Graph.f_fwd_off
-      ~adj:fz.Graph.f_fwd_dst ~cost:fz.Graph.f_fwd_cost ~viable
+  let distances_from ?scratch ?cone fz ~sources =
+    bfs ?scratch fz.Graph.f_nodes ~starts:sources ~off:fz.Graph.f_fwd_off
+      ~adj:fz.Graph.f_fwd_dst ~cost:fz.Graph.f_fwd_cost ~cone
 
-  let shortest_cost ?viable fz ~sources ~target =
+  let shortest_cost ?scratch ?cone fz ~sources ~target =
     let sources =
-      match viable with None -> sources | Some ok -> List.filter ok sources
+      match cone with
+      | None -> sources
+      | Some c -> List.filter (Reach.cone_viable c) sources
     in
     if sources = [] then None
     else
-      let dist = distances_from ?viable fz ~sources in
-      if target < Array.length dist && dist.(target) < max_int then Some dist.(target)
-      else None
+      let dist = distances_from ?scratch ?cone fz ~sources in
+      match Dist.get dist target with d when d < max_int -> Some d | _ -> None
 
   (* The DFS core of the list implementation, with the successor iteration
-     turned into an index loop over the CSR row. *)
-  let dfs_from fz ~target ~dist_to ~on_path ~budget ~limit ~count ~results source =
+     turned into an index loop over the CSR row. Two scale-driven changes
+     against the list version: the path accumulates edge {e indices} and
+     resolves them through the cold [f_fwd_edge] table only when a complete
+     path is materialized (the boxed edge records stay out of the search's
+     cache lines), and the on-path marker is an epoch-stamped lane instead
+     of an [Array.make n false] per enumeration. *)
+  let dfs_from fz ~target ~(dist_to : Dist.t) ~(on_path : Scratch.lane) ~budget
+      ~limit ~count ~results source =
     let off = fz.Graph.f_fwd_off in
     let dst = fz.Graph.f_fwd_dst in
     let cost = fz.Graph.f_fwd_cost in
     let edge = fz.Graph.f_fwd_edge in
-    let rec dfs u ucost rev_edges =
+    let dd = dist_to.Dist.d
+    and dstamp = dist_to.Dist.stamp
+    and depoch = dist_to.Dist.epoch in
+    let pstamp = on_path.Scratch.lstamp and pepoch = on_path.Scratch.lepoch in
+    let rec dfs u ucost rev_ks =
       if !count < limit then begin
-        if u = target && rev_edges <> [] && ucost > 0 then begin
+        if u = target && rev_ks <> [] && ucost > 0 then begin
           incr count;
-          results := { source; edges = List.rev rev_edges } :: !results
+          results :=
+            { source; edges = List.rev_map (fun k -> edge.(k)) rev_ks } :: !results
         end;
         (* Same acyclicity cut as the list version: nothing extends a path
            already at the target. *)
-        if u <> target || rev_edges = [] then
-          for k = off.(u) to off.(u + 1) - 1 do
-            let v = dst.(k) in
-            let c' = ucost + cost.(k) in
-            if (not on_path.(v)) && dist_to.(v) < max_int && c' + dist_to.(v) <= budget
-            then begin
-              on_path.(v) <- true;
-              dfs v c' (edge.(k) :: rev_edges);
-              on_path.(v) <- false
+        if u <> target || rev_ks = [] then
+          for k = off.{u} to off.{u + 1} - 1 do
+            let v = dst.{k} in
+            let c' = ucost + cost.{k} in
+            let dv =
+              if depoch = 0 then Array.unsafe_get dd v
+              else if Array.unsafe_get dstamp v = depoch then Array.unsafe_get dd v
+              else max_int
+            in
+            if pstamp.(v) <> pepoch && dv < max_int && c' + dv <= budget then begin
+              pstamp.(v) <- pepoch;
+              dfs v c' (k :: rev_ks);
+              (* 0 is never a live epoch, so this unmarks unconditionally *)
+              pstamp.(v) <- 0
             end
           done
       end
     in
-    if dist_to.(source) < max_int then begin
-      on_path.(source) <- true;
+    if Dist.get dist_to source < max_int then begin
+      pstamp.(source) <- pepoch;
       dfs source 0 [];
-      on_path.(source) <- false
+      pstamp.(source) <- 0
     end
 
-  let enumerate fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable ?truncated
-      () =
-    match shortest_cost ?viable fz ~sources ~target with
+  let enumerate ?scratch fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?cone
+      ?truncated () =
+    match shortest_cost ?scratch ?cone fz ~sources ~target with
     | None -> []
     | Some m ->
         let budget = m + slack in
-        let dist_to = distances_to ?viable fz ~target in
+        let dist_to = distances_to ?scratch ?cone fz ~target in
         let n = fz.Graph.f_nodes in
-        let on_path = Array.make n false in
+        let on_path = lane_of scratch n in
         let results = ref [] in
         let count = ref 0 in
         List.iter
@@ -449,20 +648,20 @@ module Csr = struct
         flag_truncated truncated ~count ~limit;
         List.rev !results
 
-  let enumerate_per_source fz ~sources ~target ?(slack = 1) ?(limit = 4096) ?viable
-      ?truncated () =
+  let enumerate_per_source ?scratch fz ~sources ~target ?(slack = 1) ?(limit = 4096)
+      ?cone ?truncated () =
     if target >= fz.Graph.f_nodes then []
     else
-      let dist_to = distances_to ?viable fz ~target in
+      let dist_to = distances_to ?scratch ?cone fz ~target in
       let n = fz.Graph.f_nodes in
-      let on_path = Array.make n false in
+      let on_path = lane_of scratch n in
       let results = ref [] in
       let count = ref 0 in
       List.iter
         (fun source ->
-          if source < n && dist_to.(source) < max_int then
+          if source < n && Dist.get dist_to source < max_int then
             dfs_from fz ~target ~dist_to ~on_path
-              ~budget:(dist_to.(source) + slack)
+              ~budget:(Dist.get dist_to source + slack)
               ~limit ~count ~results source)
         (List.sort_uniq compare sources);
       flag_truncated truncated ~count ~limit;

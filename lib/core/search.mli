@@ -14,6 +14,64 @@ type path = {
   edges : Graph.edge list;  (** in order from source to target *)
 }
 
+(** {2 Epoch-stamped distances and per-domain scratch}
+
+    At 10^5–10^6 nodes, a per-query [Array.make n max_int] dominates the
+    cheap queries. The CSR search therefore writes distances into recycled
+    per-domain lanes, invalidated wholesale by bumping an epoch — no O(n)
+    allocation or clearing between queries. {!Dist.t} is the read side:
+    entries whose stamp doesn't match the epoch read as [max_int]. *)
+
+module Dist : sig
+  type t = {
+    d : int array;  (** capacity may exceed the graph's node count *)
+    stamp : int array;  (** entry [u] is live iff [stamp.(u) = epoch] *)
+    epoch : int;  (** [0] = plain array, every entry live *)
+  }
+
+  val of_array : int array -> t
+  (** Wrap a fully-initialized distance array (the list-based API's
+      result); reads never consult stamps. *)
+
+  val get : t -> int -> int
+  (** Distance of a node; [max_int] when unreached, stale, or out of
+      range. *)
+
+  val snapshot : n:int -> t -> int array
+  (** Materialize entries [0..n-1] as a plain array ([max_int] for
+      unreached) — for tests and callers that outlive the scratch frame. *)
+end
+
+module Scratch : sig
+  type lane = {
+    mutable ld : int array;
+    mutable lstamp : int array;
+    mutable lepoch : int;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val domain : unit -> t
+  (** This domain's scratch (domain-local storage). Lanes are recycled per
+      domain, so a {!Dist.t} produced under scratch must not be read from
+      another domain or after the frame ends. *)
+
+  val with_frame : t -> (unit -> 'a) -> 'a
+  (** Run a query body; lanes taken inside return to the pool when the
+      {e outermost} frame ends (frames nest safely — an inner query cannot
+      recycle its caller's live lanes). *)
+
+  val take : t -> int -> lane
+  (** A lane with capacity for [n] nodes and a freshly bumped epoch (all
+      previous contents invalid). Inside a frame, recycled; outside any
+      frame, a fresh one-shot lane that is safe to let escape. *)
+
+  val oneshot : int -> lane
+  (** A fresh untracked lane (epoch 1, nothing live). *)
+end
+
 val distances_to : ?viable:(Graph.node -> bool) -> Graph.t -> target:Graph.node -> int array
 (** Cost of the cheapest path from each node to [target]; [max_int] when
     unreachable.
@@ -92,55 +150,76 @@ val path_cost : path -> int
 
 (** {2 CSR variants}
 
-    The same five entry points over a {!Graph.frozen} snapshot. The 0-1 BFS
-    runs on the flat offset/cost arrays with an int-packed circular deque
-    (no per-relaxation allocation) and the path DFS iterates CSR rows
-    instead of cons lists. Because {!Graph.freeze} preserves adjacency
-    order, each function returns {e exactly} what its list counterpart
-    returns on the graph the snapshot was taken from — the determinism suite
+    The same five entry points over a {!Graph.frozen} snapshot, built for
+    scale: the 0-1 BFS runs over the out-of-heap offset/cost lanes with an
+    int-packed circular deque, distances land in epoch-stamped scratch
+    (pass [?scratch] — usually {!Scratch.domain} — inside a
+    {!Scratch.with_frame} to make the steady state allocation-free), the
+    viability check is {!Reach.cone}'s bitset probed inline rather than a
+    closure call per relaxed edge, and the path DFS tracks cold edge-table
+    {e indices}, resolving boxed {!Graph.edge}s only when a complete path
+    is materialized. Because {!Graph.freeze} preserves adjacency order,
+    each function returns {e exactly} what its list counterpart returns on
+    the graph the snapshot was taken from — the determinism suite
     ([test_parallel.ml]) and the engine equivalence suite ([test_cache.ml])
     both pin this.
 
     These functions never touch the originating mutable graph, so they are
-    safe to call from many domains sharing one snapshot. *)
+    safe to call from many domains sharing one snapshot (each domain using
+    its own scratch). *)
 
 module Csr : sig
   val distances_to :
-    ?viable:(Graph.node -> bool) -> Graph.frozen -> target:Graph.node -> int array
+    ?scratch:Scratch.t ->
+    ?cone:Reach.cone ->
+    Graph.frozen ->
+    target:Graph.node ->
+    Dist.t
 
   val distances_from :
-    ?viable:(Graph.node -> bool) -> Graph.frozen -> sources:Graph.node list -> int array
+    ?scratch:Scratch.t ->
+    ?cone:Reach.cone ->
+    Graph.frozen ->
+    sources:Graph.node list ->
+    Dist.t
 
   val weighted_distances_to :
-    ?viable:(Graph.node -> bool) -> Graph.frozen -> target:Graph.node -> int array
+    ?scratch:Scratch.t ->
+    ?cone:Reach.cone ->
+    Graph.frozen ->
+    target:Graph.node ->
+    Dist.t
   (** Like {!Search.weighted_distances_to}, but the cost model is the one
       baked into the snapshot's [f_bwd_wcost] at freeze time. *)
 
   val shortest_cost :
-    ?viable:(Graph.node -> bool) ->
+    ?scratch:Scratch.t ->
+    ?cone:Reach.cone ->
     Graph.frozen ->
     sources:Graph.node list ->
     target:Graph.node ->
     int option
 
   val enumerate :
+    ?scratch:Scratch.t ->
     Graph.frozen ->
     sources:Graph.node list ->
     target:Graph.node ->
     ?slack:int ->
     ?limit:int ->
-    ?viable:(Graph.node -> bool) ->
+    ?cone:Reach.cone ->
     ?truncated:bool ref ->
     unit ->
     path list
 
   val enumerate_per_source :
+    ?scratch:Scratch.t ->
     Graph.frozen ->
     sources:Graph.node list ->
     target:Graph.node ->
     ?slack:int ->
     ?limit:int ->
-    ?viable:(Graph.node -> bool) ->
+    ?cone:Reach.cone ->
     ?truncated:bool ref ->
     unit ->
     path list

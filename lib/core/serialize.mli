@@ -10,16 +10,59 @@
 
 exception Format_error of string
 
+(** Why a cache file could not be loaded. Loaders classify every failure —
+    missing file, short read, foreign file, version skew, garbled Marshal
+    payload — instead of letting [Failure]/[End_of_file] escape from
+    Marshal: a corrupt cache must degrade to a cold rebuild (with a
+    warning), never crash the server ([serve.t] pins the CLI behavior). *)
+type error =
+  | Io of string  (** open/read failed ([Sys_error]/[Unix_error] text) *)
+  | Bad_magic of string  (** not one of our files; carries what was found *)
+  | Bad_version of { found : int; expected : int }
+  | Corrupt of string  (** right header, unusable payload *)
+
+val error_message : error -> string
+(** One-line human-readable rendering (for warnings and logs). *)
+
 val save : Graph.t -> string -> int
 (** [save g path] writes the graph and returns the byte size written. *)
 
+val load_result : string -> (Graph.t, error) result
+
 val load : string -> Graph.t
-(** @raise Format_error on a missing/garbled header or version mismatch.
+(** @raise Format_error on a missing/garbled header, version mismatch, or
+    corrupt payload (the raising veneer over {!load_result}).
     @raise Sys_error on I/O failure. *)
 
 val to_bytes : Graph.t -> bytes
 
 val of_bytes : bytes -> Graph.t
+
+(** {2 Frozen CSR snapshots (v2)}
+
+    The scale format: the {!Graph.frozen} hot lanes are stored as raw
+    page-aligned segments after a small Marshal'd cold section, so
+    {!load_frozen} can hand them to [Unix.map_file] untranslated. A warm
+    start then costs O(pages actually touched) instead of a full
+    deserialize + re-intern, the mapped segments are shared read-only
+    across every domain (and every process) serving the same snapshot, and
+    the OS page cache persists them across server restarts. The cold half
+    (boxed edge elems, type metadata, interning table) still loads
+    eagerly — it is small and heap-allocated either way. *)
+
+val save_frozen : Graph.frozen -> string -> int
+(** [save_frozen fz path] writes the snapshot and returns the byte size.
+    Weighted-cost arrays are persisted as-is; a loader that wants a
+    different cost model re-bakes with {!Graph.rebake}. *)
+
+val load_frozen : ?mmap:bool -> string -> (Graph.frozen, error) result
+(** Load a v2 snapshot. With [mmap] (the default) the six hot segments are
+    mapped read-only and lazily paged; with [~mmap:false] they are read
+    into fresh heap-external arrays (bit-identical result — the property
+    suite checks both against the original freeze). File size and segment
+    bounds are validated {e before} mapping, so a truncated file is a
+    [Corrupt] error, never a [SIGBUS]. A v1 graph file reports
+    [Bad_magic] — callers fall back to {!load_result}. *)
 
 (** {2 Reachability index}
 
@@ -31,6 +74,8 @@ val of_bytes : bytes -> Graph.t
 
 val save_reach : Reach.t -> string -> int
 (** [save_reach r path] writes the index and returns the byte size. *)
+
+val load_reach_result : string -> (Reach.t, error) result
 
 val load_reach : string -> Reach.t
 (** @raise Format_error on a missing/garbled header or version mismatch.

@@ -219,6 +219,46 @@ type candidate = {
   cand_key : Rank.key;
 }
 
+(* Per-domain, epoch-stamped memo of per-edge rank contributions, keyed by
+   the CSR edge index. The *allocation* is what gets reused across queries
+   (three [Array.make edge_slots] per query is 24 MB/query at 10^6 edges);
+   the *contents* are not — charge depends on the query's free-variable
+   estimator and package ids on the query's intern table — so every
+   [start] bumps the epoch, invalidating all previous entries at once. *)
+type memo = {
+  mutable mcharge : int array;
+  mutable mpkg : int array;  (* -1 no package; >= 0 interned id *)
+  mutable mdepth : int array;  (* -1 widening; >= 0 output depth *)
+  mutable mstamp : int array;  (* entry live iff = mepoch *)
+  mutable mepoch : int;
+}
+
+module Memo = struct
+  type t = memo
+
+  let create () =
+    { mcharge = [||]; mpkg = [||]; mdepth = [||]; mstamp = [||]; mepoch = 0 }
+
+  let key = Domain.DLS.new_key create
+
+  let domain () = Domain.DLS.get key
+
+  let ready t ~slots =
+    if Array.length t.mstamp < slots then begin
+      let cap = max slots (2 * Array.length t.mstamp) in
+      t.mcharge <- Array.make cap 0;
+      t.mpkg <- Array.make cap 0;
+      t.mdepth <- Array.make cap 0;
+      t.mstamp <- Array.make cap 0;
+      t.mepoch <- 0
+    end;
+    if t.mepoch = max_int then begin
+      Array.fill t.mstamp 0 (Array.length t.mstamp) 0;
+      t.mepoch <- 0
+    end;
+    t.mepoch <- t.mepoch + 1
+end
+
 (* Mined (usage-weighted) mode. The heap priority becomes
 
        f_w(prefix) = wcost(prefix) + cost_scale*charge(prefix) + wdist_to(head)
@@ -230,7 +270,7 @@ type candidate = {
    the exhaustive enumeration, which budgets on paper cost regardless of
    ranking mode; only the emission order changes. *)
 type weighted_mode = {
-  wdist_to : int array;
+  wdist_to : Search.Dist.t;
   edge_wcost : int -> Graph.edge -> int;
       (** ordinal + edge -> learned cost; the CSR backend reads the baked
           [f_fwd_wcost] by ordinal, the list backend applies the model to
@@ -253,13 +293,9 @@ type t = {
   m_interior : Ivec.t;  (* summed depth of non-widening outputs *)
   m_budget : Ivec.t;  (* per-source cost budget, inherited from the root *)
   (* Per-edge memo of the rank contributions, keyed by the CSR edge index
-     (the ordinal [iter_succs] reports). The list-graph backend passes
-     [edge_slots = 0] — its ordinals are per-row, not global — and simply
-     recomputes; the CSR backend computes each edge's charge, package and
-     depth once no matter how many prefixes traverse it. *)
-  e_charge : int array;  (* -1 unset *)
-  e_pkg : int array;  (* min_int unset; -1 no package; >= 0 interned id *)
-  e_depth : int array;  (* min_int unset; -1 widening; >= 0 output depth *)
+     (the ordinal [iter_succs] reports); [None] recomputes per traversal.
+     See {!Memo}. *)
+  memo : memo option;
   pkg_ids : (string, int) Hashtbl.t;
   mutable pkg_next : int;
   (* Search parameters. *)
@@ -269,7 +305,7 @@ type t = {
   node_type : Graph.node -> Jtype.t;
   iter_succs : Graph.node -> (int -> Graph.edge -> unit) -> unit;
   materialize : Search.path -> Jungloid.t;
-  dist_to : int array;
+  dist_to : Search.Dist.t;
   weighted : weighted_mode option;
   target : Graph.node;
   limit : int;
@@ -296,63 +332,59 @@ let intern st pkg =
       Hashtbl.add st.pkg_ids pkg id;
       id
 
+let compute_charge st (e : Graph.edge) =
+  List.fold_left
+    (fun acc (_, ty) ->
+      if Jtype.is_reference ty then
+        acc
+        +
+        match st.freevar_cost_of with
+        | None -> st.weights.Rank.freevar_cost
+        | Some cost_of -> cost_of ty
+      else acc)
+    0
+    (Elem.free_vars e.Graph.elem)
+
+let compute_pkg st (e : Graph.edge) =
+  match Elem.owner_package e.Graph.elem with
+  | None -> -1
+  | Some p -> intern st p
+
+let compute_depth st (e : Graph.edge) =
+  if Elem.is_widen e.Graph.elem then -1
+  else Rank.type_depth st.hierarchy (Elem.output_type e.Graph.elem)
+
+(* One stamp covers all three memo lanes: the first accessor to touch an
+   edge this query fills charge, package and depth together (each is a few
+   loads — cheaper than three stamp disciplines). Package interning only
+   ever feeds equality comparisons, so interning an id the current weights
+   would not have asked for is harmless. *)
+let memo_fill st (m : memo) ord (e : Graph.edge) =
+  m.mcharge.(ord) <- compute_charge st e;
+  m.mpkg.(ord) <- compute_pkg st e;
+  m.mdepth.(ord) <- compute_depth st e;
+  m.mstamp.(ord) <- m.mepoch
+
 let edge_charge st ord (e : Graph.edge) =
-  let compute () =
-    List.fold_left
-      (fun acc (_, ty) ->
-        if Jtype.is_reference ty then
-          acc
-          +
-          match st.freevar_cost_of with
-          | None -> st.weights.Rank.freevar_cost
-          | Some cost_of -> cost_of ty
-        else acc)
-      0
-      (Elem.free_vars e.Graph.elem)
-  in
-  if ord >= 0 && ord < Array.length st.e_charge then begin
-    let c = st.e_charge.(ord) in
-    if c >= 0 then c
-    else begin
-      let c = compute () in
-      st.e_charge.(ord) <- c;
-      c
-    end
-  end
-  else compute ()
+  match st.memo with
+  | Some m when ord >= 0 && ord < Array.length m.mstamp ->
+      if m.mstamp.(ord) <> m.mepoch then memo_fill st m ord e;
+      m.mcharge.(ord)
+  | _ -> compute_charge st e
 
 let edge_pkg st ord (e : Graph.edge) =
-  let compute () =
-    match Elem.owner_package e.Graph.elem with
-    | None -> -1
-    | Some p -> intern st p
-  in
-  if ord >= 0 && ord < Array.length st.e_pkg then begin
-    let p = st.e_pkg.(ord) in
-    if p > min_int then p
-    else begin
-      let p = compute () in
-      st.e_pkg.(ord) <- p;
-      p
-    end
-  end
-  else compute ()
+  match st.memo with
+  | Some m when ord >= 0 && ord < Array.length m.mstamp ->
+      if m.mstamp.(ord) <> m.mepoch then memo_fill st m ord e;
+      m.mpkg.(ord)
+  | _ -> compute_pkg st e
 
 let edge_depth st ord (e : Graph.edge) =
-  let compute () =
-    if Elem.is_widen e.Graph.elem then -1
-    else Rank.type_depth st.hierarchy (Elem.output_type e.Graph.elem)
-  in
-  if ord >= 0 && ord < Array.length st.e_depth then begin
-    let d = st.e_depth.(ord) in
-    if d > min_int then d
-    else begin
-      let d = compute () in
-      st.e_depth.(ord) <- d;
-      d
-    end
-  end
-  else compute ()
+  match st.memo with
+  | Some m when ord >= 0 && ord < Array.length m.mstamp ->
+      if m.mstamp.(ord) <> m.mepoch then memo_fill st m ord e;
+      m.mdepth.(ord)
+  | _ -> compute_depth st e
 
 let add_root st node budget =
   let id = Arena.add_root st.arena node in
@@ -374,8 +406,8 @@ let add_root st node budget =
   Ivec.push st.m_budget budget;
   let prio =
     match st.weighted with
-    | None -> st.dist_to.(node)
-    | Some w -> w.wdist_to.(node)
+    | None -> Search.Dist.get st.dist_to node
+    | Some w -> Search.Dist.get w.wdist_to node
   in
   Heap.add st.heap ~prio id
 
@@ -426,8 +458,9 @@ let append st parent ord (e : Graph.edge) =
   Ivec.push st.m_budget (Ivec.get st.m_budget parent);
   let prio =
     match st.weighted with
-    | None -> cost + charge + st.dist_to.(e.Graph.dst)
-    | Some w -> wcost + (Elem.cost_scale * charge) + w.wdist_to.(e.Graph.dst)
+    | None -> cost + charge + Search.Dist.get st.dist_to e.Graph.dst
+    | Some w ->
+        wcost + (Elem.cost_scale * charge) + Search.Dist.get w.wdist_to e.Graph.dst
   in
   Heap.add st.heap ~prio id
 
@@ -441,10 +474,10 @@ let expand st id =
   let budget = Ivec.get st.m_budget id in
   st.iter_succs u (fun ord e ->
       let v = e.Graph.dst in
+      let dv = Search.Dist.get st.dist_to v in
       if
-        v < Array.length st.dist_to
-        && st.dist_to.(v) < max_int
-        && cost + Elem.cost e.Graph.elem + st.dist_to.(v) <= budget
+        dv < max_int
+        && cost + Elem.cost e.Graph.elem + dv <= budget
         && not (Arena.on_path st.arena id v)
       then append st id ord e)
 
@@ -598,8 +631,15 @@ let materialized st = st.materialized_n
 
 let truncated st = st.truncated_f
 
-let start ?freevar_cost_of ?weighted ~weights ~hierarchy ~node_type ~iter_succs
-    ~edge_slots ~materialize ~dist_to ~sources ~target ~limit () =
+let start ?freevar_cost_of ?weighted ?memo ~weights ~hierarchy ~node_type
+    ~iter_succs ~edge_slots ~materialize ~dist_to ~sources ~target ~limit () =
+  let memo =
+    match memo with
+    | Some m when edge_slots > 0 ->
+        Memo.ready m ~slots:edge_slots;
+        Some m
+    | _ -> None
+  in
   let st =
     {
       arena = Arena.create ();
@@ -612,13 +652,7 @@ let start ?freevar_cost_of ?weighted ~weights ~hierarchy ~node_type ~iter_succs
       m_spec = Ivec.create ();
       m_interior = Ivec.create ();
       m_budget = Ivec.create ();
-      (* The list backend reports per-row ordinals, unusable as global
-         memo keys; it passes [edge_slots = 0] so the memo arrays are
-         empty and the [ord < length] guard bypasses them (row ordinals
-         are always >= 0). *)
-      e_charge = Array.make edge_slots (-1);
-      e_pkg = Array.make edge_slots min_int;
-      e_depth = Array.make edge_slots min_int;
+      memo;
       pkg_ids = Hashtbl.create 64;
       pkg_next = 0;
       weights;
@@ -643,7 +677,6 @@ let start ?freevar_cost_of ?weighted ~weights ~hierarchy ~node_type ~iter_succs
   in
   List.iter
     (fun (node, budget) ->
-      if node >= 0 && node < Array.length dist_to && dist_to.(node) < max_int then
-        add_root st node budget)
+      if Search.Dist.get dist_to node < max_int then add_root st node budget)
     (List.sort_uniq compare sources);
   st

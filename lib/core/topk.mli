@@ -79,10 +79,27 @@ type candidate = {
 type t
 (** A running best-first enumeration. *)
 
+(** Per-domain, epoch-stamped memo of per-edge rank contributions (charge,
+    package, output depth), keyed by global CSR edge index. Only the
+    {e allocation} is shared across queries — contents are per-query (charge
+    depends on the free-variable estimator, package ids on the intern
+    table), so {!start} invalidates everything by bumping the epoch. At most
+    one enumeration per domain may hold a given memo at a time; {!Query}
+    passes it for consume-within-call runs and omits it for escaping
+    streams. *)
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  val domain : unit -> t
+  (** This domain's memo (domain-local storage). *)
+end
+
 type weighted_mode = {
-  wdist_to : int array;
+  wdist_to : Search.Dist.t;
       (** exact weighted Dijkstra distances to the target
-          ({!Search.weighted_distances_to}), [max_int] = unreachable *)
+          ({!Search.Csr.weighted_distances_to}), [max_int] = unreachable *)
   edge_wcost : int -> Graph.edge -> int;
       (** [(ord, edge)] -> learned non-negative cost in {!Elem.cost_scale}
           units; must agree with the [edge_cost] the consumer passes to
@@ -97,13 +114,14 @@ type weighted_mode = {
 val start :
   ?freevar_cost_of:(Javamodel.Jtype.t -> int) ->
   ?weighted:weighted_mode ->
+  ?memo:Memo.t ->
   weights:Rank.weights ->
   hierarchy:Javamodel.Hierarchy.t ->
   node_type:(Graph.node -> Javamodel.Jtype.t) ->
   iter_succs:(Graph.node -> (int -> Graph.edge -> unit) -> unit) ->
   edge_slots:int ->
   materialize:(Search.path -> Jungloid.t) ->
-  dist_to:int array ->
+  dist_to:Search.Dist.t ->
   sources:(Graph.node * int) list ->
   target:Graph.node ->
   limit:int ->
@@ -112,12 +130,12 @@ val start :
 (** Begin a search. [iter_succs u f] must call [f ord e] for each outgoing
     edge in adjacency order, [ord] being a stable per-edge ordinal —
     the global CSR edge index (with [edge_slots] = total edge count, so
-    per-edge rank contributions are memoized once per edge), or the
-    per-row index with [edge_slots = 0] for the list graph (memo
-    bypassed). [dist_to] are exact backward 0-1-BFS distances to [target]
-    ([max_int] = unreachable); pruned distances are fine as long as the
-    pruning is cone-exact, which keeps the priority admissible and
-    consistent. [sources] pairs each source node with its cost budget
+    per-edge rank contributions are memoized once per edge — pass [?memo]
+    to reuse the memo allocation across queries), or the per-row index
+    with [edge_slots = 0] for the list graph (memo bypassed). [dist_to]
+    are exact backward 0-1-BFS distances to [target] ([max_int] =
+    unreachable); pruned distances are fine as long as the pruning is
+    cone-exact, which keeps the priority admissible and consistent. [sources] pairs each source node with its cost budget
     (shortest-cost + slack — per source, as {!Search.enumerate_per_source}
     budgets them); a node must appear at most once. [limit] caps completed
     candidates exactly as the DFS caps enumerated paths.

@@ -75,7 +75,7 @@ let pick_parent p rng i =
     let lo = i / k * k in
     if i > lo then Some (lo + Rng.int rng (i - lo)) else None
 
-let generate p =
+let generate_with ~n_methods_of p =
   let rng = Rng.create ~seed:p.seed in
   let b = Builder.create () in
   for i = 0 to p.classes - 1 do
@@ -85,9 +85,7 @@ let generate p =
       else None
     in
     Builder.cls b ?extends (class_name p i);
-    let n_methods =
-      max 1 (p.methods_per_class / 2 + Rng.int rng (max 1 p.methods_per_class))
-    in
+    let n_methods = n_methods_of rng in
     for m = 0 to n_methods - 1 do
       let ret = class_name p (pick_ref p rng i) in
       if Rng.bool rng p.void_fraction then
@@ -104,3 +102,33 @@ let generate p =
     if Rng.bool rng 0.5 then Builder.ctor b ~params:[] ()
   done;
   Builder.hierarchy b
+
+let generate p =
+  generate_with p ~n_methods_of:(fun rng ->
+      max 1 (p.methods_per_class / 2 + Rng.int rng (max 1 p.methods_per_class)))
+
+(* Real APIs are heavy-tailed: most classes expose a handful of methods and
+   a few god classes expose dozens. 60% draw 1-3, 30% draw 4-11, 10% draw
+   12-40 — mean ~6 methods per class, which fixes the class count for a
+   requested method budget. *)
+let mega_methods_per_class rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.6 then 1 + Rng.int rng 3
+  else if u < 0.9 then 4 + Rng.int rng 8
+  else 12 + Rng.int rng 29
+
+let mega_params ?(seed = 42) ~methods () =
+  let classes = max 2 (methods / 6) in
+  {
+    classes;
+    packages = max 2 (classes / 24);
+    methods_per_class = 6;
+    subclass_fraction = 0.3;
+    void_fraction = 0.1;
+    locality = 0.85;
+    seed;
+  }
+
+let mega ?seed ~methods () =
+  generate_with ~n_methods_of:mega_methods_per_class
+    (mega_params ?seed ~methods ())

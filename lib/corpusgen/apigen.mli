@@ -32,3 +32,16 @@ val generate : params -> Javamodel.Hierarchy.t
 
 val class_qname : params -> int -> Javamodel.Qname.t
 (** The name of the [i]-th generated class. *)
+
+val mega_params : ?seed:int -> methods:int -> unit -> params
+(** Parameters sized for a method budget: classes = methods/6 (the
+    heavy-tailed per-class distribution below has mean ~6), one package per
+    ~24 classes arranged as the locality-0.85 binary package tree. *)
+
+val mega : ?seed:int -> methods:int -> unit -> Javamodel.Hierarchy.t
+(** A realistically shaped world with approximately [methods] methods:
+    package-tree locality (narrow reachability cones, so sharding and
+    pruning have real work), heavy-tailed methods-per-class (60% of classes
+    draw 1-3 methods, 30% draw 4-11, 10% draw 12-40), deterministic in
+    [seed] (default 42). Cheap enough to regenerate at 100k/1M methods
+    inside a benchmark run. *)

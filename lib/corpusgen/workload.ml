@@ -15,6 +15,8 @@ let layered_api ~classes =
       seed = 42;
     }
 
+let mega_api ~methods = Apigen.mega ~methods ()
+
 let branchy_corpus ~branches =
   let hierarchy =
     Japi.Loader.load_string ~file:"branchy"

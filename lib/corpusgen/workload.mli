@@ -9,6 +9,10 @@ val layered_api : classes:int -> Javamodel.Hierarchy.t
     Reachability cones are narrow — the shape {!Prospector.Reach} pruning is
     designed for. *)
 
+val mega_api : methods:int -> Javamodel.Hierarchy.t
+(** {!Apigen.mega} at the default seed: ~[methods] methods with heavy-tailed
+    class sizes and package-tree locality — the scale-bench world. *)
+
 val branchy_corpus :
   branches:int -> Javamodel.Hierarchy.t * (string * string) list
 (** A corpus whose single cast has [branches] alternative producers — the

@@ -171,14 +171,14 @@ let local ?(capacity = 256) t =
    lock keeps a stampede of stale readers down to one rebuild. *)
 let current t =
   let snap = Atomic.get t.snap in
-  if Graph.generation (Query.engine_graph t.eng) = snap.s_gen then snap
+  if Query.engine_live_generation t.eng = snap.s_gen then snap
   else begin
     Mutex.lock t.publish;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.publish)
       (fun () ->
         let snap = Atomic.get t.snap in
-        if Graph.generation (Query.engine_graph t.eng) = snap.s_gen then snap
+        if Query.engine_live_generation t.eng = snap.s_gen then snap
         else begin
           Hierarchy.warm (Query.engine_hierarchy t.eng);
           let s = take_snapshot t.eng in
@@ -272,7 +272,6 @@ let query_results t local snap ~settings q =
       Query.run_info ~settings ?reach:snap.s_reach ~frozen:snap.s_frozen
         ?edge_cost:(Query.engine_edge_cost t.eng)
         ?protocol_check:(Query.engine_protocol_check t.eng)
-        ~graph:(Query.engine_graph t.eng)
         ~hierarchy:(Query.engine_hierarchy t.eng)
         q
     in
@@ -292,7 +291,6 @@ let assist_suggestions t local snap ~settings (ctx : Prospector.Assist.context) 
       (Prospector.Assist.suggest ~settings ~frozen:snap.s_frozen ?reach:snap.s_reach
          ?edge_cost:(Query.engine_edge_cost t.eng)
          ?protocol_check:(Query.engine_protocol_check t.eng)
-         ~graph:(Query.engine_graph t.eng)
          ~hierarchy:(Query.engine_hierarchy t.eng)
          ctx)
   in
@@ -580,7 +578,6 @@ let dispatch ?local t ~id req =
                     ~frozen:snap.s_frozen
                     ?edge_cost:(Query.engine_edge_cost t.eng)
                     ?protocol_check:(Query.engine_protocol_check t.eng)
-                    ~graph:(Query.engine_graph t.eng)
                     ~hierarchy:(Query.engine_hierarchy t.eng)
                     q
                   |> Seq.take settings.Query.max_results

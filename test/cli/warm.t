@@ -1,0 +1,70 @@
+A cold start with --save-graph persists a v2 CSR snapshot (plus the reach
+index) next to the named path:
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port --save-graph cache.froz >cold.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port health
+  ok
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+  $ test -f cache.froz && echo "snapshot saved"
+  snapshot saved
+  $ test -f cache.froz.reach && echo "reach index saved"
+  reach index saved
+  $ grep -c "graph: built in" cold.log
+  1
+
+A restart mmaps the snapshot instead of rebuilding, and the warm daemon's
+answers are byte-identical to the cold ones (compare serve.t):
+
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port --save-graph cache.froz >warm.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port query void org.eclipse.ui.texteditor.DocumentProviderRegistry -n 2
+  #1  λ(). DocumentProviderRegistry.getDefault() : void -> DocumentProviderRegistry
+        DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+  $ ../../bin/prospector_cli.exe client --port-file port stats
+  requests: 1
+  graph: 386 nodes, 1142 edges
+  cache: 1/2048 entries, 0 hits, 1 misses
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+  $ grep -c "mmap warm start" warm.log
+  1
+  $ grep -c "reach index loaded" warm.log
+  1
+
+A damaged snapshot is a warning and a cold rebuild, never a crash — and
+the rebuild replaces the damaged file:
+
+  $ printf 'PROSPECTOR-FROZ2 then garbage where the payload should be' > cache.froz
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port --save-graph cache.froz >corrupt.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port health
+  ok
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+  $ grep -c "warning: ignoring cache.froz: corrupt file" corrupt.log
+  1
+  $ grep -c "graph: built in" corrupt.log
+  1
+
+A file that is not ours at all reports its foreign magic:
+
+  $ printf 'some other tool wrote this file' > cache.froz
+  $ rm -f cache.froz.reach
+  $ ../../bin/prospector_cli.exe serve --port 0 --port-file port --save-graph cache.froz >foreign.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port health
+  ok
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+  $ grep -c "warning: ignoring cache.froz: bad magic" foreign.log
+  1
