@@ -4,7 +4,7 @@
 # installed — a formatting check. The format step is skipped, loudly, when
 # the tool is absent so the gate still runs on minimal toolchains.
 
-.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-refine bench-proto bench-scale clean
+.PHONY: all build test check fmt lint serve-smoke bench-cache bench-analysis bench-server bench-parallel bench-topk bench-rank bench-refine bench-proto bench-scale bench-reload clean
 
 all: build
 
@@ -56,7 +56,7 @@ serve-smoke: build
 	$(PROSPECTOR) client --port-file .smoke-port shutdown && \
 	wait $$pid && echo "serve-smoke: OK"
 
-check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-refine bench-proto bench-scale fmt
+check: build test lint serve-smoke bench-parallel bench-topk bench-rank bench-refine bench-proto bench-scale bench-reload fmt
 
 # Regenerates BENCH_cache.json (cold/warm cache latency, pruned/unpruned
 # search, O(1) miss rejection).
@@ -119,6 +119,16 @@ bench-proto: build
 # `make check`.
 bench-scale: build
 	dune exec bench/main.exe -- --section scale
+
+# Live-reload gate (BENCH_reload.json: single-class delta apply + reach
+# patch vs cold rebuild, plus query p50/p99 under sustained churn against
+# a full-rebuild baseline, at 10k/100k methods by default —
+# BENCH_RELOAD_SIZES overrides). The section exits nonzero if the patched
+# snapshot diverges from a cold rebuild, a patch fails to beat the rebuild
+# stall, churn p99 is not strictly better than the rebuild baseline, or
+# incremental patch time grows superlinearly across the sizes.
+bench-reload: build
+	dune exec bench/main.exe -- --section reload
 
 clean:
 	dune clean

@@ -1783,6 +1783,274 @@ let section_scale () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Live reload: delta patches vs full rebuilds under query traffic     *)
+(* ------------------------------------------------------------------ *)
+
+let section_reload () =
+  rule "Live reload — delta-patched snapshots under sustained query traffic";
+  let module Delta = Prospector.Delta in
+  let module Graph = Prospector.Graph in
+  let module Reach = Prospector.Reach in
+  let sizes =
+    match Sys.getenv_opt "BENCH_RELOAD_SIZES" with
+    | None -> [ 10_000; 100_000 ]
+    | Some s ->
+        List.filter_map int_of_string_opt
+          (String.split_on_char ',' (String.trim s))
+  in
+  let failed = ref false in
+  let patch_times = ref [] in
+  let measure methods =
+    Printf.printf "\n%d methods:\n%!" methods;
+    let h = Corpusgen.Workload.mega_api ~methods in
+    let g = Sig_graph.build h in
+    let frozen = Graph.freeze g in
+    let nodes = frozen.Graph.f_nodes and edges = frozen.Graph.f_edges in
+    let reach = Reach.build_frozen frozen in
+    (* Solvable pairs sampled through the reach index, as in the scale
+       section — rejection sampling with a full search per probe does not
+       survive contact with graphs this size. *)
+    let sampled =
+      let rng = Corpusgen.Rng.create ~seed:47 in
+      let real =
+        Array.of_list
+          (List.filter_map
+             (fun (ty, node) ->
+               match ty with
+               | Javamodel.Jtype.Ref _ -> Some (ty, node)
+               | _ -> None)
+             (Graph.real_nodes g))
+      in
+      let n = Array.length real in
+      let acc = ref [] and got = ref 0 and tries = ref 0 in
+      while !got < 12 && !tries < 200_000 do
+        incr tries;
+        let ti, si = real.(Corpusgen.Rng.int rng n) in
+        let to_, di = real.(Corpusgen.Rng.int rng n) in
+        if si <> di && Reach.mem reach ~src:si ~target:di then begin
+          acc := ({ Query.tin = ti; tout = to_ }, (si, di)) :: !acc;
+          incr got
+        end
+      done;
+      List.rev !acc
+    in
+    let qs = List.map fst sampled and pairs = List.map snd sampled in
+    let editable =
+      Array.of_list
+        (List.filter
+           (fun (d : Javamodel.Decl.t) ->
+             (not d.Javamodel.Decl.synthetic)
+             && Javamodel.Qname.to_string d.Javamodel.Decl.dname
+                <> "java.lang.Object")
+           (Javamodel.Hierarchy.decls h))
+    in
+    (* A body-only class edit with already-interned types — the spliceable
+       live-edit shape; [k] keeps successive churn edits distinct. *)
+    let body_edit k hcur =
+      let d0 = editable.(k mod Array.length editable) in
+      let d = Javamodel.Hierarchy.find hcur d0.Javamodel.Decl.dname in
+      let m =
+        Javamodel.Member.meth
+          (Printf.sprintf "zzChurn%d" k)
+          ~params:[]
+          ~ret:(Javamodel.Jtype.Ref d.Javamodel.Decl.dname)
+      in
+      Delta.Replace_class
+        { d with Javamodel.Decl.methods = m :: d.Javamodel.Decl.methods }
+    in
+    (* The stall a restartless server avoids: cold rebuild to serving state. *)
+    let rebuild_s, _ =
+      time_of (fun () ->
+          let fz = Graph.freeze (Sig_graph.build h) in
+          ignore (Reach.build_frozen fz : Reach.t))
+    in
+    (* Let the rebuild's garbage get collected before timing the patch —
+       otherwise the major GC charges the dead rebuild heap to whatever
+       allocates next, which is the patch chain below. *)
+    Gc.full_major ();
+    (* Single-class delta: patch + incremental reach, against the oracle.
+       Timed over a short chain of edits — each patched snapshot carries
+       fresh tail slack and an unclaimed tail token, so every apply takes
+       the append path, as sustained churn does — and the best sample is
+       the gate figure (a single sample is at the mercy of a GC major
+       slice). The first patch of the chain feeds the oracle below. *)
+    let patch_s, patch =
+      let best = ref infinity in
+      let first = ref None in
+      let hcur = ref h and fzcur = ref frozen in
+      for k = 0 to 4 do
+        let t, p =
+          time_of (fun () ->
+              match Delta.apply ~hierarchy:!hcur ~frozen:!fzcur [ body_edit k !hcur ] with
+              | Ok p -> p
+              | Error _ -> failwith "bench delta rejected")
+        in
+        if !first = None then first := Some p;
+        if t < !best then best := t;
+        hcur := p.Delta.p_hierarchy;
+        fzcur := p.Delta.p_frozen
+      done;
+      (!best, Option.get !first)
+    in
+    let reach_patch_s, patched_reach =
+      time_of (fun () ->
+          Reach.patch ~old:reach ~touched:patch.Delta.p_touched
+            patch.Delta.p_frozen)
+    in
+    let spliced = patch.Delta.p_mode = Delta.Spliced in
+    let frozen_identical =
+      Delta.frozen_equal patch.Delta.p_frozen
+        (Graph.freeze (Sig_graph.build patch.Delta.p_hierarchy))
+    in
+    let fresh_reach = Reach.build_frozen patch.Delta.p_frozen in
+    let reach_identical =
+      Reach.node_count patched_reach = Reach.node_count fresh_reach
+      && Reach.scc_count patched_reach = Reach.scc_count fresh_reach
+      && List.for_all
+           (fun (si, di) ->
+             Reach.mem patched_reach ~src:si ~target:di
+             = Reach.mem fresh_reach ~src:si ~target:di
+             && Reach.cone_size patched_reach ~target:di
+                = Reach.cone_size fresh_reach ~target:di)
+           pairs
+    in
+    let identical = frozen_identical && reach_identical in
+    let patch_total = patch_s +. reach_patch_s in
+    (* The sublinearity claim is about the incremental patch itself
+       ([Delta.apply]); reach maintenance is reported alongside. *)
+    patch_times := (methods, patch_s) :: !patch_times;
+    Printf.printf
+      "  world: %d nodes, %d edges; cold rebuild to serving state %.3f s\n\
+      \  single-class delta: apply %.4f s + reach patch %.4f s = %.4f s \
+       (%s, %d touched) — %.0fx vs rebuild; identical %b\n\
+       %!"
+      nodes edges rebuild_s patch_s reach_patch_s patch_total
+      (Delta.mode_string patch.Delta.p_mode)
+      patch.Delta.p_touched_count
+      (rebuild_s /. patch_total)
+      identical;
+    if not (identical && spliced) then failed := true;
+    if patch_total >= rebuild_s then failed := true;
+    (* Query latency under churn: a delta lands every [churn_every]
+       queries, and its cost falls on the query blocked behind the swap —
+       exactly what a single-pipeline server's tail latency sees. The
+       baseline pays a full rebuild at each delta instead. *)
+    let n_queries = 120 and churn_every = 12 in
+    let qarr = Array.of_list qs in
+    let nq = Array.length qarr in
+    let churn_run ~reload ~query =
+      let lats = ref [] in
+      for i = 0 to n_queries - 1 do
+        let t0 = Unix.gettimeofday () in
+        if i > 0 && i mod churn_every = 0 then reload (i / churn_every);
+        query i;
+        lats := (Unix.gettimeofday () -. t0) :: !lats
+      done;
+      !lats
+    in
+    let inc_lats =
+      let engine =
+        Query.engine_of_frozen ~prune:true ~reach ~frozen ~hierarchy:h ()
+      in
+      churn_run
+        ~reload:(fun k ->
+          let hcur = Query.engine_hierarchy engine in
+          let fzcur = Query.engine_frozen engine in
+          match Delta.apply ~hierarchy:hcur ~frozen:fzcur [ body_edit k hcur ] with
+          | Ok p -> Query.engine_reload engine p
+          | Error _ -> failwith "churn delta rejected")
+        ~query:(fun i ->
+          ignore (Query.run_cached engine qarr.(i mod nq) : Query.result list))
+    in
+    let reb_lats =
+      let hcur = ref (Javamodel.Hierarchy.copy h) in
+      let eng =
+        ref (Query.engine_of_frozen ~prune:true ~reach ~frozen ~hierarchy:!hcur ())
+      in
+      churn_run
+        ~reload:(fun k ->
+          (match body_edit k !hcur with
+          | Delta.Replace_class d -> Javamodel.Hierarchy.replace !hcur d
+          | _ -> assert false);
+          let fz = Graph.freeze (Sig_graph.build !hcur) in
+          let r = Reach.build_frozen fz in
+          eng :=
+            Query.engine_of_frozen ~prune:true ~reach:r ~frozen:fz
+              ~hierarchy:!hcur ())
+        ~query:(fun i ->
+          ignore (Query.run_cached !eng qarr.(i mod nq) : Query.result list))
+    in
+    let ms lats p = percentile lats p *. 1000.0 in
+    let inc_p50 = ms inc_lats 0.50 and inc_p99 = ms inc_lats 0.99 in
+    let reb_p50 = ms reb_lats 0.50 and reb_p99 = ms reb_lats 0.99 in
+    Printf.printf
+      "  churn (%d queries, delta every %d): incremental p50 %.3f ms, p99 \
+       %.3f ms; full-rebuild p50 %.3f ms, p99 %.3f ms\n\
+       %!"
+      n_queries churn_every inc_p50 inc_p99 reb_p50 reb_p99;
+    if methods >= 10_000 && inc_p99 >= reb_p99 then failed := true;
+    Printf.sprintf
+      "    {\n\
+      \      \"methods\": %d,\n\
+      \      \"nodes\": %d,\n\
+      \      \"edges\": %d,\n\
+      \      \"rebuild_s\": %.4f,\n\
+      \      \"patch_apply_s\": %.5f,\n\
+      \      \"patch_reach_s\": %.5f,\n\
+      \      \"patch_total_s\": %.5f,\n\
+      \      \"patch_mode\": \"%s\",\n\
+      \      \"touched_nodes\": %d,\n\
+      \      \"patch_speedup_vs_rebuild\": %.1f,\n\
+      \      \"identical\": %b,\n\
+      \      \"churn_queries\": %d,\n\
+      \      \"churn_every\": %d,\n\
+      \      \"incremental_p50_ms\": %.4f,\n\
+      \      \"incremental_p99_ms\": %.4f,\n\
+      \      \"rebuild_p50_ms\": %.4f,\n\
+      \      \"rebuild_p99_ms\": %.4f\n\
+      \    }"
+      methods nodes edges rebuild_s patch_s reach_patch_s patch_total
+      (Delta.mode_string patch.Delta.p_mode)
+      patch.Delta.p_touched_count
+      (rebuild_s /. patch_total)
+      identical n_queries churn_every inc_p50 inc_p99 reb_p50 reb_p99
+  in
+  let rows = List.map measure sizes in
+  (* Sublinearity gate: a single-class patch must grow slower than the
+     graph. The append path rewrites only the touched rows and copies only
+     the O(nodes) offset lanes, so apply time is dominated by the edit, not
+     the edge count. *)
+  let scaling_ratio, sublinear =
+    match List.rev !patch_times with
+    | (m1, t1) :: (m2, t2) :: _ when m2 > m1 && t1 > 0.0 ->
+        let r = t2 /. t1 in
+        (r, r < float_of_int m2 /. float_of_int m1)
+    | _ -> (1.0, true)
+  in
+  if not sublinear then failed := true;
+  Printf.printf "\npatch-time scaling ratio across sizes: %.2fx (sublinear %b)\n%!"
+    scaling_ratio sublinear;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sizes\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"patch_scaling_ratio\": %.3f,\n\
+      \  \"patch_sublinear\": %b\n\
+       }\n"
+      (String.concat ",\n" rows) scaling_ratio sublinear
+  in
+  write_bench ~model_methods:(List.fold_left max 0 sizes) "BENCH_reload.json"
+    json;
+  if !failed then begin
+    prerr_endline
+      "error: reload gate failed (oracle divergence, rebuild-beating patch, \
+       or superlinear patch time)";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1806,6 +2074,7 @@ let sections =
     ("refine", section_refine);
     ("proto", section_proto);
     ("scale", section_scale);
+    ("reload", section_reload);
     ("micro", section_micro);
   ]
 

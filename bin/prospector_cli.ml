@@ -971,7 +971,15 @@ type serve_env = {
   sv_base : [ `Graph of Prospector.Graph.t | `Frozen of Prospector.Graph.frozen ];
   sv_usage : Mining.Usage.t option;
   sv_proto : Analysis.Protocol.model option;
+  sv_corpus : (string * string) list;
+      (* the mined corpus sources, kept so live reload can re-enrich a
+         rebuilt graph and re-mine the protocol model; [] when not mining *)
 }
+
+let corpus_sources_for ~api ~corpus =
+  match (api, corpus) with
+  | [], [] -> Apidata.Api.corpus_sources
+  | _, files -> List.map (fun f -> (f, read_file f)) files
 
 (* Warm start: when --save-graph names an existing file, load the persisted
    snapshot (and the reach index, if present) instead of rebuilding from
@@ -990,11 +998,7 @@ let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
          the usage and protocol models cannot be read back off it —
          re-extract them from the corpus sources (no graph mutation, so the
          loaded snapshot stays exactly what was saved). *)
-      let corpus_sources =
-        match (api, corpus) with
-        | [], [] -> Apidata.Api.corpus_sources
-        | _, files -> List.map (fun f -> (f, read_file f)) files
-      in
+      let corpus_sources = corpus_sources_for ~api ~corpus in
       if corpus_sources = [] then (None, None)
       else begin
         let t1 = Unix.gettimeofday () in
@@ -1040,6 +1044,7 @@ let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
         sv_base = `Graph env.graph;
         sv_usage = env.usage;
         sv_proto = env.proto;
+        sv_corpus = (if mining then corpus_sources_for ~api ~corpus else []);
       },
       reach )
   in
@@ -1090,7 +1095,13 @@ let load_env_for_serve ?pool ~api ~corpus ~mining ~protected_ ~save_graph () =
             path dt
             (match reach with Some _ -> "loaded" | None -> "absent, will rebuild");
           let usage, proto = remine hierarchy in
-          ( { sv_hierarchy = hierarchy; sv_base = base; sv_usage = usage; sv_proto = proto },
+          ( {
+              sv_hierarchy = hierarchy;
+              sv_base = base;
+              sv_usage = usage;
+              sv_proto = proto;
+              sv_corpus = (if mining then corpus_sources_for ~api ~corpus else []);
+            },
             reach ))
   | _ -> cold_build ()
 
@@ -1163,9 +1174,20 @@ let serve_cmd =
                 ops on an evicted id get a $(b,session_expired) error reply. \
                 Omitted = sessions only die on $(b,refine_stop) or drain.")
   in
+  let watch =
+    Arg.(
+      value & opt (some string) None
+      & info [ "watch" ] ~docv:"FILE"
+          ~doc:"Poll $(docv) (a $(b,.japi) source) for modification-time \
+                changes (twice a second) and apply it as a live reload \
+                delta — every class it declares is added or replaced \
+                in place, without restarting or dropping in-flight \
+                requests.")
+  in
   let run api corpus no_mining protected_ max_results slack strategy ranking
       protocol verbose host port port_file workers max_request_bytes
-      max_connections deadline stdio save_graph cache_capacity session_ttl jobs =
+      max_connections deadline stdio save_graph cache_capacity session_ttl
+      watch jobs =
     setup_logs verbose;
     if cache_capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1 (got %d)\n"
@@ -1197,6 +1219,102 @@ let serve_cmd =
               Prospector.Query.engine_of_frozen ~cache_capacity ?reach ~pool
                 ?edge_cost ?protocol_check ~frozen ~hierarchy:env.sv_hierarchy ()
         in
+        (* ---- live-reload callbacks (DESIGN §9) ----
+           The service applies deltas; what it cannot do without the mining
+           layer is injected here: re-deriving the usage/protocol models
+           from corpus text and re-running the enriched cold build when a
+           delta cannot be row-spliced. Both closures run under the
+           service's publish mutex, so the mutable refs need no lock. *)
+        let mining = not no_mining in
+        let config =
+          { Prospector.Sig_graph.default_config with include_protected = protected_ }
+        in
+        let corpus_srcs = ref env.sv_corpus in
+        let usage_ref = ref env.sv_usage in
+        let remodel =
+          if not mining then None
+          else
+            Some
+              (fun hierarchy src ->
+                try
+                  (* parse everything first — a rejected delta must leave
+                     the refs untouched *)
+                  let prog_new =
+                    Minijava.Resolve.parse_program ~api:hierarchy
+                      [ ("<reload>", src) ]
+                  in
+                  let all = !corpus_srcs @ [ ("<reload>", src) ] in
+                  let prog_all =
+                    Minijava.Resolve.parse_program ~api:hierarchy all
+                  in
+                  let examples =
+                    Mining.Enrich.examples ~include_protected:protected_ ~pool
+                      prog_new
+                  in
+                  (* usage grows incrementally; the protocol model has no
+                     merge, so it re-learns over the full corpus (sequence
+                     reconstruction is cheap next to query cost) *)
+                  let usage =
+                    match !usage_ref with
+                    | Some u -> Mining.Usage.add_examples u examples
+                    | None -> Mining.Usage.of_examples examples
+                  in
+                  let p = Mining.Protomine.mine prog_all in
+                  usage_ref := Some usage;
+                  corpus_srcs := all;
+                  Ok
+                    {
+                      Service.rm_edge_cost = Some (Mining.Usage.edge_cost usage);
+                      rm_protocol_check =
+                        Some (fun j -> Analysis.Protolint.violations p j);
+                      rm_vet = Some (fun j -> Analysis.Protolint.vet p j);
+                    }
+                with
+                | Japi.Error.E e -> Error (Japi.Error.to_string e)
+                | Javamodel.Hierarchy.Unknown_type q ->
+                    Error
+                      (Printf.sprintf "unknown type %s"
+                         (Javamodel.Qname.to_string q))
+                | Failure msg -> Error msg)
+        in
+        let rebuild =
+          if not mining then None
+          else
+            Some
+              (fun hierarchy ->
+                let g = Prospector.Sig_graph.build ~config hierarchy in
+                if !corpus_srcs <> [] then begin
+                  let prog =
+                    Minijava.Resolve.parse_program ~api:hierarchy !corpus_srcs
+                  in
+                  ignore
+                    (Mining.Enrich.enrich ~include_protected:protected_ ~pool g
+                       prog)
+                end;
+                ignore (Prospector.Graph.void_node g);
+                let wcost = Option.map Mining.Usage.edge_cost !usage_ref in
+                Prospector.Graph.freeze ?wcost g)
+        in
+        let reload_hook =
+          match save_graph with
+          | None -> None
+          | Some path ->
+              Some
+                (fun fz reach ->
+                  try
+                    let gsize = Prospector.Serialize.save_frozen fz path in
+                    let rsize =
+                      match reach with
+                      | Some r -> Prospector.Serialize.save_reach r (reach_path path)
+                      | None -> 0
+                    in
+                    Printf.eprintf
+                      "graph: re-saved %d+%d bytes to %s (+.reach) after reload\n%!"
+                      gsize rsize path
+                  with e ->
+                    Printf.eprintf "warning: could not re-save %s: %s\n%!" path
+                      (Printexc.to_string e))
+        in
         let service =
           Service.create
             ~settings:(settings ~max_results ~slack ~strategy ~ranking ~protocol)
@@ -1204,8 +1322,79 @@ let serve_cmd =
               (Option.map
                  (fun m j -> Analysis.Protolint.vet m j)
                  env.sv_proto)
+            ~graph_config:config ?remodel ?rebuild ?reload_hook
             ?deadline_s:deadline ?session_ttl_s:session_ttl ~engine ()
         in
+        (* --watch: a polling thread that feeds the file through the same
+           reload op a client would send, so metrics, gauges and --save-graph
+           re-persistence all apply. *)
+        (match watch with
+        | None -> ()
+        | Some path ->
+            let mtime p =
+              try Some (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> None
+            in
+            let last = ref (mtime path) in
+            ignore
+              (Thread.create
+                 (fun () ->
+                   while not (Service.shutdown_requested service) do
+                     Thread.delay 0.5;
+                     let m = mtime path in
+                     if m <> !last then begin
+                       last := m;
+                       match m with
+                       | None -> ()  (* deleted; reload when it reappears *)
+                       | Some _ -> (
+                           try
+                             let src = read_file path in
+                             let resp =
+                               Service.handle service
+                                 {
+                                   Proto.id = Proto.Null;
+                                   req =
+                                     Proto.Reload
+                                       {
+                                         japi = Some src;
+                                         remove = [];
+                                         corpus = None;
+                                       };
+                                 }
+                             in
+                             match Proto.member "ok" resp with
+                             | Some (Proto.Bool true) ->
+                                 let geti k =
+                                   match Proto.member k resp with
+                                   | Some (Proto.Int i) -> i
+                                   | _ -> 0
+                                 in
+                                 let mode =
+                                   match Proto.member "mode" resp with
+                                   | Some (Proto.Str s) -> s
+                                   | _ -> "?"
+                                 in
+                                 Printf.eprintf
+                                   "watch: reloaded %s — %d op(s) (%s), \
+                                    generation %d\n%!"
+                                   path (geti "ops") mode (geti "generation")
+                             | _ ->
+                                 let msg =
+                                   match
+                                     Option.bind (Proto.member "error" resp)
+                                       (Proto.member "message")
+                                   with
+                                   | Some (Proto.Str s) -> s
+                                   | _ -> "?"
+                                 in
+                                 Printf.eprintf
+                                   "watch: reload of %s rejected: %s\n%!" path
+                                   msg
+                           with e ->
+                             Printf.eprintf "watch: cannot read %s: %s\n%!" path
+                               (Printexc.to_string e))
+                     end
+                   done)
+                 ()));
         if stdio then begin
           (* SIGINT drains exactly like the shutdown op: in-flight refine
              sessions answer shutting_down, the loop exits after the next
@@ -1246,7 +1435,7 @@ let serve_cmd =
       $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
       $ verbose_flag $ host $ port $ port_file $ workers $ max_request_bytes
       $ max_connections $ deadline $ stdio $ save_graph $ cache_capacity
-      $ session_ttl $ jobs_arg)
+      $ session_ttl $ watch $ jobs_arg)
 
 (* ---------- client ---------- *)
 
@@ -1393,6 +1582,14 @@ let client_render response =
       match member "session" with
       | Some (Proto.Str s) -> Printf.printf "stopped %s\n" s
       | _ -> print_endline "stopped")
+  | Some (Proto.Str "reload") ->
+      let int k = match member k with Some (Proto.Int i) -> i | _ -> 0 in
+      let mode =
+        match member "mode" with Some (Proto.Str s) -> s | _ -> "?"
+      in
+      Printf.printf
+        "reloaded: %d op(s) applied (%s), %d node(s) touched, generation %d\n"
+        (int "ops") mode (int "touched") (int "generation")
   | Some (Proto.Str "stats") ->
       let int_at path k =
         match Option.bind (member path) (Proto.member k) with
@@ -1412,6 +1609,17 @@ let client_render response =
       | _ -> ());
       (match member "sessions" with
       | Some (Proto.Int n) when n > 0 -> Printf.printf "sessions: %d\n" n
+      | _ -> ());
+      (* gauges appear only once the daemon has set one (a reload or a
+         refine session), so pre-reload output is unchanged *)
+      (match member "gauges" with
+      | Some (Proto.Obj kvs) ->
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Proto.Int i -> Printf.printf "%s: %d\n" k i
+              | _ -> ())
+            kvs
       | _ -> ())
   | Some (Proto.Str "health") | Some (Proto.Str "shutdown") -> (
       match member "status" with
@@ -1441,6 +1649,19 @@ let client_cmd =
       value & opt_all string []
       & info [ "var"; "v" ] ~docv:"NAME:TYPE" ~doc:"Visible variable for $(b,assist).")
   in
+  let remove_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "remove" ] ~docv:"QNAME"
+          ~doc:"For $(b,reload): drop this fully qualified class (repeatable).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"For $(b,reload): mini-Java source whose mined examples are \
+                folded into the daemon's usage/protocol models.")
+  in
   let argv =
     Arg.(
       non_empty & pos_all string []
@@ -1449,11 +1670,12 @@ let client_cmd =
                 $(b,lint TIN TOUT), $(b,refine-start TIN TOUT) (or \
                 $(b,refine-start TOUT) with $(b,--var)), $(b,refine-answer \
                 SESSION CHOICE), $(b,refine-status SESSION), $(b,refine-stop \
-                SESSION), $(b,stats), $(b,health), $(b,shutdown), \
+                SESSION), $(b,reload FILE.japi) (with $(b,--remove) / \
+                $(b,--corpus)), $(b,stats), $(b,health), $(b,shutdown), \
                 $(b,raw LINE).")
   in
   let run max_results slack strategy ranking protocol host port port_file
-      json_flag vars argv =
+      json_flag vars remove corpus_file argv =
     let port =
       match port_file with
       | None -> port
@@ -1577,6 +1799,23 @@ let client_cmd =
               exit 2)
       | [ "refine-status"; session ] -> envelope (Proto.Refine_status { session })
       | [ "refine-stop"; session ] -> envelope (Proto.Refine_stop { session })
+      | "reload" :: rest ->
+          let japi =
+            match rest with
+            | [] -> None
+            | [ file ] -> Some (read_file file)
+            | _ ->
+                Printf.eprintf
+                  "error: reload takes at most one .japi file (plus --remove/--corpus)\n";
+                exit 2
+          in
+          let corpus = Option.map read_file corpus_file in
+          if japi = None && remove = [] && corpus = None then begin
+            Printf.eprintf
+              "error: reload needs a .japi file, --remove or --corpus\n";
+            exit 2
+          end;
+          envelope (Proto.Reload { japi; remove; corpus })
       | [ "stats" ] -> envelope Proto.Stats
       | [ "health" ] -> envelope Proto.Health
       | [ "shutdown" ] -> envelope Proto.Shutdown
@@ -1621,6 +1860,25 @@ let client_cmd =
               in
               Printf.eprintf "error[%s]: %s\n" (get "error" "code")
                 (get "error" "message");
+              (* reload rejections carry typed per-op details *)
+              (match Proto.member "errors" response with
+              | Some (Proto.Arr errs) ->
+                  List.iter
+                    (fun e ->
+                      let s k =
+                        match Proto.member k e with
+                        | Some (Proto.Str s) -> s
+                        | _ -> "?"
+                      in
+                      let idx =
+                        match Proto.member "index" e with
+                        | Some (Proto.Int i) -> i
+                        | _ -> 0
+                      in
+                      Printf.eprintf "  op %d (%s %s): %s\n" idx (s "op")
+                        (s "subject") (s "reason"))
+                    errs
+              | _ -> ());
               exit 1)
   in
   Cmd.v
@@ -1628,7 +1886,8 @@ let client_cmd =
        ~doc:"Send one request to a running prospector daemon and print the reply.")
     Term.(
       const run $ max_results $ slack $ strategy_arg $ ranking_arg $ protocol_arg
-      $ host $ port $ port_file $ json_flag $ vars $ argv)
+      $ host $ port $ port_file $ json_flag $ vars $ remove_args $ corpus_arg
+      $ argv)
 
 (* ---------- table1 ---------- *)
 

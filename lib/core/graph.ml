@@ -140,14 +140,20 @@ type frozen = {
   f_nodes : int;
   f_edges : int;
   f_fwd_off : int_array1;
+  f_fwd_end : int_array1;
   f_fwd_dst : int_array1;
   f_fwd_cost : cost_array1;
   f_fwd_wcost : int array;
   f_fwd_edge : edge array;
   f_bwd_off : int_array1;
+  f_bwd_end : int_array1;
   f_bwd_src : int_array1;
   f_bwd_cost : cost_array1;
   f_bwd_wcost : int array;
+  f_fwd_used : int;
+  f_bwd_used : int;
+  f_plain : bool;
+  f_tail : bool Atomic.t;
   f_types : Jtype.t array;
   f_origins : string option array;
   f_ids : (string, node) Hashtbl.t;
@@ -155,6 +161,16 @@ type frozen = {
 }
 
 let default_wcost e = Elem.cost_scale * Elem.cost e
+
+(* Tail slack reserved past the last live edge so incremental patches
+   ([Delta]) can relocate rewritten rows by appending instead of copying
+   every lane. ~12.5% keeps the overhead bounded while surviving many
+   single-class edits before a compaction. *)
+let default_slack m = max 64 (m / 8)
+
+(* A dense snapshot's row ends are exactly the next row's offsets, so the
+   end lane is a storage-sharing view of [off] shifted by one. *)
+let dense_end (off : int_array1) n : int_array1 = Bigarray.Array1.sub off 1 n
 
 (* Backward rows are derived from the forward rows by a counting sort on
    destination, so each [v]'s predecessors appear in ascending forward-edge
@@ -164,23 +180,26 @@ let default_wcost e = Elem.cost_scale * Elem.cost e
    serialized form carry only forward [Elem.t]s. Distance sweeps are
    relaxation-order independent, so the (deliberate) departure from [preds]
    order is unobservable in results. *)
-let derive_bwd ~n ~m ~(fwd_off : int_array1) ~(fwd_dst : int_array1)
-    ~(fwd_cost : cost_array1) ~fwd_wcost =
+let derive_bwd ?cap ~n ~m ~(fwd_off : int_array1) ~(fwd_end : int_array1)
+    ~(fwd_dst : int_array1) ~(fwd_cost : cost_array1) ~fwd_wcost () =
+  let cap = match cap with Some c -> c | None -> m in
   let bwd_off = ba_int (n + 1) in
   Bigarray.Array1.fill bwd_off 0;
-  for k = 0 to m - 1 do
-    let v = fwd_dst.{k} in
-    bwd_off.{v + 1} <- bwd_off.{v + 1} + 1
+  for u = 0 to n - 1 do
+    for k = fwd_off.{u} to fwd_end.{u} - 1 do
+      let v = fwd_dst.{k} in
+      bwd_off.{v + 1} <- bwd_off.{v + 1} + 1
+    done
   done;
   for v = 0 to n - 1 do
     bwd_off.{v + 1} <- bwd_off.{v + 1} + bwd_off.{v}
   done;
-  let bwd_src = ba_int m in
-  let bwd_cost = ba_cost m in
-  let bwd_wcost = Array.make m 0 in
+  let bwd_src = ba_int cap in
+  let bwd_cost = ba_cost cap in
+  let bwd_wcost = Array.make cap 0 in
   let cursor = Array.make (max n 1) 0 in
   for u = 0 to n - 1 do
-    for k = fwd_off.{u} to fwd_off.{u + 1} - 1 do
+    for k = fwd_off.{u} to fwd_end.{u} - 1 do
       let v = fwd_dst.{k} in
       let j = bwd_off.{v} + cursor.(v) in
       cursor.(v) <- cursor.(v) + 1;
@@ -201,13 +220,15 @@ let freeze ?(wcost = default_wcost) t =
     fwd_off.{u + 1} <- fwd_off.{u} + List.length t.fwd.(u)
   done;
   let m = fwd_off.{n} in
+  let cap = m + default_slack m in
   let dummy =
     { elem = Elem.Widen { from_ = Jtype.Void; to_ = Jtype.Void }; src = 0; dst = 0 }
   in
-  let fwd_dst = ba_int m in
-  let fwd_cost = ba_cost m in
-  let fwd_wcost = Array.make m 0 in
-  let fwd_edge = Array.make m dummy in
+  let fwd_dst = ba_int cap in
+  let fwd_cost = ba_cost cap in
+  let fwd_wcost = Array.make cap 0 in
+  let fwd_edge = Array.make cap dummy in
+  let plain = ref true in
   for u = 0 to n - 1 do
     let k = ref fwd_off.{u} in
     List.iter
@@ -216,39 +237,152 @@ let freeze ?(wcost = default_wcost) t =
         fwd_cost.{!k} <- Elem.cost e.elem;
         fwd_wcost.(!k) <- wcost e.elem;
         fwd_edge.(!k) <- e;
+        if Elem.is_downcast e.elem then plain := false;
         incr k)
       t.fwd.(u)
   done;
+  let fwd_end = dense_end fwd_off n in
   let bwd_off, bwd_src, bwd_cost, bwd_wcost =
-    derive_bwd ~n ~m ~fwd_off ~fwd_dst ~fwd_cost ~fwd_wcost
+    derive_bwd ~cap ~n ~m ~fwd_off ~fwd_end ~fwd_dst ~fwd_cost ~fwd_wcost ()
   in
+  for i = 0 to n - 1 do
+    if t.info.(i).origin <> None then plain := false
+  done;
   {
     f_generation = t.generation;
     f_nodes = n;
     f_edges = t.edges;
     f_fwd_off = fwd_off;
+    f_fwd_end = fwd_end;
     f_fwd_dst = fwd_dst;
     f_fwd_cost = fwd_cost;
     f_fwd_wcost = fwd_wcost;
     f_fwd_edge = fwd_edge;
     f_bwd_off = bwd_off;
+    f_bwd_end = dense_end bwd_off n;
     f_bwd_src = bwd_src;
     f_bwd_cost = bwd_cost;
     f_bwd_wcost = bwd_wcost;
+    f_fwd_used = m;
+    f_bwd_used = m;
+    f_plain = !plain;
+    f_tail = Atomic.make false;
     f_types = Array.init n (fun i -> t.info.(i).ty);
     f_origins = Array.init n (fun i -> t.info.(i).origin);
     f_ids = Hashtbl.copy t.ids;
     f_void = Hashtbl.find_opt t.ids (type_key Jtype.Void);
   }
 
+(* Recompute the weighted-cost lanes for a new cost model, in place in the
+   physical layout: forward positions are keyed by the edge table, and each
+   backward row is refilled by the same forward-scan order that built it
+   (ascending source, then row offset) — valid for dense and appended
+   layouts alike. Shares every other lane with the input, including the
+   tail-claim token (the physical tails are the same storage). *)
 let rebake ?(wcost = default_wcost) fz =
-  let m = Array.length fz.f_fwd_edge in
-  let fwd_wcost = Array.init m (fun k -> wcost fz.f_fwd_edge.(k).elem) in
-  let _, _, _, bwd_wcost =
-    derive_bwd ~n:fz.f_nodes ~m ~fwd_off:fz.f_fwd_off ~fwd_dst:fz.f_fwd_dst
-      ~fwd_cost:fz.f_fwd_cost ~fwd_wcost
-  in
+  let n = fz.f_nodes in
+  let cap = Array.length fz.f_fwd_edge in
+  let bcap = Array.length fz.f_bwd_wcost in
+  let fwd_wcost = Array.make cap 0 in
+  let bwd_wcost = Array.make bcap 0 in
+  let cursor = Array.make (max n 1) 0 in
+  for u = 0 to n - 1 do
+    for k = fz.f_fwd_off.{u} to fz.f_fwd_end.{u} - 1 do
+      let w = wcost fz.f_fwd_edge.(k).elem in
+      fwd_wcost.(k) <- w;
+      let v = fz.f_fwd_dst.{k} in
+      bwd_wcost.(fz.f_bwd_off.{v} + cursor.(v)) <- w;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
   { fz with f_fwd_wcost = fwd_wcost; f_bwd_wcost = bwd_wcost }
+
+(* Dense copy of a (possibly appended / holey) snapshot: rows packed back
+   into offset order with fresh tail slack. Maximal physically contiguous
+   stretches of rows are copied with one blit each, so compacting a
+   lightly-patched snapshot is a handful of memcpys. *)
+let compact ?slack fz =
+  let n = fz.f_nodes in
+  let off = fz.f_fwd_off and fin = fz.f_fwd_end in
+  let off' = ba_int (n + 1) in
+  off'.{0} <- 0;
+  for u = 0 to n - 1 do
+    off'.{u + 1} <- off'.{u} + (fin.{u} - off.{u})
+  done;
+  let m = off'.{n} in
+  let cap = m + (match slack with Some s -> s | None -> default_slack m) in
+  let dummy =
+    { elem = Elem.Widen { from_ = Jtype.Void; to_ = Jtype.Void }; src = 0; dst = 0 }
+  in
+  let run_copy ~(off : int_array1) ~(fin : int_array1) ~(off' : int_array1)
+      copy_span =
+    let u = ref 0 in
+    while !u < n do
+      let u0 = !u in
+      let p0 = off.{u0} in
+      let pe = ref fin.{u0} in
+      incr u;
+      while !u < n && off.{!u} = !pe do
+        pe := fin.{!u};
+        incr u
+      done;
+      let len = !pe - p0 in
+      if len > 0 then copy_span ~src0:p0 ~dst0:off'.{u0} ~len
+    done
+  in
+  let dst' = ba_int cap in
+  let cost' = ba_cost cap in
+  let wcost' = Array.make cap 0 in
+  let edge' = Array.make cap dummy in
+  run_copy ~off ~fin ~off' (fun ~src0 ~dst0 ~len ->
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub fz.f_fwd_dst src0 len)
+        (Bigarray.Array1.sub dst' dst0 len);
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub fz.f_fwd_cost src0 len)
+        (Bigarray.Array1.sub cost' dst0 len);
+      Array.blit fz.f_fwd_wcost src0 wcost' dst0 len;
+      Array.blit fz.f_fwd_edge src0 edge' dst0 len);
+  let boff = fz.f_bwd_off and bfin = fz.f_bwd_end in
+  let boff' = ba_int (n + 1) in
+  boff'.{0} <- 0;
+  for v = 0 to n - 1 do
+    boff'.{v + 1} <- boff'.{v} + (bfin.{v} - boff.{v})
+  done;
+  let bsrc' = ba_int cap in
+  let bcost' = ba_cost cap in
+  let bwcost' = Array.make cap 0 in
+  run_copy ~off:boff ~fin:bfin ~off':boff' (fun ~src0 ~dst0 ~len ->
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub fz.f_bwd_src src0 len)
+        (Bigarray.Array1.sub bsrc' dst0 len);
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub fz.f_bwd_cost src0 len)
+        (Bigarray.Array1.sub bcost' dst0 len);
+      Array.blit fz.f_bwd_wcost src0 bwcost' dst0 len);
+  {
+    fz with
+    f_fwd_off = off';
+    f_fwd_end = dense_end off' n;
+    f_fwd_dst = dst';
+    f_fwd_cost = cost';
+    f_fwd_wcost = wcost';
+    f_fwd_edge = edge';
+    f_bwd_off = boff';
+    f_bwd_end = dense_end boff' n;
+    f_bwd_src = bsrc';
+    f_bwd_cost = bcost';
+    f_bwd_wcost = bwcost';
+    f_fwd_used = m;
+    f_bwd_used = m;
+    f_tail = Atomic.make false;
+  }
+
+let is_compact fz =
+  fz.f_fwd_used = fz.f_edges
+  && fz.f_bwd_used = fz.f_edges
+  && Bigarray.Array1.dim fz.f_fwd_dst = fz.f_edges
+  && Bigarray.Array1.dim fz.f_bwd_src = fz.f_edges
 
 let frozen_generation fz = fz.f_generation
 
@@ -268,7 +402,16 @@ let frozen_succs fz u =
   let rec go k acc =
     if k < fz.f_fwd_off.{u} then acc else go (k - 1) (fz.f_fwd_edge.(k) :: acc)
   in
-  go (fz.f_fwd_off.{u + 1} - 1) []
+  go (fz.f_fwd_end.{u} - 1) []
+
+(* Row-wise, because the lanes can hold tail slack and relocated rows'
+   abandoned regions — physical order is not edge order. *)
+let frozen_iter_edges fz f =
+  for u = 0 to fz.f_nodes - 1 do
+    for k = fz.f_fwd_off.{u} to fz.f_fwd_end.{u} - 1 do
+      f fz.f_fwd_edge.(k)
+    done
+  done
 
 let of_frozen fz =
   let g = create () in
@@ -286,7 +429,7 @@ let of_frozen fz =
      [preds] order is not reproduced (it interleaved insertions across
      sources); nothing observes it — see [derive_bwd]. *)
   for u = 0 to fz.f_nodes - 1 do
-    for k = fz.f_fwd_off.{u + 1} - 1 downto fz.f_fwd_off.{u} do
+    for k = fz.f_fwd_end.{u} - 1 downto fz.f_fwd_off.{u} do
       let e = fz.f_fwd_edge.(k) in
       add_edge g ~src:u e.elem ~dst:e.dst
     done

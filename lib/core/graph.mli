@@ -111,10 +111,16 @@ val ba_cost : int -> cost_array1
 type frozen = {
   f_generation : int;
   f_nodes : int;
-  f_edges : int;
+  f_edges : int;  (** logical edge count: the sum of row lengths *)
   f_fwd_off : int_array1;
       (** length [f_nodes + 1]; edges of [u] live at indices
-          [f_fwd_off.{u} .. f_fwd_off.{u+1} - 1] *)
+          [f_fwd_off.{u} .. f_fwd_end.{u} - 1]. Rows need {e not} be
+          physically contiguous: an incremental patch ({!Delta}) relocates a
+          rewritten row into the lanes' tail slack, leaving its old region
+          dead. In a dense snapshot [f_fwd_end] is a storage-sharing view of
+          this lane shifted by one, so [f_fwd_off.{u+1}] is still the row
+          end there. *)
+  f_fwd_end : int_array1;  (** length [f_nodes]; exclusive row ends *)
   f_fwd_dst : int_array1;
   f_fwd_cost : cost_array1;  (** memoized [Elem.cost], aligned with [f_fwd_dst] *)
   f_fwd_wcost : int array;
@@ -122,11 +128,24 @@ type frozen = {
           [f_fwd_dst]; plain [int array] — weighted costs exceed uint16 *)
   f_fwd_edge : edge array;  (** cold: the full edge, aligned with [f_fwd_dst] *)
   f_bwd_off : int_array1;
+  f_bwd_end : int_array1;
   f_bwd_src : int_array1;
   f_bwd_cost : cost_array1;
   f_bwd_wcost : int array;
       (** weighted edge cost, aligned with [f_bwd_src] — backward rows carry
           no [edge], so weighted distance-to-target sweeps need it baked in *)
+  f_fwd_used : int;
+      (** physical high-water mark: lane indices at or past this are free
+          tail slack (capacity is the lanes' dimension) *)
+  f_bwd_used : int;
+  f_plain : bool;
+      (** no typestate nodes and no downcast edges — precomputed so
+          {!Delta}'s spliced-path eligibility check is O(1) *)
+  f_tail : bool Atomic.t;
+      (** tail-claim token: set once by the first patch that appends into
+          this snapshot's tail slack. Records sharing lanes share the token
+          ({!rebake}), so two patches can never append over each other — the
+          loser takes the compact-and-copy path. *)
   f_types : Jtype.t array;
   f_origins : string option array;
   f_ids : (string, node) Hashtbl.t;  (** private copy; never written again *)
@@ -134,20 +153,51 @@ type frozen = {
 }
 
 val derive_bwd :
+  ?cap:int ->
   n:int ->
   m:int ->
   fwd_off:int_array1 ->
+  fwd_end:int_array1 ->
   fwd_dst:int_array1 ->
   fwd_cost:cost_array1 ->
   fwd_wcost:int array ->
+  unit ->
   int_array1 * int_array1 * cost_array1 * int array
 (** [(bwd_off, bwd_src, bwd_cost, bwd_wcost)] derived from forward rows by a
     counting sort on destination — the canonical backward representation
     {!freeze} and {!rebake} use, exposed for builders of derived snapshots
-    ({!Shard}). *)
+    ({!Shard}). The output is dense; [cap] (default [m]) sizes the physical
+    lanes, leaving tail slack past index [m - 1]. *)
+
+val default_slack : int -> int
+(** Tail-slack heuristic for [m] edges (~12.5%, floored at 64) — the spare
+    lane capacity {!freeze} and {!compact} reserve for appended rows. *)
+
+val compact : ?slack:int -> frozen -> frozen
+(** Dense copy: rows packed back into offset order, fresh lanes with
+    [slack] (default {!freeze}'s heuristic) spare tail entries, and an
+    unclaimed tail token. Logical content and generation are unchanged.
+    O(nodes) bookkeeping plus one blit per maximal physically contiguous
+    row stretch — a lightly patched snapshot compacts in a few memcpys. *)
+
+val is_compact : frozen -> bool
+(** Rows dense in offset order with zero tail slack — the only layout
+    {!Serialize} writes (it compacts first when this is false). *)
+
+val frozen_iter_edges : frozen -> (edge -> unit) -> unit
+(** Every live edge, row by row in node order. Use this instead of scanning
+    [f_fwd_edge] directly: the lane's physical order is not edge order once
+    a snapshot has been patched, and its tail holds dead entries. *)
+
+val default_wcost : Elem.t -> int
+(** The paper cost in fixed-point units, [Elem.cost_scale * Elem.cost] — the
+    default [wcost] of {!freeze} and {!rebake}, exposed so incremental
+    patching ({!Delta}) can cost new edges identically. *)
 
 val freeze : ?wcost:(Elem.t -> int) -> t -> frozen
-(** O(nodes + edges). Captures the graph at its current {!generation}.
+(** O(nodes + edges). Captures the graph at its current {!generation}. The
+    lanes are allocated with ~12.5% tail slack so incremental patches
+    ({!Delta.apply}) can append relocated rows without copying them.
     [wcost] supplies the weighted (mined) cost per elementary jungloid,
     baked into [f_fwd_wcost]/[f_bwd_wcost]; it must be non-negative. The
     default is the paper cost in fixed-point units,

@@ -19,6 +19,10 @@ type stats = {
   s_invalidations : int;  (** times {!clear} was called *)
   s_entries : int;  (** current size *)
   s_capacity : int;
+  s_dropped : int;
+      (** entries removed by {!clear} or {!refresh}, cumulative — the
+          invalidation cost in entries rather than passes *)
+  s_scoped : int;  (** cone-scoped {!refresh} passes (vs generation nukes) *)
 }
 
 val create : ?capacity:int -> unit -> ('k, 'a) t
@@ -43,7 +47,17 @@ val find_or_add : ('k, 'a) t -> 'k -> (unit -> 'a) -> 'a
 (** [find] then, on miss, compute, [add], and return. *)
 
 val clear : ('k, 'a) t -> unit
-(** Drop every entry and count one invalidation. *)
+(** Drop every entry and count one invalidation (plus the entry count in
+    [s_dropped]). *)
+
+val refresh : ('k, 'a) t -> ('k -> 'k option) -> int
+(** [refresh t f] maps every entry's key through [f]: [None] drops the
+    entry, [Some k'] keeps its value under the (possibly rewritten) key.
+    Recency order is preserved; when two keys map to the same [k'] the more
+    recent entry wins. Counts one scoped pass and adds the removed-entry
+    count to [s_dropped]; returns that count. This is the cone-scoped
+    invalidation primitive behind live reload: survivors are rekeyed to the
+    new graph generation instead of being nuked wholesale. *)
 
 val keys_mru_first : ('k, 'a) t -> 'k list
 (** The recency order, most recent first (for tests and debugging). *)

@@ -274,8 +274,8 @@ let view_of_frozen ?scratch fz =
       (fun ~cone ~target -> Search.Csr.distances_to ?scratch ?cone fz ~target);
     v_iter_succs =
       (fun u f ->
-        let off = fz.Graph.f_fwd_off in
-        for k = off.{u} to off.{u + 1} - 1 do
+        let off = fz.Graph.f_fwd_off and fin = fz.Graph.f_fwd_end in
+        for k = off.{u} to fin.{u} - 1 do
           f k fz.Graph.f_fwd_edge.(k)
         done);
     v_edge_slots = Array.length fz.Graph.f_fwd_edge;
@@ -993,16 +993,17 @@ type multi_key = {
 }
 
 type engine = {
-  e_graph : Graph.t Lazy.t;
+  mutable e_graph : Graph.t Lazy.t;
       (* mmap-warm-started engines never pay for the mutable rebuild unless
-         something (enrichment, DOT export) actually asks for it *)
-  e_hierarchy : Hierarchy.t;
+         something (enrichment, DOT export) actually asks for it; reload
+         swaps in a lazy rebuild of the patched snapshot *)
+  mutable e_hierarchy : Hierarchy.t;  (* swapped by reload *)
   e_single : (single_key, result list) Qcache.t;
   e_multi : (multi_key, multi_result list) Qcache.t;
   e_prune : bool;
   e_pool : Pool.t;
-  e_edge_cost : (Elem.t -> int) option;  (* mined cost model, if loaded *)
-  e_protocol_check : (Jungloid.t -> string list) option;
+  mutable e_edge_cost : (Elem.t -> int) option;  (* mined cost model, if loaded *)
+  mutable e_protocol_check : (Jungloid.t -> string list) option;
       (* mined typestate checker, if loaded: violations of a chain *)
   mutable e_frozen : Graph.frozen;  (* CSR snapshot, valid for [e_gen] *)
   mutable e_reach : Reach.t option;  (* built lazily, valid for [e_gen] *)
@@ -1152,6 +1153,104 @@ let engine_shards e =
       s
 
 let engine_stats e = Qcache.merge_stats (Qcache.stats e.e_single) (Qcache.stats e.e_multi)
+
+(* Live reload: swap a delta patch into the engine without a cold restart.
+
+   The reach index is maintained incrementally (only components downstream
+   of a touched node are re-closed — [Reach.patch]); cache invalidation is
+   cone-scoped rather than a generation nuke. The soundness argument for
+   keeping an entry with target [tout]: any query answer that changed did so
+   through some path using an added or removed edge. Take the LAST changed
+   edge (s, d) on such a path — the suffix from [d] to [tout] uses only
+   edges present in the OLD graph (for an added edge, the suffix is
+   addition-free by choice of last; for a removed edge, the old path's
+   suffix is old edges by definition) — so [d], a touched endpoint, reaches
+   [tout] in the old index. Contrapositive: if no touched endpoint lies in
+   the old cone of [tout], no answer for [tout] changed, and the entry
+   survives with its key rewritten to the new generation. Entries computed
+   under [estimate_freevars] also read void-rooted distances over the whole
+   graph, so they never survive a structural change.
+
+   A new [edge_cost] (corpus delta re-derived the mined model) shifts every
+   weighted cost — Usage's normalization denominator is global — so both
+   caches are cleared (a counted generation nuke) and the lanes re-baked; a
+   new [protocol_check] likewise invalidates Filter/Warn results wholesale.
+   A [Rebuilt] patch has unstable node ids, so it too clears. *)
+let engine_reload ?edge_cost ?protocol_check e (patch : Delta.patch) =
+  let old_gen = e.e_gen in
+  let old_reach = e.e_reach in
+  let old_frozen = e.e_frozen in
+  let fz =
+    match edge_cost with
+    | Some wcost -> Graph.rebake ~wcost patch.Delta.p_frozen
+    | None -> patch.Delta.p_frozen
+  in
+  let new_gen = Graph.frozen_generation fz in
+  let reach' =
+    match old_reach with
+    | Some r when e.e_prune && patch.Delta.p_mode = Delta.Spliced ->
+        Some (Reach.patch ~pool:e.e_pool ~old:r ~touched:patch.Delta.p_touched fz)
+    | _ -> None (* rebuilt lazily on next pruned query *)
+  in
+  let model_changed =
+    Option.is_some edge_cost || Option.is_some protocol_check
+  in
+  if model_changed || patch.Delta.p_mode = Delta.Rebuilt || old_reach = None
+  then begin
+    Qcache.clear e.e_single;
+    Qcache.clear e.e_multi
+  end
+  else begin
+    let touched_nodes =
+      let acc = ref [] in
+      for u = Graph.frozen_node_count old_frozen - 1 downto 0 do
+        if Reach.Bits.mem patch.Delta.p_touched u then acc := u :: !acc
+      done;
+      !acc
+    in
+    let r = Option.get old_reach in
+    let cone_clean tout =
+      match Graph.frozen_find_type_node old_frozen tout with
+      | None -> false
+      | Some dst ->
+          not (List.exists (fun u -> Reach.mem r ~src:u ~target:dst) touched_nodes)
+    in
+    let dropped_s =
+      Qcache.refresh e.e_single (fun k ->
+          if
+            k.sk_gen = old_gen
+            && (not k.sk_settings.estimate_freevars)
+            && cone_clean k.sk_tout
+          then Some { k with sk_gen = new_gen }
+          else None)
+    in
+    let dropped_m =
+      Qcache.refresh e.e_multi (fun k ->
+          if
+            k.mk_gen = old_gen
+            && (not k.mk_settings.estimate_freevars)
+            && cone_clean k.mk_tout
+          then Some { k with mk_gen = new_gen }
+          else None)
+    in
+    Log.debug (fun m ->
+        m "engine: reload dropped %d cached entries (cone-scoped)"
+          (dropped_s + dropped_m))
+  end;
+  e.e_hierarchy <- patch.Delta.p_hierarchy;
+  (match edge_cost with Some _ -> e.e_edge_cost <- edge_cost | None -> ());
+  (match protocol_check with
+  | Some _ -> e.e_protocol_check <- protocol_check
+  | None -> ());
+  e.e_frozen <- fz;
+  e.e_reach <- reach';
+  e.e_shards <- None;
+  e.e_gen <- new_gen;
+  e.e_graph <- lazy (Graph.of_frozen fz);
+  Log.debug (fun m ->
+      m "engine: reloaded (%s) — generation %d -> %d, %d touched nodes"
+        (Delta.mode_string patch.Delta.p_mode)
+        old_gen new_gen patch.Delta.p_touched_count)
 
 let single_key ~gen ~settings q =
   { sk_tin = q.tin; sk_tout = q.tout; sk_settings = settings; sk_gen = gen }

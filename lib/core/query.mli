@@ -425,6 +425,26 @@ val invalidate : engine -> unit
     automatically when the graph generation changes). Counted in
     {!engine_stats}. *)
 
+val engine_reload :
+  ?edge_cost:(Elem.t -> int) ->
+  ?protocol_check:(Jungloid.t -> string list) ->
+  engine ->
+  Delta.patch ->
+  unit
+(** Swap a {!Delta.apply} patch into a live engine. The CSR snapshot and
+    hierarchy are replaced, the reach index is maintained incrementally
+    ({!Reach.patch} — only components downstream of a touched node are
+    re-closed), and cache invalidation is cone-scoped: an entry survives,
+    rekeyed to the new generation, iff no endpoint of a changed edge lies in
+    its target's old reachability cone (and it was not computed under
+    [estimate_freevars], which reads whole-graph distances). [edge_cost] /
+    [protocol_check], when given, install a re-derived mined model — that
+    shifts every weighted cost (the usage model's normalization is global),
+    so the snapshot is re-baked and both caches are cleared wholesale, as
+    they are for a [Rebuilt] patch (node ids unstable). Subsequent queries
+    answer over the patched model; the mutable graph view becomes a lazy
+    rebuild of the patched snapshot. *)
+
 val engine_stats : engine -> Qcache.stats
 (** Combined hit/miss/eviction/invalidation counters of both internal
     caches; render with {!Stats.pp_cache}. *)

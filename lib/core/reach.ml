@@ -57,7 +57,8 @@ type t = {
    parent beneath it, and a root pops its whole component. Visit order
    follows the row order — the same successor order the list-based graph
    yields — so component numbering is deterministic. *)
-let compute_sccs n ~(off : Graph.int_array1) ~(adj : Graph.int_array1) =
+let compute_sccs n ~(off : Graph.int_array1) ~(fin : Graph.int_array1)
+    ~(adj : Graph.int_array1) =
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -79,7 +80,7 @@ let compute_sccs n ~(off : Graph.int_array1) ~(adj : Graph.int_array1) =
       Stack.push (root, off.{root}) call;
       while not (Stack.is_empty call) do
         let v, k = Stack.pop call in
-        if k < off.{v + 1} then begin
+        if k < fin.{v} then begin
           let w = adj.{k} in
           Stack.push (v, k + 1) call;
           if index.(w) < 0 then begin
@@ -114,8 +115,9 @@ let compute_sccs n ~(off : Graph.int_array1) ~(adj : Graph.int_array1) =
 let build_frozen ?pool (fz : Graph.frozen) =
   let n = fz.Graph.f_nodes in
   let off = fz.Graph.f_fwd_off in
+  let fin = fz.Graph.f_fwd_end in
   let adj = fz.Graph.f_fwd_dst in
-  let comp, ncomp = compute_sccs n ~off ~adj in
+  let comp, ncomp = compute_sccs n ~off ~fin ~adj in
   let creach = Array.init ncomp (fun _ -> Bits.create n) in
   let members = Array.make ncomp [] in
   for u = n - 1 downto 0 do
@@ -129,7 +131,7 @@ let build_frozen ?pool (fz : Graph.frozen) =
   for c = 0 to ncomp - 1 do
     List.iter
       (fun u ->
-        for k = off.{u} to off.{u + 1} - 1 do
+        for k = off.{u} to fin.{u} - 1 do
           let cv = comp.(adj.{k}) in
           if cv <> c && level.(cv) + 1 > level.(c) then level.(c) <- level.(cv) + 1
         done)
@@ -151,7 +153,7 @@ let build_frozen ?pool (fz : Graph.frozen) =
     List.iter
       (fun u ->
         Bits.set bits u;
-        for k = off.{u} to off.{u + 1} - 1 do
+        for k = off.{u} to fin.{u} - 1 do
           let cv = comp.(adj.{k}) in
           if cv <> c && not (Hashtbl.mem seen cv) then begin
             Hashtbl.add seen cv ();
@@ -173,6 +175,98 @@ let build_frozen ?pool (fz : Graph.frozen) =
   { n; built_at = fz.Graph.f_generation; comp; creach; csize }
 
 let build ?pool g = build_frozen ?pool (Graph.freeze g)
+
+(* Delta-aware maintenance. A reload patches a bounded set of CSR rows; the
+   index only has to recompute closures downstream-of-change. Tarjan reruns
+   over the new lanes (linear, tiny constant — it allocates nothing per
+   edge), then a single ascending sweep classifies each new component:
+
+   - {e dirty} if any member is in [touched] (an endpoint of an added or
+     removed edge) or any successor component is dirty — reachability can
+     only change along a path through a changed edge, and component ids are
+     reverse topological, so the flag propagates in one pass;
+   - {e clean} otherwise, additionally verified to have exactly the old
+     component's member set (a membership change without a touched member or
+     dirty successor is impossible, but the check is cheap and keeps the
+     reuse unconditionally safe).
+
+   Clean components reuse the old closure bitset {e by reference} (closure =
+   members ∪ successor closures, all equal by induction); dirty ones are
+   re-closed exactly like [build_frozen] does. Past [dirty_node_threshold]
+   the sweep stops paying for itself and a full rebuild is cheaper. *)
+let dirty_node_threshold = 0.25
+
+let patch ?pool ~old ~touched (fz : Graph.frozen) =
+  let n = fz.Graph.f_nodes in
+  if n <> old.n then build_frozen ?pool fz
+  else begin
+    let off = fz.Graph.f_fwd_off in
+    let fin = fz.Graph.f_fwd_end in
+    let adj = fz.Graph.f_fwd_dst in
+    let comp, ncomp = compute_sccs n ~off ~fin ~adj in
+    let members = Array.make ncomp [] in
+    for u = n - 1 downto 0 do
+      members.(comp.(u)) <- u :: members.(comp.(u))
+    done;
+    let dirty = Array.make ncomp false in
+    let dirty_nodes = ref 0 in
+    for c = 0 to ncomp - 1 do
+      let d = ref false in
+      List.iter
+        (fun u ->
+          if Bits.mem touched u then d := true;
+          for k = off.{u} to fin.{u} - 1 do
+            let cv = comp.(adj.{k}) in
+            if cv <> c && dirty.(cv) then d := true
+          done)
+        members.(c);
+      if not !d then begin
+        (* clean ⇒ member-set unchanged; verify against the old index *)
+        match members.(c) with
+        | [] -> ()
+        | rep :: _ ->
+            let oc = old.comp.(rep) in
+            if
+              old.csize.(oc) <> List.length members.(c)
+              || List.exists (fun u -> old.comp.(u) <> oc) members.(c)
+            then d := true
+      end;
+      if !d then begin
+        dirty.(c) <- true;
+        dirty_nodes := !dirty_nodes + List.length members.(c)
+      end
+    done;
+    if float_of_int !dirty_nodes > dirty_node_threshold *. float_of_int n then
+      build_frozen ?pool fz
+    else begin
+      let creach = Array.make ncomp [||] in
+      for c = 0 to ncomp - 1 do
+        if not dirty.(c) then
+          creach.(c) <- old.creach.(old.comp.(List.hd members.(c)))
+        else begin
+          let bits = Bits.create n in
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun u ->
+              Bits.set bits u;
+              for k = off.{u} to fin.{u} - 1 do
+                let cv = comp.(adj.{k}) in
+                if cv <> c && not (Hashtbl.mem seen cv) then begin
+                  Hashtbl.add seen cv ();
+                  Bits.union_into ~dst:bits creach.(cv)
+                end
+              done)
+            members.(c);
+          creach.(c) <- bits
+        end
+      done;
+      let csize = Array.make ncomp 0 in
+      for u = 0 to n - 1 do
+        csize.(comp.(u)) <- csize.(comp.(u)) + 1
+      done;
+      { n; built_at = fz.Graph.f_generation; comp; creach; csize }
+    end
+  end
 
 let generation t = t.built_at
 

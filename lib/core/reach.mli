@@ -47,6 +47,20 @@ val build_frozen : ?pool:Prospector_parallel.Pool.t -> Graph.frozen -> t
     each component writes only its own bitset and unions are commutative —
     so pool size never affects query results. *)
 
+val patch :
+  ?pool:Prospector_parallel.Pool.t -> old:t -> touched:Bits.t -> Graph.frozen -> t
+(** Delta-aware maintenance after a reload: [patch ~old ~touched fz] indexes
+    the patched snapshot [fz], recomputing only components with a path to a
+    [touched] node (an endpoint of an added or removed edge, over node ids
+    shared between [old] and [fz]) and reusing every other component's
+    closure bitset from [old] by reference. Falls back to {!build_frozen}
+    when the node count changed or the dirty set passes a fixed threshold
+    (25% of nodes — past that the ascending sweep stops paying for itself).
+    The result is bit-for-bit identical to [build_frozen fz]: same component
+    numbering (Tarjan reruns over the new lanes either way) and same
+    closures (clean components' member sets and successor closures are
+    unchanged by construction, and verified). *)
+
 val generation : t -> int
 (** The graph generation the index was built against. *)
 

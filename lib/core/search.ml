@@ -482,7 +482,8 @@ module Csr = struct
      cone's bitset probed inline — two array loads per relaxed edge, no
      closure call. *)
   let bfs_into (lane : Scratch.lane) dq n ~starts ~(off : Graph.int_array1)
-      ~(adj : Graph.int_array1) ~(cost : Graph.cost_array1) ~cone =
+      ~(fin : Graph.int_array1) ~(adj : Graph.int_array1)
+      ~(cost : Graph.cost_array1) ~cone =
     let dist = lane.Scratch.ld
     and stamp = lane.Scratch.lstamp
     and epoch = lane.Scratch.lepoch in
@@ -509,7 +510,7 @@ module Csr = struct
         let du = x lsr 31 in
         (* [u] was pushed, so its stamp is current: the plain read is exact. *)
         if du = dist.(u) then
-          for k = off.{u} to off.{u + 1} - 1 do
+          for k = off.{u} to fin.{u} - 1 do
             let v = adj.{k} in
             let c = cost.{k} in
             let d = du + c in
@@ -531,24 +532,26 @@ module Csr = struct
       end
     done
 
-  let bfs ?scratch n ~starts ~off ~adj ~cost ~cone =
+  let bfs ?scratch n ~starts ~off ~fin ~adj ~cost ~cone =
     let lane = lane_of scratch n in
     let dq =
       match scratch with Some s -> Scratch.take_dq s | None -> Ideque.create ()
     in
-    bfs_into lane dq n ~starts ~off ~adj ~cost ~cone;
+    bfs_into lane dq n ~starts ~off ~fin ~adj ~cost ~cone;
     (match scratch with Some s -> Scratch.give_dq s dq | None -> ());
     dist_of lane
 
   let distances_to ?scratch ?cone fz ~target =
     bfs ?scratch fz.Graph.f_nodes ~starts:[ target ] ~off:fz.Graph.f_bwd_off
-      ~adj:fz.Graph.f_bwd_src ~cost:fz.Graph.f_bwd_cost ~cone
+      ~fin:fz.Graph.f_bwd_end ~adj:fz.Graph.f_bwd_src ~cost:fz.Graph.f_bwd_cost
+      ~cone
 
   (* Weighted (mined) distances to the target, over the baked-in
      [f_bwd_wcost] — the backward rows carry no [edge], so the cost model
      must have been supplied at freeze time. *)
   let weighted_distances_to ?scratch ?cone fz ~target =
     let off = fz.Graph.f_bwd_off in
+    let fin = fz.Graph.f_bwd_end in
     let adj = fz.Graph.f_bwd_src in
     let wcost = fz.Graph.f_bwd_wcost in
     let n = fz.Graph.f_nodes in
@@ -560,7 +563,7 @@ module Csr = struct
     let pruned = Array.length comp > 0 in
     let lane = lane_of scratch n in
     dijkstra_into lane n ~starts:[ target ] ~next:(fun u f ->
-        for k = off.{u} to off.{u + 1} - 1 do
+        for k = off.{u} to fin.{u} - 1 do
           let v = adj.{k} in
           if (not pruned) || Reach.Bits.mem cbits comp.(v) then f wcost.(k) v
         done);
@@ -568,7 +571,8 @@ module Csr = struct
 
   let distances_from ?scratch ?cone fz ~sources =
     bfs ?scratch fz.Graph.f_nodes ~starts:sources ~off:fz.Graph.f_fwd_off
-      ~adj:fz.Graph.f_fwd_dst ~cost:fz.Graph.f_fwd_cost ~cone
+      ~fin:fz.Graph.f_fwd_end ~adj:fz.Graph.f_fwd_dst ~cost:fz.Graph.f_fwd_cost
+      ~cone
 
   let shortest_cost ?scratch ?cone fz ~sources ~target =
     let sources =
@@ -591,6 +595,7 @@ module Csr = struct
   let dfs_from fz ~target ~(dist_to : Dist.t) ~(on_path : Scratch.lane) ~budget
       ~limit ~count ~results source =
     let off = fz.Graph.f_fwd_off in
+    let fin = fz.Graph.f_fwd_end in
     let dst = fz.Graph.f_fwd_dst in
     let cost = fz.Graph.f_fwd_cost in
     let edge = fz.Graph.f_fwd_edge in
@@ -608,7 +613,7 @@ module Csr = struct
         (* Same acyclicity cut as the list version: nothing extends a path
            already at the target. *)
         if u <> target || rev_ks = [] then
-          for k = off.{u} to off.{u + 1} - 1 do
+          for k = off.{u} to fin.{u} - 1 do
             let v = dst.{k} in
             let c' = ucost + cost.{k} in
             let dv =

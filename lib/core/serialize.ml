@@ -240,6 +240,9 @@ let cost_seg_bytes (a : Graph.cost_array1) =
   b
 
 let save_frozen (fz : Graph.frozen) path =
+  (* the format stores dense rows with no slack; patched snapshots (tail
+     appends, dead regions) are compacted first *)
+  let fz = if Graph.is_compact fz then fz else Graph.compact ~slack:0 fz in
   let n = fz.Graph.f_nodes and m = fz.Graph.f_edges in
   let cold =
     {
@@ -372,20 +375,32 @@ let frozen_of_parts ~(cold : frozen_cold) ~fwd_off ~fwd_dst ~fwd_cost ~bwd_off
       in
       let ids = Hashtbl.create (max 16 (Array.length cold.fc_ids)) in
       Array.iter (fun (k, v) -> Hashtbl.replace ids k v) cold.fc_ids;
+      let plain =
+        Array.for_all (fun o -> o = None) cold.fc_origins
+        && Array.for_all (fun e -> not (Elem.is_downcast e)) cold.fc_fwd_elems
+      in
       Ok
         {
           Graph.f_generation = cold.fc_generation;
           f_nodes = n;
           f_edges = m;
           f_fwd_off = fwd_off;
+          f_fwd_end = Bigarray.Array1.sub fwd_off 1 n;
           f_fwd_dst = fwd_dst;
           f_fwd_cost = fwd_cost;
           f_fwd_wcost = cold.fc_fwd_wcost;
           f_fwd_edge = fwd_edge;
           f_bwd_off = bwd_off;
+          f_bwd_end = Bigarray.Array1.sub bwd_off 1 n;
           f_bwd_src = bwd_src;
           f_bwd_cost = bwd_cost;
           f_bwd_wcost = cold.fc_bwd_wcost;
+          (* zero slack: a mapped snapshot's lanes are file-backed, so the
+             first patch must always take the copying path *)
+          f_fwd_used = m;
+          f_bwd_used = m;
+          f_plain = plain;
+          f_tail = Atomic.make false;
           f_types = cold.fc_types;
           f_origins = cold.fc_origins;
           f_ids = ids;

@@ -76,11 +76,13 @@ let plan ?(max_shards = 32) ?(threshold = 0.75) (fz : Graph.frozen) reach =
       for u = n - 1 downto 0 do
         members.(comp.(u)) <- u :: members.(comp.(u))
       done;
-      let off = fz.Graph.f_fwd_off and adj = fz.Graph.f_fwd_dst in
+      let off = fz.Graph.f_fwd_off
+      and fin = fz.Graph.f_fwd_end
+      and adj = fz.Graph.f_fwd_dst in
       for c = 0 to ncomp - 1 do
         List.iter
           (fun u ->
-            for k = off.{u} to off.{u + 1} - 1 do
+            for k = off.{u} to fin.{u} - 1 do
               let cv = comp.(adj.{k}) in
               if cv <> c then gmask.(c) <- gmask.(c) lor gmask.(cv)
             done)
@@ -140,6 +142,7 @@ let build t s =
       end
     done;
     let off = fz.Graph.f_fwd_off
+    and fin = fz.Graph.f_fwd_end
     and dst = fz.Graph.f_fwd_dst
     and cost = fz.Graph.f_fwd_cost in
     let fwd_off' = Graph.ba_int (n' + 1) in
@@ -147,7 +150,7 @@ let build t s =
     let m' = ref 0 in
     for i = 0 to n' - 1 do
       let u = glob.(i) in
-      for k = off.{u} to off.{u + 1} - 1 do
+      for k = off.{u} to fin.{u} - 1 do
         if map.(dst.{k}) >= 0 then incr m'
       done;
       fwd_off'.{i + 1} <- !m'
@@ -161,7 +164,7 @@ let build t s =
     let k' = ref 0 in
     for i = 0 to n' - 1 do
       let u = glob.(i) in
-      for k = off.{u} to off.{u + 1} - 1 do
+      for k = off.{u} to fin.{u} - 1 do
         let j = map.(dst.{k}) in
         if j >= 0 then begin
           fwd_dst'.{!k'} <- j;
@@ -174,8 +177,8 @@ let build t s =
       done
     done;
     let bwd_off', bwd_src', bwd_cost', bwd_wcost' =
-      Graph.derive_bwd ~n:n' ~m:m' ~fwd_off:fwd_off' ~fwd_dst:fwd_dst'
-        ~fwd_cost:fwd_cost' ~fwd_wcost:fwd_wcost'
+      Graph.derive_bwd ~n:n' ~m:m' ~fwd_off:fwd_off' ~fwd_end:(Bigarray.Array1.sub fwd_off' 1 n')
+        ~fwd_dst:fwd_dst' ~fwd_cost:fwd_cost' ~fwd_wcost:fwd_wcost' ()
     in
     let types' = Array.map (fun u -> fz.Graph.f_types.(u)) glob in
     let origins' = Array.map (fun u -> fz.Graph.f_origins.(u)) glob in
@@ -198,14 +201,20 @@ let build t s =
         f_nodes = n';
         f_edges = m';
         f_fwd_off = fwd_off';
+        f_fwd_end = Bigarray.Array1.sub fwd_off' 1 n';
         f_fwd_dst = fwd_dst';
         f_fwd_cost = fwd_cost';
         f_fwd_wcost = fwd_wcost';
         f_fwd_edge = fwd_edge';
         f_bwd_off = bwd_off';
+        f_bwd_end = Bigarray.Array1.sub bwd_off' 1 n';
         f_bwd_src = bwd_src';
         f_bwd_cost = bwd_cost';
         f_bwd_wcost = bwd_wcost';
+        f_fwd_used = m';
+        f_bwd_used = m';
+        f_plain = fz.Graph.f_plain;
+        f_tail = Atomic.make false;
         f_types = types';
         f_origins = origins';
         f_ids = ids';

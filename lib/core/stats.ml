@@ -40,14 +40,12 @@ let of_graph g =
    stats op reads this instead of walking the mutable graph. *)
 let of_frozen (fz : Graph.frozen) =
   let widen = ref 0 and down = ref 0 and call = ref 0 and field = ref 0 in
-  Array.iter
-    (fun (e : Graph.edge) ->
+  Graph.frozen_iter_edges fz (fun (e : Graph.edge) ->
       match e.Graph.elem with
       | Elem.Widen _ -> incr widen
       | Elem.Downcast _ -> incr down
       | Elem.Field_access _ -> incr field
-      | Elem.Static_call _ | Elem.Ctor_call _ | Elem.Instance_call _ -> incr call)
-    fz.Graph.f_fwd_edge;
+      | Elem.Static_call _ | Elem.Ctor_call _ | Elem.Instance_call _ -> incr call);
   let typestates = ref 0 in
   for u = 0 to fz.Graph.f_nodes - 1 do
     if Graph.frozen_is_typestate fz u then incr typestates
@@ -71,7 +69,12 @@ let pp_cache fmt (s : Qcache.stats) =
      invalidations"
     s.Qcache.s_entries s.Qcache.s_capacity s.Qcache.s_hits s.Qcache.s_misses
     (100.0 *. Qcache.hit_rate s)
-    s.Qcache.s_evictions s.Qcache.s_invalidations
+    s.Qcache.s_evictions s.Qcache.s_invalidations;
+  (* Reload accounting appears only once a reload has actually touched the
+     cache, so pre-reload output (pinned by the cram suite) is unchanged. *)
+  if s.Qcache.s_dropped > 0 || s.Qcache.s_scoped > 0 then
+    Format.fprintf fmt ", %d dropped, %d scoped" s.Qcache.s_dropped
+      s.Qcache.s_scoped
 
 let cache_to_string s = Format.asprintf "%a" pp_cache s
 

@@ -2,50 +2,98 @@ exception Unknown_type of Qname.t
 
 exception Duplicate_decl of Qname.t
 
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+(* The decl table is persistent — two balanced maps sharing the decl
+   values — behind a mutable record: [copy] is O(1) (it shares the maps)
+   and every structural update is O(log n), which is what keeps a
+   live-reload delta's working copy ([Delta.apply]) independent of model
+   size. [byname] resolves names; [bystamp] fixes the iteration order:
+   each name keeps the insertion stamp it got when first declared, and
+   [replace] reuses the old stamp, so iteration order — and every node id
+   derived from it downstream — is preserved across body edits. *)
 type t = {
-  table : (string, Decl.t) Hashtbl.t;
+  mutable seq : int;  (* next insertion stamp *)
+  mutable count : int;
+  mutable byname : (int * Decl.t) Smap.t;
+  mutable bystamp : Decl.t Imap.t;
   mutable reverse : Qname.Set.t Qname.Map.t option;
-      (* lazy strict-direct-subtype index, invalidated on add *)
+      (* lazy strict-direct-subtype index, invalidated on mutation;
+         immutable once built, so copies share it *)
   mutable depth_cache : (string, int) Hashtbl.t;
+      (* memo table, never shared between copies (it mutates on reads);
+         mutations install a fresh table rather than resetting, so a copy
+         holding the old one keeps its still-valid entries *)
 }
 
 let key q = Qname.to_string q
 
+let insert t (d : Decl.t) =
+  let stamp = t.seq in
+  t.seq <- t.seq + 1;
+  t.byname <- Smap.add (key d.dname) (stamp, d) t.byname;
+  t.bystamp <- Imap.add stamp d t.bystamp;
+  t.count <- t.count + 1
+
+let invalidate t =
+  t.reverse <- None;
+  t.depth_cache <- Hashtbl.create 64
+
 let create () =
   let t =
     {
-      table = Hashtbl.create 1024;
+      seq = 0;
+      count = 0;
+      byname = Smap.empty;
+      bystamp = Imap.empty;
       reverse = None;
-      depth_cache = Hashtbl.create 1024;
+      depth_cache = Hashtbl.create 64;
     }
   in
-  Hashtbl.replace t.table (key Qname.object_qname) (Decl.make Qname.object_qname);
+  insert t (Decl.make Qname.object_qname);
   t
 
-let copy t =
-  {
-    table = Hashtbl.copy t.table;
-    reverse = None;
-    depth_cache = Hashtbl.create 1024;
-  }
+let copy t = { t with depth_cache = Hashtbl.create 64 }
 
-let find_opt t q = Hashtbl.find_opt t.table (key q)
+let find_opt t q =
+  match Smap.find_opt (key q) t.byname with
+  | Some (_, d) -> Some d
+  | None -> None
 
 let find t q = match find_opt t q with Some d -> d | None -> raise (Unknown_type q)
 
-let mem t q = Hashtbl.mem t.table (key q)
+let mem t q = Smap.mem (key q) t.byname
 
-let size t = Hashtbl.length t.table
+let size t = t.count
 
 let add t (d : Decl.t) =
   if mem t d.dname then raise (Duplicate_decl d.dname);
-  Hashtbl.replace t.table (key d.dname) d;
-  t.reverse <- None;
-  Hashtbl.reset t.depth_cache
+  insert t d;
+  invalidate t
 
-let iter t f = Hashtbl.iter (fun _ d -> f d) t.table
+let replace t (d : Decl.t) =
+  match Smap.find_opt (key d.dname) t.byname with
+  | None -> raise (Unknown_type d.dname)
+  | Some (stamp, _) ->
+      t.byname <- Smap.add (key d.dname) (stamp, d) t.byname;
+      t.bystamp <- Imap.add stamp d t.bystamp;
+      invalidate t
 
-let fold t ~init ~f = Hashtbl.fold (fun _ d acc -> f acc d) t.table init
+let remove t q =
+  if Qname.equal q Qname.object_qname then
+    invalid_arg "Hierarchy.remove: java.lang.Object is not removable";
+  match Smap.find_opt (key q) t.byname with
+  | None -> raise (Unknown_type q)
+  | Some (stamp, _) ->
+      t.byname <- Smap.remove (key q) t.byname;
+      t.bystamp <- Imap.remove stamp t.bystamp;
+      t.count <- t.count - 1;
+      invalidate t
+
+let iter t f = Imap.iter (fun _ d -> f d) t.bystamp
+
+let fold t ~init ~f = Imap.fold (fun _ d acc -> f acc d) t.bystamp init
 
 let decls t =
   fold t ~init:[] ~f:(fun acc d -> d :: acc)
@@ -92,7 +140,7 @@ let of_decls ds =
     (fun (d : Decl.t) ->
       if Qname.equal d.dname Qname.object_qname then
         (* Allow the data set to re-declare Object with real members. *)
-        Hashtbl.replace t.table (key d.dname) d
+        replace t d
       else add t d)
     ds;
   ensure_closed t;

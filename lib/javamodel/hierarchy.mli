@@ -22,7 +22,9 @@ val create : unit -> t
 
 val copy : t -> t
 (** An independent copy; additions to the copy do not affect the original.
-    Used to extend an API hierarchy with corpus client classes. *)
+    O(1): the decl table is persistent underneath, so the copy shares it
+    until either side mutates. Used to extend an API hierarchy with corpus
+    client classes and as {!Delta}'s working copy per reload. *)
 
 val of_decls : Decl.t list -> t
 (** [of_decls ds] builds a hierarchy and {!ensure_closed}s it.
@@ -30,6 +32,19 @@ val of_decls : Decl.t list -> t
 
 val add : t -> Decl.t -> unit
 (** @raise Duplicate_decl on re-declaration. *)
+
+val replace : t -> Decl.t -> unit
+(** Swap the declaration under an already-declared name in place. Unlike
+    remove-then-add this keeps the name's insertion stamp and therefore its
+    position in the iteration order, which downstream id assignment (node
+    numbering in the signature graph) depends on for incremental reload.
+    @raise Unknown_type if the name is not declared. *)
+
+val remove : t -> Qname.t -> unit
+(** Drop a declaration. [java.lang.Object] is the hierarchy's root and is
+    not removable.
+    @raise Unknown_type if the name is not declared.
+    @raise Invalid_argument on [java.lang.Object]. *)
 
 val ensure_closed : t -> unit
 (** Add an opaque synthetic class for every type referenced by a signature or

@@ -347,6 +347,11 @@ type request =
   | Refine_answer of { session : string; choice : int }
   | Refine_status of { session : string }
   | Refine_stop of { session : string }
+  | Reload of {
+      japi : string option;  (* .japi source: classes added or replaced *)
+      remove : string list;  (* fully qualified class names to drop *)
+      corpus : string option;  (* mini-Java source: corpus examples added *)
+    }
   | Stats
   | Health
   | Shutdown
@@ -486,6 +491,26 @@ let request_of_json j =
         | "refine_stop" ->
             let* session = field_string j "session" in
             Ok (Refine_stop { session })
+        | "reload" ->
+            let* japi = field_string_opt j "japi" in
+            let* remove =
+              match member "remove" j with
+              | Some (Arr rs) ->
+                  map_m
+                    (function
+                      | Str s -> Ok s
+                      | _ -> Error "field \"remove\" must be an array of strings")
+                    rs
+              | Some Null | None -> Ok []
+              | Some _ -> Error "field \"remove\" must be an array of strings"
+            in
+            let* corpus = field_string_opt j "corpus" in
+            let* () =
+              if japi = None && remove = [] && corpus = None then
+                Error "reload needs at least one of \"japi\", \"remove\", \"corpus\""
+              else Ok ()
+            in
+            Ok (Reload { japi; remove; corpus })
         | "stats" -> Ok Stats
         | "health" -> Ok Health
         | "shutdown" -> Ok Shutdown
@@ -566,6 +591,13 @@ let envelope_to_json { id; req } =
         [ ("op", Str "refine_status"); ("session", Str session) ]
     | Refine_stop { session } ->
         [ ("op", Str "refine_stop"); ("session", Str session) ]
+    | Reload { japi; remove; corpus } ->
+        [ ("op", Str "reload") ]
+        @ opt_s "japi" japi
+        @ (match remove with
+          | [] -> []
+          | rs -> [ ("remove", Arr (List.map (fun r -> Str r) rs)) ])
+        @ opt_s "corpus" corpus
     | Stats -> [ ("op", Str "stats") ]
     | Health -> [ ("op", Str "health") ]
     | Shutdown -> [ ("op", Str "shutdown") ]

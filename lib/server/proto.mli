@@ -123,6 +123,19 @@ type request =
     }
   | Refine_status of { session : string }
   | Refine_stop of { session : string }
+  | Reload of {
+      japi : string option;
+          (** [.japi] source sent inline: every class in it is added if
+              undeclared, replaced otherwise *)
+      remove : string list;  (** fully qualified class names to drop *)
+      corpus : string option;
+          (** mini-Java source sent inline: examples mined from it are
+              folded into the usage/protocol models *)
+    }
+      (** Apply a model delta to the running server. At least one field must
+          be present; per-delta validation failures come back as a
+          [bad_request] carrying an [errors] array of
+          [{index, op, subject, reason}] objects. *)
   | Stats
   | Health
   | Shutdown

@@ -1,9 +1,20 @@
 module Query = Prospector.Query
 module Qcache = Prospector.Qcache
 module Graph = Prospector.Graph
+module Delta = Prospector.Delta
 module Jungloid = Prospector.Jungloid
 module Jtype = Javamodel.Jtype
+module Qname = Javamodel.Qname
 module Hierarchy = Javamodel.Hierarchy
+
+(* What a corpus delta re-derives: the mined models the engine consumes and
+   the vetting pass lint appends. Produced by the [?remodel] callback so
+   this library keeps not depending on the mining layer (see [create]). *)
+type remodel = {
+  rm_edge_cost : (Prospector.Elem.t -> int) option;
+  rm_protocol_check : (Jungloid.t -> string list) option;
+  rm_vet : (Jungloid.t -> Analysis.Diagnostic.t list) option;
+}
 
 (* What a reader needs, captured at one graph generation. Readers take the
    whole record with one [Atomic.get] and never look back at the mutable
@@ -62,9 +73,26 @@ type t = {
   locals_lock : Mutex.t;
   mets : Metrics.t;
   base_settings : Query.settings;
-  vet : (Jungloid.t -> Analysis.Diagnostic.t list) option;
+  mutable vet : (Jungloid.t -> Analysis.Diagnostic.t list) option;
       (* protocol vetting for the lint op, injected at [create] so this
-         library never depends on the mining layer that learns the model *)
+         library never depends on the mining layer that learns the model.
+         Mutable because a corpus reload re-learns the model; written only
+         under [publish], read without a lock (a one-word read of an
+         immutable closure — stale by at most one reload, never torn) *)
+  graph_config : Prospector.Sig_graph.config;
+      (* the config the engine's graph was built with — [Delta.apply] must
+         rebuild under the same one or the oracle breaks *)
+  remodel : (Hierarchy.t -> string -> (remodel, string) result) option;
+      (* corpus text -> re-derived mined models, against the patched
+         hierarchy; absent on servers that never mined *)
+  rebuild : (Hierarchy.t -> Graph.frozen) option;
+      (* the cold enriched build the server would do at startup, from a
+         patched hierarchy; used in place of [Delta]'s signature-only
+         rebuild so mined (spliced) nodes and edges survive a reload *)
+  reload_hook : (Graph.frozen -> Prospector.Reach.t option -> unit) option;
+      (* called after each successful reload with the published snapshot
+         (re-persistence for [--save-graph]); must not raise *)
+  reloads : int Atomic.t;
   deadline_s : float option;
   stop : bool Atomic.t;
   truncated_queries : int Atomic.t;
@@ -90,8 +118,9 @@ let take_snapshot engine =
     s_reach = Query.engine_reach engine;
   }
 
-let create ?(settings = Query.default_settings) ?vet ?deadline_s ?session_ttl_s
-    ~engine () =
+let create ?(settings = Query.default_settings) ?vet
+    ?(graph_config = Prospector.Sig_graph.default_config) ?remodel ?rebuild
+    ?reload_hook ?deadline_s ?session_ttl_s ~engine () =
   (* Warm the hierarchy's lazy memos while we are still single-threaded:
      after this, ranking only reads it. *)
   Hierarchy.warm (Query.engine_hierarchy engine);
@@ -104,6 +133,11 @@ let create ?(settings = Query.default_settings) ?vet ?deadline_s ?session_ttl_s
     mets = Metrics.create ();
     base_settings = settings;
     vet;
+    graph_config;
+    remodel;
+    rebuild;
+    reload_hook;
+    reloads = Atomic.make 0;
     deadline_s;
     stop = Atomic.make false;
     truncated_queries = Atomic.make 0;
@@ -411,6 +445,144 @@ let expired_response ~id session =
   Proto.error_response ~id Proto.Session_expired
     (Printf.sprintf "unknown or expired session %S" session)
 
+(* ---------- live reload ---------- *)
+
+(* Turn the request's [.japi] text and removal list into a [Delta] op list.
+   The text is parsed and resolved standalone (names not declared in it fall
+   back to java.lang or close over as opaque synthetics — write fully
+   qualified names for types the delta does not itself declare); each class
+   it declares is added if the server does not know the name, replaced
+   otherwise. Synthetic closure fillers never clobber a declaration the
+   server already has. *)
+let ops_of_reload t ~japi ~remove =
+  let removed q = List.exists (fun r -> String.equal r (Qname.to_string q)) remove in
+  let removals = List.map (fun q -> Delta.Remove_class (Qname.of_string q)) remove in
+  match japi with
+  | None -> Ok removals
+  | Some src -> (
+      match Japi.Loader.load_string ~file:"<reload>" src with
+      | exception Japi.Error.E e -> Error (Japi.Error.to_string e)
+      | dh ->
+          let h = Query.engine_hierarchy t.eng in
+          let ops =
+            Hierarchy.fold dh ~init:[] ~f:(fun acc (d : Javamodel.Decl.t) ->
+                if Qname.equal d.Javamodel.Decl.dname Qname.object_qname then acc
+                else if
+                  Hierarchy.mem h d.Javamodel.Decl.dname
+                  && not (removed d.Javamodel.Decl.dname)
+                then
+                  if d.Javamodel.Decl.synthetic then acc
+                  else Delta.Replace_class d :: acc
+                else Delta.Add_class d :: acc)
+          in
+          (* removals first, so a delta that removes and redeclares one name
+             reads as a structural replace (the adds above already treat the
+             removed name as fresh) *)
+          Ok (removals @ List.rev ops))
+
+let delta_error_json (e : Delta.error) =
+  Proto.Obj
+    [
+      ("index", Proto.Int e.Delta.index);
+      ("op", Proto.Str e.Delta.op_name);
+      ("subject", Proto.Str e.Delta.subject);
+      ("reason", Proto.Str e.Delta.reason);
+    ]
+
+(* A [bad_request] whose error object carries the typed per-delta failures,
+   so a client can point at the exact op instead of re-reading a prose
+   message. *)
+let delta_errors_response ~id errs =
+  match
+    Proto.error_response ~id Proto.Bad_request
+      (Printf.sprintf "delta rejected: %d invalid op(s)" (List.length errs))
+  with
+  | Proto.Obj fields ->
+      Proto.Obj (fields @ [ ("errors", Proto.Arr (List.map delta_error_json errs)) ])
+  | j -> j
+
+(* The whole reload, called with [publish] held. Order matters: validate and
+   patch first (all-or-nothing — a rejected delta must leave no trace), then
+   re-derive the mined models against the patched hierarchy, then swap the
+   engine and publish. Readers keep answering off the previous snapshot
+   until the single [Atomic.set]. *)
+let reload_locked t ~id ~japi ~remove ~corpus =
+  match ops_of_reload t ~japi ~remove with
+  | Error msg -> Proto.error_response ~id Proto.Bad_request msg
+  | Ok ops -> (
+      let hierarchy = Query.engine_hierarchy t.eng in
+      let frozen = Query.engine_frozen t.eng in
+      let wcost =
+        match Query.engine_edge_cost t.eng with
+        | Some f -> f
+        | None -> Graph.default_wcost
+      in
+      match Delta.apply ~config:t.graph_config ~wcost ~hierarchy ~frozen ops with
+      | Error errs -> delta_errors_response ~id errs
+      | Ok patch -> (
+          let rm =
+            match (corpus, t.remodel) with
+            | None, _ -> Ok None
+            | Some _, None ->
+                Error
+                  "this server mined no corpus (started with --no-mining); \
+                   corpus deltas need a mined model to extend"
+            | Some src, Some f ->
+                Result.map Option.some (f patch.Delta.p_hierarchy src)
+          in
+          match rm with
+          | Error msg -> Proto.error_response ~id Proto.Bad_request msg
+          | Ok rm ->
+              (* An enriched server rebuilds through the injected cold-build
+                 closure — [Delta]'s own rebuild is signature-only and would
+                 silently drop the spliced mined examples. A corpus delta
+                 forces that path too: new examples must be spliced in, which
+                 no row splice can do. Generation comes from the patch so the
+                 monotone-bump contract holds either way. *)
+              let patch =
+                match t.rebuild with
+                | Some rebuild
+                  when patch.Delta.p_mode = Delta.Rebuilt || rm <> None ->
+                    let fz = rebuild patch.Delta.p_hierarchy in
+                    {
+                      patch with
+                      Delta.p_frozen =
+                        {
+                          fz with
+                          Graph.f_generation =
+                            Graph.frozen_generation patch.Delta.p_frozen;
+                        };
+                      p_mode = Delta.Rebuilt;
+                    }
+                | _ -> patch
+              in
+              let edge_cost = Option.bind rm (fun r -> r.rm_edge_cost) in
+              let protocol_check = Option.bind rm (fun r -> r.rm_protocol_check) in
+              Query.engine_reload ?edge_cost ?protocol_check t.eng patch;
+              (match Option.bind rm (fun r -> r.rm_vet) with
+              | Some v -> t.vet <- Some v
+              | None -> ());
+              Hierarchy.warm (Query.engine_hierarchy t.eng);
+              let s = take_snapshot t.eng in
+              Atomic.set t.snap s;
+              (* Worker caches are left alone: their keys embed the
+                 generation, so stale entries can never hit again — they age
+                 out of the LRU. Touching a foreign worker's cache here would
+                 race with its own reads. *)
+              let n = Atomic.fetch_and_add t.reloads 1 + 1 in
+              Metrics.set_gauge t.mets "graph_generation" s.s_gen;
+              Metrics.set_gauge t.mets "reloads_applied" n;
+              (match t.reload_hook with
+              | Some hook -> hook s.s_frozen s.s_reach
+              | None -> ());
+              Proto.ok_response ~id ~op:"reload"
+                [
+                  ("ops", Proto.Int patch.Delta.p_ops);
+                  ("mode", Proto.Str (Delta.mode_string patch.Delta.p_mode));
+                  ("touched", Proto.Int patch.Delta.p_touched_count);
+                  ("generation", Proto.Int s.s_gen);
+                ]))
+
 (* ---------- dispatch ---------- *)
 
 let op_name = function
@@ -422,6 +594,7 @@ let op_name = function
   | Proto.Refine_answer _ -> "refine_answer"
   | Proto.Refine_status _ -> "refine_status"
   | Proto.Refine_stop _ -> "refine_stop"
+  | Proto.Reload _ -> "reload"
   | Proto.Stats -> "stats"
   | Proto.Health -> "health"
   | Proto.Shutdown -> "shutdown"
@@ -670,25 +843,39 @@ let dispatch ?local t ~id req =
                 publish_session_gauge t;
                 Proto.ok_response ~id ~op:"refine_stop"
                   [ ("session", Proto.Str session); ("stopped", Proto.Bool true) ])
+  | Proto.Reload { japi; remove; corpus } ->
+      if shutdown_requested t then draining_response ~id
+      else begin
+        Mutex.lock t.publish;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.publish)
+          (fun () -> reload_locked t ~id ~japi ~remove ~corpus)
+      end
   | Proto.Stats ->
       let snap = current t in
       let graph_stats = Prospector.Stats.of_frozen snap.s_frozen in
       Proto.ok_response ~id ~op:"stats"
-        [
-          ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
-          ("requests", Proto.Int (Metrics.total_requests t.mets));
-          ("truncated_queries", Proto.Int (Atomic.get t.truncated_queries));
-          ("sessions", Proto.Int (live_sessions t));
-          ( "graph",
-            Proto.Obj
-              [
-                ("nodes", Proto.Int graph_stats.Prospector.Stats.nodes);
-                ("edges", Proto.Int graph_stats.Prospector.Stats.edges);
-                ("generation", Proto.Int snap.s_gen);
-              ] );
-          ("cache", cache_json (cache_stats t));
-          ("ops", Metrics.ops_json t.mets);
-        ]
+        ([
+           ("uptime_s", Proto.Float (Metrics.uptime_s t.mets));
+           ("requests", Proto.Int (Metrics.total_requests t.mets));
+           ("truncated_queries", Proto.Int (Atomic.get t.truncated_queries));
+           ("sessions", Proto.Int (live_sessions t));
+           ( "graph",
+             Proto.Obj
+               [
+                 ("nodes", Proto.Int graph_stats.Prospector.Stats.nodes);
+                 ("edges", Proto.Int graph_stats.Prospector.Stats.edges);
+                 ("generation", Proto.Int snap.s_gen);
+               ] );
+           ("cache", cache_json (cache_stats t));
+           ("ops", Metrics.ops_json t.mets);
+         ]
+        @
+        (* only once a gauge exists, so servers that never reload (or
+           refine) keep their exact old reply shape *)
+        match Metrics.gauges t.mets with
+        | [] -> []
+        | _ -> [ ("gauges", Metrics.gauges_json t.mets) ])
   | Proto.Health ->
       Proto.ok_response ~id ~op:"health"
         [

@@ -27,9 +27,23 @@ type local
     to {!handle_line}. All caches created by {!local} are registered with
     the service so the stats op can report their combined counters. *)
 
+type remodel = {
+  rm_edge_cost : (Prospector.Elem.t -> int) option;
+  rm_protocol_check : (Prospector.Jungloid.t -> string list) option;
+  rm_vet : (Prospector.Jungloid.t -> Analysis.Diagnostic.t list) option;
+}
+(** What a corpus delta re-derives — the mined models the engine consumes
+    and the vetting pass lint appends. Returned by the [?remodel] callback
+    of {!create}; a [None] field leaves the server's current model in
+    place. *)
+
 val create :
   ?settings:Prospector.Query.settings ->
   ?vet:(Prospector.Jungloid.t -> Analysis.Diagnostic.t list) ->
+  ?graph_config:Prospector.Sig_graph.config ->
+  ?remodel:(Javamodel.Hierarchy.t -> string -> (remodel, string) result) ->
+  ?rebuild:(Javamodel.Hierarchy.t -> Prospector.Graph.frozen) ->
+  ?reload_hook:(Prospector.Graph.frozen -> Prospector.Reach.t option -> unit) ->
   ?deadline_s:float ->
   ?session_ttl_s:float ->
   engine:Prospector.Query.engine ->
@@ -40,6 +54,22 @@ val create :
     appends to its per-result diagnostics (typically
     [Analysis.Protolint.vet] over a mined model) — injected here because
     this library must not depend on the mining layer that learns the model.
+
+    The next four parameters serve the [reload] op (all deltas apply under
+    the publish mutex, off the lock-free read path, and land as one atomic
+    snapshot swap). [graph_config] must be the {!Prospector.Sig_graph}
+    config the engine's graph was built with — {!Prospector.Delta.apply}
+    rebuilds under it when a delta cannot be spliced. [remodel] maps the
+    request's corpus text to re-derived mined models against the patched
+    hierarchy (absent = corpus deltas are rejected with [bad_request]).
+    [rebuild] is the cold {e enriched} build the server would do at
+    startup, from a patched hierarchy; when present it replaces [Delta]'s
+    signature-only rebuild on the fallback path, so mined (spliced) nodes
+    and edges survive a reload — and every corpus delta takes it, since
+    new examples cannot be row-spliced. [reload_hook] runs after each
+    successful reload with the newly published snapshot (the [--save-graph]
+    re-persistence point); it must not raise.
+
     [deadline_s] is the per-request deadline: a
     request whose execution exceeds it gets a [timeout] error reply instead
     of its result. Enforcement is cooperative — the elapsed time is checked

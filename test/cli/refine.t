@@ -101,6 +101,7 @@ A live session shows up in stats:
 
   $ ../../bin/prospector_cli.exe client --port-file port stats | grep sessions
   sessions: 1
+  refine_sessions: 1
 
 Answering the branch that keeps rank-1 converges immediately; the reply
 carries the surviving result:

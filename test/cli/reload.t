@@ -1,0 +1,121 @@
+Live reload: patch the daemon's model over the wire, no restart.
+
+A tiny API so node/edge counts stay readable. --no-mining keeps the graph
+unenriched, which is what makes the body-only edit below row-spliceable;
+--save-graph exercises the re-persist hook.
+
+  $ cat > api.japi <<'JAPI'
+  > package p;
+  > class A { A id(); B mk(); }
+  > class B { }
+  > JAPI
+  $ ../../bin/prospector_cli.exe serve --api api.japi --no-mining --port 0 --port-file port --save-graph cache.froz >server.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+
+Before the reload, one path from A to B:
+
+  $ ../../bin/prospector_cli.exe client --port-file port query p.A p.B
+  #1  λx. x.mk() : A -> B
+        B b = a.mk();
+
+A body-only class replacement splices in place — node ids survive, only
+the touched CSR rows are rewritten:
+
+  $ cat > delta.japi <<'JAPI'
+  > package p;
+  > class A { A id(); B mk(); B mk2(); }
+  > JAPI
+  $ ../../bin/prospector_cli.exe client --port-file port reload delta.japi
+  reloaded: 1 op(s) applied (spliced), 2 node(s) touched, generation 10
+
+The new method answers immediately:
+
+  $ ../../bin/prospector_cli.exe client --port-file port query p.A p.B
+  #1  λx. x.mk() : A -> B
+        B b = a.mk();
+  #2  λx. x.mk2() : A -> B
+        B b = a.mk2();
+
+Adding a class is structural, so it rebuilds (the sanctioned fallback) —
+and the added class is queryable at once:
+
+  $ cat > grow.japi <<'JAPI'
+  > package p;
+  > class C { B toB(); }
+  > JAPI
+  $ ../../bin/prospector_cli.exe client --port-file port reload grow.japi
+  reloaded: 1 op(s) applied (rebuilt), 4 node(s) touched, generation 12
+  $ ../../bin/prospector_cli.exe client --port-file port query p.C p.B
+  #1  λx. x.toB() : C -> B
+        B b = c.toB();
+
+Removing it again:
+
+  $ ../../bin/prospector_cli.exe client --port-file port reload --remove p.C
+  reloaded: 1 op(s) applied (rebuilt), 5 node(s) touched, generation 14
+
+An invalid delta is rejected whole, with one typed line per bad op, and
+leaves the model untouched:
+
+  $ ../../bin/prospector_cli.exe client --port-file port reload --remove p.Nope --remove java.lang.Object
+  error[bad_request]: delta rejected: 2 invalid op(s)
+    op 0 (remove-class p.Nope): not declared
+    op 1 (remove-class java.lang.Object): java.lang.Object is not removable
+  [1]
+  $ ../../bin/prospector_cli.exe client --port-file port query p.A p.B | head -1
+  #1  λx. x.mk() : A -> B
+
+Stats now carry the reload gauges (absent before the first reload — see
+serve.t, whose output is unchanged):
+
+  $ ../../bin/prospector_cli.exe client --port-file port stats
+  requests: 8
+  graph: 4 nodes, 5 edges
+  cache: 4/2048 entries, 0 hits, 4 misses
+  graph_generation: 14
+  reloads_applied: 3
+
+  $ ../../bin/prospector_cli.exe client --port-file port shutdown
+  draining
+  $ wait $SRV
+
+Every successful reload re-persisted the --save-graph image:
+
+  $ grep -c "re-saved" server.log
+  3
+
+A warm restart from the re-persisted snapshot serves the reloaded model —
+the patched image, not the boot-time one:
+
+  $ ../../bin/prospector_cli.exe serve --api api.japi --no-mining --port 0 --port-file port2 --save-graph cache.froz >warm.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port2 ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port2 query p.A p.B | grep -c mk2
+  2
+  $ ../../bin/prospector_cli.exe client --port-file port2 shutdown
+  draining
+  $ wait $SRV
+  $ grep -c "mmap warm start" warm.log
+  1
+
+serve --watch polls a .japi file and feeds changes through the same op:
+
+  $ cp api.japi live.japi
+  $ ../../bin/prospector_cli.exe serve --api api.japi --no-mining --port 0 --port-file port3 --watch live.japi >watch.log 2>&1 &
+  $ SRV=$!
+  $ i=0; while [ ! -f port3 ] && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ sleep 1
+  $ cat > live.japi <<'JAPI'
+  > package p;
+  > class A { A id(); B mk(); B watched(); }
+  > class B { }
+  > JAPI
+  $ i=0; while ! grep -q "watch: reloaded" watch.log && [ $i -lt 200 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/prospector_cli.exe client --port-file port3 query p.A p.B | grep -c watched
+  2
+  $ ../../bin/prospector_cli.exe client --port-file port3 shutdown
+  draining
+  $ wait $SRV
+  $ grep -c "watch: reloaded" watch.log
+  1

@@ -1,0 +1,246 @@
+(* Live-reload invariants (DESIGN §9). The correctness oracle: a
+   delta-patched frozen snapshot is lane-for-lane identical to a cold
+   rebuild from the patched model, whichever path (spliced or rebuilt) the
+   delta took — checked over random op sequences on Apigen worlds. The
+   reach index patched through [Reach.patch] must be bit-for-bit the fresh
+   build. Printed delta-sized .japi files must reload to the same model,
+   and the cone-scoped cache invalidation counters must add up. *)
+
+module Qname = Javamodel.Qname
+module Jtype = Javamodel.Jtype
+module Decl = Javamodel.Decl
+module Member = Javamodel.Member
+module Hierarchy = Javamodel.Hierarchy
+module Graph = Prospector.Graph
+module Sig_graph = Prospector.Sig_graph
+module Delta = Prospector.Delta
+module Reach = Prospector.Reach
+module Qcache = Prospector.Qcache
+module Stats = Prospector.Stats
+module Rng = Corpusgen.Rng
+module Apigen = Corpusgen.Apigen
+
+(* ---------- random delta sequences over Apigen worlds ---------- *)
+
+let real_decls h =
+  List.filter (fun (d : Decl.t) -> not d.Decl.synthetic) (Hierarchy.decls h)
+
+(* A method whose types are already interned, so a lone add stays
+   spliceable; [tag] keeps names unique across the op sequence. *)
+let fresh_meth rng h tag =
+  let ret = Jtype.Ref (Rng.pick rng (real_decls h)).Decl.dname in
+  Member.meth (Printf.sprintf "zzReload%d" tag) ~params:[] ~ret
+
+(* Generate [nops] ops against a private copy of [h], applying each to the
+   copy as we go — later ops must see earlier effects, exactly as
+   [Delta.apply] validates them. *)
+let build_ops rng h nops =
+  let hcur = Hierarchy.copy h in
+  let tag = ref 0 in
+  let next_tag () = incr tag; !tag in
+  let rec gen_op retries =
+    let decls =
+      List.filter
+        (fun (d : Decl.t) -> Qname.to_string d.Decl.dname <> "java.lang.Object")
+        (real_decls hcur)
+    in
+    let d = Rng.pick rng decls in
+    match Rng.int rng 5 with
+    | 0 ->
+        (* body-only replacement: the spliced shape *)
+        let d' = { d with Decl.methods = fresh_meth rng hcur (next_tag ()) :: d.Decl.methods } in
+        Hierarchy.replace hcur d';
+        Delta.Replace_class d'
+    | 1 ->
+        let m = fresh_meth rng hcur (next_tag ()) in
+        Hierarchy.replace hcur { d with Decl.methods = d.Decl.methods @ [ m ] };
+        Delta.Add_method (d.Decl.dname, m)
+    | 2 when d.Decl.methods <> [] ->
+        let victim = (Rng.pick rng d.Decl.methods).Member.mname in
+        let keep = List.filter (fun (m : Member.meth) -> m.Member.mname <> victim) d.Decl.methods in
+        Hierarchy.replace hcur { d with Decl.methods = keep };
+        Delta.Remove_method (d.Decl.dname, victim)
+    | 3 ->
+        let q = Qname.of_string (Printf.sprintf "zz.Fresh%d" (next_tag ())) in
+        let m = fresh_meth rng hcur (next_tag ()) in
+        let fresh = Decl.make ~methods:[ m ] q in
+        Hierarchy.add hcur fresh;
+        Delta.Add_class fresh
+    | 4 when List.length decls > 2 ->
+        Hierarchy.remove hcur d.Decl.dname;
+        Delta.Remove_class d.Decl.dname
+    | _ -> if retries = 0 then gen_op 1 else gen_op 0
+    (* the two guarded arms can fail their guards; retry resamples *)
+  in
+  List.init nops (fun _ -> gen_op 0)
+
+let world_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* classes = int_range 10 40 in
+    let* nops = int_range 1 6 in
+    return (seed, classes, nops))
+
+let freeze_cold h = Graph.freeze (Sig_graph.build h)
+
+(* Bit-for-bit reach equality through the marshalable dump, with sharing
+   expanded so physical reuse inside the patched index cannot skew the
+   byte comparison. *)
+let reach_equal a b =
+  Marshal.to_string (Reach.dump a) [ Marshal.No_sharing ]
+  = Marshal.to_string (Reach.dump b) [ Marshal.No_sharing ]
+
+let roundtrips h =
+  let h' = Japi.Loader.load_files (Japi.Printer.print_files h) in
+  let a = real_decls h and b = real_decls h' in
+  List.length a = List.length b && List.for_all2 Decl.equal a b
+
+let prop_patched_equals_cold =
+  QCheck2.Test.make ~name:"patched frozen = cold-rebuilt frozen, lane for lane"
+    ~count:60 world_gen (fun (seed, classes, nops) ->
+      let h = Apigen.generate { Apigen.default_params with classes; seed } in
+      let frozen = freeze_cold h in
+      let rng = Rng.create ~seed:(seed lxor 0x5eed) in
+      let ops = build_ops rng h nops in
+      match Delta.apply ~hierarchy:h ~frozen ops with
+      | Error errs ->
+          QCheck2.Test.fail_reportf "delta rejected: %s"
+            (String.concat "; "
+               (List.map (fun (e : Delta.error) -> e.Delta.reason) errs))
+      | Ok patch ->
+          let cold = freeze_cold patch.Delta.p_hierarchy in
+          Delta.frozen_equal patch.Delta.p_frozen cold
+          && Graph.frozen_generation patch.Delta.p_frozen
+             > Graph.frozen_generation frozen
+          && roundtrips patch.Delta.p_hierarchy)
+
+let prop_reach_patch_identity =
+  QCheck2.Test.make ~name:"Reach.patch = Reach.build_frozen on the patched snapshot"
+    ~count:40 world_gen (fun (seed, classes, nops) ->
+      let h = Apigen.generate { Apigen.default_params with classes; seed } in
+      let frozen = freeze_cold h in
+      let old = Reach.build_frozen frozen in
+      let rng = Rng.create ~seed:(seed lxor 0xcafe) in
+      let ops = build_ops rng h nops in
+      match Delta.apply ~hierarchy:h ~frozen ops with
+      | Error _ -> false
+      | Ok patch ->
+          let patched =
+            Reach.patch ~old ~touched:patch.Delta.p_touched patch.Delta.p_frozen
+          in
+          reach_equal patched (Reach.build_frozen patch.Delta.p_frozen))
+
+(* A lone method addition with already-interned types is the canonical
+   live-edit: it must take the spliced path, not the rebuild fallback. *)
+let prop_add_method_splices =
+  QCheck2.Test.make ~name:"single add-method on an unenriched snapshot splices"
+    ~count:40
+    QCheck2.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* classes = int_range 10 40 in
+      return (seed, classes))
+    (fun (seed, classes) ->
+      let h = Apigen.generate { Apigen.default_params with classes; seed } in
+      let frozen = freeze_cold h in
+      let rng = Rng.create ~seed in
+      let d = Rng.pick rng (real_decls h) in
+      let m = fresh_meth rng h 1 in
+      match Delta.apply ~hierarchy:h ~frozen [ Delta.Add_method (d.Decl.dname, m) ] with
+      | Error _ -> false
+      | Ok patch ->
+          patch.Delta.p_mode = Delta.Spliced
+          && patch.Delta.p_touched_count > 0
+          && Delta.frozen_equal patch.Delta.p_frozen
+               (freeze_cold patch.Delta.p_hierarchy))
+
+(* ---------- japi round-trip at delta-file scale ---------- *)
+
+let prop_delta_file_roundtrip =
+  QCheck2.Test.make ~name:"japi printer/loader round-trips delta-sized files"
+    ~count:60
+    QCheck2.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* classes = int_range 1 6 in
+      return
+        (Apigen.generate
+           { Apigen.default_params with classes; seed; packages = 1 }))
+    roundtrips
+
+(* ---------- cache invalidation counters ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_clear_counts_dropped () =
+  let c = Qcache.create ~capacity:8 () in
+  List.iter (fun k -> Qcache.add c k (k * 10)) [ 1; 2; 3 ];
+  Qcache.clear c;
+  let st = Qcache.stats c in
+  Alcotest.(check int) "dropped = entry count at clear" 3 st.Qcache.s_dropped;
+  Alcotest.(check int) "one invalidation" 1 st.Qcache.s_invalidations;
+  Alcotest.(check int) "no scoped pass" 0 st.Qcache.s_scoped;
+  Alcotest.(check int) "empty after" 0 st.Qcache.s_entries;
+  Qcache.clear c;
+  Alcotest.(check int) "empty clear drops nothing" 3 (Qcache.stats c).Qcache.s_dropped
+
+let test_refresh_counts_and_rekeys () =
+  let c = Qcache.create ~capacity:8 () in
+  List.iter (fun k -> Qcache.add c k (k * 10)) [ 1; 2; 3; 4 ];
+  let removed =
+    Qcache.refresh c (fun k -> if k mod 2 = 0 then Some (k + 100) else None)
+  in
+  Alcotest.(check int) "two entries removed" 2 removed;
+  let st = Qcache.stats c in
+  Alcotest.(check int) "dropped counts removals" 2 st.Qcache.s_dropped;
+  Alcotest.(check int) "one scoped pass" 1 st.Qcache.s_scoped;
+  Alcotest.(check int) "refresh is not an invalidation" 0 st.Qcache.s_invalidations;
+  Alcotest.(check bool) "survivor rekeyed" true (Qcache.mem c 102);
+  Alcotest.(check bool) "old key gone" false (Qcache.mem c 2);
+  Alcotest.(check (list int)) "recency preserved, mru first" [ 104; 102 ]
+    (Qcache.keys_mru_first c);
+  Alcotest.(check (option int)) "value survives rekeying" (Some 40) (Qcache.find c 104)
+
+let test_refresh_preserves_eviction_order () =
+  let c = Qcache.create ~capacity:3 () in
+  List.iter (fun k -> Qcache.add c k k) [ 1; 2; 3 ];
+  ignore (Qcache.find c 1);
+  (* recency now 1,3,2 — identity refresh must not disturb it *)
+  ignore (Qcache.refresh c (fun k -> Some k));
+  Qcache.add c 4 4;
+  Alcotest.(check bool) "lru evicted" false (Qcache.mem c 2);
+  Alcotest.(check bool) "mru kept" true (Qcache.mem c 1);
+  Alcotest.(check bool) "middle kept" true (Qcache.mem c 3)
+
+let test_stats_render_gated () =
+  let c = Qcache.create ~capacity:4 () in
+  Alcotest.(check bool) "silent before any reload" false
+    (contains (Stats.cache_to_string (Qcache.stats c)) "dropped");
+  Qcache.add c 1 1;
+  Qcache.clear c;
+  let s = Stats.cache_to_string (Qcache.stats c) in
+  Alcotest.(check bool) "dropped rendered" true (contains s "1 dropped");
+  Alcotest.(check bool) "scoped rendered alongside" true (contains s "0 scoped")
+
+let () =
+  Alcotest.run "reload"
+    [
+      ( "delta oracle",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_patched_equals_cold; prop_reach_patch_identity; prop_add_method_splices;
+          ] );
+      ( "japi round-trip",
+        List.map QCheck_alcotest.to_alcotest [ prop_delta_file_roundtrip ] );
+      ( "qcache counters",
+        [
+          Alcotest.test_case "clear counts dropped" `Quick test_clear_counts_dropped;
+          Alcotest.test_case "refresh counts and rekeys" `Quick
+            test_refresh_counts_and_rekeys;
+          Alcotest.test_case "refresh preserves eviction order" `Quick
+            test_refresh_preserves_eviction_order;
+          Alcotest.test_case "stats render gated on counters" `Quick
+            test_stats_render_gated;
+        ] );
+    ]
